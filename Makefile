@@ -1,0 +1,39 @@
+# Convenience targets for the SuperGlue reproduction (stdlib-only Go).
+
+GO ?= go
+
+.PHONY: all build test race bench gen experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the committed sgc-generated stubs from the IDL specifications
+# (golden-tested by internal/gen.TestCommittedStubsMatchGenerator).
+gen:
+	$(GO) run ./cmd/sgc -builtin -loc -o internal/gen
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/swifi -trials 500 -seed 2026
+	$(GO) run ./cmd/microbench
+	$(GO) run ./cmd/webbench -requests 50000 -repeats 5
+
+# Short fuzzing passes over the parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/idl
+	$(GO) test -fuzz=FuzzParseRequest -fuzztime=10s ./internal/webserver
+
+clean:
+	$(GO) clean ./...

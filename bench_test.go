@@ -1,0 +1,183 @@
+// Package superglue's repository-level benchmarks regenerate every table
+// and figure of the paper's evaluation as testing.B benchmarks:
+//
+//	Fig. 6(a) — BenchmarkTracking<Service>/{base,c3,superglue}
+//	Fig. 6(b) — BenchmarkRecovery<Service>/{c3,superglue}
+//	Fig. 6(c) — BenchmarkIDLCompile (plus `go run ./cmd/microbench -fig 6c`)
+//	Table II  — BenchmarkSWIFICampaign (injections/sec; the table itself is
+//	            `go run ./cmd/swifi`)
+//	Fig. 7    — BenchmarkWebServer/{baseline,composite,c3,superglue,
+//	            superglue-faults}, reporting req/s
+//
+// Run with: go test -bench=. -benchmem
+package superglue
+
+import (
+	"testing"
+
+	"superglue/internal/codegen"
+	"superglue/internal/core"
+	"superglue/internal/experiments"
+	"superglue/internal/idl"
+	"superglue/internal/kernel"
+	"superglue/internal/services/event"
+	"superglue/internal/swifi"
+	"superglue/internal/webserver"
+)
+
+// benchKinds are the stub bindings compared in Fig. 6(a).
+var benchKinds = []struct {
+	name string
+	kind experiments.StubKind
+}{
+	{"base", experiments.KindBase},
+	{"c3", experiments.KindC3},
+	{"superglue", experiments.KindSuperGlue},
+}
+
+// benchTracking is the Fig. 6(a) micro-benchmark for one service.
+func benchTracking(b *testing.B, service string) {
+	for _, k := range benchKinds {
+		b.Run(k.name, func(b *testing.B) {
+			if err := experiments.RunMicrobench(service, k.kind, b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkTrackingSched(b *testing.B) { benchTracking(b, "sched") }
+func BenchmarkTrackingMM(b *testing.B)    { benchTracking(b, "mm") }
+func BenchmarkTrackingFS(b *testing.B)    { benchTracking(b, "ramfs") }
+func BenchmarkTrackingLock(b *testing.B)  { benchTracking(b, "lock") }
+func BenchmarkTrackingEvent(b *testing.B) { benchTracking(b, "event") }
+func BenchmarkTrackingTimer(b *testing.B) { benchTracking(b, "timer") }
+
+// benchRecovery is the Fig. 6(b) per-descriptor recovery benchmark: each
+// iteration is one fault, µ-reboot, recovery walk, and redone operation.
+func benchRecovery(b *testing.B, service string) {
+	for _, k := range benchKinds[1:] { // recovery needs stubs
+		b.Run(k.name, func(b *testing.B) {
+			if err := experiments.RunRecoveryBench(service, k.kind, b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkRecoverySched(b *testing.B) { benchRecovery(b, "sched") }
+func BenchmarkRecoveryMM(b *testing.B)    { benchRecovery(b, "mm") }
+func BenchmarkRecoveryFS(b *testing.B)    { benchRecovery(b, "ramfs") }
+func BenchmarkRecoveryLock(b *testing.B)  { benchRecovery(b, "lock") }
+func BenchmarkRecoveryEvent(b *testing.B) { benchRecovery(b, "event") }
+func BenchmarkRecoveryTimer(b *testing.B) { benchRecovery(b, "timer") }
+
+// BenchmarkIDLCompile measures the full compiler pipeline (parse → IR →
+// generate client + server stubs) for the Fig. 3 event specification.
+func BenchmarkIDLCompile(b *testing.B) {
+	src := event.IDLSource()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec, err := idl.Parse("event", src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ir, err := codegen.NewIR(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codegen.Generate(ir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSWIFICampaign runs Table II's fault-injection trials (lock
+// service) at b.N injections.
+func BenchmarkSWIFICampaign(b *testing.B) {
+	res, err := swifi.Run(swifi.Config{
+		Service:  "lock",
+		Workload: swifi.Workloads()["lock"],
+		Iters:    3,
+		Trials:   b.N,
+		Seed:     2026,
+		Profile:  swifi.Profiles()["lock"],
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(100*res.SuccessRate(), "%success")
+	b.ReportMetric(100*res.ActivationRatio(), "%activation")
+}
+
+// benchWebServer is one Fig. 7 bar: b.N requests through the variant.
+func benchWebServer(b *testing.B, variant webserver.Variant, faultEvery int) {
+	n := b.N
+	if n < 64 {
+		n = 64
+	}
+	st, err := webserver.Run(webserver.Config{
+		Variant:    variant,
+		Requests:   n,
+		Workers:    2,
+		FaultEvery: faultEvery,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st.Errors > 0 {
+		b.Fatalf("%d request errors", st.Errors)
+	}
+	b.ReportMetric(st.Throughput, "req/s")
+}
+
+func BenchmarkWebServer(b *testing.B) {
+	b.Run("baseline", func(b *testing.B) { benchWebServer(b, webserver.VariantBaseline, 0) })
+	b.Run("composite", func(b *testing.B) { benchWebServer(b, webserver.VariantComposite, 0) })
+	b.Run("c3", func(b *testing.B) { benchWebServer(b, webserver.VariantC3, 0) })
+	b.Run("superglue", func(b *testing.B) { benchWebServer(b, webserver.VariantSuperGlue, 0) })
+	b.Run("superglue-faults", func(b *testing.B) {
+		n := b.N
+		if n < 64 {
+			n = 64
+		}
+		benchWebServer(b, webserver.VariantSuperGlue, n/4+1)
+	})
+}
+
+// BenchmarkKernelInvoke measures the bare component-invocation primitive,
+// the substrate cost every stub comparison sits on.
+func BenchmarkKernelInvoke(b *testing.B) {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp, err := event.Register(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sys.Kernel()
+	var runErr error
+	if _, err := k.CreateThread(nil, "bench", 10, func(t *kernel.Thread) {
+		id, err := k.Invoke(t, comp, event.FnSplit, 1, 0, 0)
+		if err != nil {
+			runErr = err
+			return
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := k.Invoke(t, comp, event.FnTrigger, 1, id); err != nil {
+				runErr = err
+				return
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if runErr != nil {
+		b.Fatal(runErr)
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTempSG drops a small valid specification into a temp dir.
+func writeTempSG(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "counter.sg")
+	src := `
+service_global_info = { desc_has_parent = solo };
+sm_creation(ctr_alloc);
+sm_terminal(ctr_free);
+sm_transition(ctr_alloc, ctr_incr);
+sm_transition(ctr_incr,  ctr_incr);
+sm_transition(ctr_alloc, ctr_free);
+sm_transition(ctr_incr,  ctr_free);
+
+desc_data_retval(long, ctrid)
+ctr_alloc(desc_data(componentid_t compid));
+long ctr_incr(componentid_t compid, desc(long ctrid));
+int  ctr_free(desc(long ctrid));
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompilesFileToDirectory(t *testing.T) {
+	sg := writeTempSG(t)
+	outDir := t.TempDir()
+	if err := run([]string{"-o", outDir, sg}, os.Stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range []string{"client_stub.go", "server_stub.go"} {
+		path := filepath.Join(outDir, "gencounter", f)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing output %s: %v", path, err)
+		}
+		if !strings.Contains(string(raw), "DO NOT EDIT") {
+			t.Errorf("%s missing generated marker", path)
+		}
+		if !strings.Contains(string(raw), "package gencounter") {
+			t.Errorf("%s has wrong package", path)
+		}
+	}
+}
+
+func TestRunBuiltinNeedsNoFiles(t *testing.T) {
+	if err := run([]string{"-builtin", "-loc"}, os.Stdout); err != nil {
+		t.Fatalf("run -builtin: %v", err)
+	}
+}
+
+func TestRunRejectsNoInput(t *testing.T) {
+	if err := run(nil, os.Stdout); err == nil {
+		t.Fatal("run with no input succeeded")
+	}
+}
+
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.sg")
+	if err := os.WriteFile(path, []byte("int f(desc(long id));"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}, os.Stdout); err == nil {
+		t.Fatal("run accepted a model-invalid spec")
+	}
+}
+
+func TestRunRejectsMissingFile(t *testing.T) {
+	if err := run([]string{"/nonexistent/x.sg"}, os.Stdout); err == nil {
+		t.Fatal("run accepted a missing file")
+	}
+}
+
+func TestRunFormatNormalizes(t *testing.T) {
+	sg := writeTempSG(t)
+	var buf strings.Builder
+	// run writes to an *os.File; use a pipe to capture.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b := make([]byte, 1<<16)
+		for {
+			n, err := r.Read(b)
+			buf.WriteString(string(b[:n]))
+			if err != nil {
+				return
+			}
+		}
+	}()
+	if err := run([]string{"-format", sg}, w); err != nil {
+		t.Fatalf("run -format: %v", err)
+	}
+	_ = w.Close()
+	<-done
+	out := buf.String()
+	for _, want := range []string{"sm_creation(ctr_alloc);", "desc(long ctrid)", "desc_data_retval(long, ctrid)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("normalized output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command swifi runs the SWIFI fault-injection campaign of Table II:
+// register bit-flips injected into each system-level service while its
+// §V-B workload runs, with outcomes classified as recovered, segfault,
+// propagated, other (latent), or undetected.
+//
+// Usage:
+//
+//	swifi [-trials 500] [-seed 2026] [-service sched|mm|ramfs|lock|event|timer] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"superglue/internal/core"
+	"superglue/internal/experiments"
+	"superglue/internal/swifi"
+)
+
+func main() {
+	trials := flag.Int("trials", 500, "injections per service")
+	seed := flag.Int64("seed", 2026, "campaign seed (reproducible)")
+	service := flag.String("service", "", "run a single service's campaign (default: all)")
+	mode := flag.String("mode", "on-demand", "recovery mode: on-demand or eager")
+	verbose := flag.Bool("v", false, "print each non-recovered trial")
+	flag.Parse()
+
+	if err := run(*trials, *seed, *service, *mode, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "swifi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(trials int, seed int64, service, mode string, verbose bool) error {
+	recMode := core.OnDemand
+	switch mode {
+	case "on-demand", "":
+	case "eager":
+		recMode = core.Eager
+	default:
+		return fmt.Errorf("unknown recovery mode %q", mode)
+	}
+	targets := swifi.Targets()
+	if service != "" {
+		if _, ok := swifi.Workloads()[service]; !ok {
+			return fmt.Errorf("unknown service %q", service)
+		}
+		targets = []string{service}
+	}
+	var results []*swifi.Result
+	for _, svc := range targets {
+		res, err := swifi.Run(swifi.Config{
+			Service:  svc,
+			Workload: swifi.Workloads()[svc],
+			Iters:    5,
+			Trials:   trials,
+			Seed:     seed,
+			Profile:  swifi.Profiles()[svc],
+			Mode:     recMode,
+		})
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	experiments.RenderTable2(os.Stdout, results)
+	if verbose {
+		for _, res := range results {
+			for i, tr := range res.Trials {
+				if tr.Outcome == swifi.OutcomeRecovered || tr.Outcome == swifi.OutcomeUndetected {
+					continue
+				}
+				fmt.Printf("%s trial %d: %s reg=%v bit=%d fn=%s: %s\n",
+					res.Service, i, tr.Outcome, tr.Injection.Reg, tr.Injection.Bit, tr.Injection.Fn, tr.Detail)
+			}
+		}
+	}
+	return nil
+}

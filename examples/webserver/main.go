@@ -1,0 +1,50 @@
+// Web server under periodic component crashes (the Fig. 7 scenario): the
+// componentized server keeps serving across a fault injected into a
+// rotating system service every 2000 completed requests. Throughput dips
+// during recovery but never drops to zero, and every request completes.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"superglue/internal/webserver"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "webserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const requests = 20000
+	fmt.Printf("serving %d requests through the componentized server, one component crash per 2000 completions\n\n", requests)
+	st, err := webserver.Run(webserver.Config{
+		Variant:    webserver.VariantSuperGlue,
+		Requests:   requests,
+		Workers:    2,
+		FaultEvery: 2000,
+		BucketSize: 1000,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("completed: %d  errors: %d  faults injected: %d\n", st.Completed, st.Errors, st.Faults)
+	fmt.Printf("throughput: %.0f requests/second\n\n", st.Throughput)
+	fmt.Println("completion timeline (watch for recovery dips):")
+	prev := webserver.BucketPoint{}
+	for _, pt := range st.Timeline {
+		dT := pt.Elapsed - prev.Elapsed
+		rate := 0.0
+		if dT > 0 {
+			rate = float64(pt.Completed-prev.Completed) / dT.Seconds()
+		}
+		fmt.Printf("  %6d requests @ %10v  (%8.0f req/s)\n", pt.Completed, pt.Elapsed.Round(1000), rate)
+		prev = pt
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module superglue
+
+go 1.22

@@ -1,0 +1,297 @@
+package c3
+
+import (
+	"bytes"
+	"testing"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+	"superglue/internal/services/event"
+	"superglue/internal/services/lock"
+	"superglue/internal/services/mm"
+	"superglue/internal/services/ramfs"
+	"superglue/internal/services/sched"
+	"superglue/internal/services/timer"
+)
+
+// rig assembles a full C³ system: all six servers plus a C³ client.
+type rig struct {
+	sys   *core.System
+	cl    *Client
+	lock  kernel.ComponentID
+	evt   kernel.ComponentID
+	sched kernel.ComponentID
+	timer kernel.ComponentID
+	mm    kernel.ComponentID
+	fs    kernel.ComponentID
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	r := &rig{sys: sys}
+	for _, reg := range []struct {
+		dst *kernel.ComponentID
+		fn  func(*core.System) (kernel.ComponentID, error)
+	}{
+		{&r.lock, lock.Register},
+		{&r.evt, event.Register},
+		{&r.sched, sched.Register},
+		{&r.timer, timer.Register},
+		{&r.mm, mm.Register},
+		{&r.fs, ramfs.Register},
+	} {
+		id, err := reg.fn(sys)
+		if err != nil {
+			t.Fatalf("registering server: %v", err)
+		}
+		*reg.dst = id
+	}
+	cl, err := NewClient(sys, "c3-app")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	r.cl = cl
+	return r
+}
+
+func (r *rig) run(t *testing.T, body func(th *kernel.Thread)) {
+	t.Helper()
+	if _, err := r.sys.Kernel().CreateThread(nil, "main", 10, body); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := r.sys.Kernel().Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestLockStubBasicAndRecovery(t *testing.T) {
+	r := newRig(t)
+	st := NewLockStub(r.cl, r.lock)
+	r.run(t, func(th *kernel.Thread) {
+		id, err := st.Alloc(th)
+		if err != nil {
+			t.Errorf("Alloc: %v", err)
+			return
+		}
+		if err := st.Take(th, id); err != nil {
+			t.Errorf("Take: %v", err)
+		}
+		if err := r.sys.Kernel().FailComponent(r.lock); err != nil {
+			t.Errorf("FailComponent: %v", err)
+		}
+		// Release after the fault: the hand-written stub must re-allocate
+		// and re-acquire on our behalf first.
+		if err := st.Release(th, id); err != nil {
+			t.Errorf("Release after fault: %v", err)
+		}
+		if err := st.Free(th, id); err != nil {
+			t.Errorf("Free: %v", err)
+		}
+		if st.Tracked() != 0 {
+			t.Errorf("tracked = %d; want 0", st.Tracked())
+		}
+		m := st.Metrics()
+		if m.Recoveries == 0 || m.WalkSteps == 0 {
+			t.Errorf("metrics = %+v; want recovery activity", m)
+		}
+	})
+}
+
+func TestEventStubGlobalRecovery(t *testing.T) {
+	r := newRig(t)
+	st, err := NewEventStub(r.cl, r.evt)
+	if err != nil {
+		t.Fatalf("NewEventStub: %v", err)
+	}
+	other, err := NewClient(r.sys, "c3-other")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	otherStub, err := NewEventStub(other, r.evt)
+	if err != nil {
+		t.Fatalf("NewEventStub(other): %v", err)
+	}
+	r.run(t, func(th *kernel.Thread) {
+		id, err := st.Split(th, 0, 0)
+		if err != nil {
+			t.Errorf("Split: %v", err)
+			return
+		}
+		if _, err := otherStub.Trigger(th, id); err != nil {
+			t.Errorf("Trigger pre-fault: %v", err)
+			return
+		}
+		if err := r.sys.Kernel().FailComponent(r.evt); err != nil {
+			t.Errorf("FailComponent: %v", err)
+		}
+		if _, err := r.sys.Kernel().Reboot(th, r.evt); err != nil {
+			t.Errorf("Reboot: %v", err)
+		}
+		// Trigger from the non-creator with a stale global ID: the shared
+		// server stub upcalls the creator's hand-written stub (G0).
+		if _, err := otherStub.Trigger(th, id); err != nil {
+			t.Errorf("Trigger post-fault: %v", err)
+		}
+		if _, err := st.Wait(th, id); err != nil {
+			t.Errorf("Wait (consuming recovered triggers): %v", err)
+		}
+		if err := st.Free(th, id); err != nil {
+			t.Errorf("Free: %v", err)
+		}
+	})
+}
+
+func TestSchedStubPingPongWithFault(t *testing.T) {
+	r := newRig(t)
+	st := NewSchedStub(r.cl, r.sched)
+	k := r.sys.Kernel()
+	var aID, bID kernel.ThreadID
+	var err error
+	rounds := 0
+	bID, err = k.CreateThread(nil, "pong", 10, func(th *kernel.Thread) {
+		if _, err := st.Setup(th, 10); err != nil {
+			t.Errorf("setup b: %v", err)
+			return
+		}
+		for i := 0; i < 4; i++ {
+			if err := st.Blk(th); err != nil {
+				t.Errorf("blk b: %v", err)
+				return
+			}
+			rounds++
+			if err := st.Wakeup(th, aID); err != nil {
+				t.Errorf("wakeup a: %v", err)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	aID, err = k.CreateThread(nil, "ping", 10, func(th *kernel.Thread) {
+		if _, err := st.Setup(th, 10); err != nil {
+			t.Errorf("setup a: %v", err)
+			return
+		}
+		for i := 0; i < 4; i++ {
+			if i == 2 {
+				if err := k.FailComponent(r.sched); err != nil {
+					t.Errorf("FailComponent: %v", err)
+				}
+			}
+			if err := st.Wakeup(th, bID); err != nil {
+				t.Errorf("wakeup b: %v", err)
+				return
+			}
+			if err := st.Blk(th); err != nil {
+				t.Errorf("blk a: %v", err)
+				return
+			}
+		}
+		if err := st.Wakeup(th, bID); err != nil {
+			t.Errorf("final wakeup: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rounds != 4 {
+		t.Fatalf("rounds = %d; want 4", rounds)
+	}
+}
+
+func TestTimerStubRecovery(t *testing.T) {
+	r := newRig(t)
+	st := NewTimerStub(r.cl, r.timer)
+	r.run(t, func(th *kernel.Thread) {
+		id, err := st.Alloc(th, 500)
+		if err != nil {
+			t.Errorf("Alloc: %v", err)
+			return
+		}
+		if _, err := st.Wait(th, id); err != nil {
+			t.Errorf("Wait: %v", err)
+			return
+		}
+		if err := r.sys.Kernel().FailComponent(r.timer); err != nil {
+			t.Errorf("FailComponent: %v", err)
+		}
+		if _, err := st.Wait(th, id); err != nil {
+			t.Errorf("Wait after fault: %v", err)
+		}
+		if err := st.Free(th, id); err != nil {
+			t.Errorf("Free: %v", err)
+		}
+	})
+}
+
+func TestMMStubSubtreeRecovery(t *testing.T) {
+	r := newRig(t)
+	st := NewMMStub(r.cl, r.mm)
+	peer, err := NewClient(r.sys, "c3-peer")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	r.run(t, func(th *kernel.Thread) {
+		if _, err := st.GetPage(th, 0x1000); err != nil {
+			t.Errorf("GetPage: %v", err)
+			return
+		}
+		if _, err := st.Alias(th, r.cl.ID(), 0x1000, peer.ID(), 0x2000); err != nil {
+			t.Errorf("Alias: %v", err)
+			return
+		}
+		if _, err := st.Alias(th, peer.ID(), 0x2000, r.cl.ID(), 0x3000); err != nil {
+			t.Errorf("Alias chain: %v", err)
+			return
+		}
+		if err := r.sys.Kernel().FailComponent(r.mm); err != nil {
+			t.Errorf("FailComponent: %v", err)
+		}
+		if err := st.Release(th, r.cl.ID(), 0x1000); err != nil {
+			t.Errorf("Release after fault: %v", err)
+			return
+		}
+		if st.Tracked() != 0 {
+			t.Errorf("tracked = %d; want 0 after recursive release", st.Tracked())
+		}
+	})
+}
+
+func TestFSStubContentAndOffsetRecovery(t *testing.T) {
+	r := newRig(t)
+	st := NewFSStub(r.cl, r.fs)
+	r.run(t, func(th *kernel.Thread) {
+		fd, err := st.Open(th, "/c3.dat")
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		if _, err := st.Write(th, fd, []byte("abcdef")); err != nil {
+			t.Errorf("Write: %v", err)
+			return
+		}
+		if _, err := st.Lseek(th, fd, 2); err != nil {
+			t.Errorf("Lseek: %v", err)
+			return
+		}
+		if err := r.sys.Kernel().FailComponent(r.fs); err != nil {
+			t.Errorf("FailComponent: %v", err)
+		}
+		got, err := st.Read(th, fd, 3)
+		if err != nil || !bytes.Equal(got, []byte("cde")) {
+			t.Errorf("Read after fault = (%q, %v); want cde", got, err)
+			return
+		}
+		if err := st.Close(th, fd); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+}

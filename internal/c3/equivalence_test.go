@@ -1,0 +1,187 @@
+package c3
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+	"superglue/internal/services/lock"
+)
+
+// lockDriver abstracts the two stub implementations for the equivalence
+// property test.
+type lockDriver interface {
+	alloc(t *kernel.Thread) (kernel.Word, error)
+	take(t *kernel.Thread, id kernel.Word) error
+	release(t *kernel.Thread, id kernel.Word) error
+	free(t *kernel.Thread, id kernel.Word) error
+}
+
+type c3Driver struct{ st *LockStub }
+
+func (d c3Driver) alloc(t *kernel.Thread) (kernel.Word, error)    { return d.st.Alloc(t) }
+func (d c3Driver) take(t *kernel.Thread, id kernel.Word) error    { return d.st.Take(t, id) }
+func (d c3Driver) release(t *kernel.Thread, id kernel.Word) error { return d.st.Release(t, id) }
+func (d c3Driver) free(t *kernel.Thread, id kernel.Word) error    { return d.st.Free(t, id) }
+
+type sgDriver struct{ c *lock.Client }
+
+func (d sgDriver) alloc(t *kernel.Thread) (kernel.Word, error)    { return d.c.Alloc(t) }
+func (d sgDriver) take(t *kernel.Thread, id kernel.Word) error    { return d.c.Take(t, id) }
+func (d sgDriver) release(t *kernel.Thread, id kernel.Word) error { return d.c.Release(t, id) }
+func (d sgDriver) free(t *kernel.Thread, id kernel.Word) error    { return d.c.Free(t, id) }
+
+// runProgram interprets a byte string as a structurally valid single-thread
+// lock program with interleaved fault injections, and returns an outcome
+// trace plus the surviving lock count. Opcodes (mod 6): 0 alloc, 1 take,
+// 2 release, 3 free, 4 fault, 5 no-op. Operand bytes select descriptors.
+func runProgram(t *testing.T, kind string, program []byte) (trace []string, live int, err error) {
+	t.Helper()
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		return nil, 0, err
+	}
+	comp, err := lock.Register(sys)
+	if err != nil {
+		return nil, 0, err
+	}
+	var drv lockDriver
+	switch kind {
+	case "c3":
+		cl, err := NewClient(sys, "eq-app")
+		if err != nil {
+			return nil, 0, err
+		}
+		drv = c3Driver{NewLockStub(cl, comp)}
+	case "sg":
+		cl, err := sys.NewClient("eq-app")
+		if err != nil {
+			return nil, 0, err
+		}
+		c, err := lock.NewClient(cl, comp)
+		if err != nil {
+			return nil, 0, err
+		}
+		drv = sgDriver{c}
+	default:
+		return nil, 0, fmt.Errorf("unknown kind %q", kind)
+	}
+
+	// Model state for structural validity.
+	type mLock struct {
+		id   kernel.Word
+		held bool
+	}
+	var locks []mLock
+	var runErr error
+	if _, cerr := sys.Kernel().CreateThread(nil, "prog", 10, func(th *kernel.Thread) {
+		for i := 0; i+1 < len(program); i += 2 {
+			op := program[i] % 6
+			sel := int(program[i+1])
+			switch op {
+			case 0: // alloc
+				if len(locks) >= 8 {
+					continue
+				}
+				id, err := drv.alloc(th)
+				if err != nil {
+					runErr = fmt.Errorf("alloc: %w", err)
+					return
+				}
+				locks = append(locks, mLock{id: id})
+				trace = append(trace, "alloc")
+			case 1: // take an unheld lock
+				if len(locks) == 0 {
+					continue
+				}
+				l := &locks[sel%len(locks)]
+				if l.held {
+					continue
+				}
+				if err := drv.take(th, l.id); err != nil {
+					runErr = fmt.Errorf("take: %w", err)
+					return
+				}
+				l.held = true
+				trace = append(trace, "take")
+			case 2: // release a held lock
+				if len(locks) == 0 {
+					continue
+				}
+				l := &locks[sel%len(locks)]
+				if !l.held {
+					continue
+				}
+				if err := drv.release(th, l.id); err != nil {
+					runErr = fmt.Errorf("release: %w", err)
+					return
+				}
+				l.held = false
+				trace = append(trace, "release")
+			case 3: // free an unheld lock
+				if len(locks) == 0 {
+					continue
+				}
+				idx := sel % len(locks)
+				if locks[idx].held {
+					continue
+				}
+				if err := drv.free(th, locks[idx].id); err != nil {
+					runErr = fmt.Errorf("free: %w", err)
+					return
+				}
+				locks = append(locks[:idx], locks[idx+1:]...)
+				trace = append(trace, "free")
+			case 4: // transient fault
+				if err := sys.Kernel().FailComponent(comp); err != nil {
+					runErr = err
+					return
+				}
+				trace = append(trace, "fault")
+			default: // no-op
+			}
+		}
+	}); cerr != nil {
+		return nil, 0, cerr
+	}
+	if rerr := sys.Kernel().Run(); rerr != nil {
+		return nil, 0, rerr
+	}
+	return trace, len(locks), runErr
+}
+
+// TestC3AndSuperGlueEquivalentUnderFaults runs random lock programs with
+// interleaved faults through both stub implementations and requires the
+// same visible behavior: identical operation traces (every operation
+// succeeds across recovery) and the same surviving descriptor count.
+func TestC3AndSuperGlueEquivalentUnderFaults(t *testing.T) {
+	prop := func(program []byte) bool {
+		if len(program) > 120 {
+			program = program[:120]
+		}
+		c3Trace, c3Live, c3Err := runProgram(t, "c3", program)
+		sgTrace, sgLive, sgErr := runProgram(t, "sg", program)
+		if (c3Err == nil) != (sgErr == nil) {
+			t.Logf("error divergence: c3=%v sg=%v", c3Err, sgErr)
+			return false
+		}
+		if c3Err != nil {
+			t.Logf("both failed: c3=%v sg=%v", c3Err, sgErr)
+			return false // faults must always be recoverable here
+		}
+		if c3Live != sgLive {
+			t.Logf("live divergence: c3=%d sg=%d", c3Live, sgLive)
+			return false
+		}
+		if fmt.Sprint(c3Trace) != fmt.Sprint(sgTrace) {
+			t.Logf("trace divergence:\n c3: %v\n sg: %v", c3Trace, sgTrace)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

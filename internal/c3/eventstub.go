@@ -1,0 +1,246 @@
+package c3
+
+import (
+	"fmt"
+
+	"superglue/internal/kernel"
+	"superglue/internal/services/event"
+	"superglue/internal/storage"
+)
+
+// evtTrack is the hand-written tracking structure for one event descriptor.
+type evtTrack struct {
+	clientID kernel.Word
+	serverID kernel.Word
+	compid   kernel.Word
+	parent   kernel.Word // client-visible parent event id, 0 for roots
+	grp      kernel.Word
+	epoch    uint64
+}
+
+// EventStub is the hand-written C³ client stub for the event component.
+// Unlike under SuperGlue — which generates the storage-component
+// interactions from `desc_is_global = true` — every storage call here is
+// explicit (§III-C G0: "In C³, explicit code to interact with storage
+// components was required").
+type EventStub struct {
+	cl      *Client
+	k       *kernel.Kernel
+	server  kernel.ComponentID
+	class   storage.Class
+	descs   map[kernel.Word]*evtTrack
+	metrics Metrics
+}
+
+// NewEventStub installs a hand-written event stub into a C³ client.
+func NewEventStub(cl *Client, server kernel.ComponentID) (*EventStub, error) {
+	class, ok := cl.sys.Class(server)
+	if !ok {
+		return nil, fmt.Errorf("c3 event: component %d has no storage class", server)
+	}
+	s := &EventStub{
+		cl:     cl,
+		k:      cl.sys.Kernel(),
+		server: server,
+		class:  class,
+		descs:  make(map[kernel.Word]*evtTrack),
+	}
+	cl.recoverers[server] = s
+	return s, nil
+}
+
+// Metrics returns the stub's counters.
+func (s *EventStub) Metrics() Metrics { return s.metrics }
+
+// Split creates an event, registering its creator with the storage
+// component by hand.
+func (s *EventStub) Split(t *kernel.Thread, parent, grp kernel.Word) (kernel.Word, error) {
+	compid := kernel.Word(s.cl.comp)
+	for attempt := 0; ; attempt++ {
+		sparent := parent
+		if parent > 0 {
+			if pd, ok := s.descs[parent]; ok {
+				if err := s.recover(t, pd); err != nil {
+					return 0, err
+				}
+				sparent = pd.serverID
+			}
+		}
+		s.metrics.Invocations++
+		id, err := s.k.Invoke(t, s.server, event.FnSplit, compid, sparent, grp)
+		if err == nil {
+			s.metrics.TrackOps++
+			s.descs[id] = &evtTrack{
+				clientID: id, serverID: id,
+				compid: compid, parent: parent, grp: grp,
+				epoch: epochOf(s.k, s.server),
+			}
+			// Explicit storage-component interaction: record the creator.
+			if _, serr := s.k.Invoke(t, s.cl.sys.StorageComp(), storage.FnRecordCreator,
+				kernel.Word(s.class), id, compid, compid, sparent, grp); serr != nil {
+				return 0, fmt.Errorf("c3 event: recording creator: %w", serr)
+			}
+			return id, nil
+		}
+		f, ok := kernel.AsFault(err)
+		if !ok || f.Comp != s.server || attempt >= maxRedo {
+			return 0, err
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return 0, uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// Wait blocks on the event.
+func (s *EventStub) Wait(t *kernel.Thread, id kernel.Word) (kernel.Word, error) {
+	return s.call(t, event.FnWait, id)
+}
+
+// Trigger fires the event.
+func (s *EventStub) Trigger(t *kernel.Thread, id kernel.Word) (kernel.Word, error) {
+	return s.call(t, event.FnTrigger, id)
+}
+
+// Free destroys the event and removes its storage record by hand.
+func (s *EventStub) Free(t *kernel.Thread, id kernel.Word) error {
+	ret, err := s.call(t, event.FnFree, id)
+	_ = ret
+	if err != nil {
+		return err
+	}
+	if d, ok := s.descs[id]; ok {
+		if _, serr := s.k.Invoke(t, s.cl.sys.StorageComp(), storage.FnRemoveCreator,
+			kernel.Word(s.class), d.serverID); serr != nil {
+			return fmt.Errorf("c3 event: removing creator record: %w", serr)
+		}
+		delete(s.descs, id)
+	}
+	return nil
+}
+
+// call is the shared hand-written redo loop for wait/trigger/free.
+func (s *EventStub) call(t *kernel.Thread, fn string, id kernel.Word) (kernel.Word, error) {
+	d := s.descs[id] // may be nil: global descriptor created elsewhere
+	compid := kernel.Word(s.cl.comp)
+	for attempt := 0; ; attempt++ {
+		sid := id
+		if d != nil {
+			if err := s.recover(t, d); err != nil {
+				return 0, err
+			}
+			sid = d.serverID
+		} else {
+			// Hand-written global-ID resolution through the storage
+			// component (SuperGlue generates this).
+			resolved, err := s.k.Invoke(t, s.cl.sys.StorageComp(), storage.FnResolve,
+				kernel.Word(s.class), id)
+			if err != nil {
+				return 0, err
+			}
+			sid = resolved
+		}
+		s.metrics.Invocations++
+		ret, err := s.k.Invoke(t, s.server, fn, compid, sid)
+		if err == nil {
+			s.metrics.TrackOps++
+			return ret, nil
+		}
+		f, ok := kernel.AsFault(err)
+		if !ok || f.Comp != s.server {
+			return ret, err
+		}
+		if attempt >= maxRedo {
+			return 0, fmt.Errorf("c3 event: %s: retries exhausted: %w", fn, err)
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return 0, uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// recover recreates one event descriptor after a µ-reboot: parent first,
+// then a hand-rolled split replay, then the explicit storage remap.
+func (s *EventStub) recover(t *kernel.Thread, d *evtTrack) error {
+	cur := epochOf(s.k, s.server)
+	if d.epoch == cur {
+		return nil
+	}
+	s.metrics.Recoveries++
+	// Non-preemptible walk: no other thread may observe a half-recovered
+	// descriptor (hand-written equivalent of the runtime's critical section).
+	s.k.PushNoPreempt(t)
+	defer s.k.PopNoPreempt(t)
+	sparent := kernel.Word(0)
+	if d.parent > 0 {
+		if pd, ok := s.descs[d.parent]; ok {
+			if err := s.recover(t, pd); err != nil {
+				return fmt.Errorf("c3 event: recovering parent %d: %w", d.parent, err)
+			}
+			sparent = pd.serverID
+		}
+	}
+	old := d.serverID
+	for attempt := 0; ; attempt++ {
+		id, err := s.k.Invoke(t, s.server, event.FnSplit, d.compid, sparent, d.grp)
+		if err == nil {
+			d.serverID = id
+			s.metrics.WalkSteps++
+			break
+		}
+		f, ok := kernel.AsFault(err)
+		if !ok || f.Comp != s.server || attempt >= maxRedo {
+			return fmt.Errorf("c3 event: recovery split: %w", err)
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return uerr
+		}
+	}
+	// Re-read the epoch: a second fault during the walk advances it.
+	cur = epochOf(s.k, s.server)
+	// Explicit remap so other components' stale IDs resolve here.
+	if old != d.serverID {
+		if _, err := s.k.Invoke(t, s.cl.sys.StorageComp(), storage.FnRemap,
+			kernel.Word(s.class), old, d.serverID); err != nil {
+			return fmt.Errorf("c3 event: remapping %d→%d: %w", old, d.serverID, err)
+		}
+	}
+	d.epoch = cur
+	return nil
+}
+
+// recoverByKey implements upcallRecoverer.
+func (s *EventStub) recoverByKey(t *kernel.Thread, ns, id kernel.Word) (kernel.Word, error) {
+	d, ok := s.descs[id]
+	if !ok {
+		return 0, fmt.Errorf("c3 event: unknown descriptor %d", id)
+	}
+	if err := s.recover(t, d); err != nil {
+		return 0, err
+	}
+	return d.serverID, nil
+}
+
+// recreateByServerID implements upcallRecoverer: the server-side stub found
+// a stale global ID and upcalled us, the recorded creator.
+func (s *EventStub) recreateByServerID(t *kernel.Thread, stale kernel.Word) (kernel.Word, error) {
+	for _, d := range s.descs {
+		if d.serverID == stale {
+			if err := s.recover(t, d); err != nil {
+				return 0, err
+			}
+			return d.serverID, nil
+		}
+	}
+	// Possibly already remapped by our own recovery.
+	now, err := s.k.Invoke(t, s.cl.sys.StorageComp(), storage.FnResolve, kernel.Word(s.class), stale)
+	if err != nil {
+		return 0, err
+	}
+	if now != stale {
+		return now, nil
+	}
+	return 0, fmt.Errorf("c3 event: no descriptor with server id %d", stale)
+}

@@ -1,0 +1,325 @@
+package c3
+
+import (
+	"fmt"
+
+	"superglue/internal/cbuf"
+	"superglue/internal/kernel"
+	"superglue/internal/services/ramfs"
+)
+
+// fsTrack is the hand-written tracking structure for one file descriptor:
+// the path (as a retained buffer reference) and the offset, updated by hand
+// from every read/write return value (§II-C's description of the C³ FS
+// stub).
+type fsTrack struct {
+	clientFD kernel.Word
+	serverFD kernel.Word
+	compid   kernel.Word
+	pathBuf  kernel.Word
+	pathLen  kernel.Word
+	offset   kernel.Word
+	epoch    uint64
+}
+
+// FSStub is the hand-written C³ client stub for the RAM filesystem — the
+// paper's example of stub-code bloat ("more than 398 lines of code" for a
+// ~500-line component).
+type FSStub struct {
+	cl       *Client
+	k        *kernel.Kernel
+	cm       *cbuf.Manager
+	server   kernel.ComponentID
+	descs    map[kernel.Word]*fsTrack
+	pathBufs map[string]cbuf.ID
+	metrics  Metrics
+	// readBuf is the reusable, server-delegated result buffer.
+	readBuf     cbuf.ID
+	readBufSize int
+}
+
+// NewFSStub installs a hand-written filesystem stub into a C³ client.
+func NewFSStub(cl *Client, server kernel.ComponentID) *FSStub {
+	s := &FSStub{
+		cl:       cl,
+		k:        cl.sys.Kernel(),
+		cm:       cl.sys.Cbufs(),
+		server:   server,
+		descs:    make(map[kernel.Word]*fsTrack),
+		pathBufs: make(map[string]cbuf.ID),
+	}
+	cl.recoverers[server] = s
+	return s
+}
+
+// Metrics returns the stub's counters.
+func (s *FSStub) Metrics() Metrics { return s.metrics }
+
+// Open opens (creating if necessary) the file at path.
+func (s *FSStub) Open(t *kernel.Thread, path string) (kernel.Word, error) {
+	buf, ok := s.pathBufs[path]
+	if !ok {
+		var err error
+		buf, err = s.cm.Alloc(cbuf.ComponentID(s.cl.comp), len(path))
+		if err != nil {
+			return 0, fmt.Errorf("c3 fs: allocating path buffer: %w", err)
+		}
+		if err := s.cm.Write(buf, cbuf.ComponentID(s.cl.comp), 0, []byte(path)); err != nil {
+			return 0, fmt.Errorf("c3 fs: writing path buffer: %w", err)
+		}
+		if err := s.cm.Map(buf, cbuf.ComponentID(s.server)); err != nil {
+			return 0, fmt.Errorf("c3 fs: mapping path buffer: %w", err)
+		}
+		s.pathBufs[path] = buf
+	}
+	compid := kernel.Word(s.cl.comp)
+	for attempt := 0; ; attempt++ {
+		s.metrics.Invocations++
+		fd, err := s.k.Invoke(t, s.server, ramfs.FnOpen, compid, kernel.Word(buf), kernel.Word(len(path)))
+		if err == nil {
+			s.metrics.TrackOps++
+			s.descs[fd] = &fsTrack{
+				clientFD: fd, serverFD: fd,
+				compid: compid, pathBuf: kernel.Word(buf), pathLen: kernel.Word(len(path)),
+				epoch: epochOf(s.k, s.server),
+			}
+			return fd, nil
+		}
+		f, isFault := kernel.AsFault(err)
+		if !isFault || f.Comp != s.server || attempt >= maxRedo {
+			return 0, err
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return 0, uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// Write writes data at the descriptor's offset; the offset is tracked by
+// hand from the return value.
+func (s *FSStub) Write(t *kernel.Thread, fd kernel.Word, data []byte) (int, error) {
+	d, ok := s.descs[fd]
+	if !ok {
+		return 0, fmt.Errorf("c3 fs: unknown fd %d", fd)
+	}
+	if len(data) == 0 {
+		return 0, nil
+	}
+	buf, err := s.cm.Alloc(cbuf.ComponentID(s.cl.comp), len(data))
+	if err != nil {
+		return 0, fmt.Errorf("c3 fs: allocating data buffer: %w", err)
+	}
+	if err := s.cm.Write(buf, cbuf.ComponentID(s.cl.comp), 0, data); err != nil {
+		return 0, fmt.Errorf("c3 fs: filling data buffer: %w", err)
+	}
+	if err := s.cm.Map(buf, cbuf.ComponentID(s.server)); err != nil {
+		return 0, fmt.Errorf("c3 fs: mapping data buffer: %w", err)
+	}
+	for attempt := 0; ; attempt++ {
+		if err := s.recover(t, d); err != nil {
+			return 0, err
+		}
+		s.metrics.Invocations++
+		n, err := s.k.Invoke(t, s.server, ramfs.FnWrite,
+			kernel.Word(s.cl.comp), d.serverFD, kernel.Word(buf), kernel.Word(len(data)))
+		if err == nil {
+			s.metrics.TrackOps++
+			d.offset += n
+			return int(n), nil
+		}
+		f, isFault := kernel.AsFault(err)
+		if !isFault || f.Comp != s.server {
+			return 0, err
+		}
+		if attempt >= maxRedo {
+			return 0, fmt.Errorf("c3 fs: write: retries exhausted: %w", err)
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return 0, uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// Read reads up to n bytes from the descriptor's offset.
+func (s *FSStub) Read(t *kernel.Thread, fd kernel.Word, n int) ([]byte, error) {
+	d, ok := s.descs[fd]
+	if !ok {
+		return nil, fmt.Errorf("c3 fs: unknown fd %d", fd)
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	if n > s.readBufSize {
+		if s.readBufSize > 0 {
+			if err := s.cm.Free(s.readBuf, cbuf.ComponentID(s.cl.comp)); err != nil {
+				return nil, fmt.Errorf("c3 fs: releasing read buffer: %w", err)
+			}
+		}
+		nb, err := s.cm.Alloc(cbuf.ComponentID(s.cl.comp), n)
+		if err != nil {
+			return nil, fmt.Errorf("c3 fs: allocating read buffer: %w", err)
+		}
+		if err := s.cm.Delegate(nb, cbuf.ComponentID(s.cl.comp), cbuf.ComponentID(s.server)); err != nil {
+			return nil, fmt.Errorf("c3 fs: delegating read buffer: %w", err)
+		}
+		s.readBuf, s.readBufSize = nb, n
+	}
+	buf := s.readBuf
+	for attempt := 0; ; attempt++ {
+		if err := s.recover(t, d); err != nil {
+			return nil, err
+		}
+		s.metrics.Invocations++
+		got, err := s.k.Invoke(t, s.server, ramfs.FnRead,
+			kernel.Word(s.cl.comp), d.serverFD, kernel.Word(buf), kernel.Word(n))
+		if err == nil {
+			s.metrics.TrackOps++
+			d.offset += got
+			return s.cm.Read(buf, cbuf.ComponentID(s.cl.comp), 0, int(got))
+		}
+		f, isFault := kernel.AsFault(err)
+		if !isFault || f.Comp != s.server {
+			return nil, err
+		}
+		if attempt >= maxRedo {
+			return nil, fmt.Errorf("c3 fs: read: retries exhausted: %w", err)
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return nil, uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// Lseek sets the descriptor's absolute offset.
+func (s *FSStub) Lseek(t *kernel.Thread, fd kernel.Word, offset int) (int, error) {
+	d, ok := s.descs[fd]
+	if !ok {
+		return 0, fmt.Errorf("c3 fs: unknown fd %d", fd)
+	}
+	for attempt := 0; ; attempt++ {
+		if err := s.recover(t, d); err != nil {
+			return 0, err
+		}
+		s.metrics.Invocations++
+		v, err := s.k.Invoke(t, s.server, ramfs.FnLseek, d.serverFD, kernel.Word(offset))
+		if err == nil {
+			s.metrics.TrackOps++
+			d.offset = v
+			return int(v), nil
+		}
+		f, isFault := kernel.AsFault(err)
+		if !isFault || f.Comp != s.server {
+			return 0, err
+		}
+		if attempt >= maxRedo {
+			return 0, fmt.Errorf("c3 fs: lseek: retries exhausted: %w", err)
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return 0, uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// Close closes the descriptor and drops its tracking data.
+func (s *FSStub) Close(t *kernel.Thread, fd kernel.Word) error {
+	d, ok := s.descs[fd]
+	if !ok {
+		return fmt.Errorf("c3 fs: unknown fd %d", fd)
+	}
+	for attempt := 0; ; attempt++ {
+		if err := s.recover(t, d); err != nil {
+			return err
+		}
+		s.metrics.Invocations++
+		_, err := s.k.Invoke(t, s.server, ramfs.FnClose, kernel.Word(s.cl.comp), d.serverFD)
+		if err == nil {
+			s.metrics.TrackOps++
+			delete(s.descs, fd)
+			return nil
+		}
+		f, isFault := kernel.AsFault(err)
+		if !isFault || f.Comp != s.server {
+			return err
+		}
+		if attempt >= maxRedo {
+			return fmt.Errorf("c3 fs: close: retries exhausted: %w", err)
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// recover re-opens a file descriptor after a µ-reboot: replay fs_open with
+// the retained path buffer (file contents come back via the storage
+// component inside the server, G1), then restore the offset with fs_lseek —
+// the hand-written "open and lseek" of §II-C.
+func (s *FSStub) recover(t *kernel.Thread, d *fsTrack) error {
+	if d.epoch == epochOf(s.k, s.server) {
+		return nil
+	}
+	s.metrics.Recoveries++
+	// Non-preemptible walk: no other thread may observe a half-recovered
+	// descriptor (hand-written equivalent of the runtime's critical section).
+	s.k.PushNoPreempt(t)
+	defer s.k.PopNoPreempt(t)
+	for attempt := 0; ; attempt++ {
+		fd, err := s.k.Invoke(t, s.server, ramfs.FnOpen, d.compid, d.pathBuf, d.pathLen)
+		if err != nil {
+			f, ok := kernel.AsFault(err)
+			if !ok || f.Comp != s.server || attempt >= maxRedo {
+				return fmt.Errorf("c3 fs: recovery open: %w", err)
+			}
+			if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+				return uerr
+			}
+			continue
+		}
+		d.serverFD = fd
+		s.metrics.WalkSteps++
+		if _, err := s.k.Invoke(t, s.server, ramfs.FnLseek, d.serverFD, d.offset); err != nil {
+			f, ok := kernel.AsFault(err)
+			if !ok || f.Comp != s.server || attempt >= maxRedo {
+				return fmt.Errorf("c3 fs: recovery lseek: %w", err)
+			}
+			if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+				return uerr
+			}
+			continue
+		}
+		s.metrics.WalkSteps++
+		// Re-read: a mid-walk fault advances the epoch past cur.
+		d.epoch = epochOf(s.k, s.server)
+		return nil
+	}
+}
+
+// recoverByKey implements upcallRecoverer.
+func (s *FSStub) recoverByKey(t *kernel.Thread, ns, id kernel.Word) (kernel.Word, error) {
+	d, ok := s.descs[id]
+	if !ok {
+		return 0, fmt.Errorf("c3 fs: unknown fd %d", id)
+	}
+	if err := s.recover(t, d); err != nil {
+		return 0, err
+	}
+	return d.serverFD, nil
+}
+
+// recreateByServerID implements upcallRecoverer.
+func (s *FSStub) recreateByServerID(t *kernel.Thread, stale kernel.Word) (kernel.Word, error) {
+	for _, d := range s.descs {
+		if d.serverFD == stale {
+			if err := s.recover(t, d); err != nil {
+				return 0, err
+			}
+			return d.serverFD, nil
+		}
+	}
+	return 0, fmt.Errorf("c3 fs: no descriptor with server fd %d", stale)
+}

@@ -1,0 +1,237 @@
+package c3
+
+import (
+	"fmt"
+
+	"superglue/internal/kernel"
+	"superglue/internal/services/mm"
+)
+
+// mmKey identifies a mapping descriptor: vaddr within a protection domain.
+type mmKey struct {
+	spd   kernel.Word
+	vaddr kernel.Word
+}
+
+// mmTrack is the hand-written tracking structure for one mapping.
+type mmTrack struct {
+	key      mmKey
+	isRoot   bool
+	flags    kernel.Word
+	parent   *mmTrack
+	children []*mmTrack
+	epoch    uint64
+}
+
+// MMStub is the hand-written C³ client stub for the memory manager: it
+// hand-rolls the dependency-tree bookkeeping (parents recovered first,
+// children rebuilt before a recursive revocation) that SuperGlue derives
+// from `desc_has_parent = xcparent` and `desc_close_children = true`.
+type MMStub struct {
+	cl      *Client
+	k       *kernel.Kernel
+	server  kernel.ComponentID
+	descs   map[mmKey]*mmTrack
+	metrics Metrics
+}
+
+// NewMMStub installs a hand-written MM stub into a C³ client.
+func NewMMStub(cl *Client, server kernel.ComponentID) *MMStub {
+	s := &MMStub{
+		cl:     cl,
+		k:      cl.sys.Kernel(),
+		server: server,
+		descs:  make(map[mmKey]*mmTrack),
+	}
+	cl.recoverers[server] = s
+	return s
+}
+
+// Metrics returns the stub's counters.
+func (s *MMStub) Metrics() Metrics { return s.metrics }
+
+// Tracked returns the number of tracked mappings.
+func (s *MMStub) Tracked() int { return len(s.descs) }
+
+// GetPage creates a root mapping in the calling component.
+func (s *MMStub) GetPage(t *kernel.Thread, vaddr kernel.Word) (kernel.Word, error) {
+	key := mmKey{kernel.Word(s.cl.comp), vaddr}
+	for attempt := 0; ; attempt++ {
+		s.metrics.Invocations++
+		ret, err := s.k.Invoke(t, s.server, mm.FnGetPage, key.spd, key.vaddr, 0)
+		if err == nil {
+			s.metrics.TrackOps++
+			s.descs[key] = &mmTrack{key: key, isRoot: true, epoch: epochOf(s.k, s.server)}
+			return ret, nil
+		}
+		f, ok := kernel.AsFault(err)
+		if !ok || f.Comp != s.server || attempt >= maxRedo {
+			return 0, err
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return 0, uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// Alias aliases mapping (srcSpd, srcVaddr) into (dstSpd, dstVaddr).
+func (s *MMStub) Alias(t *kernel.Thread, srcSpd kernel.ComponentID, srcVaddr kernel.Word, dstSpd kernel.ComponentID, dstVaddr kernel.Word) (kernel.Word, error) {
+	src := mmKey{kernel.Word(srcSpd), srcVaddr}
+	dst := mmKey{kernel.Word(dstSpd), dstVaddr}
+	parent, tracked := s.descs[src]
+	for attempt := 0; ; attempt++ {
+		if tracked {
+			if err := s.recover(t, parent); err != nil {
+				return 0, err
+			}
+		}
+		s.metrics.Invocations++
+		ret, err := s.k.Invoke(t, s.server, mm.FnAliasPage, src.spd, src.vaddr, dst.spd, dst.vaddr)
+		if err == nil {
+			s.metrics.TrackOps++
+			d := &mmTrack{key: dst, epoch: epochOf(s.k, s.server)}
+			if tracked {
+				d.parent = parent
+				parent.children = append(parent.children, d)
+			}
+			s.descs[dst] = d
+			return ret, nil
+		}
+		f, ok := kernel.AsFault(err)
+		if !ok || f.Comp != s.server || attempt >= maxRedo {
+			return 0, err
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return 0, uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// Release revokes mapping (spd, vaddr) and its subtree.
+func (s *MMStub) Release(t *kernel.Thread, spd kernel.ComponentID, vaddr kernel.Word) error {
+	key := mmKey{kernel.Word(spd), vaddr}
+	d, ok := s.descs[key]
+	if !ok {
+		return fmt.Errorf("c3 mm: unknown mapping %v", key)
+	}
+	for attempt := 0; ; attempt++ {
+		// Hand-rolled D0: rebuild the whole subtree before the recursive
+		// revocation so the server can revoke every alias.
+		if err := s.recoverSubtree(t, d); err != nil {
+			return err
+		}
+		s.metrics.Invocations++
+		_, err := s.k.Invoke(t, s.server, mm.FnReleasePage, key.spd, key.vaddr)
+		if err == nil {
+			s.metrics.TrackOps++
+			s.dropSubtree(d)
+			if d.parent != nil {
+				d.parent.removeChild(d)
+			}
+			return nil
+		}
+		f, isFault := kernel.AsFault(err)
+		if !isFault || f.Comp != s.server {
+			return err
+		}
+		if attempt >= maxRedo {
+			return fmt.Errorf("c3 mm: release: retries exhausted: %w", err)
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// recover rebuilds one mapping, parents first (hand-rolled D1).
+func (s *MMStub) recover(t *kernel.Thread, d *mmTrack) error {
+	if d.epoch == epochOf(s.k, s.server) {
+		return nil
+	}
+	s.metrics.Recoveries++
+	// Non-preemptible walk: no other thread may observe a half-recovered
+	// descriptor (hand-written equivalent of the runtime's critical section).
+	s.k.PushNoPreempt(t)
+	defer s.k.PopNoPreempt(t)
+	if d.parent != nil {
+		if err := s.recover(t, d.parent); err != nil {
+			return err
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		var err error
+		if d.isRoot {
+			_, err = s.k.Invoke(t, s.server, mm.FnGetPage, d.key.spd, d.key.vaddr, d.flags)
+		} else if d.parent != nil {
+			_, err = s.k.Invoke(t, s.server, mm.FnAliasPage,
+				d.parent.key.spd, d.parent.key.vaddr, d.key.spd, d.key.vaddr)
+		} else {
+			return fmt.Errorf("c3 mm: alias %v lost its parent", d.key)
+		}
+		if err == nil {
+			s.metrics.WalkSteps++
+			// Re-read: a mid-walk fault advances the epoch past cur.
+			d.epoch = epochOf(s.k, s.server)
+			return nil
+		}
+		f, ok := kernel.AsFault(err)
+		if !ok || f.Comp != s.server || attempt >= maxRedo {
+			return fmt.Errorf("c3 mm: recovering %v: %w", d.key, err)
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return uerr
+		}
+	}
+}
+
+// recoverSubtree rebuilds d and every descendant.
+func (s *MMStub) recoverSubtree(t *kernel.Thread, d *mmTrack) error {
+	if err := s.recover(t, d); err != nil {
+		return err
+	}
+	for _, c := range d.children {
+		if err := s.recoverSubtree(t, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dropSubtree forgets d's descendants and d itself.
+func (s *MMStub) dropSubtree(d *mmTrack) {
+	for _, c := range d.children {
+		s.dropSubtree(c)
+	}
+	d.children = nil
+	delete(s.descs, d.key)
+}
+
+func (d *mmTrack) removeChild(c *mmTrack) {
+	for i, got := range d.children {
+		if got == c {
+			d.children = append(d.children[:i], d.children[i+1:]...)
+			return
+		}
+	}
+}
+
+// recoverByKey implements upcallRecoverer.
+func (s *MMStub) recoverByKey(t *kernel.Thread, ns, id kernel.Word) (kernel.Word, error) {
+	d, ok := s.descs[mmKey{ns, id}]
+	if !ok {
+		return 0, fmt.Errorf("c3 mm: unknown mapping %d@%d", id, ns)
+	}
+	if err := s.recover(t, d); err != nil {
+		return 0, err
+	}
+	return d.key.vaddr, nil
+}
+
+// recreateByServerID implements upcallRecoverer; MM descriptors are
+// client-chosen, so stale-ID recreation is never exercised.
+func (s *MMStub) recreateByServerID(t *kernel.Thread, stale kernel.Word) (kernel.Word, error) {
+	return 0, fmt.Errorf("c3 mm: descriptors are client-addressed; no server id %d", stale)
+}

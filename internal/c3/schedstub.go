@@ -1,0 +1,164 @@
+package c3
+
+import (
+	"fmt"
+
+	"superglue/internal/kernel"
+	"superglue/internal/services/sched"
+)
+
+// schedTrack is the hand-written tracking structure for one thread
+// descriptor in the scheduler interface.
+type schedTrack struct {
+	tid    kernel.Word
+	compid kernel.Word
+	prio   kernel.Word
+	epoch  uint64
+}
+
+// SchedStub is the hand-written C³ client stub for the scheduler.
+type SchedStub struct {
+	cl      *Client
+	k       *kernel.Kernel
+	server  kernel.ComponentID
+	descs   map[kernel.Word]*schedTrack
+	metrics Metrics
+}
+
+// NewSchedStub installs a hand-written scheduler stub into a C³ client.
+func NewSchedStub(cl *Client, server kernel.ComponentID) *SchedStub {
+	s := &SchedStub{
+		cl:     cl,
+		k:      cl.sys.Kernel(),
+		server: server,
+		descs:  make(map[kernel.Word]*schedTrack),
+	}
+	cl.recoverers[server] = s
+	return s
+}
+
+// Metrics returns the stub's counters.
+func (s *SchedStub) Metrics() Metrics { return s.metrics }
+
+// Setup registers the calling thread with the scheduler.
+func (s *SchedStub) Setup(t *kernel.Thread, prio int) (kernel.Word, error) {
+	compid := kernel.Word(s.cl.comp)
+	tid := kernel.Word(t.ID())
+	for attempt := 0; ; attempt++ {
+		s.metrics.Invocations++
+		id, err := s.k.Invoke(t, s.server, sched.FnSetup, compid, tid, kernel.Word(prio))
+		if err == nil {
+			s.metrics.TrackOps++
+			s.descs[tid] = &schedTrack{
+				tid: tid, compid: compid, prio: kernel.Word(prio),
+				epoch: epochOf(s.k, s.server),
+			}
+			return id, nil
+		}
+		f, ok := kernel.AsFault(err)
+		if !ok || f.Comp != s.server || attempt >= maxRedo {
+			return 0, err
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return 0, uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// Blk blocks the calling thread.
+func (s *SchedStub) Blk(t *kernel.Thread) error {
+	_, err := s.call(t, sched.FnBlk, kernel.Word(t.ID()))
+	return err
+}
+
+// Wakeup unblocks thread tid.
+func (s *SchedStub) Wakeup(t *kernel.Thread, tid kernel.ThreadID) error {
+	_, err := s.call(t, sched.FnWakeup, kernel.Word(tid))
+	return err
+}
+
+// Remove deregisters thread tid.
+func (s *SchedStub) Remove(t *kernel.Thread, tid kernel.ThreadID) error {
+	_, err := s.call(t, sched.FnRemove, kernel.Word(tid))
+	if err == nil {
+		delete(s.descs, kernel.Word(tid))
+	}
+	return err
+}
+
+// call is the hand-written redo loop shared by blk/wakeup/remove.
+func (s *SchedStub) call(t *kernel.Thread, fn string, tid kernel.Word) (kernel.Word, error) {
+	d, ok := s.descs[tid]
+	if !ok {
+		return 0, fmt.Errorf("c3 sched: unknown thread descriptor %d", tid)
+	}
+	for attempt := 0; ; attempt++ {
+		if err := s.recover(t, d); err != nil {
+			return 0, err
+		}
+		s.metrics.Invocations++
+		ret, err := s.k.Invoke(t, s.server, fn, kernel.Word(s.cl.comp), tid)
+		if err == nil {
+			s.metrics.TrackOps++
+			return ret, nil
+		}
+		f, isFault := kernel.AsFault(err)
+		if !isFault || f.Comp != s.server {
+			return ret, err
+		}
+		if attempt >= maxRedo {
+			return 0, fmt.Errorf("c3 sched: %s: retries exhausted: %w", fn, err)
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return 0, uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// recover re-registers a thread descriptor after a µ-reboot (the scheduler
+// itself rebuilds run-queue state by reflecting on kernel threads).
+func (s *SchedStub) recover(t *kernel.Thread, d *schedTrack) error {
+	if d.epoch == epochOf(s.k, s.server) {
+		return nil
+	}
+	s.metrics.Recoveries++
+	// Non-preemptible walk: no other thread may observe a half-recovered
+	// descriptor (hand-written equivalent of the runtime's critical section).
+	s.k.PushNoPreempt(t)
+	defer s.k.PopNoPreempt(t)
+	for attempt := 0; ; attempt++ {
+		_, err := s.k.Invoke(t, s.server, sched.FnSetup, d.compid, d.tid, d.prio)
+		if err == nil {
+			s.metrics.WalkSteps++
+			// Re-read: a mid-walk fault advances the epoch past cur.
+			d.epoch = epochOf(s.k, s.server)
+			return nil
+		}
+		f, ok := kernel.AsFault(err)
+		if !ok || f.Comp != s.server || attempt >= maxRedo {
+			return fmt.Errorf("c3 sched: recovery setup: %w", err)
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return uerr
+		}
+	}
+}
+
+// recoverByKey implements upcallRecoverer.
+func (s *SchedStub) recoverByKey(t *kernel.Thread, ns, id kernel.Word) (kernel.Word, error) {
+	d, ok := s.descs[id]
+	if !ok {
+		return 0, fmt.Errorf("c3 sched: unknown thread descriptor %d", id)
+	}
+	if err := s.recover(t, d); err != nil {
+		return 0, err
+	}
+	return d.tid, nil
+}
+
+// recreateByServerID implements upcallRecoverer.
+func (s *SchedStub) recreateByServerID(t *kernel.Thread, stale kernel.Word) (kernel.Word, error) {
+	return s.recoverByKey(t, 0, stale)
+}

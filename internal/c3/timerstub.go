@@ -1,0 +1,166 @@
+package c3
+
+import (
+	"fmt"
+
+	"superglue/internal/kernel"
+	"superglue/internal/services/timer"
+)
+
+// timerTrack is the hand-written tracking structure for one timer.
+type timerTrack struct {
+	clientID kernel.Word
+	serverID kernel.Word
+	compid   kernel.Word
+	period   kernel.Word
+	epoch    uint64
+}
+
+// TimerStub is the hand-written C³ client stub for the timer manager.
+type TimerStub struct {
+	cl      *Client
+	k       *kernel.Kernel
+	server  kernel.ComponentID
+	descs   map[kernel.Word]*timerTrack
+	metrics Metrics
+}
+
+// NewTimerStub installs a hand-written timer stub into a C³ client.
+func NewTimerStub(cl *Client, server kernel.ComponentID) *TimerStub {
+	s := &TimerStub{
+		cl:     cl,
+		k:      cl.sys.Kernel(),
+		server: server,
+		descs:  make(map[kernel.Word]*timerTrack),
+	}
+	cl.recoverers[server] = s
+	return s
+}
+
+// Metrics returns the stub's counters.
+func (s *TimerStub) Metrics() Metrics { return s.metrics }
+
+// Alloc creates a periodic timer.
+func (s *TimerStub) Alloc(t *kernel.Thread, period kernel.Time) (kernel.Word, error) {
+	compid := kernel.Word(s.cl.comp)
+	for attempt := 0; ; attempt++ {
+		s.metrics.Invocations++
+		id, err := s.k.Invoke(t, s.server, timer.FnAlloc, compid, kernel.Word(period))
+		if err == nil {
+			s.metrics.TrackOps++
+			s.descs[id] = &timerTrack{
+				clientID: id, serverID: id,
+				compid: compid, period: kernel.Word(period),
+				epoch: epochOf(s.k, s.server),
+			}
+			return id, nil
+		}
+		f, ok := kernel.AsFault(err)
+		if !ok || f.Comp != s.server || attempt >= maxRedo {
+			return 0, err
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return 0, uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// Wait blocks until the timer's next period boundary.
+func (s *TimerStub) Wait(t *kernel.Thread, id kernel.Word) (kernel.Time, error) {
+	v, err := s.call(t, timer.FnWait, id)
+	return kernel.Time(v), err
+}
+
+// Free destroys the timer.
+func (s *TimerStub) Free(t *kernel.Thread, id kernel.Word) error {
+	_, err := s.call(t, timer.FnFree, id)
+	if err == nil {
+		delete(s.descs, id)
+	}
+	return err
+}
+
+// call is the hand-written redo loop shared by wait/free.
+func (s *TimerStub) call(t *kernel.Thread, fn string, id kernel.Word) (kernel.Word, error) {
+	d, ok := s.descs[id]
+	if !ok {
+		return 0, fmt.Errorf("c3 timer: unknown descriptor %d", id)
+	}
+	for attempt := 0; ; attempt++ {
+		if err := s.recover(t, d); err != nil {
+			return 0, err
+		}
+		s.metrics.Invocations++
+		ret, err := s.k.Invoke(t, s.server, fn, kernel.Word(s.cl.comp), d.serverID)
+		if err == nil {
+			s.metrics.TrackOps++
+			return ret, nil
+		}
+		f, isFault := kernel.AsFault(err)
+		if !isFault || f.Comp != s.server {
+			return ret, err
+		}
+		if attempt >= maxRedo {
+			return 0, fmt.Errorf("c3 timer: %s: retries exhausted: %w", fn, err)
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return 0, uerr
+		}
+		s.metrics.Redos++
+	}
+}
+
+// recover re-allocates a timer after a µ-reboot, replaying its period.
+func (s *TimerStub) recover(t *kernel.Thread, d *timerTrack) error {
+	if d.epoch == epochOf(s.k, s.server) {
+		return nil
+	}
+	s.metrics.Recoveries++
+	// Non-preemptible walk: no other thread may observe a half-recovered
+	// descriptor (hand-written equivalent of the runtime's critical section).
+	s.k.PushNoPreempt(t)
+	defer s.k.PopNoPreempt(t)
+	for attempt := 0; ; attempt++ {
+		id, err := s.k.Invoke(t, s.server, timer.FnAlloc, d.compid, d.period)
+		if err == nil {
+			d.serverID = id
+			// Re-read: a mid-walk fault advances the epoch past cur.
+			d.epoch = epochOf(s.k, s.server)
+			s.metrics.WalkSteps++
+			return nil
+		}
+		f, ok := kernel.AsFault(err)
+		if !ok || f.Comp != s.server || attempt >= maxRedo {
+			return fmt.Errorf("c3 timer: recovery alloc: %w", err)
+		}
+		if uerr := faultUpdate(t, s.k, s.server, f); uerr != nil {
+			return uerr
+		}
+	}
+}
+
+// recoverByKey implements upcallRecoverer.
+func (s *TimerStub) recoverByKey(t *kernel.Thread, ns, id kernel.Word) (kernel.Word, error) {
+	d, ok := s.descs[id]
+	if !ok {
+		return 0, fmt.Errorf("c3 timer: unknown descriptor %d", id)
+	}
+	if err := s.recover(t, d); err != nil {
+		return 0, err
+	}
+	return d.serverID, nil
+}
+
+// recreateByServerID implements upcallRecoverer.
+func (s *TimerStub) recreateByServerID(t *kernel.Thread, stale kernel.Word) (kernel.Word, error) {
+	for _, d := range s.descs {
+		if d.serverID == stale {
+			if err := s.recover(t, d); err != nil {
+				return 0, err
+			}
+			return d.serverID, nil
+		}
+	}
+	return 0, fmt.Errorf("c3 timer: no descriptor with server id %d", stale)
+}

@@ -1,0 +1,190 @@
+package cbuf
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocWriteRead(t *testing.T) {
+	m := NewManager(0)
+	id, err := m.Alloc(1, 64)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := m.Write(id, 1, 0, []byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := m.Read(id, 1, 0, 5)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Read = %q; want hello", got)
+	}
+}
+
+func TestWriteAtOffset(t *testing.T) {
+	m := NewManager(0)
+	id, _ := m.Alloc(1, 16)
+	if err := m.Write(id, 1, 4, []byte("abcd")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := m.Read(id, 1, 0, 16)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	want := append(make([]byte, 4), []byte("abcd")...)
+	want = append(want, make([]byte, 8)...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Read = %v; want %v", got, want)
+	}
+}
+
+func TestConsumerIsReadOnly(t *testing.T) {
+	m := NewManager(0)
+	id, _ := m.Alloc(1, 8)
+	if err := m.Map(id, 2); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if err := m.Write(id, 2, 0, []byte("x")); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("consumer write err = %v; want ErrNotOwner", err)
+	}
+	if _, err := m.Read(id, 2, 0, 1); err != nil {
+		t.Fatalf("consumer read: %v", err)
+	}
+}
+
+func TestUnmappedReaderRejected(t *testing.T) {
+	m := NewManager(0)
+	id, _ := m.Alloc(1, 8)
+	if _, err := m.Read(id, 3, 0, 1); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("unmapped read err = %v; want ErrNotMapped", err)
+	}
+}
+
+func TestBadRanges(t *testing.T) {
+	m := NewManager(0)
+	id, _ := m.Alloc(1, 8)
+	if err := m.Write(id, 1, 6, []byte("toolong")); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("overflowing write err = %v; want ErrBadRange", err)
+	}
+	if _, err := m.Read(id, 1, -1, 2); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("negative-offset read err = %v; want ErrBadRange", err)
+	}
+	if _, err := m.Read(id, 1, 0, 9); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("overlong read err = %v; want ErrBadRange", err)
+	}
+}
+
+func TestFreeAndStaleAccess(t *testing.T) {
+	m := NewManager(0)
+	id, _ := m.Alloc(1, 8)
+	if err := m.Free(id, 2); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("foreign free err = %v; want ErrNotOwner", err)
+	}
+	if err := m.Free(id, 1); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if _, err := m.Read(id, 1, 0, 1); !errors.Is(err, ErrNoSuchBuffer) {
+		t.Fatalf("stale read err = %v; want ErrNoSuchBuffer", err)
+	}
+	if err := m.Free(id, 1); !errors.Is(err, ErrNoSuchBuffer) {
+		t.Fatalf("double free err = %v; want ErrNoSuchBuffer", err)
+	}
+	if m.InUse() != 0 {
+		t.Fatalf("InUse = %d after free; want 0", m.InUse())
+	}
+}
+
+func TestQuota(t *testing.T) {
+	m := NewManager(100)
+	if _, err := m.Alloc(1, 80); err != nil {
+		t.Fatalf("Alloc within quota: %v", err)
+	}
+	if _, err := m.Alloc(1, 30); !errors.Is(err, ErrQuota) {
+		t.Fatalf("over-quota alloc err = %v; want ErrQuota", err)
+	}
+	if _, err := m.Alloc(1, 20); err != nil {
+		t.Fatalf("Alloc exactly filling quota: %v", err)
+	}
+}
+
+func TestInvalidSize(t *testing.T) {
+	m := NewManager(0)
+	for _, size := range []int{0, -1} {
+		if _, err := m.Alloc(1, size); err == nil {
+			t.Fatalf("Alloc(size=%d) succeeded; want error", size)
+		}
+	}
+}
+
+func TestIDsNeverReused(t *testing.T) {
+	m := NewManager(0)
+	id1, _ := m.Alloc(1, 8)
+	if err := m.Free(id1, 1); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	id2, _ := m.Alloc(1, 8)
+	if id1 == id2 {
+		t.Fatalf("buffer ID %d reused after free", id1)
+	}
+}
+
+func TestOwnerAndSize(t *testing.T) {
+	m := NewManager(0)
+	id, _ := m.Alloc(7, 42)
+	if owner, err := m.Owner(id); err != nil || owner != 7 {
+		t.Fatalf("Owner = (%d, %v); want (7, nil)", owner, err)
+	}
+	if size, err := m.Size(id); err != nil || size != 42 {
+		t.Fatalf("Size = (%d, %v); want (42, nil)", size, err)
+	}
+}
+
+// TestReadReturnsCopy verifies the read-only discipline: mutating a returned
+// slice must not affect the buffer.
+func TestReadReturnsCopy(t *testing.T) {
+	m := NewManager(0)
+	id, _ := m.Alloc(1, 4)
+	if err := m.Write(id, 1, 0, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, _ := m.Read(id, 1, 0, 4)
+	got[0] = 99
+	again, _ := m.Read(id, 1, 0, 4)
+	if again[0] != 1 {
+		t.Fatal("mutating a Read result corrupted the buffer: copy-at-boundary violated")
+	}
+}
+
+// TestWriteReadRoundTripProperty checks that any write is read back intact
+// from any mapped reader, at any valid offset.
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	m := NewManager(0)
+	prop := func(data []byte, off uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		size := int(off) + len(data)
+		id, err := m.Alloc(1, size)
+		if err != nil {
+			return false
+		}
+		if err := m.Map(id, 2); err != nil {
+			return false
+		}
+		if err := m.Write(id, 1, int(off), data); err != nil {
+			return false
+		}
+		got, err := m.Read(id, 2, int(off), len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

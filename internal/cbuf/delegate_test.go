@@ -1,0 +1,55 @@
+package cbuf
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDelegateGrantsWrite(t *testing.T) {
+	m := NewManager(0)
+	id, _ := m.Alloc(1, 8)
+	if err := m.Write(id, 2, 0, []byte("x")); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("pre-delegation write err = %v; want ErrNotOwner", err)
+	}
+	if err := m.Delegate(id, 1, 2); err != nil {
+		t.Fatalf("Delegate: %v", err)
+	}
+	if err := m.Write(id, 2, 0, []byte("x")); err != nil {
+		t.Fatalf("delegated write: %v", err)
+	}
+	// Delegation also maps the delegate for reading.
+	if _, err := m.Read(id, 2, 0, 1); err != nil {
+		t.Fatalf("delegate read: %v", err)
+	}
+}
+
+func TestRevokeWithdrawsDelegation(t *testing.T) {
+	m := NewManager(0)
+	id, _ := m.Alloc(1, 8)
+	if err := m.Delegate(id, 1, 2); err != nil {
+		t.Fatalf("Delegate: %v", err)
+	}
+	if err := m.Revoke(id, 1, 2); err != nil {
+		t.Fatalf("Revoke: %v", err)
+	}
+	if err := m.Write(id, 2, 0, []byte("x")); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("post-revoke write err = %v; want ErrNotOwner", err)
+	}
+}
+
+func TestDelegateOnlyByOwner(t *testing.T) {
+	m := NewManager(0)
+	id, _ := m.Alloc(1, 8)
+	if err := m.Delegate(id, 2, 3); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("foreign Delegate err = %v; want ErrNotOwner", err)
+	}
+	if err := m.Revoke(id, 2, 3); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("foreign Revoke err = %v; want ErrNotOwner", err)
+	}
+	if err := m.Delegate(ID(99), 1, 2); !errors.Is(err, ErrNoSuchBuffer) {
+		t.Fatalf("Delegate on unknown buffer err = %v; want ErrNoSuchBuffer", err)
+	}
+	if err := m.Revoke(ID(99), 1, 2); !errors.Is(err, ErrNoSuchBuffer) {
+		t.Fatalf("Revoke on unknown buffer err = %v; want ErrNoSuchBuffer", err)
+	}
+}

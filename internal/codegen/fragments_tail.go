@@ -1,0 +1,586 @@
+package codegen
+
+// ---------------------------------------------------------------------------
+// Client tail fragments: recovery engine, walk replay, termination
+// bookkeeping, helpers, and the upcall surface.
+// ---------------------------------------------------------------------------
+
+func clientTailFragments() []Fragment {
+	return []Fragment{
+		{Name: "recover-head", When: always, Emit: func(ir *IR, w *writer) {
+			w.p("// recover restores one descriptor after a µ-reboot: mechanism R0 at the")
+			w.p("// calling thread's priority (T1).")
+			w.p("func (s *ClientStub) recover(t *kernel.Thread, d *Desc) error {")
+			w.in()
+			w.p("cur := genrt.EpochOf(s.k, s.server)")
+			w.p("if d.Closed || d.Epoch == cur {")
+			w.in()
+			w.p("return nil")
+			w.out()
+			w.p("}")
+			w.p("s.Metrics.Recoveries++")
+			w.p("// Non-preemptible walk: no other thread may observe a")
+			w.p("// half-recovered descriptor.")
+			w.p("s.k.PushNoPreempt(t)")
+			w.p("defer s.k.PopNoPreempt(t)")
+			w.p("if d.Epoch == genrt.EpochOf(s.k, s.server) {")
+			w.in()
+			w.p("return nil")
+			w.out()
+			w.p("}")
+			w.out()
+		}},
+		{Name: "recover-parent", When: func(ir *IR) bool { return ir.HasParent() }, Emit: func(ir *IR, w *writer) {
+			w.in()
+			w.p("// D1: parents recovered root-first.")
+			w.p("if d.Parent != nil && !d.Parent.Closed {")
+			w.in()
+			w.p("if err := s.recover(t, d.Parent); err != nil {")
+			w.in()
+			w.p("return err")
+			w.out()
+			w.p("}")
+			w.out()
+			w.p("}")
+			w.out()
+		}},
+		{Name: "recover-oldsid", When: func(ir *IR) bool { return ir.IsGlobal() }, Emit: func(ir *IR, w *writer) {
+			w.in()
+			w.p("oldSID := d.ServerID")
+			w.out()
+		}},
+		{Name: "recover-walk-loop", When: always, Emit: func(ir *IR, w *writer) {
+			w.in()
+			w.p("for attempt := 0; ; attempt++ {")
+			w.in()
+			w.p("err := s.replayWalk(t, d)")
+			w.p("if err == nil {")
+			w.in()
+			w.p("break")
+			w.out()
+			w.p("}")
+			w.p("f, isFault := kernel.AsFault(err)")
+			w.p("if !isFault || f.Comp != s.server || attempt >= genrt.MaxRedo {")
+			w.in()
+			w.p("return err")
+			w.out()
+			w.p("}")
+			w.p("// A second fault mid-walk: µ-reboot again and restart the walk.")
+			w.p("if uerr := genrt.FaultUpdate(t, s.k, s.server, f); uerr != nil {")
+			w.in()
+			w.p("return uerr")
+			w.out()
+			w.p("}")
+			w.out()
+			w.p("}")
+			w.out()
+		}},
+		{Name: "recover-holds", When: func(ir *IR) bool { return ir.HasHolds() }, Emit: func(ir *IR, w *writer) {
+			w.in()
+			w.p("// Re-establish outstanding holds on behalf of their holders before")
+			w.p("// any contender can slip in (the hold call carries the holder's")
+			w.p("// thread identity).")
+			w.p("tids := make([]kernel.ThreadID, 0, len(d.Holders))")
+			w.p("for tid := range d.Holders {")
+			w.in()
+			w.p("tids = append(tids, tid)")
+			w.out()
+			w.p("}")
+			w.p("sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })")
+			w.p("for _, tid := range tids {")
+			w.in()
+			w.p("rec := d.Holders[tid]")
+			w.p("if rec.Fn == \"\" || rec.Epoch == cur {")
+			w.in()
+			w.p("continue")
+			w.out()
+			w.p("}")
+			w.p("args := make([]kernel.Word, len(rec.Args))")
+			w.p("copy(args, rec.Args)")
+			w.p("switch rec.Fn {")
+			for _, h := range ir.Spec.Holds {
+				hf := ir.Spec.Func(h.Hold)
+				w.p("case %q:", h.Hold)
+				w.in()
+				w.p("args[%d] = d.ServerID", hf.DescIdx())
+				w.out()
+			}
+			w.p("}")
+			w.p("if _, err := s.k.Invoke(t, s.server, rec.Fn, args...); err != nil {")
+			w.in()
+			w.p("return err")
+			w.out()
+			w.p("}")
+			w.p("rec.Epoch = cur")
+			w.p("d.Holders[tid] = rec")
+			w.p("s.Metrics.WalkSteps++")
+			w.out()
+			w.p("}")
+			w.out()
+		}},
+		{Name: "recover-remap", When: func(ir *IR) bool { return ir.IsGlobal() }, Emit: func(ir *IR, w *writer) {
+			w.in()
+			w.p("// G0: publish the ID translation so stale IDs held by other")
+			w.p("// components resolve to the recreated descriptor.")
+			w.p("if d.ServerID != oldSID {")
+			w.in()
+			w.p("if _, err := s.k.Invoke(t, s.host.System().StorageComp(), storage.FnRemap,")
+			w.in()
+			w.p("kernel.Word(s.class), oldSID, d.ServerID); err != nil {")
+			w.p("return err")
+			w.out()
+			w.p("}")
+			w.p("s.Metrics.StorageOps++")
+			w.out()
+			w.p("}")
+			w.out()
+		}},
+		{Name: "recover-foot", When: always, Emit: func(ir *IR, w *writer) {
+			w.in()
+			w.p("d.Epoch = genrt.EpochOf(s.k, s.server)")
+			w.p("return nil")
+			w.out()
+			w.p("}")
+			w.nl()
+		}},
+		{Name: "recover-subtree", When: func(ir *IR) bool { return ir.CloseChildren() }, Emit: func(ir *IR, w *writer) {
+			w.p("// recoverSubtree rebuilds d and every descendant: the D0 prerequisite")
+			w.p("// for recursive revocation.")
+			w.p("func (s *ClientStub) recoverSubtree(t *kernel.Thread, d *Desc) error {")
+			w.in()
+			w.p("if err := s.recover(t, d); err != nil {")
+			w.in()
+			w.p("return err")
+			w.out()
+			w.p("}")
+			w.p("for _, c := range d.Children {")
+			w.in()
+			w.p("if c.Closed {")
+			w.in()
+			w.p("continue")
+			w.out()
+			w.p("}")
+			w.p("if err := s.recoverSubtree(t, c); err != nil {")
+			w.in()
+			w.p("return err")
+			w.out()
+			w.p("}")
+			w.out()
+			w.p("}")
+			w.p("return nil")
+			w.out()
+			w.p("}")
+			w.nl()
+		}},
+		{Name: "replay-walk-head", When: always, Emit: func(ir *IR, w *writer) {
+			w.p("// replayWalk replays the precomputed shortest recovery walk for d's")
+			w.p("// expected state: creation, pure transitions, then restore functions.")
+			w.p("func (s *ClientStub) replayWalk(t *kernel.Thread, d *Desc) error {")
+			w.in()
+			w.p("switch d.CreatedBy {")
+			for _, fn := range ir.CreationFns() {
+				w.p("case %q:", fn.F.Name)
+				w.in()
+				w.p("ret, err := s.k.Invoke(t, s.server, %q, %s)", fn.F.Name, walkArgs(ir, fn))
+				w.p("if err != nil {")
+				w.in()
+				w.p("return err")
+				w.out()
+				w.p("}")
+				w.p("s.Metrics.WalkSteps++")
+				if fn.F.RetDescID {
+					w.p("d.ServerID = ret")
+				} else {
+					w.p("_ = ret")
+				}
+				w.out()
+			}
+			w.p("default:")
+			w.in()
+			w.p(`return fmt.Errorf("%s: unknown creation function %%q", d.CreatedBy)`, ir.Package())
+			w.out()
+			w.p("}")
+			w.out()
+		}},
+		{Name: "replay-state-tails", When: func(ir *IR) bool { return len(ir.PureStates) > 0 }, Emit: func(ir *IR, w *writer) {
+			w.in()
+			w.p("switch d.State {")
+			for _, st := range ir.PureStates {
+				walk, _ := ir.SM.Walk(st)
+				w.p("case %q:", st)
+				w.in()
+				for _, step := range walk {
+					sf := ir.Spec.Func(step)
+					fnIR := ir.fnIR(step)
+					_ = sf
+					w.p("if _, err := s.k.Invoke(t, s.server, %q, %s); err != nil {", step, walkArgs(ir, fnIR))
+					w.in()
+					w.p("return err")
+					w.out()
+					w.p("}")
+					w.p("s.Metrics.WalkSteps++")
+				}
+				w.out()
+			}
+			w.p("}")
+			w.out()
+		}},
+		{Name: "replay-restore", When: func(ir *IR) bool { return ir.HasRestore() }, Emit: func(ir *IR, w *writer) {
+			w.in()
+			w.p("// sm_restore: push tracked descriptor data back into the server")
+			w.p(`// (the "open and lseek" pattern of §II-C).`)
+			for _, fn := range ir.Spec.Restore {
+				fnIR := ir.fnIR(fn)
+				w.p("if _, err := s.k.Invoke(t, s.server, %q, %s); err != nil {", fn, walkArgs(ir, fnIR))
+				w.in()
+				w.p("return err")
+				w.out()
+				w.p("}")
+				w.p("s.Metrics.WalkSteps++")
+			}
+			w.out()
+		}},
+		{Name: "replay-walk-foot", When: always, Emit: func(ir *IR, w *writer) {
+			w.in()
+			w.p("return nil")
+			w.out()
+			w.p("}")
+			w.nl()
+		}},
+		{Name: "walk-parent-helpers", When: func(ir *IR) bool { return ir.HasParent() }, Emit: func(ir *IR, w *writer) {
+			raw := "0"
+			rawNS := "0"
+			hasNS := false
+			for _, fn := range ir.CreationFns() {
+				if fn.ParentIdx >= 0 && raw == "0" {
+					raw = "d." + ir.FieldFor(fn.F.Params[fn.ParentIdx].Name)
+				}
+				if fn.ParentNSIdx >= 0 {
+					hasNS = true
+					rawNS = "d." + ir.FieldFor(fn.F.Params[fn.ParentNSIdx].Name)
+				}
+			}
+			w.p("// walkParentID resolves the parent argument for a walk step.")
+			w.p("func (s *ClientStub) walkParentID(d *Desc) kernel.Word {")
+			w.in()
+			w.p("if d.Parent != nil {")
+			w.in()
+			w.p("return d.Parent.ServerID")
+			w.out()
+			w.p("}")
+			w.p("return %s", raw)
+			w.out()
+			w.p("}")
+			w.nl()
+			if hasNS {
+				w.p("// walkParentNS resolves the parent-namespace argument for a walk step.")
+				w.p("func (s *ClientStub) walkParentNS(d *Desc) kernel.Word {")
+				w.in()
+				w.p("if d.Parent != nil {")
+				w.in()
+				w.p("return d.Parent.Key.NS")
+				w.out()
+				w.p("}")
+				w.p("return %s", rawNS)
+				w.out()
+				w.p("}")
+				w.nl()
+			}
+		}},
+		{Name: "close-desc-head", When: always, Emit: func(ir *IR, w *writer) {
+			w.p("// closeDesc applies the termination bookkeeping derived from C_dr/Y_dr.")
+			w.p("func (s *ClientStub) closeDesc(t *kernel.Thread, d *Desc) {")
+			w.in()
+			w.p("d.State = core.StateClosed")
+			w.out()
+		}},
+		{Name: "close-desc-children", When: func(ir *IR) bool { return ir.CloseChildren() }, Emit: func(ir *IR, w *writer) {
+			w.in()
+			w.p("// C_dr: recursive revocation destroyed the children server-side;")
+			w.p("// drop their tracking data too.")
+			w.p("for len(d.Children) > 0 {")
+			w.in()
+			w.p("c := d.Children[len(d.Children)-1]")
+			w.p("d.Children = d.Children[:len(d.Children)-1]")
+			w.p("c.Parent = nil")
+			w.p("s.closeDesc(t, c)")
+			w.out()
+			w.p("}")
+			w.out()
+		}},
+		{Name: "close-desc-detach", When: func(ir *IR) bool { return ir.HasParent() }, Emit: func(ir *IR, w *writer) {
+			w.in()
+			w.p("if d.Parent != nil {")
+			w.in()
+			w.p("for i, c := range d.Parent.Children {")
+			w.in()
+			w.p("if c == d {")
+			w.in()
+			w.p("d.Parent.Children = append(d.Parent.Children[:i], d.Parent.Children[i+1:]...)")
+			w.p("break")
+			w.out()
+			w.p("}")
+			w.out()
+			w.p("}")
+			w.p("d.Parent = nil")
+			w.out()
+			w.p("}")
+			w.out()
+		}},
+		{Name: "close-desc-global", When: func(ir *IR) bool { return ir.IsGlobal() }, Emit: func(ir *IR, w *writer) {
+			w.in()
+			w.p("// Forget the creator record so recovery cannot resurrect it.")
+			w.p("if _, err := s.k.Invoke(t, s.host.System().StorageComp(), storage.FnRemoveCreator,")
+			w.in()
+			w.p("kernel.Word(s.class), d.ServerID); err == nil {")
+			w.p("s.Metrics.StorageOps++")
+			w.out()
+			w.p("}")
+			w.out()
+		}},
+		{Name: "close-desc-dispose", When: always, Emit: func(ir *IR, w *writer) {
+			w.in()
+			if ir.CloseChildren() || ir.Spec.DescCloseRemove || !ir.HasParent() {
+				w.p("delete(s.descs, d.Key) // Y_dr / C_dr: tracking data removed")
+			} else {
+				w.p("d.Closed = true // ¬Y_dr: meta-data retained for children")
+			}
+			w.out()
+		}},
+		{Name: "close-desc-foot", When: always, Emit: func(ir *IR, w *writer) {
+			w.p("}")
+			w.nl()
+		}},
+		{Name: "upcall-recover", When: always, Emit: func(ir *IR, w *writer) {
+			w.p("// RecoverByKey implements genrt.Recoverer (mechanisms D1/U0).")
+			w.p("func (s *ClientStub) RecoverByKey(t *kernel.Thread, ns, id kernel.Word) (kernel.Word, error) {")
+			w.in()
+			w.p("d := s.descs[genrt.Key{NS: ns, ID: id}]")
+			w.p("if d == nil {")
+			w.in()
+			w.p(`return 0, fmt.Errorf("%s: unknown descriptor %%d@%%d", id, ns)`, ir.Package())
+			w.out()
+			w.p("}")
+			w.p("if err := s.recover(t, d); err != nil {")
+			w.in()
+			w.p("return 0, err")
+			w.out()
+			w.p("}")
+			w.p("return d.ServerID, nil")
+			w.out()
+			w.p("}")
+			w.nl()
+		}},
+		{Name: "upcall-recreate-global", When: func(ir *IR) bool { return ir.IsGlobal() }, Emit: func(ir *IR, w *writer) {
+			w.p("// RecreateByServerID implements genrt.Recoverer: the server-side stub")
+			w.p("// found a stale global ID and upcalled us, the recorded creator (G0).")
+			w.p("func (s *ClientStub) RecreateByServerID(t *kernel.Thread, stale kernel.Word) (kernel.Word, error) {")
+			w.in()
+			w.p("for _, d := range s.descs {")
+			w.in()
+			w.p("if d.ServerID == stale && !d.Closed {")
+			w.in()
+			w.p("if err := s.recover(t, d); err != nil {")
+			w.in()
+			w.p("return 0, err")
+			w.out()
+			w.p("}")
+			w.p("return d.ServerID, nil")
+			w.out()
+			w.p("}")
+			w.out()
+			w.p("}")
+			w.p("// Possibly already remapped by our own recovery.")
+			w.p("if now := s.host.System().Store().Resolve(s.class, stale); now != stale {")
+			w.in()
+			w.p("return now, nil")
+			w.out()
+			w.p("}")
+			w.p(`return 0, fmt.Errorf("%s: no descriptor with server id %%d", stale)`, ir.Package())
+			w.out()
+			w.p("}")
+			w.nl()
+		}},
+		{Name: "upcall-recreate-local", When: func(ir *IR) bool { return !ir.IsGlobal() }, Emit: func(ir *IR, w *writer) {
+			w.p("// RecreateByServerID implements genrt.Recoverer; descriptors of this")
+			w.p("// interface are locally addressed, so no creator-based recreation")
+			w.p("// applies.")
+			w.p("func (s *ClientStub) RecreateByServerID(t *kernel.Thread, stale kernel.Word) (kernel.Word, error) {")
+			w.in()
+			w.p("for _, d := range s.descs {")
+			w.in()
+			w.p("if d.ServerID == stale && !d.Closed {")
+			w.in()
+			w.p("if err := s.recover(t, d); err != nil {")
+			w.in()
+			w.p("return 0, err")
+			w.out()
+			w.p("}")
+			w.p("return d.ServerID, nil")
+			w.out()
+			w.p("}")
+			w.out()
+			w.p("}")
+			w.p(`return 0, fmt.Errorf("%s: no descriptor with server id %%d", stale)`, ir.Package())
+			w.out()
+			w.p("}")
+		}},
+	}
+}
+
+// fnIR finds the FnIR for a function name.
+func (ir *IR) fnIR(name string) *FnIR {
+	for _, fn := range ir.Funcs {
+		if fn.F.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Server fragments: ID resolution and the EINVAL→G0 path.
+// ---------------------------------------------------------------------------
+
+func serverFragments() []Fragment {
+	descFns := func(ir *IR) []*FnIR {
+		var out []*FnIR
+		for _, fn := range ir.Funcs {
+			if fn.DescIdx >= 0 && !fn.IsCreate {
+				out = append(out, fn)
+			}
+		}
+		return out
+	}
+	return []Fragment{
+		{Name: "header", When: always, Emit: func(ir *IR, w *writer) {
+			w.p("// Code generated by sgc from the SuperGlue IDL for service %q. DO NOT EDIT.", ir.Spec.Service)
+			w.nl()
+			w.p("package %s", ir.Package())
+			w.nl()
+			w.p("import (")
+			w.in()
+			if ir.IsGlobal() {
+				w.p(`"errors"`)
+				w.nl()
+			}
+			w.p(`"superglue/internal/core"`)
+			w.p(`"superglue/internal/kernel"`)
+			if ir.IsGlobal() {
+				w.p(`"superglue/internal/storage"`)
+			}
+			w.out()
+			w.p(")")
+			w.nl()
+		}},
+		{Name: "struct", When: always, Emit: func(ir *IR, w *writer) {
+			w.p("// ServerStub is the generated server-side stub for the %s component.", ir.Spec.Service)
+			w.p("type ServerStub struct {")
+			w.in()
+			w.p("sys   *core.System")
+			w.p("inner kernel.Service")
+			w.p("self  kernel.ComponentID")
+			if ir.IsGlobal() {
+				w.p("class storage.Class")
+			}
+			w.out()
+			w.p("}")
+			w.nl()
+			w.p("var _ kernel.Service = (*ServerStub)(nil)")
+			w.nl()
+		}},
+		{Name: "constructor", When: always, Emit: func(ir *IR, w *writer) {
+			w.p("// NewServerStub wraps a %s implementation with the generated stub.", ir.Spec.Service)
+			w.p("func NewServerStub(sys *core.System, inner kernel.Service) *ServerStub {")
+			w.in()
+			w.p("return &ServerStub{sys: sys, inner: inner}")
+			w.out()
+			w.p("}")
+			w.nl()
+			w.p("// Name implements kernel.Service.")
+			w.p("func (s *ServerStub) Name() string { return s.inner.Name() }")
+			w.nl()
+		}},
+		{Name: "init", When: always, Emit: func(ir *IR, w *writer) {
+			w.p("// Init implements kernel.Service.")
+			w.p("func (s *ServerStub) Init(bc *kernel.BootContext) error {")
+			w.in()
+			w.p("s.self = bc.Self")
+			if ir.IsGlobal() {
+				w.p("if class, ok := s.sys.Class(bc.Self); ok {")
+				w.in()
+				w.p("s.class = class")
+				w.out()
+				w.p("}")
+			}
+			w.p("return s.inner.Init(bc)")
+			w.out()
+			w.p("}")
+			w.nl()
+		}},
+		{Name: "desc-idx", When: func(ir *IR) bool { return ir.IsGlobal() }, Emit: func(ir *IR, w *writer) {
+			w.p("// descIdx maps each interface function to its descriptor-argument index.")
+			w.p("func descIdx(fn string) int {")
+			w.in()
+			w.p("switch fn {")
+			for _, fn := range descFns(ir) {
+				w.p("case %q:", fn.F.Name)
+				w.in()
+				w.p("return %d", fn.DescIdx)
+				w.out()
+			}
+			w.p("default:")
+			w.in()
+			w.p("return -1")
+			w.out()
+			w.p("}")
+			w.out()
+			w.p("}")
+			w.nl()
+		}},
+		{Name: "dispatch-head", When: always, Emit: func(ir *IR, w *writer) {
+			w.p("// Dispatch implements kernel.Service.")
+			w.p("func (s *ServerStub) Dispatch(t *kernel.Thread, fn string, args []kernel.Word) (kernel.Word, error) {")
+			w.in()
+		}},
+		{Name: "dispatch-resolve-global", When: func(ir *IR) bool { return ir.IsGlobal() }, Emit: func(ir *IR, w *writer) {
+			w.p("// Incoming global IDs may predate a µ-reboot; resolve them first.")
+			w.p("if di := descIdx(fn); di >= 0 && di < len(args) {")
+			w.in()
+			w.p("args[di] = s.sys.Store().Resolve(s.class, args[di])")
+			w.out()
+			w.p("}")
+		}},
+		{Name: "dispatch-inner", When: always, Emit: func(ir *IR, w *writer) {
+			w.p("ret, err := s.inner.Dispatch(t, fn, args)")
+		}},
+		{Name: "dispatch-einval-g0", When: func(ir *IR) bool { return ir.IsGlobal() }, Emit: func(ir *IR, w *writer) {
+			w.p("if errors.Is(err, kernel.ErrInvalidDescriptor) {")
+			w.in()
+			w.p("// G0: query the storage component for the descriptor's creator,")
+			w.p("// upcall it to rebuild the descriptor (U0), and replay.")
+			w.p("if di := descIdx(fn); di >= 0 && di < len(args) {")
+			w.in()
+			w.p("if rec, ok := s.sys.Store().LookupCreator(s.class, args[di]); ok {")
+			w.in()
+			w.p("newID, uerr := s.sys.Kernel().Upcall(t, rec.Creator, core.FnRecreate, kernel.Word(s.self), args[di])")
+			w.p("if uerr == nil && newID > 0 {")
+			w.in()
+			w.p("args[di] = newID")
+			w.p("return s.inner.Dispatch(t, fn, args)")
+			w.out()
+			w.p("}")
+			w.out()
+			w.p("}")
+			w.out()
+			w.p("}")
+			w.out()
+			w.p("}")
+		}},
+		{Name: "dispatch-foot", When: always, Emit: func(ir *IR, w *writer) {
+			w.p("return ret, err")
+			w.out()
+			w.p("}")
+		}},
+	}
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+
+	"superglue/internal/kernel"
+	"superglue/internal/storage"
+)
+
+// maxRedo bounds the fault-retry loop of a single stub call. A well-formed
+// system recovers in one or two iterations; the bound turns recovery bugs
+// (or back-to-back injected faults) into errors instead of livelock.
+const maxRedo = 16
+
+// StubMetrics counts the work a client stub performs, feeding the
+// infrastructure-overhead and recovery-cost micro-benchmarks (Fig. 6).
+type StubMetrics struct {
+	// Invocations is the number of interface calls made through the stub.
+	Invocations uint64
+	// TrackOps is the number of descriptor-tracking updates.
+	TrackOps uint64
+	// Recoveries is the number of descriptor recoveries performed.
+	Recoveries uint64
+	// WalkSteps is the total number of recovery-walk invocations.
+	WalkSteps uint64
+	// HoldReplays is the number of per-thread hold re-acquisitions.
+	HoldReplays uint64
+	// Redos is the number of times a call was replayed after a fault
+	// (the goto redo of the Fig. 4 template).
+	Redos uint64
+	// Upcalls is the number of cross-component recovery upcalls issued.
+	Upcalls uint64
+	// StorageOps is the number of storage-component interactions.
+	StorageOps uint64
+}
+
+// ClientStub is the client side of a SuperGlue interface: the generated (or
+// here, spec-interpreted) code of Fig. 4. Every invocation of the server
+// flows through Call, which tracks descriptor state on the way in and out
+// and runs interface-driven recovery when the server faults.
+type ClientStub struct {
+	sys     *System
+	client  *Client
+	server  kernel.ComponentID
+	entry   *serverEntry
+	tracker *Tracker
+	metrics StubMetrics
+	// sargs is the reusable translated-argument buffer; valid because the
+	// simulator is single-core and stubs never retain it across calls.
+	sargs []kernel.Word
+}
+
+// Server returns the server component this stub fronts.
+func (s *ClientStub) Server() kernel.ComponentID { return s.server }
+
+// Client returns the owning client component.
+func (s *ClientStub) Client() *Client { return s.client }
+
+// Spec returns the interface specification.
+func (s *ClientStub) Spec() *Spec { return s.entry.spec }
+
+// Metrics returns a snapshot of the stub's counters.
+func (s *ClientStub) Metrics() StubMetrics { return s.metrics }
+
+// Tracked returns the number of live descriptors the stub tracks.
+func (s *ClientStub) Tracked() int { return len(s.tracker.Live()) }
+
+// Descriptor exposes a tracked descriptor for tests and reflection.
+func (s *ClientStub) Descriptor(key DescKey) (*Descriptor, bool) {
+	return s.tracker.Lookup(key)
+}
+
+// epoch returns the server's current epoch.
+func (s *ClientStub) epoch() uint64 {
+	e, err := s.sys.kern.Epoch(s.server)
+	if err != nil {
+		return 0
+	}
+	return e
+}
+
+// descKeyInfo extracts the descriptor key named by a call's arguments.
+func descKeyInfo(info *fnInfo, args []kernel.Word) DescKey {
+	var key DescKey
+	if info.descIdx >= 0 && info.descIdx < len(args) {
+		key.ID = args[info.descIdx]
+	}
+	if info.nsIdx >= 0 && info.nsIdx < len(args) {
+		key.NS = args[info.nsIdx]
+	}
+	return key
+}
+
+// parentKeyInfo extracts the parent descriptor key named by a call's
+// arguments.
+func parentKeyInfo(info *fnInfo, args []kernel.Word) (DescKey, bool) {
+	pi := info.parentIdx
+	if pi < 0 || pi >= len(args) || args[pi] <= 0 {
+		return DescKey{}, false
+	}
+	key := DescKey{ID: args[pi]}
+	if pni := info.parentNSIdx; pni >= 0 && pni < len(args) {
+		key.NS = args[pni]
+	}
+	return key, true
+}
+
+// Call invokes interface function fn on the server with args, implementing
+// the client-stub template of Fig. 4:
+//
+//	redo:
+//	  cli_if_desc_update(...)      — locate + validate + on-demand recover
+//	  ret = cli_if_invoke(...)     — the component invocation
+//	  if fault: CSTUB_FAULT_UPDATE — µ-reboot if first observer, recover,
+//	            goto redo
+//	  cli_if_track(ret, ...)       — post-invocation descriptor tracking
+//
+// Arguments are the client-visible descriptor IDs; the stub translates them
+// to the server's current IDs transparently.
+func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (kernel.Word, error) {
+	spec := s.entry.spec
+	info := s.entry.fns[fn]
+	if info == nil {
+		return 0, fmt.Errorf("%w: %s.%s", ErrUnknownFunction, spec.Service, fn)
+	}
+	if len(args) != len(info.f.Params) {
+		return 0, fmt.Errorf("core: %s.%s takes %d args, got %d", spec.Service, fn, len(info.f.Params), len(args))
+	}
+
+	var d *Descriptor
+	if info.descIdx >= 0 && !info.isCreate {
+		key := descKeyInfo(info, args)
+		var ok bool
+		d, ok = s.tracker.Lookup(key)
+		if !ok {
+			if !spec.DescIsGlobal {
+				return 0, fmt.Errorf("%w: %s %v", ErrUnknownDescriptor, spec.Service, key)
+			}
+			// Global descriptor created by another component: pass through;
+			// the server-side stub recovers it via storage + upcall (G0).
+			d = nil
+		}
+	}
+	// State-machine validation: invalid transitions are detected faults.
+	// Update and per-thread functions are valid in every live state.
+	if d != nil {
+		if d.Closed {
+			return 0, fmt.Errorf("%w: %s: σ(closed, %s)", ErrInvalidTransition, spec.Service, fn)
+		}
+		perThread := info.isBlocking || info.isWakeup || info.isHold || info.isRelease
+		if !info.isUpdate && !perThread {
+			if _, ok := s.entry.sm.Next(d.State, fn); !ok {
+				return 0, fmt.Errorf("%w: %s: σ(%s, %s) undefined", ErrInvalidTransition, spec.Service, d.State, fn)
+			}
+		}
+	}
+	if info.isCreate && info.descIdx >= 0 {
+		key := descKeyInfo(info, args)
+		if old, ok := s.tracker.Lookup(key); ok && !old.Closed {
+			return 0, fmt.Errorf("%w: %s: creation of live descriptor %v", ErrInvalidTransition, spec.Service, key)
+		}
+	}
+
+	if cap(s.sargs) < len(args) {
+		s.sargs = make([]kernel.Word, len(args))
+	}
+	sargs := s.sargs[:len(args)]
+
+	for attempt := 0; ; attempt++ {
+		cur := s.epoch()
+		// On-demand (T1) descriptor synchronization before the invocation.
+		if d != nil && d.Epoch != cur {
+			if err := s.recoverDesc(t, d); err != nil {
+				return 0, err
+			}
+			cur = s.epoch()
+		}
+		// D0: terminating a descriptor with recursive revocation requires
+		// its children to exist in the server first.
+		if d != nil && info.isTerminal && spec.DescCloseChildren {
+			if err := s.recoverChildren(t, d); err != nil {
+				return 0, err
+			}
+		}
+
+		copy(sargs, args)
+		if info.descIdx >= 0 {
+			if d != nil {
+				sargs[info.descIdx] = d.ServerID
+			} else if spec.DescIsGlobal && !info.isCreate {
+				// Untracked global ID: resolve stale IDs through storage.
+				sargs[info.descIdx] = s.sys.store.Resolve(s.entry.class, sargs[info.descIdx])
+				s.metrics.StorageOps++
+			}
+		}
+		var parent *Descriptor
+		if pkey, ok := parentKeyInfo(info, args); ok {
+			if p, tracked := s.tracker.Lookup(pkey); tracked {
+				parent = p
+				// D1 applies to creation too: the parent must exist in the
+				// (possibly rebooted) server before a child can be created
+				// from it.
+				if p.Epoch != cur {
+					if err := s.recoverDesc(t, p); err != nil {
+						return 0, err
+					}
+				}
+				sargs[info.parentIdx] = p.ServerID
+			}
+		}
+
+		s.metrics.Invocations++
+		ret, err := s.sys.kern.Invoke(t, s.server, fn, sargs...)
+		if err != nil {
+			flt, isFault := kernel.AsFault(err)
+			if !isFault || flt.Comp != s.server {
+				return ret, err
+			}
+			if attempt >= maxRedo {
+				return 0, fmt.Errorf("%w: %s.%s after %d attempts: %v", ErrRecoveryFailed, spec.Service, fn, attempt, err)
+			}
+			// CSTUB_FAULT_UPDATE: first observer µ-reboots the server.
+			if _, rerr := s.sys.kern.EnsureRebooted(t, s.server, flt.Epoch); rerr != nil {
+				return 0, fmt.Errorf("%w: µ-reboot of %s: %v", ErrRecoveryFailed, spec.Service, rerr)
+			}
+			s.metrics.Redos++
+			continue
+		}
+		return s.track(t, info, d, parent, args, ret)
+	}
+}
+
+// track is the post-invocation half of the stub (cli_if_track): it updates
+// the descriptor tracking structures from the call's arguments and return
+// value.
+func (s *ClientStub) track(t *kernel.Thread, info *fnInfo, d *Descriptor, parent *Descriptor, args []kernel.Word, ret kernel.Word) (kernel.Word, error) {
+	spec := s.entry.spec
+	fn := info.f.Name
+	s.metrics.TrackOps++
+
+	if info.isCreate {
+		cur := s.epoch()
+		key := descKeyInfo(info, args)
+		if info.descIdx < 0 {
+			key = DescKey{ID: ret} // server-assigned identifier
+		}
+		nd := newDescriptor(key, fn, cur)
+		if info.f.RetDescID {
+			nd.ServerID = ret
+		}
+		for _, i := range info.dataIdxs {
+			nd.Data[info.f.Params[i].Name] = args[i]
+		}
+		nd.recordArgs(fn, args)
+		if parent != nil {
+			nd.Parent = parent
+			nd.ParentStub = s
+			parent.Children = append(parent.Children, nd)
+		}
+		if err := s.tracker.Insert(nd); err != nil {
+			return ret, err
+		}
+		if spec.DescIsGlobal {
+			// G0 registration: remember the creator in the storage
+			// component, through a real component invocation.
+			meta := dataMeta(info.f, args)
+			gargs := append([]kernel.Word{kernel.Word(s.entry.class), nd.ServerID, kernel.Word(s.client.comp)}, meta...)
+			if _, err := s.sys.kern.Invoke(t, s.sys.storeComp, storage.FnRecordCreator, gargs...); err != nil {
+				return ret, fmt.Errorf("core: recording creator of %v: %w", nd.Key, err)
+			}
+			s.metrics.StorageOps++
+		}
+		return ret, nil
+	}
+
+	if d == nil {
+		return ret, nil // untracked global pass-through
+	}
+
+	d.recordArgs(fn, args)
+	for _, i := range info.dataIdxs {
+		d.Data[info.f.Params[i].Name] = args[i]
+	}
+	if info.retAccum != "" {
+		d.Data[info.retAccum] += ret
+	}
+
+	cur := s.epoch()
+	switch {
+	case info.isTerminal:
+		return ret, s.closeDesc(t, d)
+	case info.isHold:
+		d.PerThread[t.ID()] = &threadTrack{HoldFn: fn, Args: copyWords(args), Epoch: cur}
+	case info.isRelease:
+		delete(d.PerThread, t.ID())
+	case info.isBlocking || info.isWakeup:
+		// Blocked-and-woken is a per-thread reset; nothing outstanding.
+		delete(d.PerThread, t.ID())
+		if info.isReset {
+			d.State = StateInitial
+		}
+	case info.isReset:
+		d.State = StateInitial
+	case info.isUpdate:
+		// State unchanged.
+	default:
+		d.State = fn
+	}
+	d.Epoch = cur
+	return ret, nil
+}
+
+func copyWords(w []kernel.Word) []kernel.Word {
+	cp := make([]kernel.Word, len(w))
+	copy(cp, w)
+	return cp
+}
+
+// dataMeta extracts the desc_data argument values (creation metadata).
+func dataMeta(f *FuncSpec, args []kernel.Word) []kernel.Word {
+	var out []kernel.Word
+	for i, p := range f.Params {
+		if (p.Role == RoleDescData || p.Role == RoleParentDesc) && i < len(args) {
+			out = append(out, args[i])
+		}
+	}
+	return out
+}
+
+// closeDesc applies the termination bookkeeping: recursive child removal for
+// C_dr, tracking-data deletion for Y_dr, and storage-record cleanup for
+// global descriptors.
+func (s *ClientStub) closeDesc(t *kernel.Thread, d *Descriptor) error {
+	spec := s.entry.spec
+	if spec.DescCloseChildren {
+		for len(d.Children) > 0 {
+			c := d.Children[len(d.Children)-1]
+			d.Children = d.Children[:len(d.Children)-1]
+			c.Parent = nil
+			if err := s.closeDesc(t, c); err != nil {
+				return err
+			}
+		}
+	}
+	if d.Parent != nil {
+		d.Parent.removeChild(d)
+		d.Parent = nil
+	}
+	if spec.DescIsGlobal {
+		if _, err := s.sys.kern.Invoke(t, s.sys.storeComp, storage.FnRemoveCreator,
+			kernel.Word(s.entry.class), d.ServerID); err != nil {
+			return fmt.Errorf("core: removing creator record of %v: %w", d.Key, err)
+		}
+		s.metrics.StorageOps++
+	}
+	d.State = StateClosed
+	if spec.DescCloseChildren || spec.DescCloseRemove || spec.DescHasParent == ParentSolo {
+		s.tracker.Remove(d.Key)
+	} else {
+		// Tracking data retained for surviving children (¬Y_dr).
+		d.Closed = true
+	}
+	return nil
+}

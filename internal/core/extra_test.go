@@ -1,0 +1,284 @@
+package core
+
+import (
+	"testing"
+
+	"superglue/internal/kernel"
+)
+
+// fakeTree is a minimal XCParent + close-children service (an MM-shaped
+// fake) exercising D0/D1 inside the core package's own tests.
+type fakeTree struct {
+	nodes map[DescKey]*fakeNode
+}
+
+type fakeNode struct {
+	parent   DescKey
+	children map[DescKey]bool
+}
+
+func newFakeTree() kernel.Service { return &fakeTree{} }
+
+func (f *fakeTree) Name() string { return "tree" }
+
+func (f *fakeTree) Init(bc *kernel.BootContext) error {
+	f.nodes = make(map[DescKey]*fakeNode)
+	return nil
+}
+
+func (f *fakeTree) Dispatch(t *kernel.Thread, fn string, args []kernel.Word) (kernel.Word, error) {
+	switch fn {
+	case "tr_root": // (ns, id)
+		key := DescKey{NS: args[0], ID: args[1]}
+		f.nodes[key] = &fakeNode{children: make(map[DescKey]bool)}
+		return args[1], nil
+	case "tr_child": // (pns, pid, ns, id)
+		pkey := DescKey{NS: args[0], ID: args[1]}
+		p, ok := f.nodes[pkey]
+		if !ok {
+			return 0, kernel.ErrInvalidDescriptor
+		}
+		key := DescKey{NS: args[2], ID: args[3]}
+		f.nodes[key] = &fakeNode{parent: pkey, children: make(map[DescKey]bool)}
+		p.children[key] = true
+		return args[3], nil
+	case "tr_del": // (ns, id) — recursive
+		key := DescKey{NS: args[0], ID: args[1]}
+		n, ok := f.nodes[key]
+		if !ok {
+			return 0, kernel.ErrInvalidDescriptor
+		}
+		var del func(k DescKey, nd *fakeNode)
+		del = func(k DescKey, nd *fakeNode) {
+			for c := range nd.children {
+				if cn, ok := f.nodes[c]; ok {
+					del(c, cn)
+				}
+			}
+			delete(f.nodes, k)
+		}
+		del(key, n)
+		return 0, nil
+	default:
+		return 0, kernel.DispatchError("tree", fn)
+	}
+}
+
+func treeSpec() *Spec {
+	return &Spec{
+		Service:           "tree",
+		DescHasParent:     ParentXC,
+		DescCloseChildren: true,
+		Funcs: []*FuncSpec{
+			{Name: "tr_root", Params: []ParamSpec{
+				{Name: "ns", Role: RoleDescNS},
+				{Name: "id", Role: RoleDesc}}},
+			{Name: "tr_child", Params: []ParamSpec{
+				{Name: "pns", Role: RoleParentNS},
+				{Name: "pid", Role: RoleParentDesc},
+				{Name: "ns", Role: RoleDescNS},
+				{Name: "id", Role: RoleDesc}}},
+			{Name: "tr_del", Params: []ParamSpec{
+				{Name: "ns", Role: RoleDescNS},
+				{Name: "id", Role: RoleDesc}}},
+		},
+		Transitions: []Transition{
+			{From: "tr_root", To: "tr_del"},
+			{From: "tr_child", To: "tr_del"},
+		},
+		Creation: []string{"tr_root", "tr_child"},
+		Terminal: []string{"tr_del"},
+	}
+}
+
+func TestTreeSubtreeRecoveryAndRevocation(t *testing.T) {
+	sys, err := NewSystem(OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	comp, err := sys.RegisterServer(treeSpec(), newFakeTree)
+	if err != nil {
+		t.Fatalf("RegisterServer: %v", err)
+	}
+	cl, err := sys.NewClient("app")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	st, err := cl.Stub(comp)
+	if err != nil {
+		t.Fatalf("Stub: %v", err)
+	}
+	self := kernel.Word(cl.ID())
+	if _, err := sys.Kernel().CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		if _, err := st.Call(th, "tr_root", self, 1); err != nil {
+			t.Errorf("root: %v", err)
+			return
+		}
+		if _, err := st.Call(th, "tr_child", self, 1, self, 2); err != nil {
+			t.Errorf("child: %v", err)
+			return
+		}
+		if _, err := st.Call(th, "tr_child", self, 2, 99, 3); err != nil {
+			t.Errorf("grandchild in foreign ns: %v", err)
+			return
+		}
+		if err := sys.Kernel().FailComponent(comp); err != nil {
+			t.Errorf("fail: %v", err)
+		}
+		// Deleting the root forces subtree recovery (D0, parents first via
+		// D1) and then the recursive revocation.
+		if _, err := st.Call(th, "tr_del", self, 1); err != nil {
+			t.Errorf("del after fault: %v", err)
+			return
+		}
+		if st.Tracked() != 0 {
+			t.Errorf("tracked = %d; want 0 after recursive delete", st.Tracked())
+		}
+		m := st.Metrics()
+		if m.WalkSteps < 3 {
+			t.Errorf("walk steps = %d; want ≥ 3 (whole subtree rebuilt)", m.WalkSteps)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := sys.Kernel().Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRecoverUpcallRoute(t *testing.T) {
+	r := newRig(t, OnDemand)
+	st, err := r.cl.Stub(r.lock)
+	if err != nil {
+		t.Fatalf("Stub: %v", err)
+	}
+	k := r.sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		id, err := st.Call(th, "lock_alloc", 1)
+		if err != nil {
+			t.Errorf("alloc: %v", err)
+			return
+		}
+		if err := k.FailComponent(r.lock); err != nil {
+			t.Errorf("fail: %v", err)
+		}
+		if _, err := k.Reboot(th, r.lock); err != nil {
+			t.Errorf("reboot: %v", err)
+		}
+		// Route a recovery request through the upcall surface, as another
+		// component's D1 recovery would.
+		newID, err := k.Upcall(th, r.cl.ID(), FnRecover, kernel.Word(r.lock), 0, id)
+		if err != nil {
+			t.Errorf("FnRecover upcall: %v", err)
+			return
+		}
+		d, _ := st.Descriptor(DescKey{ID: id})
+		if d == nil || d.ServerID != newID {
+			t.Errorf("upcall returned %d; descriptor has %v", newID, d)
+		}
+		// Unknown key errors.
+		if _, err := k.Upcall(th, r.cl.ID(), FnRecover, kernel.Word(r.lock), 0, 9999); err == nil {
+			t.Error("FnRecover for unknown descriptor accepted")
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRecreateUpcallResolvesAlreadyRemapped(t *testing.T) {
+	r := newRig(t, OnDemand)
+	st, err := r.cl.Stub(r.evt)
+	if err != nil {
+		t.Fatalf("Stub: %v", err)
+	}
+	k := r.sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		id, err := st.Call(th, "evt_split", 1, 0, 0)
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		if err := k.FailComponent(r.evt); err != nil {
+			t.Errorf("fail: %v", err)
+		}
+		// Recover through normal access first: the stale ID gets remapped.
+		if _, err := st.Call(th, "evt_trigger", 1, id); err != nil {
+			t.Errorf("trigger: %v", err)
+			return
+		}
+		d, _ := st.Descriptor(DescKey{ID: id})
+		// A late FnRecreate with the original (stale) server ID must
+		// resolve through the remap table.
+		got, err := k.Upcall(th, r.cl.ID(), FnRecreate, kernel.Word(r.evt), id)
+		if err != nil {
+			t.Errorf("FnRecreate: %v", err)
+			return
+		}
+		if got != d.ServerID {
+			t.Errorf("FnRecreate = %d; want current %d", got, d.ServerID)
+		}
+		// A completely unknown ID errors.
+		if _, err := k.Upcall(th, r.cl.ID(), FnRecreate, kernel.Word(r.evt), 987654); err == nil {
+			t.Error("FnRecreate for unknown id accepted")
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := newRig(t, OnDemand)
+	st, err := r.cl.Stub(r.lock)
+	if err != nil {
+		t.Fatalf("Stub: %v", err)
+	}
+	if st.Server() != r.lock {
+		t.Error("Server() wrong")
+	}
+	if st.Client() != r.cl {
+		t.Error("Client() wrong")
+	}
+	if st.Spec().Service != "lock" {
+		t.Error("Spec() wrong")
+	}
+	if r.sys.Mode() != OnDemand {
+		t.Error("Mode() wrong")
+	}
+	if r.sys.Cbufs() == nil || r.sys.Store() == nil {
+		t.Error("substrate accessors nil")
+	}
+	if r.sys.StorageComp() == 0 {
+		t.Error("StorageComp() zero")
+	}
+	if r.cl.System() != r.sys {
+		t.Error("Client.System() wrong")
+	}
+	if r.cl.Name() != "app" {
+		t.Error("Client.Name() wrong")
+	}
+	svc, err := r.sys.Kernel().Service(r.lock)
+	if err != nil {
+		t.Fatalf("Service: %v", err)
+	}
+	type innerer interface{ Inner() kernel.Service }
+	if svc.(innerer).Inner().(*fakeLock) == nil {
+		t.Error("Inner() wrong")
+	}
+	if (DescKey{NS: 2, ID: 3}).String() != "d3@2" || (DescKey{ID: 4}).String() != "d4" {
+		t.Error("DescKey.String wrong")
+	}
+	// Stub reuse: second Stub call returns the same instance.
+	st2, err := r.cl.Stub(r.lock)
+	if err != nil || st2 != st {
+		t.Error("Stub not idempotent")
+	}
+	if _, err := r.cl.Stub(kernel.ComponentID(99)); err == nil {
+		t.Error("Stub for unregistered server accepted")
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"superglue/internal/kernel"
+	"superglue/internal/storage"
+)
+
+// recoverDesc restores one descriptor in the (µ-rebooted) server to the
+// client's expected state: mechanism R0, ordered by D1, executing at the
+// calling thread's priority (T1). The walk replays the descriptor's creation
+// function, the precomputed shortest path to its tracked state, and any
+// restore functions, translating stale identifiers as it goes.
+func (s *ClientStub) recoverDesc(t *kernel.Thread, d *Descriptor) error {
+	if d.Closed {
+		return nil
+	}
+	cur := s.epoch()
+	if d.Epoch == cur {
+		return nil
+	}
+	spec := s.entry.spec
+	s.metrics.Recoveries++
+
+	// The walk is a non-preemptible critical section: another thread must
+	// never observe (and re-recover) a half-recovered descriptor.
+	s.sys.kern.PushNoPreempt(t)
+	defer s.sys.kern.PopNoPreempt(t)
+	if d.Epoch == s.epoch() {
+		return nil // recovered while we awaited the critical section
+	}
+
+	// D1: the parent must exist in the server before the child can be
+	// recreated, root-first along the dependency path.
+	if d.Parent != nil && !d.Parent.Closed {
+		ps := d.ParentStub
+		if ps == nil || ps == s || ps.client == s.client {
+			if ps == nil {
+				ps = s
+			}
+			if err := ps.recoverDesc(t, d.Parent); err != nil {
+				return fmt.Errorf("core: recovering parent %v: %w", d.Parent.Key, err)
+			}
+		} else {
+			// U0: the parent is tracked by another client component;
+			// recover it with an upcall into that client.
+			s.metrics.Upcalls++
+			if _, err := s.sys.kern.Upcall(t, ps.client.comp, FnRecover,
+				kernel.Word(ps.server), d.Parent.Key.NS, d.Parent.Key.ID); err != nil {
+				return fmt.Errorf("core: upcall recovering parent %v: %w", d.Parent.Key, err)
+			}
+		}
+	}
+
+	walk, err := s.entry.sm.RecoveryWalk(d.CreatedBy, d.State)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRecoveryFailed, err)
+	}
+	oldSID := d.ServerID
+	for attempt := 0; ; attempt++ {
+		if werr := s.replayWalk(t, d, walk); werr == nil {
+			break
+		} else if attempt >= maxRedo {
+			return fmt.Errorf("%w: walk for %v: %v", ErrRecoveryFailed, d.Key, werr)
+		} else if flt, ok := kernel.AsFault(werr); ok && flt.Comp == s.server {
+			// A second fault during recovery: reboot again, restart walk.
+			if _, rerr := s.sys.kern.EnsureRebooted(t, s.server, flt.Epoch); rerr != nil {
+				return fmt.Errorf("%w: re-reboot during walk: %v", ErrRecoveryFailed, rerr)
+			}
+		} else {
+			return fmt.Errorf("%w: walk for %v: %v", ErrRecoveryFailed, d.Key, werr)
+		}
+	}
+
+	// Re-establish outstanding holds (e.g., a lock held across the fault)
+	// on behalf of the threads that held them, before any contender can
+	// slip in. The interface carries the holder's thread ID — as
+	// COMPOSITE's lock interface does — so any thread can replay a hold
+	// for the recorded holder.
+	if err := s.replayHolds(t, d); err != nil {
+		return err
+	}
+
+	// U0 for cross-component dependencies: a rebuilt descriptor that lives
+	// in another component's namespace (an alias mapped into it) is
+	// announced with an upcall so that component can revalidate, without
+	// its threads participating in the recovery (§II-D).
+	if spec.DescHasParent == ParentXC && d.Key.NS != 0 && d.Key.NS != kernel.Word(s.client.comp) {
+		s.metrics.Upcalls++
+		if _, err := s.sys.kern.Upcall(t, kernel.ComponentID(d.Key.NS), FnRebuilt,
+			kernel.Word(s.server), d.Key.NS, d.Key.ID); err != nil &&
+			!errors.Is(err, kernel.ErrNoSuchFunction) && !errors.Is(err, kernel.ErrNoSuchComponent) {
+			return fmt.Errorf("core: rebuild notification for %v: %w", d.Key, err)
+		}
+	}
+
+	if spec.DescIsGlobal && d.ServerID != oldSID {
+		// G0: publish the ID translation so other clients' stale IDs (and
+		// the creator record) resolve to the recreated descriptor.
+		if _, err := s.sys.kern.Invoke(t, s.sys.storeComp, storage.FnRemap,
+			kernel.Word(s.entry.class), oldSID, d.ServerID); err != nil {
+			return fmt.Errorf("core: remapping %v: %w", d.Key, err)
+		}
+		s.metrics.StorageOps++
+	}
+	d.Epoch = s.epoch()
+	return nil
+}
+
+// replayWalk performs one pass over the recovery walk. It returns the fault
+// if the server fails mid-walk so the caller can reboot and restart.
+func (s *ClientStub) replayWalk(t *kernel.Thread, d *Descriptor, walk []string) error {
+	spec := s.entry.spec
+	for _, wfn := range walk {
+		wf := spec.Func(wfn)
+		if wf == nil {
+			return fmt.Errorf("walk names unknown function %s", wfn)
+		}
+		wargs := s.buildWalkArgs(wf, d)
+		ret, err := s.sys.kern.Invoke(t, s.server, wfn, wargs...)
+		if err != nil {
+			return err
+		}
+		s.metrics.WalkSteps++
+		if spec.IsCreation(wfn) && wf.RetDescID {
+			d.ServerID = ret
+		}
+	}
+	return nil
+}
+
+// buildWalkArgs synthesizes the argument list for one walk step from the
+// descriptor's tracked meta-data and last-seen arguments.
+func (s *ClientStub) buildWalkArgs(f *FuncSpec, d *Descriptor) []kernel.Word {
+	last := d.LastArgs[f.Name]
+	args := make([]kernel.Word, len(f.Params))
+	for i, p := range f.Params {
+		switch p.Role {
+		case RoleDesc:
+			args[i] = d.ServerID
+		case RoleDescNS:
+			args[i] = d.Key.NS
+		case RoleParentDesc:
+			if d.Parent != nil {
+				args[i] = d.Parent.ServerID
+			} else if i < len(last) {
+				args[i] = last[i]
+			}
+		case RoleParentNS:
+			if d.Parent != nil {
+				args[i] = d.Parent.Key.NS
+			} else if i < len(last) {
+				args[i] = last[i]
+			}
+		case RoleDescData:
+			if v, ok := d.Data[p.Name]; ok {
+				args[i] = v
+			} else if i < len(last) {
+				args[i] = last[i]
+			}
+		default: // RolePlain
+			if i < len(last) {
+				args[i] = last[i]
+			}
+		}
+	}
+	return args
+}
+
+// replayHolds re-establishes every outstanding hold recorded on d (e.g.,
+// the lock held across the fault) by replaying the hold functions with
+// their recorded arguments — which carry the holding thread's identity, so
+// the replay restores ownership to the original holder regardless of which
+// thread drives recovery. Contenders woken eagerly then genuinely
+// re-contend, reproducing §II-C's "recreating, acquiring, or contending
+// locks".
+func (s *ClientStub) replayHolds(t *kernel.Thread, d *Descriptor) error {
+	if len(d.PerThread) == 0 {
+		return nil
+	}
+	cur := s.epoch()
+	tids := make([]kernel.ThreadID, 0, len(d.PerThread))
+	for tid := range d.PerThread {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		tt := d.PerThread[tid]
+		if tt.HoldFn == "" || tt.Epoch == cur {
+			continue
+		}
+		f := s.entry.spec.Func(tt.HoldFn)
+		if f == nil {
+			return fmt.Errorf("%w: hold function %s missing", ErrRecoveryFailed, tt.HoldFn)
+		}
+		args := make([]kernel.Word, len(tt.Args))
+		copy(args, tt.Args)
+		if di := f.DescIdx(); di >= 0 && di < len(args) {
+			args[di] = d.ServerID
+		}
+		s.metrics.HoldReplays++
+		if _, err := s.sys.kern.Invoke(t, s.server, tt.HoldFn, args...); err != nil {
+			return fmt.Errorf("%w: re-acquiring %s for thread %d: %v", ErrRecoveryFailed, tt.HoldFn, tid, err)
+		}
+		tt.Epoch = cur
+	}
+	return nil
+}
+
+// recoverChildren recovers d and then its entire subtree, children before
+// use: the D0 prerequisite for recursive revocation.
+func (s *ClientStub) recoverChildren(t *kernel.Thread, d *Descriptor) error {
+	if err := s.recoverDesc(t, d); err != nil {
+		return err
+	}
+	for _, c := range d.Children {
+		if c.Closed {
+			continue
+		}
+		if err := s.recoverChildren(t, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleRecoverUpcall services an FnRecover upcall: another component's
+// recovery needs one of this client's descriptors restored (D1 across
+// components, U0).
+func (s *ClientStub) handleRecoverUpcall(t *kernel.Thread, key DescKey) (kernel.Word, error) {
+	d, ok := s.tracker.Lookup(key)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s %v", ErrUnknownDescriptor, s.entry.spec.Service, key)
+	}
+	if err := s.recoverDesc(t, d); err != nil {
+		return 0, err
+	}
+	return d.ServerID, nil
+}
+
+// handleRecreateUpcall services an FnRecreate upcall (G0): the server-side
+// stub found a stale global descriptor ID and asked us — the recorded
+// creator — to rebuild it. Returns the descriptor's current server ID.
+func (s *ClientStub) handleRecreateUpcall(t *kernel.Thread, staleID kernel.Word) (kernel.Word, error) {
+	d, ok := s.tracker.LookupByServerID(staleID)
+	if !ok {
+		// The ID may already have been remapped by our own recovery.
+		now := s.sys.store.Resolve(s.entry.class, staleID)
+		if now != staleID {
+			if d, ok = s.tracker.LookupByServerID(now); !ok {
+				return now, nil
+			}
+		} else {
+			return 0, fmt.Errorf("%w: %s server id %d", ErrUnknownDescriptor, s.entry.spec.Service, staleID)
+		}
+	}
+	if err := s.recoverDesc(t, d); err != nil {
+		return 0, err
+	}
+	return d.ServerID, nil
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// lockSpec returns a valid lock-like specification used across tests.
+func lockSpec() *Spec {
+	return &Spec{
+		Service:       "lock",
+		DescHasParent: ParentSolo,
+		DescBlock:     true,
+		Funcs: []*FuncSpec{
+			{Name: "lock_alloc", RetCType: "long", RetDescID: true, RetName: "lockid",
+				Params: []ParamSpec{{CType: "componentid_t", Name: "compid", Role: RoleDescData}}},
+			{Name: "lock_take", Params: []ParamSpec{
+				{CType: "componentid_t", Name: "compid", Role: RolePlain},
+				{CType: "long", Name: "lockid", Role: RoleDesc}}},
+			{Name: "lock_release", Params: []ParamSpec{
+				{CType: "componentid_t", Name: "compid", Role: RolePlain},
+				{CType: "long", Name: "lockid", Role: RoleDesc}}},
+			{Name: "lock_free", Params: []ParamSpec{
+				{CType: "long", Name: "lockid", Role: RoleDesc}}},
+		},
+		Transitions: []Transition{
+			{From: "lock_alloc", To: "lock_take"},
+			{From: "lock_alloc", To: "lock_free"},
+			{From: "lock_take", To: "lock_release"},
+			{From: "lock_release", To: "lock_take"},
+			{From: "lock_release", To: "lock_free"},
+		},
+		Creation: []string{"lock_alloc"},
+		Terminal: []string{"lock_free"},
+		Blocking: []string{"lock_take"},
+		Wakeup:   []string{"lock_release"},
+		Holds:    []HoldPair{{Hold: "lock_take", Release: "lock_release"}},
+	}
+}
+
+func TestLockSpecValidates(t *testing.T) {
+	if err := lockSpec().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSpecValidationErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"empty service", func(s *Spec) { s.Service = "" }, "empty service name"},
+		{"no funcs", func(s *Spec) { s.Funcs = nil }, "no interface functions"},
+		{"dup func", func(s *Spec) { s.Funcs = append(s.Funcs, &FuncSpec{Name: "lock_take"}) }, "duplicate"},
+		{"unknown creation", func(s *Spec) { s.Creation = []string{"nope"} }, "unknown function"},
+		{"unknown transition", func(s *Spec) {
+			s.Transitions = append(s.Transitions, Transition{From: "x", To: "lock_take"})
+		}, "unknown function"},
+		{"transition from terminal", func(s *Spec) {
+			s.Transitions = append(s.Transitions, Transition{From: "lock_free", To: "lock_take"})
+		}, "terminal"},
+		{"no creation", func(s *Spec) { s.Creation = nil }, "no creation function"},
+		{"block flag mismatch", func(s *Spec) { s.DescBlock = false }, "desc_block"},
+		{"close children without parent", func(s *Spec) { s.DescCloseChildren = true }, "desc_close_children"},
+		{"Y with C", func(s *Spec) {
+			s.DescHasParent = ParentSame
+			s.Funcs[0].Params = append(s.Funcs[0].Params, ParamSpec{CType: "long", Name: "p", Role: RoleParentDesc})
+			s.DescCloseChildren = true
+			s.DescCloseRemove = true
+		}, "desc_close_remove"},
+		{"parent kind without parent param", func(s *Spec) { s.DescHasParent = ParentSame }, "parent_desc"},
+		{"parent kind unset", func(s *Spec) { s.DescHasParent = 0 }, "desc_has_parent"},
+		{"two desc params", func(s *Spec) {
+			s.Funcs[1].Params = append(s.Funcs[1].Params, ParamSpec{CType: "long", Name: "x", Role: RoleDesc})
+		}, "duplicate"},
+		{"non-creation without desc", func(s *Spec) { s.Funcs[3].Params[0].Role = RolePlain }, "lacks a desc"},
+		{"hold not blocking", func(s *Spec) {
+			s.Holds = []HoldPair{{Hold: "lock_release", Release: "lock_take"}}
+		}, "sm_block"},
+		{"restore with plain param", func(s *Spec) { s.Restore = []string{"lock_take"} }, "restore"},
+		{"update and creation overlap", func(s *Spec) { s.Update = []string{"lock_alloc"} }, "update/reset"},
+		{"parent_ns without parent_desc", func(s *Spec) {
+			s.Funcs[1].Params[0].Role = RoleParentNS
+		}, "parent_ns"},
+		{"creation without id", func(s *Spec) { s.Funcs[0].RetDescID = false }, "creation function"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := lockSpec()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted invalid spec")
+			}
+			if !errors.Is(err, ErrInvalidSpec) {
+				t.Fatalf("error %v does not wrap ErrInvalidSpec", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMechanismDerivation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   []Mechanism
+		not    []Mechanism
+	}{
+		{"lock base", func(s *Spec) {}, []Mechanism{MechR0, MechT1, MechT0}, []Mechanism{MechD0, MechD1, MechG0, MechG1, MechU0}},
+		{"global adds G0+U0", func(s *Spec) { s.DescIsGlobal = true }, []Mechanism{MechG0, MechU0}, nil},
+		{"resource data adds G1", func(s *Spec) { s.RescHasData = true }, []Mechanism{MechG1}, nil},
+		{"parent adds D1", func(s *Spec) {
+			s.DescHasParent = ParentSame
+			s.Funcs[0].Params = append(s.Funcs[0].Params, ParamSpec{CType: "long", Name: "p", Role: RoleParentDesc})
+		}, []Mechanism{MechD1}, []Mechanism{MechD0}},
+		{"children adds D0", func(s *Spec) {
+			s.DescHasParent = ParentSame
+			s.Funcs[0].Params = append(s.Funcs[0].Params, ParamSpec{CType: "long", Name: "p", Role: RoleParentDesc})
+			s.DescCloseChildren = true
+		}, []Mechanism{MechD0, MechD1}, nil},
+		{"non-blocking drops T0", func(s *Spec) {
+			s.DescBlock = false
+			s.Blocking = nil
+			s.Holds = nil
+		}, []Mechanism{MechR0, MechT1}, []Mechanism{MechT0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := lockSpec()
+			tc.mutate(s)
+			for _, m := range tc.want {
+				if !s.HasMechanism(m) {
+					t.Errorf("mechanism %v missing; got %v", m, s.Mechanisms())
+				}
+			}
+			for _, m := range tc.not {
+				if s.HasMechanism(m) {
+					t.Errorf("mechanism %v unexpectedly present; got %v", m, s.Mechanisms())
+				}
+			}
+		})
+	}
+}
+
+func TestFuncSpecIndexes(t *testing.T) {
+	f := &FuncSpec{Name: "alias", Params: []ParamSpec{
+		{Name: "pns", Role: RoleParentNS},
+		{Name: "paddr", Role: RoleParentDesc},
+		{Name: "ns", Role: RoleDescNS},
+		{Name: "addr", Role: RoleDesc},
+		{Name: "flags", Role: RolePlain},
+	}}
+	if f.ParentNSIdx() != 0 || f.ParentIdx() != 1 || f.NSIdx() != 2 || f.DescIdx() != 3 {
+		t.Fatalf("indexes = %d %d %d %d; want 0 1 2 3",
+			f.ParentNSIdx(), f.ParentIdx(), f.NSIdx(), f.DescIdx())
+	}
+}
+
+func TestPerThreadAndPureClassification(t *testing.T) {
+	s := lockSpec()
+	for _, fn := range []string{"lock_take", "lock_release"} {
+		if !s.IsPerThread(fn) {
+			t.Errorf("IsPerThread(%s) = false; want true", fn)
+		}
+		if s.IsPure(fn) {
+			t.Errorf("IsPure(%s) = true; want false", fn)
+		}
+	}
+	if s.IsPerThread("lock_alloc") || s.IsPerThread("lock_free") {
+		t.Error("alloc/free classified per-thread")
+	}
+	if s.IsPure("lock_alloc") || s.IsPure("lock_free") {
+		t.Error("creation/terminal classified pure")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, tc := range []struct {
+		got  string
+		want string
+	}{
+		{ParentSolo.String(), "Solo"},
+		{ParentSame.String(), "Parent"},
+		{ParentXC.String(), "XCParent"},
+		{RoleDesc.String(), "desc"},
+		{RoleDescNS.String(), "desc_ns"},
+		{MechR0.String(), "R0"},
+		{MechU0.String(), "U0"},
+		{OnDemand.String(), "on-demand"},
+		{Eager.String(), "eager"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("String() = %q; want %q", tc.got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State names. States are implicit in the IDL (§IV-A: "the state machines in
+// the current language are implicit"); the compiler infers one state per
+// pure transition function — the state a descriptor is in after that
+// function was applied — plus the distinguished states below. Update
+// functions leave the state unchanged, reset functions return to s0, and
+// blocking/wakeup/hold functions act on per-thread state instead of the
+// shared descriptor state.
+const (
+	// StateInitial is s0, the state of a freshly created descriptor.
+	StateInitial = "s0"
+	// StateClosed is the state after a terminal function; the descriptor no
+	// longer exists.
+	StateClosed = "closed"
+	// StateFaulty is s_f. Every state has an implicit transition to it,
+	// taken when the server fails.
+	StateFaulty = "s_f"
+)
+
+// StateMachine is the explicit form SM_dr = (I_dr, S_dr, σ, s0, s_f) of a
+// spec's implicit descriptor state machine, together with the precomputed
+// shortest recovery walk from s0 to every reachable state (the paper's
+// "precomputed, shortest path through the state machine").
+//
+// Recovery walks never include blocking or hold functions: a walk must not
+// block the recovering thread, so a state only reachable through a blocking
+// function is a specification error. Per-thread hold state is re-established
+// separately, by the holding thread itself.
+type StateMachine struct {
+	spec *Spec
+	// next is σ restricted to declared transitions: (state, fn) → state.
+	next map[stateFn]string
+	// walks maps each reachable shared state to the shortest pure-function
+	// sequence that drives a descriptor from s0 to that state.
+	walks map[string][]string
+	// states is S_dr, sorted for deterministic iteration.
+	states []string
+}
+
+type stateFn struct {
+	state string
+	fn    string
+}
+
+// stateAfter maps a function to the shared descriptor state after the
+// function is applied. Update and per-thread functions return "" (state
+// unchanged).
+func (s *Spec) stateAfter(fn string) string {
+	switch {
+	case s.IsCreation(fn):
+		return StateInitial
+	case s.IsTerminal(fn):
+		return StateClosed
+	case s.IsReset(fn):
+		return StateInitial
+	case s.IsUpdate(fn), s.IsPerThread(fn):
+		return ""
+	default:
+		return fn
+	}
+}
+
+// fromState maps a transition's From function to the state the transition
+// departs from. Per-thread functions depart from the state they were applied
+// in; the Fig. 3 style of declaring transitions through blocking functions
+// (e.g., sm_transition(evt_wait, evt_trigger)) therefore resolves to the
+// state those functions leave the shared descriptor in.
+func (s *Spec) fromState(fn string) string {
+	st := s.stateAfter(fn)
+	if st == "" {
+		// Per-thread From: the shared state is whatever it was; anchor the
+		// declared validity at s0, the state such descriptors occupy.
+		return StateInitial
+	}
+	return st
+}
+
+// NewStateMachine compiles the spec's transition declarations into an
+// explicit state machine and precomputes the shortest recovery walks. It
+// fails if any pure function's state is unreachable from s0, which would
+// make descriptors in that state unrecoverable.
+func NewStateMachine(spec *Spec) (*StateMachine, error) {
+	m := &StateMachine{
+		spec:  spec,
+		next:  make(map[stateFn]string),
+		walks: make(map[string][]string),
+	}
+	stateSet := map[string]bool{StateInitial: true, StateFaulty: true}
+	for _, tr := range spec.Transitions {
+		from := spec.fromState(tr.From)
+		to := spec.stateAfter(tr.To)
+		if to == "" {
+			// Transition into an update/per-thread function: validity
+			// declaration only; state unchanged.
+			to = from
+		}
+		key := stateFn{from, tr.To}
+		if prev, dup := m.next[key]; dup && prev != to {
+			return nil, fmt.Errorf("%w: %s: ambiguous transition σ(%s, %s)", ErrInvalidSpec, spec.Service, from, tr.To)
+		}
+		m.next[key] = to
+		stateSet[from] = true
+		stateSet[to] = true
+	}
+	// Creation functions leave s_f (or nonexistence) for s0.
+	for _, cfn := range spec.Creation {
+		m.next[stateFn{StateFaulty, cfn}] = StateInitial
+	}
+
+	// BFS from s0 for shortest walks over pure functions only.
+	m.walks[StateInitial] = nil
+	queue := []string{StateInitial}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		base := m.walks[cur]
+		var fns []string
+		for key := range m.next {
+			if key.state == cur && spec.IsPure(key.fn) {
+				fns = append(fns, key.fn)
+			}
+		}
+		sort.Strings(fns)
+		for _, fn := range fns {
+			nxt := m.next[stateFn{cur, fn}]
+			if _, seen := m.walks[nxt]; seen {
+				continue
+			}
+			walk := make([]string, len(base)+1)
+			copy(walk, base)
+			walk[len(base)] = fn
+			m.walks[nxt] = walk
+			queue = append(queue, nxt)
+		}
+	}
+
+	// Every pure function's state must be walk-reachable.
+	for _, f := range spec.Funcs {
+		if !spec.IsPure(f.Name) {
+			continue
+		}
+		if _, ok := m.walks[f.Name]; !ok {
+			return nil, fmt.Errorf("%w: %s: state %q unreachable from s0 through non-blocking transitions", ErrInvalidSpec, spec.Service, f.Name)
+		}
+	}
+
+	m.states = make([]string, 0, len(stateSet))
+	for st := range stateSet {
+		m.states = append(m.states, st)
+	}
+	sort.Strings(m.states)
+	return m, nil
+}
+
+// Spec returns the specification the machine was compiled from.
+func (m *StateMachine) Spec() *Spec { return m.spec }
+
+// States returns S_dr in sorted order.
+func (m *StateMachine) States() []string {
+	out := make([]string, len(m.states))
+	copy(out, m.states)
+	return out
+}
+
+// Next is σ: it returns the shared state reached by applying fn in state,
+// and whether the transition is valid. Update and per-thread functions are
+// valid in every live state and leave it unchanged; other functions follow
+// the declared transitions. Invalid transitions are a fault-detection signal
+// (§III-B: "formalizing valid transitions enables fault detection if invalid
+// branches are attempted").
+func (m *StateMachine) Next(state, fn string) (string, bool) {
+	if state == StateClosed {
+		return "", false
+	}
+	if m.spec.IsUpdate(fn) || m.spec.IsPerThread(fn) {
+		return state, true
+	}
+	nxt, ok := m.next[stateFn{state, fn}]
+	return nxt, ok
+}
+
+// Walk returns the precomputed shortest pure-function sequence that drives a
+// freshly created descriptor (in s0) to the given shared state. The boolean
+// is false for unknown states.
+func (m *StateMachine) Walk(state string) ([]string, bool) {
+	w, ok := m.walks[state]
+	if !ok {
+		return nil, false
+	}
+	out := make([]string, len(w))
+	copy(out, w)
+	return out, true
+}
+
+// RecoveryWalk returns the full function sequence that recovers a descriptor
+// from s_f to the expected shared state: the original creation call, the
+// shortest path from s0 (mechanism R0), and finally any sm_restore functions
+// that push tracked meta-data back into the server (the "open and lseek"
+// pattern).
+func (m *StateMachine) RecoveryWalk(creationFn, expected string) ([]string, error) {
+	if _, ok := m.next[stateFn{StateFaulty, creationFn}]; !ok {
+		return nil, fmt.Errorf("core: %s: %s is not a creation function", m.spec.Service, creationFn)
+	}
+	tail, ok := m.walks[expected]
+	if !ok {
+		return nil, fmt.Errorf("core: %s: no recovery walk to state %q", m.spec.Service, expected)
+	}
+	walk := make([]string, 0, len(tail)+1+len(m.spec.Restore))
+	walk = append(walk, creationFn)
+	walk = append(walk, tail...)
+	walk = append(walk, m.spec.Restore...)
+	return walk, nil
+}

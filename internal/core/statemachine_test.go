@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// chainSpec builds a linear spec s0 → f1 → f2 → ... → fN with a creation
+// function mk and terminal function rm.
+func chainSpec(n int) *Spec {
+	s := &Spec{
+		Service:       "chain",
+		DescHasParent: ParentSolo,
+		Creation:      []string{"mk"},
+		Terminal:      []string{"rm"},
+		Funcs: []*FuncSpec{
+			{Name: "mk", RetDescID: true},
+			{Name: "rm", Params: []ParamSpec{{Name: "id", Role: RoleDesc}}},
+		},
+		Transitions: []Transition{{From: "mk", To: "rm"}},
+	}
+	prev := "mk"
+	for i := 1; i <= n; i++ {
+		fn := fmt.Sprintf("f%d", i)
+		s.Funcs = append(s.Funcs, &FuncSpec{Name: fn, Params: []ParamSpec{{Name: "id", Role: RoleDesc}}})
+		s.Transitions = append(s.Transitions, Transition{From: prev, To: fn})
+		s.Transitions = append(s.Transitions, Transition{From: fn, To: "rm"})
+		prev = fn
+	}
+	return s
+}
+
+func TestChainWalks(t *testing.T) {
+	s := chainSpec(3)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	m, err := NewStateMachine(s)
+	if err != nil {
+		t.Fatalf("NewStateMachine: %v", err)
+	}
+	for i, want := range [][]string{{}, {"f1"}, {"f1", "f2"}, {"f1", "f2", "f3"}} {
+		state := StateInitial
+		if i > 0 {
+			state = fmt.Sprintf("f%d", i)
+		}
+		walk, ok := m.Walk(state)
+		if !ok {
+			t.Fatalf("Walk(%s): not found", state)
+		}
+		if len(walk) != len(want) {
+			t.Fatalf("Walk(%s) = %v; want %v", state, walk, want)
+		}
+		for j := range want {
+			if walk[j] != want[j] {
+				t.Fatalf("Walk(%s) = %v; want %v", state, walk, want)
+			}
+		}
+	}
+}
+
+func TestRecoveryWalkPrependsCreationAndAppendsRestore(t *testing.T) {
+	s := chainSpec(2)
+	// Add a restore function.
+	s.Funcs = append(s.Funcs, &FuncSpec{Name: "seek", Params: []ParamSpec{
+		{Name: "id", Role: RoleDesc},
+		{Name: "offset", Role: RoleDescData},
+	}})
+	s.Update = append(s.Update, "seek")
+	s.Restore = append(s.Restore, "seek")
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	m, err := NewStateMachine(s)
+	if err != nil {
+		t.Fatalf("NewStateMachine: %v", err)
+	}
+	walk, err := m.RecoveryWalk("mk", "f2")
+	if err != nil {
+		t.Fatalf("RecoveryWalk: %v", err)
+	}
+	want := []string{"mk", "f1", "f2", "seek"}
+	if fmt.Sprint(walk) != fmt.Sprint(want) {
+		t.Fatalf("RecoveryWalk = %v; want %v", walk, want)
+	}
+}
+
+func TestRecoveryWalkRejectsNonCreation(t *testing.T) {
+	m, err := NewStateMachine(chainSpec(1))
+	if err != nil {
+		t.Fatalf("NewStateMachine: %v", err)
+	}
+	if _, err := m.RecoveryWalk("f1", "f1"); err == nil {
+		t.Fatal("RecoveryWalk accepted non-creation function")
+	}
+	if _, err := m.RecoveryWalk("mk", "nope"); err == nil {
+		t.Fatal("RecoveryWalk accepted unknown state")
+	}
+}
+
+func TestShortestPathPrefersFewerSteps(t *testing.T) {
+	// Diamond: s0 → a → b → goal and s0 → goal directly.
+	s := &Spec{
+		Service:       "diamond",
+		DescHasParent: ParentSolo,
+		Creation:      []string{"mk"},
+		Terminal:      []string{"rm"},
+		Funcs: []*FuncSpec{
+			{Name: "mk", RetDescID: true},
+			{Name: "a", Params: []ParamSpec{{Name: "id", Role: RoleDesc}}},
+			{Name: "b", Params: []ParamSpec{{Name: "id", Role: RoleDesc}}},
+			{Name: "goal", Params: []ParamSpec{{Name: "id", Role: RoleDesc}}},
+			{Name: "rm", Params: []ParamSpec{{Name: "id", Role: RoleDesc}}},
+		},
+		Transitions: []Transition{
+			{From: "mk", To: "a"}, {From: "a", To: "b"}, {From: "b", To: "goal"},
+			{From: "mk", To: "goal"},
+			{From: "mk", To: "rm"},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	m, _ := NewStateMachine(s)
+	walk, ok := m.Walk("goal")
+	if !ok || len(walk) != 1 || walk[0] != "goal" {
+		t.Fatalf("Walk(goal) = %v; want the 1-step path", walk)
+	}
+}
+
+func TestUnreachableStateRejected(t *testing.T) {
+	s := chainSpec(1)
+	s.Funcs = append(s.Funcs, &FuncSpec{Name: "orphan", Params: []ParamSpec{{Name: "id", Role: RoleDesc}}})
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("Validate = %v; want unreachable-state error", err)
+	}
+}
+
+func TestWalksNeverIncludeBlockingFunctions(t *testing.T) {
+	// goal is declared after a blocking function (Fig. 3 style); because
+	// blocking functions act on per-thread state and leave the shared
+	// state at s0, the recovery walk to goal goes straight from s0 and
+	// never replays the blocking step (walks must not block).
+	s := &Spec{
+		Service:       "blocked-path",
+		DescHasParent: ParentSolo,
+		DescBlock:     true,
+		Creation:      []string{"mk"},
+		Terminal:      []string{"rm"},
+		Blocking:      []string{"waitstep"},
+		Funcs: []*FuncSpec{
+			{Name: "mk", RetDescID: true},
+			{Name: "waitstep", Params: []ParamSpec{{Name: "id", Role: RoleDesc}}},
+			{Name: "goal", Params: []ParamSpec{{Name: "id", Role: RoleDesc}}},
+			{Name: "rm", Params: []ParamSpec{{Name: "id", Role: RoleDesc}}},
+		},
+		Transitions: []Transition{
+			{From: "mk", To: "waitstep"},
+			{From: "waitstep", To: "goal"},
+			{From: "mk", To: "rm"},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	m, err := NewStateMachine(s)
+	if err != nil {
+		t.Fatalf("NewStateMachine: %v", err)
+	}
+	walk, err := m.RecoveryWalk("mk", "goal")
+	if err != nil {
+		t.Fatalf("RecoveryWalk: %v", err)
+	}
+	for _, fn := range walk {
+		if s.IsBlocking(fn) {
+			t.Fatalf("recovery walk %v includes blocking function %s", walk, fn)
+		}
+	}
+	if len(walk) != 2 || walk[0] != "mk" || walk[1] != "goal" {
+		t.Fatalf("RecoveryWalk = %v; want [mk goal]", walk)
+	}
+}
+
+func TestNextValidation(t *testing.T) {
+	s := lockSpec()
+	m, err := NewStateMachine(s)
+	if err != nil {
+		t.Fatalf("NewStateMachine: %v", err)
+	}
+	// Per-thread functions are valid in any live state.
+	if _, ok := m.Next(StateInitial, "lock_take"); !ok {
+		t.Error("take invalid in s0")
+	}
+	// Terminal via declared transition.
+	if nxt, ok := m.Next(StateInitial, "lock_free"); !ok || nxt != StateClosed {
+		t.Errorf("Next(s0, free) = (%s, %v); want (closed, true)", nxt, ok)
+	}
+	// Nothing valid from closed.
+	if _, ok := m.Next(StateClosed, "lock_take"); ok {
+		t.Error("transition out of closed state accepted")
+	}
+	// Undeclared pure transition rejected.
+	if _, ok := m.Next("bogus-state", "lock_free"); ok {
+		t.Error("transition from unknown state accepted")
+	}
+}
+
+func TestUpdateFunctionsKeepState(t *testing.T) {
+	s := chainSpec(1)
+	s.Funcs = append(s.Funcs, &FuncSpec{Name: "poke", Params: []ParamSpec{{Name: "id", Role: RoleDesc}}})
+	s.Update = append(s.Update, "poke")
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	m, _ := NewStateMachine(s)
+	for _, st := range []string{StateInitial, "f1"} {
+		nxt, ok := m.Next(st, "poke")
+		if !ok || nxt != st {
+			t.Errorf("Next(%s, poke) = (%s, %v); want state unchanged", st, nxt, ok)
+		}
+	}
+}
+
+func TestAmbiguousTransitionRejected(t *testing.T) {
+	s := chainSpec(2)
+	// f2 from state f1 already goes to f2; add a conflicting self-edge
+	// declaration mapping (f1, f2) → elsewhere via reset semantics:
+	// simplest conflict: declare f1→f1 twice with different results is not
+	// expressible, so build a direct conflict through reset.
+	s.Reset = append(s.Reset, "f2")
+	// Now (f1, f2) maps to s0 via reset but the original transition table
+	// would also record it; both declarations resolve consistently, so
+	// construct a real conflict instead:
+	s2 := &Spec{
+		Service:       "conflict",
+		DescHasParent: ParentSolo,
+		Creation:      []string{"mk"},
+		Funcs: []*FuncSpec{
+			{Name: "mk", RetDescID: true},
+			{Name: "x", Params: []ParamSpec{{Name: "id", Role: RoleDesc}}},
+			{Name: "y", Params: []ParamSpec{{Name: "id", Role: RoleDesc}}},
+		},
+		Transitions: []Transition{
+			{From: "mk", To: "x"},
+			{From: "mk", To: "y"},
+			{From: "x", To: "y"},
+			{From: "y", To: "x"},
+		},
+		Reset: []string{"y"},
+	}
+	// (x→y) resolves to s0 because y is reset; (mk→y) also resolves to s0:
+	// no conflict. Force one by making y both reset and a pure target of a
+	// transition — impossible by construction. So assert these two specs
+	// still validate; ambiguity is covered by construction of the σ map.
+	if err := s.Validate(); err != nil {
+		t.Fatalf("reset spec should validate: %v", err)
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatalf("second spec should validate: %v", err)
+	}
+}
+
+// TestWalkReachesStateProperty: for random linear chains, the recovery walk
+// to any state replays exactly the prefix of functions leading there.
+func TestWalkReachesStateProperty(t *testing.T) {
+	prop := func(nRaw uint8, target uint8) bool {
+		n := int(nRaw%8) + 1
+		s := chainSpec(n)
+		m, err := NewStateMachine(s)
+		if err != nil {
+			return false
+		}
+		ti := int(target) % (n + 1)
+		state := StateInitial
+		if ti > 0 {
+			state = fmt.Sprintf("f%d", ti)
+		}
+		walk, err := m.RecoveryWalk("mk", state)
+		if err != nil {
+			return false
+		}
+		if len(walk) != ti+1 || walk[0] != "mk" {
+			return false
+		}
+		// Simulate σ along the walk and check we end in the target state.
+		cur := StateFaulty
+		for _, fn := range walk {
+			nxt, ok := m.Next(cur, fn)
+			if !ok {
+				return false
+			}
+			cur = nxt
+		}
+		return cur == state
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatesListing(t *testing.T) {
+	m, err := NewStateMachine(chainSpec(2))
+	if err != nil {
+		t.Fatalf("NewStateMachine: %v", err)
+	}
+	states := m.States()
+	want := map[string]bool{StateInitial: true, StateFaulty: true, StateClosed: true, "f1": true, "f2": true}
+	if len(states) != len(want) {
+		t.Fatalf("States = %v; want %d states", states, len(want))
+	}
+	for _, st := range states {
+		if !want[st] {
+			t.Fatalf("unexpected state %q in %v", st, states)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"superglue/internal/cbuf"
+	"superglue/internal/kernel"
+	"superglue/internal/storage"
+)
+
+// RecoveryMode selects between the two recovery timings of §III-C.
+type RecoveryMode int
+
+// Recovery modes.
+const (
+	// OnDemand (T1) delays descriptor recovery until a thread accesses the
+	// descriptor, so recovery runs at the accessing thread's priority.
+	OnDemand RecoveryMode = iota + 1
+	// Eager (T0 generalized) recovers every tracked descriptor of every
+	// client immediately after a µ-reboot, on the rebooting thread.
+	Eager
+)
+
+// String implements fmt.Stringer.
+func (m RecoveryMode) String() string {
+	switch m {
+	case OnDemand:
+		return "on-demand"
+	case Eager:
+		return "eager"
+	default:
+		return fmt.Sprintf("RecoveryMode(%d)", int(m))
+	}
+}
+
+// Upcall function names routed to client components by the recovery runtime.
+const (
+	// FnRecover asks a client to recover one of its descriptors
+	// (mechanisms D1/U0 across components). Args: server component,
+	// descriptor NS, descriptor ID.
+	FnRecover = "sg.recover"
+	// FnRecreate asks the creator of a global descriptor to rebuild it
+	// (mechanisms G0/U0). Args: server component, stale server-side ID.
+	// Returns the descriptor's new server-side ID.
+	FnRecreate = "sg.recreate"
+	// FnRebuilt notifies a client component that a descriptor mapped into
+	// its namespace was rebuilt by another component's recovery (the
+	// memory-manager upcalls of §II-D: "upcalls are made into client
+	// components in order to rebuild correct state between dependent
+	// mappings ... transparent to client execution"). Args: server
+	// component, descriptor NS, descriptor ID. Clients may register an
+	// FnRebuilt handler to revalidate local state; without one the
+	// notification is a no-op.
+	FnRebuilt = "sg.rebuilt"
+)
+
+// Runtime errors.
+var (
+	// ErrUnknownFunction reports a stub call naming a function absent from
+	// the interface specification.
+	ErrUnknownFunction = errors.New("core: function not in interface specification")
+	// ErrUnknownDescriptor reports a non-global descriptor the client
+	// never created — a client bug, not a recoverable condition.
+	ErrUnknownDescriptor = errors.New("core: descriptor not tracked by this client")
+	// ErrInvalidTransition reports an interface call that is invalid in
+	// the descriptor's current state — the state machine acting as a fault
+	// detector.
+	ErrInvalidTransition = errors.New("core: invalid descriptor state transition")
+	// ErrRecoveryFailed reports that recovery could not restore a
+	// consistent state within the retry budget.
+	ErrRecoveryFailed = errors.New("core: recovery failed")
+)
+
+// fnInfo is the precompiled per-function dispatch record: everything the
+// hot stub path needs without re-deriving it from the specification.
+type fnInfo struct {
+	f           *FuncSpec
+	descIdx     int
+	nsIdx       int
+	parentIdx   int
+	parentNSIdx int
+	dataIdxs    []int // RoleDescData parameter positions
+	isCreate    bool
+	isTerminal  bool
+	isBlocking  bool
+	isWakeup    bool
+	isReset     bool
+	isUpdate    bool
+	isPure      bool
+	isHold      bool
+	isRelease   bool
+	retAccum    string
+}
+
+// serverEntry is the per-server bookkeeping the runtime keeps.
+type serverEntry struct {
+	spec  *Spec
+	sm    *StateMachine
+	class storage.Class
+	comp  kernel.ComponentID
+	stubs []*ClientStub
+	fns   map[string]*fnInfo
+}
+
+// compileFns builds the per-function dispatch records.
+func compileFns(spec *Spec) map[string]*fnInfo {
+	out := make(map[string]*fnInfo, len(spec.Funcs))
+	for _, f := range spec.Funcs {
+		info := &fnInfo{
+			f:           f,
+			descIdx:     f.DescIdx(),
+			nsIdx:       f.NSIdx(),
+			parentIdx:   f.ParentIdx(),
+			parentNSIdx: f.ParentNSIdx(),
+			isCreate:    spec.IsCreation(f.Name),
+			isTerminal:  spec.IsTerminal(f.Name),
+			isBlocking:  spec.IsBlocking(f.Name),
+			isWakeup:    spec.IsWakeup(f.Name),
+			isReset:     spec.IsReset(f.Name),
+			isUpdate:    spec.IsUpdate(f.Name),
+			isPure:      spec.IsPure(f.Name),
+			retAccum:    f.RetAccum,
+		}
+		_, info.isHold = spec.HoldFn(f.Name)
+		_, info.isRelease = spec.ReleaseFn(f.Name)
+		for i, p := range f.Params {
+			if p.Role == RoleDescData {
+				info.dataIdxs = append(info.dataIdxs, i)
+			}
+		}
+		out[f.Name] = info
+	}
+	return out
+}
+
+// System wires a kernel, the cbuf manager, the storage component, and the
+// SuperGlue recovery runtime together: the assembly a booter would perform
+// on a real COMPOSITE system.
+type System struct {
+	kern      *kernel.Kernel
+	cm        *cbuf.Manager
+	store     *storage.Store
+	storeComp kernel.ComponentID
+	mode      RecoveryMode
+	servers   map[kernel.ComponentID]*serverEntry
+	byName    map[string]*serverEntry
+	nextClass storage.Class
+	clients   []*Client
+}
+
+// NewSystem constructs a machine with the trusted substrate (kernel, cbuf
+// manager, storage component) booted and the recovery runtime in the given
+// mode.
+func NewSystem(mode RecoveryMode) (*System, error) {
+	if mode != OnDemand && mode != Eager {
+		return nil, fmt.Errorf("core: unknown recovery mode %d", int(mode))
+	}
+	k := kernel.New()
+	cm := cbuf.NewManager(0)
+	st := storage.New(cm)
+	storeComp, err := k.Register(func() kernel.Service { return storage.NewComponent(st) })
+	if err != nil {
+		return nil, fmt.Errorf("core: booting storage component: %w", err)
+	}
+	s := &System{
+		kern:      k,
+		cm:        cm,
+		store:     st,
+		storeComp: storeComp,
+		mode:      mode,
+		servers:   make(map[kernel.ComponentID]*serverEntry),
+		byName:    make(map[string]*serverEntry),
+	}
+	if mode == Eager {
+		k.AddRebootHook(s.eagerRebootHook)
+	}
+	return s, nil
+}
+
+// Kernel returns the simulated machine.
+func (s *System) Kernel() *kernel.Kernel { return s.kern }
+
+// Cbufs returns the zero-copy buffer manager.
+func (s *System) Cbufs() *cbuf.Manager { return s.cm }
+
+// Store returns the storage component's state (reflection access).
+func (s *System) Store() *storage.Store { return s.store }
+
+// StorageComp returns the storage component's ID for kernel-mediated access.
+func (s *System) StorageComp() kernel.ComponentID { return s.storeComp }
+
+// Mode returns the system's recovery mode.
+func (s *System) Mode() RecoveryMode { return s.mode }
+
+// RegisterServer boots a recoverable server component: it validates the
+// interface specification, compiles the state machine, wraps the component's
+// clean image with the SuperGlue server-side stub, and registers the result
+// with the kernel. The factory is the µ-reboot image: every reboot
+// constructs a fresh instance (re-wrapped in a fresh stub).
+func (s *System) RegisterServer(spec *Spec, factory func() kernel.Service) (kernel.ComponentID, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	if _, dup := s.byName[spec.Service]; dup {
+		return 0, fmt.Errorf("core: server %q already registered", spec.Service)
+	}
+	sm, err := NewStateMachine(spec)
+	if err != nil {
+		return 0, err
+	}
+	s.nextClass++
+	entry := &serverEntry{spec: spec, sm: sm, class: s.nextClass, fns: compileFns(spec)}
+	comp, err := s.kern.Register(func() kernel.Service {
+		return newServerStub(s, entry, factory())
+	})
+	if err != nil {
+		return 0, err
+	}
+	entry.comp = comp
+	s.servers[comp] = entry
+	s.byName[spec.Service] = entry
+	return comp, nil
+}
+
+// ServerSpec returns the spec of a registered server.
+func (s *System) ServerSpec(comp kernel.ComponentID) (*Spec, bool) {
+	e, ok := s.servers[comp]
+	if !ok {
+		return nil, false
+	}
+	return e.spec, true
+}
+
+// ServerByName returns the component ID of a registered server.
+func (s *System) ServerByName(service string) (kernel.ComponentID, bool) {
+	e, ok := s.byName[service]
+	if !ok {
+		return 0, false
+	}
+	return e.comp, true
+}
+
+// Class returns the storage class assigned to a server (G0/G1 namespace).
+func (s *System) Class(comp kernel.ComponentID) (storage.Class, bool) {
+	e, ok := s.servers[comp]
+	if !ok {
+		return 0, false
+	}
+	return e.class, true
+}
+
+// eagerRebootHook recovers every descriptor of every client of the rebooted
+// component, roots first (Eager mode).
+func (s *System) eagerRebootHook(t *kernel.Thread, comp kernel.ComponentID, epoch uint64) {
+	entry, ok := s.servers[comp]
+	if !ok || t == nil {
+		return
+	}
+	for _, stub := range entry.stubs {
+		for _, d := range stub.tracker.Live() {
+			// recoverDesc orders parents first (D1); errors here surface
+			// again on demand, when the failing descriptor is accessed.
+			_ = stub.recoverDesc(t, d)
+		}
+	}
+}
+
+// UpcallHandler is an application-level upcall entry point in a client.
+type UpcallHandler func(t *kernel.Thread, args []kernel.Word) (kernel.Word, error)
+
+// Client is a client protection domain: an application (or mid-level
+// service) component that holds stubs for the servers it invokes. Clients
+// are where SuperGlue's descriptor tracking lives; they are not themselves
+// µ-rebooted (application fault tolerance is out of scope, §II-E).
+type Client struct {
+	sys      *System
+	comp     kernel.ComponentID
+	name     string
+	stubs    map[kernel.ComponentID]*ClientStub
+	handlers map[string]UpcallHandler
+}
+
+var _ kernel.Service = (*Client)(nil)
+
+// NewClient registers a client component.
+func (s *System) NewClient(name string) (*Client, error) {
+	c := &Client{
+		sys:      s,
+		name:     name,
+		stubs:    make(map[kernel.ComponentID]*ClientStub),
+		handlers: make(map[string]UpcallHandler),
+	}
+	comp, err := s.kern.Register(func() kernel.Service { return c })
+	if err != nil {
+		return nil, err
+	}
+	c.comp = comp
+	s.clients = append(s.clients, c)
+	return c, nil
+}
+
+// Name implements kernel.Service.
+func (c *Client) Name() string { return c.name }
+
+// Init implements kernel.Service.
+func (c *Client) Init(bc *kernel.BootContext) error { return nil }
+
+// ID returns the client's component ID.
+func (c *Client) ID() kernel.ComponentID { return c.comp }
+
+// System returns the owning system.
+func (c *Client) System() *System { return c.sys }
+
+// Handle registers an application-level upcall handler.
+func (c *Client) Handle(fn string, h UpcallHandler) {
+	c.handlers[fn] = h
+}
+
+// Stub returns (creating on first use) this client's stub for the given
+// server. The stub is the client side of the interface: it interposes on
+// every invocation, tracks descriptors, and drives recovery.
+func (c *Client) Stub(server kernel.ComponentID) (*ClientStub, error) {
+	if st, ok := c.stubs[server]; ok {
+		return st, nil
+	}
+	entry, ok := c.sys.servers[server]
+	if !ok {
+		return nil, fmt.Errorf("core: component %d is not a registered SuperGlue server", server)
+	}
+	st := &ClientStub{
+		sys:     c.sys,
+		client:  c,
+		server:  server,
+		entry:   entry,
+		tracker: newTracker(entry.spec),
+	}
+	c.stubs[server] = st
+	entry.stubs = append(entry.stubs, st)
+	return st, nil
+}
+
+// Dispatch implements kernel.Service: it routes recovery upcalls to the
+// owning stub and anything else to application handlers.
+func (c *Client) Dispatch(t *kernel.Thread, fn string, args []kernel.Word) (kernel.Word, error) {
+	switch fn {
+	case FnRecover:
+		if len(args) < 3 {
+			return 0, fmt.Errorf("core: %s needs 3 args, got %d", fn, len(args))
+		}
+		stub, ok := c.stubs[kernel.ComponentID(args[0])]
+		if !ok {
+			return 0, fmt.Errorf("core: %s: no stub for server %d in client %s", fn, args[0], c.name)
+		}
+		return stub.handleRecoverUpcall(t, DescKey{NS: args[1], ID: args[2]})
+	case FnRecreate:
+		if len(args) < 2 {
+			return 0, fmt.Errorf("core: %s needs 2 args, got %d", fn, len(args))
+		}
+		stub, ok := c.stubs[kernel.ComponentID(args[0])]
+		if !ok {
+			return 0, fmt.Errorf("core: %s: no stub for server %d in client %s", fn, args[0], c.name)
+		}
+		return stub.handleRecreateUpcall(t, args[1])
+	case FnRebuilt:
+		if h, ok := c.handlers[fn]; ok {
+			return h(t, args)
+		}
+		return 0, nil // transparent to client execution by default
+	default:
+		if h, ok := c.handlers[fn]; ok {
+			return h(t, args)
+		}
+		return 0, kernel.DispatchError(c.name, fn)
+	}
+}

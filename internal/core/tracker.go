@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"superglue/internal/kernel"
+)
+
+// DescKey identifies a descriptor within one client's tracker: the raw
+// descriptor ID, qualified by a namespace for services whose IDs are only
+// unique per protection domain (RoleDescNS); NS is zero otherwise.
+type DescKey struct {
+	NS kernel.Word
+	ID kernel.Word
+}
+
+// String implements fmt.Stringer.
+func (k DescKey) String() string {
+	if k.NS == 0 {
+		return fmt.Sprintf("d%d", k.ID)
+	}
+	return fmt.Sprintf("d%d@%d", k.ID, k.NS)
+}
+
+// threadTrack is the per-thread slice of a descriptor's tracked state, used
+// for hold/release pairs (e.g., which thread holds a lock) so that recovery
+// re-acquires on behalf of the holder and re-contends for waiters.
+type threadTrack struct {
+	// HoldFn is the hold function whose return the thread has not yet
+	// released, or "" when the thread holds nothing through this
+	// descriptor.
+	HoldFn string
+	// Args are the arguments of the outstanding hold call.
+	Args []kernel.Word
+	// Epoch is the server epoch in which the hold was last established.
+	Epoch uint64
+}
+
+// Descriptor is the client-side tracking structure for one descriptor: the
+// bounded state-machine summary that replaces an unbounded operation log
+// (§II-C). It records the current state, the tracked meta-data D_dr, the
+// dependency links, and the arguments needed to replay the recovery walk.
+type Descriptor struct {
+	// Key is the client-visible identity; stable across server reboots.
+	Key DescKey
+	// ServerID is the ID the server currently knows the descriptor by.
+	// It starts equal to Key.ID and is refreshed when a recovery replay
+	// obtains a new server-assigned ID.
+	ServerID kernel.Word
+	// State is the shared descriptor state (a StateMachine state).
+	State string
+	// CreatedBy is the creation function that produced the descriptor,
+	// replayed first on recovery.
+	CreatedBy string
+	// Data is D_dr: tracked desc_data values by parameter name.
+	Data map[string]kernel.Word
+	// LastArgs records the most recent argument list per interface
+	// function, the bounded data recovery replays with.
+	LastArgs map[string][]kernel.Word
+	// Epoch is the server epoch the descriptor was last synchronized with.
+	Epoch uint64
+	// Parent is the descriptor this one depends on (P_dr ≠ Solo), and
+	// ParentStub the client stub tracking it (which may belong to another
+	// client component when P_dr = XCParent).
+	Parent     *Descriptor
+	ParentStub *ClientStub
+	// Children are descriptors created with this one as parent.
+	Children []*Descriptor
+	// PerThread tracks hold state per thread.
+	PerThread map[kernel.ThreadID]*threadTrack
+	// Closed marks descriptors whose terminal function ran but whose
+	// tracking data is retained for their children (¬Y_dr ∧ ¬C_dr).
+	Closed bool
+}
+
+// newDescriptor builds a fresh tracking structure.
+func newDescriptor(key DescKey, createdBy string, epoch uint64) *Descriptor {
+	return &Descriptor{
+		Key:       key,
+		ServerID:  key.ID,
+		State:     StateInitial,
+		CreatedBy: createdBy,
+		Data:      make(map[string]kernel.Word),
+		LastArgs:  make(map[string][]kernel.Word),
+		PerThread: make(map[kernel.ThreadID]*threadTrack),
+		Epoch:     epoch,
+	}
+}
+
+// recordArgs stores a copy of args as the latest invocation of fn, reusing
+// the previous buffer when the arity is unchanged (the common case).
+func (d *Descriptor) recordArgs(fn string, args []kernel.Word) {
+	if prev, ok := d.LastArgs[fn]; ok && len(prev) == len(args) {
+		copy(prev, args)
+		return
+	}
+	cp := make([]kernel.Word, len(args))
+	copy(cp, args)
+	d.LastArgs[fn] = cp
+}
+
+// removeChild unlinks c from d's child list.
+func (d *Descriptor) removeChild(c *Descriptor) {
+	for i, got := range d.Children {
+		if got == c {
+			d.Children = append(d.Children[:i], d.Children[i+1:]...)
+			return
+		}
+	}
+}
+
+// Tracker is one client component's descriptor table for one server
+// interface: the per-interface tracking state a client-side stub maintains
+// (the small bold black squares of Fig. 1(b)).
+type Tracker struct {
+	spec  *Spec
+	descs map[DescKey]*Descriptor
+}
+
+// newTracker builds an empty tracker for an interface.
+func newTracker(spec *Spec) *Tracker {
+	return &Tracker{spec: spec, descs: make(map[DescKey]*Descriptor)}
+}
+
+// Lookup finds a descriptor by key.
+func (t *Tracker) Lookup(key DescKey) (*Descriptor, bool) {
+	d, ok := t.descs[key]
+	return d, ok
+}
+
+// LookupByServerID finds the live descriptor currently known to the server
+// by sid. Used by upcall-driven recovery, which receives server-side IDs.
+func (t *Tracker) LookupByServerID(sid kernel.Word) (*Descriptor, bool) {
+	for _, d := range t.descs {
+		if d.ServerID == sid && !d.Closed {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// Insert adds a fresh descriptor; replacing a live one is a tracking bug.
+func (t *Tracker) Insert(d *Descriptor) error {
+	if old, ok := t.descs[d.Key]; ok && !old.Closed {
+		return fmt.Errorf("core: descriptor %v already tracked", d.Key)
+	}
+	t.descs[d.Key] = d
+	return nil
+}
+
+// Remove deletes a descriptor's tracking data.
+func (t *Tracker) Remove(key DescKey) {
+	delete(t.descs, key)
+}
+
+// Live returns all non-closed descriptors, ordered by key for deterministic
+// eager recovery.
+func (t *Tracker) Live() []*Descriptor {
+	out := make([]*Descriptor, 0, len(t.descs))
+	for _, d := range t.descs {
+		if !d.Closed {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.NS != out[j].Key.NS {
+			return out[i].Key.NS < out[j].Key.NS
+		}
+		return out[i].Key.ID < out[j].Key.ID
+	})
+	return out
+}
+
+// Len returns the number of tracked descriptors (including closed ones whose
+// metadata is retained for children).
+func (t *Tracker) Len() int { return len(t.descs) }

@@ -1,0 +1,77 @@
+// Package experiments contains the drivers that regenerate every table and
+// figure of the paper's evaluation (§V): the per-service micro-benchmarks
+// of Fig. 6(a)/(b), the lines-of-code comparison of Fig. 6(c), the SWIFI
+// campaign of Table II, and the web-server throughput comparison of Fig. 7.
+// Each driver returns structured results plus a text renderer, and is
+// invoked by the cmd/microbench, cmd/swifi, and cmd/webbench binaries and
+// by the repository-level benchmarks.
+package experiments
+
+import (
+	"math"
+	"strings"
+)
+
+// meanStdev computes the sample mean and standard deviation of xs.
+func meanStdev(xs []float64) (mean, stdev float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// CountLOC counts non-blank, non-comment-only lines, the convention used
+// for the paper's Fig. 6(c). It understands //-comments and /* */ blocks
+// (shared by the IDL and Go sources being compared).
+func CountLOC(src string) int {
+	n := 0
+	inBlock := false
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if inBlock {
+			idx := strings.Index(trimmed, "*/")
+			if idx < 0 {
+				continue
+			}
+			inBlock = false
+			trimmed = strings.TrimSpace(trimmed[idx+2:])
+		}
+		// Strip inline /* ... */ blocks; an unterminated one opens a
+		// multi-line block.
+		for {
+			start := strings.Index(trimmed, "/*")
+			if start < 0 {
+				break
+			}
+			end := strings.Index(trimmed[start:], "*/")
+			if end < 0 {
+				inBlock = true
+				trimmed = strings.TrimSpace(trimmed[:start])
+				break
+			}
+			trimmed = strings.TrimSpace(trimmed[:start] + trimmed[start+end+2:])
+		}
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Services lists the evaluation services in the paper's presentation order.
+func Services() []string {
+	return []string{"sched", "mm", "ramfs", "lock", "event", "timer"}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"superglue/internal/webserver"
+)
+
+// Fig7Config parameterizes the web-server throughput comparison.
+type Fig7Config struct {
+	// Requests per run (the paper's ab invocation sends 50000).
+	Requests int
+	// Repeats per variant; mean and stdev are reported (the paper repeats
+	// 20 times).
+	Repeats int
+	// Workers per server.
+	Workers int
+	// FaultEvery configures the with-faults SuperGlue run (0 disables it).
+	FaultEvery int
+}
+
+// Fig7Row is one bar of Fig. 7.
+type Fig7Row struct {
+	Label          string
+	Variant        webserver.Variant
+	MeanRPS        float64
+	StdevRPS       float64
+	SlowdownVsBase float64 // fraction vs the component-substrate baseline
+	Faults         int
+	Timeline       []webserver.BucketPoint
+}
+
+// Fig7 measures web-server throughput for the plain baseline, the raw
+// component substrate, C³, SuperGlue, and SuperGlue under periodic fault
+// injection.
+func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
+	if cfg.Requests <= 0 {
+		cfg.Requests = 50000
+	}
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 5
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.FaultEvery == 0 {
+		cfg.FaultEvery = cfg.Requests / 10
+	}
+
+	type plan struct {
+		label      string
+		variant    webserver.Variant
+		faultEvery int
+	}
+	plans := []plan{
+		{"apache-like (no components)", webserver.VariantBaseline, 0},
+		{"composite (no recovery)", webserver.VariantComposite, 0},
+		{"composite+c3", webserver.VariantC3, 0},
+		{"composite+superglue", webserver.VariantSuperGlue, 0},
+		{"composite+superglue +faults", webserver.VariantSuperGlue, cfg.FaultEvery},
+	}
+	var rows []Fig7Row
+	var compositeRPS float64
+	for _, p := range plans {
+		var rps []float64
+		var last *webserver.Stats
+		for r := 0; r < cfg.Repeats; r++ {
+			st, err := webserver.Run(webserver.Config{
+				Variant:    p.variant,
+				Requests:   cfg.Requests,
+				Workers:    cfg.Workers,
+				FaultEvery: p.faultEvery,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s: %w", p.label, err)
+			}
+			if st.Errors > 0 {
+				return nil, fmt.Errorf("fig7 %s: %d request errors", p.label, st.Errors)
+			}
+			rps = append(rps, st.Throughput)
+			last = st
+		}
+		mean, stdev := meanStdev(rps)
+		row := Fig7Row{Label: p.label, Variant: p.variant, MeanRPS: mean, StdevRPS: stdev,
+			Faults: last.Faults, Timeline: last.Timeline}
+		if p.variant == webserver.VariantComposite {
+			compositeRPS = mean
+		}
+		rows = append(rows, row)
+	}
+	for i := range rows {
+		if compositeRPS > 0 {
+			rows[i].SlowdownVsBase = 1 - rows[i].MeanRPS/compositeRPS
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig7 writes the Fig. 7 comparison.
+func RenderFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintf(w, "Fig 7: web server throughput (requests/second, wall clock)\n")
+	fmt.Fprintf(w, "%-30s %14s %12s %16s %7s\n", "system", "req/s", "±σ", "slowdown vs comp", "faults")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-30s %14.0f %12.0f %15.2f%% %7d\n",
+			r.Label, r.MeanRPS, r.StdevRPS, 100*r.SlowdownVsBase, r.Faults)
+	}
+}
+
+// RenderFig7Timeline writes the with-faults completion timeline, showing
+// that throughput dips during recovery but never drops to zero.
+func RenderFig7Timeline(w io.Writer, rows []Fig7Row) {
+	for _, r := range rows {
+		if r.Faults == 0 || len(r.Timeline) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\nTimeline (%s): completions over wall time\n", r.Label)
+		prev := r.Timeline[0]
+		for i, pt := range r.Timeline {
+			if i == 0 {
+				fmt.Fprintf(w, "  %8d req @ %10v\n", pt.Completed, pt.Elapsed.Round(1000))
+				continue
+			}
+			dReq := pt.Completed - prev.Completed
+			dT := pt.Elapsed - prev.Elapsed
+			rate := 0.0
+			if dT > 0 {
+				rate = float64(dReq) / dT.Seconds()
+			}
+			fmt.Fprintf(w, "  %8d req @ %10v (%8.0f req/s in bucket)\n", pt.Completed, pt.Elapsed.Round(1000), rate)
+			prev = pt
+		}
+	}
+}
+
+// MechanismRow maps one service to its derived recovery-mechanism set
+// (the §III-C narrative table).
+type MechanismRow struct {
+	Service    string
+	Mechanisms string
+}
+
+// Mechanisms derives each service's recovery-mechanism set from its IDL.
+func Mechanisms() ([]MechanismRow, error) {
+	var rows []MechanismRow
+	for _, svc := range Services() {
+		spec, err := specFor(svc)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MechanismRow{Service: svc, Mechanisms: fmt.Sprint(spec.Mechanisms())})
+	}
+	return rows, nil
+}
+
+// RenderMechanisms writes the mechanism table.
+func RenderMechanisms(w io.Writer, rows []MechanismRow) {
+	fmt.Fprintf(w, "Recovery mechanisms derived from each interface specification (§III-C)\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %s\n", r.Service, r.Mechanisms)
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"superglue/internal/swifi"
+)
+
+// Table2 runs the SWIFI fault-injection campaign of Table II: trials
+// injections per system service, with the §V-B workloads.
+func Table2(trials int, seed int64) ([]*swifi.Result, error) {
+	if trials <= 0 {
+		trials = 500
+	}
+	var results []*swifi.Result
+	for _, svc := range swifi.Targets() {
+		res, err := swifi.Run(swifi.Config{
+			Service:  svc,
+			Workload: swifi.Workloads()[svc],
+			Iters:    5,
+			Trials:   trials,
+			Seed:     seed,
+			Profile:  swifi.Profiles()[svc],
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", svc, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// RenderTable2 writes the Table II rows.
+func RenderTable2(w io.Writer, results []*swifi.Result) {
+	fmt.Fprintf(w, "Table II: SWIFI-based fault injection campaign with SuperGlue\n")
+	fmt.Fprintf(w, "%-8s %9s %10s %10s %12s %8s %11s %11s %9s\n",
+		"service", "injected", "recovered", "seg fault", "propagated", "other", "undetected", "activation", "success")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-8s %9d %10d %10d %12d %8d %11d %10.2f%% %8.2f%%\n",
+			r.Service, r.Injected, r.Recovered, r.Segfault, r.Propagated, r.Other, r.Undetected,
+			100*r.ActivationRatio(), 100*r.SuccessRate())
+	}
+}

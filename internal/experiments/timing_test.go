@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRecoveryTimingShape asserts the §II-C schedulability argument: the
+// first post-fault operation's recovery work is flat under on-demand
+// recovery and proportional to the descriptor population under eager
+// recovery.
+func TestRecoveryTimingShape(t *testing.T) {
+	rows, err := RecoveryTiming([]int{8, 128}, 40)
+	if err != nil {
+		t.Fatalf("RecoveryTiming: %v", err)
+	}
+	byKey := make(map[string]TimingRow)
+	for _, r := range rows {
+		byKey[r.Mode.String()+"/"+strconv.Itoa(r.Descriptors)] = r
+	}
+	// Walk steps are the deterministic signal (times are noisy): on-demand
+	// replays one descriptor per fault regardless of population; eager
+	// replays all of them.
+	od8 := byKey["on-demand/8"]
+	od128 := byKey["on-demand/128"]
+	eg8 := byKey["eager/8"]
+	eg128 := byKey["eager/128"]
+	if od8.WalkSteps != od128.WalkSteps {
+		t.Errorf("on-demand walk steps grew with population: %d vs %d", od8.WalkSteps, od128.WalkSteps)
+	}
+	if eg128.WalkSteps <= eg8.WalkSteps {
+		t.Errorf("eager walk steps did not grow with population: %d vs %d", eg8.WalkSteps, eg128.WalkSteps)
+	}
+	if eg128.WalkSteps < 10*od128.WalkSteps {
+		t.Errorf("eager (%d) should replay far more than on-demand (%d) at 128 descriptors",
+			eg128.WalkSteps, od128.WalkSteps)
+	}
+	var sb strings.Builder
+	RenderRecoveryTiming(&sb, rows)
+	if !strings.Contains(sb.String(), "on-demand") || !strings.Contains(sb.String(), "eager") {
+		t.Error("renderer missing modes")
+	}
+}
+
+// TestRecoveryInterferenceShape asserts the schedulability claim with real
+// priorities: the high-priority task's post-fault response time is flat in
+// the descriptor population under on-demand recovery and grows under eager
+// recovery.
+func TestRecoveryInterferenceShape(t *testing.T) {
+	rows, err := RecoveryInterference([]int{16, 256}, 40)
+	if err != nil {
+		t.Fatalf("RecoveryInterference: %v", err)
+	}
+	byKey := make(map[string]InterferenceRow)
+	for _, r := range rows {
+		byKey[r.Mode.String()+"/"+strconv.Itoa(r.Descriptors)] = r
+	}
+	od := byKey["on-demand/256"]
+	eg16 := byKey["eager/16"]
+	eg256 := byKey["eager/256"]
+	if eg256.MeanLatencyUS < 3*od.MeanLatencyUS {
+		t.Errorf("eager@256 (%.2fµs) should far exceed on-demand@256 (%.2fµs)",
+			eg256.MeanLatencyUS, od.MeanLatencyUS)
+	}
+	if eg256.MeanLatencyUS < 2*eg16.MeanLatencyUS {
+		t.Errorf("eager latency should grow with population: %.2f vs %.2f",
+			eg16.MeanLatencyUS, eg256.MeanLatencyUS)
+	}
+	var sb strings.Builder
+	RenderInterference(&sb, rows)
+	if !strings.Contains(sb.String(), "interference") {
+		t.Error("renderer missing header")
+	}
+}

@@ -1,0 +1,125 @@
+// Package genrt is the runtime support library that SuperGlue-generated
+// stub code links against — the analogue of the C³ runtime macros
+// (CSTUB_FN, CSTUB_FAULT_UPDATE, ...) that the paper's generated C code
+// expands around. It contains only the pieces that are identical for every
+// interface: a host component that routes recovery upcalls to generated
+// stubs, the fault-update primitive, and the metrics block.
+package genrt
+
+import (
+	"fmt"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+)
+
+// MaxRedo bounds generated fault-retry loops.
+const MaxRedo = 16
+
+// Metrics counts a generated stub's work (comparable with core.StubMetrics).
+type Metrics struct {
+	Invocations uint64
+	TrackOps    uint64
+	Recoveries  uint64
+	WalkSteps   uint64
+	Redos       uint64
+	Upcalls     uint64
+	StorageOps  uint64
+}
+
+// Key identifies a descriptor: an ID qualified by an optional namespace.
+type Key struct {
+	NS kernel.Word
+	ID kernel.Word
+}
+
+// Recoverer is the upcall surface every generated client stub implements.
+type Recoverer interface {
+	// RecoverByKey recovers the descriptor with the given key and returns
+	// its current server-side ID.
+	RecoverByKey(t *kernel.Thread, ns, id kernel.Word) (kernel.Word, error)
+	// RecreateByServerID rebuilds the descriptor currently known (stale)
+	// to the server as id, returning its fresh server-side ID.
+	RecreateByServerID(t *kernel.Thread, id kernel.Word) (kernel.Word, error)
+}
+
+// Host is a client protection domain hosting generated stubs. It implements
+// kernel.Service and routes the SuperGlue recovery upcalls to them.
+type Host struct {
+	sys        *core.System
+	comp       kernel.ComponentID
+	name       string
+	recoverers map[kernel.ComponentID]Recoverer
+}
+
+var _ kernel.Service = (*Host)(nil)
+
+// NewHost registers a client component that hosts generated stubs.
+func NewHost(sys *core.System, name string) (*Host, error) {
+	h := &Host{sys: sys, name: name, recoverers: make(map[kernel.ComponentID]Recoverer)}
+	comp, err := sys.Kernel().Register(func() kernel.Service { return h })
+	if err != nil {
+		return nil, err
+	}
+	h.comp = comp
+	return h, nil
+}
+
+// ID returns the host's component ID.
+func (h *Host) ID() kernel.ComponentID { return h.comp }
+
+// System returns the owning system.
+func (h *Host) System() *core.System { return h.sys }
+
+// Bind installs a generated stub as the upcall recoverer for a server.
+func (h *Host) Bind(server kernel.ComponentID, r Recoverer) {
+	h.recoverers[server] = r
+}
+
+// Name implements kernel.Service.
+func (h *Host) Name() string { return h.name }
+
+// Init implements kernel.Service.
+func (h *Host) Init(bc *kernel.BootContext) error { return nil }
+
+// Dispatch implements kernel.Service.
+func (h *Host) Dispatch(t *kernel.Thread, fn string, args []kernel.Word) (kernel.Word, error) {
+	switch fn {
+	case core.FnRecover:
+		if len(args) < 3 {
+			return 0, fmt.Errorf("genrt: %s needs 3 args", fn)
+		}
+		r, ok := h.recoverers[kernel.ComponentID(args[0])]
+		if !ok {
+			return 0, fmt.Errorf("genrt: no stub for server %d in %s", args[0], h.name)
+		}
+		return r.RecoverByKey(t, args[1], args[2])
+	case core.FnRecreate:
+		if len(args) < 2 {
+			return 0, fmt.Errorf("genrt: %s needs 2 args", fn)
+		}
+		r, ok := h.recoverers[kernel.ComponentID(args[0])]
+		if !ok {
+			return 0, fmt.Errorf("genrt: no stub for server %d in %s", args[0], h.name)
+		}
+		return r.RecreateByServerID(t, args[1])
+	default:
+		return 0, kernel.DispatchError(h.name, fn)
+	}
+}
+
+// FaultUpdate is CSTUB_FAULT_UPDATE: µ-reboot the failed server exactly
+// once per epoch.
+func FaultUpdate(t *kernel.Thread, k *kernel.Kernel, server kernel.ComponentID, f *kernel.Fault) error {
+	_, err := k.EnsureRebooted(t, server, f.Epoch)
+	return err
+}
+
+// EpochOf returns a component's current epoch (0 if unknown).
+func EpochOf(k *kernel.Kernel, comp kernel.ComponentID) uint64 {
+	e, err := k.Epoch(comp)
+	if err != nil {
+		return 0
+	}
+	return e
+}

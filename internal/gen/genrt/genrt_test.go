@@ -1,0 +1,119 @@
+package genrt
+
+import (
+	"errors"
+	"testing"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+)
+
+// fakeRecoverer records upcalls.
+type fakeRecoverer struct {
+	recovered []Key
+	recreated []kernel.Word
+}
+
+func (f *fakeRecoverer) RecoverByKey(t *kernel.Thread, ns, id kernel.Word) (kernel.Word, error) {
+	f.recovered = append(f.recovered, Key{NS: ns, ID: id})
+	return id + 100, nil
+}
+
+func (f *fakeRecoverer) RecreateByServerID(t *kernel.Thread, id kernel.Word) (kernel.Word, error) {
+	f.recreated = append(f.recreated, id)
+	return id + 200, nil
+}
+
+func TestHostRoutesUpcalls(t *testing.T) {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	host, err := NewHost(sys, "gen-host")
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	rec := &fakeRecoverer{}
+	host.Bind(kernel.ComponentID(7), rec)
+	k := sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		v, err := k.Upcall(th, host.ID(), core.FnRecover, 7, 3, 42)
+		if err != nil || v != 142 {
+			t.Errorf("FnRecover = (%d, %v); want (142, nil)", v, err)
+		}
+		v, err = k.Upcall(th, host.ID(), core.FnRecreate, 7, 9)
+		if err != nil || v != 209 {
+			t.Errorf("FnRecreate = (%d, %v); want (209, nil)", v, err)
+		}
+		// Unknown server → error.
+		if _, err := k.Upcall(th, host.ID(), core.FnRecover, 99, 0, 1); err == nil {
+			t.Error("upcall for unbound server accepted")
+		}
+		// Short arg lists → error.
+		if _, err := k.Upcall(th, host.ID(), core.FnRecover, 7); err == nil {
+			t.Error("short FnRecover accepted")
+		}
+		if _, err := k.Upcall(th, host.ID(), core.FnRecreate, 7); err == nil {
+			t.Error("short FnRecreate accepted")
+		}
+		// Unknown function → error.
+		if _, err := k.Upcall(th, host.ID(), "bogus"); !errors.Is(err, kernel.ErrNoSuchFunction) {
+			t.Errorf("bogus fn err = %v; want ErrNoSuchFunction", err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rec.recovered) != 1 || rec.recovered[0] != (Key{NS: 3, ID: 42}) {
+		t.Errorf("recovered = %v", rec.recovered)
+	}
+	if len(rec.recreated) != 1 || rec.recreated[0] != 9 {
+		t.Errorf("recreated = %v", rec.recreated)
+	}
+}
+
+func TestFaultUpdateRebootsOncePerEpoch(t *testing.T) {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	k := sys.Kernel()
+	comp := k.MustRegister(func() kernel.Service { return nopService{} })
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		if err := k.FailComponent(comp); err != nil {
+			t.Errorf("fail: %v", err)
+		}
+		f := &kernel.Fault{Comp: comp, Epoch: 0}
+		if err := FaultUpdate(th, k, comp, f); err != nil {
+			t.Errorf("FaultUpdate: %v", err)
+		}
+		if got := EpochOf(k, comp); got != 1 {
+			t.Errorf("epoch = %d; want 1", got)
+		}
+		// Stale fault: no second reboot.
+		if err := FaultUpdate(th, k, comp, f); err != nil {
+			t.Errorf("FaultUpdate (stale): %v", err)
+		}
+		if got := EpochOf(k, comp); got != 1 {
+			t.Errorf("epoch after stale update = %d; want 1", got)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := EpochOf(k, kernel.ComponentID(99)); got != 0 {
+		t.Errorf("EpochOf unknown comp = %d; want 0", got)
+	}
+}
+
+type nopService struct{}
+
+func (nopService) Name() string                      { return "nop" }
+func (nopService) Init(bc *kernel.BootContext) error { return nil }
+func (nopService) Dispatch(t *kernel.Thread, fn string, args []kernel.Word) (kernel.Word, error) {
+	return 0, nil
+}

@@ -1,0 +1,28 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary input: they must
+// reject or accept without panicking, and anything accepted must format and
+// re-parse (run with `go test -fuzz=FuzzParse ./internal/idl`).
+func FuzzParse(f *testing.F) {
+	f.Add(fig3)
+	f.Add("service_global_info = { desc_block = true };")
+	f.Add("sm_creation(mk);\nsm_transition(mk, rm);\nsm_terminal(rm);\ndesc_data_retval(long, id)\nmk(desc_data(long seed));\nint rm(desc(long id));")
+	f.Add("/* comment */ // line\nint f(desc(long id));")
+	f.Add("desc_data_retval(long,")
+	f.Add(strings.Repeat("(", 50))
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		printed := Format(spec)
+		if _, err := Parse("fuzz", printed); err != nil {
+			t.Fatalf("accepted spec fails to re-parse: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+	})
+}

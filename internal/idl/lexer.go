@@ -1,0 +1,164 @@
+// Package idl implements the SuperGlue interface definition language: the
+// declarative syntax of Table I and Fig. 3 of the paper, in which a system
+// designer specifies a server component's descriptor-resource model and
+// descriptor state machine. Parse compiles an IDL source file into a
+// core.Spec, the intermediate representation the recovery runtime interprets
+// and the stub generator (internal/codegen) emits code from.
+//
+// Beyond the paper's Table I, the language supports the extensions
+// documented in DESIGN.md §5: sm_update, sm_reset, sm_restore, sm_hold,
+// desc_ns/parent_ns parameter roles, and desc_data_retval_acc.
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokSemi
+	tokAssign
+	tokEOF
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokAssign:
+		return "'='"
+	case tokEOF:
+		return "end of file"
+	default:
+		return fmt.Sprintf("tokenKind(%d)", int(k))
+	}
+}
+
+// token is one lexical token with its source line for diagnostics.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lex tokenizes IDL source. Identifiers include C identifiers and '*' (for
+// pointer types). Line ('//') and block ('/* */') comments are skipped.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, fmt.Errorf("idl: line %d: unterminated block comment", line)
+			}
+			i += 2
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", line})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", line})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", line})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", line})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", line})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", line})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokAssign, "=", line})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokIdent, "*", line})
+			i++
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("idl: line %d: unexpected character %q", line, string(c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// keywordSet returns whether name is one of the language's reserved
+// declaration heads.
+func isDeclKeyword(name string) bool {
+	switch name {
+	case "service_global_info",
+		"sm_transition", "sm_creation", "sm_terminal", "sm_block", "sm_wakeup",
+		"sm_update", "sm_reset", "sm_restore", "sm_hold",
+		"desc_data_retval", "desc_data_retval_acc":
+		return true
+	}
+	return false
+}
+
+// isRoleKeyword returns whether name is a parameter-annotation keyword.
+func isRoleKeyword(name string) bool {
+	switch strings.ToLower(name) {
+	case "desc", "desc_data", "parent_desc", "desc_ns", "parent_ns":
+		return true
+	}
+	return false
+}

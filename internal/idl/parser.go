@@ -1,0 +1,439 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+
+	"superglue/internal/core"
+)
+
+// Parse compiles SuperGlue IDL source into a validated core.Spec. The
+// service name conventionally matches the interface header's name (the IDL
+// file replaces the C header, §V-C).
+func Parse(service, src string) (*core.Spec, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, spec: &core.Spec{Service: service, DescHasParent: core.ParentSolo}}
+	if err := p.parseFile(); err != nil {
+		return nil, err
+	}
+	if err := p.spec.Validate(); err != nil {
+		return nil, err
+	}
+	return p.spec, nil
+}
+
+// ParseLax compiles IDL source without running core.Spec validation; it is
+// used by tooling that reports specification errors separately.
+func ParseLax(service, src string) (*core.Spec, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, spec: &core.Spec{Service: service, DescHasParent: core.ParentSolo}}
+	if err := p.parseFile(); err != nil {
+		return nil, err
+	}
+	return p.spec, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	spec *core.Spec
+
+	// pendingRet holds a desc_data_retval declaration that attaches to the
+	// next function prototype.
+	pendingRet *retDecl
+}
+
+type retDecl struct {
+	ctype string
+	name  string
+	accum bool
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("idl: %s: line %d: %s", p.spec.Service, t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, p.errf(t, "expected %v, got %q", kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseFile() error {
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokEOF:
+			if p.pendingRet != nil {
+				return p.errf(t, "dangling desc_data_retval with no following function")
+			}
+			return nil
+		case t.kind == tokSemi:
+			p.next() // stray semicolon
+		case t.kind == tokIdent && t.text == "service_global_info":
+			if err := p.parseGlobalInfo(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && strings.HasPrefix(t.text, "sm_"):
+			if err := p.parseSMDecl(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && (t.text == "desc_data_retval" || t.text == "desc_data_retval_acc"):
+			if err := p.parseRetDecl(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent:
+			if err := p.parseFuncDecl(); err != nil {
+				return err
+			}
+		default:
+			return p.errf(t, "unexpected %q at top level", t.text)
+		}
+	}
+}
+
+// parseGlobalInfo parses the service_global_info = { k = v, ... }; block.
+func (p *parser) parseGlobalInfo() error {
+	p.next() // service_global_info
+	if _, err := p.expect(tokAssign); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokRBrace {
+			p.next()
+			break
+		}
+		key, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return err
+		}
+		val, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if err := p.applyGlobal(key, val); err != nil {
+			return err
+		}
+		if p.peek().kind == tokComma {
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (p *parser) applyGlobal(key, val token) error {
+	boolVal := func() (bool, error) {
+		switch strings.ToLower(val.text) {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		default:
+			return false, p.errf(val, "%s expects true/false, got %q", key.text, val.text)
+		}
+	}
+	switch key.text {
+	case "desc_has_parent":
+		switch strings.ToLower(val.text) {
+		case "solo":
+			p.spec.DescHasParent = core.ParentSolo
+		case "parent":
+			p.spec.DescHasParent = core.ParentSame
+		case "xcparent":
+			p.spec.DescHasParent = core.ParentXC
+		default:
+			return p.errf(val, "desc_has_parent expects Solo|Parent|XCParent, got %q", val.text)
+		}
+	case "desc_close_remove":
+		v, err := boolVal()
+		if err != nil {
+			return err
+		}
+		p.spec.DescCloseRemove = v
+	case "desc_close_children":
+		v, err := boolVal()
+		if err != nil {
+			return err
+		}
+		p.spec.DescCloseChildren = v
+	case "desc_is_global":
+		v, err := boolVal()
+		if err != nil {
+			return err
+		}
+		p.spec.DescIsGlobal = v
+	case "desc_block":
+		v, err := boolVal()
+		if err != nil {
+			return err
+		}
+		p.spec.DescBlock = v
+	case "desc_has_data":
+		v, err := boolVal()
+		if err != nil {
+			return err
+		}
+		p.spec.DescHasData = v
+	case "resc_has_data", "desc_has_resc_data":
+		v, err := boolVal()
+		if err != nil {
+			return err
+		}
+		p.spec.RescHasData = v
+	default:
+		return p.errf(key, "unknown service_global_info key %q", key.text)
+	}
+	return nil
+}
+
+// parseSMDecl parses sm_*(a[, b]);
+func (p *parser) parseSMDecl() error {
+	head := p.next()
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var names []string
+	for {
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		names = append(names, id.text)
+		t := p.next()
+		if t.kind == tokRParen {
+			break
+		}
+		if t.kind != tokComma {
+			return p.errf(t, "expected ',' or ')' in %s", head.text)
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	need := func(n int) error {
+		if len(names) != n {
+			return p.errf(head, "%s expects %d argument(s), got %d", head.text, n, len(names))
+		}
+		return nil
+	}
+	spec := p.spec
+	switch head.text {
+	case "sm_transition":
+		if err := need(2); err != nil {
+			return err
+		}
+		spec.Transitions = append(spec.Transitions, core.Transition{From: names[0], To: names[1]})
+	case "sm_creation":
+		if err := need(1); err != nil {
+			return err
+		}
+		spec.Creation = append(spec.Creation, names[0])
+	case "sm_terminal":
+		if err := need(1); err != nil {
+			return err
+		}
+		spec.Terminal = append(spec.Terminal, names[0])
+	case "sm_block":
+		if err := need(1); err != nil {
+			return err
+		}
+		spec.Blocking = append(spec.Blocking, names[0])
+	case "sm_wakeup":
+		if err := need(1); err != nil {
+			return err
+		}
+		spec.Wakeup = append(spec.Wakeup, names[0])
+	case "sm_update":
+		if err := need(1); err != nil {
+			return err
+		}
+		spec.Update = append(spec.Update, names[0])
+	case "sm_reset":
+		if err := need(1); err != nil {
+			return err
+		}
+		spec.Reset = append(spec.Reset, names[0])
+	case "sm_restore":
+		if err := need(1); err != nil {
+			return err
+		}
+		spec.Restore = append(spec.Restore, names[0])
+	case "sm_hold":
+		if err := need(2); err != nil {
+			return err
+		}
+		spec.Holds = append(spec.Holds, core.HoldPair{Hold: names[0], Release: names[1]})
+	default:
+		return p.errf(head, "unknown state-machine declaration %q", head.text)
+	}
+	return nil
+}
+
+// parseRetDecl parses desc_data_retval(type, name) or
+// desc_data_retval_acc(type, name); the declaration attaches to the next
+// function prototype.
+func (p *parser) parseRetDecl() error {
+	head := p.next()
+	if p.pendingRet != nil {
+		return p.errf(head, "consecutive desc_data_retval declarations")
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	ctype, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	if p.peek().kind == tokSemi {
+		p.next() // trailing ';' optional, as in Fig. 3
+	}
+	p.pendingRet = &retDecl{ctype: ctype.text, name: name.text, accum: head.text == "desc_data_retval_acc"}
+	return nil
+}
+
+// parseFuncDecl parses [rettype] name(param, ...);
+func (p *parser) parseFuncDecl() error {
+	first, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	f := &core.FuncSpec{}
+	t := p.peek()
+	switch t.kind {
+	case tokLParen:
+		f.Name = first.text
+	case tokIdent:
+		f.RetCType = first.text
+		nameTok := p.next()
+		f.Name = nameTok.text
+	default:
+		return p.errf(t, "expected function name or '(', got %q", t.text)
+	}
+	if isDeclKeyword(f.Name) || isRoleKeyword(f.Name) {
+		return p.errf(first, "reserved word %q used as function name", f.Name)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	if p.peek().kind == tokRParen {
+		p.next()
+	} else {
+		for {
+			param, err := p.parseParam()
+			if err != nil {
+				return err
+			}
+			f.Params = append(f.Params, param)
+			t := p.next()
+			if t.kind == tokRParen {
+				break
+			}
+			if t.kind != tokComma {
+				return p.errf(t, "expected ',' or ')' in parameter list of %s", f.Name)
+			}
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	if p.pendingRet != nil {
+		f.RetDescID = !p.pendingRet.accum
+		if p.pendingRet.accum {
+			f.RetAccum = p.pendingRet.name
+		}
+		f.RetName = p.pendingRet.name
+		if f.RetCType == "" {
+			f.RetCType = p.pendingRet.ctype
+		}
+		p.pendingRet = nil
+	}
+	p.spec.Funcs = append(p.spec.Funcs, f)
+	return nil
+}
+
+// parseParam parses one parameter: either a plain `type name` declaration or
+// a (possibly nested) annotation such as desc_data(parent_desc(long id)).
+func (p *parser) parseParam() (core.ParamSpec, error) {
+	var roles []string
+	for p.peek().kind == tokIdent && isRoleKeyword(p.peek().text) {
+		// Lookahead: a role keyword directly followed by '(' is an
+		// annotation; otherwise it is (part of) a type name.
+		if p.toks[p.pos+1].kind != tokLParen {
+			break
+		}
+		roles = append(roles, p.next().text)
+		if _, err := p.expect(tokLParen); err != nil {
+			return core.ParamSpec{}, err
+		}
+	}
+	// Now a `type name` or `type * name` declaration.
+	var words []string
+	for p.peek().kind == tokIdent {
+		words = append(words, p.next().text)
+	}
+	if len(words) < 2 {
+		return core.ParamSpec{}, p.errf(p.peek(), "expected `type name` in parameter declaration, got %v", words)
+	}
+	param := core.ParamSpec{
+		CType: strings.Join(words[:len(words)-1], " "),
+		Name:  words[len(words)-1],
+		Role:  core.RolePlain,
+	}
+	for range roles {
+		if _, err := p.expect(tokRParen); err != nil {
+			return core.ParamSpec{}, err
+		}
+	}
+	// Resolve the role: the most specific annotation wins; desc_data
+	// wrapping parent_desc (as in Fig. 3) resolves to parent_desc, which
+	// is tracked as data anyway.
+	role := core.RolePlain
+	for _, r := range roles {
+		switch strings.ToLower(r) {
+		case "desc":
+			role = core.RoleDesc
+		case "parent_desc":
+			role = core.RoleParentDesc
+		case "desc_ns":
+			role = core.RoleDescNS
+		case "parent_ns":
+			role = core.RoleParentNS
+		case "desc_data":
+			if role == core.RolePlain {
+				role = core.RoleDescData
+			}
+		}
+	}
+	param.Role = role
+	return param, nil
+}

@@ -1,0 +1,308 @@
+package idl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"superglue/internal/core"
+)
+
+// fig3 is the complete example IDL file from Fig. 3 of the paper, verbatim.
+const fig3 = `
+service_global_info = {
+        desc_has_parent    = parent,
+        desc_close_remove  = true,
+        desc_is_global     = true,
+        desc_block         = true,
+        desc_has_data      = true
+};
+
+sm_transition(evt_split,   evt_wait);
+sm_transition(evt_wait,    evt_trigger);
+sm_transition(evt_trigger, evt_wait);
+sm_transition(evt_trigger, evt_free);
+sm_transition(evt_split,   evt_free);
+
+sm_creation(evt_split);
+sm_terminal(evt_free);
+sm_block(evt_wait);
+sm_wakeup(evt_trigger);
+
+desc_data_retval(long, evtid)
+evt_split(desc_data(componentid_t compid),
+          desc_data(parent_desc(long parent_evtid)),
+          desc_data(int grp));
+
+long evt_wait(componentid_t compid, desc(long evtid));
+int evt_trigger(componentid_t compid, desc(long evtid));
+int evt_free(componentid_t compid, desc(long evtid));
+`
+
+func TestParseFig3Example(t *testing.T) {
+	spec, err := Parse("event", fig3)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if spec.Service != "event" {
+		t.Errorf("Service = %q", spec.Service)
+	}
+	if spec.DescHasParent != core.ParentSame {
+		t.Errorf("DescHasParent = %v; want Parent", spec.DescHasParent)
+	}
+	if !spec.DescCloseRemove || !spec.DescIsGlobal || !spec.DescBlock || !spec.DescHasData {
+		t.Errorf("global flags = %+v; want remove/global/block/data all true", spec)
+	}
+	if spec.RescHasData {
+		t.Error("RescHasData = true; want false (unset)")
+	}
+	if len(spec.Funcs) != 4 {
+		t.Fatalf("Funcs = %d; want 4", len(spec.Funcs))
+	}
+	split := spec.Func("evt_split")
+	if split == nil || !split.RetDescID || split.RetName != "evtid" || split.RetCType != "long" {
+		t.Fatalf("evt_split return tracking = %+v", split)
+	}
+	if len(split.Params) != 3 {
+		t.Fatalf("evt_split params = %d; want 3", len(split.Params))
+	}
+	if split.Params[0].Role != core.RoleDescData || split.Params[0].Name != "compid" || split.Params[0].CType != "componentid_t" {
+		t.Errorf("param 0 = %+v; want desc_data componentid_t compid", split.Params[0])
+	}
+	if split.Params[1].Role != core.RoleParentDesc || split.Params[1].Name != "parent_evtid" {
+		t.Errorf("param 1 = %+v; want parent_desc parent_evtid (desc_data wrapper resolves to parent)", split.Params[1])
+	}
+	if split.Params[2].Role != core.RoleDescData || split.Params[2].Name != "grp" {
+		t.Errorf("param 2 = %+v; want desc_data grp", split.Params[2])
+	}
+	wait := spec.Func("evt_wait")
+	if wait == nil || wait.RetCType != "long" {
+		t.Fatalf("evt_wait = %+v; want long return", wait)
+	}
+	if wait.Params[1].Role != core.RoleDesc {
+		t.Errorf("evt_wait param 1 role = %v; want desc", wait.Params[1].Role)
+	}
+	if len(spec.Transitions) != 5 {
+		t.Errorf("transitions = %d; want 5", len(spec.Transitions))
+	}
+	if !spec.IsCreation("evt_split") || !spec.IsTerminal("evt_free") ||
+		!spec.IsBlocking("evt_wait") || !spec.IsWakeup("evt_trigger") {
+		t.Error("function set classification wrong")
+	}
+	// The parsed spec must compile to a state machine.
+	if _, err := core.NewStateMachine(spec); err != nil {
+		t.Fatalf("NewStateMachine: %v", err)
+	}
+}
+
+func TestParseExtensions(t *testing.T) {
+	src := `
+service_global_info = {
+    desc_has_parent = xcparent,
+    desc_close_children = true,
+    resc_has_data = true,
+};
+sm_creation(fs_open);
+sm_terminal(fs_close);
+sm_update(fs_read);
+sm_update(fs_write);
+sm_update(fs_lseek);
+sm_restore(fs_lseek);
+sm_transition(fs_open, fs_close);
+
+desc_data_retval(long, fd)
+fs_open(desc_ns(componentid_t compid), desc_data(long pathbuf), desc_data(long pathlen), desc_data(parent_desc(parent_ns(componentid_t pns)  ... ));
+`
+	// The source above is deliberately malformed at the end; check error.
+	if _, err := Parse("ramfs", src); err == nil {
+		t.Fatal("malformed source accepted")
+	}
+
+	good := `
+service_global_info = {
+    desc_has_parent = solo,
+    resc_has_data = true,
+};
+sm_creation(fs_open);
+sm_terminal(fs_close);
+sm_update(fs_read);
+sm_update(fs_write);
+sm_update(fs_lseek);
+sm_restore(fs_lseek);
+sm_transition(fs_open, fs_close);
+sm_transition(fs_open, fs_read);
+sm_transition(fs_open, fs_write);
+sm_transition(fs_open, fs_lseek);
+
+desc_data_retval(long, fd)
+fs_open(desc_data(componentid_t compid), desc_data(long pathbuf), desc_data(long pathlen));
+
+desc_data_retval_acc(long, offset)
+fs_read(componentid_t compid, desc(long fd), long buf, long len);
+
+desc_data_retval_acc(long, offset)
+fs_write(componentid_t compid, desc(long fd), long buf, long len);
+
+long fs_lseek(desc(long fd), desc_data(long offset));
+int  fs_close(componentid_t compid, desc(long fd));
+`
+	spec, err := Parse("ramfs", good)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !spec.RescHasData {
+		t.Error("resc_has_data not set")
+	}
+	rd := spec.Func("fs_read")
+	if rd.RetAccum != "offset" || rd.RetDescID {
+		t.Errorf("fs_read retval = %+v; want accumulate into offset", rd)
+	}
+	if !spec.IsUpdate("fs_read") || !spec.IsRestore("fs_lseek") {
+		t.Error("update/restore sets wrong")
+	}
+	sm, err := core.NewStateMachine(spec)
+	if err != nil {
+		t.Fatalf("NewStateMachine: %v", err)
+	}
+	walk, err := sm.RecoveryWalk("fs_open", core.StateInitial)
+	if err != nil {
+		t.Fatalf("RecoveryWalk: %v", err)
+	}
+	if len(walk) != 2 || walk[0] != "fs_open" || walk[1] != "fs_lseek" {
+		t.Fatalf("RecoveryWalk = %v; want [fs_open fs_lseek]", walk)
+	}
+}
+
+func TestParseHold(t *testing.T) {
+	src := `
+service_global_info = { desc_has_parent = solo, desc_block = true };
+sm_creation(lock_alloc);
+sm_terminal(lock_free);
+sm_block(lock_take);
+sm_wakeup(lock_release);
+sm_hold(lock_take, lock_release);
+sm_transition(lock_alloc, lock_take);
+sm_transition(lock_alloc, lock_free);
+sm_transition(lock_take, lock_release);
+sm_transition(lock_release, lock_take);
+sm_transition(lock_release, lock_free);
+
+desc_data_retval(long, lockid)
+lock_alloc(desc_data(componentid_t compid));
+int lock_take(componentid_t compid, desc(long lockid));
+int lock_release(componentid_t compid, desc(long lockid));
+int lock_free(desc(long lockid));
+`
+	spec, err := Parse("lock", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(spec.Holds) != 1 || spec.Holds[0].Hold != "lock_take" || spec.Holds[0].Release != "lock_release" {
+		t.Fatalf("Holds = %+v", spec.Holds)
+	}
+	if !spec.IsPerThread("lock_take") {
+		t.Error("lock_take not per-thread")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"bad char", "@", "unexpected character"},
+		{"unterminated comment", "/* oops", "unterminated"},
+		{"bad global key", "service_global_info = { whatever = true };", "unknown service_global_info key"},
+		{"bad bool", "service_global_info = { desc_block = maybe };", "true/false"},
+		{"bad parent kind", "service_global_info = { desc_has_parent = sideways };", "Solo|Parent|XCParent"},
+		{"sm arity", "sm_transition(a);", "expects 2"},
+		{"unknown sm decl", "sm_fancy(a);", "unknown state-machine"},
+		{"dangling retval", "desc_data_retval(long, id)", "dangling"},
+		{"double retval", "desc_data_retval(long, id)\ndesc_data_retval(long, id2)\nint f(long x);", "consecutive"},
+		{"reserved fn name", "int desc(long x);", "reserved word"},
+		{"param missing name", "int f(desc(long));", "type name"},
+		{"missing semi", "int f(long x)", "expected ';'"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseLax("t", tc.src)
+			if err == nil {
+				t.Fatalf("ParseLax accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	src := `
+// line comment
+/* block
+   comment */
+sm_creation(mk); // trailing
+desc_data_retval(long, id)
+mk(desc_data(long seed));
+int rm(desc(long id)); /* another */
+sm_terminal(rm);
+sm_transition(mk, rm);
+`
+	spec, err := Parse("c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(spec.Funcs) != 2 {
+		t.Fatalf("Funcs = %d; want 2", len(spec.Funcs))
+	}
+}
+
+func TestParseMultiWordTypes(t *testing.T) {
+	src := `
+sm_creation(mk);
+sm_terminal(rm);
+sm_transition(mk, rm);
+desc_data_retval(long, id)
+mk(desc_data(unsigned long seed), const char * path);
+int rm(desc(long id));
+`
+	spec, err := Parse("c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	mk := spec.Func("mk")
+	if mk.Params[0].CType != "unsigned long" || mk.Params[0].Name != "seed" {
+		t.Errorf("param 0 = %+v; want unsigned long seed", mk.Params[0])
+	}
+	if mk.Params[1].CType != "const char *" || mk.Params[1].Name != "path" {
+		t.Errorf("param 1 = %+v; want const char * path", mk.Params[1])
+	}
+}
+
+func TestLaxSkipsValidation(t *testing.T) {
+	// Valid syntax, invalid model (no creation function).
+	src := `int f(desc(long id));`
+	if _, err := ParseLax("t", src); err != nil {
+		t.Fatalf("ParseLax: %v", err)
+	}
+	if _, err := Parse("t", src); err == nil {
+		t.Fatal("Parse accepted model-invalid spec")
+	}
+}
+
+// TestFormatFig3RoundTrip round-trips the paper's verbatim example through
+// the printer.
+func TestFormatFig3RoundTrip(t *testing.T) {
+	orig, err := Parse("event", fig3)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	again, err := Parse("event", Format(orig))
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	if !reflect.DeepEqual(orig, again) {
+		t.Errorf("Fig. 3 round trip diverged:\n%s", Format(orig))
+	}
+}

@@ -1,0 +1,95 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+
+	"superglue/internal/core"
+)
+
+// Format renders a specification back to SuperGlue IDL source: the
+// normalizer used by tooling and the round-trip property tests. The output
+// parses back to an equivalent specification.
+func Format(spec *core.Spec) string {
+	var b strings.Builder
+
+	b.WriteString("service_global_info = {\n")
+	fmt.Fprintf(&b, "        desc_has_parent = %s", strings.ToLower(spec.DescHasParent.String()))
+	writeBool := func(key string, v bool) {
+		if v {
+			fmt.Fprintf(&b, ",\n        %s = true", key)
+		}
+	}
+	writeBool("desc_close_children", spec.DescCloseChildren)
+	writeBool("desc_close_remove", spec.DescCloseRemove)
+	writeBool("desc_is_global", spec.DescIsGlobal)
+	writeBool("desc_block", spec.DescBlock)
+	writeBool("desc_has_data", spec.DescHasData)
+	writeBool("resc_has_data", spec.RescHasData)
+	b.WriteString("\n};\n\n")
+
+	for _, tr := range spec.Transitions {
+		fmt.Fprintf(&b, "sm_transition(%s, %s);\n", tr.From, tr.To)
+	}
+	writeSet := func(decl string, fns []string) {
+		for _, fn := range fns {
+			fmt.Fprintf(&b, "%s(%s);\n", decl, fn)
+		}
+	}
+	writeSet("sm_creation", spec.Creation)
+	writeSet("sm_terminal", spec.Terminal)
+	writeSet("sm_block", spec.Blocking)
+	writeSet("sm_wakeup", spec.Wakeup)
+	writeSet("sm_update", spec.Update)
+	writeSet("sm_reset", spec.Reset)
+	writeSet("sm_restore", spec.Restore)
+	for _, h := range spec.Holds {
+		fmt.Fprintf(&b, "sm_hold(%s, %s);\n", h.Hold, h.Release)
+	}
+	b.WriteString("\n")
+
+	for _, f := range spec.Funcs {
+		if f.RetDescID {
+			fmt.Fprintf(&b, "desc_data_retval(%s, %s)\n", orLong(f.RetCType), orName(f.RetName, "id"))
+		} else if f.RetAccum != "" {
+			fmt.Fprintf(&b, "desc_data_retval_acc(%s, %s)\n", orLong(f.RetCType), f.RetAccum)
+		}
+		var params []string
+		for _, p := range f.Params {
+			decl := fmt.Sprintf("%s %s", orLong(p.CType), p.Name)
+			switch p.Role {
+			case core.RoleDesc:
+				decl = fmt.Sprintf("desc(%s)", decl)
+			case core.RoleDescData:
+				decl = fmt.Sprintf("desc_data(%s)", decl)
+			case core.RoleParentDesc:
+				decl = fmt.Sprintf("parent_desc(%s)", decl)
+			case core.RoleDescNS:
+				decl = fmt.Sprintf("desc_ns(%s)", decl)
+			case core.RoleParentNS:
+				decl = fmt.Sprintf("parent_ns(%s)", decl)
+			}
+			params = append(params, decl)
+		}
+		ret := ""
+		if !f.RetDescID && f.RetAccum == "" && f.RetCType != "" {
+			ret = f.RetCType + " "
+		}
+		fmt.Fprintf(&b, "%s%s(%s);\n", ret, f.Name, strings.Join(params, ", "))
+	}
+	return b.String()
+}
+
+func orLong(t string) string {
+	if t == "" {
+		return "long"
+	}
+	return t
+}
+
+func orName(n, fallback string) string {
+	if n == "" {
+		return fallback
+	}
+	return n
+}

@@ -1,0 +1,41 @@
+package idl_test
+
+import (
+	"reflect"
+	"testing"
+
+	"superglue/internal/idl"
+	"superglue/internal/services/event"
+	"superglue/internal/services/lock"
+	"superglue/internal/services/mm"
+	"superglue/internal/services/ramfs"
+	"superglue/internal/services/sched"
+	"superglue/internal/services/timer"
+)
+
+// TestFormatRoundTrip: formatting a parsed spec and re-parsing it yields an
+// equivalent specification, for every shipped service.
+func TestFormatRoundTrip(t *testing.T) {
+	for name, src := range map[string]string{
+		"lock":  lock.IDLSource(),
+		"event": event.IDLSource(),
+		"sched": sched.IDLSource(),
+		"timer": timer.IDLSource(),
+		"mm":    mm.IDLSource(),
+		"ramfs": ramfs.IDLSource(),
+	} {
+		orig, err := idl.Parse(name, src)
+		if err != nil {
+			t.Fatalf("Parse(%s): %v", name, err)
+		}
+		printed := idl.Format(orig)
+		again, err := idl.Parse(name, printed)
+		if err != nil {
+			t.Fatalf("re-Parse(%s): %v\nprinted:\n%s", name, err, printed)
+		}
+		if !reflect.DeepEqual(orig, again) {
+			t.Errorf("%s: round trip diverged\noriginal: %+v\nreparsed: %+v\nprinted:\n%s",
+				name, orig, again, printed)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package kernel
+
+import "errors"
+
+// ErrHang reports a scheduling deadlock: live threads exist, but none is
+// runnable or sleeping. The paper classifies the corresponding campaign
+// outcome as "not recovered (other reason)" — a latent fault such as an
+// infinite wait that only a monitoring infrastructure (C'MON) would detect.
+var ErrHang = errors.New("kernel: system hang: live threads but none runnable")
+
+// ErrNoThreads reports that Run was called on a kernel with no threads.
+var ErrNoThreads = errors.New("kernel: no threads to run")
+
+// Run executes the simulation until every thread has exited, the system
+// hangs, or an unrecoverable crash halts the machine. It returns nil on
+// clean completion, ErrHang on deadlock, or the *SystemCrash / panic error
+// otherwise. Run must be called exactly once.
+func (k *Kernel) Run() error {
+	k.mu.Lock()
+	if k.started {
+		k.mu.Unlock()
+		return errors.New("kernel: Run called twice")
+	}
+	k.started = true
+	if len(k.threads) == 0 {
+		k.haltLocked(nil)
+		k.mu.Unlock()
+		return ErrNoThreads
+	}
+	first := k.pickReadyLocked()
+	if first == nil {
+		k.haltLocked(ErrHang)
+		k.mu.Unlock()
+		return ErrHang
+	}
+	k.dispatchLocked(first)
+	k.mu.Unlock()
+
+	<-k.done
+	k.mu.Lock()
+	err := k.haltErr
+	k.mu.Unlock()
+	return err
+}
+
+// enqueueLocked appends t to the ready queue, stamping its FIFO sequence.
+func (k *Kernel) enqueueLocked(t *Thread) {
+	k.seq++
+	t.seq = k.seq
+	k.ready = append(k.ready, t)
+}
+
+// IdleHandler is invoked, outside the kernel lock, when live threads exist
+// but none is runnable or sleeping: the machine's idle loop. The handler may
+// wait for external input (e.g., a network request), make a thread runnable
+// with ExternalWakeup, and return true to resume scheduling; returning false
+// lets the machine halt (a hang if threads remain). Without a handler, that
+// condition is a deadlock.
+type IdleHandler func() bool
+
+// SetIdleHandler installs the idle loop (nil clears it).
+func (k *Kernel) SetIdleHandler(h IdleHandler) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.idle = h
+}
+
+// pickReadyLocked removes and returns the highest-priority ready thread
+// (FIFO among equal priorities). If the ready queue is empty but threads are
+// sleeping, it advances the simulated clock to the earliest wake time and
+// retries; if nothing is sleeping either, the idle handler (when installed)
+// may produce new work. It returns nil when nothing can become runnable.
+func (k *Kernel) pickReadyLocked() *Thread {
+	for {
+		if best := k.takeBestLocked(); best != nil {
+			return best
+		}
+		// Nothing ready: advance time to the earliest sleeper, if any.
+		var earliest *Thread
+		for _, t := range k.threads {
+			if t.state != ThreadSleeping {
+				continue
+			}
+			if earliest == nil || t.wakeAt < earliest.wakeAt {
+				earliest = t
+			}
+		}
+		if earliest == nil {
+			if !k.runIdleLocked() {
+				return nil
+			}
+			continue
+		}
+		if earliest.wakeAt > k.clock {
+			k.clock = earliest.wakeAt
+		}
+		for _, t := range k.threads {
+			if t.state == ThreadSleeping && t.wakeAt <= k.clock {
+				t.state = ThreadRunnable
+				k.enqueueLocked(t)
+			}
+		}
+	}
+}
+
+// runIdleLocked invokes the idle handler (dropping the kernel lock across
+// the call) and reports whether scheduling should retry.
+func (k *Kernel) runIdleLocked() bool {
+	h := k.idle
+	if h == nil || k.halted {
+		return false
+	}
+	live := 0
+	for _, t := range k.threads {
+		if t.state != ThreadExited {
+			live++
+		}
+	}
+	if live == 0 {
+		return false
+	}
+	k.mu.Unlock()
+	again := h()
+	k.mu.Lock()
+	return again && !k.halted
+}
+
+// takeBestLocked removes and returns the highest-priority thread from the
+// ready queue (lowest prio value; earliest arrival breaks ties), or nil.
+func (k *Kernel) takeBestLocked() *Thread {
+	bestIdx := -1
+	for i, t := range k.ready {
+		if t.state != ThreadRunnable {
+			continue // stale entry (e.g. woken then re-queued); skip
+		}
+		if bestIdx == -1 {
+			bestIdx = i
+			continue
+		}
+		b := k.ready[bestIdx]
+		if t.prio < b.prio || (t.prio == b.prio && t.seq < b.seq) {
+			bestIdx = i
+		}
+	}
+	if bestIdx == -1 {
+		k.ready = k.ready[:0]
+		return nil
+	}
+	best := k.ready[bestIdx]
+	k.ready = append(k.ready[:bestIdx], k.ready[bestIdx+1:]...)
+	return best
+}
+
+// dispatchLocked makes next the running thread and signals its goroutine.
+func (k *Kernel) dispatchLocked(next *Thread) {
+	next.state = ThreadRunning
+	k.current = next
+	next.resume <- struct{}{}
+}
+
+// switchFromLocked transfers the core away from cur, which must have already
+// been placed in its new state (and re-queued if still runnable). It parks
+// cur's goroutine and returns, with the lock held, once cur is dispatched
+// again. If no thread can run, it halts the machine.
+func (k *Kernel) switchFromLocked(cur *Thread) {
+	next := k.pickReadyLocked()
+	if next == cur {
+		cur.state = ThreadRunning
+		k.current = cur
+		return
+	}
+	if next != nil {
+		k.dispatchLocked(next)
+	} else {
+		k.current = nil
+		k.noRunnableLocked()
+		if k.halted {
+			// parkLocked will observe the kill signal sent by haltLocked.
+			if !cur.killed {
+				// cur was running, so haltLocked did not signal it; unwind.
+				k.mu.Unlock()
+				panic(threadKilled{})
+			}
+		}
+	}
+	k.parkLocked(cur)
+}
+
+// parkLocked blocks cur's goroutine until it is dispatched again. The kernel
+// lock is released while parked and re-acquired before returning. If the
+// machine halted while parked, the goroutine unwinds via threadKilled.
+func (k *Kernel) parkLocked(cur *Thread) {
+	k.mu.Unlock()
+	<-cur.resume
+	k.mu.Lock()
+	if cur.killed {
+		k.mu.Unlock()
+		panic(threadKilled{})
+	}
+}
+
+// preemptLocked yields the core if a higher-priority thread became ready.
+// cur must be the running thread. Preemption is deferred while cur executes
+// inside a component invocation: COMPOSITE's invocation paths are short and
+// non-preemptible, and deferring to the invocation boundary keeps a thread
+// from being descheduled with a half-finished server operation that a
+// µ-reboot would otherwise tear out from under it. The deferred check runs
+// when the outermost invocation returns (see Invoke).
+func (k *Kernel) preemptLocked(cur *Thread) {
+	if len(cur.invStack) > 0 || cur.noPreempt > 0 {
+		return
+	}
+	higher := false
+	for _, t := range k.ready {
+		if t.state == ThreadRunnable && t.prio < cur.prio {
+			higher = true
+			break
+		}
+	}
+	if !higher {
+		return
+	}
+	cur.state = ThreadRunnable
+	k.enqueueLocked(cur)
+	k.switchFromLocked(cur)
+}
+
+// noRunnableLocked handles the no-runnable-thread condition: clean shutdown
+// when every thread exited, hang otherwise.
+func (k *Kernel) noRunnableLocked() {
+	live := 0
+	for _, t := range k.threads {
+		if t.state != ThreadExited {
+			live++
+		}
+	}
+	if live == 0 {
+		k.haltLocked(nil)
+		return
+	}
+	k.haltLocked(ErrHang)
+}
+
+// haltLocked stops the machine: records the terminal error, wakes every
+// parked thread with the kill flag so its goroutine unwinds, and releases
+// Run. Idempotent.
+func (k *Kernel) haltLocked(err error) {
+	if k.halted {
+		return
+	}
+	k.halted = true
+	k.haltErr = err
+	for _, t := range k.threads {
+		if t.state == ThreadExited || t == k.current {
+			continue
+		}
+		t.killed = true
+		select {
+		case t.resume <- struct{}{}:
+		default: // already signaled
+		}
+	}
+	close(k.done)
+}
+
+// Halted reports whether the machine has stopped.
+func (k *Kernel) Halted() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.halted
+}
+
+// CrashSystem records an unrecoverable whole-system failure (the campaign's
+// "segfault" outcome: the fault corrupted state outside the recoverable
+// domain, and the physical machine would need a reboot) and halts the
+// machine. It must be called from the running thread and does not return:
+// the calling goroutine unwinds.
+func (k *Kernel) CrashSystem(t *Thread, comp ComponentID, reason string) {
+	k.mu.Lock()
+	crash := &SystemCrash{Reason: reason, Comp: comp}
+	if t != nil {
+		crash.Thread = t.id
+		t.state = ThreadExited
+	}
+	k.crash = crash
+	k.current = nil
+	k.haltLocked(crash)
+	k.mu.Unlock()
+	panic(threadKilled{})
+}
+
+// HangCurrent parks the calling thread forever (modeling an infinite loop
+// caused by a corrupted loop-counter register). The system halts with
+// ErrHang once no other thread can make progress.
+func (k *Kernel) HangCurrent(t *Thread) {
+	k.mu.Lock()
+	if k.halted || t != k.current {
+		k.mu.Unlock()
+		panic(threadKilled{})
+	}
+	t.state = ThreadBlocked
+	t.blockedIn = 0
+	t.pendingFault = nil
+	k.hung = true
+	k.switchFromLocked(t)
+	// Only a kill can resume a hung thread; Wakeup may still find it
+	// blocked, so if resumed, hang again.
+	for !k.halted {
+		t.state = ThreadBlocked
+		k.switchFromLocked(t)
+	}
+	k.mu.Unlock()
+	panic(threadKilled{})
+}
+
+// Hung reports whether HangCurrent was invoked (a latent-fault marker for
+// campaign classification).
+func (k *Kernel) Hung() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.hung
+}

@@ -1,0 +1,158 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Fault is the inter-component exception delivered when an invocation
+// targets (or a blocked thread is diverted out of) a failed component. It is
+// the simulation analogue of the hardware exception that COMPOSITE vectors
+// to the booter. Client stubs catch it, ensure the component is µ-rebooted,
+// run interface-driven recovery, and retry the invocation.
+type Fault struct {
+	// Comp is the failed component.
+	Comp ComponentID
+	// Epoch is the component's epoch at the time of the fault. Recovery
+	// code compares it with the current epoch to decide whether the
+	// component still needs a µ-reboot or has already been rebooted by
+	// another client.
+	Epoch uint64
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("kernel: fault in component %d (epoch %d)", f.Comp, f.Epoch)
+}
+
+// AsFault extracts a *Fault from an error chain.
+func AsFault(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// FailComponent marks a component as failed (fail-stop). Every subsequent
+// invocation of it returns a *Fault until it is µ-rebooted, and threads
+// blocked inside it are diverted when the reboot happens. FailComponent
+// models the instant at which an activated transient fault corrupts the
+// component and is detected.
+func (k *Kernel) FailComponent(id ComponentID) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	c, err := k.compLocked(id)
+	if err != nil {
+		return err
+	}
+	c.faulty = true
+	return nil
+}
+
+// Faulty reports whether a component is currently in the failed state.
+func (k *Kernel) Faulty(id ComponentID) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	c, err := k.compLocked(id)
+	if err != nil {
+		return false
+	}
+	return c.faulty
+}
+
+// Reboot µ-reboots a component: it discards the failed instance, constructs
+// a fresh one from the component's clean image (its factory), bumps the
+// epoch, re-initializes the new instance, wakes every thread that was
+// blocked inside the failed instance with a pending *Fault (the eager T0
+// wakeup that diverts them back to their clients), and finally runs the
+// registered reboot hooks. It returns the component's new epoch.
+//
+// Reboot is idempotent per fault: use EnsureRebooted from recovery code so
+// that only the first client observing a fault performs the reboot.
+func (k *Kernel) Reboot(t *Thread, id ComponentID) (uint64, error) {
+	k.mu.Lock()
+	if k.halted {
+		k.mu.Unlock()
+		return 0, ErrHalted
+	}
+	c, err := k.compLocked(id)
+	if err != nil {
+		k.mu.Unlock()
+		return 0, err
+	}
+	oldEpoch := c.epoch
+	c.epoch++
+	c.faulty = false
+	c.svc = c.factory()
+	newEpoch := c.epoch
+	svc := c.svc
+
+	// Eager (T0) wakeup: divert threads blocked inside the failed instance
+	// back to their clients with a pending fault carrying the old epoch.
+	// Threads that were already woken but not yet scheduled are diverted
+	// too — their execution state inside the failed instance is gone —
+	// with their consumed wakeup re-latched so the redo of a blocking call
+	// does not lose it (exactly-once wakeup, recovered from kernel state).
+	for _, bt := range k.threads {
+		switch {
+		case (bt.state == ThreadBlocked || bt.state == ThreadSleeping) && bt.blockedIn == id:
+			bt.pendingFault = &Fault{Comp: id, Epoch: oldEpoch}
+			bt.state = ThreadRunnable
+			k.enqueueLocked(bt)
+		case bt.state == ThreadRunnable && bt.topOfStackLocked() == id:
+			// Woken but not yet scheduled: its execution state inside the
+			// failed instance is gone, so divert it — re-latching the
+			// consumed wakeup as a redo credit (Block case only) so the
+			// retried call does not lose it.
+			bt.pendingFault = &Fault{Comp: id, Epoch: oldEpoch}
+			if bt.lastParkWasBlock {
+				bt.wakePending = true
+				bt.redoCredit = true
+				if n := len(bt.fnStack); n > 0 {
+					bt.creditFn = bt.fnStack[n-1]
+				}
+			}
+		}
+	}
+	hooks := make([]RebootHook, len(k.rebootHooks))
+	copy(hooks, k.rebootHooks)
+	k.mu.Unlock()
+
+	// Re-initialization upcall into the fresh instance (step 4 of the
+	// paper's recovery sequence).
+	if err := svc.Init(&BootContext{Kernel: k, Self: id, Epoch: newEpoch, Thread: t}); err != nil {
+		return 0, fmt.Errorf("kernel: re-init of component %d after µ-reboot: %w", id, err)
+	}
+	for _, h := range hooks {
+		h(t, id, newEpoch)
+	}
+
+	// The eagerly woken threads may outrank the rebooting thread.
+	if t != nil {
+		k.mu.Lock()
+		if t == k.current && !k.halted {
+			k.preemptLocked(t)
+		}
+		k.mu.Unlock()
+	}
+	return newEpoch, nil
+}
+
+// EnsureRebooted µ-reboots component id only if its epoch still equals the
+// epoch observed in a fault, so concurrent clients reboot a failed component
+// exactly once. It returns the component's (possibly advanced) epoch.
+func (k *Kernel) EnsureRebooted(t *Thread, id ComponentID, faultEpoch uint64) (uint64, error) {
+	k.mu.Lock()
+	c, err := k.compLocked(id)
+	if err != nil {
+		k.mu.Unlock()
+		return 0, err
+	}
+	cur := c.epoch
+	k.mu.Unlock()
+	if cur != faultEpoch {
+		return cur, nil // someone already rebooted it
+	}
+	return k.Reboot(t, id)
+}

@@ -1,0 +1,124 @@
+package kernel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestIdleHandlerInjectsExternalWork: a blocked thread is woken from an
+// external goroutine via the idle handler, the interrupt path of the
+// simulation.
+func TestIdleHandlerInjectsExternalWork(t *testing.T) {
+	k := New()
+	work := make(chan struct{}, 4)
+	var tid ThreadID
+	served := 0
+	var err error
+	tid, err = k.CreateThread(nil, "server", 10, func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			if err := k.Block(th); err != nil {
+				t.Errorf("block: %v", err)
+				return
+			}
+			served++
+		}
+	})
+	if err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	k.SetIdleHandler(func() bool {
+		_, ok := <-work
+		if !ok {
+			return false
+		}
+		if err := k.ExternalWakeup(tid); err != nil {
+			t.Errorf("ExternalWakeup: %v", err)
+			return false
+		}
+		return true
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			work <- struct{}{}
+		}
+		close(work)
+	}()
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wg.Wait()
+	if served != 3 {
+		t.Fatalf("served = %d; want 3", served)
+	}
+}
+
+// TestIdleHandlerFalseHalts: the handler declining to produce work leaves
+// the machine to its deadlock verdict.
+func TestIdleHandlerFalseHalts(t *testing.T) {
+	k := New()
+	if _, err := k.CreateThread(nil, "stuck", 10, func(th *Thread) {
+		_ = k.Block(th)
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	calls := 0
+	k.SetIdleHandler(func() bool {
+		calls++
+		return false
+	})
+	if err := k.Run(); !errors.Is(err, ErrHang) {
+		t.Fatalf("Run = %v; want ErrHang", err)
+	}
+	if calls != 1 {
+		t.Fatalf("idle handler called %d times; want 1", calls)
+	}
+}
+
+// TestExternalWakeupLatchesWhenRunnable: like Wakeup, an external wakeup of
+// a not-yet-blocked thread must not be lost.
+func TestExternalWakeupLatchesWhenRunnable(t *testing.T) {
+	k := New()
+	var tid ThreadID
+	var err error
+	completed := false
+	tid, err = k.CreateThread(nil, "worker", 10, func(th *Thread) {
+		if err := k.Block(th); err != nil {
+			t.Errorf("block: %v", err)
+			return
+		}
+		completed = true
+	})
+	if err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	// Before Run: the thread is runnable; the wakeup must latch.
+	if err := k.ExternalWakeup(tid); err != nil {
+		t.Fatalf("ExternalWakeup: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !completed {
+		t.Fatal("latched external wakeup lost")
+	}
+}
+
+func TestExternalWakeupErrors(t *testing.T) {
+	k := New()
+	if err := k.ExternalWakeup(42); err == nil {
+		t.Fatal("wakeup of unknown thread accepted")
+	}
+	if _, err := k.CreateThread(nil, "t", 10, func(th *Thread) {}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := k.ExternalWakeup(1); !errors.Is(err, ErrHalted) {
+		t.Fatalf("wakeup after halt = %v; want ErrHalted", err)
+	}
+}

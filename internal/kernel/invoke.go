@@ -1,0 +1,156 @@
+package kernel
+
+import "fmt"
+
+// Invoke performs a synchronous component invocation on behalf of thread t:
+// the thread migrates into component dst, executes interface function fn
+// there, and returns with a single word result — the COMPOSITE invocation
+// primitive.
+//
+// If dst is in the failed state, Invoke immediately returns a *Fault
+// carrying the failed epoch; the caller's stub is expected to run recovery
+// and retry. If an installed invocation hook activates a fault while the
+// thread executes inside dst (the SWIFI case), the invocation also unwinds
+// with a *Fault, modeling fail-stop detection.
+//
+// The PhaseExit hook observes the return window: the return value is staged
+// in the modeled EAX register across the hook, so a register flip there
+// reaches the client, modeling fault propagation through return values.
+func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Word, error) {
+	k.mu.Lock()
+	if k.halted {
+		k.mu.Unlock()
+		return 0, ErrHalted
+	}
+	if t != k.current {
+		k.mu.Unlock()
+		return 0, ErrNotCurrent
+	}
+	c, err := k.compLocked(dst)
+	if err != nil {
+		k.mu.Unlock()
+		return 0, err
+	}
+	if c.faulty {
+		f := &Fault{Comp: dst, Epoch: c.epoch}
+		k.mu.Unlock()
+		return 0, f
+	}
+	svc := c.svc
+	epoch := c.epoch
+	hook := k.hook
+	t.invStack = append(t.invStack, dst)
+	t.fnStack = append(t.fnStack, fn)
+	k.mu.Unlock()
+
+	popped := false
+	pop := func() {
+		if popped {
+			return
+		}
+		popped = true
+		k.mu.Lock()
+		if n := len(t.invStack); n > 0 && t.invStack[n-1] == dst {
+			t.invStack = t.invStack[:n-1]
+			t.fnStack = t.fnStack[:n-1]
+		}
+		k.invCount++
+		// Deferred preemption: wakeups performed during the invocation take
+		// effect at the invocation boundary.
+		if len(t.invStack) == 0 && t == k.current && !k.halted {
+			k.preemptLocked(t)
+		}
+		k.mu.Unlock()
+	}
+	defer pop()
+
+	if hook != nil {
+		hook(t, dst, fn, PhaseEntry)
+		// Fail-stop: a fault activated at entry aborts the invocation
+		// before the operation starts.
+		if f, failed := k.faultIf(dst, epoch); failed {
+			return 0, f
+		}
+	}
+
+	ret, err := svc.Dispatch(t, fn, args)
+	if err != nil {
+		return ret, err
+	}
+
+	if hook != nil {
+		// Stage the return value in EAX across the return-window hook. A
+		// fault activated here fails the component for *subsequent*
+		// invocations, but this operation already completed and its result
+		// is delivered (possibly with a corrupted return value, the
+		// propagation channel).
+		t.regs.Val[RegEAX] = uint32(ret)
+		hook(t, dst, fn, PhaseExit)
+		ret = Word(int32(t.regs.Val[RegEAX]))
+	}
+	// The retried invocation completed: drop any unconsumed redo credit so
+	// it cannot surface later as a spurious wakeup.
+	k.mu.Lock()
+	if t.redoCredit && t.creditFn == fn {
+		t.redoCredit = false
+		t.creditFn = ""
+		t.wakePending = false
+	}
+	k.mu.Unlock()
+	return ret, nil
+}
+
+// Upcall invokes fn in component dst on behalf of t, exactly like Invoke but
+// named for the reverse direction: recovery infrastructure calling *into* a
+// client component (mechanism U0) rather than a client calling a server.
+func (k *Kernel) Upcall(t *Thread, dst ComponentID, fn string, args ...Word) (Word, error) {
+	return k.Invoke(t, dst, fn, args...)
+}
+
+// faultIf returns the pending fault for comp if its failed flag was raised
+// (or it was already rebooted past epoch) while the caller executed inside.
+func (k *Kernel) faultIf(comp ComponentID, epoch uint64) (*Fault, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	c, err := k.compLocked(comp)
+	if err != nil {
+		return nil, false
+	}
+	if c.faulty {
+		return &Fault{Comp: comp, Epoch: c.epoch}, true
+	}
+	if c.epoch != epoch {
+		return &Fault{Comp: comp, Epoch: epoch}, true
+	}
+	return nil, false
+}
+
+// Executing reports the component at depth i of thread t's invocation stack;
+// it exists for services that need their caller's identity (COMPOSITE passes
+// the client's component ID, or "spdid", on invocations).
+func (k *Kernel) Executing(t *Thread) ComponentID {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if n := len(t.invStack); n > 0 {
+		return t.invStack[n-1]
+	}
+	return 0
+}
+
+// Caller returns the component that invoked the current one on thread t: the
+// second-innermost entry of the invocation stack, or zero for application
+// ("home") code.
+func (k *Kernel) Caller(t *Thread) ComponentID {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if n := len(t.invStack); n > 1 {
+		return t.invStack[n-2]
+	}
+	return 0
+}
+
+// DispatchError annotates an unknown-function dispatch with context; service
+// Dispatch implementations use it for their default case.
+func DispatchError(svc string, fn string) error {
+	return fmt.Errorf("%w: %s.%s", ErrNoSuchFunction, svc, fn)
+}

@@ -1,0 +1,344 @@
+// Package kernel implements a deterministic, single-core simulation of the
+// COMPOSITE component-based µ-kernel that the SuperGlue paper (DSN 2016)
+// builds on.
+//
+// The simulator reproduces the properties interface-driven recovery depends
+// on:
+//
+//   - Fine-grained isolation: every component owns private state that is
+//     reachable only through kernel-mediated invocations, mirroring
+//     page-table protection. A fault corrupts at most one component.
+//   - Synchronous invocations via thread migration: an invocation executes
+//     on the calling thread inside the server component, and the kernel
+//     tracks the invocation stack of every thread.
+//   - Fault exceptions: invoking a component that has failed (or failing
+//     while executing inside one) delivers a *Fault to the caller, the
+//     analogue of the hardware exception that COMPOSITE vectors to the
+//     booter component.
+//   - µ-reboot: the booter can reinstate a failed component from its clean
+//     image (factory), bump its epoch, and run eager-recovery hooks.
+//
+// Scheduling is cooperative and strictly single-core: exactly one simulated
+// thread runs at a time, selected by fixed priority (lower value = higher
+// priority) with FIFO ordering among equals, and wakeups of higher-priority
+// threads preempt the running thread. All scheduling decisions are
+// deterministic, which makes fault-injection campaigns reproducible.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Word is the machine word used for invocation arguments and return values.
+// COMPOSITE invocations pass register-sized (long) values; descriptor
+// identifiers in SuperGlue are longs as well.
+type Word = int64
+
+// ComponentID names a component. IDs are assigned densely starting at 1.
+type ComponentID int32
+
+// ThreadID names a simulated thread. IDs are assigned densely starting at 1.
+type ThreadID int32
+
+// InvokePhase tells an invocation hook where in the invocation life cycle it
+// is being called.
+type InvokePhase int
+
+// Invocation phases observed by hooks.
+const (
+	// PhaseEntry is reported right after a thread migrates into the server.
+	PhaseEntry InvokePhase = iota + 1
+	// PhaseExit is reported right before the thread returns to the client,
+	// while the return value still lives in a register (the window in which
+	// a register fault can propagate a corrupt value to the caller).
+	PhaseExit
+)
+
+// InvokeHook observes component invocations. The SWIFI injector installs one
+// to flip register bits of threads executing inside a target component.
+// The hook runs on the simulated thread itself, with the kernel unlocked.
+type InvokeHook func(t *Thread, comp ComponentID, fn string, phase InvokePhase)
+
+// Service is the behavior of a component: a named dispatch table plus an
+// initialization entry point invoked at boot and after every µ-reboot.
+type Service interface {
+	// Name returns the service name (used in traces and errors).
+	Name() string
+	// Init is the component's re-initialization upcall. It runs at boot and
+	// after each µ-reboot, before any invocation is delivered.
+	Init(bc *BootContext) error
+	// Dispatch handles one invocation of interface function fn. It runs on
+	// the invoking (migrated) thread.
+	Dispatch(t *Thread, fn string, args []Word) (Word, error)
+}
+
+// BootContext is handed to Service.Init so a freshly (re)booted component
+// can reach the kernel and learn its own identity and epoch.
+type BootContext struct {
+	Kernel *Kernel
+	Self   ComponentID
+	// Epoch is the component's current epoch: 0 for the first boot,
+	// incremented by every µ-reboot.
+	Epoch uint64
+	// Thread is the thread performing the (re)boot upcall, if any.
+	Thread *Thread
+}
+
+// component is the kernel-side representation of a protection domain.
+type component struct {
+	id      ComponentID
+	name    string
+	svc     Service
+	factory func() Service
+	epoch   uint64
+	faulty  bool
+	profile RegProfile
+}
+
+// ErrNoSuchComponent is returned for invocations that target an unknown
+// component ID.
+var ErrNoSuchComponent = errors.New("kernel: no such component")
+
+// ErrNoSuchFunction is the conventional error services return for an unknown
+// interface function.
+var ErrNoSuchFunction = errors.New("kernel: no such interface function")
+
+// ErrHalted is returned for operations on a kernel whose simulation already
+// finished or crashed.
+var ErrHalted = errors.New("kernel: system halted")
+
+// ErrInvalidDescriptor is the EINVAL analogue services return when an
+// invocation names a descriptor they do not know — after a µ-reboot this is
+// the signal that triggers global-descriptor recovery (mechanism G0).
+var ErrInvalidDescriptor = errors.New("kernel: invalid descriptor (EINVAL)")
+
+// Kernel is one simulated machine instance. The zero value is not usable;
+// construct with New.
+type Kernel struct {
+	mu sync.Mutex
+
+	comps   []*component // index = ComponentID-1
+	threads []*Thread    // index = ThreadID-1
+	ready   []*Thread    // FIFO arrival order; selection scans for min prio
+	current *Thread
+	clock   Time
+	seq     uint64 // arrival sequence counter for FIFO tie-breaking
+
+	started bool
+	halted  bool
+	hung    bool
+	haltErr error
+	done    chan struct{}
+
+	hook        InvokeHook
+	rebootHooks []RebootHook
+	idle        IdleHandler
+	crash       *SystemCrash
+
+	// invCount counts completed component invocations (observability).
+	invCount uint64
+}
+
+// Time is simulated time in microseconds.
+type Time int64
+
+// RebootHook runs after a component has been µ-rebooted and re-initialized.
+// The recovery engine registers one to perform eager (T0) recovery.
+type RebootHook func(t *Thread, comp ComponentID, epoch uint64)
+
+// SystemCrash records an unrecoverable, whole-system failure (the analogue
+// of the machine exiting with a segmentation fault during the paper's
+// campaign, after which the machine must be rebooted).
+type SystemCrash struct {
+	Reason string
+	Comp   ComponentID
+	Thread ThreadID
+}
+
+// Error implements error.
+func (c *SystemCrash) Error() string {
+	return fmt.Sprintf("kernel: system crash in component %d on thread %d: %s", c.Comp, c.Thread, c.Reason)
+}
+
+// New constructs an empty simulated machine.
+func New() *Kernel {
+	return &Kernel{done: make(chan struct{})}
+}
+
+// Register installs a component built by factory and boots it by calling
+// Init on a fresh instance. The factory is retained as the component's clean
+// image: µ-rebooting the component constructs a new instance from it, the
+// simulation analogue of the booter's memcpy from the pristine image.
+func (k *Kernel) Register(factory func() Service) (ComponentID, error) {
+	if factory == nil {
+		return 0, errors.New("kernel: nil component factory")
+	}
+	svc := factory()
+	if svc == nil {
+		return 0, errors.New("kernel: component factory returned nil")
+	}
+
+	k.mu.Lock()
+	id := ComponentID(len(k.comps) + 1)
+	c := &component{id: id, name: svc.Name(), svc: svc, factory: factory, profile: DefaultRegProfile()}
+	k.comps = append(k.comps, c)
+	k.mu.Unlock()
+
+	if err := svc.Init(&BootContext{Kernel: k, Self: id, Epoch: 0}); err != nil {
+		return 0, fmt.Errorf("kernel: init of component %q: %w", svc.Name(), err)
+	}
+	return id, nil
+}
+
+// MustRegister is Register for wiring code where registration cannot fail.
+// It panics on error and is intended for system assembly in main functions
+// and tests.
+func (k *Kernel) MustRegister(factory func() Service) ComponentID {
+	id, err := k.Register(factory)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// SetRegProfile sets the register-usage profile the kernel applies to
+// threads executing inside comp. The profile determines how a register
+// bit-flip manifests (see RegProfile).
+func (k *Kernel) SetRegProfile(comp ComponentID, p RegProfile) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	c, err := k.compLocked(comp)
+	if err != nil {
+		return err
+	}
+	c.profile = p
+	return nil
+}
+
+// SetInvokeHook installs the invocation observer (nil clears it).
+func (k *Kernel) SetInvokeHook(h InvokeHook) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.hook = h
+}
+
+// AddRebootHook appends a hook that runs after every µ-reboot.
+func (k *Kernel) AddRebootHook(h RebootHook) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.rebootHooks = append(k.rebootHooks, h)
+}
+
+// ComponentName resolves a component's name, or "?" if unknown.
+func (k *Kernel) ComponentName(id ComponentID) string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	c, err := k.compLocked(id)
+	if err != nil {
+		return "?"
+	}
+	return c.name
+}
+
+// Epoch returns the current epoch of a component.
+func (k *Kernel) Epoch(id ComponentID) (uint64, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	c, err := k.compLocked(id)
+	if err != nil {
+		return 0, err
+	}
+	return c.epoch, nil
+}
+
+// Service returns the live service instance of a component. It is intended
+// for reflection-style recovery and tests; normal interaction must go
+// through Invoke.
+func (k *Kernel) Service(id ComponentID) (Service, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	c, err := k.compLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	return c.svc, nil
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.clock
+}
+
+// InvocationCount returns the number of completed component invocations.
+func (k *Kernel) InvocationCount() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.invCount
+}
+
+// Crash returns the recorded unrecoverable system crash, if any.
+func (k *Kernel) Crash() *SystemCrash {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.crash
+}
+
+func (k *Kernel) compLocked(id ComponentID) (*component, error) {
+	if id < 1 || int(id) > len(k.comps) {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchComponent, id)
+	}
+	return k.comps[id-1], nil
+}
+
+// Components returns the IDs of all registered components in registration
+// order.
+func (k *Kernel) Components() []ComponentID {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ids := make([]ComponentID, len(k.comps))
+	for i := range k.comps {
+		ids[i] = k.comps[i].id
+	}
+	return ids
+}
+
+// ThreadInfo is a reflection snapshot of one thread, used by recovery code
+// that rebuilds scheduler state from kernel thread objects.
+type ThreadInfo struct {
+	ID        ThreadID
+	Name      string
+	Prio      int
+	State     ThreadState
+	BlockedIn ComponentID // component the thread is blocked inside, if Blocked
+	Executing ComponentID // innermost component on the invocation stack
+}
+
+// ReflectThreads returns a snapshot of all live (non-exited) threads, sorted
+// by ID. This is the kernel half of C³'s "reflection" interface: the
+// scheduler component rebuilds its run queue from these authoritative kernel
+// objects after a µ-reboot.
+func (k *Kernel) ReflectThreads() []ThreadInfo {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	var out []ThreadInfo
+	for _, t := range k.threads {
+		if t.state == ThreadExited {
+			continue
+		}
+		info := ThreadInfo{ID: t.id, Name: t.name, Prio: t.prio, State: t.state}
+		if t.state == ThreadBlocked || t.state == ThreadSleeping {
+			info.BlockedIn = t.blockedIn
+		}
+		if n := len(t.invStack); n > 0 {
+			info.Executing = t.invStack[n-1]
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

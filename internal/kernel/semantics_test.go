@@ -1,0 +1,272 @@
+package kernel
+
+import (
+	"testing"
+)
+
+// TestNoPreemptDefersPreemption: waking a higher-priority thread inside a
+// non-preemptible section must not switch until the section ends.
+func TestNoPreemptDefersPreemption(t *testing.T) {
+	k := New()
+	var order []string
+	var hiID ThreadID
+	var err error
+	hiID, err = k.CreateThread(nil, "hi", 1, func(th *Thread) {
+		if err := k.Block(th); err != nil {
+			t.Errorf("block: %v", err)
+		}
+		order = append(order, "hi")
+	})
+	if err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if _, err := k.CreateThread(nil, "lo", 10, func(th *Thread) {
+		k.PushNoPreempt(th)
+		if err := k.Wakeup(th, hiID); err != nil {
+			t.Errorf("wakeup: %v", err)
+		}
+		order = append(order, "lo-critical")
+		k.PopNoPreempt(th)
+		order = append(order, "lo-after")
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"lo-critical", "hi", "lo-after"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v; want %v (preemption deferred to PopNoPreempt)", order, want)
+	}
+}
+
+// TestNoPreemptNests: nested sections only preempt at the outermost pop.
+func TestNoPreemptNests(t *testing.T) {
+	k := New()
+	var order []string
+	var hiID ThreadID
+	var err error
+	hiID, err = k.CreateThread(nil, "hi", 1, func(th *Thread) {
+		if err := k.Block(th); err != nil {
+			t.Errorf("block: %v", err)
+		}
+		order = append(order, "hi")
+	})
+	if err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if _, err := k.CreateThread(nil, "lo", 10, func(th *Thread) {
+		k.PushNoPreempt(th)
+		k.PushNoPreempt(th)
+		if err := k.Wakeup(th, hiID); err != nil {
+			t.Errorf("wakeup: %v", err)
+		}
+		k.PopNoPreempt(th)
+		order = append(order, "still-critical")
+		k.PopNoPreempt(th)
+		order = append(order, "lo-after")
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"still-critical", "hi", "lo-after"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v; want %v", order, want)
+		}
+	}
+}
+
+// blockySvc blocks callers and lets tests wake them through the service.
+type blockySvc struct {
+	k *Kernel
+}
+
+func (s *blockySvc) Name() string { return "blocky" }
+
+func (s *blockySvc) Init(bc *BootContext) error {
+	s.k = bc.Kernel
+	return nil
+}
+
+func (s *blockySvc) Dispatch(t *Thread, fn string, args []Word) (Word, error) {
+	switch fn {
+	case "block":
+		if err := s.k.Block(t); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	case "wake":
+		if err := s.k.Wakeup(t, ThreadID(args[0])); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	case "nop":
+		return 0, nil
+	default:
+		return 0, DispatchError("blocky", fn)
+	}
+}
+
+// TestRedoCreditPreservesWakeup: a thread woken inside a component that is
+// then rebooted before the thread runs must get its wakeup back — the
+// diverted blocking call's retry returns immediately instead of losing it.
+func TestRedoCreditPreservesWakeup(t *testing.T) {
+	k := New()
+	id := k.MustRegister(func() Service { return &blockySvc{} })
+	var blockedID ThreadID
+	var err error
+	gotWakeup := false
+	blockedID, err = k.CreateThread(nil, "blocked", 10, func(th *Thread) {
+		_, err := k.Invoke(th, id, "block")
+		f, isFault := AsFault(err)
+		if !isFault {
+			t.Errorf("first block = %v; want fault divert", err)
+			return
+		}
+		if _, rerr := k.EnsureRebooted(th, id, f.Epoch); rerr != nil {
+			t.Errorf("reboot: %v", rerr)
+			return
+		}
+		// Retry the blocking call: the redo credit (the wakeup consumed
+		// before the divert) must make it return immediately.
+		if _, err := k.Invoke(th, id, "block"); err != nil {
+			t.Errorf("retried block: %v", err)
+			return
+		}
+		gotWakeup = true
+	})
+	if err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if _, err := k.CreateThread(nil, "driver", 11, func(th *Thread) {
+		// The blocked thread (higher prio) ran first and is parked inside.
+		// Wake it, fail, and reboot without yielding: the wakeup happened,
+		// but the woken thread has not run when the reboot diverts it.
+		k.PushNoPreempt(th)
+		if _, err := k.Invoke(th, id, "wake", Word(blockedID)); err != nil {
+			t.Errorf("wake: %v", err)
+			return
+		}
+		if err := k.FailComponent(id); err != nil {
+			t.Errorf("fail: %v", err)
+		}
+		if _, err := k.Reboot(th, id); err != nil {
+			t.Errorf("reboot: %v", err)
+		}
+		k.PopNoPreempt(th)
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !gotWakeup {
+		t.Fatal("wakeup lost across the divert")
+	}
+}
+
+// TestExitWindowFaultDoesNotDivertCompletedOp: a fault activated at the
+// return window fails the component for subsequent invocations but delivers
+// the completed operation's result.
+func TestExitWindowFaultDoesNotDivertCompletedOp(t *testing.T) {
+	k := New()
+	id := k.MustRegister(func() Service { return &blockySvc{} })
+	k.SetInvokeHook(func(th *Thread, comp ComponentID, fn string, phase InvokePhase) {
+		if phase == PhaseExit && fn == "nop" {
+			if err := k.FailComponent(comp); err != nil {
+				t.Errorf("fail: %v", err)
+			}
+		}
+	})
+	if _, err := k.CreateThread(nil, "main", 10, func(th *Thread) {
+		// The operation completes despite the exit-window fault.
+		if _, err := k.Invoke(th, id, "nop"); err != nil {
+			t.Errorf("completed op diverted: %v", err)
+		}
+		// The next invocation observes the failure.
+		if _, err := k.Invoke(th, id, "nop"); err == nil {
+			t.Error("subsequent invocation of failed component succeeded")
+		} else if _, ok := AsFault(err); !ok {
+			t.Errorf("subsequent invocation error = %v; want *Fault", err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestRedoCreditDroppedAfterRetryCompletes: an unconsumed redo credit must
+// not leak into later blocking calls as a spurious wakeup.
+func TestRedoCreditDroppedAfterRetryCompletes(t *testing.T) {
+	k := New()
+	id := k.MustRegister(func() Service { return &blockySvc{} })
+	var blockedID ThreadID
+	var err error
+	deadlocked := true
+	blockedID, err = k.CreateThread(nil, "blocked", 10, func(th *Thread) {
+		_, err := k.Invoke(th, id, "block")
+		f, isFault := AsFault(err)
+		if !isFault {
+			t.Errorf("first block = %v; want fault divert", err)
+			return
+		}
+		if _, rerr := k.EnsureRebooted(th, id, f.Epoch); rerr != nil {
+			t.Errorf("reboot: %v", rerr)
+			return
+		}
+		// Retry with a NON-blocking call of the same name is impossible
+		// here, so consume the retry with a nop of a different fn first:
+		// the credit must survive that (scoped to "block")...
+		if _, err := k.Invoke(th, id, "nop"); err != nil {
+			t.Errorf("nop: %v", err)
+			return
+		}
+		// ...and be consumed by the retried block.
+		if _, err := k.Invoke(th, id, "block"); err != nil {
+			t.Errorf("retried block: %v", err)
+			return
+		}
+		// A later block must genuinely block (no stale credit): the driver
+		// wakes us, proving we parked.
+		if _, err := k.Invoke(th, id, "block"); err != nil {
+			t.Errorf("final block: %v", err)
+			return
+		}
+		deadlocked = false
+	})
+	if err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if _, err := k.CreateThread(nil, "driver", 11, func(th *Thread) {
+		k.PushNoPreempt(th)
+		if _, err := k.Invoke(th, id, "wake", Word(blockedID)); err != nil {
+			t.Errorf("wake: %v", err)
+			return
+		}
+		if err := k.FailComponent(id); err != nil {
+			t.Errorf("fail: %v", err)
+		}
+		if _, err := k.Reboot(th, id); err != nil {
+			t.Errorf("reboot: %v", err)
+		}
+		k.PopNoPreempt(th)
+		// Let the blocked thread retry and reach its final block, then
+		// wake it so the run terminates.
+		if _, err := k.Invoke(th, id, "wake", Word(blockedID)); err != nil {
+			t.Errorf("final wake: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if deadlocked {
+		t.Fatal("final block never completed")
+	}
+}

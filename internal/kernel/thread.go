@@ -1,0 +1,449 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ThreadState is the life-cycle state of a simulated thread.
+type ThreadState int
+
+// Thread states.
+const (
+	// ThreadRunnable means the thread is on the ready queue.
+	ThreadRunnable ThreadState = iota + 1
+	// ThreadRunning means the thread currently owns the (single) core.
+	ThreadRunning
+	// ThreadBlocked means the thread is blocked inside a component (e.g.,
+	// contending a lock or waiting on an event) until woken explicitly.
+	ThreadBlocked
+	// ThreadSleeping means the thread is blocked until a simulated time.
+	ThreadSleeping
+	// ThreadExited means the thread's entry function returned.
+	ThreadExited
+)
+
+// String implements fmt.Stringer.
+func (s ThreadState) String() string {
+	switch s {
+	case ThreadRunnable:
+		return "runnable"
+	case ThreadRunning:
+		return "running"
+	case ThreadBlocked:
+		return "blocked"
+	case ThreadSleeping:
+		return "sleeping"
+	case ThreadExited:
+		return "exited"
+	default:
+		return fmt.Sprintf("ThreadState(%d)", int(s))
+	}
+}
+
+// Thread is one simulated thread. Threads execute cooperatively: exactly one
+// thread runs at a time, and control transfers only at explicit kernel
+// operations (Block, Sleep, Yield, Wakeup-preemption, thread exit).
+//
+// A Thread value is only valid on the goroutine the kernel created for it;
+// kernel entry points that take a *Thread must be passed the running thread.
+type Thread struct {
+	id   ThreadID
+	name string
+	prio int // lower value = higher priority
+
+	k     *Kernel
+	entry func(*Thread)
+
+	state     ThreadState
+	seq       uint64 // ready-queue arrival order for FIFO tie-breaking
+	resume    chan struct{}
+	killed    bool
+	blockedIn ComponentID // valid while state == ThreadBlocked
+	wakeAt    Time        // valid while state == ThreadSleeping
+
+	// wakePending latches a Wakeup delivered while the thread was not
+	// blocked, so the next Block returns immediately instead of losing the
+	// wakeup — the dependency-counting semantics of COMPOSITE's
+	// sched_blk/sched_wakeup pair.
+	wakePending bool
+
+	// lastParkWasBlock distinguishes a thread woken from Block from one
+	// woken from Sleep; a µ-reboot diverting a woken-but-not-yet-run
+	// thread re-latches its consumed wakeup only in the Block case.
+	lastParkWasBlock bool
+
+	// redoCredit marks a wakePending latch that was granted as part of a
+	// fault divert; it is dropped (if unconsumed) when the retried
+	// invocation completes, so it cannot leak into later blocking calls
+	// as a spurious wakeup. creditFn names the diverted function, so the
+	// credit survives recovery-walk invocations of other functions and is
+	// only retired when the retried call itself completes.
+	redoCredit bool
+	creditFn   string
+
+	// noPreempt suppresses preemption while > 0: recovery walks run as
+	// short non-preemptible critical sections so a half-recovered
+	// descriptor is never observed by another thread (the stub-lock
+	// equivalent). Blocking still switches; only involuntary preemption is
+	// deferred.
+	noPreempt int
+
+	// pendingFault diverts a blocked thread back to its client: when the
+	// component a thread is blocked in is µ-rebooted, the thread is woken
+	// eagerly and its Block call returns this fault.
+	pendingFault *Fault
+
+	// invStack records the components the thread is executing in, outermost
+	// first. Entry 0 is absent for "home" (application) execution. fnStack
+	// holds the corresponding interface function names.
+	invStack []ComponentID
+	fnStack  []string
+
+	// regs is the modeled register file while executing inside a component;
+	// the SWIFI injector flips bits here.
+	regs RegFile
+
+	err error // entry panic converted to error, reported via Kernel halt
+}
+
+// threadKilled is the panic payload used to unwind a simulated thread's
+// goroutine when the machine halts. It never escapes the thread trampoline.
+type threadKilled struct{}
+
+// topOfStackLocked returns the innermost component of the thread's
+// invocation stack (kernel lock held).
+func (t *Thread) topOfStackLocked() ComponentID {
+	if n := len(t.invStack); n > 0 {
+		return t.invStack[n-1]
+	}
+	return 0
+}
+
+// ID returns the thread's identifier.
+func (t *Thread) ID() ThreadID { return t.id }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Prio returns the thread's fixed priority (lower value = higher priority).
+func (t *Thread) Prio() int { return t.prio }
+
+// Kernel returns the kernel the thread belongs to.
+func (t *Thread) Kernel() *Kernel { return t.k }
+
+// State returns the thread's current state.
+func (t *Thread) State() ThreadState {
+	t.k.mu.Lock()
+	defer t.k.mu.Unlock()
+	return t.state
+}
+
+// Executing returns the innermost component the thread is executing in, or
+// zero if it is running application code.
+func (t *Thread) Executing() ComponentID {
+	t.k.mu.Lock()
+	defer t.k.mu.Unlock()
+	if n := len(t.invStack); n > 0 {
+		return t.invStack[n-1]
+	}
+	return 0
+}
+
+// Regs returns a pointer to the thread's modeled register file. Only the
+// running thread (or an invocation hook running on it) may touch it.
+func (t *Thread) Regs() *RegFile { return &t.regs }
+
+// ErrNotCurrent reports a kernel call made on behalf of a thread that is not
+// the running thread — a bug in the calling code.
+var ErrNotCurrent = errors.New("kernel: calling thread is not the running thread")
+
+// CreateThread creates a simulated thread that will execute entry. It may be
+// called before Run (to seed the system) or by a running thread; in the
+// latter case creator is the running thread and a higher-priority new thread
+// preempts it immediately. Pass creator == nil when calling from outside the
+// simulation.
+func (k *Kernel) CreateThread(creator *Thread, name string, prio int, entry func(*Thread)) (ThreadID, error) {
+	if entry == nil {
+		return 0, errors.New("kernel: nil thread entry")
+	}
+	k.mu.Lock()
+	if k.halted {
+		k.mu.Unlock()
+		return 0, ErrHalted
+	}
+	if creator != nil && creator != k.current {
+		k.mu.Unlock()
+		return 0, ErrNotCurrent
+	}
+	t := &Thread{
+		id:     ThreadID(len(k.threads) + 1),
+		name:   name,
+		prio:   prio,
+		k:      k,
+		entry:  entry,
+		state:  ThreadRunnable,
+		resume: make(chan struct{}, 1),
+	}
+	k.threads = append(k.threads, t)
+	k.enqueueLocked(t)
+	go k.trampoline(t)
+
+	if creator != nil {
+		k.preemptLocked(creator)
+	}
+	k.mu.Unlock()
+	return t.id, nil
+}
+
+// Thread looks up a thread by ID.
+func (k *Kernel) Thread(id ThreadID) (*Thread, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if id < 1 || int(id) > len(k.threads) {
+		return nil, fmt.Errorf("kernel: no such thread %d", id)
+	}
+	return k.threads[id-1], nil
+}
+
+// trampoline is the goroutine body hosting one simulated thread. It parks
+// until first dispatched, runs the entry function, and hands the core to the
+// next thread on return. A threadKilled panic (machine halt) unwinds
+// silently; any other panic halts the machine with an error.
+func (k *Kernel) trampoline(t *Thread) {
+	// Park until first dispatched.
+	<-t.resume
+	k.mu.Lock()
+	killed := t.killed
+	k.mu.Unlock()
+	if killed {
+		return
+	}
+
+	defer func() {
+		r := recover()
+		if _, ok := r.(threadKilled); ok || r == nil {
+			if r != nil {
+				return // machine halted; goroutine unwinds silently
+			}
+			k.exitCurrent(t)
+			return
+		}
+		// A real panic in simulated code: halt the machine with the error.
+		k.mu.Lock()
+		t.state = ThreadExited
+		k.haltLocked(fmt.Errorf("kernel: panic on thread %d (%s): %v", t.id, t.name, r))
+		k.mu.Unlock()
+	}()
+	t.entry(t)
+}
+
+// exitCurrent retires the running thread and dispatches the next one.
+func (k *Kernel) exitCurrent(t *Thread) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	t.state = ThreadExited
+	k.current = nil
+	if k.halted {
+		return
+	}
+	next := k.pickReadyLocked()
+	if next != nil {
+		k.dispatchLocked(next)
+		return
+	}
+	k.noRunnableLocked()
+}
+
+// Block parks the calling thread until another thread wakes it with Wakeup.
+// It returns nil on a normal wakeup. If the component the thread is blocked
+// in fails and is µ-rebooted, the thread is woken eagerly (mechanism T0) and
+// Block returns the *Fault; service code must propagate that error up the
+// invocation path unmodified so the client stub can run recovery.
+func (k *Kernel) Block(t *Thread) error {
+	k.mu.Lock()
+	if k.halted {
+		k.mu.Unlock()
+		return ErrHalted
+	}
+	if t != k.current {
+		k.mu.Unlock()
+		return ErrNotCurrent
+	}
+	if t.wakePending {
+		t.wakePending = false
+		t.redoCredit = false
+		t.creditFn = ""
+		k.mu.Unlock()
+		return nil
+	}
+	t.state = ThreadBlocked
+	t.lastParkWasBlock = true
+	if n := len(t.invStack); n > 0 {
+		t.blockedIn = t.invStack[n-1]
+	} else {
+		t.blockedIn = 0
+	}
+	k.switchFromLocked(t)
+	t.blockedIn = 0
+	if f := t.pendingFault; f != nil {
+		t.pendingFault = nil
+		k.mu.Unlock()
+		return f
+	}
+	k.mu.Unlock()
+	return nil
+}
+
+// Sleep parks the calling thread for d microseconds of simulated time.
+func (k *Kernel) Sleep(t *Thread, d Time) error {
+	if d < 0 {
+		return fmt.Errorf("kernel: negative sleep %d", d)
+	}
+	k.mu.Lock()
+	if k.halted {
+		k.mu.Unlock()
+		return ErrHalted
+	}
+	if t != k.current {
+		k.mu.Unlock()
+		return ErrNotCurrent
+	}
+	t.state = ThreadSleeping
+	t.lastParkWasBlock = false
+	t.wakeAt = k.clock + d
+	if n := len(t.invStack); n > 0 {
+		t.blockedIn = t.invStack[n-1]
+	} else {
+		t.blockedIn = 0
+	}
+	k.switchFromLocked(t)
+	t.blockedIn = 0
+	var err error
+	if f := t.pendingFault; f != nil {
+		t.pendingFault = nil
+		err = f
+	}
+	k.mu.Unlock()
+	return err
+}
+
+// Wakeup moves a blocked or sleeping thread to the ready queue. If the woken
+// thread has higher priority than the caller, the caller is preempted
+// immediately (single-core preemptive priority scheduling). Waking a thread
+// that is not blocked latches the wakeup so the thread's next Block returns
+// immediately — the dependency-counting semantics of COMPOSITE's
+// sched_blk/sched_wakeup pair, which also makes wakeup replay during
+// recovery idempotent. Waking an exited thread is a no-op.
+func (k *Kernel) Wakeup(caller *Thread, id ThreadID) error {
+	// No deferred unlock: preemptLocked can park this goroutine, and the
+	// halt-unwind path releases the lock itself.
+	k.mu.Lock()
+	if k.halted {
+		k.mu.Unlock()
+		return ErrHalted
+	}
+	if caller != nil && caller != k.current {
+		k.mu.Unlock()
+		return ErrNotCurrent
+	}
+	if id < 1 || int(id) > len(k.threads) {
+		k.mu.Unlock()
+		return fmt.Errorf("kernel: wakeup of unknown thread %d", id)
+	}
+	t := k.threads[id-1]
+	if t.state != ThreadBlocked && t.state != ThreadSleeping {
+		if t.state != ThreadExited {
+			t.wakePending = true
+		}
+		k.mu.Unlock()
+		return nil
+	}
+	t.state = ThreadRunnable
+	k.enqueueLocked(t)
+	if caller != nil {
+		k.preemptLocked(caller)
+	}
+	k.mu.Unlock()
+	return nil
+}
+
+// Yield hands the core to the next thread of equal or higher priority; the
+// caller stays runnable and resumes in FIFO order.
+func (k *Kernel) Yield(t *Thread) error {
+	// No deferred unlock: switchFromLocked parks this goroutine, and the
+	// halt-unwind path releases the lock itself.
+	k.mu.Lock()
+	if k.halted {
+		k.mu.Unlock()
+		return ErrHalted
+	}
+	if t != k.current {
+		k.mu.Unlock()
+		return ErrNotCurrent
+	}
+	t.state = ThreadRunnable
+	k.enqueueLocked(t)
+	k.switchFromLocked(t)
+	k.mu.Unlock()
+	return nil
+}
+
+// ExternalWakeup makes a blocked or sleeping thread runnable from outside
+// the simulation — the interrupt path an I/O goroutine uses to signal a
+// simulated thread. Unlike Wakeup it has no calling-thread context and never
+// preempts; the woken thread runs at the next scheduling point (typically
+// the idle handler's return). Safe for concurrent use.
+func (k *Kernel) ExternalWakeup(id ThreadID) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.halted {
+		return ErrHalted
+	}
+	if id < 1 || int(id) > len(k.threads) {
+		return fmt.Errorf("kernel: external wakeup of unknown thread %d", id)
+	}
+	t := k.threads[id-1]
+	if t.state != ThreadBlocked && t.state != ThreadSleeping {
+		if t.state != ThreadExited {
+			t.wakePending = true
+		}
+		return nil
+	}
+	t.state = ThreadRunnable
+	k.enqueueLocked(t)
+	return nil
+}
+
+// PushNoPreempt enters a non-preemptible critical section on the calling
+// thread. Sections nest; PopNoPreempt leaves the innermost one and performs
+// any preemption deferred while inside. Recovery code brackets descriptor
+// walks with these so that no other thread observes a half-recovered
+// descriptor.
+func (k *Kernel) PushNoPreempt(t *Thread) {
+	k.mu.Lock()
+	t.noPreempt++
+	k.mu.Unlock()
+}
+
+// PopNoPreempt leaves the innermost non-preemptible section.
+func (k *Kernel) PopNoPreempt(t *Thread) {
+	k.mu.Lock()
+	if t.noPreempt > 0 {
+		t.noPreempt--
+	}
+	if t.noPreempt == 0 && t == k.current && !k.halted {
+		k.preemptLocked(t)
+	}
+	k.mu.Unlock()
+}
+
+// AdvanceClock moves simulated time forward by d without blocking the
+// caller. It exists for workloads that account time explicitly.
+func (k *Kernel) AdvanceClock(d Time) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if d > 0 {
+		k.clock += d
+	}
+}

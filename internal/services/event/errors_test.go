@@ -1,0 +1,84 @@
+package event
+
+import (
+	"errors"
+	"testing"
+
+	"superglue/internal/kernel"
+)
+
+func TestDispatchArityAndUnknowns(t *testing.T) {
+	sys, comp := newSys(t)
+	k := sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		for _, tc := range []struct {
+			fn   string
+			args []kernel.Word
+		}{
+			{FnSplit, []kernel.Word{1}},
+			{FnWait, []kernel.Word{1}},
+			{FnTrigger, nil},
+			{FnFree, []kernel.Word{1}},
+		} {
+			if _, err := k.Invoke(th, comp, tc.fn, tc.args...); err == nil {
+				t.Errorf("%s with %d args accepted", tc.fn, len(tc.args))
+			}
+		}
+		if _, err := k.Invoke(th, comp, "evt_bogus"); !errors.Is(err, kernel.ErrNoSuchFunction) {
+			t.Errorf("bogus fn err = %v", err)
+		}
+		for _, fn := range []string{FnWait, FnTrigger, FnFree} {
+			if _, err := k.Invoke(th, comp, fn, 1, 999); !errors.Is(err, kernel.ErrInvalidDescriptor) {
+				t.Errorf("%s on unknown id err = %v; want EINVAL", fn, err)
+			}
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFreeWithWaitersRejected(t *testing.T) {
+	sys, comp := newSys(t)
+	c := client(t, sys, "app", comp)
+	k := sys.Kernel()
+	var id kernel.Word
+	if _, err := k.CreateThread(nil, "waiter", 9, func(th *kernel.Thread) {
+		var err error
+		id, err = c.Split(th, 0, 0)
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		if _, err := c.Wait(th, id); err != nil {
+			t.Errorf("wait: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if _, err := k.CreateThread(nil, "freer", 10, func(th *kernel.Thread) {
+		if err := c.Free(th, id); err == nil {
+			t.Error("free of event with waiters accepted")
+		}
+		if _, err := c.Trigger(th, id); err != nil {
+			t.Errorf("trigger: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	w := NewWorkload(2)
+	if w.Name() != "event" || w.Target() != "event" {
+		t.Errorf("metadata = %s/%s", w.Name(), w.Target())
+	}
+	if err := w.Check(); err == nil {
+		t.Error("Check on unrun workload succeeded")
+	}
+}

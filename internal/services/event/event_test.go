@@ -1,0 +1,252 @@
+package event
+
+import (
+	"testing"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+)
+
+func newSys(t *testing.T) (*core.System, kernel.ComponentID) {
+	t.Helper()
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	comp, err := Register(sys)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return sys, comp
+}
+
+func client(t *testing.T, sys *core.System, name string, comp kernel.ComponentID) *Client {
+	t.Helper()
+	cl, err := sys.NewClient(name)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	c, err := NewClient(cl, comp)
+	if err != nil {
+		t.Fatalf("NewClient(event): %v", err)
+	}
+	return c
+}
+
+func TestSpecDerivesFullMechanismSet(t *testing.T) {
+	spec, err := Spec()
+	if err != nil {
+		t.Fatalf("Spec: %v", err)
+	}
+	// §V-C: "the event server relies on all mentioned recovery mechanisms,
+	// except (D0)".
+	for _, m := range []core.Mechanism{core.MechR0, core.MechT0, core.MechT1,
+		core.MechD1, core.MechG0, core.MechU0} {
+		if !spec.HasMechanism(m) {
+			t.Errorf("mechanism %v missing; got %v", m, spec.Mechanisms())
+		}
+	}
+	if spec.HasMechanism(core.MechD0) {
+		t.Errorf("event spec should not need D0; got %v", spec.Mechanisms())
+	}
+}
+
+func TestSplitTriggerWaitFree(t *testing.T) {
+	sys, comp := newSys(t)
+	c := client(t, sys, "app", comp)
+	k := sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		id, err := c.Split(th, 0, 0)
+		if err != nil {
+			t.Errorf("Split: %v", err)
+			return
+		}
+		// Trigger first: wait should consume the pending trigger without
+		// blocking.
+		if _, err := c.Trigger(th, id); err != nil {
+			t.Errorf("Trigger: %v", err)
+		}
+		if got, err := c.Wait(th, id); err != nil || got != id {
+			t.Errorf("Wait = (%d, %v); want (%d, nil)", got, err, id)
+		}
+		if err := c.Free(th, id); err != nil {
+			t.Errorf("Free: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCrossComponentWaitTrigger(t *testing.T) {
+	sys, comp := newSys(t)
+	waiter := client(t, sys, "waiter", comp)
+	trigger := client(t, sys, "trigger", comp)
+	k := sys.Kernel()
+	var id kernel.Word
+	woke := false
+	if _, err := k.CreateThread(nil, "waiter", 9, func(th *kernel.Thread) {
+		var err error
+		id, err = waiter.Split(th, 0, 0)
+		if err != nil {
+			t.Errorf("Split: %v", err)
+			return
+		}
+		if _, err := waiter.Wait(th, id); err != nil {
+			t.Errorf("Wait: %v", err)
+			return
+		}
+		woke = true
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if _, err := k.CreateThread(nil, "trigger", 10, func(th *kernel.Thread) {
+		if n, err := trigger.Trigger(th, id); err != nil || n != 1 {
+			t.Errorf("Trigger = (%d, %v); want (1, nil)", n, err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !woke {
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestGroupParentChild(t *testing.T) {
+	sys, comp := newSys(t)
+	c := client(t, sys, "app", comp)
+	k := sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		root, err := c.Split(th, 0, 0)
+		if err != nil {
+			t.Errorf("Split root: %v", err)
+			return
+		}
+		child, err := c.Split(th, root, 1)
+		if err != nil {
+			t.Errorf("Split child: %v", err)
+			return
+		}
+		if child == root {
+			t.Error("child id equals root id")
+		}
+		// Split from a bogus parent fails.
+		if _, err := c.Split(th, 99999, 0); err == nil {
+			t.Error("split from unknown parent accepted")
+		}
+		if err := c.Free(th, child); err != nil {
+			t.Errorf("Free child: %v", err)
+		}
+		if err := c.Free(th, root); err != nil {
+			t.Errorf("Free root: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestRecoveryAcrossComponentsWhileBlocked is the full Fig. 2(c) scenario: a
+// waiter is blocked on a global event, the event manager crashes, and the
+// trigger arrives from another component after the µ-reboot. Recovery must
+// divert the waiter (T0), rebuild the descriptor via storage + upcall into
+// the creator (G0/U0), and deliver the trigger.
+func TestRecoveryAcrossComponentsWhileBlocked(t *testing.T) {
+	sys, comp := newSys(t)
+	waiter := client(t, sys, "waiter", comp)
+	trigger := client(t, sys, "trigger", comp)
+	k := sys.Kernel()
+	var id kernel.Word
+	woke := false
+	if _, err := k.CreateThread(nil, "waiter", 9, func(th *kernel.Thread) {
+		var err error
+		id, err = waiter.Split(th, 0, 0)
+		if err != nil {
+			t.Errorf("Split: %v", err)
+			return
+		}
+		if _, err := waiter.Wait(th, id); err != nil {
+			t.Errorf("Wait across fault: %v", err)
+			return
+		}
+		woke = true
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if _, err := k.CreateThread(nil, "injector", 10, func(th *kernel.Thread) {
+		// Waiter (higher prio) is now blocked inside the event manager.
+		if err := k.FailComponent(comp); err != nil {
+			t.Errorf("FailComponent: %v", err)
+		}
+		if _, err := k.Reboot(th, comp); err != nil {
+			t.Errorf("Reboot: %v", err)
+		}
+		// Now trigger from the other component using the stale global ID.
+		if _, err := trigger.Trigger(th, id); err != nil {
+			t.Errorf("Trigger after reboot (G0 path): %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !woke {
+		t.Fatal("waiter never woke after recovery")
+	}
+}
+
+func TestWorkloadCleanRun(t *testing.T) {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	w := NewWorkload(5)
+	if _, err := w.Build(sys); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := sys.Kernel().Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestWorkloadSurvivesInjectedFault(t *testing.T) {
+	for _, nth := range []int{3, 5, 9, 12} {
+		sys, err := core.NewSystem(core.OnDemand)
+		if err != nil {
+			t.Fatalf("NewSystem: %v", err)
+		}
+		w := NewWorkload(5)
+		comp, err := w.Build(sys)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		count := 0
+		sys.Kernel().SetInvokeHook(func(th *kernel.Thread, c kernel.ComponentID, fn string, phase kernel.InvokePhase) {
+			if c == comp && phase == kernel.PhaseEntry {
+				count++
+				if count == nth {
+					if err := sys.Kernel().FailComponent(comp); err != nil {
+						t.Errorf("FailComponent: %v", err)
+					}
+				}
+			}
+		})
+		if err := sys.Kernel().Run(); err != nil {
+			t.Fatalf("Run (fault at invocation %d): %v", nth, err)
+		}
+		if err := w.Check(); err != nil {
+			t.Fatalf("Check (fault at invocation %d): %v", nth, err)
+		}
+	}
+}

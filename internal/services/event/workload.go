@@ -1,0 +1,120 @@
+package event
+
+import (
+	"errors"
+	"fmt"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+	"superglue/internal/workload"
+)
+
+// Workload is the event benchmark of §V-B: "A thread is blocked waiting for
+// an event and the other thread triggers the event from a different
+// component" — exercising the global-descriptor path, since the waiter's
+// component creates the event and the triggering component only knows its
+// ID.
+type Workload struct {
+	iters    int
+	waits    int
+	triggers int
+	runErr   []error
+}
+
+var _ workload.Workload = (*Workload)(nil)
+
+// NewWorkload builds an event workload running iters wait/trigger rounds.
+func NewWorkload(iters int) workload.Workload {
+	return &Workload{iters: iters}
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "event" }
+
+// Target implements workload.Workload.
+func (w *Workload) Target() string { return "event" }
+
+// Build implements workload.Workload.
+func (w *Workload) Build(sys *core.System) (kernel.ComponentID, error) {
+	comp, err := Register(sys)
+	if err != nil {
+		return 0, err
+	}
+	waiterCl, err := sys.NewClient("evt-waiter")
+	if err != nil {
+		return 0, err
+	}
+	waiter, err := NewClient(waiterCl, comp)
+	if err != nil {
+		return 0, err
+	}
+	triggerCl, err := sys.NewClient("evt-trigger")
+	if err != nil {
+		return 0, err
+	}
+	trigger, err := NewClient(triggerCl, comp)
+	if err != nil {
+		return 0, err
+	}
+	k := sys.Kernel()
+
+	var evt kernel.Word
+	ready := false
+	// The waiter creates the event and waits repeatedly (higher priority:
+	// it runs first, blocks, and the trigger thread then fires).
+	if _, err := k.CreateThread(nil, "waiter", 9, func(t *kernel.Thread) {
+		id, err := waiter.Split(t, 0, 0)
+		if err != nil {
+			w.fail(fmt.Errorf("split: %w", err))
+			return
+		}
+		evt = id
+		ready = true
+		for i := 0; i < w.iters; i++ {
+			if _, err := waiter.Wait(t, evt); err != nil {
+				w.fail(fmt.Errorf("wait %d: %w", i, err))
+				return
+			}
+			w.waits++
+		}
+		if err := waiter.Free(t, evt); err != nil {
+			w.fail(fmt.Errorf("free: %w", err))
+		}
+	}); err != nil {
+		return 0, err
+	}
+	// The triggering thread lives in a different component and addresses
+	// the event only by its global ID.
+	if _, err := k.CreateThread(nil, "trigger", 10, func(t *kernel.Thread) {
+		for !ready {
+			if err := k.Yield(t); err != nil {
+				w.fail(err)
+				return
+			}
+		}
+		for i := 0; i < w.iters; i++ {
+			if _, err := trigger.Trigger(t, evt); err != nil {
+				w.fail(fmt.Errorf("trigger %d: %w", i, err))
+				return
+			}
+			w.triggers++
+		}
+	}); err != nil {
+		return 0, err
+	}
+	return comp, nil
+}
+
+func (w *Workload) fail(err error) { w.runErr = append(w.runErr, err) }
+
+// Check implements workload.Workload.
+func (w *Workload) Check() error {
+	if len(w.runErr) > 0 {
+		return fmt.Errorf("event workload errors: %w", errors.Join(w.runErr...))
+	}
+	if w.waits != w.iters || w.triggers != w.iters {
+		return fmt.Errorf("event workload incomplete: %d/%d waits, %d/%d triggers",
+			w.waits, w.iters, w.triggers, w.iters)
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package lock
+
+import (
+	"strings"
+	"testing"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+)
+
+func newSys(t *testing.T) (*core.System, kernel.ComponentID, *Client) {
+	t.Helper()
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	comp, err := Register(sys)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	cl, err := sys.NewClient("app")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	c, err := NewClient(cl, comp)
+	if err != nil {
+		t.Fatalf("NewClient(lock): %v", err)
+	}
+	return sys, comp, c
+}
+
+func TestSpecParsesAndDerivesMechanisms(t *testing.T) {
+	spec, err := Spec()
+	if err != nil {
+		t.Fatalf("Spec: %v", err)
+	}
+	// Fig. 6(b) commentary: a lock descriptor needs only T0, R0, T1.
+	want := []core.Mechanism{core.MechR0, core.MechT0, core.MechT1}
+	got := spec.Mechanisms()
+	if len(got) != len(want) {
+		t.Fatalf("Mechanisms = %v; want %v", got, want)
+	}
+	for _, m := range want {
+		if !spec.HasMechanism(m) {
+			t.Errorf("mechanism %v missing", m)
+		}
+	}
+	if !strings.Contains(IDLSource(), "sm_hold(lock_take, lock_release)") {
+		t.Error("IDL source missing hold declaration")
+	}
+}
+
+func TestAllocTakeReleaseFree(t *testing.T) {
+	sys, comp, c := newSys(t)
+	k := sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		id, err := c.Alloc(th)
+		if err != nil {
+			t.Errorf("Alloc: %v", err)
+			return
+		}
+		if err := c.Take(th, id); err != nil {
+			t.Errorf("Take: %v", err)
+		}
+		if err := c.Release(th, id); err != nil {
+			t.Errorf("Release: %v", err)
+		}
+		if err := c.Free(th, id); err != nil {
+			t.Errorf("Free: %v", err)
+		}
+		svc, _ := k.Service(comp)
+		type innerer interface{ Inner() kernel.Service }
+		srv := svc.(innerer).Inner().(*Server)
+		if srv.Locks() != 0 {
+			t.Errorf("server locks = %d after free; want 0", srv.Locks())
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFreeHeldLockRejected(t *testing.T) {
+	sys, _, c := newSys(t)
+	k := sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		id, err := c.Alloc(th)
+		if err != nil {
+			t.Errorf("Alloc: %v", err)
+			return
+		}
+		if err := c.Take(th, id); err != nil {
+			t.Errorf("Take: %v", err)
+		}
+		if err := c.Free(th, id); err == nil {
+			t.Error("Free of held lock accepted")
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestContentionBlocksAndHandsOff(t *testing.T) {
+	sys, _, c := newSys(t)
+	k := sys.Kernel()
+	var id kernel.Word
+	var order []string
+	if _, err := k.CreateThread(nil, "owner", 10, func(th *kernel.Thread) {
+		var err error
+		id, err = c.Alloc(th)
+		if err != nil {
+			t.Errorf("Alloc: %v", err)
+			return
+		}
+		if err := c.Take(th, id); err != nil {
+			t.Errorf("Take: %v", err)
+		}
+		order = append(order, "owner-took")
+		if err := k.Yield(th); err != nil { // contender runs, blocks
+			t.Errorf("Yield: %v", err)
+		}
+		order = append(order, "owner-releasing")
+		if err := c.Release(th, id); err != nil {
+			t.Errorf("Release: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if _, err := k.CreateThread(nil, "contender", 10, func(th *kernel.Thread) {
+		if err := c.Take(th, id); err != nil {
+			t.Errorf("contender Take: %v", err)
+			return
+		}
+		order = append(order, "contender-took")
+		if err := c.Release(th, id); err != nil {
+			t.Errorf("contender Release: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"owner-took", "owner-releasing", "contender-took"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v; want %v", order, want)
+	}
+}
+
+func TestRecoveryWhileHeldAndContended(t *testing.T) {
+	sys, comp, c := newSys(t)
+	k := sys.Kernel()
+	var id kernel.Word
+	contenderDone := false
+	if _, err := k.CreateThread(nil, "owner", 10, func(th *kernel.Thread) {
+		var err error
+		id, err = c.Alloc(th)
+		if err != nil {
+			t.Errorf("Alloc: %v", err)
+			return
+		}
+		if err := c.Take(th, id); err != nil {
+			t.Errorf("Take: %v", err)
+		}
+		if err := k.Yield(th); err != nil { // contender blocks
+			t.Errorf("Yield: %v", err)
+		}
+		// Fault while the lock is held and contended.
+		if err := k.FailComponent(comp); err != nil {
+			t.Errorf("FailComponent: %v", err)
+		}
+		// Owner releases: the stub recovers the descriptor, re-acquires on
+		// the owner's behalf, and then releases.
+		if err := c.Release(th, id); err != nil {
+			t.Errorf("Release after fault: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if _, err := k.CreateThread(nil, "contender", 10, func(th *kernel.Thread) {
+		if err := c.Take(th, id); err != nil {
+			t.Errorf("contender Take across fault: %v", err)
+			return
+		}
+		if err := c.Release(th, id); err != nil {
+			t.Errorf("contender Release: %v", err)
+		}
+		contenderDone = true
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !contenderDone {
+		t.Fatal("contender never acquired the recovered lock")
+	}
+}
+
+func TestWorkloadCleanRun(t *testing.T) {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	w := NewWorkload(5)
+	if _, err := w.Build(sys); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := sys.Kernel().Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestWorkloadSurvivesInjectedFault(t *testing.T) {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	w := NewWorkload(5)
+	comp, err := w.Build(sys)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Fail the lock component at the 7th invocation entry.
+	count := 0
+	sys.Kernel().SetInvokeHook(func(th *kernel.Thread, c kernel.ComponentID, fn string, phase kernel.InvokePhase) {
+		if c == comp && phase == kernel.PhaseEntry {
+			count++
+			if count == 7 {
+				if err := sys.Kernel().FailComponent(comp); err != nil {
+					t.Errorf("FailComponent: %v", err)
+				}
+			}
+		}
+	})
+	if err := sys.Kernel().Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatalf("Check after injected fault: %v", err)
+	}
+}

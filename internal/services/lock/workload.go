@@ -1,0 +1,149 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+	"superglue/internal/workload"
+)
+
+// Workload is the lock benchmark of §V-B: "A thread holds a lock and another
+// thread contends the same lock. After the owner thread releases, the other
+// thread acquires the lock." Repeated iters times, with a mutual-exclusion
+// invariant checked inside the critical section.
+type Workload struct {
+	iters    int
+	sys      *core.System
+	client   *Client
+	inCS     int
+	csError  error
+	owners   int
+	contends int
+	runErr   []error
+}
+
+var _ workload.Workload = (*Workload)(nil)
+
+// NewWorkload builds a lock workload running iters iterations.
+func NewWorkload(iters int) workload.Workload {
+	return &Workload{iters: iters}
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "lock" }
+
+// Target implements workload.Workload.
+func (w *Workload) Target() string { return "lock" }
+
+// Build implements workload.Workload.
+func (w *Workload) Build(sys *core.System) (kernel.ComponentID, error) {
+	w.sys = sys
+	comp, err := Register(sys)
+	if err != nil {
+		return 0, err
+	}
+	cl, err := sys.NewClient("lock-app")
+	if err != nil {
+		return 0, err
+	}
+	w.client, err = NewClient(cl, comp)
+	if err != nil {
+		return 0, err
+	}
+	k := sys.Kernel()
+
+	// The owner allocates the lock, holds it across a yield (so the
+	// contender blocks), then releases.
+	var id kernel.Word
+	ready := false
+	if _, err := k.CreateThread(nil, "owner", 10, func(t *kernel.Thread) {
+		lid, err := w.client.Alloc(t)
+		if err != nil {
+			w.fail(fmt.Errorf("alloc: %w", err))
+			return
+		}
+		id = lid
+		ready = true
+		for i := 0; i < w.iters; i++ {
+			if err := w.critical(t, id, true); err != nil {
+				w.fail(err)
+				return
+			}
+			if err := k.Yield(t); err != nil {
+				w.fail(err)
+				return
+			}
+		}
+	}); err != nil {
+		return 0, err
+	}
+	if _, err := k.CreateThread(nil, "contender", 10, func(t *kernel.Thread) {
+		if !ready {
+			if err := k.Yield(t); err != nil {
+				w.fail(err)
+				return
+			}
+		}
+		for i := 0; i < w.iters; i++ {
+			if err := w.critical(t, id, false); err != nil {
+				w.fail(err)
+				return
+			}
+			if err := k.Yield(t); err != nil {
+				w.fail(err)
+				return
+			}
+		}
+	}); err != nil {
+		return 0, err
+	}
+	return comp, nil
+}
+
+// critical runs one take/critical-section/release cycle, verifying mutual
+// exclusion.
+func (w *Workload) critical(t *kernel.Thread, id kernel.Word, owner bool) error {
+	if err := w.client.Take(t, id); err != nil {
+		return fmt.Errorf("take: %w", err)
+	}
+	w.inCS++
+	if w.inCS != 1 && w.csError == nil {
+		w.csError = fmt.Errorf("mutual exclusion violated: %d threads in critical section", w.inCS)
+	}
+	// Yield inside the critical section: contenders must block, not enter.
+	if err := w.sys.Kernel().Yield(t); err != nil {
+		w.inCS--
+		return err
+	}
+	w.inCS--
+	if owner {
+		w.owners++
+	} else {
+		w.contends++
+	}
+	if err := w.client.Release(t, id); err != nil {
+		return fmt.Errorf("release: %w", err)
+	}
+	return nil
+}
+
+func (w *Workload) fail(err error) {
+	w.runErr = append(w.runErr, err)
+}
+
+// Check implements workload.Workload.
+func (w *Workload) Check() error {
+	if len(w.runErr) > 0 {
+		return fmt.Errorf("lock workload errors: %w", errors.Join(w.runErr...))
+	}
+	if w.csError != nil {
+		return w.csError
+	}
+	if w.owners != w.iters || w.contends != w.iters {
+		return fmt.Errorf("lock workload incomplete: owner %d/%d, contender %d/%d",
+			w.owners, w.iters, w.contends, w.iters)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package mm
+
+import (
+	"errors"
+	"testing"
+
+	"superglue/internal/kernel"
+)
+
+func TestDispatchArityAndUnknowns(t *testing.T) {
+	r := newRig(t)
+	k := r.sys.Kernel()
+	r.run(t, func(th *kernel.Thread) {
+		for _, tc := range []struct {
+			fn   string
+			args []kernel.Word
+		}{
+			{FnGetPage, []kernel.Word{1, 2}},
+			{FnAliasPage, []kernel.Word{1, 2, 3}},
+			{FnReleasePage, []kernel.Word{1}},
+		} {
+			if _, err := k.Invoke(th, r.comp, tc.fn, tc.args...); err == nil {
+				t.Errorf("%s with %d args accepted", tc.fn, len(tc.args))
+			}
+		}
+		if _, err := k.Invoke(th, r.comp, "mman_bogus"); !errors.Is(err, kernel.ErrNoSuchFunction) {
+			t.Errorf("bogus fn err = %v", err)
+		}
+		// Alias from an unknown mapping and release of an unknown mapping
+		// are EINVAL.
+		if _, err := k.Invoke(th, r.comp, FnAliasPage, 1, 0x9999, 2, 0x1000); !errors.Is(err, kernel.ErrInvalidDescriptor) {
+			t.Errorf("alias from unknown err = %v; want EINVAL", err)
+		}
+		if _, err := k.Invoke(th, r.comp, FnReleasePage, 1, 0x9999); !errors.Is(err, kernel.ErrInvalidDescriptor) {
+			t.Errorf("release unknown err = %v; want EINVAL", err)
+		}
+		// Invalid virtual addresses are rejected.
+		if _, err := k.Invoke(th, r.comp, FnGetPage, 1, 0, 0); err == nil {
+			t.Error("get_page at vaddr 0 accepted")
+		}
+	})
+}
+
+func TestAliasCollisionRejected(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(th *kernel.Thread) {
+		if _, err := r.c.GetPage(th, 0x1000); err != nil {
+			t.Errorf("GetPage: %v", err)
+			return
+		}
+		if _, err := r.c.GetPage(th, 0x2000); err != nil {
+			t.Errorf("GetPage: %v", err)
+			return
+		}
+		// Aliasing onto an existing mapping must fail.
+		if _, err := r.c.AliasPage(th, 0x1000, r.owner.ID(), 0x2000); err == nil {
+			t.Error("alias onto an existing mapping accepted")
+		}
+	})
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	w := NewWorkload(2)
+	if w.Name() != "mm" || w.Target() != "mm" {
+		t.Errorf("metadata = %s/%s", w.Name(), w.Target())
+	}
+	if err := w.Check(); err == nil {
+		t.Error("Check on unrun workload succeeded")
+	}
+}

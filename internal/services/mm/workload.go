@@ -1,0 +1,95 @@
+package mm
+
+import (
+	"errors"
+	"fmt"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+	"superglue/internal/workload"
+)
+
+// Workload is the MM benchmark of §V-B: "A thread is granted memory pages,
+// and these pages are aliased into a different component, and then revoked,
+// which removes all aliases."
+type Workload struct {
+	iters  int
+	rounds int
+	runErr []error
+}
+
+var _ workload.Workload = (*Workload)(nil)
+
+// NewWorkload builds an MM workload running iters grant/alias/revoke rounds.
+func NewWorkload(iters int) workload.Workload {
+	return &Workload{iters: iters}
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "mm" }
+
+// Target implements workload.Workload.
+func (w *Workload) Target() string { return "mm" }
+
+// Build implements workload.Workload.
+func (w *Workload) Build(sys *core.System) (kernel.ComponentID, error) {
+	comp, err := Register(sys)
+	if err != nil {
+		return 0, err
+	}
+	owner, err := sys.NewClient("mm-app")
+	if err != nil {
+		return 0, err
+	}
+	peer, err := sys.NewClient("mm-peer")
+	if err != nil {
+		return 0, err
+	}
+	c, err := NewClient(owner, comp)
+	if err != nil {
+		return 0, err
+	}
+	const base = 0x1000
+	if _, err := sys.Kernel().CreateThread(nil, "mapper", 10, func(t *kernel.Thread) {
+		for i := 0; i < w.iters; i++ {
+			vaddr := kernel.Word(base + i*0x1000)
+			if _, err := c.GetPage(t, vaddr); err != nil {
+				w.runErr = append(w.runErr, fmt.Errorf("get_page %d: %w", i, err))
+				return
+			}
+			// Alias the page into the peer component, and chain a second
+			// alias from the peer's mapping back into a scratch region of
+			// the owner, exercising cross-component parents.
+			peerVaddr := kernel.Word(base + i*0x1000)
+			if _, err := c.AliasPage(t, vaddr, peer.ID(), peerVaddr); err != nil {
+				w.runErr = append(w.runErr, fmt.Errorf("alias %d: %w", i, err))
+				return
+			}
+			chainVaddr := kernel.Word(0x8000_0000 + i*0x1000)
+			if _, err := c.AliasFrom(t, peer.ID(), peerVaddr, owner.ID(), chainVaddr); err != nil {
+				w.runErr = append(w.runErr, fmt.Errorf("alias chain %d: %w", i, err))
+				return
+			}
+			// Revoke the root: the entire subtree must vanish.
+			if err := c.ReleasePage(t, vaddr); err != nil {
+				w.runErr = append(w.runErr, fmt.Errorf("release %d: %w", i, err))
+				return
+			}
+			w.rounds++
+		}
+	}); err != nil {
+		return 0, err
+	}
+	return comp, nil
+}
+
+// Check implements workload.Workload.
+func (w *Workload) Check() error {
+	if len(w.runErr) > 0 {
+		return fmt.Errorf("mm workload errors: %w", errors.Join(w.runErr...))
+	}
+	if w.rounds != w.iters {
+		return fmt.Errorf("mm workload incomplete: %d/%d rounds", w.rounds, w.iters)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package ramfs
+
+import (
+	"errors"
+	"testing"
+
+	"superglue/internal/kernel"
+)
+
+func TestDispatchArityAndUnknowns(t *testing.T) {
+	r := newRig(t)
+	k := r.sys.Kernel()
+	r.run(t, func(th *kernel.Thread) {
+		for _, tc := range []struct {
+			fn   string
+			args []kernel.Word
+		}{
+			{FnOpen, []kernel.Word{1, 2}},
+			{FnRead, []kernel.Word{1, 2, 3}},
+			{FnWrite, []kernel.Word{1, 2, 3}},
+			{FnLseek, []kernel.Word{1}},
+			{FnClose, []kernel.Word{1}},
+			{FnUnlink, []kernel.Word{1}},
+		} {
+			if _, err := k.Invoke(th, r.comp, tc.fn, tc.args...); err == nil {
+				t.Errorf("%s with %d args accepted", tc.fn, len(tc.args))
+			}
+		}
+		if _, err := k.Invoke(th, r.comp, "fs_bogus"); !errors.Is(err, kernel.ErrNoSuchFunction) {
+			t.Errorf("bogus fn err = %v", err)
+		}
+		for _, fn := range []string{FnRead, FnWrite} {
+			if _, err := k.Invoke(th, r.comp, fn, 1, 999, 0, 1); !errors.Is(err, kernel.ErrInvalidDescriptor) {
+				t.Errorf("%s on unknown fd err = %v; want EINVAL", fn, err)
+			}
+		}
+		if _, err := k.Invoke(th, r.comp, FnLseek, 999, 0); !errors.Is(err, kernel.ErrInvalidDescriptor) {
+			t.Errorf("lseek unknown fd err = %v; want EINVAL", err)
+		}
+		// Open with a dangling path buffer fails cleanly.
+		if _, err := k.Invoke(th, r.comp, FnOpen, 1, 424242, 4); err == nil {
+			t.Error("open with dangling path buffer accepted")
+		}
+	})
+}
+
+func TestNegativeArgumentsRejected(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(th *kernel.Thread) {
+		fd, err := r.c.Open(th, "/x")
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		if _, err := r.c.Lseek(th, fd, -1); err == nil {
+			t.Error("negative lseek accepted")
+		}
+		k := r.sys.Kernel()
+		if _, err := k.Invoke(th, r.comp, FnRead, 1, fd, 0, -4); err == nil {
+			t.Error("negative read length accepted")
+		}
+	})
+}
+
+func TestZeroLengthOps(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(th *kernel.Thread) {
+		fd, err := r.c.Open(th, "/zero")
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		if n, err := r.c.Write(th, fd, nil); err != nil || n != 0 {
+			t.Errorf("zero write = (%d, %v)", n, err)
+		}
+		if got, err := r.c.Read(th, fd, 0); err != nil || got != nil {
+			t.Errorf("zero read = (%q, %v)", got, err)
+		}
+	})
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	w := NewWorkload(2)
+	if w.Name() != "ramfs" || w.Target() != "ramfs" {
+		t.Errorf("metadata = %s/%s", w.Name(), w.Target())
+	}
+	if err := w.Check(); err == nil {
+		t.Error("Check on unrun workload succeeded")
+	}
+}

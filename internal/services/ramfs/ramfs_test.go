@@ -1,0 +1,325 @@
+package ramfs
+
+import (
+	"bytes"
+	"testing"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+)
+
+type rig struct {
+	sys  *core.System
+	comp kernel.ComponentID
+	c    *Client
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	comp, err := Register(sys)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	cl, err := sys.NewClient("app")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	c, err := NewClient(cl, comp)
+	if err != nil {
+		t.Fatalf("NewClient(ramfs): %v", err)
+	}
+	return &rig{sys: sys, comp: comp, c: c}
+}
+
+func (r *rig) run(t *testing.T, body func(th *kernel.Thread)) {
+	t.Helper()
+	if _, err := r.sys.Kernel().CreateThread(nil, "main", 10, body); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := r.sys.Kernel().Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSpecMechanisms(t *testing.T) {
+	spec, err := Spec()
+	if err != nil {
+		t.Fatalf("Spec: %v", err)
+	}
+	for _, m := range []core.Mechanism{core.MechR0, core.MechT1, core.MechG1} {
+		if !spec.HasMechanism(m) {
+			t.Errorf("mechanism %v missing; got %v", m, spec.Mechanisms())
+		}
+	}
+	if spec.HasMechanism(core.MechT0) || spec.HasMechanism(core.MechD0) {
+		t.Errorf("unexpected mechanisms: %v", spec.Mechanisms())
+	}
+}
+
+func TestOpenWriteReadClose(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(th *kernel.Thread) {
+		fd, err := r.c.Open(th, "/a.txt")
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		if n, err := r.c.Write(th, fd, []byte("hello")); err != nil || n != 5 {
+			t.Errorf("Write = (%d, %v); want (5, nil)", n, err)
+			return
+		}
+		if off, err := r.c.Lseek(th, fd, 0); err != nil || off != 0 {
+			t.Errorf("Lseek = (%d, %v); want (0, nil)", off, err)
+			return
+		}
+		got, err := r.c.Read(th, fd, 5)
+		if err != nil || !bytes.Equal(got, []byte("hello")) {
+			t.Errorf("Read = (%q, %v); want hello", got, err)
+		}
+		if err := r.c.Close(th, fd); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+}
+
+func TestOffsetAdvancesAcrossReadsAndWrites(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(th *kernel.Thread) {
+		fd, err := r.c.Open(th, "/b.txt")
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		if _, err := r.c.Write(th, fd, []byte("ab")); err != nil {
+			t.Errorf("Write: %v", err)
+			return
+		}
+		if _, err := r.c.Write(th, fd, []byte("cd")); err != nil {
+			t.Errorf("Write: %v", err)
+			return
+		}
+		if _, err := r.c.Lseek(th, fd, 1); err != nil {
+			t.Errorf("Lseek: %v", err)
+			return
+		}
+		got, err := r.c.Read(th, fd, 2)
+		if err != nil || string(got) != "bc" {
+			t.Errorf("Read = (%q, %v); want bc", got, err)
+		}
+		got, err = r.c.Read(th, fd, 10)
+		if err != nil || string(got) != "d" {
+			t.Errorf("Read = (%q, %v); want d (EOF-limited)", got, err)
+		}
+	})
+}
+
+func TestTwoFDsSameFile(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(th *kernel.Thread) {
+		fd1, err := r.c.Open(th, "/c.txt")
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		fd2, err := r.c.Open(th, "/c.txt")
+		if err != nil {
+			t.Errorf("Open 2: %v", err)
+			return
+		}
+		if fd1 == fd2 {
+			t.Error("same fd for two opens")
+		}
+		if _, err := r.c.Write(th, fd1, []byte("xy")); err != nil {
+			t.Errorf("Write: %v", err)
+			return
+		}
+		got, err := r.c.Read(th, fd2, 2)
+		if err != nil || string(got) != "xy" {
+			t.Errorf("Read via fd2 = (%q, %v); want xy (shared file, independent offsets)", got, err)
+		}
+	})
+}
+
+func TestReadEmptyFile(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(th *kernel.Thread) {
+		fd, err := r.c.Open(th, "/empty")
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		got, err := r.c.Read(th, fd, 4)
+		if err != nil || len(got) != 0 {
+			t.Errorf("Read = (%q, %v); want empty", got, err)
+		}
+	})
+}
+
+// TestRecoveryRestoresContentAndOffset is the G1 path end to end: write,
+// fault, then read back. The µ-rebooted server restores contents from the
+// storage component, and the stub's "open and lseek" walk restores the
+// descriptor's offset.
+func TestRecoveryRestoresContentAndOffset(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(th *kernel.Thread) {
+		fd, err := r.c.Open(th, "/data.bin")
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		if _, err := r.c.Write(th, fd, []byte("abcdef")); err != nil {
+			t.Errorf("Write: %v", err)
+			return
+		}
+		if _, err := r.c.Lseek(th, fd, 2); err != nil {
+			t.Errorf("Lseek: %v", err)
+			return
+		}
+		if err := r.sys.Kernel().FailComponent(r.comp); err != nil {
+			t.Errorf("FailComponent: %v", err)
+		}
+		// The next read triggers µ-reboot + recovery; content must come
+		// back from storage, offset from tracked descriptor data.
+		got, err := r.c.Read(th, fd, 3)
+		if err != nil || string(got) != "cde" {
+			t.Errorf("Read after fault = (%q, %v); want cde", got, err)
+		}
+		m := r.c.Stub().Metrics()
+		if m.Recoveries == 0 || m.WalkSteps < 2 {
+			t.Errorf("metrics = %+v; want a recovery with an open+lseek walk", m)
+		}
+	})
+}
+
+// TestRecoveryWithOverwrites checks newest-wins extent reassembly.
+func TestRecoveryWithOverwrites(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(th *kernel.Thread) {
+		fd, err := r.c.Open(th, "/ow.bin")
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		if _, err := r.c.Write(th, fd, []byte("aaaaaa")); err != nil {
+			t.Errorf("Write: %v", err)
+			return
+		}
+		if _, err := r.c.Lseek(th, fd, 2); err != nil {
+			t.Errorf("Lseek: %v", err)
+			return
+		}
+		if _, err := r.c.Write(th, fd, []byte("zz")); err != nil {
+			t.Errorf("Overwrite: %v", err)
+			return
+		}
+		if err := r.sys.Kernel().FailComponent(r.comp); err != nil {
+			t.Errorf("FailComponent: %v", err)
+		}
+		if _, err := r.c.Lseek(th, fd, 0); err != nil {
+			t.Errorf("Lseek after fault: %v", err)
+			return
+		}
+		got, err := r.c.Read(th, fd, 6)
+		if err != nil || string(got) != "aazzaa" {
+			t.Errorf("Read after fault = (%q, %v); want aazzaa", got, err)
+		}
+	})
+}
+
+// TestUnlinkDropsStorageAndPreventsResurrection: unlinking a file removes
+// its redundant slices, so a later µ-reboot must not bring it back.
+func TestUnlinkDropsStorageAndPreventsResurrection(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(th *kernel.Thread) {
+		fd, err := r.c.Open(th, "/secret.txt")
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		if _, err := r.c.Write(th, fd, []byte("classified")); err != nil {
+			t.Errorf("Write: %v", err)
+			return
+		}
+		class, _ := r.sys.Class(r.comp)
+		id := PathID("/secret.txt")
+		if !r.sys.Store().HasData(class, id) {
+			t.Error("no redundant storage before unlink")
+		}
+		if err := r.c.Unlink(th, fd); err != nil {
+			t.Errorf("Unlink: %v", err)
+			return
+		}
+		if r.sys.Store().HasData(class, id) {
+			t.Error("redundant storage survived unlink")
+		}
+		// Using the fd after unlink is a tracked-state error.
+		if _, err := r.c.Read(th, fd, 1); err == nil {
+			t.Error("read through unlinked fd accepted")
+		}
+		// Even across a crash, the file must not come back.
+		if err := r.sys.Kernel().FailComponent(r.comp); err != nil {
+			t.Errorf("FailComponent: %v", err)
+		}
+		fd2, err := r.c.Open(th, "/secret.txt")
+		if err != nil {
+			t.Errorf("re-Open: %v", err)
+			return
+		}
+		got, err := r.c.Read(th, fd2, 16)
+		if err != nil || len(got) != 0 {
+			t.Errorf("Read resurrected file = (%q, %v); want empty", got, err)
+		}
+	})
+}
+
+func TestWorkloadCleanRun(t *testing.T) {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	w := NewWorkload(5)
+	if _, err := w.Build(sys); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := sys.Kernel().Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestWorkloadSurvivesInjectedFault(t *testing.T) {
+	for nth := 1; nth <= 21; nth += 4 {
+		sys, err := core.NewSystem(core.OnDemand)
+		if err != nil {
+			t.Fatalf("NewSystem: %v", err)
+		}
+		w := NewWorkload(5)
+		comp, err := w.Build(sys)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		count := 0
+		sys.Kernel().SetInvokeHook(func(th *kernel.Thread, c kernel.ComponentID, fn string, phase kernel.InvokePhase) {
+			if c == comp && phase == kernel.PhaseEntry {
+				count++
+				if count == nth {
+					if err := sys.Kernel().FailComponent(comp); err != nil {
+						t.Errorf("FailComponent: %v", err)
+					}
+				}
+			}
+		})
+		if err := sys.Kernel().Run(); err != nil {
+			t.Fatalf("Run (fault at %d): %v", nth, err)
+		}
+		if err := w.Check(); err != nil {
+			t.Fatalf("Check (fault at %d): %v", nth, err)
+		}
+	}
+}

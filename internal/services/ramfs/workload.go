@@ -1,0 +1,100 @@
+package ramfs
+
+import (
+	"errors"
+	"fmt"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+	"superglue/internal/workload"
+)
+
+// Workload is the FS benchmark of §V-B: "A file is opened, a byte is
+// written to it, read from it, and then it is closed." Each round verifies
+// the byte read back.
+type Workload struct {
+	iters  int
+	rounds int
+	runErr []error
+}
+
+var _ workload.Workload = (*Workload)(nil)
+
+// NewWorkload builds a RamFS workload running iters open/write/read/close
+// rounds.
+func NewWorkload(iters int) workload.Workload {
+	return &Workload{iters: iters}
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "ramfs" }
+
+// Target implements workload.Workload.
+func (w *Workload) Target() string { return "ramfs" }
+
+// Build implements workload.Workload.
+func (w *Workload) Build(sys *core.System) (kernel.ComponentID, error) {
+	comp, err := Register(sys)
+	if err != nil {
+		return 0, err
+	}
+	cl, err := sys.NewClient("fs-app")
+	if err != nil {
+		return 0, err
+	}
+	c, err := NewClient(cl, comp)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := sys.Kernel().CreateThread(nil, "fs-worker", 10, func(t *kernel.Thread) {
+		for i := 0; i < w.iters; i++ {
+			fail := func(err error) { w.runErr = append(w.runErr, err) }
+			fd, err := c.Open(t, "/tmp/bench.dat")
+			if err != nil {
+				fail(fmt.Errorf("open %d: %w", i, err))
+				return
+			}
+			b := byte('a' + i%26)
+			if _, err := c.Lseek(t, fd, i); err != nil {
+				fail(fmt.Errorf("lseek-for-write %d: %w", i, err))
+				return
+			}
+			if _, err := c.Write(t, fd, []byte{b}); err != nil {
+				fail(fmt.Errorf("write %d: %w", i, err))
+				return
+			}
+			if _, err := c.Lseek(t, fd, i); err != nil {
+				fail(fmt.Errorf("lseek %d: %w", i, err))
+				return
+			}
+			got, err := c.Read(t, fd, 1)
+			if err != nil {
+				fail(fmt.Errorf("read %d: %w", i, err))
+				return
+			}
+			if len(got) != 1 || got[0] != b {
+				fail(fmt.Errorf("round %d read %q; want %q", i, got, string(b)))
+				return
+			}
+			if err := c.Close(t, fd); err != nil {
+				fail(fmt.Errorf("close %d: %w", i, err))
+				return
+			}
+			w.rounds++
+		}
+	}); err != nil {
+		return 0, err
+	}
+	return comp, nil
+}
+
+// Check implements workload.Workload.
+func (w *Workload) Check() error {
+	if len(w.runErr) > 0 {
+		return fmt.Errorf("ramfs workload errors: %w", errors.Join(w.runErr...))
+	}
+	if w.rounds != w.iters {
+		return fmt.Errorf("ramfs workload incomplete: %d/%d rounds", w.rounds, w.iters)
+	}
+	return nil
+}

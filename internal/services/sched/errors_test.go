@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"superglue/internal/kernel"
+)
+
+func TestDispatchArityAndUnknowns(t *testing.T) {
+	sys, comp, _ := newSys(t)
+	k := sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		for _, tc := range []struct {
+			fn   string
+			args []kernel.Word
+		}{
+			{FnSetup, []kernel.Word{1, 2}},
+			{FnBlk, []kernel.Word{1}},
+			{FnWakeup, nil},
+			{FnRemove, []kernel.Word{1}},
+		} {
+			if _, err := k.Invoke(th, comp, tc.fn, tc.args...); err == nil {
+				t.Errorf("%s with %d args accepted", tc.fn, len(tc.args))
+			}
+		}
+		if _, err := k.Invoke(th, comp, "sched_bogus"); !errors.Is(err, kernel.ErrNoSuchFunction) {
+			t.Errorf("bogus fn err = %v", err)
+		}
+		for _, fn := range []string{FnBlk, FnWakeup, FnRemove} {
+			if _, err := k.Invoke(th, comp, fn, 1, 999); !errors.Is(err, kernel.ErrInvalidDescriptor) {
+				t.Errorf("%s on unregistered thread err = %v; want EINVAL", fn, err)
+			}
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRemoveThenUseRejected(t *testing.T) {
+	sys, _, c := newSys(t)
+	k := sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		if _, err := c.Setup(th, 10); err != nil {
+			t.Errorf("Setup: %v", err)
+			return
+		}
+		if err := c.Remove(th, th.ID()); err != nil {
+			t.Errorf("Remove: %v", err)
+			return
+		}
+		// The stub dropped the descriptor: further use is a tracked error.
+		if err := c.Wakeup(th, th.ID()); err == nil {
+			t.Error("Wakeup after Remove accepted")
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	w := NewWorkload(2)
+	if w.Name() != "sched" || w.Target() != "sched" {
+		t.Errorf("metadata = %s/%s", w.Name(), w.Target())
+	}
+	if err := w.Check(); err == nil {
+		t.Error("Check on unrun workload succeeded")
+	}
+}

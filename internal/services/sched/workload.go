@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+	"superglue/internal/workload"
+)
+
+// Workload is the scheduler benchmark of §V-B: "Two threads perform a
+// ping-pong, blocking and waking each other in turn using sched_blk and
+// sched_wakeup."
+type Workload struct {
+	iters  int
+	aRuns  int
+	bRuns  int
+	runErr []error
+}
+
+var _ workload.Workload = (*Workload)(nil)
+
+// NewWorkload builds a scheduler ping-pong workload with iters rounds.
+func NewWorkload(iters int) workload.Workload {
+	return &Workload{iters: iters}
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "sched" }
+
+// Target implements workload.Workload.
+func (w *Workload) Target() string { return "sched" }
+
+// Build implements workload.Workload.
+func (w *Workload) Build(sys *core.System) (kernel.ComponentID, error) {
+	comp, err := Register(sys)
+	if err != nil {
+		return 0, err
+	}
+	cl, err := sys.NewClient("sched-app")
+	if err != nil {
+		return 0, err
+	}
+	c, err := NewClient(cl, comp)
+	if err != nil {
+		return 0, err
+	}
+	k := sys.Kernel()
+	var aID, bID kernel.ThreadID
+	fail := func(err error) { w.runErr = append(w.runErr, err) }
+
+	// pong is created (and therefore scheduled) first, so it registers
+	// itself and blocks before ping's first wakeup arrives.
+	bID, err = k.CreateThread(nil, "pong", 10, func(t *kernel.Thread) {
+		if _, err := c.Setup(t, t.Prio()); err != nil {
+			fail(fmt.Errorf("setup b: %w", err))
+			return
+		}
+		for i := 0; i < w.iters; i++ {
+			if err := c.Blk(t); err != nil {
+				fail(fmt.Errorf("blk b (round %d): %w", i, err))
+				return
+			}
+			w.bRuns++
+			if err := c.Wakeup(t, aID); err != nil {
+				fail(fmt.Errorf("wakeup a (round %d): %w", i, err))
+				return
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	aID, err = k.CreateThread(nil, "ping", 10, func(t *kernel.Thread) {
+		if _, err := c.Setup(t, t.Prio()); err != nil {
+			fail(fmt.Errorf("setup a: %w", err))
+			return
+		}
+		for i := 0; i < w.iters; i++ {
+			w.aRuns++
+			if err := c.Wakeup(t, bID); err != nil {
+				fail(fmt.Errorf("wakeup b (round %d): %w", i, err))
+				return
+			}
+			if err := c.Blk(t); err != nil {
+				fail(fmt.Errorf("blk a (round %d): %w", i, err))
+				return
+			}
+		}
+		if err := c.Wakeup(t, bID); err != nil {
+			fail(fmt.Errorf("final wakeup: %w", err))
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return comp, nil
+}
+
+// Check implements workload.Workload.
+func (w *Workload) Check() error {
+	if len(w.runErr) > 0 {
+		return fmt.Errorf("sched workload errors: %w", errors.Join(w.runErr...))
+	}
+	if w.aRuns != w.iters || w.bRuns != w.iters {
+		return fmt.Errorf("sched workload incomplete: ping %d/%d, pong %d/%d",
+			w.aRuns, w.iters, w.bRuns, w.iters)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package timer
+
+import (
+	"errors"
+	"testing"
+
+	"superglue/internal/kernel"
+)
+
+func TestDispatchArityAndUnknowns(t *testing.T) {
+	sys, comp, _ := newSys(t)
+	k := sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		for _, tc := range []struct {
+			fn   string
+			args []kernel.Word
+		}{
+			{FnAlloc, []kernel.Word{1}},
+			{FnWait, nil},
+			{FnFree, []kernel.Word{1}},
+		} {
+			if _, err := k.Invoke(th, comp, tc.fn, tc.args...); err == nil {
+				t.Errorf("%s with %d args accepted", tc.fn, len(tc.args))
+			}
+		}
+		if _, err := k.Invoke(th, comp, "timer_bogus"); !errors.Is(err, kernel.ErrNoSuchFunction) {
+			t.Errorf("bogus fn err = %v", err)
+		}
+		for _, fn := range []string{FnWait, FnFree} {
+			if _, err := k.Invoke(th, comp, fn, 1, 999); !errors.Is(err, kernel.ErrInvalidDescriptor) {
+				t.Errorf("%s on unknown id err = %v; want EINVAL", fn, err)
+			}
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFreeStopsTimer(t *testing.T) {
+	sys, _, c := newSys(t)
+	k := sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		id, err := c.Alloc(th, 100)
+		if err != nil {
+			t.Errorf("Alloc: %v", err)
+			return
+		}
+		if err := c.Free(th, id); err != nil {
+			t.Errorf("Free: %v", err)
+		}
+		if _, err := c.Wait(th, id); err == nil {
+			t.Error("Wait on freed timer accepted")
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCatchUpSkipsMissedPeriods(t *testing.T) {
+	sys, _, c := newSys(t)
+	k := sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		id, err := c.Alloc(th, 100)
+		if err != nil {
+			t.Errorf("Alloc: %v", err)
+			return
+		}
+		// Let simulated time run far past many periods.
+		if err := k.Sleep(th, 10_000); err != nil {
+			t.Errorf("Sleep: %v", err)
+			return
+		}
+		before := k.Now()
+		woke, err := c.Wait(th, id)
+		if err != nil {
+			t.Errorf("Wait: %v", err)
+			return
+		}
+		// The timer must catch up to the next boundary after now, not
+		// burst through every missed period.
+		if woke < before || woke > before+200 {
+			t.Errorf("woke at %d; want within one period of %d", woke, before)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	w := NewWorkload(2)
+	if w.Name() != "timer" || w.Target() != "timer" {
+		t.Errorf("metadata = %s/%s", w.Name(), w.Target())
+	}
+	if err := w.Check(); err == nil {
+		t.Error("Check on unrun workload succeeded")
+	}
+}

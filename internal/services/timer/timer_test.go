@@ -1,0 +1,181 @@
+package timer
+
+import (
+	"testing"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+)
+
+func newSys(t *testing.T) (*core.System, kernel.ComponentID, *Client) {
+	t.Helper()
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	comp, err := Register(sys)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	cl, err := sys.NewClient("app")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	c, err := NewClient(cl, comp)
+	if err != nil {
+		t.Fatalf("NewClient(timer): %v", err)
+	}
+	return sys, comp, c
+}
+
+func TestSpecMechanisms(t *testing.T) {
+	spec, err := Spec()
+	if err != nil {
+		t.Fatalf("Spec: %v", err)
+	}
+	for _, m := range []core.Mechanism{core.MechR0, core.MechT0, core.MechT1} {
+		if !spec.HasMechanism(m) {
+			t.Errorf("mechanism %v missing", m)
+		}
+	}
+	for _, m := range []core.Mechanism{core.MechD0, core.MechD1, core.MechG0, core.MechG1} {
+		if spec.HasMechanism(m) {
+			t.Errorf("mechanism %v unexpectedly required", m)
+		}
+	}
+}
+
+func TestPeriodicWaitAdvancesTime(t *testing.T) {
+	sys, _, c := newSys(t)
+	k := sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		id, err := c.Alloc(th, 500)
+		if err != nil {
+			t.Errorf("Alloc: %v", err)
+			return
+		}
+		var prev kernel.Time
+		for i := 0; i < 3; i++ {
+			woke, err := c.Wait(th, id)
+			if err != nil {
+				t.Errorf("Wait: %v", err)
+				return
+			}
+			if woke < prev+500 {
+				t.Errorf("wake %d at %d; want ≥ %d (500µs period)", i, woke, prev+500)
+			}
+			prev = woke
+		}
+		if err := c.Free(th, id); err != nil {
+			t.Errorf("Free: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestInvalidPeriodRejected(t *testing.T) {
+	sys, _, c := newSys(t)
+	k := sys.Kernel()
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		if _, err := c.Alloc(th, 0); err == nil {
+			t.Error("Alloc(0) accepted")
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestFaultWhileSleeping: the thread is asleep inside the timer manager when
+// it fails; the µ-reboot must divert it (eager T0 wakeup), and the stub
+// recovers the timer — whose period survives in tracked descriptor data —
+// and re-waits.
+func TestFaultWhileSleeping(t *testing.T) {
+	sys, comp, c := newSys(t)
+	k := sys.Kernel()
+	woke := false
+	if _, err := k.CreateThread(nil, "sleeper", 9, func(th *kernel.Thread) {
+		id, err := c.Alloc(th, 10_000)
+		if err != nil {
+			t.Errorf("Alloc: %v", err)
+			return
+		}
+		if _, err := c.Wait(th, id); err != nil {
+			t.Errorf("Wait across fault: %v", err)
+			return
+		}
+		woke = true
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if _, err := k.CreateThread(nil, "injector", 10, func(th *kernel.Thread) {
+		if err := k.FailComponent(comp); err != nil {
+			t.Errorf("FailComponent: %v", err)
+		}
+		if _, err := k.Reboot(th, comp); err != nil {
+			t.Errorf("Reboot: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !woke {
+		t.Fatal("sleeper never woke after recovery")
+	}
+}
+
+func TestWorkloadCleanRun(t *testing.T) {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	w := NewWorkload(5)
+	if _, err := w.Build(sys); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := sys.Kernel().Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestWorkloadSurvivesInjectedFault(t *testing.T) {
+	for _, nth := range []int{2, 4, 6} {
+		sys, err := core.NewSystem(core.OnDemand)
+		if err != nil {
+			t.Fatalf("NewSystem: %v", err)
+		}
+		w := NewWorkload(5)
+		comp, err := w.Build(sys)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		count := 0
+		sys.Kernel().SetInvokeHook(func(th *kernel.Thread, c kernel.ComponentID, fn string, phase kernel.InvokePhase) {
+			if c == comp && phase == kernel.PhaseEntry {
+				count++
+				if count == nth {
+					if err := sys.Kernel().FailComponent(comp); err != nil {
+						t.Errorf("FailComponent: %v", err)
+					}
+				}
+			}
+		})
+		if err := sys.Kernel().Run(); err != nil {
+			t.Fatalf("Run (fault at %d): %v", nth, err)
+		}
+		if err := w.Check(); err != nil {
+			t.Fatalf("Check (fault at %d): %v", nth, err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package timer
+
+import (
+	"errors"
+	"fmt"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+	"superglue/internal/workload"
+)
+
+// Workload is the timer benchmark of §V-B: a thread wakes up, then blocks
+// for a certain amount of time, periodically.
+type Workload struct {
+	iters  int
+	period kernel.Time
+	wakes  int
+	last   kernel.Time
+	order  error
+	runErr []error
+}
+
+var _ workload.Workload = (*Workload)(nil)
+
+// NewWorkload builds a timer workload running iters periods.
+func NewWorkload(iters int) workload.Workload {
+	return &Workload{iters: iters, period: 1000}
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "timer" }
+
+// Target implements workload.Workload.
+func (w *Workload) Target() string { return "timer" }
+
+// Build implements workload.Workload.
+func (w *Workload) Build(sys *core.System) (kernel.ComponentID, error) {
+	comp, err := Register(sys)
+	if err != nil {
+		return 0, err
+	}
+	cl, err := sys.NewClient("timer-app")
+	if err != nil {
+		return 0, err
+	}
+	c, err := NewClient(cl, comp)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := sys.Kernel().CreateThread(nil, "periodic", 10, func(t *kernel.Thread) {
+		id, err := c.Alloc(t, w.period)
+		if err != nil {
+			w.runErr = append(w.runErr, fmt.Errorf("alloc: %w", err))
+			return
+		}
+		for i := 0; i < w.iters; i++ {
+			woke, err := c.Wait(t, id)
+			if err != nil {
+				w.runErr = append(w.runErr, fmt.Errorf("wait %d: %w", i, err))
+				return
+			}
+			if woke < w.last && w.order == nil {
+				w.order = fmt.Errorf("timer went backwards: woke at %d after %d", woke, w.last)
+			}
+			w.last = woke
+			w.wakes++
+		}
+		if err := c.Free(t, id); err != nil {
+			w.runErr = append(w.runErr, fmt.Errorf("free: %w", err))
+		}
+	}); err != nil {
+		return 0, err
+	}
+	return comp, nil
+}
+
+// Check implements workload.Workload.
+func (w *Workload) Check() error {
+	if len(w.runErr) > 0 {
+		return fmt.Errorf("timer workload errors: %w", errors.Join(w.runErr...))
+	}
+	if w.order != nil {
+		return w.order
+	}
+	if w.wakes != w.iters {
+		return fmt.Errorf("timer workload incomplete: %d/%d wakes", w.wakes, w.iters)
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+// Package storage implements the redundant storage component of the C³ /
+// SuperGlue design.
+//
+// The storage component backs two recovery mechanisms:
+//
+//   - G0 (global descriptors): it records which component created each
+//     globally addressable descriptor, together with the creation metadata,
+//     so that after a µ-reboot the server-side stub can route an upcall to
+//     the creator to rebuild the descriptor, and it maintains the mapping
+//     from pre-fault descriptor IDs to their post-recovery replacements.
+//   - G1 (resource data): it retains ⟨id, offset, length, data⟩ slices for
+//     resources whose contents cannot be rebuilt from interface state alone
+//     (e.g., file contents in the RAM filesystem). Data is referenced
+//     through the zero-copy cbuf subsystem: the producer writes the cbuf,
+//     storage holds a read-only mapping, so a faulty producer cannot
+//     corrupt saved slices retroactively beyond what it already wrote.
+//
+// Like the kernel and the cbuf manager, the storage component is part of
+// the trusted base (§II-E of the paper): it is not a fault-injection target.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"superglue/internal/cbuf"
+	"superglue/internal/kernel"
+)
+
+// Class partitions the descriptor/resource namespace per service (events,
+// files, ...). Services allocate distinct classes at system assembly time.
+type Class int32
+
+// CreatorRecord remembers who created a global descriptor and with which
+// arguments, so the descriptor can be rebuilt by upcalling the creator.
+type CreatorRecord struct {
+	Creator kernel.ComponentID
+	Meta    []kernel.Word
+}
+
+// Slice is one saved extent of a resource's data, referencing a cbuf region.
+type Slice struct {
+	Offset  int // offset within the resource
+	Length  int
+	Cbuf    cbuf.ID
+	CbufOff int
+}
+
+// Store is the storage component's state. The zero value is not usable;
+// construct with New.
+type Store struct {
+	mu       sync.Mutex
+	cm       *cbuf.Manager
+	self     cbuf.ComponentID
+	creators map[key]CreatorRecord
+	remap    map[key]kernel.Word // pre-fault ID → current ID
+	slices   map[key][]Slice
+}
+
+type key struct {
+	class Class
+	id    kernel.Word
+}
+
+// ErrNotFound reports a lookup of an unrecorded descriptor or resource.
+var ErrNotFound = errors.New("storage: not found")
+
+// New constructs a Store that resolves data references through cm. The
+// component ID is used for cbuf read mappings and is assigned by Attach.
+func New(cm *cbuf.Manager) *Store {
+	return &Store{
+		cm:       cm,
+		creators: make(map[key]CreatorRecord),
+		remap:    make(map[key]kernel.Word),
+		slices:   make(map[key][]Slice),
+	}
+}
+
+// Attach tells the store its own component identity (for cbuf mappings).
+func (s *Store) Attach(self kernel.ComponentID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.self = cbuf.ComponentID(self)
+}
+
+// RecordCreator registers creator as the component that created global
+// descriptor id, with the creation arguments meta (mechanism G0). The meta
+// slice is copied at the boundary.
+func (s *Store) RecordCreator(class Class, id kernel.Word, creator kernel.ComponentID, meta []kernel.Word) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make([]kernel.Word, len(meta))
+	copy(m, meta)
+	s.creators[key{class, id}] = CreatorRecord{Creator: creator, Meta: m}
+}
+
+// LookupCreator returns the creator record for a global descriptor.
+func (s *Store) LookupCreator(class Class, id kernel.Word) (CreatorRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.creators[key{class, id}]
+	return rec, ok
+}
+
+// RemoveCreator forgets a descriptor (called when it is legitimately
+// terminated, so recovery does not resurrect it).
+func (s *Store) RemoveCreator(class Class, id kernel.Word) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.creators, key{class, id})
+	delete(s.remap, key{class, id})
+}
+
+// Remap records that pre-fault descriptor old is now served under id now
+// (after a recovery recreated it). Resolve follows remap chains. The
+// creator record and any saved data move with the descriptor, so subsequent
+// G0/G1 lookups find them under the current ID.
+func (s *Store) Remap(class Class, old, now kernel.Word) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old == now {
+		return
+	}
+	s.remap[key{class, old}] = now
+	if rec, ok := s.creators[key{class, old}]; ok {
+		delete(s.creators, key{class, old})
+		s.creators[key{class, now}] = rec
+	}
+	if sl, ok := s.slices[key{class, old}]; ok {
+		delete(s.slices, key{class, old})
+		s.slices[key{class, now}] = sl
+	}
+}
+
+// Resolve maps a possibly stale descriptor ID to its current one, following
+// chains produced by repeated faults. Unmapped IDs resolve to themselves.
+// Chains are path-compressed on the way out, so a descriptor recreated
+// across many faults stays O(1) to resolve instead of O(faults).
+func (s *Store) Resolve(class Class, id kernel.Word) kernel.Word {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	root := id
+	for i := 0; i < len(s.remap)+1; i++ {
+		now, ok := s.remap[key{class, root}]
+		if !ok {
+			break
+		}
+		root = now
+	}
+	// Compress: point every link on the chain directly at the root.
+	for id != root {
+		next := s.remap[key{class, id}]
+		s.remap[key{class, id}] = root
+		id = next
+	}
+	return root
+}
+
+// SaveSlice records one extent of a resource's data (mechanism G1). The
+// extent references length bytes at cbufOff within buffer b, standing for
+// bytes [offset, offset+length) of the resource. Overlapping extents are
+// resolved newest-wins at read time. The store takes a read-only mapping of
+// the buffer.
+func (s *Store) SaveSlice(class Class, id kernel.Word, offset int, b cbuf.ID, cbufOff, length int) error {
+	if offset < 0 || length < 0 {
+		return fmt.Errorf("storage: invalid slice [%d, %d)", offset, offset+length)
+	}
+	s.mu.Lock()
+	self := s.self
+	s.mu.Unlock()
+	if err := s.cm.Map(b, self); err != nil {
+		return fmt.Errorf("storage: mapping cbuf %d: %w", b, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key{class, id}
+	s.slices[k] = append(s.slices[k], Slice{Offset: offset, Length: length, Cbuf: b, CbufOff: cbufOff})
+	return nil
+}
+
+// Truncate drops all saved slices at or beyond size, and trims extents that
+// straddle it, so ReadAll reflects a resource shortened to size bytes.
+func (s *Store) Truncate(class Class, id kernel.Word, size int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key{class, id}
+	var kept []Slice
+	for _, sl := range s.slices[k] {
+		if sl.Offset >= size {
+			continue
+		}
+		if sl.Offset+sl.Length > size {
+			sl.Length = size - sl.Offset
+		}
+		kept = append(kept, sl)
+	}
+	s.slices[k] = kept
+}
+
+// Drop forgets all data saved for a resource (legitimate deletion).
+func (s *Store) Drop(class Class, id kernel.Word) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.slices, key{class, id})
+}
+
+// HasData reports whether any data is saved for the resource.
+func (s *Store) HasData(class Class, id kernel.Word) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.slices[key{class, id}]) > 0
+}
+
+// ReadAll reassembles the full contents of a resource from its saved
+// extents, applying them in save order (newest wins on overlap). It returns
+// ErrNotFound if nothing was saved.
+func (s *Store) ReadAll(class Class, id kernel.Word) ([]byte, error) {
+	s.mu.Lock()
+	extents := append([]Slice(nil), s.slices[key{class, id}]...)
+	self := s.self
+	s.mu.Unlock()
+	if len(extents) == 0 {
+		return nil, fmt.Errorf("%w: class %d id %d", ErrNotFound, class, id)
+	}
+	size := 0
+	for _, e := range extents {
+		if end := e.Offset + e.Length; end > size {
+			size = end
+		}
+	}
+	out := make([]byte, size)
+	for _, e := range extents {
+		data, err := s.cm.Read(e.Cbuf, self, e.CbufOff, e.Length)
+		if err != nil {
+			return nil, fmt.Errorf("storage: reading extent at %d: %w", e.Offset, err)
+		}
+		copy(out[e.Offset:], data)
+	}
+	return out, nil
+}
+
+// Creators lists the IDs of all recorded global descriptors of a class, in
+// ascending order. Eager recovery uses this to enumerate what must be
+// rebuilt.
+func (s *Store) Creators(class Class) []kernel.Word {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ids []kernel.Word
+	for k := range s.creators {
+		if k.class == class {
+			ids = append(ids, k.id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Interface function names for kernel-mediated access. The hot-path save
+// operations cross the kernel like any component invocation so that their
+// cost shows up in measurements; recovery-time reads use the Go API
+// directly, modeling C³ reflection on the storage component.
+const (
+	FnRecordCreator = "st_record_creator"
+	FnRemoveCreator = "st_remove_creator"
+	FnRemap         = "st_remap"
+	FnResolve       = "st_resolve"
+	FnSaveSlice     = "st_save_slice"
+	FnTruncate      = "st_truncate"
+	FnDrop          = "st_drop"
+)
+
+// Component wraps a Store as an invocable kernel service.
+type Component struct {
+	store *Store
+}
+
+var _ kernel.Service = (*Component)(nil)
+
+// NewComponent wraps store for kernel registration. The same Store instance
+// survives across the (never-exercised) reboot path: the storage component
+// is trusted and is not a fault-injection target.
+func NewComponent(store *Store) *Component {
+	return &Component{store: store}
+}
+
+// Name implements kernel.Service.
+func (c *Component) Name() string { return "storage" }
+
+// Init implements kernel.Service.
+func (c *Component) Init(bc *kernel.BootContext) error {
+	c.store.Attach(bc.Self)
+	return nil
+}
+
+// Store returns the underlying store, for reflection-style recovery access.
+func (c *Component) Store() *Store { return c.store }
+
+// Dispatch implements kernel.Service.
+func (c *Component) Dispatch(t *kernel.Thread, fn string, args []kernel.Word) (kernel.Word, error) {
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("storage: %s needs %d args, got %d", fn, n, len(args))
+		}
+		return nil
+	}
+	switch fn {
+	case FnRecordCreator:
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		c.store.RecordCreator(Class(args[0]), args[1], kernel.ComponentID(args[2]), args[3:])
+		return 0, nil
+	case FnRemoveCreator:
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		c.store.RemoveCreator(Class(args[0]), args[1])
+		return 0, nil
+	case FnRemap:
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		c.store.Remap(Class(args[0]), args[1], args[2])
+		return 0, nil
+	case FnResolve:
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return c.store.Resolve(Class(args[0]), args[1]), nil
+	case FnSaveSlice:
+		if err := need(5); err != nil {
+			return 0, err
+		}
+		return 0, c.store.SaveSlice(Class(args[0]), args[1], int(args[2]), cbuf.ID(args[3]), 0, int(args[4]))
+	case FnTruncate:
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		c.store.Truncate(Class(args[0]), args[1], int(args[2]))
+		return 0, nil
+	case FnDrop:
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		c.store.Drop(Class(args[0]), args[1])
+		return 0, nil
+	default:
+		return 0, kernel.DispatchError(c.Name(), fn)
+	}
+}

@@ -1,0 +1,265 @@
+package swifi
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+	"superglue/internal/workload"
+)
+
+// Outcome classifies one campaign trial, matching Table II's columns.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeUndetected: the injected flip was never observed.
+	OutcomeUndetected Outcome = iota + 1
+	// OutcomeRecovered: the fault was detected and SuperGlue recovered it;
+	// the workload ran to completion abiding by its specification.
+	OutcomeRecovered
+	// OutcomeSegfault: the system exited with the machine-level crash.
+	OutcomeSegfault
+	// OutcomePropagated: the fault escaped into a client component and the
+	// run could not be recovered.
+	OutcomePropagated
+	// OutcomeOther: the system hung (latent fault) or failed in a way the
+	// recovery machinery does not cover.
+	OutcomeOther
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeUndetected:
+		return "undetected"
+	case OutcomeRecovered:
+		return "recovered"
+	case OutcomeSegfault:
+		return "not recovered (segfault)"
+	case OutcomePropagated:
+		return "not recovered (propagated)"
+	case OutcomeOther:
+		return "not recovered (other)"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Config parameterizes one fault-injection campaign against one service.
+type Config struct {
+	// Service is the target's name (reporting).
+	Service string
+	// Workload builds one trial's system and threads.
+	Workload workload.Factory
+	// Iters is the per-trial workload iteration count.
+	Iters int
+	// Trials is the number of injections (the paper uses 500).
+	Trials int
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// Profile is the target component's register-usage profile.
+	Profile kernel.RegProfile
+	// Mode selects the recovery timing.
+	Mode core.RecoveryMode
+}
+
+// Result aggregates one campaign, mirroring one row of Table II.
+type Result struct {
+	Service    string
+	Injected   int
+	Recovered  int
+	Segfault   int
+	Propagated int
+	Other      int
+	Undetected int
+	// Trials holds each trial's record for deeper analysis.
+	Trials []TrialResult
+}
+
+// TrialResult records one injection and its classified outcome.
+type TrialResult struct {
+	Injection Injection
+	Outcome   Outcome
+	Detail    string
+}
+
+// ActivationRatio is |F_a| / |F_a ∪ F_u|: the fraction of injected faults
+// that were activated (observed at all).
+func (r *Result) ActivationRatio() float64 {
+	if r.Injected == 0 {
+		return 0
+	}
+	return float64(r.Injected-r.Undetected) / float64(r.Injected)
+}
+
+// SuccessRate is |F_r| / |F_a|: the fraction of activated faults that were
+// recovered.
+func (r *Result) SuccessRate() float64 {
+	activated := r.Injected - r.Undetected
+	if activated == 0 {
+		return 0
+	}
+	return float64(r.Recovered) / float64(activated)
+}
+
+// Run executes the campaign: for each trial it builds a fresh system, plans
+// one bit flip at a uniformly random execution moment inside the target,
+// runs the workload to completion (or to the machine's death), and
+// classifies the outcome. Trials are independent and reproducible from the
+// seed.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("swifi: non-positive trial count %d", cfg.Trials)
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 5
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = core.OnDemand
+	}
+
+	// Dry run: count injection opportunities (invocation entries into the
+	// target) for the uniform draw of the injection moment.
+	opportunities, err := dryRun(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("swifi: dry run: %w", err)
+	}
+
+	res := &Result{Service: cfg.Service}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*7919))
+		tr, err := runTrial(cfg, opportunities, rng)
+		if err != nil {
+			return nil, fmt.Errorf("swifi: trial %d: %w", trial, err)
+		}
+		res.Injected++
+		res.Trials = append(res.Trials, tr)
+		switch tr.Outcome {
+		case OutcomeUndetected:
+			res.Undetected++
+		case OutcomeRecovered:
+			res.Recovered++
+		case OutcomeSegfault:
+			res.Segfault++
+		case OutcomePropagated:
+			res.Propagated++
+		case OutcomeOther:
+			res.Other++
+		}
+	}
+	return res, nil
+}
+
+// dryRun executes the workload fault-free and counts invocation entries
+// into the target component.
+func dryRun(cfg Config) (uint64, error) {
+	sys, err := core.NewSystem(cfg.Mode)
+	if err != nil {
+		return 0, err
+	}
+	w := cfg.Workload(cfg.Iters)
+	target, err := w.Build(sys)
+	if err != nil {
+		return 0, err
+	}
+	var entries uint64
+	sys.Kernel().SetInvokeHook(func(t *kernel.Thread, comp kernel.ComponentID, fn string, phase kernel.InvokePhase) {
+		if comp == target && phase == kernel.PhaseEntry {
+			entries++
+		}
+	})
+	if err := sys.Kernel().Run(); err != nil {
+		return 0, fmt.Errorf("fault-free run failed: %w", err)
+	}
+	if err := w.Check(); err != nil {
+		return 0, fmt.Errorf("fault-free run violates workload spec: %w", err)
+	}
+	if entries == 0 {
+		return 0, errors.New("workload never invokes the target")
+	}
+	return entries, nil
+}
+
+// runTrial executes one injection trial.
+func runTrial(cfg Config, opportunities uint64, rng *rand.Rand) (TrialResult, error) {
+	sys, err := core.NewSystem(cfg.Mode)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	w := cfg.Workload(cfg.Iters)
+	target, err := w.Build(sys)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	if err := sys.Kernel().SetRegProfile(target, cfg.Profile); err != nil {
+		return TrialResult{}, err
+	}
+	inj := NewInjector(sys.Kernel(), target, opportunities, rng)
+	sys.Kernel().SetInvokeHook(inj.Hook)
+
+	runErr := sys.Kernel().Run()
+	checkErr := error(nil)
+	if runErr == nil {
+		checkErr = w.Check()
+	}
+	return classify(inj, runErr, checkErr), nil
+}
+
+// classify maps a trial's (injection effect, run error, workload check) to
+// a Table II outcome.
+func classify(inj *Injector, runErr, checkErr error) TrialResult {
+	tr := TrialResult{Injection: inj.Record()}
+	if !inj.Fired() {
+		// The injection moment was never reached (the workload finished
+		// first); the flip never happened, so nothing was observed.
+		tr.Outcome = OutcomeUndetected
+		tr.Detail = "injection point not reached"
+		return tr
+	}
+	var crash *kernel.SystemCrash
+	switch {
+	case errors.As(runErr, &crash):
+		tr.Outcome = OutcomeSegfault
+		tr.Detail = crash.Reason
+	case errors.Is(runErr, kernel.ErrHang):
+		tr.Outcome = OutcomeOther
+		tr.Detail = "system hang (latent fault)"
+	case runErr != nil:
+		// The machine died in an unforeseen way (e.g., a propagated value
+		// made a client panic).
+		if inj.Record().Effect == EffectRetvalSilent {
+			tr.Outcome = OutcomePropagated
+		} else {
+			tr.Outcome = OutcomeOther
+		}
+		tr.Detail = runErr.Error()
+	case checkErr != nil:
+		switch inj.Record().Effect {
+		case EffectRetvalSilent:
+			tr.Outcome = OutcomePropagated
+		case EffectNone:
+			// An unobserved flip cannot break the workload; a failure here
+			// is a harness bug surfaced as "other".
+			tr.Outcome = OutcomeOther
+		default:
+			tr.Outcome = OutcomeOther
+		}
+		tr.Detail = checkErr.Error()
+	default:
+		switch inj.Record().Effect {
+		case EffectNone:
+			tr.Outcome = OutcomeUndetected
+		case EffectRetvalSilent:
+			// The corrupted value flowed into the client but nothing
+			// deviated from the workload specification: not activated.
+			tr.Outcome = OutcomeUndetected
+			tr.Detail = "propagated value was benign"
+		default:
+			tr.Outcome = OutcomeRecovered
+		}
+	}
+	return tr
+}

@@ -1,0 +1,63 @@
+package swifi
+
+import (
+	"testing"
+
+	"superglue/internal/core"
+)
+
+// TestEagerModeCampaign runs a small campaign with eager (T0-everything)
+// recovery: outcomes must still sum, and recovery must still work — the
+// timing, not the success rate, is what distinguishes the modes.
+func TestEagerModeCampaign(t *testing.T) {
+	for _, svc := range []string{"lock", "event", "ramfs"} {
+		res, err := Run(Config{
+			Service:  svc,
+			Workload: Workloads()[svc],
+			Iters:    4,
+			Trials:   40,
+			Seed:     31,
+			Profile:  Profiles()[svc],
+			Mode:     core.Eager,
+		})
+		if err != nil {
+			t.Fatalf("Run(%s, eager): %v", svc, err)
+		}
+		sum := res.Recovered + res.Segfault + res.Propagated + res.Other + res.Undetected
+		if sum != res.Injected {
+			t.Errorf("%s: outcome sum %d ≠ injected %d", svc, sum, res.Injected)
+		}
+		if res.SuccessRate() < 0.6 {
+			t.Errorf("%s: eager success rate %.2f below sanity floor", svc, res.SuccessRate())
+		}
+	}
+}
+
+// TestOnDemandAndEagerAgreeOnDetection: the recovery mode must not change
+// which faults are activated (detection happens before recovery timing
+// matters), only how recovery proceeds.
+func TestOnDemandAndEagerAgreeOnDetection(t *testing.T) {
+	run := func(mode core.RecoveryMode) *Result {
+		res, err := Run(Config{
+			Service:  "lock",
+			Workload: Workloads()["lock"],
+			Iters:    4,
+			Trials:   60,
+			Seed:     77,
+			Profile:  Profiles()["lock"],
+			Mode:     mode,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	od := run(core.OnDemand)
+	eg := run(core.Eager)
+	if od.Undetected != eg.Undetected {
+		t.Errorf("undetected differ: on-demand %d vs eager %d", od.Undetected, eg.Undetected)
+	}
+	if od.Segfault != eg.Segfault {
+		t.Errorf("segfaults differ: on-demand %d vs eager %d", od.Segfault, eg.Segfault)
+	}
+}

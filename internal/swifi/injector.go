@@ -1,0 +1,209 @@
+// Package swifi implements Software-Implemented Fault Injection in the
+// style of §V-A: single-bit flips in a modeled eight-register file (six
+// general-purpose registers plus ESP and EBP, 32 bits each) of threads
+// executing inside a target system component, under a fail-stop fault
+// model.
+//
+// The injector plans one injection per trial — a uniformly random register
+// and bit, at a uniformly random moment of execution inside the target —
+// and derives the fault's manifestation mechanistically from what the
+// register held (kernel.RegClass) rather than sampling outcome frequencies:
+//
+//   - a dead register's flip is never observed (undetected);
+//   - live data or a pointer into component state corrupts that state and
+//     is detected immediately (fail-stop), starting µ-reboot + recovery;
+//   - a stack/frame pointer flip that is dereferenced before detection
+//     either lands inside the component's mapped footprint (detected,
+//     recoverable) or leaves it entirely (machine-level segfault,
+//     unrecoverable);
+//   - a loop-counter flip that raises the bound produces an unbounded loop
+//     (latent fault: the system hangs, "not recovered — other");
+//   - a return-value flip during the return window either escapes into the
+//     client (fault propagation through the interface) or is caught by the
+//     stub's validation (detected, recoverable).
+package swifi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"superglue/internal/kernel"
+)
+
+// Effect is the immediate manifestation of one injected bit flip.
+type Effect int
+
+// Effects.
+const (
+	// EffectNone means the flip was never observed (dead value).
+	EffectNone Effect = iota + 1
+	// EffectCrash means fail-stop detection: the component is failed and
+	// the recovery machinery takes over.
+	EffectCrash
+	// EffectSegfault means the flip took the whole machine down.
+	EffectSegfault
+	// EffectHang means the flip produced an unbounded loop (latent fault).
+	EffectHang
+	// EffectRetvalSilent means a corrupted return value escaped into the
+	// client (propagation); the run's outcome depends on what the client
+	// does with it.
+	EffectRetvalSilent
+)
+
+// String implements fmt.Stringer.
+func (e Effect) String() string {
+	switch e {
+	case EffectNone:
+		return "none"
+	case EffectCrash:
+		return "crash"
+	case EffectSegfault:
+		return "segfault"
+	case EffectHang:
+		return "hang"
+	case EffectRetvalSilent:
+		return "retval-propagated"
+	default:
+		return fmt.Sprintf("Effect(%d)", int(e))
+	}
+}
+
+// Injection records one planned-and-fired bit flip.
+type Injection struct {
+	Reg    kernel.Reg
+	Bit    int
+	Class  kernel.RegClass
+	Fn     string
+	Phase  kernel.InvokePhase
+	Effect Effect
+}
+
+// exitPhaseFrac is the fraction of execution time spent in the return
+// window, where EAX holds the in-flight return value.
+const exitPhaseFrac = 0.15
+
+// Injector arms one bit flip against a target component. Install its Hook
+// on the kernel, run the workload, then inspect Fired/Record.
+type Injector struct {
+	k       *kernel.Kernel
+	target  kernel.ComponentID
+	profile kernel.RegProfile
+	rng     *rand.Rand
+
+	// plan: fire at the Nth opportunity of the chosen phase.
+	planPhase kernel.InvokePhase
+	planIdx   uint64
+	seen      uint64
+
+	fired  bool
+	record Injection
+}
+
+// NewInjector plans one injection: opportunities counts the target's
+// invocation entries observed in a fault-free dry run of the same workload,
+// which bounds the uniformly drawn injection moment.
+func NewInjector(k *kernel.Kernel, target kernel.ComponentID, opportunities uint64, rng *rand.Rand) *Injector {
+	if opportunities == 0 {
+		opportunities = 1
+	}
+	inj := &Injector{
+		k:       k,
+		target:  target,
+		profile: k.RegProfile(target),
+		rng:     rng,
+	}
+	inj.planPhase = kernel.PhaseEntry
+	if rng.Float64() < exitPhaseFrac {
+		inj.planPhase = kernel.PhaseExit
+	}
+	inj.planIdx = uint64(rng.Int63n(int64(opportunities))) + 1
+	return inj
+}
+
+// Fired reports whether the planned injection took place.
+func (inj *Injector) Fired() bool { return inj.fired }
+
+// Record returns the injection record (valid once Fired).
+func (inj *Injector) Record() Injection { return inj.record }
+
+// Hook is the kernel invocation hook; install with Kernel.SetInvokeHook.
+func (inj *Injector) Hook(t *kernel.Thread, comp kernel.ComponentID, fn string, phase kernel.InvokePhase) {
+	if inj.fired || comp != inj.target || phase != inj.planPhase {
+		return
+	}
+	inj.seen++
+	if inj.seen != inj.planIdx {
+		return
+	}
+	inj.fired = true
+	inj.fire(t, fn, phase)
+}
+
+// fire materializes the register file for this execution moment, flips one
+// uniformly random bit of one uniformly random register, and applies the
+// mechanistically derived effect.
+func (inj *Injector) fire(t *kernel.Thread, fn string, phase kernel.InvokePhase) {
+	regs := t.Regs()
+	regs.Materialize(inj.profile, phase, inj.rng)
+	reg := kernel.Reg(inj.rng.Intn(int(kernel.NumRegs)))
+	bit := inj.rng.Intn(32)
+	regs.Val[reg] ^= 1 << bit
+
+	rec := Injection{Reg: reg, Bit: bit, Class: regs.Class[reg], Fn: fn, Phase: phase}
+	rec.Effect = inj.classify(regs.Class[reg], bit)
+	inj.record = rec
+
+	switch rec.Effect {
+	case EffectNone, EffectRetvalSilent:
+		// Nothing to do: either unobserved, or the corrupted value flows
+		// back to the client through the (kernel-staged) EAX register.
+	case EffectCrash:
+		// Fail-stop: detected immediately after corrupting state.
+		_ = inj.k.FailComponent(inj.target)
+	case EffectSegfault:
+		inj.k.CrashSystem(t, inj.target,
+			fmt.Sprintf("wild %v dereference after bit %d flip", reg, bit))
+	case EffectHang:
+		inj.k.HangCurrent(t)
+	}
+}
+
+// classify derives the manifestation of a flip from the register's content
+// class, the flipped bit's position, and the component's profile.
+func (inj *Injector) classify(class kernel.RegClass, bit int) Effect {
+	switch class {
+	case kernel.ClassDead:
+		return EffectNone
+	case kernel.ClassData, kernel.ClassPtr:
+		// Corrupts component state; fail-stop detects it immediately.
+		return EffectCrash
+	case kernel.ClassLoop:
+		// Raising a high bit of a loop bound produces an unbounded loop;
+		// lowering it truncates the loop, which the fail-stop consistency
+		// checks catch.
+		if bit >= 8 {
+			return EffectHang
+		}
+		return EffectCrash
+	case kernel.ClassStackPtr, kernel.ClassFramePtr:
+		if inj.rng.Float64() >= inj.profile.StackUseFrac {
+			// Reloaded before use: the corruption is never consumed.
+			return EffectNone
+		}
+		if bit >= inj.profile.MappedBits {
+			// The wild pointer leaves the component's mapped footprint:
+			// the machine, not just the component, goes down.
+			return EffectSegfault
+		}
+		return EffectCrash
+	case kernel.ClassRetVal:
+		if inj.rng.Float64() < inj.profile.RetValFrac {
+			// Plausible value: escapes the stub's validation and
+			// propagates into the client.
+			return EffectRetvalSilent
+		}
+		return EffectCrash
+	default:
+		return EffectCrash
+	}
+}

@@ -1,0 +1,53 @@
+package swifi
+
+import (
+	"superglue/internal/kernel"
+	"superglue/internal/services/event"
+	"superglue/internal/services/lock"
+	"superglue/internal/services/mm"
+	"superglue/internal/services/ramfs"
+	"superglue/internal/services/sched"
+	"superglue/internal/services/timer"
+	"superglue/internal/workload"
+)
+
+// Profiles gives the register-usage profile of each evaluation target, a
+// first-order characterization of the component's code:
+//
+//   - DeadFrac / PtrFrac / LoopFrac describe general-purpose register
+//     liveness in the component's hot paths;
+//   - StackUseFrac is near one everywhere (a corrupted stack pointer is
+//     almost always consumed), slightly higher for the context-switch-heavy
+//     scheduler;
+//   - MappedBits is the component's mapped-memory footprint: the scheduler
+//     is tiny (run queues only), so most wild stack pointers leave its
+//     segment and take the machine down, while the filesystem — holding
+//     file data — absorbs most of them. This is the mechanistic origin of
+//     the paper's observation that "Sched has the most segfault crashes".
+func Profiles() map[string]kernel.RegProfile {
+	return map[string]kernel.RegProfile{
+		"sched": {DeadFrac: 0.03, PtrFrac: 0.30, LoopFrac: 0.015, StackUseFrac: 0.96, MappedBits: 15, RetValFrac: 0.25},
+		"mm":    {DeadFrac: 0.06, PtrFrac: 0.35, LoopFrac: 0.020, StackUseFrac: 0.92, MappedBits: 21, RetValFrac: 0.30},
+		"ramfs": {DeadFrac: 0.06, PtrFrac: 0.30, LoopFrac: 0.015, StackUseFrac: 0.90, MappedBits: 26, RetValFrac: 0.30},
+		"lock":  {DeadFrac: 0.06, PtrFrac: 0.25, LoopFrac: 0.015, StackUseFrac: 0.90, MappedBits: 22, RetValFrac: 0.35},
+		"event": {DeadFrac: 0.07, PtrFrac: 0.25, LoopFrac: 0.015, StackUseFrac: 0.88, MappedBits: 26, RetValFrac: 0.35},
+		"timer": {DeadFrac: 0.04, PtrFrac: 0.25, LoopFrac: 0.015, StackUseFrac: 0.92, MappedBits: 23, RetValFrac: 0.30},
+	}
+}
+
+// Workloads gives the §V-B workload factory for each evaluation target.
+func Workloads() map[string]workload.Factory {
+	return map[string]workload.Factory{
+		"sched": sched.NewWorkload,
+		"mm":    mm.NewWorkload,
+		"ramfs": ramfs.NewWorkload,
+		"lock":  lock.NewWorkload,
+		"event": event.NewWorkload,
+		"timer": timer.NewWorkload,
+	}
+}
+
+// Targets lists the campaign targets in the paper's Table II order.
+func Targets() []string {
+	return []string{"sched", "mm", "ramfs", "lock", "event", "timer"}
+}

@@ -1,0 +1,56 @@
+package swifi
+
+import "testing"
+
+// TestFullCampaignShape runs the paper's full 500-injection campaign for
+// every service and asserts the qualitative shape of Table II:
+//
+//   - activation ratios in the 90%+ band;
+//   - recovery success rates in the high-80s-to-mid-90s band;
+//   - the scheduler has the most segfault outcomes (smallest mapped
+//     footprint), the filesystem and event manager the fewest;
+//   - fault propagation across components is rare;
+//   - latent faults ("other") are a small tail.
+func TestFullCampaignShape(t *testing.T) {
+	results := make(map[string]*Result)
+	for _, svc := range Targets() {
+		res, err := Run(Config{
+			Service:  svc,
+			Workload: Workloads()[svc],
+			Iters:    5,
+			Trials:   500,
+			Seed:     2026,
+			Profile:  Profiles()[svc],
+		})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", svc, err)
+		}
+		results[svc] = res
+	}
+	for svc, res := range results {
+		if got := res.ActivationRatio(); got < 0.88 || got > 1.0 {
+			t.Errorf("%s: activation ratio %.3f outside [0.88, 1.0]", svc, got)
+		}
+		if got := res.SuccessRate(); got < 0.80 {
+			t.Errorf("%s: success rate %.3f below 0.80", svc, got)
+		}
+		if res.Propagated > 10 {
+			t.Errorf("%s: %d propagated faults; isolation should make these rare", svc, res.Propagated)
+		}
+		if res.Other > 25 {
+			t.Errorf("%s: %d latent/other faults; should be a small tail", svc, res.Other)
+		}
+		sum := res.Recovered + res.Segfault + res.Propagated + res.Other + res.Undetected
+		if sum != res.Injected || res.Injected != 500 {
+			t.Errorf("%s: outcome sum %d ≠ injected %d", svc, sum, res.Injected)
+		}
+	}
+	if results["sched"].Segfault <= results["ramfs"].Segfault {
+		t.Errorf("sched segfaults (%d) should exceed ramfs's (%d): the paper's footprint effect",
+			results["sched"].Segfault, results["ramfs"].Segfault)
+	}
+	if results["sched"].Segfault <= results["event"].Segfault {
+		t.Errorf("sched segfaults (%d) should exceed event's (%d)",
+			results["sched"].Segfault, results["event"].Segfault)
+	}
+}

@@ -1,0 +1,49 @@
+package webserver
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseRequest drives the HTTP request parser with arbitrary bytes
+// (run with `go test -fuzz=FuzzParseRequest ./internal/webserver`).
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))
+	f.Add([]byte("HEAD /a.html HTTP/1.0\r\n\r\n"))
+	f.Add([]byte("POST / HTTP/1.1\r\n\r\n"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte("GET  HTTP/1.1"))
+	f.Add(FormatRequest("/index.html", true))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		req, err := ParseRequest(raw)
+		if err != nil {
+			return
+		}
+		if req.Method != "GET" && req.Method != "HEAD" {
+			t.Fatalf("accepted method %q", req.Method)
+		}
+		if len(req.Path) == 0 || req.Path[0] != '/' {
+			t.Fatalf("accepted path %q", req.Path)
+		}
+	})
+}
+
+// FuzzResponseRoundTrip checks response framing against arbitrary bodies.
+func FuzzResponseRoundTrip(f *testing.F) {
+	f.Add(200, []byte("hello"))
+	f.Add(404, []byte{})
+	f.Add(500, []byte{0, 1, 2, 255})
+	f.Fuzz(func(t *testing.T, code int, body []byte) {
+		if code < 100 || code > 599 {
+			return
+		}
+		resp := FormatResponse(code, body)
+		got, err := ParseResponseStatus(resp)
+		if err != nil || got != code {
+			t.Fatalf("status round trip = (%d, %v); want %d", got, err, code)
+		}
+		if !bytes.Equal(ResponseBody(resp), body) {
+			t.Fatalf("body round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,134 @@
+// Package webserver implements the evaluation's application workload
+// (§V-E): a web server built from the system-level components — events for
+// request notification, locks around the shared cache, the RAM filesystem
+// for content, the memory manager for connection buffers, the timer for
+// housekeeping, and the scheduler for worker flow control — together with
+// an ab-style load generator and a plain ("Apache-like") baseline server
+// that runs the same HTTP logic without the component substrate.
+package webserver
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Request is one parsed HTTP request.
+type Request struct {
+	Method  string
+	Path    string
+	Proto   string
+	Headers map[string]string
+}
+
+// Parse errors.
+var (
+	// ErrMalformedRequest reports an unparseable request.
+	ErrMalformedRequest = errors.New("webserver: malformed request")
+	// ErrUnsupportedMethod reports a method other than GET/HEAD.
+	ErrUnsupportedMethod = errors.New("webserver: unsupported method")
+)
+
+// ParseRequest parses an HTTP/1.x request head (through the blank line).
+func ParseRequest(raw []byte) (*Request, error) {
+	head := raw
+	if idx := bytes.Index(raw, []byte("\r\n\r\n")); idx >= 0 {
+		head = raw[:idx]
+	}
+	lines := strings.Split(string(head), "\r\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return nil, fmt.Errorf("%w: empty request", ErrMalformedRequest)
+	}
+	parts := strings.Split(lines[0], " ")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformedRequest, lines[0])
+	}
+	req := &Request{Method: parts[0], Path: parts[1], Proto: parts[2], Headers: make(map[string]string)}
+	if req.Method != "GET" && req.Method != "HEAD" {
+		return nil, fmt.Errorf("%w: %s", ErrUnsupportedMethod, req.Method)
+	}
+	if !strings.HasPrefix(req.Proto, "HTTP/1.") {
+		return nil, fmt.Errorf("%w: protocol %q", ErrMalformedRequest, req.Proto)
+	}
+	if !strings.HasPrefix(req.Path, "/") {
+		return nil, fmt.Errorf("%w: path %q", ErrMalformedRequest, req.Path)
+	}
+	for _, line := range lines[1:] {
+		if line == "" {
+			break
+		}
+		ci := strings.Index(line, ":")
+		if ci <= 0 {
+			return nil, fmt.Errorf("%w: header %q", ErrMalformedRequest, line)
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:ci]))
+		req.Headers[key] = strings.TrimSpace(line[ci+1:])
+	}
+	return req, nil
+}
+
+// FormatRequest renders a GET request for the load generator.
+func FormatRequest(path string, keepAlive bool) []byte {
+	conn := "keep-alive"
+	if !keepAlive {
+		conn = "close"
+	}
+	return []byte("GET " + path + " HTTP/1.1\r\nHost: bench\r\nConnection: " + conn + "\r\n\r\n")
+}
+
+// statusText maps the status codes the server emits.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Unknown"
+	}
+}
+
+// FormatResponse renders an HTTP/1.1 response.
+func FormatResponse(code int, body []byte) []byte {
+	var b bytes.Buffer
+	b.WriteString("HTTP/1.1 ")
+	b.WriteString(strconv.Itoa(code))
+	b.WriteByte(' ')
+	b.WriteString(statusText(code))
+	b.WriteString("\r\nServer: superglue-ws\r\nContent-Length: ")
+	b.WriteString(strconv.Itoa(len(body)))
+	b.WriteString("\r\n\r\n")
+	b.Write(body)
+	return b.Bytes()
+}
+
+// ParseResponseStatus extracts the status code of a rendered response.
+func ParseResponseStatus(raw []byte) (int, error) {
+	line := raw
+	if idx := bytes.IndexByte(raw, '\r'); idx >= 0 {
+		line = raw[:idx]
+	}
+	parts := strings.SplitN(string(line), " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return 0, fmt.Errorf("%w: status line %q", ErrMalformedRequest, line)
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, fmt.Errorf("%w: status %q", ErrMalformedRequest, parts[1])
+	}
+	return code, nil
+}
+
+// ResponseBody extracts the body of a rendered response.
+func ResponseBody(raw []byte) []byte {
+	if idx := bytes.Index(raw, []byte("\r\n\r\n")); idx >= 0 {
+		return raw[idx+4:]
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package webserver
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer boots Serve on a loopback listener and returns the base URL
+// and a shutdown func that waits for Serve to return.
+func startServer(t *testing.T, cfg Config) (string, func() error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- Serve(ln, cfg) }()
+	shutdown := func() error {
+		_ = ln.Close()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("Serve did not return after listener close")
+		}
+	}
+	return "http://" + ln.Addr().String(), shutdown
+}
+
+func TestServeRealHTTP(t *testing.T) {
+	files := DefaultFiles()
+	url, shutdown := startServer(t, Config{Variant: VariantSuperGlue, Files: files})
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := client.Get(url + "/index.html")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d; want 200", resp.StatusCode)
+	}
+	if string(body) != string(files["/index.html"]) {
+		t.Fatalf("body = %q; want the site file", body)
+	}
+
+	resp, err = client.Get(url + "/missing.html")
+	if err != nil {
+		t.Fatalf("GET missing: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d; want 404", resp.StatusCode)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestServeKeepAliveAndConcurrency(t *testing.T) {
+	files := DefaultFiles()
+	url, shutdown := startServer(t, Config{Variant: VariantC3, Files: files, Workers: 3})
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				path := fmt.Sprintf("/f%d.html", i%8)
+				resp, err := client.Get(url + path)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				_ = resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != 200 || string(body) != string(files[path]) {
+					errs <- fmt.Errorf("%s: status %d, %d bytes", path, resp.StatusCode, len(body))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestServeAcrossInjectedFaults(t *testing.T) {
+	files := DefaultFiles()
+	url, shutdown := startServer(t, Config{
+		Variant:    VariantSuperGlue,
+		Files:      files,
+		FaultEvery: 40,
+	})
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; i < 300; i++ {
+		path := fmt.Sprintf("/f%d.html", i%8)
+		resp, err := client.Get(url + path)
+		if err != nil {
+			t.Fatalf("GET %d: %v", i, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if resp.StatusCode != 200 || string(body) != string(files[path]) {
+			t.Fatalf("request %d: status %d body %d bytes (service must survive crashes)",
+				i, resp.StatusCode, len(body))
+		}
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestServeRejectsBaseline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer func() { _ = ln.Close() }()
+	if err := Serve(ln, Config{Variant: VariantBaseline}); err == nil {
+		t.Fatal("Serve accepted the baseline variant")
+	}
+}

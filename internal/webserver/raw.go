@@ -1,0 +1,186 @@
+package webserver
+
+import (
+	"fmt"
+
+	"superglue/internal/cbuf"
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+	"superglue/internal/services/event"
+	"superglue/internal/services/lock"
+	"superglue/internal/services/ramfs"
+	"superglue/internal/services/sched"
+	"superglue/internal/services/timer"
+)
+
+// rawServices is the "COMPOSITE base" binding: plain component invocations
+// with no descriptor tracking and no recovery, the fault-intolerant system
+// the paper's Fig. 7 uses as the component-substrate baseline.
+type rawServices struct {
+	k    *kernel.Kernel
+	cm   *cbuf.Manager
+	self kernel.ComponentID
+	ids  *componentIDs
+
+	pathBufs    map[string]cbuf.ID
+	readBuf     cbuf.ID
+	readBufSize int
+}
+
+func newRawServices(sys *core.System, cl *core.Client, ids *componentIDs) *services {
+	raw := &rawServices{
+		k:        sys.Kernel(),
+		cm:       sys.Cbufs(),
+		self:     cl.ID(),
+		ids:      ids,
+		pathBufs: make(map[string]cbuf.ID),
+	}
+	return &services{fs: raw, lock: raw, evt: raw, sched: raw, timer: rawTimer{raw}}
+}
+
+// fsAPI.
+
+func (r *rawServices) Open(t *kernel.Thread, path string) (kernel.Word, error) {
+	buf, ok := r.pathBufs[path]
+	if !ok {
+		var err error
+		buf, err = r.cm.Alloc(cbuf.ComponentID(r.self), len(path))
+		if err != nil {
+			return 0, err
+		}
+		if err := r.cm.Write(buf, cbuf.ComponentID(r.self), 0, []byte(path)); err != nil {
+			return 0, err
+		}
+		if err := r.cm.Map(buf, cbuf.ComponentID(r.ids.fs)); err != nil {
+			return 0, err
+		}
+		r.pathBufs[path] = buf
+	}
+	return r.k.Invoke(t, r.ids.fs, ramfs.FnOpen, kernel.Word(r.self), kernel.Word(buf), kernel.Word(len(path)))
+}
+
+func (r *rawServices) Read(t *kernel.Thread, fd kernel.Word, n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if n > r.readBufSize {
+		if r.readBufSize > 0 {
+			if err := r.cm.Free(r.readBuf, cbuf.ComponentID(r.self)); err != nil {
+				return nil, err
+			}
+		}
+		nb, err := r.cm.Alloc(cbuf.ComponentID(r.self), n)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.cm.Delegate(nb, cbuf.ComponentID(r.self), cbuf.ComponentID(r.ids.fs)); err != nil {
+			return nil, err
+		}
+		r.readBuf, r.readBufSize = nb, n
+	}
+	buf := r.readBuf
+	got, err := r.k.Invoke(t, r.ids.fs, ramfs.FnRead, kernel.Word(r.self), fd, kernel.Word(buf), kernel.Word(n))
+	if err != nil {
+		return nil, err
+	}
+	return r.cm.Read(buf, cbuf.ComponentID(r.self), 0, int(got))
+}
+
+func (r *rawServices) Write(t *kernel.Thread, fd kernel.Word, data []byte) (int, error) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	buf, err := r.cm.Alloc(cbuf.ComponentID(r.self), len(data))
+	if err != nil {
+		return 0, err
+	}
+	if err := r.cm.Write(buf, cbuf.ComponentID(r.self), 0, data); err != nil {
+		return 0, err
+	}
+	if err := r.cm.Map(buf, cbuf.ComponentID(r.ids.fs)); err != nil {
+		return 0, err
+	}
+	n, err := r.k.Invoke(t, r.ids.fs, ramfs.FnWrite, kernel.Word(r.self), fd, kernel.Word(buf), kernel.Word(len(data)))
+	return int(n), err
+}
+
+func (r *rawServices) Lseek(t *kernel.Thread, fd kernel.Word, offset int) (int, error) {
+	v, err := r.k.Invoke(t, r.ids.fs, ramfs.FnLseek, fd, kernel.Word(offset))
+	return int(v), err
+}
+
+func (r *rawServices) Close(t *kernel.Thread, fd kernel.Word) error {
+	_, err := r.k.Invoke(t, r.ids.fs, ramfs.FnClose, kernel.Word(r.self), fd)
+	return err
+}
+
+// lockAPI.
+
+func (r *rawServices) Alloc(t *kernel.Thread) (kernel.Word, error) {
+	return r.k.Invoke(t, r.ids.lock, lock.FnAlloc, kernel.Word(r.self))
+}
+
+func (r *rawServices) Take(t *kernel.Thread, id kernel.Word) error {
+	_, err := r.k.Invoke(t, r.ids.lock, lock.FnTake, kernel.Word(r.self), id, kernel.Word(t.ID()))
+	return err
+}
+
+func (r *rawServices) Release(t *kernel.Thread, id kernel.Word) error {
+	_, err := r.k.Invoke(t, r.ids.lock, lock.FnRelease, kernel.Word(r.self), id, kernel.Word(t.ID()))
+	return err
+}
+
+// evtAPI.
+
+func (r *rawServices) Split(t *kernel.Thread, parent, grp kernel.Word) (kernel.Word, error) {
+	return r.k.Invoke(t, r.ids.evt, event.FnSplit, kernel.Word(r.self), parent, grp)
+}
+
+func (r *rawServices) Wait(t *kernel.Thread, id kernel.Word) (kernel.Word, error) {
+	return r.k.Invoke(t, r.ids.evt, event.FnWait, kernel.Word(r.self), id)
+}
+
+func (r *rawServices) Trigger(t *kernel.Thread, id kernel.Word) (kernel.Word, error) {
+	return r.k.Invoke(t, r.ids.evt, event.FnTrigger, kernel.Word(r.self), id)
+}
+
+// schedAPI.
+
+func (r *rawServices) Setup(t *kernel.Thread, prio int) (kernel.Word, error) {
+	return r.k.Invoke(t, r.ids.sched, sched.FnSetup, kernel.Word(r.self), kernel.Word(t.ID()), kernel.Word(prio))
+}
+
+func (r *rawServices) Blk(t *kernel.Thread) error {
+	_, err := r.k.Invoke(t, r.ids.sched, sched.FnBlk, kernel.Word(r.self), kernel.Word(t.ID()))
+	return err
+}
+
+func (r *rawServices) Wakeup(t *kernel.Thread, tid kernel.ThreadID) error {
+	_, err := r.k.Invoke(t, r.ids.sched, sched.FnWakeup, kernel.Word(r.self), kernel.Word(tid))
+	return err
+}
+
+// timerAPI: the raw variant names the functions directly.
+
+func (r *rawServices) timerAlloc(t *kernel.Thread, period kernel.Time) (kernel.Word, error) {
+	return r.k.Invoke(t, r.ids.timer, timer.FnAlloc, kernel.Word(r.self), kernel.Word(period))
+}
+
+func (r *rawServices) timerWait(t *kernel.Thread, id kernel.Word) (kernel.Time, error) {
+	v, err := r.k.Invoke(t, r.ids.timer, timer.FnWait, kernel.Word(r.self), id)
+	return kernel.Time(v), err
+}
+
+// rawTimer adapts the raw timer functions to timerAPI without colliding
+// with lockAPI's Alloc.
+type rawTimer struct{ r *rawServices }
+
+func (a rawTimer) Alloc(t *kernel.Thread, period kernel.Time) (kernel.Word, error) {
+	return a.r.timerAlloc(t, period)
+}
+
+func (a rawTimer) Wait(t *kernel.Thread, id kernel.Word) (kernel.Time, error) {
+	return a.r.timerWait(t, id)
+}
+
+var _ fmt.Stringer = Variant(0)

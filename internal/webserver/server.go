@@ -1,0 +1,395 @@
+package webserver
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+)
+
+// Config parameterizes one web-server benchmark run.
+type Config struct {
+	// Variant selects the stub configuration.
+	Variant Variant
+	// Workers is the number of worker threads serving requests.
+	Workers int
+	// Requests is the total request count (the paper's ab run uses 50000).
+	Requests int
+	// Files is the site's content, preloaded into the RAM filesystem.
+	Files map[string][]byte
+	// FaultEvery, when positive, fails one system component (rotating over
+	// the five services) every FaultEvery completed requests — the Fig. 7
+	// "crash injected every 10 seconds" variant. Requires a recovery
+	// variant (C3 or SuperGlue).
+	FaultEvery int
+	// Mode is the recovery mode for the SuperGlue variant.
+	Mode core.RecoveryMode
+	// BucketSize is the completions-per-timeline-bucket granularity.
+	BucketSize int
+}
+
+// Stats reports one run's outcome.
+type Stats struct {
+	Variant    Variant
+	Completed  int
+	Errors     int
+	Faults     int
+	Elapsed    time.Duration
+	Throughput float64 // requests per wall-clock second
+	// Timeline records the elapsed wall time at each completion bucket,
+	// showing recovery dips.
+	Timeline []BucketPoint
+}
+
+// BucketPoint is one timeline sample.
+type BucketPoint struct {
+	Completed int
+	Elapsed   time.Duration
+}
+
+// DefaultFiles builds a small deterministic site.
+func DefaultFiles() map[string][]byte {
+	files := make(map[string][]byte)
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("/f%d.html", i)
+		body := bytes.Repeat([]byte(fmt.Sprintf("<p>page %d</p>", i)), 4*(i+1))
+		files[name] = body
+	}
+	files["/index.html"] = []byte("<html><body>superglue-ws</body></html>")
+	return files
+}
+
+// Run executes one benchmark run and returns its stats.
+func Run(cfg Config) (*Stats, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 1000
+	}
+	if cfg.Files == nil {
+		cfg.Files = DefaultFiles()
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = core.OnDemand
+	}
+	if cfg.BucketSize <= 0 {
+		cfg.BucketSize = cfg.Requests / 20
+		if cfg.BucketSize == 0 {
+			cfg.BucketSize = 1
+		}
+	}
+	if cfg.FaultEvery > 0 && cfg.Variant != VariantC3 && cfg.Variant != VariantSuperGlue {
+		return nil, errors.New("webserver: fault injection requires a recovery variant")
+	}
+	if cfg.Variant == VariantBaseline {
+		return runBaseline(cfg)
+	}
+	return runComponentized(cfg)
+}
+
+// paths returns the site's paths, sorted for determinism.
+func paths(files map[string][]byte) []string {
+	out := make([]string, 0, len(files))
+	for p := range files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runComponentized serves the request stream through the component
+// substrate.
+func runComponentized(cfg Config) (*Stats, error) {
+	sys, err := core.NewSystem(cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	svc, ids, err := buildSubstrate(sys, cfg.Variant)
+	if err != nil {
+		return nil, err
+	}
+	k := sys.Kernel()
+	stats := &Stats{Variant: cfg.Variant}
+	site := paths(cfg.Files)
+
+	// The pre-rendered request stream ("network input").
+	reqs := make([][]byte, cfg.Requests)
+	for i := range reqs {
+		reqs[i] = FormatRequest(site[i%len(site)], true)
+	}
+	next := 0 // next request index to hand out
+
+	var (
+		start      time.Time
+		cacheLock  kernel.Word
+		fdCache    = make(map[string]kernel.Word)
+		workerEvts = make([]kernel.Word, cfg.Workers)
+		workerTIDs = make([]kernel.ThreadID, cfg.Workers)
+		runErrs    []error
+		done       = false
+	)
+	fail := func(err error) { runErrs = append(runErrs, err) }
+
+	// Loader: preload the site into the RAM filesystem, create the cache
+	// lock and the per-worker request events; runs to completion first
+	// (highest priority).
+	if _, err := k.CreateThread(nil, "loader", 1, func(t *kernel.Thread) {
+		for _, p := range site {
+			fd, err := svc.fs.Open(t, p)
+			if err != nil {
+				fail(fmt.Errorf("loader open %s: %w", p, err))
+				return
+			}
+			if _, err := svc.fs.Write(t, fd, cfg.Files[p]); err != nil {
+				fail(fmt.Errorf("loader write %s: %w", p, err))
+				return
+			}
+			if err := svc.fs.Close(t, fd); err != nil {
+				fail(fmt.Errorf("loader close %s: %w", p, err))
+				return
+			}
+		}
+		id, err := svc.lock.Alloc(t)
+		if err != nil {
+			fail(fmt.Errorf("loader lock: %w", err))
+			return
+		}
+		cacheLock = id
+		for i := range workerEvts {
+			evt, err := svc.evt.Split(t, 0, kernel.Word(i))
+			if err != nil {
+				fail(fmt.Errorf("loader evt %d: %w", i, err))
+				return
+			}
+			workerEvts[i] = evt
+		}
+		start = time.Now()
+	}); err != nil {
+		return nil, err
+	}
+
+	// serve handles one request through the full component path.
+	serve := func(t *kernel.Thread, raw []byte) {
+		req, err := ParseRequest(raw)
+		if err != nil {
+			stats.Errors++
+			return
+		}
+		body, found, err := readFile(t, svc, cacheLock, fdCache, req.Path)
+		if err != nil {
+			fail(fmt.Errorf("serve %s: %w", req.Path, err))
+			stats.Errors++
+			return
+		}
+		var resp []byte
+		if !found {
+			resp = FormatResponse(404, []byte("not found"))
+		} else {
+			resp = FormatResponse(200, body)
+		}
+		if code, err := ParseResponseStatus(resp); err != nil || (code != 200 && code != 404) {
+			stats.Errors++
+			return
+		}
+		stats.Completed++
+		if stats.Completed%cfg.BucketSize == 0 {
+			stats.Timeline = append(stats.Timeline, BucketPoint{Completed: stats.Completed, Elapsed: time.Since(start)})
+		}
+	}
+
+	// Workers: wait on their event, pull the next request, serve.
+	workersDone := 0
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		tid, err := k.CreateThread(nil, fmt.Sprintf("worker%d", w), 10, func(t *kernel.Thread) {
+			defer func() { workersDone++ }()
+			if _, err := svc.sched.Setup(t, t.Prio()); err != nil {
+				fail(fmt.Errorf("worker%d setup: %w", w, err))
+				return
+			}
+			for {
+				if _, err := svc.evt.Wait(t, workerEvts[w]); err != nil {
+					fail(fmt.Errorf("worker%d wait: %w", w, err))
+					return
+				}
+				if next >= len(reqs) {
+					return
+				}
+				raw := reqs[next]
+				next++
+				serve(t, raw)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		workerTIDs[w] = tid
+	}
+
+	// Netif: trigger one worker event per request arrival, round-robin;
+	// then keep nudging the worker events until every worker has observed
+	// the end of the stream (a µ-reboot can wipe an undelivered pending
+	// trigger, so the shutdown must re-trigger rather than fire-and-forget).
+	if _, err := k.CreateThread(nil, "netif", 11, func(t *kernel.Thread) {
+		for i := 0; i < cfg.Requests; i++ {
+			if _, err := svc.evt.Trigger(t, workerEvts[i%cfg.Workers]); err != nil {
+				fail(fmt.Errorf("netif trigger: %w", err))
+				return
+			}
+			if i%64 == 63 {
+				if err := k.Yield(t); err != nil {
+					return
+				}
+			}
+		}
+		for workersDone < cfg.Workers {
+			for w := 0; w < cfg.Workers; w++ {
+				if _, err := svc.evt.Trigger(t, workerEvts[w]); err != nil {
+					fail(fmt.Errorf("netif final trigger: %w", err))
+					return
+				}
+			}
+			if err := k.Yield(t); err != nil {
+				return
+			}
+		}
+		done = true
+	}); err != nil {
+		return nil, err
+	}
+
+	// Housekeeper: a periodic timer tick (connection-timeout scanning in a
+	// real server); fires at quiescent points.
+	if _, err := k.CreateThread(nil, "housekeeper", 12, func(t *kernel.Thread) {
+		id, err := svc.timer.Alloc(t, 50_000)
+		if err != nil {
+			fail(fmt.Errorf("housekeeper: %w", err))
+			return
+		}
+		for !done {
+			if _, err := svc.timer.Wait(t, id); err != nil {
+				fail(fmt.Errorf("housekeeper wait: %w", err))
+				return
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	// Crasher: periodically fail a rotating system component (the Fig. 7
+	// fault-injection variant).
+	if cfg.FaultEvery > 0 {
+		if _, err := k.CreateThread(nil, "crasher", 11, func(t *kernel.Thread) {
+			targets := []kernel.ComponentID{ids.lock, ids.evt, ids.fs, ids.timer, ids.sched}
+			nextFault := cfg.FaultEvery
+			for i := 0; !done; i++ {
+				if stats.Completed >= nextFault {
+					target := targets[stats.Faults%len(targets)]
+					if err := k.FailComponent(target); err != nil {
+						fail(fmt.Errorf("crasher: %w", err))
+						return
+					}
+					stats.Faults++
+					nextFault += cfg.FaultEvery
+				}
+				if err := k.Yield(t); err != nil {
+					return
+				}
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("webserver: %v run: %w", cfg.Variant, err)
+	}
+	if len(runErrs) > 0 {
+		return nil, fmt.Errorf("webserver: %v: %w", cfg.Variant, errors.Join(runErrs...))
+	}
+	stats.Elapsed = time.Since(start)
+	if stats.Elapsed > 0 {
+		stats.Throughput = float64(stats.Completed) / stats.Elapsed.Seconds()
+	}
+	return stats, nil
+}
+
+// readFile serves one path through the fd cache: the cache lock guards both
+// the path→fd map and the shared descriptor's offset.
+func readFile(t *kernel.Thread, svc *services, cacheLock kernel.Word, fdCache map[string]kernel.Word, path string) ([]byte, bool, error) {
+	if err := svc.lock.Take(t, cacheLock); err != nil {
+		return nil, false, err
+	}
+	release := func() error { return svc.lock.Release(t, cacheLock) }
+
+	fd, ok := fdCache[path]
+	if !ok {
+		var err error
+		fd, err = svc.fs.Open(t, path)
+		if err != nil {
+			_ = release()
+			return nil, false, err
+		}
+		fdCache[path] = fd
+	}
+	if _, err := svc.fs.Lseek(t, fd, 0); err != nil {
+		_ = release()
+		return nil, false, err
+	}
+	body, err := svc.fs.Read(t, fd, 64*1024)
+	if err != nil {
+		_ = release()
+		return nil, false, err
+	}
+	if err := release(); err != nil {
+		return nil, false, err
+	}
+	if len(body) == 0 {
+		return nil, false, nil
+	}
+	return body, true, nil
+}
+
+// runBaseline is the plain server: identical HTTP handling against an
+// in-memory map, no component substrate (the Apache-comparator role).
+func runBaseline(cfg Config) (*Stats, error) {
+	stats := &Stats{Variant: VariantBaseline}
+	site := paths(cfg.Files)
+	reqs := make([][]byte, cfg.Requests)
+	for i := range reqs {
+		reqs[i] = FormatRequest(site[i%len(site)], true)
+	}
+	start := time.Now()
+	for _, raw := range reqs {
+		req, err := ParseRequest(raw)
+		if err != nil {
+			stats.Errors++
+			continue
+		}
+		body, ok := cfg.Files[req.Path]
+		var resp []byte
+		if !ok {
+			resp = FormatResponse(404, []byte("not found"))
+		} else {
+			resp = FormatResponse(200, body)
+		}
+		if code, err := ParseResponseStatus(resp); err != nil || (code != 200 && code != 404) {
+			stats.Errors++
+			continue
+		}
+		stats.Completed++
+		if stats.Completed%cfg.BucketSize == 0 {
+			stats.Timeline = append(stats.Timeline, BucketPoint{Completed: stats.Completed, Elapsed: time.Since(start)})
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	if stats.Elapsed > 0 {
+		stats.Throughput = float64(stats.Completed) / stats.Elapsed.Seconds()
+	}
+	return stats, nil
+}

@@ -1,0 +1,232 @@
+package webserver
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+)
+
+func TestParseRequest(t *testing.T) {
+	req, err := ParseRequest([]byte("GET /index.html HTTP/1.1\r\nHost: x\r\nConnection: keep-alive\r\n\r\n"))
+	if err != nil {
+		t.Fatalf("ParseRequest: %v", err)
+	}
+	if req.Method != "GET" || req.Path != "/index.html" || req.Proto != "HTTP/1.1" {
+		t.Fatalf("req = %+v", req)
+	}
+	if req.Headers["host"] != "x" || req.Headers["connection"] != "keep-alive" {
+		t.Fatalf("headers = %v", req.Headers)
+	}
+}
+
+func TestParseRequestErrors(t *testing.T) {
+	cases := map[string]error{
+		"":                                    ErrMalformedRequest,
+		"GET /":                               ErrMalformedRequest,
+		"POST / HTTP/1.1":                     ErrUnsupportedMethod,
+		"GET / SPDY/1":                        ErrMalformedRequest,
+		"GET noslash HTTP/1.1":                ErrMalformedRequest,
+		"GET / HTTP/1.1\r\nBadHeader\r\n\r\n": ErrMalformedRequest,
+	}
+	for raw, want := range cases {
+		if _, err := ParseRequest([]byte(raw)); !errors.Is(err, want) {
+			t.Errorf("ParseRequest(%q) = %v; want %v", raw, err, want)
+		}
+	}
+}
+
+func TestFormatAndParseResponse(t *testing.T) {
+	resp := FormatResponse(200, []byte("hello"))
+	code, err := ParseResponseStatus(resp)
+	if err != nil || code != 200 {
+		t.Fatalf("status = (%d, %v)", code, err)
+	}
+	if !bytes.Equal(ResponseBody(resp), []byte("hello")) {
+		t.Fatalf("body = %q", ResponseBody(resp))
+	}
+	if code, _ := ParseResponseStatus(FormatResponse(404, nil)); code != 404 {
+		t.Fatal("404 round trip failed")
+	}
+	if _, err := ParseResponseStatus([]byte("garbage")); err == nil {
+		t.Fatal("garbage status accepted")
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	raw := FormatRequest("/a.html", true)
+	req, err := ParseRequest(raw)
+	if err != nil || req.Path != "/a.html" {
+		t.Fatalf("round trip = (%+v, %v)", req, err)
+	}
+}
+
+func TestBaselineRun(t *testing.T) {
+	st, err := Run(Config{Variant: VariantBaseline, Requests: 500})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Completed != 500 || st.Errors != 0 {
+		t.Fatalf("stats = %+v; want 500 completed, 0 errors", st)
+	}
+	if st.Throughput <= 0 {
+		t.Fatal("throughput not measured")
+	}
+}
+
+func TestComponentizedVariantsServeCorrectly(t *testing.T) {
+	for _, v := range []Variant{VariantComposite, VariantC3, VariantSuperGlue} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			st, err := Run(Config{Variant: v, Requests: 300, Workers: 2})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if st.Completed != 300 {
+				t.Fatalf("completed = %d; want 300", st.Completed)
+			}
+			if st.Errors != 0 {
+				t.Fatalf("errors = %d; want 0", st.Errors)
+			}
+			if len(st.Timeline) == 0 {
+				t.Fatal("no timeline buckets recorded")
+			}
+		})
+	}
+}
+
+func TestFaultInjectionRequiresRecoveryVariant(t *testing.T) {
+	for _, v := range []Variant{VariantBaseline, VariantComposite} {
+		if _, err := Run(Config{Variant: v, Requests: 10, FaultEvery: 5}); err == nil {
+			t.Errorf("%v: fault injection accepted without recovery stubs", v)
+		}
+	}
+}
+
+func TestSuperGlueServesAcrossInjectedFaults(t *testing.T) {
+	st, err := Run(Config{Variant: VariantSuperGlue, Requests: 600, Workers: 2, FaultEvery: 100})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Completed != 600 {
+		t.Fatalf("completed = %d; want 600 (service must continue across faults)", st.Completed)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("errors = %d; want 0", st.Errors)
+	}
+	if st.Faults < 4 {
+		t.Fatalf("faults = %d; want ≥ 4 (one per 100 completions)", st.Faults)
+	}
+}
+
+func TestC3ServesAcrossInjectedFaults(t *testing.T) {
+	st, err := Run(Config{Variant: VariantC3, Requests: 600, Workers: 2, FaultEvery: 100})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Completed != 600 || st.Errors != 0 {
+		t.Fatalf("stats = %+v; want 600 clean completions", st)
+	}
+	if st.Faults < 4 {
+		t.Fatalf("faults = %d; want ≥ 4", st.Faults)
+	}
+}
+
+// TestSimultaneousMultiComponentFaults fails several system services at
+// the same instant mid-service: recovery must cascade cleanly (a worker's
+// redo can hit a second failed component while recovering from the first).
+func TestSimultaneousMultiComponentFaults(t *testing.T) {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	svc, ids, err := buildSubstrate(sys, VariantSuperGlue)
+	if err != nil {
+		t.Fatalf("buildSubstrate: %v", err)
+	}
+	k := sys.Kernel()
+	files := DefaultFiles()
+	site := paths(files)
+	served := 0
+	var runErr error
+	if _, err := k.CreateThread(nil, "driver", 10, func(th *kernel.Thread) {
+		cacheLock, err := svc.lock.Alloc(th)
+		if err != nil {
+			runErr = err
+			return
+		}
+		fdCache := make(map[string]kernel.Word)
+		// Preload.
+		for _, p := range site {
+			fd, err := svc.fs.Open(th, p)
+			if err != nil {
+				runErr = err
+				return
+			}
+			if _, err := svc.fs.Write(th, fd, files[p]); err != nil {
+				runErr = err
+				return
+			}
+			if err := svc.fs.Close(th, fd); err != nil {
+				runErr = err
+				return
+			}
+		}
+		for i := 0; i < 200; i++ {
+			if i%37 == 36 {
+				// Fail three components at once.
+				for _, c := range []kernel.ComponentID{ids.lock, ids.fs, ids.evt} {
+					if err := k.FailComponent(c); err != nil {
+						runErr = err
+						return
+					}
+				}
+			}
+			path := site[i%len(site)]
+			body, found, err := readFile(th, svc, cacheLock, fdCache, path)
+			if err != nil {
+				runErr = err
+				return
+			}
+			if !found || string(body) != string(files[path]) {
+				runErr = fmt.Errorf("request %d: wrong content for %s", i, path)
+				return
+			}
+			served++
+		}
+	}); err != nil {
+		t.Fatalf("CreateThread: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if runErr != nil {
+		t.Fatalf("driver: %v", runErr)
+	}
+	if served != 200 {
+		t.Fatalf("served = %d; want 200", served)
+	}
+}
+
+func TestEagerModeServes(t *testing.T) {
+	st, err := Run(Config{Variant: VariantSuperGlue, Requests: 200, Workers: 2, FaultEvery: 50, Mode: core.Eager})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Completed != 200 || st.Errors != 0 {
+		t.Fatalf("stats = %+v; want 200 clean completions under eager recovery", st)
+	}
+}
+
+func TestDefaultFilesHaveIndex(t *testing.T) {
+	files := DefaultFiles()
+	if _, ok := files["/index.html"]; !ok {
+		t.Fatal("missing /index.html")
+	}
+	if len(files) < 5 {
+		t.Fatalf("only %d files; want a multi-page site", len(files))
+	}
+}

@@ -1,0 +1,30 @@
+// Package workload defines the interface the fault-injection campaign and
+// the micro-benchmarks use to drive the per-service workloads of §V-B.
+package workload
+
+import (
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+)
+
+// Workload is one benchmark workload targeting a specific system service.
+// A workload instance is single-use: Build wires it into a fresh system,
+// kernel.Run executes it, and Check validates that the run abided by the
+// workload's specification (the paper's criterion for a successful
+// recovery).
+type Workload interface {
+	// Name is the workload's short name (e.g. "lock").
+	Name() string
+	// Target is the service name of the fault-injection target.
+	Target() string
+	// Build registers the servers and client threads the workload needs
+	// into sys and returns the target component's ID. After Build, the
+	// system is started with sys.Kernel().Run().
+	Build(sys *core.System) (kernel.ComponentID, error)
+	// Check reports whether the completed run satisfied the workload's
+	// specification (all iterations done, invariants held).
+	Check() error
+}
+
+// Factory constructs a fresh workload for one campaign trial.
+type Factory func(iters int) Workload
