@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench gen experiments fuzz clean
+.PHONY: all build test race bench gen experiments watchdog-experiments fuzz clean
 
 all: build test
 
@@ -29,6 +29,10 @@ experiments:
 	$(GO) run ./cmd/swifi -trials 500 -seed 2026
 	$(GO) run ./cmd/microbench
 	$(GO) run ./cmd/webbench -requests 50000 -repeats 5
+
+# Table II': paired hang-injection campaigns, kernel watchdog off vs on.
+watchdog-experiments:
+	$(GO) run ./cmd/swifi -prime -trials 500 -seed 2026
 
 # Short fuzzing passes over the parsers.
 fuzz:

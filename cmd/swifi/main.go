@@ -1,11 +1,18 @@
 // Command swifi runs the SWIFI fault-injection campaign of Table II:
 // register bit-flips injected into each system-level service while its
 // §V-B workload runs, with outcomes classified as recovered, segfault,
-// propagated, other (latent), or undetected.
+// propagated, other (latent), degraded, or undetected.
 //
 // Usage:
 //
-//	swifi [-trials 500] [-seed 2026] [-service sched|mm|ramfs|lock|event|timer] [-v]
+//	swifi [-trials 500] [-seed 2026] [-service sched|mm|ramfs|lock|event|timer] [-watchdog] [-prime] [-v]
+//
+// -watchdog enables the kernel watchdog for every trial, converting
+// component-attributable hangs into recoverable component faults. -prime
+// runs the paired Table II′ experiment instead: each service's campaign
+// twice from the same seed, watchdog off vs on, reporting how many hang
+// injections were reclassified from "not recovered (other)" to
+// recovered/degraded.
 package main
 
 import (
@@ -23,16 +30,24 @@ func main() {
 	seed := flag.Int64("seed", 2026, "campaign seed (reproducible)")
 	service := flag.String("service", "", "run a single service's campaign (default: all)")
 	mode := flag.String("mode", "on-demand", "recovery mode: on-demand or eager")
+	watchdog := flag.Bool("watchdog", false, "enable the kernel watchdog in every trial")
+	prime := flag.Bool("prime", false, "run the paired Table II' watchdog-off/on comparison")
 	verbose := flag.Bool("v", false, "print each non-recovered trial")
 	flag.Parse()
 
-	if err := run(*trials, *seed, *service, *mode, *verbose); err != nil {
+	var err error
+	if *prime {
+		err = runPrime(*trials, *seed, *service)
+	} else {
+		err = run(*trials, *seed, *service, *mode, *watchdog, *verbose)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "swifi:", err)
 		os.Exit(1)
 	}
 }
 
-func run(trials int, seed int64, service, mode string, verbose bool) error {
+func run(trials int, seed int64, service, mode string, watchdog, verbose bool) error {
 	recMode := core.OnDemand
 	switch mode {
 	case "on-demand", "":
@@ -58,6 +73,7 @@ func run(trials int, seed int64, service, mode string, verbose bool) error {
 			Seed:     seed,
 			Profile:  swifi.Profiles()[svc],
 			Mode:     recMode,
+			Watchdog: watchdog,
 		})
 		if err != nil {
 			return err
@@ -76,5 +92,18 @@ func run(trials int, seed int64, service, mode string, verbose bool) error {
 			}
 		}
 	}
+	return nil
+}
+
+func runPrime(trials int, seed int64, service string) error {
+	var services []string
+	if service != "" {
+		services = append(services, service)
+	}
+	rows, err := experiments.Table2Prime(trials, seed, services...)
+	if err != nil {
+		return err
+	}
+	experiments.RenderTable2Prime(os.Stdout, rows)
 	return nil
 }

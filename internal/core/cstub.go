@@ -1,16 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"superglue/internal/kernel"
 	"superglue/internal/storage"
 )
 
-// maxRedo bounds the fault-retry loop of a single stub call. A well-formed
-// system recovers in one or two iterations; the bound turns recovery bugs
-// (or back-to-back injected faults) into errors instead of livelock.
-const maxRedo = 16
+// The fault-retry loop of a single stub call is bounded by the system's
+// RecoveryPolicy (see policy.go): a well-formed system recovers in one or
+// two iterations; the escalation ladder turns recovery bugs (or
+// back-to-back injected faults) into a cascading reboot and finally a typed
+// degradation instead of livelock.
 
 // StubMetrics counts the work a client stub performs, feeding the
 // infrastructure-overhead and recovery-cost micro-benchmarks (Fig. 6).
@@ -28,6 +30,9 @@ type StubMetrics struct {
 	// Redos is the number of times a call was replayed after a fault
 	// (the goto redo of the Fig. 4 template).
 	Redos uint64
+	// Cascades is the number of times the escalation ladder's second rung
+	// fired: a cascading reboot of the server's declared dependencies.
+	Cascades uint64
 	// Upcalls is the number of cross-component recovery upcalls issued.
 	Upcalls uint64
 	// StorageOps is the number of storage-component interactions.
@@ -68,6 +73,31 @@ func (s *ClientStub) Tracked() int { return len(s.tracker.Live()) }
 // Descriptor exposes a tracked descriptor for tests and reflection.
 func (s *ClientStub) Descriptor(key DescKey) (*Descriptor, bool) {
 	return s.tracker.Lookup(key)
+}
+
+// policy returns the stub's effective recovery policy: the system-wide
+// policy with the interface's RecoveryBudget override (if any) applied to
+// the plain-retry rung.
+func (s *ClientStub) policy() RecoveryPolicy {
+	p := s.sys.policy
+	if b := s.entry.spec.RecoveryBudget; b > 0 {
+		p.MaxRetries = b
+	}
+	return p
+}
+
+// degrade maps a recovery failure bubbling out of descriptor recovery to
+// the policy's terminal error class: with Degrade set, an exhausted
+// recovery degrades the call (typed ErrDegraded, machine keeps running)
+// rather than failing the run.
+func (s *ClientStub) degrade(fn string, attempts int, err error) error {
+	if err == nil {
+		return nil
+	}
+	if s.policy().Degrade && errors.Is(err, ErrRecoveryFailed) && !errors.Is(err, ErrDegraded) {
+		return &DegradedError{Service: s.entry.spec.Service, Fn: fn, Attempts: attempts, Cause: err}
+	}
+	return err
 }
 
 // epoch returns the server's current epoch.
@@ -166,12 +196,20 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 	}
 	sargs := s.sargs[:len(args)]
 
+	pol := s.policy()
 	for attempt := 0; ; attempt++ {
+		if bo := pol.backoffFor(attempt); bo > 0 {
+			// Per-attempt virtual-time backoff before the redo: a
+			// repeatedly faulting server gets breathing room. A fault
+			// delivered while asleep targets the server we are about to
+			// retry anyway, so it is not an error here.
+			_ = s.sys.kern.Sleep(t, bo)
+		}
 		cur := s.epoch()
 		// On-demand (T1) descriptor synchronization before the invocation.
 		if d != nil && d.Epoch != cur {
 			if err := s.recoverDesc(t, d); err != nil {
-				return 0, err
+				return 0, s.degrade(fn, attempt, err)
 			}
 			cur = s.epoch()
 		}
@@ -179,7 +217,7 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 		// its children to exist in the server first.
 		if d != nil && info.isTerminal && spec.DescCloseChildren {
 			if err := s.recoverChildren(t, d); err != nil {
-				return 0, err
+				return 0, s.degrade(fn, attempt, err)
 			}
 		}
 
@@ -202,7 +240,7 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 				// from it.
 				if p.Epoch != cur {
 					if err := s.recoverDesc(t, p); err != nil {
-						return 0, err
+						return 0, s.degrade(fn, attempt, err)
 					}
 				}
 				sargs[info.parentIdx] = p.ServerID
@@ -216,12 +254,25 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 			if !isFault || flt.Comp != s.server {
 				return ret, err
 			}
-			if attempt >= maxRedo {
-				return 0, fmt.Errorf("%w: %s.%s after %d attempts: %v", ErrRecoveryFailed, spec.Service, fn, attempt, err)
-			}
-			// CSTUB_FAULT_UPDATE: first observer µ-reboots the server.
-			if _, rerr := s.sys.kern.EnsureRebooted(t, s.server, flt.Epoch); rerr != nil {
-				return 0, fmt.Errorf("%w: µ-reboot of %s: %v", ErrRecoveryFailed, spec.Service, rerr)
+			// The escalation ladder: plain redo, then cascading reboot of
+			// the server's declared dependencies, then degradation.
+			switch {
+			case attempt < pol.MaxRetries:
+				// CSTUB_FAULT_UPDATE: first observer µ-reboots the server.
+				if _, rerr := s.sys.kern.EnsureRebooted(t, s.server, flt.Epoch); rerr != nil {
+					return 0, fmt.Errorf("%w: µ-reboot of %s: %v", ErrRecoveryFailed, spec.Service, rerr)
+				}
+			case attempt < pol.maxAttempts():
+				// Retrying the server alone has not cleared the fault: it
+				// may be re-corrupting itself from a dependency's state.
+				// Reboot its declared dependencies (leaves first) and force
+				// the server itself through a fresh µ-reboot.
+				s.metrics.Cascades++
+				if cerr := s.sys.cascadeReboot(t, s.server); cerr != nil {
+					return 0, fmt.Errorf("%w: %s: %v", ErrRecoveryFailed, spec.Service, cerr)
+				}
+			default:
+				return 0, pol.exhausted(spec.Service, fn, attempt, err)
 			}
 			s.metrics.Redos++
 			continue

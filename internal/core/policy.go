@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"superglue/internal/kernel"
+)
+
+// ErrDegraded is the graceful-degradation error: the recovery escalation
+// ladder (retry → re-reboot → cascading reboot of depended-on servers) ran
+// out of budget, so the stub stops retrying and surfaces a typed error the
+// application can handle — serve a 503, drop a request, fall back to a
+// read-only path — while the machine keeps running. It wraps
+// ErrRecoveryFailed so existing errors.Is(err, ErrRecoveryFailed) checks
+// still match.
+var ErrDegraded = errors.New("core: service degraded (recovery budget exhausted)")
+
+// RecoveryPolicy configures the client stub's fault-retry escalation ladder,
+// replacing the previous fixed redo bound. Attempts 0..MaxRetries-1 follow
+// the Fig. 4 template (µ-reboot the server, recover descriptors, redo);
+// attempts MaxRetries..MaxRetries+CascadeRetries-1 escalate to a cascading
+// reboot of the server's declared dependencies (leaves first) before forcing
+// the server itself through a fresh µ-reboot; once both rungs are exhausted
+// the stub degrades (ErrDegraded) or fails hard (ErrRecoveryFailed).
+type RecoveryPolicy struct {
+	// MaxRetries bounds the plain redo rung of the ladder. Zero or
+	// negative means "use the default".
+	MaxRetries int
+	// CascadeRetries bounds the cascading-reboot rung. Negative means
+	// "use the default"; zero disables cascading.
+	CascadeRetries int
+	// Backoff is the virtual-time sleep before the second and subsequent
+	// attempts, doubling per attempt (capped by MaxBackoff). Zero disables
+	// backoff, which keeps recovery latency deterministic for the
+	// virtual-time experiments; non-zero models a real system giving a
+	// repeatedly faulting server breathing room.
+	Backoff kernel.Time
+	// MaxBackoff caps the doubled backoff. Zero with Backoff > 0 means
+	// "no cap".
+	MaxBackoff kernel.Time
+	// Degrade selects the terminal behavior once the budget is exhausted:
+	// true returns ErrDegraded (graceful degradation), false returns
+	// ErrRecoveryFailed (fail the run, the pre-policy behavior).
+	Degrade bool
+}
+
+// Default ladder: 12 plain redos then 4 cascading reboots — 16 attempts
+// total, matching the pre-policy fixed bound — no backoff, degrade at the
+// end.
+const (
+	defaultMaxRetries     = 12
+	defaultCascadeRetries = 4
+)
+
+// DefaultRecoveryPolicy returns the policy used when none is set.
+func DefaultRecoveryPolicy() RecoveryPolicy {
+	return RecoveryPolicy{
+		MaxRetries:     defaultMaxRetries,
+		CascadeRetries: defaultCascadeRetries,
+		Degrade:        true,
+	}
+}
+
+// normalized fills defaulted fields.
+func (p RecoveryPolicy) normalized() RecoveryPolicy {
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = defaultMaxRetries
+	}
+	if p.CascadeRetries < 0 {
+		p.CascadeRetries = defaultCascadeRetries
+	}
+	return p
+}
+
+// maxAttempts is the total attempt budget across both rungs.
+func (p RecoveryPolicy) maxAttempts() int { return p.MaxRetries + p.CascadeRetries }
+
+// backoffFor returns the virtual-time sleep before attempt (0-based;
+// attempt 0 never sleeps — the first redo is immediate, as a fault is
+// normally recovered in one iteration).
+func (p RecoveryPolicy) backoffFor(attempt int) kernel.Time {
+	if p.Backoff <= 0 || attempt <= 0 {
+		return 0
+	}
+	d := p.Backoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// exhausted produces the terminal error for a spent budget.
+func (p RecoveryPolicy) exhausted(service, fn string, attempts int, cause error) error {
+	if p.Degrade {
+		return &DegradedError{Service: service, Fn: fn, Attempts: attempts, Cause: cause}
+	}
+	return &exhaustedError{service: service, fn: fn, attempts: attempts, cause: cause}
+}
+
+// DegradedError carries the context of a degradation decision. It matches
+// both errors.Is(err, ErrDegraded) and errors.Is(err, ErrRecoveryFailed).
+type DegradedError struct {
+	Service  string
+	Fn       string
+	Attempts int
+	Cause    error
+}
+
+// Error implements error.
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("%s: %s.%s after %d attempts: %v", ErrDegraded, e.Service, e.Fn, e.Attempts, e.Cause)
+}
+
+// Is reports identity with both sentinel errors, so callers can treat
+// degradation as a (softer) recovery failure.
+func (e *DegradedError) Is(target error) bool {
+	return target == ErrDegraded || target == ErrRecoveryFailed
+}
+
+// Unwrap exposes the underlying fault.
+func (e *DegradedError) Unwrap() error { return e.Cause }
+
+// exhaustedError is the Degrade=false terminal: ErrRecoveryFailed only.
+type exhaustedError struct {
+	service  string
+	fn       string
+	attempts int
+	cause    error
+}
+
+func (e *exhaustedError) Error() string {
+	return fmt.Sprintf("%s: %s.%s after %d attempts: %v", ErrRecoveryFailed, e.service, e.fn, e.attempts, e.cause)
+}
+
+func (e *exhaustedError) Is(target error) bool { return target == ErrRecoveryFailed }
+
+func (e *exhaustedError) Unwrap() error { return e.cause }

@@ -60,28 +60,35 @@ func (s *ClientStub) recoverDesc(t *kernel.Thread, d *Descriptor) error {
 		return fmt.Errorf("%w: %v", ErrRecoveryFailed, err)
 	}
 	oldSID := d.ServerID
+	bound := s.policy().MaxRetries
 	for attempt := 0; ; attempt++ {
-		if werr := s.replayWalk(t, d, walk); werr == nil {
+		werr := s.replayWalk(t, d, walk)
+		if werr == nil {
+			// Re-establish outstanding holds (e.g., a lock held across the
+			// fault) on behalf of the threads that held them, before any
+			// contender can slip in. The interface carries the holder's
+			// thread ID — as COMPOSITE's lock interface does — so any
+			// thread can replay a hold for the recorded holder. Holds are
+			// part of the same all-or-nothing restoration as the walk: a
+			// fault while the hold replay is in flight means the server
+			// rebooted again and the walked state is gone too, so the
+			// retry replays both.
+			werr = s.replayHolds(t, d)
+		}
+		if werr == nil {
 			break
-		} else if attempt >= maxRedo {
-			return fmt.Errorf("%w: walk for %v: %v", ErrRecoveryFailed, d.Key, werr)
-		} else if flt, ok := kernel.AsFault(werr); ok && flt.Comp == s.server {
-			// A second fault during recovery: reboot again, restart walk.
-			if _, rerr := s.sys.kern.EnsureRebooted(t, s.server, flt.Epoch); rerr != nil {
-				return fmt.Errorf("%w: re-reboot during walk: %v", ErrRecoveryFailed, rerr)
-			}
-		} else {
+		}
+		flt, ok := kernel.AsFault(werr)
+		if !ok || flt.Comp != s.server {
 			return fmt.Errorf("%w: walk for %v: %v", ErrRecoveryFailed, d.Key, werr)
 		}
-	}
-
-	// Re-establish outstanding holds (e.g., a lock held across the fault)
-	// on behalf of the threads that held them, before any contender can
-	// slip in. The interface carries the holder's thread ID — as
-	// COMPOSITE's lock interface does — so any thread can replay a hold
-	// for the recorded holder.
-	if err := s.replayHolds(t, d); err != nil {
-		return err
+		if attempt >= bound {
+			return fmt.Errorf("%w: walk for %v: %v", ErrRecoveryFailed, d.Key, werr)
+		}
+		// A second fault during recovery: reboot again, restart the walk.
+		if _, rerr := s.sys.kern.EnsureRebooted(t, s.server, flt.Epoch); rerr != nil {
+			return fmt.Errorf("%w: re-reboot during walk: %v", ErrRecoveryFailed, rerr)
+		}
 	}
 
 	// U0 for cross-component dependencies: a rebuilt descriptor that lives
@@ -203,7 +210,9 @@ func (s *ClientStub) replayHolds(t *kernel.Thread, d *Descriptor) error {
 		}
 		s.metrics.HoldReplays++
 		if _, err := s.sys.kern.Invoke(t, s.server, tt.HoldFn, args...); err != nil {
-			return fmt.Errorf("%w: re-acquiring %s for thread %d: %v", ErrRecoveryFailed, tt.HoldFn, tid, err)
+			// Multi-%w so a *Fault stays detectable: recoverDesc's retry
+			// loop re-reboots and replays when the server fails mid-replay.
+			return fmt.Errorf("%w: re-acquiring %s for thread %d: %w", ErrRecoveryFailed, tt.HoldFn, tid, err)
 		}
 		tt.Epoch = cur
 	}

@@ -214,6 +214,12 @@ type Spec struct {
 	// redundantly stored in the storage component (mechanism G1).
 	RescHasData bool
 
+	// RecoveryBudget, when positive, overrides the system policy's
+	// MaxRetries for this interface: how many plain redos a stub call may
+	// spend on this server before escalating to a cascading reboot. Zero
+	// means "use the system policy"; negative is invalid.
+	RecoveryBudget int
+
 	// Descriptor state machine (Equation 2).
 
 	// Funcs is I_dr, the interface's functions.
@@ -439,6 +445,9 @@ func (s *Spec) Validate() error {
 	}
 	if len(s.Funcs) == 0 {
 		return fail("no interface functions")
+	}
+	if s.RecoveryBudget < 0 {
+		return fail("negative recovery budget")
 	}
 	seen := make(map[string]bool, len(s.Funcs))
 	for _, f := range s.Funcs {

@@ -143,10 +143,17 @@ type System struct {
 	store     *storage.Store
 	storeComp kernel.ComponentID
 	mode      RecoveryMode
+	policy    RecoveryPolicy
 	servers   map[kernel.ComponentID]*serverEntry
 	byName    map[string]*serverEntry
 	nextClass storage.Class
 	clients   []*Client
+	// deps is the declared depends-on graph between server components,
+	// driving the cascading-reboot rung of the escalation ladder: when
+	// retrying a server alone does not clear a fault, its dependencies are
+	// µ-rebooted too (leaves first), flushing corrupted state the server
+	// may be re-reading from them.
+	deps map[kernel.ComponentID][]kernel.ComponentID
 }
 
 // NewSystem constructs a machine with the trusted substrate (kernel, cbuf
@@ -169,8 +176,10 @@ func NewSystem(mode RecoveryMode) (*System, error) {
 		store:     st,
 		storeComp: storeComp,
 		mode:      mode,
+		policy:    DefaultRecoveryPolicy(),
 		servers:   make(map[kernel.ComponentID]*serverEntry),
 		byName:    make(map[string]*serverEntry),
+		deps:      make(map[kernel.ComponentID][]kernel.ComponentID),
 	}
 	if mode == Eager {
 		k.AddRebootHook(s.eagerRebootHook)
@@ -192,6 +201,76 @@ func (s *System) StorageComp() kernel.ComponentID { return s.storeComp }
 
 // Mode returns the system's recovery mode.
 func (s *System) Mode() RecoveryMode { return s.mode }
+
+// Policy returns the system-wide recovery policy.
+func (s *System) Policy() RecoveryPolicy { return s.policy }
+
+// SetRecoveryPolicy replaces the system-wide recovery policy. Zeroed limit
+// fields take the defaults (see RecoveryPolicy). Call before threads run;
+// the simulator is single-core, so there is no racing stub call.
+func (s *System) SetRecoveryPolicy(p RecoveryPolicy) {
+	s.policy = p.normalized()
+}
+
+// DeclareDependency records that server `from` depends on server `to`: a
+// fault in `from` that survives plain retries escalates to a µ-reboot of
+// `to` (and transitively of `to`'s own dependencies, leaves first). Both
+// must be registered servers — except `to`, which may also be the storage
+// component.
+func (s *System) DeclareDependency(from, to kernel.ComponentID) error {
+	if _, ok := s.servers[from]; !ok {
+		return fmt.Errorf("core: DeclareDependency: %d is not a registered server", from)
+	}
+	if _, ok := s.servers[to]; !ok && to != s.storeComp {
+		return fmt.Errorf("core: DeclareDependency: %d is not a registered server", to)
+	}
+	for _, d := range s.deps[from] {
+		if d == to {
+			return nil
+		}
+	}
+	s.deps[from] = append(s.deps[from], to)
+	return nil
+}
+
+// Dependencies returns the declared direct dependencies of a server.
+func (s *System) Dependencies(comp kernel.ComponentID) []kernel.ComponentID {
+	out := make([]kernel.ComponentID, len(s.deps[comp]))
+	copy(out, s.deps[comp])
+	return out
+}
+
+// cascadeReboot is the second rung of the escalation ladder: µ-reboot the
+// transitive dependencies of server (leaves first, each at most once, cycles
+// tolerated) and then force the server itself through a fresh µ-reboot, so
+// the next redo runs against a server whose whole supporting state has been
+// rebuilt from clean images.
+func (s *System) cascadeReboot(t *kernel.Thread, server kernel.ComponentID) error {
+	visited := map[kernel.ComponentID]bool{server: true}
+	var walk func(id kernel.ComponentID) error
+	walk = func(id kernel.ComponentID) error {
+		for _, dep := range s.deps[id] {
+			if visited[dep] {
+				continue
+			}
+			visited[dep] = true
+			if err := walk(dep); err != nil {
+				return err
+			}
+			if _, err := s.kern.Reboot(t, dep); err != nil {
+				return fmt.Errorf("core: cascading reboot of dependency %d: %w", dep, err)
+			}
+		}
+		return nil
+	}
+	if err := walk(server); err != nil {
+		return err
+	}
+	if _, err := s.kern.Reboot(t, server); err != nil {
+		return fmt.Errorf("core: cascading reboot of server %d: %w", server, err)
+	}
+	return nil
+}
 
 // RegisterServer boots a recoverable server component: it validates the
 // interface specification, compiles the state machine, wraps the component's
@@ -220,6 +299,15 @@ func (s *System) RegisterServer(spec *Spec, factory func() kernel.Service) (kern
 	entry.comp = comp
 	s.servers[comp] = entry
 	s.byName[spec.Service] = entry
+	// A server whose descriptors are globally addressable (G_dr) or whose
+	// resources carry redundantly stored data (D_r) reads the storage
+	// component on recovery: declare that dependency so the cascading
+	// rung of the escalation ladder rebuilds storage's component instance
+	// too. (The store's data itself survives reboots — it is the
+	// redundancy, mechanism G1.)
+	if spec.DescIsGlobal || spec.RescHasData {
+		s.deps[comp] = append(s.deps[comp], s.storeComp)
+	}
 	return comp, nil
 }
 

@@ -34,11 +34,124 @@ func Table2(trials int, seed int64) ([]*swifi.Result, error) {
 // RenderTable2 writes the Table II rows.
 func RenderTable2(w io.Writer, results []*swifi.Result) {
 	fmt.Fprintf(w, "Table II: SWIFI-based fault injection campaign with SuperGlue\n")
-	fmt.Fprintf(w, "%-8s %9s %10s %10s %12s %8s %11s %11s %9s\n",
-		"service", "injected", "recovered", "seg fault", "propagated", "other", "undetected", "activation", "success")
+	fmt.Fprintf(w, "%-8s %9s %10s %10s %12s %8s %9s %11s %11s %9s\n",
+		"service", "injected", "recovered", "seg fault", "propagated", "other", "degraded", "undetected", "activation", "success")
 	for _, r := range results {
-		fmt.Fprintf(w, "%-8s %9d %10d %10d %12d %8d %11d %10.2f%% %8.2f%%\n",
-			r.Service, r.Injected, r.Recovered, r.Segfault, r.Propagated, r.Other, r.Undetected,
+		fmt.Fprintf(w, "%-8s %9d %10d %10d %12d %8d %9d %11d %10.2f%% %8.2f%%\n",
+			r.Service, r.Injected, r.Recovered, r.Segfault, r.Propagated, r.Other, r.Degraded, r.Undetected,
 			100*r.ActivationRatio(), 100*r.SuccessRate())
+	}
+}
+
+// Table2PrimeRow compares one service's hang-injection trials with the
+// kernel watchdog off and on. Trials are paired: the same seed drives the
+// same per-trial RNG stream in both campaigns, so trial i fires the same
+// bit flip in both runs and per-trial reclassification is well defined.
+type Table2PrimeRow struct {
+	Service string
+	// HangsFired counts trials whose flip manifested as an unbounded loop.
+	HangsFired int
+	// Watchdog-off outcomes of those trials.
+	OffOther     int
+	OffRecovered int
+	// Watchdog-on outcomes of the same trials.
+	OnRecovered int
+	OnDegraded  int
+	OnOther     int
+	// Reclassified counts trials that moved from "not recovered (other)"
+	// to recovered or degraded when the watchdog was enabled.
+	Reclassified int
+}
+
+// ReclassificationRate is the fraction of watchdog-off "other" hang trials
+// the watchdog reclaimed.
+func (r *Table2PrimeRow) ReclassificationRate() float64 {
+	if r.OffOther == 0 {
+		return 0
+	}
+	return float64(r.Reclassified) / float64(r.OffOther)
+}
+
+// Table2Prime runs the Table II′ experiment: each service's campaign twice
+// from the same seed — watchdog off, then on — and pairs the hang trials.
+// With no services given, all targets run.
+func Table2Prime(trials int, seed int64, services ...string) ([]Table2PrimeRow, error) {
+	if trials <= 0 {
+		trials = 500
+	}
+	targets := swifi.Targets()
+	if len(services) > 0 {
+		for _, svc := range services {
+			if _, ok := swifi.Workloads()[svc]; !ok {
+				return nil, fmt.Errorf("table2': unknown service %q", svc)
+			}
+		}
+		targets = services
+	}
+	var rows []Table2PrimeRow
+	for _, svc := range targets {
+		cfg := swifi.Config{
+			Service:  svc,
+			Workload: swifi.Workloads()[svc],
+			Iters:    5,
+			Trials:   trials,
+			Seed:     seed,
+			Profile:  swifi.Profiles()[svc],
+		}
+		off, err := swifi.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table2' %s (watchdog off): %w", svc, err)
+		}
+		cfg.Watchdog = true
+		on, err := swifi.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table2' %s (watchdog on): %w", svc, err)
+		}
+		rows = append(rows, pairHangTrials(svc, off, on))
+	}
+	return rows, nil
+}
+
+// pairHangTrials folds two same-seed campaigns into one Table II′ row.
+func pairHangTrials(svc string, off, on *swifi.Result) Table2PrimeRow {
+	row := Table2PrimeRow{Service: svc}
+	for i := range off.Trials {
+		o := off.Trials[i]
+		if o.Injection.Effect != swifi.EffectHang {
+			continue
+		}
+		row.HangsFired++
+		switch o.Outcome {
+		case swifi.OutcomeOther:
+			row.OffOther++
+		case swifi.OutcomeRecovered:
+			row.OffRecovered++
+		}
+		n := on.Trials[i]
+		switch n.Outcome {
+		case swifi.OutcomeRecovered:
+			row.OnRecovered++
+		case swifi.OutcomeDegraded:
+			row.OnDegraded++
+		case swifi.OutcomeOther:
+			row.OnOther++
+		}
+		if o.Outcome == swifi.OutcomeOther &&
+			(n.Outcome == swifi.OutcomeRecovered || n.Outcome == swifi.OutcomeDegraded) {
+			row.Reclassified++
+		}
+	}
+	return row
+}
+
+// RenderTable2Prime writes the Table II′ rows.
+func RenderTable2Prime(w io.Writer, rows []Table2PrimeRow) {
+	fmt.Fprintf(w, "Table II': hang injections, kernel watchdog off vs on (same seed, paired trials)\n")
+	fmt.Fprintf(w, "%-8s %6s %10s %10s %9s %9s %9s %13s %9s\n",
+		"service", "hangs", "off:other", "off:recov", "on:recov", "on:degr", "on:other", "reclassified", "rate")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %6d %10d %10d %9d %9d %9d %13d %8.2f%%\n",
+			r.Service, r.HangsFired, r.OffOther, r.OffRecovered, r.OnRecovered, r.OnDegraded, r.OnOther,
+			r.Reclassified, 100*r.ReclassificationRate())
 	}
 }

@@ -6,6 +6,9 @@ import "errors"
 // runnable or sleeping. The paper classifies the corresponding campaign
 // outcome as "not recovered (other reason)" — a latent fault such as an
 // infinite wait that only a monitoring infrastructure (C'MON) would detect.
+// With the watchdog enabled (see watchdog.go), ErrHang is returned only for
+// hangs attributable to no component; component-attributable hangs are
+// converted into component faults and recovered.
 var ErrHang = errors.New("kernel: system hang: live threads but none runnable")
 
 // ErrNoThreads reports that Run was called on a kernel with no threads.
@@ -86,10 +89,16 @@ func (k *Kernel) pickReadyLocked() *Thread {
 			}
 		}
 		if earliest == nil {
-			if !k.runIdleLocked() {
-				return nil
+			if k.runIdleLocked() {
+				continue
 			}
-			continue
+			// No idle work either: before declaring the machine dead, let
+			// the watchdog try to attribute the wedge to a component and
+			// divert its blocked threads (recovery instead of ErrHang).
+			if k.watchdogDivertLocked() {
+				continue
+			}
+			return nil
 		}
 		if earliest.wakeAt > k.clock {
 			k.clock = earliest.wakeAt
@@ -289,19 +298,28 @@ func (k *Kernel) CrashSystem(t *Thread, comp ComponentID, reason string) {
 	panic(threadKilled{})
 }
 
-// HangCurrent parks the calling thread forever (modeling an infinite loop
-// caused by a corrupted loop-counter register). The system halts with
-// ErrHang once no other thread can make progress.
+// HangCurrent models an infinite loop on the calling thread (a corrupted
+// loop-counter register). Without the watchdog, the thread parks forever and
+// the system halts with ErrHang once no other thread can make progress.
+// With the watchdog enabled and the thread executing inside a component,
+// the spin instead burns the component's invocation budget, the watchdog
+// fires, the component is marked failed, and HangCurrent returns with a
+// *Fault armed for Invoke to deliver — the hang becomes a recoverable
+// component fault. Hangs outside any component remain terminal.
 func (k *Kernel) HangCurrent(t *Thread) {
 	k.mu.Lock()
 	if k.halted || t != k.current {
 		k.mu.Unlock()
 		panic(threadKilled{})
 	}
+	k.hung = true
+	if k.watchdogHangLocked(t) {
+		k.mu.Unlock()
+		return
+	}
 	t.state = ThreadBlocked
 	t.blockedIn = 0
 	t.pendingFault = nil
-	k.hung = true
 	k.switchFromLocked(t)
 	// Only a kill can resume a hung thread; Wakeup may still find it
 	// blocked, so if resumed, hang again.

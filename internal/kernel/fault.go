@@ -71,6 +71,16 @@ func (k *Kernel) Faulty(id ComponentID) bool {
 // Reboot is idempotent per fault: use EnsureRebooted from recovery code so
 // that only the first client observing a fault performs the reboot.
 func (k *Kernel) Reboot(t *Thread, id ComponentID) (uint64, error) {
+	return k.reboot(t, id, 0, false)
+}
+
+// reboot implements Reboot and EnsureRebooted. When mustMatch is set, the
+// expected-epoch check and the epoch bump happen in ONE critical section:
+// two clients observing the same fault can both call EnsureRebooted
+// concurrently, and exactly one performs the µ-reboot — the other observes
+// the advanced epoch. (A check-then-Reboot split would let both pass the
+// check and reboot twice.)
+func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch bool) (uint64, error) {
 	k.mu.Lock()
 	if k.halted {
 		k.mu.Unlock()
@@ -80,6 +90,11 @@ func (k *Kernel) Reboot(t *Thread, id ComponentID) (uint64, error) {
 	if err != nil {
 		k.mu.Unlock()
 		return 0, err
+	}
+	if mustMatch && c.epoch != expectEpoch {
+		cur := c.epoch // someone already rebooted it
+		k.mu.Unlock()
+		return cur, nil
 	}
 	oldEpoch := c.epoch
 	c.epoch++
@@ -141,18 +156,9 @@ func (k *Kernel) Reboot(t *Thread, id ComponentID) (uint64, error) {
 
 // EnsureRebooted µ-reboots component id only if its epoch still equals the
 // epoch observed in a fault, so concurrent clients reboot a failed component
-// exactly once. It returns the component's (possibly advanced) epoch.
+// exactly once. The epoch check and the reboot run in a single critical
+// section (see reboot). It returns the component's (possibly advanced)
+// epoch.
 func (k *Kernel) EnsureRebooted(t *Thread, id ComponentID, faultEpoch uint64) (uint64, error) {
-	k.mu.Lock()
-	c, err := k.compLocked(id)
-	if err != nil {
-		k.mu.Unlock()
-		return 0, err
-	}
-	cur := c.epoch
-	k.mu.Unlock()
-	if cur != faultEpoch {
-		return cur, nil // someone already rebooted it
-	}
-	return k.Reboot(t, id)
+	return k.reboot(t, id, faultEpoch, true)
 }

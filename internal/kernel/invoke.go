@@ -66,6 +66,10 @@ func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Wo
 
 	if hook != nil {
 		hook(t, dst, fn, PhaseEntry)
+		// A hang caught by the watchdog unwinds like a fail-stop fault.
+		if f := k.takeWatchdogFault(t); f != nil {
+			return 0, f
+		}
 		// Fail-stop: a fault activated at entry aborts the invocation
 		// before the operation starts.
 		if f, failed := k.faultIf(dst, epoch); failed {
@@ -86,6 +90,13 @@ func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Wo
 		// propagation channel).
 		t.regs.Val[RegEAX] = uint32(ret)
 		hook(t, dst, fn, PhaseExit)
+		// A hang in the return path means the result never reached the
+		// client: when the watchdog catches it, the invocation unwinds
+		// with the fault (and the rebuilt server replays the operation on
+		// the redo) instead of delivering a result that was never returned.
+		if f := k.takeWatchdogFault(t); f != nil {
+			return 0, f
+		}
 		ret = Word(int32(t.regs.Val[RegEAX]))
 	}
 	// The retried invocation completed: drop any unconsumed redo credit so

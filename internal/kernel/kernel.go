@@ -96,6 +96,9 @@ type component struct {
 	epoch   uint64
 	faulty  bool
 	profile RegProfile
+	// budget is the per-component watchdog invocation budget override
+	// (0 = the watchdog config default). See SetInvokeBudget.
+	budget Time
 }
 
 // ErrNoSuchComponent is returned for invocations that target an unknown
@@ -137,6 +140,13 @@ type Kernel struct {
 	rebootHooks []RebootHook
 	idle        IdleHandler
 	crash       *SystemCrash
+
+	// Watchdog state (see watchdog.go). Off by default: the baseline
+	// campaign keeps the paper's fail-stop-only fault model.
+	wdEnabled bool
+	wdBudget  Time
+	wdMax     int
+	wdStats   WatchdogStats
 
 	// invCount counts completed component invocations (observability).
 	invCount uint64

@@ -94,6 +94,12 @@ type Thread struct {
 	// eagerly and its Block call returns this fault.
 	pendingFault *Fault
 
+	// watchdogFault is armed by the watchdog when it catches this thread
+	// hanging inside a component: Invoke consumes it when the invocation
+	// hook returns and unwinds with the fault instead of delivering a
+	// result, turning the latent fault into the fail-stop recovery path.
+	watchdogFault *Fault
+
 	// invStack records the components the thread is executing in, outermost
 	// first. Entry 0 is absent for "home" (application) execution. fnStack
 	// holds the corresponding interface function names.

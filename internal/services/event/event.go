@@ -44,7 +44,15 @@ func Register(sys *core.System) (kernel.ComponentID, error) {
 	if err != nil {
 		return 0, err
 	}
-	return sys.RegisterServer(spec, func() kernel.Service { return &Server{} })
+	comp, err := sys.RegisterServer(spec, func() kernel.Service { return &Server{} })
+	if err != nil {
+		return 0, err
+	}
+	// Watchdog budget: event operations walk waiter lists and groups.
+	if err := sys.Kernel().SetInvokeBudget(comp, 300); err != nil {
+		return 0, err
+	}
+	return comp, nil
 }
 
 // evtState is one event's server-side state.

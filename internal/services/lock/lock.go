@@ -39,7 +39,15 @@ func Register(sys *core.System) (kernel.ComponentID, error) {
 	if err != nil {
 		return 0, err
 	}
-	return sys.RegisterServer(spec, func() kernel.Service { return &Server{} })
+	comp, err := sys.RegisterServer(spec, func() kernel.Service { return &Server{} })
+	if err != nil {
+		return 0, err
+	}
+	// Watchdog budget: lock operations are short critical-section twiddles.
+	if err := sys.Kernel().SetInvokeBudget(comp, 200); err != nil {
+		return 0, err
+	}
+	return comp, nil
 }
 
 // lockState is one lock's server-side state.

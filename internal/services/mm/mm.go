@@ -44,7 +44,15 @@ func Register(sys *core.System) (kernel.ComponentID, error) {
 	if err != nil {
 		return 0, err
 	}
-	return sys.RegisterServer(spec, func() kernel.Service { return &Server{} })
+	comp, err := sys.RegisterServer(spec, func() kernel.Service { return &Server{} })
+	if err != nil {
+		return 0, err
+	}
+	// Watchdog budget: mapping operations touch page-table-like structures.
+	if err := sys.Kernel().SetInvokeBudget(comp, 500); err != nil {
+		return 0, err
+	}
+	return comp, nil
 }
 
 // mapKey identifies a mapping: a virtual address within a protection domain.

@@ -50,7 +50,16 @@ func Register(sys *core.System) (kernel.ComponentID, error) {
 	if err != nil {
 		return 0, err
 	}
-	return sys.RegisterServer(spec, func() kernel.Service { return &Server{sys: sys} })
+	comp, err := sys.RegisterServer(spec, func() kernel.Service { return &Server{sys: sys} })
+	if err != nil {
+		return 0, err
+	}
+	// Watchdog budget: file reads/writes move bulk data, the longest
+	// legitimate invocations in the system.
+	if err := sys.Kernel().SetInvokeBudget(comp, 1000); err != nil {
+		return 0, err
+	}
+	return comp, nil
 }
 
 // file is one in-memory file.

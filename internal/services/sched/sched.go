@@ -44,7 +44,15 @@ func Register(sys *core.System) (kernel.ComponentID, error) {
 	if err != nil {
 		return 0, err
 	}
-	return sys.RegisterServer(spec, func() kernel.Service { return &Server{} })
+	comp, err := sys.RegisterServer(spec, func() kernel.Service { return &Server{} })
+	if err != nil {
+		return 0, err
+	}
+	// Watchdog budget: scheduler paths are the shortest in the system.
+	if err := sys.Kernel().SetInvokeBudget(comp, 200); err != nil {
+		return 0, err
+	}
+	return comp, nil
 }
 
 // thdState is the scheduler's per-thread accounting.

@@ -38,7 +38,15 @@ func Register(sys *core.System) (kernel.ComponentID, error) {
 	if err != nil {
 		return 0, err
 	}
-	return sys.RegisterServer(spec, func() kernel.Service { return &Server{} })
+	comp, err := sys.RegisterServer(spec, func() kernel.Service { return &Server{} })
+	if err != nil {
+		return 0, err
+	}
+	// Watchdog budget: timer bookkeeping scans the pending-deadline list.
+	if err := sys.Kernel().SetInvokeBudget(comp, 300); err != nil {
+		return 0, err
+	}
+	return comp, nil
 }
 
 // timerState is one timer's server-side state.

@@ -28,6 +28,10 @@ const (
 	// OutcomeOther: the system hung (latent fault) or failed in a way the
 	// recovery machinery does not cover.
 	OutcomeOther
+	// OutcomeDegraded: recovery exhausted its escalation budget and the
+	// stub returned the typed degradation error; the machine kept running
+	// but the workload lost its service (Table II′, watchdog campaigns).
+	OutcomeDegraded
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +47,8 @@ func (o Outcome) String() string {
 		return "not recovered (propagated)"
 	case OutcomeOther:
 		return "not recovered (other)"
+	case OutcomeDegraded:
+		return "degraded"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -64,6 +70,13 @@ type Config struct {
 	Profile kernel.RegProfile
 	// Mode selects the recovery timing.
 	Mode core.RecoveryMode
+	// Watchdog enables the kernel watchdog for each trial (the Table II′
+	// campaigns): component-attributable hangs become recoverable
+	// component faults instead of machine-killing latent faults.
+	Watchdog bool
+	// WatchdogBudget overrides the per-invocation virtual-time budget
+	// (zero takes the kernel default).
+	WatchdogBudget kernel.Time
 }
 
 // Result aggregates one campaign, mirroring one row of Table II.
@@ -74,6 +87,7 @@ type Result struct {
 	Segfault   int
 	Propagated int
 	Other      int
+	Degraded   int
 	Undetected int
 	// Trials holds each trial's record for deeper analysis.
 	Trials []TrialResult
@@ -148,6 +162,8 @@ func Run(cfg Config) (*Result, error) {
 			res.Propagated++
 		case OutcomeOther:
 			res.Other++
+		case OutcomeDegraded:
+			res.Degraded++
 		}
 	}
 	return res, nil
@@ -197,6 +213,9 @@ func runTrial(cfg Config, opportunities uint64, rng *rand.Rand) (TrialResult, er
 	if err := sys.Kernel().SetRegProfile(target, cfg.Profile); err != nil {
 		return TrialResult{}, err
 	}
+	if cfg.Watchdog {
+		sys.Kernel().EnableWatchdog(kernel.WatchdogConfig{Budget: cfg.WatchdogBudget})
+	}
 	inj := NewInjector(sys.Kernel(), target, opportunities, rng)
 	sys.Kernel().SetInvokeHook(inj.Hook)
 
@@ -205,12 +224,12 @@ func runTrial(cfg Config, opportunities uint64, rng *rand.Rand) (TrialResult, er
 	if runErr == nil {
 		checkErr = w.Check()
 	}
-	return classify(inj, runErr, checkErr), nil
+	return classify(inj, runErr, checkErr, sys.Kernel().WatchdogStats()), nil
 }
 
-// classify maps a trial's (injection effect, run error, workload check) to
-// a Table II outcome.
-func classify(inj *Injector, runErr, checkErr error) TrialResult {
+// classify maps a trial's (injection effect, run error, workload check,
+// watchdog stats) to a Table II outcome.
+func classify(inj *Injector, runErr, checkErr error, wd kernel.WatchdogStats) TrialResult {
 	tr := TrialResult{Injection: inj.Record()}
 	if !inj.Fired() {
 		// The injection moment was never reached (the workload finished
@@ -227,6 +246,15 @@ func classify(inj *Injector, runErr, checkErr error) TrialResult {
 	case errors.Is(runErr, kernel.ErrHang):
 		tr.Outcome = OutcomeOther
 		tr.Detail = "system hang (latent fault)"
+		if wd.Unattributable > 0 {
+			tr.Detail = "system hang (watchdog: unattributable)"
+		}
+	case errors.Is(runErr, core.ErrDegraded) || errors.Is(checkErr, core.ErrDegraded):
+		// The watchdog (or fail-stop detection) kept the machine alive,
+		// but the escalation ladder ran out of budget: graceful
+		// degradation rather than a lost machine.
+		tr.Outcome = OutcomeDegraded
+		tr.Detail = firstErr(runErr, checkErr).Error()
 	case runErr != nil:
 		// The machine died in an unforeseen way (e.g., a propagated value
 		// made a client panic).
@@ -237,14 +265,12 @@ func classify(inj *Injector, runErr, checkErr error) TrialResult {
 		}
 		tr.Detail = runErr.Error()
 	case checkErr != nil:
-		switch inj.Record().Effect {
-		case EffectRetvalSilent:
+		// Every non-propagation deviation — including an EffectNone flip
+		// breaking the workload, which would be a harness bug — lands in
+		// "other".
+		if inj.Record().Effect == EffectRetvalSilent {
 			tr.Outcome = OutcomePropagated
-		case EffectNone:
-			// An unobserved flip cannot break the workload; a failure here
-			// is a harness bug surfaced as "other".
-			tr.Outcome = OutcomeOther
-		default:
+		} else {
 			tr.Outcome = OutcomeOther
 		}
 		tr.Detail = checkErr.Error()
@@ -259,7 +285,23 @@ func classify(inj *Injector, runErr, checkErr error) TrialResult {
 			tr.Detail = "propagated value was benign"
 		default:
 			tr.Outcome = OutcomeRecovered
+			if inj.Record().Effect == EffectHang && wd.HangsCaught > 0 {
+				// The watchdog verdict: what was a latent machine-killer
+				// was attributed, failed, and recovered as a component
+				// fault.
+				tr.Detail = "hang caught by watchdog"
+			}
 		}
 	}
 	return tr
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
 }

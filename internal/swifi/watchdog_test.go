@@ -1,0 +1,113 @@
+package swifi
+
+import (
+	"testing"
+
+	"superglue/internal/kernel"
+)
+
+// hangHeavyProfile skews the register-usage profile toward loop counters so
+// a large share of flips manifest as unbounded loops — concentrating the
+// campaign on the latent-fault class the watchdog exists for.
+func hangHeavyProfile() kernel.RegProfile {
+	return kernel.RegProfile{
+		DeadFrac:     0,
+		PtrFrac:      0.10,
+		LoopFrac:     0.60,
+		StackUseFrac: 0.50,
+		MappedBits:   26,
+		RetValFrac:   0.20,
+	}
+}
+
+// TestWatchdogReclassifiesHangInjections is the Table II′ acceptance test:
+// two same-seed campaigns against the lock service, watchdog off then on.
+// The pairing is deterministic (trial i fires the same flip in both runs),
+// and at least 80% of the hang injections that were "not recovered (other)"
+// with the watchdog off must be reclassified as recovered or degraded with
+// it on.
+func TestWatchdogReclassifiesHangInjections(t *testing.T) {
+	cfg := Config{
+		Service:  "lock",
+		Workload: Workloads()["lock"],
+		Iters:    5,
+		Trials:   200,
+		Seed:     7,
+		Profile:  hangHeavyProfile(),
+	}
+	off, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run (watchdog off): %v", err)
+	}
+	cfg.Watchdog = true
+	on, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run (watchdog on): %v", err)
+	}
+
+	hangs, offOther, reclassified := 0, 0, 0
+	sawVerdict := false
+	for i := range off.Trials {
+		o, n := off.Trials[i], on.Trials[i]
+		if o.Injection.Effect != EffectHang {
+			continue
+		}
+		hangs++
+		// Paired determinism: the same seed must fire the same flip.
+		if n.Injection.Effect != EffectHang {
+			t.Fatalf("trial %d: effect %v off vs %v on; pairing broken", i, o.Injection.Effect, n.Injection.Effect)
+		}
+		if n.Outcome == OutcomeRecovered && n.Detail == "hang caught by watchdog" {
+			sawVerdict = true
+		}
+		if o.Outcome != OutcomeOther {
+			continue
+		}
+		offOther++
+		if n.Outcome == OutcomeRecovered || n.Outcome == OutcomeDegraded {
+			reclassified++
+		}
+	}
+
+	if hangs < 20 {
+		t.Fatalf("only %d hang injections fired; the hang-heavy profile should produce far more", hangs)
+	}
+	if offOther == 0 {
+		t.Fatal("no hang trial was 'not recovered (other)' with the watchdog off")
+	}
+	if got := float64(reclassified) / float64(offOther); got < 0.80 {
+		t.Fatalf("reclassified %d/%d = %.0f%% of hang trials; want ≥ 80%%", reclassified, offOther, 100*got)
+	}
+	if !sawVerdict {
+		t.Error("no trial recorded the 'hang caught by watchdog' verdict in Detail")
+	}
+	if on.Other >= off.Other {
+		t.Errorf("watchdog-on Other = %d, off = %d; the watchdog must shrink the latent-fault column", on.Other, off.Other)
+	}
+}
+
+// TestWatchdogOffHangTrialsStayOther pins the baseline semantics: without
+// the watchdog, a fired hang injection is a latent fault classified "not
+// recovered (other)" — the Table II behavior the seed repo ships with.
+func TestWatchdogOffHangTrialsStayOther(t *testing.T) {
+	cfg := Config{
+		Service:  "lock",
+		Workload: Workloads()["lock"],
+		Iters:    5,
+		Trials:   60,
+		Seed:     11,
+		Profile:  hangHeavyProfile(),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, tr := range res.Trials {
+		if tr.Injection.Effect == EffectHang && tr.Outcome != OutcomeOther {
+			t.Fatalf("trial %d: hang injection classified %v without watchdog; want %v", i, tr.Outcome, OutcomeOther)
+		}
+	}
+	if res.Degraded != 0 {
+		t.Fatalf("degraded = %d without watchdog; want 0", res.Degraded)
+	}
+}

@@ -26,6 +26,15 @@ type Config struct {
 	// "crash injected every 10 seconds" variant. Requires a recovery
 	// variant (C3 or SuperGlue).
 	FaultEvery int
+	// HangEvery, when positive, hangs a thread inside one backing service
+	// (rotating over lock, event, fs, timer) every HangEvery completed
+	// requests: the latent-fault variant of the crasher. Requires Watchdog
+	// and the SuperGlue variant — without the watchdog a single hang
+	// wedges the machine.
+	HangEvery int
+	// Watchdog enables the kernel watchdog, turning hangs in backing
+	// services into recoverable component faults mid-request.
+	Watchdog bool
 	// Mode is the recovery mode for the SuperGlue variant.
 	Mode core.RecoveryMode
 	// BucketSize is the completions-per-timeline-bucket granularity.
@@ -34,11 +43,17 @@ type Config struct {
 
 // Stats reports one run's outcome.
 type Stats struct {
-	Variant    Variant
-	Completed  int
-	Errors     int
-	Faults     int
-	Elapsed    time.Duration
+	Variant   Variant
+	Completed int
+	Errors    int
+	Faults    int
+	// Hangs counts injected latent faults (HangEvery).
+	Hangs int
+	// Degraded counts requests answered 503-style because a backing
+	// service exhausted its recovery budget (core.ErrDegraded); every
+	// degraded request is also counted in Errors.
+	Degraded int
+	Elapsed  time.Duration
 	Throughput float64 // requests per wall-clock second
 	// Timeline records the elapsed wall time at each completion bucket,
 	// showing recovery dips.
@@ -86,6 +101,9 @@ func Run(cfg Config) (*Stats, error) {
 	if cfg.FaultEvery > 0 && cfg.Variant != VariantC3 && cfg.Variant != VariantSuperGlue {
 		return nil, errors.New("webserver: fault injection requires a recovery variant")
 	}
+	if cfg.HangEvery > 0 && (!cfg.Watchdog || cfg.Variant != VariantSuperGlue) {
+		return nil, errors.New("webserver: hang injection requires the watchdog and the SuperGlue variant")
+	}
 	if cfg.Variant == VariantBaseline {
 		return runBaseline(cfg)
 	}
@@ -114,6 +132,9 @@ func runComponentized(cfg Config) (*Stats, error) {
 		return nil, err
 	}
 	k := sys.Kernel()
+	if cfg.Watchdog {
+		k.EnableWatchdog(kernel.WatchdogConfig{})
+	}
 	stats := &Stats{Variant: cfg.Variant}
 	site := paths(cfg.Files)
 
@@ -182,6 +203,14 @@ func runComponentized(cfg Config) (*Stats, error) {
 		}
 		body, found, err := readFile(t, svc, cacheLock, fdCache, req.Path)
 		if err != nil {
+			if errors.Is(err, core.ErrDegraded) {
+				// Graceful degradation: the backing service exhausted its
+				// recovery budget, so this request gets a 503 — but the
+				// server (and the machine) keep going.
+				stats.Degraded++
+				stats.Errors++
+				return
+			}
 			fail(fmt.Errorf("serve %s: %w", req.Path, err))
 			stats.Errors++
 			return
@@ -296,6 +325,40 @@ func runComponentized(cfg Config) (*Stats, error) {
 					}
 					stats.Faults++
 					nextFault += cfg.FaultEvery
+				}
+				if err := k.Yield(t); err != nil {
+					return
+				}
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Hangler: periodically wedge a thread inside a rotating backing
+	// service (the latent-fault variant of the crasher). The hook fires the
+	// hang at the next invocation entry into the armed target, on whichever
+	// thread performs it; the watchdog then attributes it, fails the
+	// component, and the stub recovers mid-request. Only services on the
+	// per-request path are targeted — sched is invoked at setup only, so a
+	// hang armed on it would never fire.
+	if cfg.HangEvery > 0 {
+		hangTargets := []kernel.ComponentID{ids.lock, ids.evt, ids.fs, ids.timer}
+		var hangAt kernel.ComponentID // zero = disarmed
+		k.SetInvokeHook(func(t *kernel.Thread, comp kernel.ComponentID, fn string, phase kernel.InvokePhase) {
+			if phase != kernel.PhaseEntry || comp != hangAt || hangAt == 0 {
+				return
+			}
+			hangAt = 0
+			stats.Hangs++
+			k.HangCurrent(t)
+		})
+		if _, err := k.CreateThread(nil, "hangler", 11, func(t *kernel.Thread) {
+			nextHang := cfg.HangEvery
+			for !done {
+				if hangAt == 0 && stats.Completed >= nextHang {
+					hangAt = hangTargets[stats.Hangs%len(hangTargets)]
+					nextHang += cfg.HangEvery
 				}
 				if err := k.Yield(t); err != nil {
 					return

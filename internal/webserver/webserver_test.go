@@ -122,6 +122,54 @@ func TestSuperGlueServesAcrossInjectedFaults(t *testing.T) {
 	}
 }
 
+func TestHangInjectionRequiresWatchdogAndSuperGlue(t *testing.T) {
+	if _, err := Run(Config{Variant: VariantSuperGlue, Requests: 10, HangEvery: 5}); err == nil {
+		t.Error("hang injection accepted without the watchdog")
+	}
+	if _, err := Run(Config{Variant: VariantC3, Requests: 10, HangEvery: 5, Watchdog: true}); err == nil {
+		t.Error("hang injection accepted for a non-SuperGlue variant")
+	}
+}
+
+// TestSuperGlueServesAcrossInjectedHangs: a backing service wedges mid-run
+// every 150 requests; the watchdog attributes each hang, fails the
+// component, and the stubs recover mid-request — the request stream
+// completes instead of the machine dying with ErrHang.
+func TestSuperGlueServesAcrossInjectedHangs(t *testing.T) {
+	st, err := Run(Config{Variant: VariantSuperGlue, Requests: 600, Workers: 2, HangEvery: 150, Watchdog: true})
+	if err != nil {
+		t.Fatalf("Run: %v (a hang must not kill the machine with the watchdog on)", err)
+	}
+	if st.Hangs < 3 {
+		t.Fatalf("hangs = %d; want ≥ 3 (one per 150 completions)", st.Hangs)
+	}
+	if got := st.Completed + st.Errors; got != 600 {
+		t.Fatalf("completed %d + errors %d = %d; want all 600 requests accounted for", st.Completed, st.Errors, got)
+	}
+	if st.Completed < 540 {
+		t.Fatalf("completed = %d; want ≥ 90%% of 600 served despite hangs", st.Completed)
+	}
+}
+
+// TestSuperGlueServesAcrossHangsAndCrashes combines both injectors: crash
+// faults and latent hangs interleaved over the same run.
+func TestSuperGlueServesAcrossHangsAndCrashes(t *testing.T) {
+	st, err := Run(Config{Variant: VariantSuperGlue, Requests: 600, Workers: 2,
+		FaultEvery: 200, HangEvery: 170, Watchdog: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Hangs < 2 || st.Faults < 2 {
+		t.Fatalf("hangs = %d, faults = %d; want both injectors firing", st.Hangs, st.Faults)
+	}
+	if got := st.Completed + st.Errors; got != 600 {
+		t.Fatalf("completed %d + errors %d; want all 600 accounted for", st.Completed, st.Errors)
+	}
+	if st.Completed < 540 {
+		t.Fatalf("completed = %d; want ≥ 90%% of 600", st.Completed)
+	}
+}
+
 func TestC3ServesAcrossInjectedFaults(t *testing.T) {
 	st, err := Run(Config{Variant: VariantC3, Requests: 600, Workers: 2, FaultEvery: 100})
 	if err != nil {
