@@ -1,8 +1,12 @@
 # Convenience targets for the SuperGlue reproduction (stdlib-only Go).
 
 GO ?= go
+# Repetitions for `make bench`; raise (e.g. BENCHCOUNT=10) for
+# benchstat-grade samples: go install golang.org/x/perf/cmd/benchstat
+# and compare two saved runs with `benchstat old.txt new.txt`.
+BENCHCOUNT ?= 1
 
-.PHONY: all build test race bench gen experiments watchdog-experiments fuzz clean
+.PHONY: all build test race bench bench-json gen experiments watchdog-experiments fuzz clean
 
 all: build test
 
@@ -16,8 +20,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# benchstat-friendly output: benchmarks only (no tests), repeatable count.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem -count=$(BENCHCOUNT) ./...
+
+# Benchmark trajectory: write machine-readable measurements of the headline
+# benchmarks (invocation primitive, Fig. 6a tracking, Fig. 7 web server) to
+# BENCH_superglue.json.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_superglue.json
 
 # Regenerate the committed sgc-generated stubs from the IDL specifications
 # (golden-tested by internal/gen.TestCommittedStubsMatchGenerator).

@@ -1,0 +1,112 @@
+package superglue
+
+import (
+	"testing"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+	"superglue/internal/services/event"
+	"superglue/internal/services/lock"
+)
+
+// The allocation budget guards: the steady-state fast paths measured by
+// BenchmarkKernelInvoke and BenchmarkTrackingLock/superglue must stay at
+// 0 allocs/op. A regression here silently re-introduces GC pressure on the
+// invocation primitive, so it fails as a test rather than waiting for
+// someone to read benchmark output.
+
+// TestKernelInvokeZeroAllocs pins the bare invocation primitive.
+func TestKernelInvokeZeroAllocs(t *testing.T) {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := event.Register(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sys.Kernel()
+	allocs := -1.0
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		id, err := k.Invoke(th, comp, event.FnSplit, 1, 0, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		args := []kernel.Word{1, id}
+		// Warm the path (first call touches cold map buckets etc.).
+		if _, err := k.Invoke(th, comp, event.FnTrigger, args...); err != nil {
+			t.Error(err)
+			return
+		}
+		allocs = testing.AllocsPerRun(500, func() {
+			if _, err := k.Invoke(th, comp, event.FnTrigger, args...); err != nil {
+				t.Error(err)
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state kernel Invoke allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestLockStubZeroAllocs pins the SuperGlue stub's tracked lock
+// take/release cycle (the BenchmarkTrackingLock/superglue path).
+func TestLockStubZeroAllocs(t *testing.T) {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockComp, err := lock.Register(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.NewClient("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	locks, err := lock.NewClient(app, lockComp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sys.Kernel()
+	allocs := -1.0
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		id, err := locks.Alloc(th)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Warm: the first hold allocates the per-thread tracking entry,
+		// which is reused (not deleted) from then on.
+		if err := locks.Take(th, id); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := locks.Release(th, id); err != nil {
+			t.Error(err)
+			return
+		}
+		allocs = testing.AllocsPerRun(500, func() {
+			if err := locks.Take(th, id); err != nil {
+				t.Error(err)
+			}
+			if err := locks.Release(th, id); err != nil {
+				t.Error(err)
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state lock take/release allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -16,10 +16,8 @@ import (
 	"testing"
 
 	"superglue/internal/codegen"
-	"superglue/internal/core"
 	"superglue/internal/experiments"
 	"superglue/internal/idl"
-	"superglue/internal/kernel"
 	"superglue/internal/services/event"
 	"superglue/internal/swifi"
 	"superglue/internal/webserver"
@@ -146,38 +144,11 @@ func BenchmarkWebServer(b *testing.B) {
 }
 
 // BenchmarkKernelInvoke measures the bare component-invocation primitive,
-// the substrate cost every stub comparison sits on.
+// the substrate cost every stub comparison sits on. The scenario lives in
+// experiments.KernelInvokeBench so `cmd/benchjson` measures the same thing.
 func BenchmarkKernelInvoke(b *testing.B) {
-	sys, err := core.NewSystem(core.OnDemand)
-	if err != nil {
+	b.ReportAllocs()
+	if err := experiments.KernelInvokeBench(b.N, b.ResetTimer); err != nil {
 		b.Fatal(err)
-	}
-	comp, err := event.Register(sys)
-	if err != nil {
-		b.Fatal(err)
-	}
-	k := sys.Kernel()
-	var runErr error
-	if _, err := k.CreateThread(nil, "bench", 10, func(t *kernel.Thread) {
-		id, err := k.Invoke(t, comp, event.FnSplit, 1, 0, 0)
-		if err != nil {
-			runErr = err
-			return
-		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := k.Invoke(t, comp, event.FnTrigger, 1, id); err != nil {
-				runErr = err
-				return
-			}
-		}
-	}); err != nil {
-		b.Fatal(err)
-	}
-	if err := k.Run(); err != nil {
-		b.Fatal(err)
-	}
-	if runErr != nil {
-		b.Fatal(runErr)
 	}
 }

@@ -1,0 +1,40 @@
+// Command benchjson runs the benchmark trajectory — the bare invocation
+// primitive, the six Fig. 6(a) tracking micro-benchmarks across the three
+// stub bindings, and the Fig. 7 web-server variants — and writes the
+// measurements to a JSON file (default BENCH_superglue.json), so every
+// commit can leave a machine-readable perf trail:
+//
+//	go run ./cmd/benchjson [-o BENCH_superglue.json] [-short]
+//
+// or `make bench-json`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"superglue/internal/experiments"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_superglue.json", "output file")
+	short := flag.Bool("short", false, "trim workloads for a CI smoke run")
+	flag.Parse()
+
+	rep, err := experiments.WriteBenchJSON(*out, *short)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Results {
+		switch {
+		case r.NsPerOp > 0:
+			fmt.Printf("%-28s %12.1f ns/op %6d B/op %4d allocs/op\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		case r.Extra["req/s"] > 0:
+			fmt.Printf("%-28s %12.0f req/s\n", r.Name, r.Extra["req/s"])
+		}
+	}
+	fmt.Println("wrote", *out)
+}

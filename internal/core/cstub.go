@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"superglue/internal/kernel"
 	"superglue/internal/storage"
@@ -39,6 +40,21 @@ type StubMetrics struct {
 	StorageOps uint64
 }
 
+// stubCounters is the live, atomically updated form of StubMetrics, so
+// monitoring goroutines can snapshot a stub's counters (Metrics) while its
+// thread is mid-call without racing the hot path.
+type stubCounters struct {
+	invocations atomic.Uint64
+	trackOps    atomic.Uint64
+	recoveries  atomic.Uint64
+	walkSteps   atomic.Uint64
+	holdReplays atomic.Uint64
+	redos       atomic.Uint64
+	cascades    atomic.Uint64
+	upcalls     atomic.Uint64
+	storageOps  atomic.Uint64
+}
+
 // ClientStub is the client side of a SuperGlue interface: the generated (or
 // here, spec-interpreted) code of Fig. 4. Every invocation of the server
 // flows through Call, which tracks descriptor state on the way in and out
@@ -49,7 +65,16 @@ type ClientStub struct {
 	server  kernel.ComponentID
 	entry   *serverEntry
 	tracker *Tracker
-	metrics StubMetrics
+	metrics stubCounters
+	// ref is the lock-free handle to the server's (epoch, faulty) word:
+	// epoch reads on the hot path are one atomic load, no kernel lock.
+	ref kernel.CompRef
+	// pol is the cached effective recovery policy (system policy with the
+	// interface's RecoveryBudget override applied), rebuilt only when the
+	// system policy generation or the spec budget changes.
+	pol       RecoveryPolicy
+	polGen    uint64
+	polBudget int
 	// sargs is the reusable translated-argument buffer; valid because the
 	// simulator is single-core and stubs never retain it across calls.
 	sargs []kernel.Word
@@ -64,8 +89,21 @@ func (s *ClientStub) Client() *Client { return s.client }
 // Spec returns the interface specification.
 func (s *ClientStub) Spec() *Spec { return s.entry.spec }
 
-// Metrics returns a snapshot of the stub's counters.
-func (s *ClientStub) Metrics() StubMetrics { return s.metrics }
+// Metrics returns a snapshot of the stub's counters. Safe to call from any
+// goroutine, including while the stub's thread is mid-call.
+func (s *ClientStub) Metrics() StubMetrics {
+	return StubMetrics{
+		Invocations: s.metrics.invocations.Load(),
+		TrackOps:    s.metrics.trackOps.Load(),
+		Recoveries:  s.metrics.recoveries.Load(),
+		WalkSteps:   s.metrics.walkSteps.Load(),
+		HoldReplays: s.metrics.holdReplays.Load(),
+		Redos:       s.metrics.redos.Load(),
+		Cascades:    s.metrics.cascades.Load(),
+		Upcalls:     s.metrics.upcalls.Load(),
+		StorageOps:  s.metrics.storageOps.Load(),
+	}
+}
 
 // Tracked returns the number of live descriptors the stub tracks.
 func (s *ClientStub) Tracked() int { return len(s.tracker.Live()) }
@@ -77,13 +115,26 @@ func (s *ClientStub) Descriptor(key DescKey) (*Descriptor, bool) {
 
 // policy returns the stub's effective recovery policy: the system-wide
 // policy with the interface's RecoveryBudget override (if any) applied to
-// the plain-retry rung.
-func (s *ClientStub) policy() RecoveryPolicy {
+// the plain-retry rung. The result is cached; it is rebuilt only when
+// SetRecoveryPolicy bumps the system's policy generation or the spec's
+// budget changes, so the hot call path pays a compare instead of a struct
+// copy per invocation.
+func (s *ClientStub) policy() *RecoveryPolicy {
+	if s.polGen != s.sys.polGen || s.polBudget != s.entry.spec.RecoveryBudget {
+		s.rebuildPolicy()
+	}
+	return &s.pol
+}
+
+// rebuildPolicy recomputes the cached effective policy.
+func (s *ClientStub) rebuildPolicy() {
 	p := s.sys.policy
 	if b := s.entry.spec.RecoveryBudget; b > 0 {
 		p.MaxRetries = b
 	}
-	return p
+	s.pol = p
+	s.polGen = s.sys.polGen
+	s.polBudget = s.entry.spec.RecoveryBudget
 }
 
 // degrade maps a recovery failure bubbling out of descriptor recovery to
@@ -100,13 +151,10 @@ func (s *ClientStub) degrade(fn string, attempts int, err error) error {
 	return err
 }
 
-// epoch returns the server's current epoch.
+// epoch returns the server's current epoch: one atomic load through the
+// stub's component handle, no kernel-lock round-trip.
 func (s *ClientStub) epoch() uint64 {
-	e, err := s.sys.kern.Epoch(s.server)
-	if err != nil {
-		return 0
-	}
-	return e
+	return s.ref.Epoch()
 }
 
 // descKeyInfo extracts the descriptor key named by a call's arguments.
@@ -228,7 +276,7 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 			} else if spec.DescIsGlobal && !info.isCreate {
 				// Untracked global ID: resolve stale IDs through storage.
 				sargs[info.descIdx] = s.sys.store.Resolve(s.entry.class, sargs[info.descIdx])
-				s.metrics.StorageOps++
+				s.metrics.storageOps.Add(1)
 			}
 		}
 		var parent *Descriptor
@@ -247,7 +295,7 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 			}
 		}
 
-		s.metrics.Invocations++
+		s.metrics.invocations.Add(1)
 		ret, err := s.sys.kern.Invoke(t, s.server, fn, sargs...)
 		if err != nil {
 			flt, isFault := kernel.AsFault(err)
@@ -267,14 +315,14 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 				// may be re-corrupting itself from a dependency's state.
 				// Reboot its declared dependencies (leaves first) and force
 				// the server itself through a fresh µ-reboot.
-				s.metrics.Cascades++
+				s.metrics.cascades.Add(1)
 				if cerr := s.sys.cascadeReboot(t, s.server); cerr != nil {
 					return 0, fmt.Errorf("%w: %s: %v", ErrRecoveryFailed, spec.Service, cerr)
 				}
 			default:
 				return 0, pol.exhausted(spec.Service, fn, attempt, err)
 			}
-			s.metrics.Redos++
+			s.metrics.redos.Add(1)
 			continue
 		}
 		return s.track(t, info, d, parent, args, ret)
@@ -287,7 +335,7 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 func (s *ClientStub) track(t *kernel.Thread, info *fnInfo, d *Descriptor, parent *Descriptor, args []kernel.Word, ret kernel.Word) (kernel.Word, error) {
 	spec := s.entry.spec
 	fn := info.f.Name
-	s.metrics.TrackOps++
+	s.metrics.trackOps.Add(1)
 
 	if info.isCreate {
 		cur := s.epoch()
@@ -295,7 +343,7 @@ func (s *ClientStub) track(t *kernel.Thread, info *fnInfo, d *Descriptor, parent
 		if info.descIdx < 0 {
 			key = DescKey{ID: ret} // server-assigned identifier
 		}
-		nd := newDescriptor(key, fn, cur)
+		nd := newDescriptor(key, fn, cur, s.entry.dataHint, s.entry.fnHint)
 		if info.f.RetDescID {
 			nd.ServerID = ret
 		}
@@ -319,7 +367,7 @@ func (s *ClientStub) track(t *kernel.Thread, info *fnInfo, d *Descriptor, parent
 			if _, err := s.sys.kern.Invoke(t, s.sys.storeComp, storage.FnRecordCreator, gargs...); err != nil {
 				return ret, fmt.Errorf("core: recording creator of %v: %w", nd.Key, err)
 			}
-			s.metrics.StorageOps++
+			s.metrics.storageOps.Add(1)
 		}
 		return ret, nil
 	}
@@ -341,12 +389,26 @@ func (s *ClientStub) track(t *kernel.Thread, info *fnInfo, d *Descriptor, parent
 	case info.isTerminal:
 		return ret, s.closeDesc(t, d)
 	case info.isHold:
-		d.PerThread[t.ID()] = &threadTrack{HoldFn: fn, Args: copyWords(args), Epoch: cur}
+		// Reuse the thread's tracking entry across hold/release cycles
+		// (HoldFn == "" marks "holds nothing"), so the steady-state
+		// hold path allocates nothing.
+		tt := d.PerThread[t.ID()]
+		if tt == nil {
+			tt = &threadTrack{}
+			d.PerThread[t.ID()] = tt
+		}
+		tt.HoldFn = fn
+		tt.Args = append(tt.Args[:0], args...)
+		tt.Epoch = cur
 	case info.isRelease:
-		delete(d.PerThread, t.ID())
+		if tt := d.PerThread[t.ID()]; tt != nil {
+			tt.HoldFn = ""
+		}
 	case info.isBlocking || info.isWakeup:
 		// Blocked-and-woken is a per-thread reset; nothing outstanding.
-		delete(d.PerThread, t.ID())
+		if tt := d.PerThread[t.ID()]; tt != nil {
+			tt.HoldFn = ""
+		}
 		if info.isReset {
 			d.State = StateInitial
 		}
@@ -359,12 +421,6 @@ func (s *ClientStub) track(t *kernel.Thread, info *fnInfo, d *Descriptor, parent
 	}
 	d.Epoch = cur
 	return ret, nil
-}
-
-func copyWords(w []kernel.Word) []kernel.Word {
-	cp := make([]kernel.Word, len(w))
-	copy(cp, w)
-	return cp
 }
 
 // dataMeta extracts the desc_data argument values (creation metadata).
@@ -402,7 +458,7 @@ func (s *ClientStub) closeDesc(t *kernel.Thread, d *Descriptor) error {
 			kernel.Word(s.entry.class), d.ServerID); err != nil {
 			return fmt.Errorf("core: removing creator record of %v: %w", d.Key, err)
 		}
-		s.metrics.StorageOps++
+		s.metrics.storageOps.Add(1)
 	}
 	d.State = StateClosed
 	if spec.DescCloseChildren || spec.DescCloseRemove || spec.DescHasParent == ParentSolo {

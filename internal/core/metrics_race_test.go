@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+	"superglue/internal/services/lock"
+)
+
+// TestMetricsSnapshotDuringCampaign stresses the atomic stub counters and
+// the lock-free kernel read surface from monitor goroutines while a
+// simulated thread runs a fault/recover workload — the monitoring pattern a
+// C'MON-style observer would use. Run under -race, the interleavings are
+// the assertion; the counter checks at the end are sanity only.
+func TestMetricsSnapshotDuringCampaign(t *testing.T) {
+	const iters = 1500
+
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockComp, err := lock.Register(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.NewClient("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	locks, err := lock.NewClient(app, lockComp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern := sys.Kernel()
+
+	if _, err := kern.CreateThread(nil, "driver", 10, func(th *kernel.Thread) {
+		id, err := locks.Alloc(th)
+		if err != nil {
+			t.Errorf("Alloc: %v", err)
+			return
+		}
+		for i := 0; i < iters; i++ {
+			if i%100 == 50 {
+				if err := kern.FailComponent(lockComp); err != nil {
+					t.Errorf("FailComponent: %v", err)
+					return
+				}
+			}
+			if err := locks.Take(th, id); err != nil {
+				t.Errorf("iter %d: Take: %v", i, err)
+				return
+			}
+			if err := locks.Release(th, id); err != nil {
+				t.Errorf("iter %d: Release: %v", i, err)
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sink uint64
+			for !stop.Load() {
+				m := locks.Stub().Metrics()
+				sink += m.Invocations + m.TrackOps + m.Redos + m.Recoveries
+				if e, err := kern.Epoch(lockComp); err == nil {
+					sink += e
+				}
+				if kern.Faulty(lockComp) {
+					sink++
+				}
+				sink += kern.InvocationCount()
+			}
+			_ = sink
+		}()
+	}
+
+	err = kern.Run()
+	stop.Store(true)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	m := locks.Stub().Metrics()
+	// Alloc + iters×(Take+Release), plus the redos from the injected faults.
+	if want := uint64(1 + 2*iters); m.Invocations < want {
+		t.Errorf("Invocations = %d, want >= %d", m.Invocations, want)
+	}
+	if m.Redos == 0 || m.Recoveries == 0 {
+		t.Errorf("Redos = %d, Recoveries = %d; want both > 0 after injected faults", m.Redos, m.Recoveries)
+	}
+}

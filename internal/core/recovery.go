@@ -23,7 +23,7 @@ func (s *ClientStub) recoverDesc(t *kernel.Thread, d *Descriptor) error {
 		return nil
 	}
 	spec := s.entry.spec
-	s.metrics.Recoveries++
+	s.metrics.recoveries.Add(1)
 
 	// The walk is a non-preemptible critical section: another thread must
 	// never observe (and re-recover) a half-recovered descriptor.
@@ -47,7 +47,7 @@ func (s *ClientStub) recoverDesc(t *kernel.Thread, d *Descriptor) error {
 		} else {
 			// U0: the parent is tracked by another client component;
 			// recover it with an upcall into that client.
-			s.metrics.Upcalls++
+			s.metrics.upcalls.Add(1)
 			if _, err := s.sys.kern.Upcall(t, ps.client.comp, FnRecover,
 				kernel.Word(ps.server), d.Parent.Key.NS, d.Parent.Key.ID); err != nil {
 				return fmt.Errorf("core: upcall recovering parent %v: %w", d.Parent.Key, err)
@@ -96,7 +96,7 @@ func (s *ClientStub) recoverDesc(t *kernel.Thread, d *Descriptor) error {
 	// announced with an upcall so that component can revalidate, without
 	// its threads participating in the recovery (§II-D).
 	if spec.DescHasParent == ParentXC && d.Key.NS != 0 && d.Key.NS != kernel.Word(s.client.comp) {
-		s.metrics.Upcalls++
+		s.metrics.upcalls.Add(1)
 		if _, err := s.sys.kern.Upcall(t, kernel.ComponentID(d.Key.NS), FnRebuilt,
 			kernel.Word(s.server), d.Key.NS, d.Key.ID); err != nil &&
 			!errors.Is(err, kernel.ErrNoSuchFunction) && !errors.Is(err, kernel.ErrNoSuchComponent) {
@@ -111,7 +111,7 @@ func (s *ClientStub) recoverDesc(t *kernel.Thread, d *Descriptor) error {
 			kernel.Word(s.entry.class), oldSID, d.ServerID); err != nil {
 			return fmt.Errorf("core: remapping %v: %w", d.Key, err)
 		}
-		s.metrics.StorageOps++
+		s.metrics.storageOps.Add(1)
 	}
 	d.Epoch = s.epoch()
 	return nil
@@ -131,7 +131,7 @@ func (s *ClientStub) replayWalk(t *kernel.Thread, d *Descriptor, walk []string) 
 		if err != nil {
 			return err
 		}
-		s.metrics.WalkSteps++
+		s.metrics.walkSteps.Add(1)
 		if spec.IsCreation(wfn) && wf.RetDescID {
 			d.ServerID = ret
 		}
@@ -208,7 +208,7 @@ func (s *ClientStub) replayHolds(t *kernel.Thread, d *Descriptor) error {
 		if di := f.DescIdx(); di >= 0 && di < len(args) {
 			args[di] = d.ServerID
 		}
-		s.metrics.HoldReplays++
+		s.metrics.holdReplays.Add(1)
 		if _, err := s.sys.kern.Invoke(t, s.server, tt.HoldFn, args...); err != nil {
 			// Multi-%w so a *Fault stays detectable: recoverDesc's retry
 			// loop re-reboots and replays when the server fails mid-replay.

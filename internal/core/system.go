@@ -101,6 +101,11 @@ type serverEntry struct {
 	comp  kernel.ComponentID
 	stubs []*ClientStub
 	fns   map[string]*fnInfo
+	// dataHint / fnHint pre-size new descriptors' Data and LastArgs maps:
+	// the number of distinct desc_data parameter names and of interface
+	// functions in the spec.
+	dataHint int
+	fnHint   int
 }
 
 // compileFns builds the per-function dispatch records.
@@ -142,8 +147,11 @@ type System struct {
 	cm        *cbuf.Manager
 	store     *storage.Store
 	storeComp kernel.ComponentID
-	mode      RecoveryMode
-	policy    RecoveryPolicy
+	mode   RecoveryMode
+	policy RecoveryPolicy
+	// polGen is bumped by SetRecoveryPolicy; stubs cache their effective
+	// policy and rebuild it when their generation falls behind.
+	polGen    uint64
 	servers   map[kernel.ComponentID]*serverEntry
 	byName    map[string]*serverEntry
 	nextClass storage.Class
@@ -210,6 +218,7 @@ func (s *System) Policy() RecoveryPolicy { return s.policy }
 // the simulator is single-core, so there is no racing stub call.
 func (s *System) SetRecoveryPolicy(p RecoveryPolicy) {
 	s.policy = p.normalized()
+	s.polGen++ // invalidate every stub's cached effective policy
 }
 
 // DeclareDependency records that server `from` depends on server `to`: a
@@ -290,6 +299,16 @@ func (s *System) RegisterServer(spec *Spec, factory func() kernel.Service) (kern
 	}
 	s.nextClass++
 	entry := &serverEntry{spec: spec, sm: sm, class: s.nextClass, fns: compileFns(spec)}
+	entry.fnHint = len(spec.Funcs)
+	dataNames := make(map[string]struct{})
+	for _, f := range spec.Funcs {
+		for _, p := range f.Params {
+			if p.Role == RoleDescData {
+				dataNames[p.Name] = struct{}{}
+			}
+		}
+	}
+	entry.dataHint = len(dataNames)
 	comp, err := s.kern.Register(func() kernel.Service {
 		return newServerStub(s, entry, factory())
 	})
@@ -416,13 +435,19 @@ func (c *Client) Stub(server kernel.ComponentID) (*ClientStub, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: component %d is not a registered SuperGlue server", server)
 	}
+	ref, err := c.sys.kern.Ref(server)
+	if err != nil {
+		return nil, err
+	}
 	st := &ClientStub{
 		sys:     c.sys,
 		client:  c,
 		server:  server,
 		entry:   entry,
 		tracker: newTracker(entry.spec),
+		ref:     ref,
 	}
+	st.rebuildPolicy()
 	c.stubs[server] = st
 	entry.stubs = append(entry.stubs, st)
 	return st, nil

@@ -74,15 +74,18 @@ type Descriptor struct {
 	Closed bool
 }
 
-// newDescriptor builds a fresh tracking structure.
-func newDescriptor(key DescKey, createdBy string, epoch uint64) *Descriptor {
+// newDescriptor builds a fresh tracking structure. dataHint and fnHint
+// pre-size the Data and LastArgs maps from the interface specification
+// (number of distinct desc_data names and of interface functions), so the
+// maps never rehash during tracking.
+func newDescriptor(key DescKey, createdBy string, epoch uint64, dataHint, fnHint int) *Descriptor {
 	return &Descriptor{
 		Key:       key,
 		ServerID:  key.ID,
 		State:     StateInitial,
 		CreatedBy: createdBy,
-		Data:      make(map[string]kernel.Word),
-		LastArgs:  make(map[string][]kernel.Word),
+		Data:      make(map[string]kernel.Word, dataHint),
+		LastArgs:  make(map[string][]kernel.Word, fnHint),
 		PerThread: make(map[kernel.ThreadID]*threadTrack),
 		Epoch:     epoch,
 	}

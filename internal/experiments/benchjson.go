@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"superglue/internal/core"
+	"superglue/internal/kernel"
+	"superglue/internal/services/event"
+	"superglue/internal/webserver"
+)
+
+// This file is the benchmark-trajectory harness: it runs the headline
+// benchmarks (the bare invocation primitive, the six Fig. 6(a) tracking
+// benchmarks, and the Fig. 7 web-server variants) through testing.Benchmark
+// and serializes the measurements to BENCH_superglue.json, so successive
+// commits leave a machine-readable perf trail (`make bench-json`).
+
+// BenchResult is one benchmark measurement.
+type BenchResult struct {
+	// Name is the benchmark identifier, testing-style
+	// (e.g. "KernelInvoke", "TrackingLock/superglue").
+	Name string `json:"name"`
+	// Iterations is the iteration count the harness settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp / BytesPerOp are the steady-state heap cost per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Extra carries benchmark-specific metrics (e.g. "req/s").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// BenchReport is the top-level schema of BENCH_superglue.json.
+type BenchReport struct {
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Timestamp string        `json:"timestamp"`
+	Short     bool          `json:"short"`
+	Results   []BenchResult `json:"results"`
+}
+
+// KernelInvokeBench builds the minimal system of the bare-invocation
+// benchmark (one event component) and performs n invocations of the
+// trigger function on a simulated thread. start, if non-nil, runs right
+// before the timed loop (pass b.ResetTimer so setup cost is excluded).
+// The argument slice is hoisted out of the loop, so the steady-state
+// invocation allocates nothing.
+func KernelInvokeBench(n int, start func()) error {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		return err
+	}
+	comp, err := event.Register(sys)
+	if err != nil {
+		return err
+	}
+	k := sys.Kernel()
+	var runErr error
+	if _, err := k.CreateThread(nil, "bench", 10, func(t *kernel.Thread) {
+		id, err := k.Invoke(t, comp, event.FnSplit, 1, 0, 0)
+		if err != nil {
+			runErr = err
+			return
+		}
+		args := []kernel.Word{1, id}
+		if start != nil {
+			start()
+		}
+		for i := 0; i < n; i++ {
+			if _, err := k.Invoke(t, comp, event.FnTrigger, args...); err != nil {
+				runErr = err
+				return
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	if err := k.Run(); err != nil {
+		return err
+	}
+	return runErr
+}
+
+// trackingServices are the six Fig. 6(a) services, with the display names
+// the testing benchmarks use (BenchmarkTracking<Display>).
+var trackingServices = []struct {
+	service string
+	display string
+}{
+	{"sched", "Sched"},
+	{"mm", "MM"},
+	{"ramfs", "FS"},
+	{"lock", "Lock"},
+	{"event", "Event"},
+	{"timer", "Timer"},
+}
+
+// benchToResult converts a testing.BenchmarkResult.
+func benchToResult(name string, r testing.BenchmarkResult) BenchResult {
+	out := BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		out.Extra = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			out.Extra[k] = v
+		}
+	}
+	return out
+}
+
+// RunBenchJSON runs the benchmark trajectory and returns the report.
+// short trims the web-server request counts for CI smoke runs.
+func RunBenchJSON(short bool) (*BenchReport, error) {
+	rep := &BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Short:     short,
+	}
+	var failed error
+	bench := func(name string, fn func(b *testing.B)) {
+		if failed != nil {
+			return
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		rep.Results = append(rep.Results, benchToResult(name, r))
+	}
+
+	bench("KernelInvoke", func(b *testing.B) {
+		if err := KernelInvokeBench(b.N, b.ResetTimer); err != nil {
+			failed = fmt.Errorf("KernelInvoke: %w", err)
+			b.SkipNow()
+		}
+	})
+
+	kinds := []struct {
+		name string
+		kind StubKind
+	}{{"base", KindBase}, {"c3", KindC3}, {"superglue", KindSuperGlue}}
+	for _, ts := range trackingServices {
+		for _, k := range kinds {
+			ts, k := ts, k
+			name := fmt.Sprintf("Tracking%s/%s", ts.display, k.name)
+			bench(name, func(b *testing.B) {
+				if err := RunMicrobench(ts.service, k.kind, b.N); err != nil {
+					failed = fmt.Errorf("%s: %w", name, err)
+					b.SkipNow()
+				}
+			})
+		}
+	}
+
+	requests := 20000
+	if short {
+		requests = 2000
+	}
+	webVariants := []struct {
+		name       string
+		variant    webserver.Variant
+		faultEvery int
+	}{
+		{"baseline", webserver.VariantBaseline, 0},
+		{"composite", webserver.VariantComposite, 0},
+		{"c3", webserver.VariantC3, 0},
+		{"superglue", webserver.VariantSuperGlue, 0},
+		{"superglue-faults", webserver.VariantSuperGlue, requests/4 + 1},
+	}
+	for _, wv := range webVariants {
+		if failed != nil {
+			break
+		}
+		st, err := webserver.Run(webserver.Config{
+			Variant:    wv.variant,
+			Requests:   requests,
+			Workers:    2,
+			FaultEvery: wv.faultEvery,
+		})
+		if err != nil {
+			failed = fmt.Errorf("WebServer/%s: %w", wv.name, err)
+			break
+		}
+		if st.Errors > 0 {
+			failed = fmt.Errorf("WebServer/%s: %d request errors", wv.name, st.Errors)
+			break
+		}
+		rep.Results = append(rep.Results, BenchResult{
+			Name:       "WebServer/" + wv.name,
+			Iterations: requests,
+			Extra:      map[string]float64{"req/s": st.Throughput},
+		})
+	}
+	if failed != nil {
+		return nil, failed
+	}
+	return rep, nil
+}
+
+// WriteBenchJSON runs the trajectory and writes the report to path.
+func WriteBenchJSON(path string, short bool) (*BenchReport, error) {
+	rep, err := RunBenchJSON(short)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -47,10 +47,14 @@ func (k *Kernel) Run() error {
 }
 
 // enqueueLocked appends t to the ready queue, stamping its FIFO sequence.
+// The readySeq bump publishes the insert to the invocation fast path, which
+// skips its boundary preemption check (and the lock) when no insert
+// happened during the invocation.
 func (k *Kernel) enqueueLocked(t *Thread) {
 	k.seq++
 	t.seq = k.seq
 	k.ready = append(k.ready, t)
+	k.readySeq.Add(1)
 }
 
 // IdleHandler is invoked, outside the kernel lock, when live threads exist
@@ -116,7 +120,7 @@ func (k *Kernel) pickReadyLocked() *Thread {
 // the call) and reports whether scheduling should retry.
 func (k *Kernel) runIdleLocked() bool {
 	h := k.idle
-	if h == nil || k.halted {
+	if h == nil || k.halted.Load() {
 		return false
 	}
 	live := 0
@@ -131,7 +135,7 @@ func (k *Kernel) runIdleLocked() bool {
 	k.mu.Unlock()
 	again := h()
 	k.mu.Lock()
-	return again && !k.halted
+	return again && !k.halted.Load()
 }
 
 // takeBestLocked removes and returns the highest-priority thread from the
@@ -183,7 +187,7 @@ func (k *Kernel) switchFromLocked(cur *Thread) {
 	} else {
 		k.current = nil
 		k.noRunnableLocked()
-		if k.halted {
+		if k.halted.Load() {
 			// parkLocked will observe the kill signal sent by haltLocked.
 			if !cur.killed {
 				// cur was running, so haltLocked did not signal it; unwind.
@@ -254,10 +258,10 @@ func (k *Kernel) noRunnableLocked() {
 // parked thread with the kill flag so its goroutine unwinds, and releases
 // Run. Idempotent.
 func (k *Kernel) haltLocked(err error) {
-	if k.halted {
+	if k.halted.Load() {
 		return
 	}
-	k.halted = true
+	k.halted.Store(true)
 	k.haltErr = err
 	for _, t := range k.threads {
 		if t.state == ThreadExited || t == k.current {
@@ -272,11 +276,9 @@ func (k *Kernel) haltLocked(err error) {
 	close(k.done)
 }
 
-// Halted reports whether the machine has stopped.
+// Halted reports whether the machine has stopped (one atomic load).
 func (k *Kernel) Halted() bool {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.halted
+	return k.halted.Load()
 }
 
 // CrashSystem records an unrecoverable whole-system failure (the campaign's
@@ -308,7 +310,7 @@ func (k *Kernel) CrashSystem(t *Thread, comp ComponentID, reason string) {
 // component fault. Hangs outside any component remain terminal.
 func (k *Kernel) HangCurrent(t *Thread) {
 	k.mu.Lock()
-	if k.halted || t != k.current {
+	if k.halted.Load() || t != k.current {
 		k.mu.Unlock()
 		panic(threadKilled{})
 	}
@@ -323,7 +325,7 @@ func (k *Kernel) HangCurrent(t *Thread) {
 	k.switchFromLocked(t)
 	// Only a kill can resume a hung thread; Wakeup may still find it
 	// blocked, so if resumed, hang again.
-	for !k.halted {
+	for !k.halted.Load() {
 		t.state = ThreadBlocked
 		k.switchFromLocked(t)
 	}

@@ -42,23 +42,24 @@ func AsFault(err error) (*Fault, bool) {
 func (k *Kernel) FailComponent(id ComponentID) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	c, err := k.compLocked(id)
+	c, err := k.lookup(id)
 	if err != nil {
 		return err
 	}
-	c.faulty = true
+	epoch, _ := c.snapshot()
+	c.state.Store(packState(epoch, true))
 	return nil
 }
 
-// Faulty reports whether a component is currently in the failed state.
+// Faulty reports whether a component is currently in the failed state. It is
+// a single atomic load — safe from any goroutine, no kernel lock.
 func (k *Kernel) Faulty(id ComponentID) bool {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	c, err := k.compLocked(id)
-	if err != nil {
+	c := k.comp(id)
+	if c == nil {
 		return false
 	}
-	return c.faulty
+	_, faulty := c.snapshot()
+	return faulty
 }
 
 // Reboot µ-reboots a component: it discards the failed instance, constructs
@@ -82,26 +83,28 @@ func (k *Kernel) Reboot(t *Thread, id ComponentID) (uint64, error) {
 // check and reboot twice.)
 func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch bool) (uint64, error) {
 	k.mu.Lock()
-	if k.halted {
+	if k.halted.Load() {
 		k.mu.Unlock()
 		return 0, ErrHalted
 	}
-	c, err := k.compLocked(id)
+	c, err := k.lookup(id)
 	if err != nil {
 		k.mu.Unlock()
 		return 0, err
 	}
-	if mustMatch && c.epoch != expectEpoch {
-		cur := c.epoch // someone already rebooted it
+	oldEpoch, _ := c.snapshot()
+	if mustMatch && oldEpoch != expectEpoch {
 		k.mu.Unlock()
-		return cur, nil
+		return oldEpoch, nil // someone already rebooted it
 	}
-	oldEpoch := c.epoch
-	c.epoch++
-	c.faulty = false
-	c.svc = c.factory()
-	newEpoch := c.epoch
-	svc := c.svc
+	newEpoch := oldEpoch + 1
+	svc := c.factory()
+	// Publish the fresh instance before the new state word: a lock-free
+	// reader that observes the bumped epoch then observes the new instance.
+	// (A reader that loads the old state with the new instance just faults
+	// on the post-dispatch epoch check, which is the required semantics.)
+	c.svc.Store(&svcBox{svc: svc})
+	c.state.Store(packState(newEpoch, false))
 
 	// Eager (T0) wakeup: divert threads blocked inside the failed instance
 	// back to their clients with a pending fault carrying the old epoch.
@@ -146,7 +149,7 @@ func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch
 	// The eagerly woken threads may outrank the rebooting thread.
 	if t != nil {
 		k.mu.Lock()
-		if t == k.current && !k.halted {
+		if t == k.current && !k.halted.Load() {
 			k.preemptLocked(t)
 		}
 		k.mu.Unlock()

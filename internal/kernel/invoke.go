@@ -16,32 +16,44 @@ import "fmt"
 // The PhaseExit hook observes the return window: the return value is staged
 // in the modeled EAX register across the hook, so a register flip there
 // reaches the client, modeling fault propagation through return values.
+//
+// The fault-free path is lock-free: the halted flag, current-thread check,
+// component (epoch, faulty) snapshot, service instance, and hook are all
+// single atomic loads, and the invocation stack is mutated only by its
+// owning thread. k.mu is taken only at the invocation boundary when a
+// wakeup was enqueued during the invocation (deferred preemption), and on
+// the fault/redo slow paths. See DESIGN.md "Invocation fast path".
 func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Word, error) {
-	k.mu.Lock()
-	if k.halted {
-		k.mu.Unlock()
+	if k.halted.Load() {
 		return 0, ErrHalted
 	}
+	// k.current is written by the dispatcher before it signals the thread's
+	// resume channel, so the running thread's read here is ordered after the
+	// write (channel happens-before); no other writer runs while t does.
 	if t != k.current {
-		k.mu.Unlock()
 		return 0, ErrNotCurrent
 	}
-	c, err := k.compLocked(dst)
-	if err != nil {
-		k.mu.Unlock()
-		return 0, err
+	c := k.comp(dst)
+	if c == nil {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchComponent, dst)
 	}
-	if c.faulty {
-		f := &Fault{Comp: dst, Epoch: c.epoch}
-		k.mu.Unlock()
-		return 0, f
+	epoch, faulty := c.snapshot()
+	if faulty {
+		return 0, &Fault{Comp: dst, Epoch: epoch}
 	}
-	svc := c.svc
-	epoch := c.epoch
-	hook := k.hook
+	svc := c.service()
+	hook := k.invokeHook()
+	// Snapshot the ready-queue insert counter: if it is unchanged at the
+	// invocation boundary, no wakeup happened and the deferred-preemption
+	// check (the one remaining k.mu acquisition) can be skipped.
+	readySeq := k.readySeq.Load()
+
+	// Owner-only push: in this cooperative single-core kernel only the
+	// running thread mutates its own invocation stack. The atomic curComp
+	// mirror is what cross-thread readers (ReflectThreads, Executing) see.
 	t.invStack = append(t.invStack, dst)
 	t.fnStack = append(t.fnStack, fn)
-	k.mu.Unlock()
+	t.curComp.Store(int32(dst))
 
 	popped := false
 	pop := func() {
@@ -49,25 +61,32 @@ func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Wo
 			return
 		}
 		popped = true
-		k.mu.Lock()
 		if n := len(t.invStack); n > 0 && t.invStack[n-1] == dst {
 			t.invStack = t.invStack[:n-1]
 			t.fnStack = t.fnStack[:n-1]
 		}
-		k.invCount++
+		t.publishTop()
+		k.invCount.Add(1)
 		// Deferred preemption: wakeups performed during the invocation take
-		// effect at the invocation boundary.
-		if len(t.invStack) == 0 && t == k.current && !k.halted {
-			k.preemptLocked(t)
+		// effect at the invocation boundary. If no ready-queue insert
+		// happened since entry, no higher-priority thread can have become
+		// runnable (any thread runnable at entry would already have
+		// preempted us at an earlier boundary), so the check is skipped
+		// without taking the lock.
+		if len(t.invStack) == 0 && k.readySeq.Load() != readySeq {
+			k.mu.Lock()
+			if t == k.current && !k.halted.Load() {
+				k.preemptLocked(t)
+			}
+			k.mu.Unlock()
 		}
-		k.mu.Unlock()
 	}
 	defer pop()
 
 	if hook != nil {
 		hook(t, dst, fn, PhaseEntry)
 		// A hang caught by the watchdog unwinds like a fail-stop fault.
-		if f := k.takeWatchdogFault(t); f != nil {
+		if f := t.takeWatchdogFault(); f != nil {
 			return 0, f
 		}
 		// Fail-stop: a fault activated at entry aborts the invocation
@@ -94,66 +113,70 @@ func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Wo
 		// client: when the watchdog catches it, the invocation unwinds
 		// with the fault (and the rebuilt server replays the operation on
 		// the redo) instead of delivering a result that was never returned.
-		if f := k.takeWatchdogFault(t); f != nil {
+		if f := t.takeWatchdogFault(); f != nil {
 			return 0, f
 		}
 		ret = Word(int32(t.regs.Val[RegEAX]))
 	}
 	// The retried invocation completed: drop any unconsumed redo credit so
-	// it cannot surface later as a spurious wakeup.
-	k.mu.Lock()
+	// it cannot surface later as a spurious wakeup. redoCredit is latched
+	// only while t is parked (under k.mu, ordered before t resumed), so the
+	// owner's unlocked read is safe; the clear takes the lock because
+	// wakePending can be set concurrently by ExternalWakeup.
 	if t.redoCredit && t.creditFn == fn {
-		t.redoCredit = false
-		t.creditFn = ""
-		t.wakePending = false
+		k.mu.Lock()
+		if t.redoCredit && t.creditFn == fn {
+			t.redoCredit = false
+			t.creditFn = ""
+			t.wakePending = false
+		}
+		k.mu.Unlock()
 	}
-	k.mu.Unlock()
 	return ret, nil
 }
 
 // Upcall invokes fn in component dst on behalf of t, exactly like Invoke but
-// named for the reverse direction: recovery infrastructure calling *into* a
-// client component (mechanism U0) rather than a client calling a server.
+// in the reverse direction: recovery infrastructure calling *into* a client
+// component (mechanism U0) rather than a client calling a server. Upcalls
+// are counted separately (UpcallCount) so recovery-cost accounting never
+// conflates the two directions.
 func (k *Kernel) Upcall(t *Thread, dst ComponentID, fn string, args ...Word) (Word, error) {
+	k.upcallCount.Add(1)
 	return k.Invoke(t, dst, fn, args...)
 }
 
 // faultIf returns the pending fault for comp if its failed flag was raised
 // (or it was already rebooted past epoch) while the caller executed inside.
+// Lock-free: one atomic snapshot.
 func (k *Kernel) faultIf(comp ComponentID, epoch uint64) (*Fault, bool) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	c, err := k.compLocked(comp)
-	if err != nil {
+	c := k.comp(comp)
+	if c == nil {
 		return nil, false
 	}
-	if c.faulty {
-		return &Fault{Comp: comp, Epoch: c.epoch}, true
+	cur, faulty := c.snapshot()
+	if faulty {
+		return &Fault{Comp: comp, Epoch: cur}, true
 	}
-	if c.epoch != epoch {
+	if cur != epoch {
 		return &Fault{Comp: comp, Epoch: epoch}, true
 	}
 	return nil, false
 }
 
-// Executing reports the component at depth i of thread t's invocation stack;
+// Executing reports the innermost component of thread t's invocation stack;
 // it exists for services that need their caller's identity (COMPOSITE passes
-// the client's component ID, or "spdid", on invocations).
+// the client's component ID, or "spdid", on invocations). It reads the
+// thread's atomically published stack top, so it is safe from any goroutine.
 func (k *Kernel) Executing(t *Thread) ComponentID {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if n := len(t.invStack); n > 0 {
-		return t.invStack[n-1]
-	}
-	return 0
+	return ComponentID(t.curComp.Load())
 }
 
 // Caller returns the component that invoked the current one on thread t: the
 // second-innermost entry of the invocation stack, or zero for application
-// ("home") code.
+// ("home") code. It reads the stack directly and must only be called from
+// the thread itself (services resolving their invoker) or while the thread
+// is quiescent.
 func (k *Kernel) Caller(t *Thread) ComponentID {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	if n := len(t.invStack); n > 1 {
 		return t.invStack[n-2]
 	}

@@ -23,6 +23,12 @@
 // priority) with FIFO ordering among equals, and wakeups of higher-priority
 // threads preempt the running thread. All scheduling decisions are
 // deterministic, which makes fault-injection campaigns reproducible.
+//
+// The fault-free invocation path is near-lock-free: each component's
+// (epoch, faulty) pair is packed into one atomic word, the live service
+// instance is an atomic pointer, and the invocation stack is owned by its
+// thread — see DESIGN.md "Invocation fast path" for the layout and the
+// determinism argument.
 package kernel
 
 import (
@@ -30,6 +36,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Word is the machine word used for invocation arguments and return values.
@@ -87,19 +94,60 @@ type BootContext struct {
 	Thread *Thread
 }
 
+// compFaulty is the failed-state flag bit of a component's packed state
+// word; the epoch occupies the remaining 63 bits (state >> 1).
+const compFaulty = 1
+
+// packState packs a component's (epoch, faulty) pair into one word for a
+// single-load snapshot on the invocation fast path.
+func packState(epoch uint64, faulty bool) uint64 {
+	s := epoch << 1
+	if faulty {
+		s |= compFaulty
+	}
+	return s
+}
+
+// svcBox wraps a Service for atomic publication (atomic.Pointer needs a
+// concrete pointer type; the interface value lives behind it).
+type svcBox struct{ svc Service }
+
 // component is the kernel-side representation of a protection domain.
+//
+// The (epoch, faulty) pair every invocation consults is packed into the
+// atomic state word, and the live service instance sits behind an atomic
+// pointer, so the fault-free invocation path reads both without taking
+// k.mu. Both are written only with k.mu held (FailComponent, µ-reboot,
+// watchdog), so writers never race each other; a µ-reboot stores the fresh
+// instance before bumping the state word, so any reader that observes the
+// new epoch also observes the new instance.
 type component struct {
 	id      ComponentID
 	name    string
-	svc     Service
 	factory func() Service
-	epoch   uint64
-	faulty  bool
 	profile RegProfile
 	// budget is the per-component watchdog invocation budget override
 	// (0 = the watchdog config default). See SetInvokeBudget.
 	budget Time
+
+	// state packs (epoch << 1) | faulty — see packState.
+	state atomic.Uint64
+	// svc is the live service instance (see the struct comment for the
+	// store/load ordering against state).
+	svc atomic.Pointer[svcBox]
 }
+
+// snapshot returns a consistent (epoch, faulty) view from one atomic load.
+func (c *component) snapshot() (epoch uint64, faulty bool) {
+	s := c.state.Load()
+	return s >> 1, s&compFaulty != 0
+}
+
+// curEpoch returns the component's current epoch.
+func (c *component) curEpoch() uint64 { return c.state.Load() >> 1 }
+
+// service returns the live service instance.
+func (c *component) service() Service { return c.svc.Load().svc }
 
 // ErrNoSuchComponent is returned for invocations that target an unknown
 // component ID.
@@ -123,20 +171,21 @@ var ErrInvalidDescriptor = errors.New("kernel: invalid descriptor (EINVAL)")
 type Kernel struct {
 	mu sync.Mutex
 
-	comps   []*component // index = ComponentID-1
-	threads []*Thread    // index = ThreadID-1
-	ready   []*Thread    // FIFO arrival order; selection scans for min prio
-	current *Thread
-	clock   Time
-	seq     uint64 // arrival sequence counter for FIFO tie-breaking
+	comps     []*component                 // append under mu; index = ComponentID-1
+	compsView atomic.Pointer[[]*component] // published copy for lock-free lookup
+	threads   []*Thread                    // index = ThreadID-1
+	ready     []*Thread                    // FIFO arrival order; selection scans for min prio
+	current   *Thread
+	clock     Time
+	seq       uint64 // arrival sequence counter for FIFO tie-breaking
 
 	started bool
-	halted  bool
+	halted  atomic.Bool // written under mu; read lock-free on the fast path
 	hung    bool
 	haltErr error
 	done    chan struct{}
 
-	hook        InvokeHook
+	hook        atomic.Pointer[InvokeHook]
 	rebootHooks []RebootHook
 	idle        IdleHandler
 	crash       *SystemCrash
@@ -148,8 +197,16 @@ type Kernel struct {
 	wdMax     int
 	wdStats   WatchdogStats
 
-	// invCount counts completed component invocations (observability).
-	invCount uint64
+	// invCount counts completed component invocations (observability);
+	// upcallCount counts the subset initiated through Upcall, kept distinct
+	// so recovery-cost accounting never conflates the two directions.
+	invCount    atomic.Uint64
+	upcallCount atomic.Uint64
+
+	// readySeq counts ready-queue inserts. The invocation fast path
+	// snapshots it at entry and only takes k.mu for the deferred-preemption
+	// check at the invocation boundary when a wakeup happened in between.
+	readySeq atomic.Uint64
 }
 
 // Time is simulated time in microseconds.
@@ -193,8 +250,12 @@ func (k *Kernel) Register(factory func() Service) (ComponentID, error) {
 
 	k.mu.Lock()
 	id := ComponentID(len(k.comps) + 1)
-	c := &component{id: id, name: svc.Name(), svc: svc, factory: factory, profile: DefaultRegProfile()}
+	c := &component{id: id, name: svc.Name(), factory: factory, profile: DefaultRegProfile()}
+	c.svc.Store(&svcBox{svc: svc})
 	k.comps = append(k.comps, c)
+	view := make([]*component, len(k.comps))
+	copy(view, k.comps)
+	k.compsView.Store(&view)
 	k.mu.Unlock()
 
 	if err := svc.Init(&BootContext{Kernel: k, Self: id, Epoch: 0}); err != nil {
@@ -220,7 +281,7 @@ func (k *Kernel) MustRegister(factory func() Service) ComponentID {
 func (k *Kernel) SetRegProfile(comp ComponentID, p RegProfile) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	c, err := k.compLocked(comp)
+	c, err := k.lookup(comp)
 	if err != nil {
 		return err
 	}
@@ -230,9 +291,19 @@ func (k *Kernel) SetRegProfile(comp ComponentID, p RegProfile) error {
 
 // SetInvokeHook installs the invocation observer (nil clears it).
 func (k *Kernel) SetInvokeHook(h InvokeHook) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.hook = h
+	if h == nil {
+		k.hook.Store(nil)
+		return
+	}
+	k.hook.Store(&h)
+}
+
+// invokeHook returns the installed invocation observer, if any.
+func (k *Kernel) invokeHook() InvokeHook {
+	if p := k.hook.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // AddRebootHook appends a hook that runs after every µ-reboot.
@@ -244,37 +315,64 @@ func (k *Kernel) AddRebootHook(h RebootHook) {
 
 // ComponentName resolves a component's name, or "?" if unknown.
 func (k *Kernel) ComponentName(id ComponentID) string {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	c, err := k.compLocked(id)
-	if err != nil {
+	c := k.comp(id)
+	if c == nil {
 		return "?"
 	}
 	return c.name
 }
 
-// Epoch returns the current epoch of a component.
+// Epoch returns the current epoch of a component. It is a single atomic
+// load — safe from any goroutine, no kernel lock.
 func (k *Kernel) Epoch(id ComponentID) (uint64, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	c, err := k.compLocked(id)
+	c, err := k.lookup(id)
 	if err != nil {
 		return 0, err
 	}
-	return c.epoch, nil
+	return c.curEpoch(), nil
 }
+
+// CompRef is a lock-free handle to one component's fault/epoch state:
+// client stubs resolve it once at construction and then read the packed
+// (epoch, faulty) snapshot with a single atomic load per invocation instead
+// of a kernel-lock round-trip.
+type CompRef struct{ c *component }
+
+// Ref resolves a component to a CompRef. The handle stays valid for the
+// kernel's lifetime (components are never deregistered; µ-reboots replace
+// the instance behind the same handle).
+func (k *Kernel) Ref(id ComponentID) (CompRef, error) {
+	c, err := k.lookup(id)
+	if err != nil {
+		return CompRef{}, err
+	}
+	return CompRef{c: c}, nil
+}
+
+// Valid reports whether the handle is bound to a component.
+func (r CompRef) Valid() bool { return r.c != nil }
+
+// ID returns the referenced component.
+func (r CompRef) ID() ComponentID { return r.c.id }
+
+// Epoch returns the component's current epoch (one atomic load).
+func (r CompRef) Epoch() uint64 { return r.c.curEpoch() }
+
+// Faulty reports whether the component is in the failed state.
+func (r CompRef) Faulty() bool { _, f := r.c.snapshot(); return f }
+
+// Snapshot returns a consistent (epoch, faulty) pair from one atomic load.
+func (r CompRef) Snapshot() (epoch uint64, faulty bool) { return r.c.snapshot() }
 
 // Service returns the live service instance of a component. It is intended
 // for reflection-style recovery and tests; normal interaction must go
 // through Invoke.
 func (k *Kernel) Service(id ComponentID) (Service, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	c, err := k.compLocked(id)
+	c, err := k.lookup(id)
 	if err != nil {
 		return nil, err
 	}
-	return c.svc, nil
+	return c.service(), nil
 }
 
 // Now returns the current simulated time.
@@ -284,11 +382,18 @@ func (k *Kernel) Now() Time {
 	return k.clock
 }
 
-// InvocationCount returns the number of completed component invocations.
+// InvocationCount returns the number of completed component invocations
+// (including upcalls; see UpcallCount for the upcall-only subset).
 func (k *Kernel) InvocationCount() uint64 {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.invCount
+	return k.invCount.Load()
+}
+
+// UpcallCount returns the number of invocations initiated through Upcall —
+// recovery infrastructure calling *into* client components — kept distinct
+// from ordinary client→server invocations so Fig. 6(b)-style recovery-cost
+// accounting can separate the two directions.
+func (k *Kernel) UpcallCount() uint64 {
+	return k.upcallCount.Load()
 }
 
 // Crash returns the recorded unrecoverable system crash, if any.
@@ -298,21 +403,39 @@ func (k *Kernel) Crash() *SystemCrash {
 	return k.crash
 }
 
-func (k *Kernel) compLocked(id ComponentID) (*component, error) {
-	if id < 1 || int(id) > len(k.comps) {
-		return nil, fmt.Errorf("%w: %d", ErrNoSuchComponent, id)
+// comp resolves a component ID through the atomically published component
+// table. Safe with or without k.mu held; returns nil for unknown IDs.
+func (k *Kernel) comp(id ComponentID) *component {
+	view := k.compsView.Load()
+	if view == nil {
+		return nil
 	}
-	return k.comps[id-1], nil
+	comps := *view
+	if id < 1 || int(id) > len(comps) {
+		return nil
+	}
+	return comps[id-1]
+}
+
+// lookup is comp with the conventional error for unknown IDs.
+func (k *Kernel) lookup(id ComponentID) (*component, error) {
+	if c := k.comp(id); c != nil {
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w: %d", ErrNoSuchComponent, id)
 }
 
 // Components returns the IDs of all registered components in registration
 // order.
 func (k *Kernel) Components() []ComponentID {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	ids := make([]ComponentID, len(k.comps))
-	for i := range k.comps {
-		ids[i] = k.comps[i].id
+	view := k.compsView.Load()
+	if view == nil {
+		return nil
+	}
+	comps := *view
+	ids := make([]ComponentID, len(comps))
+	for i := range comps {
+		ids[i] = comps[i].id
 	}
 	return ids
 }
@@ -344,9 +467,10 @@ func (k *Kernel) ReflectThreads() []ThreadInfo {
 		if t.state == ThreadBlocked || t.state == ThreadSleeping {
 			info.BlockedIn = t.blockedIn
 		}
-		if n := len(t.invStack); n > 0 {
-			info.Executing = t.invStack[n-1]
-		}
+		// The published top of the invocation stack: the stack itself is
+		// owned lock-free by the running thread, so readers use the atomic
+		// mirror rather than the slice.
+		info.Executing = ComponentID(t.curComp.Load())
 		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

@@ -133,8 +133,8 @@ func DefaultRegProfile() RegProfile {
 func (k *Kernel) RegProfile(id ComponentID) RegProfile {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	c, err := k.compLocked(id)
-	if err != nil {
+	c := k.comp(id)
+	if c == nil {
 		return DefaultRegProfile()
 	}
 	return c.profile

@@ -3,6 +3,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // ThreadState is the life-cycle state of a simulated thread.
@@ -103,8 +104,19 @@ type Thread struct {
 	// invStack records the components the thread is executing in, outermost
 	// first. Entry 0 is absent for "home" (application) execution. fnStack
 	// holds the corresponding interface function names.
+	//
+	// Both slices are owned by the thread: in this cooperative single-core
+	// kernel only the running thread pushes and pops them (lock-free), and
+	// the kernel reads them from other threads only while those threads are
+	// parked under k.mu. Cross-thread readers that cannot rely on
+	// quiescence use curComp instead.
 	invStack []ComponentID
 	fnStack  []string
+
+	// curComp mirrors the top of invStack (0 for home execution) for
+	// lock-free cross-thread readers: Kernel.Executing, ReflectThreads, and
+	// external monitors racing the running thread.
+	curComp atomic.Int32
 
 	// regs is the modeled register file while executing inside a component;
 	// the SWIFI injector flips bits here.
@@ -124,6 +136,16 @@ func (t *Thread) topOfStackLocked() ComponentID {
 		return t.invStack[n-1]
 	}
 	return 0
+}
+
+// publishTop refreshes the curComp mirror from the invocation stack.
+// Owner-only: called by the thread itself after a push or pop.
+func (t *Thread) publishTop() {
+	if n := len(t.invStack); n > 0 {
+		t.curComp.Store(int32(t.invStack[n-1]))
+	} else {
+		t.curComp.Store(0)
+	}
 }
 
 // ID returns the thread's identifier.
@@ -146,14 +168,10 @@ func (t *Thread) State() ThreadState {
 }
 
 // Executing returns the innermost component the thread is executing in, or
-// zero if it is running application code.
+// zero if it is running application code. It reads the atomically published
+// stack top, so it is safe from any goroutine without the kernel lock.
 func (t *Thread) Executing() ComponentID {
-	t.k.mu.Lock()
-	defer t.k.mu.Unlock()
-	if n := len(t.invStack); n > 0 {
-		return t.invStack[n-1]
-	}
-	return 0
+	return ComponentID(t.curComp.Load())
 }
 
 // Regs returns a pointer to the thread's modeled register file. Only the
@@ -174,7 +192,7 @@ func (k *Kernel) CreateThread(creator *Thread, name string, prio int, entry func
 		return 0, errors.New("kernel: nil thread entry")
 	}
 	k.mu.Lock()
-	if k.halted {
+	if k.halted.Load() {
 		k.mu.Unlock()
 		return 0, ErrHalted
 	}
@@ -250,7 +268,7 @@ func (k *Kernel) exitCurrent(t *Thread) {
 	defer k.mu.Unlock()
 	t.state = ThreadExited
 	k.current = nil
-	if k.halted {
+	if k.halted.Load() {
 		return
 	}
 	next := k.pickReadyLocked()
@@ -268,7 +286,7 @@ func (k *Kernel) exitCurrent(t *Thread) {
 // invocation path unmodified so the client stub can run recovery.
 func (k *Kernel) Block(t *Thread) error {
 	k.mu.Lock()
-	if k.halted {
+	if k.halted.Load() {
 		k.mu.Unlock()
 		return ErrHalted
 	}
@@ -307,7 +325,7 @@ func (k *Kernel) Sleep(t *Thread, d Time) error {
 		return fmt.Errorf("kernel: negative sleep %d", d)
 	}
 	k.mu.Lock()
-	if k.halted {
+	if k.halted.Load() {
 		k.mu.Unlock()
 		return ErrHalted
 	}
@@ -345,7 +363,7 @@ func (k *Kernel) Wakeup(caller *Thread, id ThreadID) error {
 	// No deferred unlock: preemptLocked can park this goroutine, and the
 	// halt-unwind path releases the lock itself.
 	k.mu.Lock()
-	if k.halted {
+	if k.halted.Load() {
 		k.mu.Unlock()
 		return ErrHalted
 	}
@@ -380,7 +398,7 @@ func (k *Kernel) Yield(t *Thread) error {
 	// No deferred unlock: switchFromLocked parks this goroutine, and the
 	// halt-unwind path releases the lock itself.
 	k.mu.Lock()
-	if k.halted {
+	if k.halted.Load() {
 		k.mu.Unlock()
 		return ErrHalted
 	}
@@ -403,7 +421,7 @@ func (k *Kernel) Yield(t *Thread) error {
 func (k *Kernel) ExternalWakeup(id ThreadID) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	if k.halted {
+	if k.halted.Load() {
 		return ErrHalted
 	}
 	if id < 1 || int(id) > len(k.threads) {
@@ -438,7 +456,7 @@ func (k *Kernel) PopNoPreempt(t *Thread) {
 	if t.noPreempt > 0 {
 		t.noPreempt--
 	}
-	if t.noPreempt == 0 && t == k.current && !k.halted {
+	if t.noPreempt == 0 && t == k.current && !k.halted.Load() {
 		k.preemptLocked(t)
 	}
 	k.mu.Unlock()

@@ -105,7 +105,7 @@ func (k *Kernel) WatchdogStats() WatchdogStats {
 func (k *Kernel) SetInvokeBudget(comp ComponentID, budget Time) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	c, err := k.compLocked(comp)
+	c, err := k.lookup(comp)
 	if err != nil {
 		return err
 	}
@@ -121,7 +121,7 @@ func (k *Kernel) InvokeBudget(comp ComponentID) Time {
 }
 
 func (k *Kernel) budgetForLocked(comp ComponentID) Time {
-	if c, err := k.compLocked(comp); err == nil && c.budget > 0 {
+	if c := k.comp(comp); c != nil && c.budget > 0 {
 		return c.budget
 	}
 	if k.wdBudget > 0 {
@@ -146,16 +146,17 @@ func (k *Kernel) watchdogHangLocked(t *Thread) bool {
 		k.wdStats.Unattributable++
 		return false
 	}
-	c, err := k.compLocked(comp)
-	if err != nil {
+	c := k.comp(comp)
+	if c == nil {
 		k.wdStats.Unattributable++
 		return false
 	}
 	k.clock += k.budgetForLocked(comp)
-	c.faulty = true
+	epoch, _ := c.snapshot()
+	c.state.Store(packState(epoch, true))
 	k.wdStats.HangsCaught++
 	k.wdStats.LastComp = comp
-	t.watchdogFault = &Fault{Comp: comp, Epoch: c.epoch}
+	t.watchdogFault = &Fault{Comp: comp, Epoch: epoch}
 	return true
 }
 
@@ -167,7 +168,7 @@ func (k *Kernel) watchdogHangLocked(t *Thread) bool {
 // detected exception. Returns true when it made threads runnable, so the
 // scheduler should retry instead of halting.
 func (k *Kernel) watchdogDivertLocked() bool {
-	if !k.wdEnabled || k.halted {
+	if !k.wdEnabled || k.halted.Load() {
 		return false
 	}
 	if k.wdStats.DeadlocksAttributed >= k.wdMax {
@@ -191,18 +192,19 @@ func (k *Kernel) watchdogDivertLocked() bool {
 		k.wdStats.Unattributable++
 		return false
 	}
-	c, err := k.compLocked(blamed)
-	if err != nil {
+	c := k.comp(blamed)
+	if c == nil {
 		k.wdStats.Unattributable++
 		return false
 	}
 	k.clock += k.budgetForLocked(blamed)
-	c.faulty = true
+	epoch, _ := c.snapshot()
+	c.state.Store(packState(epoch, true))
 	k.wdStats.DeadlocksAttributed++
 	k.wdStats.LastComp = blamed
 	for _, bt := range k.threads {
 		if bt.state == ThreadBlocked && bt.blockedIn == blamed {
-			bt.pendingFault = &Fault{Comp: blamed, Epoch: c.epoch}
+			bt.pendingFault = &Fault{Comp: blamed, Epoch: epoch}
 			bt.state = ThreadRunnable
 			k.enqueueLocked(bt)
 		}
@@ -210,11 +212,11 @@ func (k *Kernel) watchdogDivertLocked() bool {
 	return true
 }
 
-// takeWatchdogFault consumes (and clears) the watchdog fault armed on a
-// thread by a caught hang, if any.
-func (k *Kernel) takeWatchdogFault(t *Thread) *Fault {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+// takeWatchdogFault consumes (and clears) the watchdog fault armed on the
+// thread by a caught hang, if any. Lock-free: the fault is armed by the
+// thread itself (HangCurrent runs on the hanging thread) and consumed by the
+// thread itself in Invoke, so no other goroutine ever touches the field.
+func (t *Thread) takeWatchdogFault() *Fault {
 	f := t.watchdogFault
 	t.watchdogFault = nil
 	return f
