@@ -6,9 +6,9 @@ GO ?= go
 # and compare two saved runs with `benchstat old.txt new.txt`.
 BENCHCOUNT ?= 1
 
-.PHONY: all build test race bench bench-json gen experiments watchdog-experiments fuzz clean
+.PHONY: all build test race bench bench-json gen lint experiments watchdog-experiments fuzz clean
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,22 @@ bench-json:
 # (golden-tested by internal/gen.TestCommittedStubsMatchGenerator).
 gen:
 	$(GO) run ./cmd/sgc -builtin -loc -o internal/gen
+
+# Static analysis beyond the compiler (see DESIGN.md §7):
+#   - go vet: the standard checks;
+#   - sgvet: the runtime-contract analyzers (determinism, atomicstate,
+#     stubdiscipline) over the deterministic-replay packages and every
+#     generated stub package;
+#   - sgc vet -builtin: semantic spec lints (SG1xx) over the six system
+#     services;
+#   - sgc vet -gen: committed generated stubs must match the generator.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/sgvet internal/kernel internal/core internal/swifi \
+		internal/codegen internal/gen/genrt internal/gen/genevent \
+		internal/gen/genlock internal/gen/genmm internal/gen/genramfs \
+		internal/gen/gensched internal/gen/gentimer
+	$(GO) run ./cmd/sgc vet -builtin -gen
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

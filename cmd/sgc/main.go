@@ -6,11 +6,20 @@
 //
 //	sgc [-o dir] [-print] [-loc] file.sg [file2.sg ...]
 //	sgc -builtin [-o dir] [-loc]
+//	sgc vet [-builtin] [-gen] [-gendir dir] [file.sg ...]
 //
 // The service name is derived from each file's base name (event.sg →
 // service "event", package "genevent"). -builtin compiles the six embedded
 // system-service specifications of the evaluation. -loc prints the
 // IDL-vs-generated line counts that feed Fig. 6(c).
+//
+// The vet subcommand runs the semantic spec lints of
+// internal/analysis/speclint over the given specifications (SG1xx
+// diagnostics: unreachable states, descriptor leaks, hold/wakeup pairing,
+// shadowed transitions, mechanism coverage) and, with -gen, checks the
+// committed generated stubs for drift against the generator. It exits
+// nonzero if any warning- or error-severity diagnostic fires, or if any
+// committed stub is stale.
 package main
 
 import (
@@ -18,21 +27,26 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
+	"superglue/internal/analysis/driftcheck"
+	"superglue/internal/analysis/speclint"
 	"superglue/internal/codegen"
 	"superglue/internal/experiments"
 	"superglue/internal/idl"
-	"superglue/internal/services/event"
-	"superglue/internal/services/lock"
-	"superglue/internal/services/mm"
-	"superglue/internal/services/ramfs"
-	"superglue/internal/services/sched"
-	"superglue/internal/services/timer"
+	"superglue/internal/services/builtin"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "vet" {
+		err = runVet(args[1:], os.Stdout)
+	} else {
+		err = run(args, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sgc:", err)
 		os.Exit(1)
 	}
@@ -43,37 +57,51 @@ type source struct {
 	src     string
 }
 
+// gatherSources assembles the specification list from -builtin and/or file
+// arguments, in deterministic order.
+func gatherSources(useBuiltin bool, paths []string) ([]source, error) {
+	var sources []source
+	if useBuiltin {
+		for _, b := range builtin.Sources() {
+			sources = append(sources, source{service: b.Service, src: b.IDL})
+		}
+	}
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		sources = append(sources, source{service: name, src: string(raw)})
+	}
+	return sources, nil
+}
+
+// sortedNames returns the file names of a generated-file map in stable
+// order, so printed and written output does not vary with map iteration.
+func sortedNames(files map[string]string) []string {
+	names := make([]string, 0, len(files))
+	for fname := range files {
+		names = append(names, fname)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("sgc", flag.ContinueOnError)
 	outDir := fs.String("o", "", "output directory root (one package per service); empty = no files written")
 	printSrc := fs.Bool("print", false, "print generated code to stdout")
 	loc := fs.Bool("loc", false, "print IDL vs generated line counts (Fig. 6(c))")
-	builtin := fs.Bool("builtin", false, "compile the six built-in system-service specifications")
+	useBuiltin := fs.Bool("builtin", false, "compile the six built-in system-service specifications")
 	format := fs.Bool("format", false, "print each specification normalized back to IDL instead of compiling")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var sources []source
-	if *builtin {
-		for name, src := range map[string]string{
-			"lock":  lock.IDLSource(),
-			"event": event.IDLSource(),
-			"sched": sched.IDLSource(),
-			"timer": timer.IDLSource(),
-			"mm":    mm.IDLSource(),
-			"ramfs": ramfs.IDLSource(),
-		} {
-			sources = append(sources, source{service: name, src: src})
-		}
-	}
-	for _, path := range fs.Args() {
-		raw, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		sources = append(sources, source{service: name, src: string(raw)})
+	sources, err := gatherSources(*useBuiltin, fs.Args())
+	if err != nil {
+		return err
 	}
 	if len(sources) == 0 {
 		return fmt.Errorf("no input: pass .sg files or -builtin")
@@ -105,8 +133,8 @@ func run(args []string, out *os.File) error {
 				s.service, experiments.CountLOC(s.src), genLines)
 		}
 		if *printSrc {
-			for fname, content := range files {
-				fmt.Fprintf(out, "// ===== %s/%s =====\n%s\n", ir.Package(), fname, content)
+			for _, fname := range sortedNames(files) {
+				fmt.Fprintf(out, "// ===== %s/%s =====\n%s\n", ir.Package(), fname, files[fname])
 			}
 		}
 		if *outDir != "" {
@@ -114,13 +142,63 @@ func run(args []string, out *os.File) error {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				return err
 			}
-			for fname, content := range files {
-				if err := os.WriteFile(filepath.Join(dir, fname), []byte(content), 0o644); err != nil {
+			for _, fname := range sortedNames(files) {
+				if err := os.WriteFile(filepath.Join(dir, fname), []byte(files[fname]), 0o644); err != nil {
 					return err
 				}
 			}
 			fmt.Fprintf(out, "%s: wrote %d files to %s\n", s.service, len(files), dir)
 		}
+	}
+	return nil
+}
+
+// runVet implements `sgc vet`: speclint over specifications plus the
+// generated-stub drift check.
+func runVet(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("sgc vet", flag.ContinueOnError)
+	useBuiltin := fs.Bool("builtin", false, "lint the six built-in system-service specifications")
+	gen := fs.Bool("gen", false, "check committed generated stubs for drift against the generator")
+	genDir := fs.String("gendir", "internal/gen", "directory holding the committed generated packages")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*useBuiltin && !*gen && fs.NArg() == 0 {
+		return fmt.Errorf("vet: no input: pass .sg files, -builtin, or -gen")
+	}
+
+	sources, err := gatherSources(*useBuiltin, fs.Args())
+	if err != nil {
+		return err
+	}
+	bad := false
+	for _, s := range sources {
+		diags, err := speclint.LintSource(s.service, s.src)
+		if err != nil {
+			return err
+		}
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+			if d.Severity >= speclint.SevWarn {
+				bad = true
+			}
+		}
+	}
+	if *gen {
+		drifts, err := driftcheck.Check(*genDir)
+		if err != nil {
+			return err
+		}
+		for _, d := range drifts {
+			fmt.Fprintln(out, d)
+			bad = true
+		}
+		if len(drifts) == 0 {
+			fmt.Fprintf(out, "gen: committed stubs under %s match the generator\n", *genDir)
+		}
+	}
+	if bad {
+		return fmt.Errorf("vet found problems")
 	}
 	return nil
 }

@@ -82,6 +82,108 @@ func TestRunRejectsMissingFile(t *testing.T) {
 	}
 }
 
+// capture runs fn with a pipe-backed *os.File and returns what it wrote.
+func capture(t *testing.T, fn func(w *os.File) error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b := make([]byte, 1<<16)
+		for {
+			n, err := r.Read(b)
+			buf.WriteString(string(b[:n]))
+			if err != nil {
+				return
+			}
+		}
+	}()
+	ferr := fn(w)
+	_ = w.Close()
+	<-done
+	return buf.String(), ferr
+}
+
+func TestVetBuiltinClean(t *testing.T) {
+	out, err := capture(t, func(w *os.File) error {
+		return runVet([]string{"-builtin"}, w)
+	})
+	if err != nil {
+		t.Fatalf("vet -builtin: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "[SG109]") {
+		t.Errorf("vet -builtin should print the mechanism-coverage reports:\n%s", out)
+	}
+}
+
+func TestVetFlagsLeakySpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "leaky.sg")
+	// Valid model, but creation without a terminal function: descriptors
+	// can never be closed (SG103, warning severity) — vet must fail.
+	src := `
+service_global_info = { desc_has_parent = solo };
+sm_creation(ctr_alloc);
+sm_reset(ctr_free);
+sm_transition(ctr_alloc, ctr_incr);
+sm_transition(ctr_incr,  ctr_incr);
+sm_transition(ctr_alloc, ctr_free);
+sm_transition(ctr_incr,  ctr_free);
+
+desc_data_retval(long, ctrid)
+ctr_alloc(desc_data(componentid_t compid));
+long ctr_incr(componentid_t compid, desc(long ctrid));
+int  ctr_free(desc(long ctrid));
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func(w *os.File) error {
+		return runVet([]string{path}, w)
+	})
+	if err == nil {
+		t.Fatalf("vet accepted a leaky spec:\n%s", out)
+	}
+	if !strings.Contains(out, "SG103") {
+		t.Errorf("vet output should carry SG103:\n%s", out)
+	}
+}
+
+func TestVetGenDrift(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-builtin", "-o", dir}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func(w *os.File) error {
+		return runVet([]string{"-gen", "-gendir", dir}, w)
+	}); err != nil {
+		t.Fatalf("vet -gen on a fresh tree: %v", err)
+	}
+	victim := filepath.Join(dir, "gensched", "server_stub.go")
+	if err := os.WriteFile(victim, []byte("package gensched\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func(w *os.File) error {
+		return runVet([]string{"-gen", "-gendir", dir}, w)
+	})
+	if err == nil {
+		t.Fatal("vet -gen missed a tampered stub")
+	}
+	if !strings.Contains(out, "gensched") || !strings.Contains(out, "stale") {
+		t.Errorf("drift output should name the stale file:\n%s", out)
+	}
+}
+
+func TestVetRejectsNoInput(t *testing.T) {
+	if err := runVet(nil, os.Stdout); err == nil {
+		t.Fatal("vet with no input succeeded")
+	}
+}
+
 func TestRunFormatNormalizes(t *testing.T) {
 	sg := writeTempSG(t)
 	var buf strings.Builder

@@ -1,0 +1,58 @@
+// Command sgvet runs the SuperGlue runtime-contract analyzers
+// (determinism, atomicstate, stubdiscipline) over package directories:
+//
+//	sgvet [-run a,b,c] dir [dir...]
+//
+// It prints one line per finding and exits nonzero if anything was
+// reported. See internal/analysis/govet for the analyzer catalogue and the
+// //sgvet:ignore suppression syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"superglue/internal/analysis/govet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("sgvet", flag.ExitOnError)
+	runList := fs.String("run", "", "comma-separated analyzers to run (default: all)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sgvet [-run a,b,c] dir [dir...]")
+		return 2
+	}
+	analyzers, err := govet.ByName(*runList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgvet:", err)
+		return 2
+	}
+	loader := govet.NewLoader()
+	bad := false
+	for _, dir := range fs.Args() {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sgvet:", err)
+			return 2
+		}
+		diags, err := govet.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sgvet:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			bad = true
+		}
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,93 @@
+// Package driftcheck re-runs the IDL compiler over the built-in service
+// specifications and diffs the output against the committed generated
+// packages. A generated stub edited by hand, or a generator change shipped
+// without regenerating, shows up as drift: the committed file no longer
+// matches what sgc produces from the spec. `sgc vet -gen` and `make lint`
+// run this check so the tree property "internal/gen is exactly
+// `sgc -builtin -o internal/gen`" is enforced, not assumed.
+package driftcheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"superglue/internal/codegen"
+	"superglue/internal/idl"
+	"superglue/internal/services/builtin"
+)
+
+// Drift describes one committed file that disagrees with the generator.
+type Drift struct {
+	// Path is the offending file, relative to the gen directory root.
+	Path string
+	// Reason is "missing" or "stale"; stale drifts carry the first
+	// differing line.
+	Reason string
+}
+
+func (d Drift) String() string {
+	return fmt.Sprintf("%s: %s (regenerate with `go run ./cmd/sgc -builtin -o internal/gen`)", d.Path, d.Reason)
+}
+
+// Check regenerates every built-in service's stubs and compares them with
+// the files under genDir. It returns one Drift per mismatched or missing
+// file; an empty slice means the committed tree matches the generator.
+func Check(genDir string) ([]Drift, error) {
+	var drifts []Drift
+	for _, b := range builtin.Sources() {
+		spec, err := idl.Parse(b.Service, b.IDL)
+		if err != nil {
+			return nil, fmt.Errorf("driftcheck: %s: %w", b.Service, err)
+		}
+		ir, err := codegen.NewIR(spec)
+		if err != nil {
+			return nil, fmt.Errorf("driftcheck: %s: %w", b.Service, err)
+		}
+		files, err := codegen.Generate(ir)
+		if err != nil {
+			return nil, fmt.Errorf("driftcheck: %s: %w", b.Service, err)
+		}
+		names := make([]string, 0, len(files))
+		for fname := range files {
+			names = append(names, fname)
+		}
+		sort.Strings(names)
+		for _, fname := range names {
+			rel := filepath.Join(ir.Package(), fname)
+			got, err := os.ReadFile(filepath.Join(genDir, rel))
+			if os.IsNotExist(err) {
+				drifts = append(drifts, Drift{Path: rel, Reason: "missing"})
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("driftcheck: %w", err)
+			}
+			if want := files[fname]; string(got) != want {
+				drifts = append(drifts, Drift{
+					Path:   rel,
+					Reason: fmt.Sprintf("stale: first difference at line %d", firstDiffLine(string(got), want)),
+				})
+			}
+		}
+	}
+	return drifts, nil
+}
+
+// firstDiffLine returns the 1-based line number where got and want first
+// disagree.
+func firstDiffLine(got, want string) int {
+	g := strings.Split(got, "\n")
+	w := strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return i + 1
+		}
+	}
+	if len(g) < len(w) {
+		return len(g) + 1
+	}
+	return len(w) + 1
+}

@@ -1,0 +1,225 @@
+package govet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism flags sources of run-to-run nondeterminism in packages that
+// must replay identically under the logical clock: wall-clock reads, the
+// global math/rand source (randomness must be threaded as an explicit
+// *rand.Rand so SWIFI campaigns are seed-reproducible), and map iterations
+// whose visit order can escape the loop.
+//
+// A map iteration is allowed when its only effect on the enclosing scope is
+// `x = append(x, ...)` and every such x is passed to a sort.* or slices.*
+// call after the loop in the same function — the canonical collect-then-sort
+// idiom. Anything else that can observe visit order is flagged: returning,
+// sending on a channel, writing a variable declared outside the loop, or
+// calling a printing/writing function from the loop body.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock reads, global math/rand, and order-dependent map iteration",
+	Run:  runDeterminism,
+}
+
+// globalRandFns are the math/rand package-level functions that draw from
+// the shared global source. Constructors (New, NewSource, NewZipf) build
+// explicit sources and are fine.
+var globalRandFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+func runDeterminism(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			isMethod := sig != nil && sig.Recv() != nil
+			switch {
+			case fn.Pkg().Path() == "time" && fn.Name() == "Now":
+				p.Reportf(call.Pos(), "time.Now reads the wall clock; use the kernel's logical clock")
+			case fn.Pkg().Path() == "math/rand" && !isMethod && globalRandFns[fn.Name()]:
+				p.Reportf(call.Pos(), "global math/rand.%s is not seed-reproducible; thread an explicit *rand.Rand", fn.Name())
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(p, fd)
+		}
+	}
+	return nil
+}
+
+func checkMapRanges(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(p, fd, rs)
+		return true
+	})
+}
+
+// checkMapRange reports at most one finding per map-range loop.
+func checkMapRange(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	// Slices grown by `x = append(x, ...)` inside the loop, keyed by the
+	// printed form of x; each must be sorted after the loop.
+	pending := make(map[string]token.Pos)
+	var offense func() // non-nil once a finding is recorded
+
+	report := func(pos token.Pos, format string, args ...any) {
+		if offense == nil {
+			offense = func() {}
+			p.Reportf(pos, format, args...)
+		}
+	}
+
+	localTo := func(id *ast.Ident) bool {
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		if obj == nil {
+			return true // blank identifier or unresolved
+		}
+		// Loop variables and anything declared inside the loop body are
+		// invisible after the loop, so writes to them are order-safe.
+		return obj.Pos() >= rs.Pos() && obj.Pos() <= rs.Body.End()
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if offense != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			report(n.Pos(), "return inside map iteration depends on visit order; iterate sorted keys instead")
+		case *ast.SendStmt:
+			report(n.Pos(), "channel send inside map iteration leaks visit order")
+		case *ast.IncDecStmt:
+			// Increment/decrement of a counter is commutative across visit
+			// orders; allowed.
+		case *ast.AssignStmt:
+			if target, ok := selfAppend(n); ok {
+				pending[exprString(target)] = n.Pos()
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				switch lhs := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					if !localTo(lhs) {
+						report(n.Pos(), "writes %s (declared outside the loop) in map-iteration order", lhs.Name)
+					}
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					report(n.Pos(), "writes %s in map-iteration order", exprString(lhs))
+				}
+			}
+		case *ast.CallExpr:
+			name := calleeName(n)
+			for _, prefix := range []string{"Print", "Fprint", "Write", "Fatal"} {
+				if strings.HasPrefix(name, prefix) {
+					report(n.Pos(), "calls %s inside map iteration; output order is nondeterministic", name)
+				}
+			}
+		}
+		return true
+	})
+	if offense != nil {
+		return
+	}
+	for expr, pos := range pending {
+		if !sortedAfter(p, fd, rs, expr) {
+			p.Reportf(pos, "appends to %s in map-iteration order without sorting it afterwards", expr)
+		}
+	}
+}
+
+// selfAppend reports whether stmt has the shape `x = append(x, ...)` and
+// returns x.
+func selfAppend(stmt *ast.AssignStmt) (ast.Expr, bool) {
+	if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 || stmt.Tok != token.ASSIGN {
+		return nil, false
+	}
+	call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+	if !ok || calleeName(call) != "append" || len(call.Args) < 2 {
+		return nil, false
+	}
+	if exprString(call.Args[0]) != exprString(stmt.Lhs[0]) {
+		return nil, false
+	}
+	return stmt.Lhs[0], true
+}
+
+// sortedAfter reports whether expr appears as an argument to a sort.* or
+// slices.* call after the loop within the same function body.
+func sortedAfter(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, expr string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprString(arg) == expr {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders simple expressions (identifiers, selector chains,
+// index expressions) for comparison and messages.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return "<expr>"
+	}
+}

@@ -1,0 +1,267 @@
+// Package govet is a small, dependency-free static-analysis framework for
+// the SuperGlue tree, modeled on golang.org/x/tools/go/analysis but built
+// entirely on the standard library (go/parser + go/types with the source
+// importer). It hosts three analyzers that enforce runtime contracts the
+// compiler cannot express:
+//
+//   - determinism: internal/kernel, internal/core, internal/swifi and
+//     internal/codegen must be replay-deterministic. Flags wall-clock reads
+//     (time.Now), the global math/rand source, and map iterations whose
+//     order can leak into output (returns, outer writes, printing) unless
+//     the loop only appends to slices that are sorted afterwards.
+//
+//   - atomicstate: fields annotated with a
+//     `//sgvet:atomicstate accessors=f,g` doc comment may only be touched
+//     from the listed accessor functions. Used to fence the kernel's packed
+//     (epoch|faulty) state word and service pointer behind their snapshot/
+//     publish helpers so the lock-free invocation fast path stays correct.
+//
+//   - stubdiscipline: no Invoke/Upcall/Dispatch call while the kernel
+//     mutex is held (re-entry deadlocks the dispatcher), and generated or
+//     hand-written stub files (cstub.go, sstub.go, client_stub.go,
+//     server_stub.go) must not call kernel topology mutators — stubs are
+//     data-plane code.
+//
+// A diagnostic can be suppressed with a trailing or preceding comment of
+// the form `//sgvet:ignore <analyzer>` when the flagged pattern is known
+// to be benign; suppressions should carry a justification in prose.
+package govet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// All returns every registered analyzer in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, AtomicState, StubDiscipline}
+}
+
+// ByName resolves a comma-separated analyzer list; an empty spec means all.
+func ByName(spec string) ([]*Analyzer, error) {
+	if spec == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is a parsed and fully type-checked package directory.
+type Package struct {
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks package directories. One Loader shares a
+// FileSet and a source importer, so dependency packages (including the
+// standard library) are type-checked once and cached across Load calls.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Load parses the non-test .go files of dir and type-checks them against
+// their real dependencies.
+func (l *Loader) Load(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no Go source files", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(dir, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", dir, err)
+	}
+	return &Package{Dir: dir, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Run applies the analyzers to pkg and returns the diagnostics that are not
+// suppressed by //sgvet:ignore comments, sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = suppress(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppress drops diagnostics covered by an `//sgvet:ignore <analyzers>`
+// comment on the same line or the line directly above the finding.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	ignored := make(map[key]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "sgvet:ignore") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, "sgvet:ignore")
+				for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					ignored[key{pos.Filename, pos.Line, name}] = true
+					ignored[key{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if ignored[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for builtins,
+// conversions and indirect calls through function values.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := p.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// calleeName returns the syntactic name of the called function or method.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,25 @@
+// Package fixture exercises the atomicstate accessor-discipline analyzer.
+package fixture
+
+import "sync/atomic"
+
+type component struct {
+	// state packs (epoch << 1) | faulty for the lock-free fast path.
+	//sgvet:atomicstate accessors=snapshot,markFaulty
+	state atomic.Uint64
+	// plain is unannotated: free access.
+	plain uint64
+}
+
+func (c *component) snapshot() uint64 { return c.state.Load() } // ok: accessor
+
+func (c *component) markFaulty() { c.state.Store(c.state.Load() | 1) } // ok: accessor
+
+func (c *component) epoch() uint64 {
+	return c.state.Load() >> 1 // want `field component.state is atomicstate-guarded; access it only via markFaulty, snapshot`
+}
+
+func reset(c *component) {
+	c.state.Store(0) // want "field component.state is atomicstate-guarded"
+	c.plain = 0      // ok: unannotated
+}

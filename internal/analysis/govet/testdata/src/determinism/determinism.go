@@ -1,0 +1,96 @@
+// Package fixture exercises every determinism diagnostic and each allowed
+// pattern. `// want "regex"` comments mark expected findings.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global math/rand.Intn is not seed-reproducible`
+}
+
+func threadedRand(r *rand.Rand) int {
+	return r.Intn(6) // ok: explicit source
+}
+
+func constructors() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // ok: constructors do not touch the global source
+}
+
+func mapReturn(m map[string]int) int {
+	for _, v := range m {
+		if v > 0 {
+			return v // want "return inside map iteration depends on visit order"
+		}
+	}
+	return 0
+}
+
+func mapOuterWrite(m map[string]int) string {
+	var best string
+	for k := range m {
+		best = k // want `writes best \(declared outside the loop\) in map-iteration order`
+	}
+	return best
+}
+
+func mapPrint(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "calls Println inside map iteration; output order is nondeterministic"
+	}
+}
+
+func mapSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration leaks visit order"
+	}
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "appends to keys in map-iteration order without sorting it afterwards"
+	}
+	return keys
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // ok: increment is commutative
+	}
+	return n
+}
+
+func localOnly(m map[string]int) {
+	for k, v := range m {
+		s := k // ok: loop-local
+		_ = s
+		_ = v
+	}
+}
+
+func suppressedUpperBound(m map[string]int) string {
+	for k := range m {
+		//sgvet:ignore determinism any key serves as an upper-bound witness
+		return k
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package fixture
+
+// fastPath is what stubs do: invoke without the kernel mutex.
+func fastPath(k *Kernel) {
+	k.Invoke("f") // ok: data-plane invocation
+	k.WatchdogStats() // ok: read-only, not a mutator
+}
+
+func badStub(k *Kernel) {
+	k.Register()     // want "stub code must not call kernel mutator Register"
+	k.CreateThread() // want "stub code must not call kernel mutator CreateThread"
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises both stubdiscipline rules: Rule A (no
+// invocation under the kernel mutex) in this file, Rule B (no kernel
+// mutators from stub files) in client_stub.go.
+package fixture
+
+import "sync"
+
+type Kernel struct{ mu sync.Mutex }
+
+func (k *Kernel) Invoke(fn string)  {}
+func (k *Kernel) Upcall(fn string)  {}
+func (k *Kernel) Register()         {}
+func (k *Kernel) CreateThread()     {}
+func (k *Kernel) WatchdogStats()    {}
+
+func (k *Kernel) dispatchLocked() {
+	k.Invoke("f") // want "Invoke called while the kernel mutex is held"
+}
+
+func (k *Kernel) relockLocked() {
+	k.mu.Unlock()
+	k.Invoke("f") // ok: released before re-entering the dispatcher
+	k.mu.Lock()
+}
+
+func (k *Kernel) plain() {
+	k.Invoke("f") // ok: no lock held
+}
+
+func (k *Kernel) underLock() {
+	k.mu.Lock()
+	k.Upcall("f") // want "Upcall called while the kernel mutex is held"
+	k.mu.Unlock()
+	k.Upcall("f") // ok: released
+}
+
+func (k *Kernel) deferredUnlock() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.Invoke("f") // want "Invoke called while the kernel mutex is held"
+}
+
+func (k *Kernel) controlPlane() {
+	k.Register() // ok: mutators are fine outside stub files
+}

@@ -1,0 +1,385 @@
+// Package speclint implements semantic lints over SuperGlue interface
+// specifications (core.Spec) and their descriptor state machines, beyond the
+// hard consistency rules of Spec.Validate.
+//
+// The paper's central bet (§IV) is that recovery correctness is checkable
+// before runtime from the interface description alone: the compiler
+// precomputes shortest recovery walks over the descriptor state machine.
+// speclint extends that pre-runtime checking to the class of specification
+// mistakes Validate cannot reject outright — states R0 cannot rebuild,
+// descriptors that can never be freed, holds that can never be released —
+// plus a per-spec report of which C³ recovery mechanisms the model
+// exercises.
+//
+// Diagnostic codes (see DESIGN.md §6 for the full catalogue):
+//
+//	SG100 error  residual Validate failure not covered by a finer lint
+//	SG101 error  state with no incoming transition (unreachable)
+//	SG102 error  state R0 cannot reach from s0 (no pure recovery walk)
+//	SG103 warn   creation without terminal (descriptor leak)
+//	SG104 warn   dead-end state (no outgoing transition; cannot be freed)
+//	SG105 warn   sm_block with neither sm_hold nor sm_reset (recovery cannot
+//	             decide whether to re-acquire or re-contend the block)
+//	SG106 warn   sm_wakeup with no blocking peer to wake
+//	SG107 error  literal duplicate sm_transition declaration (the later one
+//	             shadows the earlier; Validate also rejects this — the lint
+//	             adds the line position)
+//	SG108 warn   σ ambiguity: contradictory classification sets for one
+//	             function, resolved only by stateAfter precedence
+//	SG109 info   mechanism coverage report (R0/T0/T1/D0/D1/G0/G1/U0)
+//	SG110 warn   sm_hold whose release is itself declared sm_block
+package speclint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"superglue/internal/core"
+	"superglue/internal/idl"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severities, ordered by increasing gravity.
+const (
+	// SevInfo diagnostics are reports, not problems.
+	SevInfo Severity = iota + 1
+	// SevWarn diagnostics are advisory: the spec is usable but suspicious.
+	SevWarn
+	// SevError diagnostics make the spec unfit for recovery.
+	SevError
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warn"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is one speclint finding.
+type Diagnostic struct {
+	// Code is the stable diagnostic code (SG1xx).
+	Code string
+	// Severity is the finding's gravity.
+	Severity Severity
+	// Service is the interface the finding is about.
+	Service string
+	// Line is the 1-based source line of the offending declaration, or 0
+	// when no position is known (e.g. linting a hand-built Spec).
+	Line int
+	// Message is the human-readable finding.
+	Message string
+}
+
+// String formats the diagnostic in the conventional file:line style.
+func (d Diagnostic) String() string {
+	loc := d.Service
+	if d.Line > 0 {
+		loc = fmt.Sprintf("%s:%d", d.Service, d.Line)
+	}
+	return fmt.Sprintf("%s: [%s] %s: %s", loc, d.Code, d.Severity, d.Message)
+}
+
+// HasErrors reports whether any diagnostic is SevError.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// LintSource parses IDL source (laxly, so invalid specs still get finding
+// detail) and lints it. Parse failures — syntax errors — are returned as an
+// error; semantic problems become diagnostics.
+func LintSource(service, src string) ([]Diagnostic, error) {
+	spec, sm, err := idl.ParseWithMap(service, src)
+	if err != nil {
+		return nil, err
+	}
+	return Lint(spec, sm), nil
+}
+
+// linter carries one run's state.
+type linter struct {
+	spec  *core.Spec
+	sm    *idl.SourceMap
+	diags []Diagnostic
+}
+
+func (l *linter) add(code string, sev Severity, line int, format string, args ...any) {
+	l.diags = append(l.diags, Diagnostic{
+		Code:     code,
+		Severity: sev,
+		Service:  l.spec.Service,
+		Line:     line,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Lint runs every lint over a (possibly invalid) spec. sm may be nil, in
+// which case diagnostics carry no line numbers.
+func Lint(spec *core.Spec, sm *idl.SourceMap) []Diagnostic {
+	l := &linter{spec: spec, sm: sm}
+	l.lintSigma()
+	l.lintReachability()
+	l.lintLeak()
+	l.lintHolds()
+	l.lintWakeup()
+	l.reportMechanisms()
+
+	// Residual catch-all: anything Validate rejects that no finer lint
+	// already reported as an error (duplicate functions, role mistakes,
+	// model-flag inconsistencies, ...).
+	if err := spec.Validate(); err != nil && !HasErrors(l.diags) {
+		msg := err.Error()
+		msg = strings.TrimPrefix(msg, core.ErrInvalidSpec.Error()+": ")
+		msg = strings.TrimPrefix(msg, spec.Service+": ")
+		l.add("SG100", SevError, 0, "invalid specification: %s", msg)
+	}
+	return l.diags
+}
+
+// sigmaEdge is one compiled σ entry with its first declaring transition.
+type sigmaEdge struct {
+	to    string
+	index int // index into spec.Transitions of the first declaration
+}
+
+// sigma compiles the declared transitions into σ restricted to known
+// functions, mirroring core.NewStateMachine but tolerating invalid specs.
+// It returns the map keyed by "state\x00fn".
+func (l *linter) sigma() map[string]sigmaEdge {
+	next := make(map[string]sigmaEdge)
+	for i, tr := range l.spec.Transitions {
+		if l.spec.Func(tr.From) == nil || l.spec.Func(tr.To) == nil {
+			continue // Validate reports unknown names (SG100)
+		}
+		from := l.spec.TransitionFromState(tr.From)
+		to := l.spec.StateAfter(tr.To)
+		if to == "" {
+			to = from // update/per-thread target: validity only
+		}
+		key := from + "\x00" + tr.To
+		if _, dup := next[key]; dup {
+			continue // duplicates handled by lintSigma
+		}
+		next[key] = sigmaEdge{to: to, index: i}
+	}
+	return next
+}
+
+// lintSigma reports literal duplicate transition declarations (SG107): the
+// same sm_transition(From, To) pair declared twice, the later shadowing the
+// earlier in the compiled σ. Distinct From functions that happen to compile
+// to the same σ cell (two creation functions sharing a terminal, the mm.sg
+// pattern; per-thread Froms anchored at s0, the Fig. 3 style) are
+// intentional protocol documentation and are not flagged. Validate also
+// rejects literal duplicates; the lint contributes the line position.
+//
+// It also reports classification ambiguity (SG108): one function declared in
+// contradictory sm_* sets — sm_update (state unchanged) together with
+// sm_reset (state returns to s0), sm_block, or sm_wakeup — which σ resolves
+// only by stateAfter's fixed precedence, silently.
+func (l *linter) lintSigma() {
+	spec := l.spec
+	seen := make(map[core.Transition]int) // literal pair → first index
+	for i, tr := range spec.Transitions {
+		if j, dup := seen[tr]; dup {
+			l.add("SG107", SevError, l.sm.TransitionLine(i),
+				"duplicate sm_transition(%s, %s): already declared at line %d; this declaration is shadowed",
+				tr.From, tr.To, l.sm.TransitionLine(j))
+			continue
+		}
+		seen[tr] = i
+	}
+
+	for _, f := range spec.Funcs {
+		if f == nil || !spec.IsUpdate(f.Name) {
+			continue
+		}
+		var clash string
+		switch {
+		case spec.IsReset(f.Name):
+			clash = "sm_reset (state returns to s0)"
+		case spec.IsBlocking(f.Name):
+			clash = "sm_block (per-thread blocking)"
+		case spec.IsWakeup(f.Name):
+			clash = "sm_wakeup (per-thread wakeup)"
+		default:
+			continue
+		}
+		l.add("SG108", SevWarn, l.sm.FuncLine(f.Name),
+			"σ ambiguity: %s is declared both sm_update (state unchanged) and %s; stateAfter precedence decides silently",
+			f.Name, clash)
+	}
+}
+
+// lintReachability reports pure-function states that are unreachable (SG101:
+// no transition ever enters them) or that R0's pure-function BFS from s0
+// cannot reach (SG102: a recovery walk cannot rebuild descriptors observed
+// in that state), plus dead-end states no function leaves (SG104).
+func (l *linter) lintReachability() {
+	spec := l.spec
+	next := l.sigma()
+
+	// BFS from s0 over pure-function edges — exactly the walk computation
+	// of core.NewStateMachine.
+	reached := map[string]bool{core.StateInitial: true}
+	queue := []string{core.StateInitial}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var outs []string
+		for key, e := range next {
+			state, fn, _ := strings.Cut(key, "\x00")
+			if state == cur && spec.IsPure(fn) && !reached[e.to] {
+				outs = append(outs, e.to)
+			}
+		}
+		sort.Strings(outs)
+		for _, st := range outs {
+			if !reached[st] {
+				reached[st] = true
+				queue = append(queue, st)
+			}
+		}
+	}
+
+	// Incoming-edge sets over all declared transitions.
+	hasIncoming := make(map[string]bool)
+	for key, e := range next {
+		state, _, _ := strings.Cut(key, "\x00")
+		if e.to != state { // self-validity edges don't make a state enterable
+			hasIncoming[e.to] = true
+		}
+	}
+
+	for _, f := range spec.Funcs {
+		if f == nil || !spec.IsPure(f.Name) || reached[f.Name] {
+			continue
+		}
+		if !hasIncoming[f.Name] {
+			l.add("SG101", SevError, l.sm.FuncLine(f.Name),
+				"state %q is unreachable: no sm_transition ever enters it", f.Name)
+		} else {
+			l.add("SG102", SevError, l.sm.FuncLine(f.Name),
+				"state %q has no pure-function recovery walk from s0: R0 cannot rebuild descriptors in it", f.Name)
+		}
+	}
+
+	// Dead-end detection: a reachable live state with no outgoing edge at
+	// all traps descriptors forever — they can never be terminated.
+	outgoing := make(map[string]bool)
+	for key := range next {
+		state, _, _ := strings.Cut(key, "\x00")
+		outgoing[state] = true
+	}
+	states := make([]string, 0, len(reached))
+	for st := range reached {
+		states = append(states, st)
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		if st == core.StateClosed || outgoing[st] {
+			continue
+		}
+		line := 0
+		if st != core.StateInitial {
+			line = l.sm.FuncLine(st)
+		}
+		l.add("SG104", SevWarn, line,
+			"state %q is a dead end: no transition leaves it, so descriptors in it can never be closed", st)
+	}
+}
+
+// lintLeak reports creation without terminal: descriptors can be made but
+// never destroyed, so stub tracking state grows without bound (SG103).
+func (l *linter) lintLeak() {
+	if len(l.spec.Creation) == 0 || len(l.spec.Terminal) > 0 {
+		return
+	}
+	l.add("SG103", SevWarn, l.sm.SetLine("sm_creation", 0),
+		"creation function %s has no matching sm_terminal: descriptors leak (tracking state grows forever)",
+		l.spec.Creation[0])
+}
+
+// lintHolds reports blocking functions with no completion protocol (SG105):
+// a function declared sm_block that is neither the hold side of an sm_hold
+// pair nor declared sm_reset. Recovery must know how a block completes — a
+// hold pair says "re-acquire for the holder, re-contend for waiters"
+// (§II-C's lock recovery); sm_reset says "a completed block leaves the
+// descriptor available again" (the event/timer pattern). With neither,
+// recovery cannot decide what to do with threads observed blocked there.
+//
+// It also reports hold pairs whose release side is itself declared sm_block
+// (SG110): replaying such a release during recovery could block the
+// recovering thread, which recovery walks must never do.
+func (l *linter) lintHolds() {
+	spec := l.spec
+	for i, fn := range spec.Blocking {
+		if spec.Func(fn) == nil {
+			continue // unknown name: Validate's problem
+		}
+		if _, isHold := spec.HoldFn(fn); isHold || spec.IsReset(fn) {
+			continue
+		}
+		l.add("SG105", SevWarn, l.sm.SetLine("sm_block", i),
+			"sm_block(%s) has neither sm_hold nor sm_reset: recovery cannot decide whether to re-acquire or re-contend threads blocked in %s",
+			fn, fn)
+	}
+	for i, h := range spec.Holds {
+		if spec.Func(h.Release) == nil {
+			continue
+		}
+		if spec.IsBlocking(h.Release) {
+			l.add("SG110", SevWarn, l.sm.HoldLine(i),
+				"sm_hold(%s, %s): release %s is declared sm_block; replaying it during recovery could block the recovering thread",
+				h.Hold, h.Release, h.Release)
+		}
+	}
+}
+
+// lintWakeup reports wakeup functions with nothing to wake (SG106): the spec
+// declares sm_wakeup but no sm_block, so no thread can ever be blocked on
+// the descriptor.
+func (l *linter) lintWakeup() {
+	if len(l.spec.Wakeup) == 0 || len(l.spec.Blocking) > 0 {
+		return
+	}
+	l.add("SG106", SevWarn, l.sm.SetLine("sm_wakeup", 0),
+		"sm_wakeup(%s) without any sm_block function: there is never a blocked thread to wake",
+		l.spec.Wakeup[0])
+}
+
+// reportMechanisms emits the SG109 coverage report: which of the paper's
+// recovery mechanisms (§III-C) this spec's descriptor-resource model
+// exercises, and which it does not require.
+func (l *linter) reportMechanisms() {
+	all := []core.Mechanism{
+		core.MechR0, core.MechT0, core.MechT1, core.MechD0,
+		core.MechD1, core.MechG0, core.MechG1, core.MechU0,
+	}
+	var used, unused []string
+	for _, m := range all {
+		if l.spec.HasMechanism(m) {
+			used = append(used, m.String())
+		} else {
+			unused = append(unused, m.String())
+		}
+	}
+	l.add("SG109", SevInfo, l.sm.GlobalLine(),
+		"mechanism coverage: requires %s; not required: %s",
+		strings.Join(used, ","), strings.Join(unused, ","))
+}

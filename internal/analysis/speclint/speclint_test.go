@@ -1,0 +1,249 @@
+package speclint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"superglue/internal/core"
+	"superglue/internal/services/event"
+	"superglue/internal/services/lock"
+	"superglue/internal/services/mm"
+	"superglue/internal/services/ramfs"
+	"superglue/internal/services/sched"
+	"superglue/internal/services/timer"
+)
+
+// lintFixture lints one testdata file and returns its diagnostics.
+func lintFixture(t *testing.T, name string) []Diagnostic {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	service := strings.TrimSuffix(name, ".sg")
+	diags, err := LintSource(service, string(src))
+	if err != nil {
+		t.Fatalf("LintSource(%s): %v", name, err)
+	}
+	return diags
+}
+
+// codes extracts the sorted multiset of diagnostic codes, excluding the
+// always-present SG109 coverage report.
+func codes(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		if d.Code == "SG109" {
+			continue
+		}
+		out = append(out, d.Code)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestFixtures drives every diagnostic off its purpose-built fixture: one
+// minimal .sg file per code, asserting the exact multiset of findings and
+// that findings carry line positions.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		file string
+		want []string // expected codes, sorted, SG109 excluded
+	}{
+		{"clean.sg", nil},
+		{"sg100_invalid.sg", []string{"SG100"}},
+		{"sg101_unreachable.sg", []string{"SG101"}},
+		{"sg102_no_walk.sg", []string{"SG102", "SG102"}},
+		{"sg103_leak.sg", []string{"SG103"}},
+		{"sg104_deadend.sg", []string{"SG104"}},
+		{"sg105_block.sg", []string{"SG105"}},
+		{"sg106_wakeup.sg", []string{"SG106"}},
+		{"sg107_shadow.sg", []string{"SG107"}},
+		{"sg108_ambiguous.sg", []string{"SG108"}},
+		{"sg110_blockrelease.sg", []string{"SG110"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			diags := lintFixture(t, tc.file)
+			got := codes(diags)
+			if strings.Join(got, ",") != strings.Join(tc.want, ",") {
+				t.Fatalf("codes = %v, want %v\ndiags:\n%s", got, tc.want, render(diags))
+			}
+			for _, d := range diags {
+				// SG100 is a whole-spec finding; SG109 anchors to the
+				// service_global_info block, which minimal fixtures omit.
+				if d.Code != "SG100" && d.Code != "SG109" && d.Line == 0 {
+					t.Errorf("%s: diagnostic %s has no line position", tc.file, d.Code)
+				}
+				if d.Service != strings.TrimSuffix(tc.file, ".sg") {
+					t.Errorf("diagnostic service = %q", d.Service)
+				}
+			}
+		})
+	}
+}
+
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}
+
+// TestSeverities pins the code → severity mapping.
+func TestSeverities(t *testing.T) {
+	want := map[string]Severity{
+		"SG100": SevError, "SG101": SevError, "SG102": SevError,
+		"SG103": SevWarn, "SG104": SevWarn, "SG105": SevWarn,
+		"SG106": SevWarn, "SG107": SevError, "SG108": SevWarn,
+		"SG109": SevInfo, "SG110": SevWarn,
+	}
+	files := []string{
+		"clean.sg", "sg100_invalid.sg", "sg101_unreachable.sg",
+		"sg102_no_walk.sg", "sg103_leak.sg", "sg104_deadend.sg",
+		"sg105_block.sg", "sg106_wakeup.sg", "sg107_shadow.sg",
+		"sg108_ambiguous.sg", "sg110_blockrelease.sg",
+	}
+	for _, f := range files {
+		for _, d := range lintFixture(t, f) {
+			if sev, ok := want[d.Code]; !ok {
+				t.Errorf("%s: unknown code %s", f, d.Code)
+			} else if d.Severity != sev {
+				t.Errorf("%s: %s severity = %v, want %v", f, d.Code, d.Severity, sev)
+			}
+		}
+	}
+}
+
+// TestLines spot-checks line accuracy against the fixture sources.
+func TestLines(t *testing.T) {
+	diags := lintFixture(t, "sg104_deadend.sg")
+	var got int
+	for _, d := range diags {
+		if d.Code == "SG104" {
+			got = d.Line
+		}
+	}
+	// f_cfg's prototype is the last line of the fixture.
+	src, _ := os.ReadFile(filepath.Join("testdata", "sg104_deadend.sg"))
+	want := strings.Count(strings.TrimRight(string(src), "\n"), "\n") + 1
+	if got != want {
+		t.Errorf("SG104 line = %d, want %d (f_cfg prototype)", got, want)
+	}
+
+	diags = lintFixture(t, "sg107_shadow.sg")
+	for _, d := range diags {
+		if d.Code == "SG107" && d.Line != 7 {
+			t.Errorf("SG107 line = %d, want 7 (the duplicate sm_transition)", d.Line)
+		}
+		if d.Code == "SG107" && !strings.Contains(d.Message, "at line 6") {
+			t.Errorf("SG107 should cite the first declaration's line: %s", d.Message)
+		}
+	}
+}
+
+// TestBuiltinSpecsClean locks in that all six system-service specifications
+// lint clean: nothing above SevInfo, and exactly one SG109 coverage report
+// each. This is the spec-level half of `make lint`'s clean-on-main contract.
+func TestBuiltinSpecsClean(t *testing.T) {
+	sources := map[string]string{
+		"event": event.IDLSource(),
+		"lock":  lock.IDLSource(),
+		"mm":    mm.IDLSource(),
+		"ramfs": ramfs.IDLSource(),
+		"sched": sched.IDLSource(),
+		"timer": timer.IDLSource(),
+	}
+	for name, src := range sources {
+		diags, err := LintSource(name, src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var infos int
+		for _, d := range diags {
+			if d.Severity != SevInfo {
+				t.Errorf("%s: unexpected finding: %s", name, d)
+			} else {
+				infos++
+			}
+		}
+		if infos != 1 {
+			t.Errorf("%s: %d info diagnostics, want exactly the SG109 report", name, infos)
+		}
+	}
+}
+
+// TestMechanismCoverage checks the SG109 report content for two services
+// with known mechanism sets (the §III-C mapping).
+func TestMechanismCoverage(t *testing.T) {
+	diags, err := LintSource("event", event.IDLSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := findCode(diags, "SG109")
+	for _, mech := range []string{"R0", "T0", "T1", "D1", "G0", "U0"} {
+		if !strings.Contains(strings.Split(report, "; not required")[0], mech) {
+			t.Errorf("event coverage missing %s: %s", mech, report)
+		}
+	}
+	if !strings.Contains(report, "not required: D0,G1") {
+		t.Errorf("event should not require D0/G1: %s", report)
+	}
+
+	diags, err = LintSource("ramfs", ramfs.IDLSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report = findCode(diags, "SG109")
+	if !strings.Contains(report, "G1") || strings.Contains(strings.Split(report, ";")[0], "T0") {
+		t.Errorf("ramfs coverage should include G1 and not T0: %s", report)
+	}
+}
+
+func findCode(diags []Diagnostic, code string) string {
+	for _, d := range diags {
+		if d.Code == code {
+			return d.Message
+		}
+	}
+	return ""
+}
+
+// TestLintHandBuiltSpec checks Lint tolerates a nil SourceMap (hand-built
+// specs have no source positions).
+func TestLintHandBuiltSpec(t *testing.T) {
+	spec := &core.Spec{
+		Service:       "hand",
+		DescHasParent: core.ParentSolo,
+		Funcs: []*core.FuncSpec{
+			{Name: "mk", RetDescID: true, RetName: "id"},
+			{Name: "rm", Params: []core.ParamSpec{{CType: "long", Name: "id", Role: core.RoleDesc}}},
+		},
+		Creation:    []string{"mk"},
+		Transitions: []core.Transition{{From: "mk", To: "rm"}},
+		Terminal:    []string{"rm"},
+	}
+	diags := Lint(spec, nil)
+	if HasErrors(diags) {
+		t.Fatalf("unexpected errors:\n%s", render(diags))
+	}
+	for _, d := range diags {
+		if d.Line != 0 {
+			t.Errorf("nil SourceMap should yield line 0, got %d", d.Line)
+		}
+	}
+}
+
+// TestHasErrors exercises the error predicate both ways.
+func TestHasErrors(t *testing.T) {
+	if HasErrors(lintFixture(t, "sg103_leak.sg")) {
+		t.Error("warn-only fixture should not report errors")
+	}
+	if !HasErrors(lintFixture(t, "sg101_unreachable.sg")) {
+		t.Error("sg101 fixture should report errors")
+	}
+}

@@ -376,20 +376,7 @@ func clientTailFragments() []Fragment {
 			w.p("// found a stale global ID and upcalled us, the recorded creator (G0).")
 			w.p("func (s *ClientStub) RecreateByServerID(t *kernel.Thread, stale kernel.Word) (kernel.Word, error) {")
 			w.in()
-			w.p("for _, d := range s.descs {")
-			w.in()
-			w.p("if d.ServerID == stale && !d.Closed {")
-			w.in()
-			w.p("if err := s.recover(t, d); err != nil {")
-			w.in()
-			w.p("return 0, err")
-			w.out()
-			w.p("}")
-			w.p("return d.ServerID, nil")
-			w.out()
-			w.p("}")
-			w.out()
-			w.p("}")
+			emitRecreateScan(w)
 			w.p("// Possibly already remapped by our own recovery.")
 			w.p("if now := s.host.System().Store().Resolve(s.class, stale); now != stale {")
 			w.in()
@@ -407,25 +394,51 @@ func clientTailFragments() []Fragment {
 			w.p("// applies.")
 			w.p("func (s *ClientStub) RecreateByServerID(t *kernel.Thread, stale kernel.Word) (kernel.Word, error) {")
 			w.in()
-			w.p("for _, d := range s.descs {")
-			w.in()
-			w.p("if d.ServerID == stale && !d.Closed {")
-			w.in()
-			w.p("if err := s.recover(t, d); err != nil {")
-			w.in()
-			w.p("return 0, err")
-			w.out()
-			w.p("}")
-			w.p("return d.ServerID, nil")
-			w.out()
-			w.p("}")
-			w.out()
-			w.p("}")
+			emitRecreateScan(w)
 			w.p(`return 0, fmt.Errorf("%s: no descriptor with server id %%d", stale)`, ir.Package())
 			w.out()
 			w.p("}")
 		}},
 	}
+}
+
+// emitRecreateScan emits the deterministic stale-server-ID scan shared by
+// both RecreateByServerID variants: candidates are collected and sorted by
+// descriptor key so a duplicate server ID resolves to the same descriptor
+// on every replay (a first-match return over the map would depend on Go's
+// randomized iteration order).
+func emitRecreateScan(w *writer) {
+	w.p("var keys []genrt.Key")
+	w.p("for key, d := range s.descs {")
+	w.in()
+	w.p("if d.ServerID == stale && !d.Closed {")
+	w.in()
+	w.p("keys = append(keys, key)")
+	w.out()
+	w.p("}")
+	w.out()
+	w.p("}")
+	w.p("sort.Slice(keys, func(i, j int) bool {")
+	w.in()
+	w.p("if keys[i].NS != keys[j].NS {")
+	w.in()
+	w.p("return keys[i].NS < keys[j].NS")
+	w.out()
+	w.p("}")
+	w.p("return keys[i].ID < keys[j].ID")
+	w.out()
+	w.p("})")
+	w.p("for _, key := range keys {")
+	w.in()
+	w.p("d := s.descs[key]")
+	w.p("if err := s.recover(t, d); err != nil {")
+	w.in()
+	w.p("return 0, err")
+	w.out()
+	w.p("}")
+	w.p("return d.ServerID, nil")
+	w.out()
+	w.p("}")
 }
 
 // fnIR finds the FnIR for a function name.

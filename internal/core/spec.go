@@ -425,6 +425,10 @@ var ErrInvalidSpec = errors.New("core: invalid interface specification")
 // Validate checks the internal consistency rules of the model:
 //
 //   - every declared set member and transition endpoint is a known function;
+//   - no sm_* set declares the same function twice, no sm_transition pair is
+//     declared twice, and no hold function appears in two sm_hold pairs
+//     (duplicates silently shadow each other in the compiled machine —
+//     promoted from speclint findings to hard invariants);
 //   - at least one creation function exists;
 //   - B_r holds iff I^block is non-empty (§III-B: I^block ≠ ∅ ↔ B_r);
 //   - C_dr implies P_dr ≠ Solo, and Y_dr implies ¬C_dr with P_dr ≠ Solo per
@@ -493,10 +497,15 @@ func (s *Spec) Validate() error {
 		{"sm_reset", s.Reset},
 		{"sm_restore", s.Restore},
 	} {
+		inSet := make(map[string]bool, len(set.fns))
 		for _, fn := range set.fns {
 			if !seen[fn] {
 				return fail("%s names unknown function %s", set.name, fn)
 			}
+			if inSet[fn] {
+				return fail("duplicate %s(%s) declaration", set.name, fn)
+			}
+			inSet[fn] = true
 		}
 	}
 	for _, fn := range append(append([]string{}, s.Update...), s.Reset...) {
@@ -504,10 +513,15 @@ func (s *Spec) Validate() error {
 			return fail("%s cannot be both update/reset and creation/terminal", fn)
 		}
 	}
+	seenTr := make(map[Transition]bool, len(s.Transitions))
 	for _, tr := range s.Transitions {
 		if !seen[tr.From] || !seen[tr.To] {
 			return fail("sm_transition(%s, %s) names an unknown function", tr.From, tr.To)
 		}
+		if seenTr[tr] {
+			return fail("duplicate sm_transition(%s, %s) declaration", tr.From, tr.To)
+		}
+		seenTr[tr] = true
 		if s.IsTerminal(tr.From) {
 			return fail("sm_transition from terminal function %s", tr.From)
 		}
@@ -515,10 +529,15 @@ func (s *Spec) Validate() error {
 			return fail("sm_transition from update function %s (update functions do not change state)", tr.From)
 		}
 	}
+	seenHold := make(map[string]bool, len(s.Holds))
 	for _, h := range s.Holds {
 		if !seen[h.Hold] || !seen[h.Release] {
 			return fail("sm_hold(%s, %s) names an unknown function", h.Hold, h.Release)
 		}
+		if seenHold[h.Hold] {
+			return fail("duplicate sm_hold for hold function %s", h.Hold)
+		}
+		seenHold[h.Hold] = true
 		if !s.IsBlocking(h.Hold) {
 			return fail("sm_hold: %s must be declared sm_block", h.Hold)
 		}

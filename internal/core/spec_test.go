@@ -85,6 +85,15 @@ func TestSpecValidationErrors(t *testing.T) {
 			s.Funcs[1].Params[0].Role = RoleParentNS
 		}, "parent_ns"},
 		{"creation without id", func(s *Spec) { s.Funcs[0].RetDescID = false }, "creation function"},
+		{"dup set member", func(s *Spec) {
+			s.Creation = append(s.Creation, "lock_alloc")
+		}, "duplicate sm_creation(lock_alloc) declaration"},
+		{"dup transition", func(s *Spec) {
+			s.Transitions = append(s.Transitions, Transition{From: "lock_alloc", To: "lock_take"})
+		}, "duplicate sm_transition(lock_alloc, lock_take) declaration"},
+		{"dup hold", func(s *Spec) {
+			s.Holds = append(s.Holds, HoldPair{Hold: "lock_take", Release: "lock_release"})
+		}, "duplicate sm_hold for hold function lock_take"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

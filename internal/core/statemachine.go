@@ -81,6 +81,18 @@ func (s *Spec) fromState(fn string) string {
 	return st
 }
 
+// StateAfter maps a function to the shared descriptor state after the
+// function is applied: s0 for creation and reset functions, closed for
+// terminal functions, the function's own name for pure transitions, and ""
+// for update and per-thread functions (state unchanged). Exported for
+// analysis tooling (internal/analysis/speclint).
+func (s *Spec) StateAfter(fn string) string { return s.stateAfter(fn) }
+
+// TransitionFromState maps a transition's From function to the state the
+// transition departs from, with per-thread functions anchored at s0 exactly
+// as NewStateMachine compiles them. Exported for analysis tooling.
+func (s *Spec) TransitionFromState(fn string) string { return s.fromState(fn) }
+
 // NewStateMachine compiles the spec's transition declarations into an
 // explicit state machine and precomputes the shortest recovery walks. It
 // fails if any pure function's state is unreachable from s0, which would

@@ -135,12 +135,25 @@ func (t *Tracker) Lookup(key DescKey) (*Descriptor, bool) {
 // LookupByServerID finds the live descriptor currently known to the server
 // by sid. Used by upcall-driven recovery, which receives server-side IDs.
 func (t *Tracker) LookupByServerID(sid kernel.Word) (*Descriptor, bool) {
+	// A server that leaks the same sid for two live descriptors would make
+	// first-match lookup depend on map iteration order; collect and sort by
+	// key so replay always resolves the same descriptor.
+	var matches []*Descriptor
 	for _, d := range t.descs {
 		if d.ServerID == sid && !d.Closed {
-			return d, true
+			matches = append(matches, d)
 		}
 	}
-	return nil, false
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Key.NS != matches[j].Key.NS {
+			return matches[i].Key.NS < matches[j].Key.NS
+		}
+		return matches[i].Key.ID < matches[j].Key.ID
+	})
+	if len(matches) == 0 {
+		return nil, false
+	}
+	return matches[0], true
 }
 
 // Insert adds a fresh descriptor; replacing a live one is a tracking bug.

@@ -1,53 +1,21 @@
 package gen
 
 import (
-	"os"
-	"path/filepath"
 	"testing"
 
-	"superglue/internal/codegen"
-	"superglue/internal/idl"
-	"superglue/internal/services/event"
-	"superglue/internal/services/lock"
-	"superglue/internal/services/mm"
-	"superglue/internal/services/ramfs"
-	"superglue/internal/services/sched"
-	"superglue/internal/services/timer"
+	"superglue/internal/analysis/driftcheck"
 )
 
 // TestCommittedStubsMatchGenerator regenerates every stub from its IDL and
 // requires byte equality with the committed files, so `go run ./cmd/sgc
-// -builtin -o internal/gen` is always reflected in the tree.
+// -builtin -o internal/gen` is always reflected in the tree. The same
+// check runs as `sgc vet -gen` in `make lint`.
 func TestCommittedStubsMatchGenerator(t *testing.T) {
-	for name, src := range map[string]string{
-		"lock":  lock.IDLSource(),
-		"event": event.IDLSource(),
-		"sched": sched.IDLSource(),
-		"timer": timer.IDLSource(),
-		"mm":    mm.IDLSource(),
-		"ramfs": ramfs.IDLSource(),
-	} {
-		spec, err := idl.Parse(name, src)
-		if err != nil {
-			t.Fatalf("Parse(%s): %v", name, err)
-		}
-		ir, err := codegen.NewIR(spec)
-		if err != nil {
-			t.Fatalf("NewIR(%s): %v", name, err)
-		}
-		files, err := codegen.Generate(ir)
-		if err != nil {
-			t.Fatalf("Generate(%s): %v", name, err)
-		}
-		for fname, want := range files {
-			path := filepath.Join(ir.Package(), fname)
-			got, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("reading committed %s: %v (run `go run ./cmd/sgc -builtin -o internal/gen`)", path, err)
-			}
-			if string(got) != want {
-				t.Errorf("%s is stale: regenerate with `go run ./cmd/sgc -builtin -o internal/gen`", path)
-			}
-		}
+	drifts, err := driftcheck.Check(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range drifts {
+		t.Error(d)
 	}
 }

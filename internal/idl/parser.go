@@ -44,9 +44,41 @@ type parser struct {
 	pos  int
 	spec *core.Spec
 
+	// sm, when non-nil, collects declaration positions for analysis tooling
+	// (see ParseWithMap).
+	sm *SourceMap
+
 	// pendingRet holds a desc_data_retval declaration that attaches to the
 	// next function prototype.
 	pendingRet *retDecl
+}
+
+// record appends line to the SourceMap slice for the named sm_* set, when
+// position collection is enabled.
+func (p *parser) record(set string, line int) {
+	if p.sm == nil {
+		return
+	}
+	switch set {
+	case "sm_transition":
+		p.sm.Transitions = append(p.sm.Transitions, line)
+	case "sm_hold":
+		p.sm.Holds = append(p.sm.Holds, line)
+	case "sm_creation":
+		p.sm.Creation = append(p.sm.Creation, line)
+	case "sm_terminal":
+		p.sm.Terminal = append(p.sm.Terminal, line)
+	case "sm_block":
+		p.sm.Blocking = append(p.sm.Blocking, line)
+	case "sm_wakeup":
+		p.sm.Wakeup = append(p.sm.Wakeup, line)
+	case "sm_update":
+		p.sm.Update = append(p.sm.Update, line)
+	case "sm_reset":
+		p.sm.Reset = append(p.sm.Reset, line)
+	case "sm_restore":
+		p.sm.Restore = append(p.sm.Restore, line)
+	}
 }
 
 type retDecl struct {
@@ -104,7 +136,10 @@ func (p *parser) parseFile() error {
 
 // parseGlobalInfo parses the service_global_info = { k = v, ... }; block.
 func (p *parser) parseGlobalInfo() error {
-	p.next() // service_global_info
+	head := p.next() // service_global_info
+	if p.sm != nil {
+		p.sm.Global = head.line
+	}
 	if _, err := p.expect(tokAssign); err != nil {
 		return err
 	}
@@ -237,6 +272,7 @@ func (p *parser) parseSMDecl() error {
 		return nil
 	}
 	spec := p.spec
+	p.record(head.text, head.line)
 	switch head.text {
 	case "sm_transition":
 		if err := need(2); err != nil {
@@ -376,6 +412,11 @@ func (p *parser) parseFuncDecl() error {
 			f.RetCType = p.pendingRet.ctype
 		}
 		p.pendingRet = nil
+	}
+	if p.sm != nil {
+		if _, dup := p.sm.Funcs[f.Name]; !dup {
+			p.sm.Funcs[f.Name] = first.line
+		}
 	}
 	p.spec.Funcs = append(p.spec.Funcs, f)
 	return nil

@@ -1,0 +1,112 @@
+package idl
+
+import "superglue/internal/core"
+
+// SourceMap records the source line of every declaration in an IDL file, so
+// tooling (internal/analysis/speclint, `sgc vet`) can attach line-accurate
+// diagnostics to the compiled core.Spec, which itself carries no positions.
+//
+// The per-declaration slices are parallel to the corresponding core.Spec
+// slices: Transitions[i] is the line of spec.Transitions[i], Creation[i] the
+// line of spec.Creation[i], and so on. FuncLine resolves a function name to
+// the line of its prototype.
+type SourceMap struct {
+	// Funcs maps a function name to the line of its prototype declaration.
+	Funcs map[string]int
+	// Transitions[i] is the line of spec.Transitions[i].
+	Transitions []int
+	// Holds[i] is the line of spec.Holds[i].
+	Holds []int
+	// Per-set declaration lines, parallel to the spec's string slices.
+	Creation, Terminal, Blocking, Wakeup, Update, Reset, Restore []int
+	// Global is the line of the service_global_info block, or 0.
+	Global int
+}
+
+func newSourceMap() *SourceMap {
+	return &SourceMap{Funcs: make(map[string]int)}
+}
+
+// FuncLine returns the declaration line of a function, or 0 if unknown.
+func (m *SourceMap) FuncLine(name string) int {
+	if m == nil {
+		return 0
+	}
+	return m.Funcs[name]
+}
+
+// setLine returns the declaration line of element i of the named sm_* set
+// (one of "sm_creation", "sm_terminal", "sm_block", "sm_wakeup", "sm_update",
+// "sm_reset", "sm_restore"), or 0 when out of range.
+func (m *SourceMap) setLine(set string, i int) int {
+	if m == nil {
+		return 0
+	}
+	var lines []int
+	switch set {
+	case "sm_creation":
+		lines = m.Creation
+	case "sm_terminal":
+		lines = m.Terminal
+	case "sm_block":
+		lines = m.Blocking
+	case "sm_wakeup":
+		lines = m.Wakeup
+	case "sm_update":
+		lines = m.Update
+	case "sm_reset":
+		lines = m.Reset
+	case "sm_restore":
+		lines = m.Restore
+	}
+	if i < 0 || i >= len(lines) {
+		return 0
+	}
+	return lines[i]
+}
+
+// GlobalLine returns the line of the service_global_info block, or 0.
+func (m *SourceMap) GlobalLine() int {
+	if m == nil {
+		return 0
+	}
+	return m.Global
+}
+
+// SetLine resolves the line of element i of a declared sm_* set by set name.
+func (m *SourceMap) SetLine(set string, i int) int { return m.setLine(set, i) }
+
+// TransitionLine returns the line of transition i, or 0.
+func (m *SourceMap) TransitionLine(i int) int {
+	if m == nil || i < 0 || i >= len(m.Transitions) {
+		return 0
+	}
+	return m.Transitions[i]
+}
+
+// HoldLine returns the line of hold pair i, or 0.
+func (m *SourceMap) HoldLine(i int) int {
+	if m == nil || i < 0 || i >= len(m.Holds) {
+		return 0
+	}
+	return m.Holds[i]
+}
+
+// ParseWithMap compiles IDL source like ParseLax — without running
+// core.Spec.Validate, so analysis tools can lint invalid specifications —
+// and additionally returns the SourceMap of declaration positions.
+func ParseWithMap(service, src string) (*core.Spec, *SourceMap, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &parser{
+		toks: toks,
+		spec: &core.Spec{Service: service, DescHasParent: core.ParentSolo},
+		sm:   newSourceMap(),
+	}
+	if err := p.parseFile(); err != nil {
+		return nil, nil, err
+	}
+	return p.spec, p.sm, nil
+}

@@ -46,8 +46,7 @@ func (k *Kernel) FailComponent(id ComponentID) error {
 	if err != nil {
 		return err
 	}
-	epoch, _ := c.snapshot()
-	c.state.Store(packState(epoch, true))
+	c.markFaulty()
 	return nil
 }
 
@@ -99,12 +98,7 @@ func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch
 	}
 	newEpoch := oldEpoch + 1
 	svc := c.factory()
-	// Publish the fresh instance before the new state word: a lock-free
-	// reader that observes the bumped epoch then observes the new instance.
-	// (A reader that loads the old state with the new instance just faults
-	// on the post-dispatch epoch check, which is the required semantics.)
-	c.svc.Store(&svcBox{svc: svc})
-	c.state.Store(packState(newEpoch, false))
+	c.install(svc, newEpoch)
 
 	// Eager (T0) wakeup: divert threads blocked inside the failed instance
 	// back to their clients with a pending fault carrying the old epoch.

@@ -131,9 +131,11 @@ type component struct {
 	budget Time
 
 	// state packs (epoch << 1) | faulty — see packState.
+	//sgvet:atomicstate accessors=snapshot,curEpoch,markFaulty,install
 	state atomic.Uint64
 	// svc is the live service instance (see the struct comment for the
 	// store/load ordering against state).
+	//sgvet:atomicstate accessors=service,install
 	svc atomic.Pointer[svcBox]
 }
 
@@ -148,6 +150,24 @@ func (c *component) curEpoch() uint64 { return c.state.Load() >> 1 }
 
 // service returns the live service instance.
 func (c *component) service() Service { return c.svc.Load().svc }
+
+// markFaulty sets the faulty bit, preserving the epoch. Called with k.mu
+// held, so it cannot race other writers.
+func (c *component) markFaulty() {
+	epoch, _ := c.snapshot()
+	c.state.Store(packState(epoch, true))
+}
+
+// install publishes a service instance and then the clean state word for
+// epoch. The instance is stored first so a lock-free reader that observes
+// the new epoch also observes the new instance; a reader that loads the old
+// state with the new instance faults on the post-dispatch epoch check,
+// which is the required semantics. Called with k.mu held (registration and
+// µ-reboot).
+func (c *component) install(svc Service, epoch uint64) {
+	c.svc.Store(&svcBox{svc: svc})
+	c.state.Store(packState(epoch, false))
+}
 
 // ErrNoSuchComponent is returned for invocations that target an unknown
 // component ID.
@@ -251,7 +271,7 @@ func (k *Kernel) Register(factory func() Service) (ComponentID, error) {
 	k.mu.Lock()
 	id := ComponentID(len(k.comps) + 1)
 	c := &component{id: id, name: svc.Name(), factory: factory, profile: DefaultRegProfile()}
-	c.svc.Store(&svcBox{svc: svc})
+	c.install(svc, 0)
 	k.comps = append(k.comps, c)
 	view := make([]*component, len(k.comps))
 	copy(view, k.comps)

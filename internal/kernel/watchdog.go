@@ -1,5 +1,7 @@
 package kernel
 
+import "sort"
+
 // The kernel watchdog closes the latent-fault gap of the paper's fail-stop
 // model. The paper detects faults as hardware exceptions; an unbounded loop
 // raises no exception, so the machine hangs and the campaign books the trial
@@ -153,7 +155,7 @@ func (k *Kernel) watchdogHangLocked(t *Thread) bool {
 	}
 	k.clock += k.budgetForLocked(comp)
 	epoch, _ := c.snapshot()
-	c.state.Store(packState(epoch, true))
+	c.markFaulty()
 	k.wdStats.HangsCaught++
 	k.wdStats.LastComp = comp
 	t.watchdogFault = &Fault{Comp: comp, Epoch: epoch}
@@ -182,9 +184,14 @@ func (k *Kernel) watchdogDivertLocked() bool {
 			counts[t.blockedIn]++
 		}
 	}
+	suspects := make([]ComponentID, 0, len(counts))
+	for comp := range counts {
+		suspects = append(suspects, comp)
+	}
+	sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
 	var blamed ComponentID
-	for comp, n := range counts {
-		if blamed == 0 || n > counts[blamed] || (n == counts[blamed] && comp < blamed) {
+	for _, comp := range suspects {
+		if blamed == 0 || counts[comp] > counts[blamed] {
 			blamed = comp
 		}
 	}
@@ -199,7 +206,7 @@ func (k *Kernel) watchdogDivertLocked() bool {
 	}
 	k.clock += k.budgetForLocked(blamed)
 	epoch, _ := c.snapshot()
-	c.state.Store(packState(epoch, true))
+	c.markFaulty()
 	k.wdStats.DeadlocksAttributed++
 	k.wdStats.LastComp = blamed
 	for _, bt := range k.threads {

@@ -1,0 +1,31 @@
+// Package builtin enumerates the six embedded system-service IDL
+// specifications in one fixed order, so every consumer — the sgc compiler,
+// the drift checker, lint drivers — sees the same deterministic sequence.
+package builtin
+
+import (
+	"superglue/internal/services/event"
+	"superglue/internal/services/lock"
+	"superglue/internal/services/mm"
+	"superglue/internal/services/ramfs"
+	"superglue/internal/services/sched"
+	"superglue/internal/services/timer"
+)
+
+// Source is one embedded specification.
+type Source struct {
+	Service string
+	IDL     string
+}
+
+// Sources returns the built-in specifications ordered by service name.
+func Sources() []Source {
+	return []Source{
+		{Service: "event", IDL: event.IDLSource()},
+		{Service: "lock", IDL: lock.IDLSource()},
+		{Service: "mm", IDL: mm.IDLSource()},
+		{Service: "ramfs", IDL: ramfs.IDLSource()},
+		{Service: "sched", IDL: sched.IDLSource()},
+		{Service: "timer", IDL: timer.IDLSource()},
+	}
+}
