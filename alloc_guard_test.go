@@ -5,6 +5,7 @@ import (
 
 	"superglue/internal/core"
 	"superglue/internal/kernel"
+	"superglue/internal/obs"
 	"superglue/internal/services/event"
 	"superglue/internal/services/lock"
 )
@@ -52,6 +53,93 @@ func TestKernelInvokeZeroAllocs(t *testing.T) {
 	}
 	if allocs != 0 {
 		t.Errorf("steady-state kernel Invoke allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestKernelInvokeZeroAllocsTracingDisabled pins the same fast path after a
+// tracer has been installed and removed again: the stub trace hooks sit
+// behind a nil-check, and with the recorder detached they must cost nothing.
+func TestKernelInvokeZeroAllocsTracingDisabled(t *testing.T) {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := event.Register(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetTracer(obs.NewRecorder(obs.DefaultCapacity))
+	sys.SetTracer(nil)
+	k := sys.Kernel()
+	allocs := -1.0
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		id, err := k.Invoke(th, comp, event.FnSplit, 1, 0, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		args := []kernel.Word{1, id}
+		if _, err := k.Invoke(th, comp, event.FnTrigger, args...); err != nil {
+			t.Error(err)
+			return
+		}
+		allocs = testing.AllocsPerRun(500, func() {
+			if _, err := k.Invoke(th, comp, event.FnTrigger, args...); err != nil {
+				t.Error(err)
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("tracing-disabled kernel Invoke allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestKernelInvokeZeroAllocsTracingEnabled pins the fast path with a live
+// recorder attached: the ring buffer's steady-state Record path is
+// allocation-free, so enabling tracing must not add GC pressure either.
+func TestKernelInvokeZeroAllocsTracingEnabled(t *testing.T) {
+	sys, err := core.NewSystem(core.OnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := event.Register(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetTracer(obs.NewRecorder(obs.DefaultCapacity))
+	k := sys.Kernel()
+	allocs := -1.0
+	if _, err := k.CreateThread(nil, "main", 10, func(th *kernel.Thread) {
+		id, err := k.Invoke(th, comp, event.FnSplit, 1, 0, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		args := []kernel.Word{1, id}
+		// Warm: the first traced invoke touches the recorder's cold
+		// per-component aggregate slots.
+		if _, err := k.Invoke(th, comp, event.FnTrigger, args...); err != nil {
+			t.Error(err)
+			return
+		}
+		allocs = testing.AllocsPerRun(500, func() {
+			if _, err := k.Invoke(th, comp, event.FnTrigger, args...); err != nil {
+				t.Error(err)
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("tracing-enabled kernel Invoke allocates %.1f objects/op, want 0", allocs)
 	}
 }
 

@@ -7,6 +7,7 @@
 //	sgc [-o dir] [-print] [-loc] file.sg [file2.sg ...]
 //	sgc -builtin [-o dir] [-loc]
 //	sgc vet [-builtin] [-gen] [-gendir dir] [file.sg ...]
+//	sgc doc [-builtin] [-o dir] [-print] [-check] [file.sg ...]
 //
 // The service name is derived from each file's base name (event.sg →
 // service "event", package "genevent"). -builtin compiles the six embedded
@@ -20,6 +21,12 @@
 // committed generated stubs for drift against the generator. It exits
 // nonzero if any warning- or error-severity diagnostic fires, or if any
 // committed stub is stale.
+//
+// The doc subcommand renders each specification as a markdown reference
+// document (descriptor-resource model, recovery-mechanism coverage,
+// interface functions, the descriptor state machine as a Mermaid diagram,
+// recovery walks). -check verifies the committed docs/services files
+// against the specifications and exits nonzero on drift.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"superglue/internal/analysis/driftcheck"
 	"superglue/internal/analysis/speclint"
 	"superglue/internal/codegen"
+	"superglue/internal/docgen"
 	"superglue/internal/experiments"
 	"superglue/internal/idl"
 	"superglue/internal/services/builtin"
@@ -43,6 +51,8 @@ func main() {
 	var err error
 	if len(args) > 0 && args[0] == "vet" {
 		err = runVet(args[1:], os.Stdout)
+	} else if len(args) > 0 && args[0] == "doc" {
+		err = runDoc(args[1:], os.Stdout)
 	} else {
 		err = run(args, os.Stdout)
 	}
@@ -149,6 +159,66 @@ func run(args []string, out *os.File) error {
 			}
 			fmt.Fprintf(out, "%s: wrote %d files to %s\n", s.service, len(files), dir)
 		}
+	}
+	return nil
+}
+
+// runDoc implements `sgc doc`: the markdown reference generator and its
+// drift check over the committed docs/services files.
+func runDoc(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("sgc doc", flag.ContinueOnError)
+	outDir := fs.String("o", "docs/services", "output directory for the generated markdown")
+	useBuiltin := fs.Bool("builtin", false, "document the six built-in system-service specifications")
+	printSrc := fs.Bool("print", false, "print generated markdown to stdout instead of writing files")
+	check := fs.Bool("check", false, "verify the committed documents match the specifications; exit nonzero on drift")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *check {
+		drifts, err := docgen.Check(*outDir)
+		if err != nil {
+			return err
+		}
+		for _, d := range drifts {
+			fmt.Fprintln(out, d)
+		}
+		if len(drifts) > 0 {
+			return fmt.Errorf("doc drift detected (%d files)", len(drifts))
+		}
+		fmt.Fprintf(out, "doc: committed documents under %s match the specifications\n", *outDir)
+		return nil
+	}
+
+	sources, err := gatherSources(*useBuiltin, fs.Args())
+	if err != nil {
+		return err
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("doc: no input: pass .sg files, -builtin, or -check")
+	}
+	if !*printSrc {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, s := range sources {
+		spec, err := idl.Parse(s.service, s.src)
+		if err != nil {
+			return err
+		}
+		doc, err := docgen.Generate(spec)
+		if err != nil {
+			return err
+		}
+		if *printSrc {
+			fmt.Fprint(out, doc)
+			continue
+		}
+		path := filepath.Join(*outDir, s.service+".md")
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: wrote %s\n", s.service, path)
 	}
 	return nil
 }

@@ -1,5 +1,5 @@
-// Command sgvet runs the SuperGlue runtime-contract analyzers
-// (determinism, atomicstate, stubdiscipline) over package directories:
+// Command sgvet runs the SuperGlue static analyzers (determinism,
+// atomicstate, stubdiscipline, missingdoc) over package directories:
 //
 //	sgvet [-run a,b,c] dir [dir...]
 //

@@ -5,17 +5,21 @@
 //
 // Usage:
 //
-//	swifi [-trials 500] [-seed 2026] [-service sched|mm|ramfs|lock|event|timer] [-watchdog] [-prime] [-v]
+//	swifi [-trials 500] [-seed 2026] [-service sched|mm|ramfs|lock|event|timer] [-watchdog] [-prime] [-trace] [-trace-out trace.json] [-v]
 //
 // -watchdog enables the kernel watchdog for every trial, converting
 // component-attributable hangs into recoverable component faults. -prime
 // runs the paired Table II′ experiment instead: each service's campaign
 // twice from the same seed, watchdog off vs on, reporting how many hang
 // injections were reclassified from "not recovered (other)" to
-// recovered/degraded.
+// recovered/degraded. -trace records structured fault/recovery traces
+// (internal/obs) across every trial and prints a per-mechanism recovery
+// breakdown after each campaign; -trace-out additionally writes each
+// campaign's full trace snapshot to <service>.<trace-out> as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +36,8 @@ func main() {
 	mode := flag.String("mode", "on-demand", "recovery mode: on-demand or eager")
 	watchdog := flag.Bool("watchdog", false, "enable the kernel watchdog in every trial")
 	prime := flag.Bool("prime", false, "run the paired Table II' watchdog-off/on comparison")
+	trace := flag.Bool("trace", false, "record structured traces and print the per-mechanism recovery breakdown")
+	traceOut := flag.String("trace-out", "", "write each campaign's trace snapshot to <service>.<file> (implies -trace)")
 	verbose := flag.Bool("v", false, "print each non-recovered trial")
 	flag.Parse()
 
@@ -39,7 +45,7 @@ func main() {
 	if *prime {
 		err = runPrime(*trials, *seed, *service)
 	} else {
-		err = run(*trials, *seed, *service, *mode, *watchdog, *verbose)
+		err = run(*trials, *seed, *service, *mode, *watchdog, *trace || *traceOut != "", *traceOut, *verbose)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swifi:", err)
@@ -47,7 +53,7 @@ func main() {
 	}
 }
 
-func run(trials int, seed int64, service, mode string, watchdog, verbose bool) error {
+func run(trials int, seed int64, service, mode string, watchdog, trace bool, traceOut string, verbose bool) error {
 	recMode := core.OnDemand
 	switch mode {
 	case "on-demand", "":
@@ -74,6 +80,7 @@ func run(trials int, seed int64, service, mode string, watchdog, verbose bool) e
 			Profile:  swifi.Profiles()[svc],
 			Mode:     recMode,
 			Watchdog: watchdog,
+			Trace:    trace,
 		})
 		if err != nil {
 			return err
@@ -81,6 +88,18 @@ func run(trials int, seed int64, service, mode string, watchdog, verbose bool) e
 		results = append(results, res)
 	}
 	experiments.RenderTable2(os.Stdout, results)
+	if trace {
+		for _, res := range results {
+			experiments.RenderRecoveryBreakdown(os.Stdout, res)
+			if traceOut != "" {
+				path := res.Service + "." + traceOut
+				if err := writeSnapshot(path, res); err != nil {
+					return err
+				}
+				fmt.Println("wrote", path)
+			}
+		}
+	}
 	if verbose {
 		for _, res := range results {
 			for i, tr := range res.Trials {
@@ -93,6 +112,15 @@ func run(trials int, seed int64, service, mode string, watchdog, verbose bool) e
 		}
 	}
 	return nil
+}
+
+// writeSnapshot serializes one campaign's trace snapshot to path.
+func writeSnapshot(path string, res *swifi.Result) error {
+	data, err := json.MarshalIndent(res.Recovery, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func runPrime(trials int, seed int64, service string) error {

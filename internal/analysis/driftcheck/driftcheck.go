@@ -28,6 +28,7 @@ type Drift struct {
 	Reason string
 }
 
+// String renders the drift finding with its remediation command.
 func (d Drift) String() string {
 	return fmt.Sprintf("%s: %s (regenerate with `go run ./cmd/sgc -builtin -o internal/gen`)", d.Path, d.Reason)
 }

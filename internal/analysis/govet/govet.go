@@ -1,8 +1,8 @@
 // Package govet is a small, dependency-free static-analysis framework for
 // the SuperGlue tree, modeled on golang.org/x/tools/go/analysis but built
 // entirely on the standard library (go/parser + go/types with the source
-// importer). It hosts three analyzers that enforce runtime contracts the
-// compiler cannot express:
+// importer). It hosts four analyzers that enforce contracts the compiler
+// cannot express:
 //
 //   - determinism: internal/kernel, internal/core, internal/swifi and
 //     internal/codegen must be replay-deterministic. Flags wall-clock reads
@@ -21,6 +21,10 @@
 //     hand-written stub files (cstub.go, sstub.go, client_stub.go,
 //     server_stub.go) must not call kernel topology mutators — stubs are
 //     data-plane code.
+//
+//   - missingdoc: every exported identifier (and the package itself) must
+//     carry a doc comment, so the runtime/kernel/observability API stays
+//     godoc-complete. Generated files are exempt.
 //
 // A diagnostic can be suppressed with a trailing or preceding comment of
 // the form `//sgvet:ignore <analyzer>` when the flagged pattern is known
@@ -49,7 +53,7 @@ type Analyzer struct {
 
 // All returns every registered analyzer in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, AtomicState, StubDiscipline}
+	return []*Analyzer{Determinism, AtomicState, StubDiscipline, MissingDoc}
 }
 
 // ByName resolves a comma-separated analyzer list; an empty spec means all.
@@ -79,6 +83,7 @@ type Diagnostic struct {
 	Message  string
 }
 
+// String renders the diagnostic in file:line:col: analyzer: message form.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
@@ -120,6 +125,7 @@ type Loader struct {
 	imp  types.Importer
 }
 
+// NewLoader returns a Loader with a fresh FileSet and source importer.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
 	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}

@@ -114,6 +114,10 @@ func TestStubDisciplineFixture(t *testing.T) {
 	checkFixture(t, "stubdiscipline", StubDiscipline)
 }
 
+func TestMissingDocFixture(t *testing.T) {
+	checkFixture(t, "missingdoc", MissingDoc)
+}
+
 // TestRealPackagesClean locks in the `make lint` contract on the live tree:
 // the kernel (with its atomicstate annotations) and the core runtime pass
 // all three analyzers.
@@ -166,7 +170,7 @@ func TestKernelAnnotationsPresent(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 3 {
+	if err != nil || len(all) != 4 {
 		t.Fatalf("ByName(\"\") = %v, %v", all, err)
 	}
 	one, err := ByName("determinism")

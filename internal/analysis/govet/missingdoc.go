@@ -1,0 +1,131 @@
+package govet
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// MissingDoc enforces godoc discipline over a package's exported API:
+// every exported top-level function, method (on an exported receiver
+// type), type, constant, and variable must carry a doc comment, and the
+// package itself must have a package comment. Generated files (standard
+// "Code generated ... DO NOT EDIT." marker) are exempt — their doc
+// surface is the generator's business — as are test files, which the
+// loader never parses.
+//
+// For grouped const/var declarations the usual godoc convention applies:
+// a doc comment on the block covers every name in it, and a per-spec doc
+// comment covers that spec. Trailing same-line comments do not count —
+// godoc renders them, but the API contract here is a leading doc comment.
+var MissingDoc = &Analyzer{
+	Name: "missingdoc",
+	Doc:  "exported identifiers must have doc comments",
+	Run:  runMissingDoc,
+}
+
+func runMissingDoc(p *Pass) error {
+	pkgDocumented := false
+	for _, f := range p.Files {
+		if f.Doc != nil {
+			pkgDocumented = true
+		}
+	}
+	reportedPkg := false
+	for _, f := range p.Files {
+		if ast.IsGenerated(f) {
+			continue
+		}
+		if !pkgDocumented && !reportedPkg {
+			p.Reportf(f.Name.Pos(), "package %s has no package comment", f.Name.Name)
+			reportedPkg = true
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(p, d)
+			case *ast.GenDecl:
+				checkGenDoc(p, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFuncDoc reports exported functions and methods without docs.
+// Methods count only when their receiver type is itself exported —
+// exported methods on unexported types are not reachable API surface
+// (except through exported interfaces, whose methods are checked at the
+// interface type).
+func checkFuncDoc(p *Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		if !exportedRecv(d.Recv) {
+			return
+		}
+		kind = "method"
+	}
+	p.Reportf(d.Name.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+}
+
+// exportedRecv reports whether a method receiver names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// checkGenDoc reports undocumented exported types, consts, and vars.
+func checkGenDoc(p *Pass, d *ast.GenDecl) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, s := range d.Specs {
+			ts, ok := s.(*ast.TypeSpec)
+			if !ok || !ts.Name.IsExported() {
+				continue
+			}
+			// A decl doc covers a lone type; in a parenthesized group of
+			// several, each exported type needs its own doc comment.
+			if ts.Doc == nil && (d.Doc == nil || len(d.Specs) > 1) {
+				p.Reportf(ts.Name.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+			}
+		}
+	case token.CONST, token.VAR:
+		if d.Doc != nil {
+			return // block comment covers the group
+		}
+		kind := "const"
+		if d.Tok == token.VAR {
+			kind = "var"
+		}
+		for _, s := range d.Specs {
+			vs, ok := s.(*ast.ValueSpec)
+			if !ok || vs.Doc != nil {
+				continue
+			}
+			for _, n := range vs.Names {
+				if n.IsExported() {
+					p.Reportf(n.Pos(), "exported %s %s has no doc comment", kind, n.Name)
+					break
+				}
+			}
+		}
+	}
+}

@@ -36,6 +36,9 @@ var kernelMutators = map[string]bool{
 	"AddRebootHook": true, "SetRegProfile": true, "SetInvokeBudget": true,
 	"EnableWatchdog": true, "SetIdleHandler": true, "CrashSystem": true,
 	"FailComponent": true, "CreateThread": true, "AdvanceClock": true,
+	// Installing or swapping the trace recorder is control-plane: stubs may
+	// record through an installed tracer but must never replace it.
+	"SetTracer": true,
 }
 
 // stubFiles are the file basenames Rule B applies to.

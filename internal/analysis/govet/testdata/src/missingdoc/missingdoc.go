@@ -1,0 +1,58 @@
+// Package missingdoc is the fixture for the missingdoc analyzer.
+package missingdoc
+
+// Documented is fine.
+type Documented struct{}
+
+type Bare struct{} // want "exported type Bare has no doc comment"
+
+// unexported types never fire regardless of docs.
+type internalOnly struct{}
+
+// Grouped type declarations inherit the block doc.
+type (
+	// InGroup has its own doc.
+	InGroup struct{}
+
+	AlsoInGroup struct{} // want "exported type AlsoInGroup has no doc comment"
+)
+
+// DocumentedConst is fine.
+const DocumentedConst = 1
+
+const BareConst = 2 // want "exported const BareConst has no doc comment"
+
+// A block doc covers every constant in the group.
+const (
+	CoveredA = iota
+	CoveredB
+)
+
+var (
+	// DocumentedVar is fine.
+	DocumentedVar int
+
+	BareVar int // want "exported var BareVar has no doc comment"
+
+	bareInternal int
+)
+
+// Do is documented.
+func Do() {}
+
+func Bareword() {} // want "exported function Bareword has no doc comment"
+
+func helper() {}
+
+// Method is documented.
+func (Documented) Method() {}
+
+func (Documented) Naked() {} // want "exported method Naked has no doc comment"
+
+// Methods on unexported receivers are not API surface.
+func (internalOnly) Exported() {}
+
+func (b *Bare) PtrNaked() {} // want "exported method PtrNaked has no doc comment"
+
+var _ = helper
+var _ = bareInternal

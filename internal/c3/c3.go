@@ -22,6 +22,7 @@ import (
 
 	"superglue/internal/core"
 	"superglue/internal/kernel"
+	"superglue/internal/obs"
 )
 
 // maxRedo bounds every stub's fault-retry loop, mirroring the SuperGlue
@@ -100,7 +101,11 @@ func (c *Client) Dispatch(t *kernel.Thread, fn string, args []kernel.Word) (kern
 		if !ok {
 			return 0, fmt.Errorf("c3: no stub for server %d in client %s", args[0], c.name)
 		}
-		return r.recoverByKey(t, args[1], args[2])
+		ret, err := r.recoverByKey(t, args[1], args[2])
+		if err == nil {
+			c.traceRecovery(t, obs.MechD1, kernel.ComponentID(args[0]), fn)
+		}
+		return ret, err
 	case core.FnRecreate:
 		if len(args) < 2 {
 			return 0, fmt.Errorf("c3: %s needs 2 args", fn)
@@ -109,10 +114,27 @@ func (c *Client) Dispatch(t *kernel.Thread, fn string, args []kernel.Word) (kern
 		if !ok {
 			return 0, fmt.Errorf("c3: no stub for server %d in client %s", args[0], c.name)
 		}
-		return r.recreateByServerID(t, args[1])
+		ret, err := r.recreateByServerID(t, args[1])
+		if err == nil {
+			c.traceRecovery(t, obs.MechG0, kernel.ComponentID(args[0]), fn)
+		}
+		return ret, err
 	default:
 		return 0, kernel.DispatchError(c.name, fn)
 	}
+}
+
+// traceRecovery records one recovery-mechanism firing against the shared
+// trace recorder. It lives in the shared upcall dispatcher — NOT in the
+// per-service hand-written stubs — so instrumenting the C³ baseline does
+// not change the hand-written LOC that Fig. 6(c) counts.
+func (c *Client) traceRecovery(t *kernel.Thread, mech obs.Mechanism, server kernel.ComponentID, fn string) {
+	tr := c.sys.Tracer()
+	if tr == nil {
+		return
+	}
+	tr.RecordRecovery(mech, int32(server), int32(t.ID()), fn,
+		int64(c.sys.Kernel().Now()), epochOf(c.sys.Kernel(), server), 0, 1)
 }
 
 // faultUpdate is CSTUB_FAULT_UPDATE: ensure the failed server is µ-rebooted

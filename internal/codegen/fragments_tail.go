@@ -28,6 +28,7 @@ func clientTailFragments() []Fragment {
 			w.p("return nil")
 			w.out()
 			w.p("}")
+			w.p("sp := genrt.BeginSpan(s.k)")
 			w.out()
 		}},
 		{Name: "recover-parent", When: func(ir *IR) bool { return ir.HasParent() }, Emit: func(ir *IR, w *writer) {
@@ -35,11 +36,13 @@ func clientTailFragments() []Fragment {
 			w.p("// D1: parents recovered root-first.")
 			w.p("if d.Parent != nil && !d.Parent.Closed {")
 			w.in()
+			w.p("psp := genrt.BeginSpan(s.k)")
 			w.p("if err := s.recover(t, d.Parent); err != nil {")
 			w.in()
 			w.p("return err")
 			w.out()
 			w.p("}")
+			w.p("psp.EndIfWork(genrt.MechD1, s.server, t, d.CreatedBy, genrt.EpochOf(s.k, s.server))")
 			w.out()
 			w.p("}")
 			w.out()
@@ -138,6 +141,10 @@ func clientTailFragments() []Fragment {
 		{Name: "recover-foot", When: always, Emit: func(ir *IR, w *writer) {
 			w.in()
 			w.p("d.Epoch = genrt.EpochOf(s.k, s.server)")
+			w.p("// One completed walk files the R0 span plus its trigger (T1):")
+			w.p("// the same measured cost classified under both mechanisms.")
+			w.p("sp.End(genrt.MechR0, s.server, t, d.CreatedBy, d.Epoch)")
+			w.p("sp.End(genrt.MechT1, s.server, t, d.CreatedBy, d.Epoch)")
 			w.p("return nil")
 			w.out()
 			w.p("}")
@@ -219,6 +226,9 @@ func clientTailFragments() []Fragment {
 					w.out()
 					w.p("}")
 					w.p("s.Metrics.WalkSteps++")
+					if fnIR.IsRestore {
+						w.p("genrt.TraceMech(s.k, genrt.MechG1, s.server, t, %q)", step)
+					}
 				}
 				w.out()
 			}
@@ -237,6 +247,8 @@ func clientTailFragments() []Fragment {
 				w.out()
 				w.p("}")
 				w.p("s.Metrics.WalkSteps++")
+				w.p("// G1: a restore step pushes tracked resource data back in.")
+				w.p("genrt.TraceMech(s.k, genrt.MechG1, s.server, t, %q)", fn)
 			}
 			w.out()
 		}},
@@ -376,7 +388,7 @@ func clientTailFragments() []Fragment {
 			w.p("// found a stale global ID and upcalled us, the recorded creator (G0).")
 			w.p("func (s *ClientStub) RecreateByServerID(t *kernel.Thread, stale kernel.Word) (kernel.Word, error) {")
 			w.in()
-			emitRecreateScan(w)
+			emitRecreateScan(w, ir.Spec.RescHasData)
 			w.p("// Possibly already remapped by our own recovery.")
 			w.p("if now := s.host.System().Store().Resolve(s.class, stale); now != stale {")
 			w.in()
@@ -394,7 +406,7 @@ func clientTailFragments() []Fragment {
 			w.p("// applies.")
 			w.p("func (s *ClientStub) RecreateByServerID(t *kernel.Thread, stale kernel.Word) (kernel.Word, error) {")
 			w.in()
-			emitRecreateScan(w)
+			emitRecreateScan(w, ir.Spec.RescHasData)
 			w.p(`return 0, fmt.Errorf("%s: no descriptor with server id %%d", stale)`, ir.Package())
 			w.out()
 			w.p("}")
@@ -406,8 +418,9 @@ func clientTailFragments() []Fragment {
 // both RecreateByServerID variants: candidates are collected and sorted by
 // descriptor key so a duplicate server ID resolves to the same descriptor
 // on every replay (a first-match return over the map would depend on Go's
-// randomized iteration order).
-func emitRecreateScan(w *writer) {
+// randomized iteration order). rescData (D_r) additionally files a G1
+// count event: the recreated resource carried bulk data.
+func emitRecreateScan(w *writer, rescData bool) {
 	w.p("var keys []genrt.Key")
 	w.p("for key, d := range s.descs {")
 	w.in()
@@ -436,6 +449,10 @@ func emitRecreateScan(w *writer) {
 	w.p("return 0, err")
 	w.out()
 	w.p("}")
+	if rescData {
+		w.p("// G1: the recreated resource carried bulk data (D_r).")
+		w.p("genrt.TraceMech(s.k, genrt.MechG1, s.server, t, core.FnRecreate)")
+	}
 	w.p("return d.ServerID, nil")
 	w.out()
 	w.p("}")
@@ -478,6 +495,9 @@ func serverFragments() []Fragment {
 				w.nl()
 			}
 			w.p(`"superglue/internal/core"`)
+			if ir.IsGlobal() {
+				w.p(`"superglue/internal/gen/genrt"`)
+			}
 			w.p(`"superglue/internal/kernel"`)
 			if ir.IsGlobal() {
 				w.p(`"superglue/internal/storage"`)
@@ -576,9 +596,13 @@ func serverFragments() []Fragment {
 			w.in()
 			w.p("if rec, ok := s.sys.Store().LookupCreator(s.class, args[di]); ok {")
 			w.in()
+			w.p("// The full G0 span: EINVAL detection → creator lookup →")
+			w.p("// recreate upcall, measured before the replay below.")
+			w.p("sp := genrt.BeginSpan(s.sys.Kernel())")
 			w.p("newID, uerr := s.sys.Kernel().Upcall(t, rec.Creator, core.FnRecreate, kernel.Word(s.self), args[di])")
 			w.p("if uerr == nil && newID > 0 {")
 			w.in()
+			w.p("sp.End(genrt.MechG0, s.self, t, fn, 0)")
 			w.p("args[di] = newID")
 			w.p("return s.inner.Dispatch(t, fn, args)")
 			w.out()

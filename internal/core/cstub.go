@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"superglue/internal/kernel"
+	"superglue/internal/obs"
 	"superglue/internal/storage"
 )
 
@@ -141,14 +142,29 @@ func (s *ClientStub) rebuildPolicy() {
 // the policy's terminal error class: with Degrade set, an exhausted
 // recovery degrades the call (typed ErrDegraded, machine keeps running)
 // rather than failing the run.
-func (s *ClientStub) degrade(fn string, attempts int, err error) error {
+func (s *ClientStub) degrade(t *kernel.Thread, fn string, attempts int, err error) error {
 	if err == nil {
 		return nil
 	}
 	if s.policy().Degrade && errors.Is(err, ErrRecoveryFailed) && !errors.Is(err, ErrDegraded) {
-		return &DegradedError{Service: s.entry.spec.Service, Fn: fn, Attempts: attempts, Cause: err}
+		err = &DegradedError{Service: s.entry.spec.Service, Fn: fn, Attempts: attempts, Cause: err}
 	}
+	s.traceDegraded(t, fn, err)
 	return err
+}
+
+// traceDegraded records an EvDegraded event when err is (or wraps) the
+// typed degradation error — the escalation ladder giving up.
+func (s *ClientStub) traceDegraded(t *kernel.Thread, fn string, err error) {
+	tr := s.sys.kern.Tracer()
+	if tr == nil || !errors.Is(err, ErrDegraded) {
+		return
+	}
+	var tid int32
+	if t != nil {
+		tid = int32(t.ID())
+	}
+	tr.RecordDegraded(int32(s.server), tid, fn, int64(s.sys.kern.Now()), s.epoch())
 }
 
 // epoch returns the server's current epoch: one atomic load through the
@@ -257,16 +273,18 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 		// On-demand (T1) descriptor synchronization before the invocation.
 		if d != nil && d.Epoch != cur {
 			if err := s.recoverDesc(t, d); err != nil {
-				return 0, s.degrade(fn, attempt, err)
+				return 0, s.degrade(t, fn, attempt, err)
 			}
 			cur = s.epoch()
 		}
 		// D0: terminating a descriptor with recursive revocation requires
 		// its children to exist in the server first.
 		if d != nil && info.isTerminal && spec.DescCloseChildren {
+			sp := s.beginSpan()
 			if err := s.recoverChildren(t, d); err != nil {
-				return 0, s.degrade(fn, attempt, err)
+				return 0, s.degrade(t, fn, attempt, err)
 			}
+			sp.endIfWork(obs.MechD0, s.server, t, fn, s.epoch())
 		}
 
 		copy(sargs, args)
@@ -275,7 +293,15 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 				sargs[info.descIdx] = d.ServerID
 			} else if spec.DescIsGlobal && !info.isCreate {
 				// Untracked global ID: resolve stale IDs through storage.
-				sargs[info.descIdx] = s.sys.store.Resolve(s.entry.class, sargs[info.descIdx])
+				resolved := s.sys.store.Resolve(s.entry.class, sargs[info.descIdx])
+				if resolved != sargs[info.descIdx] {
+					// G0: a stale global ID actually translated.
+					if tr := s.sys.kern.Tracer(); tr != nil {
+						tr.RecordRecovery(obs.MechG0, int32(s.server), int32(t.ID()), fn,
+							int64(s.sys.kern.Now()), cur, 0, 0)
+					}
+				}
+				sargs[info.descIdx] = resolved
 				s.metrics.storageOps.Add(1)
 			}
 		}
@@ -288,7 +314,7 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 				// from it.
 				if p.Epoch != cur {
 					if err := s.recoverDesc(t, p); err != nil {
-						return 0, s.degrade(fn, attempt, err)
+						return 0, s.degrade(t, fn, attempt, err)
 					}
 				}
 				sargs[info.parentIdx] = p.ServerID
@@ -320,7 +346,9 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 					return 0, fmt.Errorf("%w: %s: %v", ErrRecoveryFailed, spec.Service, cerr)
 				}
 			default:
-				return 0, pol.exhausted(spec.Service, fn, attempt, err)
+				eerr := pol.exhausted(spec.Service, fn, attempt, err)
+				s.traceDegraded(t, fn, eerr)
+				return 0, eerr
 			}
 			s.metrics.redos.Add(1)
 			continue

@@ -6,8 +6,53 @@ import (
 	"sort"
 
 	"superglue/internal/kernel"
+	"superglue/internal/obs"
 	"superglue/internal/storage"
 )
+
+// span measures one recovery-mechanism firing for the trace recorder:
+// virtual time and completed kernel invocations between begin and end.
+// A zero span (nil tracer) makes every method a no-op, so
+// instrumentation sites stay unconditional.
+type span struct {
+	tr     *obs.Recorder
+	kern   *kernel.Kernel
+	vt0    kernel.Time
+	steps0 uint64
+}
+
+// beginSpan opens a measurement span against the system's tracer.
+func (s *ClientStub) beginSpan() span {
+	tr := s.sys.kern.Tracer()
+	if tr == nil {
+		return span{}
+	}
+	return span{tr: tr, kern: s.sys.kern, vt0: s.sys.kern.Now(), steps0: s.sys.kern.InvocationCount()}
+}
+
+// end records the span as one firing of mech for the stub's server.
+func (sp span) end(mech obs.Mechanism, comp kernel.ComponentID, t *kernel.Thread, fn string, gen uint64) {
+	if sp.tr == nil {
+		return
+	}
+	now := sp.kern.Now()
+	var tid int32
+	if t != nil {
+		tid = int32(t.ID())
+	}
+	sp.tr.RecordRecovery(mech, int32(comp), tid, fn, int64(now), gen,
+		int64(now-sp.vt0), sp.kern.InvocationCount()-sp.steps0)
+}
+
+// endIfWork records the span only when it covered at least one kernel
+// invocation — for call sites that may be no-ops (already-current
+// descriptors), so idle passes do not inflate mechanism counts.
+func (sp span) endIfWork(mech obs.Mechanism, comp kernel.ComponentID, t *kernel.Thread, fn string, gen uint64) {
+	if sp.tr == nil || sp.kern.InvocationCount() == sp.steps0 {
+		return
+	}
+	sp.end(mech, comp, t, fn, gen)
+}
 
 // recoverDesc restores one descriptor in the (µ-rebooted) server to the
 // client's expected state: mechanism R0, ordered by D1, executing at the
@@ -15,6 +60,15 @@ import (
 // function, the precomputed shortest path to its tracked state, and any
 // restore functions, translating stale identifiers as it goes.
 func (s *ClientStub) recoverDesc(t *kernel.Thread, d *Descriptor) error {
+	return s.recoverDescTimed(t, d, obs.MechT1)
+}
+
+// recoverDescTimed is recoverDesc with the recovery timing recorded for
+// the tracer: trigger says whether this recovery runs eagerly at reboot
+// time (T0, from the eager reboot hook) or on demand at access time
+// (T1, every other path). A completed recovery records one R0 span (the
+// walk replay itself) plus one trigger span with the same cost.
+func (s *ClientStub) recoverDescTimed(t *kernel.Thread, d *Descriptor, trigger obs.Mechanism) error {
 	if d.Closed {
 		return nil
 	}
@@ -32,16 +86,18 @@ func (s *ClientStub) recoverDesc(t *kernel.Thread, d *Descriptor) error {
 	if d.Epoch == s.epoch() {
 		return nil // recovered while we awaited the critical section
 	}
+	sp := s.beginSpan()
 
 	// D1: the parent must exist in the server before the child can be
 	// recreated, root-first along the dependency path.
 	if d.Parent != nil && !d.Parent.Closed {
+		psp := s.beginSpan()
 		ps := d.ParentStub
 		if ps == nil || ps == s || ps.client == s.client {
 			if ps == nil {
 				ps = s
 			}
-			if err := ps.recoverDesc(t, d.Parent); err != nil {
+			if err := ps.recoverDescTimed(t, d.Parent, trigger); err != nil {
 				return fmt.Errorf("core: recovering parent %v: %w", d.Parent.Key, err)
 			}
 		} else {
@@ -53,6 +109,7 @@ func (s *ClientStub) recoverDesc(t *kernel.Thread, d *Descriptor) error {
 				return fmt.Errorf("core: upcall recovering parent %v: %w", d.Parent.Key, err)
 			}
 		}
+		psp.endIfWork(obs.MechD1, s.server, t, d.CreatedBy, s.epoch())
 	}
 
 	walk, err := s.entry.sm.RecoveryWalk(d.CreatedBy, d.State)
@@ -114,6 +171,10 @@ func (s *ClientStub) recoverDesc(t *kernel.Thread, d *Descriptor) error {
 		s.metrics.storageOps.Add(1)
 	}
 	d.Epoch = s.epoch()
+	// One completed recovery = one walk replay (R0) + one timing span
+	// (T0 eager / T1 on demand) with the same measured cost.
+	sp.end(obs.MechR0, s.server, t, d.CreatedBy, d.Epoch)
+	sp.end(trigger, s.server, t, d.CreatedBy, d.Epoch)
 	return nil
 }
 
@@ -132,6 +193,15 @@ func (s *ClientStub) replayWalk(t *kernel.Thread, d *Descriptor, walk []string) 
 			return err
 		}
 		s.metrics.walkSteps.Add(1)
+		// G1: a restore step pushes redundantly tracked *resource* data
+		// (D_r) back into the server. Ordinary desc_data parameters are
+		// descriptor meta-data (D_dr) and belong to the R0 walk itself, so
+		// they are deliberately not counted here — G1 stays aligned with
+		// the spec's derived mechanism set (RescHasData / sm_restore).
+		if tr := s.sys.kern.Tracer(); tr != nil && spec.IsRestore(wfn) {
+			tr.RecordRecovery(obs.MechG1, int32(s.server), int32(t.ID()), wfn,
+				int64(s.sys.kern.Now()), s.epoch(), 0, 1)
+		}
 		if spec.IsCreation(wfn) && wf.RetDescID {
 			d.ServerID = ret
 		}
@@ -268,6 +338,14 @@ func (s *ClientStub) handleRecreateUpcall(t *kernel.Thread, staleID kernel.Word)
 	}
 	if err := s.recoverDesc(t, d); err != nil {
 		return 0, err
+	}
+	// G1 for resources with redundantly stored data: the recreated
+	// resource's payload was restored from the storage component.
+	if s.entry.spec.RescHasData {
+		if tr := s.sys.kern.Tracer(); tr != nil {
+			tr.RecordRecovery(obs.MechG1, int32(s.server), int32(t.ID()), FnRecreate,
+				int64(s.sys.kern.Now()), s.epoch(), 0, 1)
+		}
 	}
 	return d.ServerID, nil
 }

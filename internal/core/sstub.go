@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"superglue/internal/kernel"
+	"superglue/internal/obs"
 )
 
 // serverStub wraps a server component's implementation with the SuperGlue
@@ -71,10 +72,20 @@ func (s *serverStub) Dispatch(t *kernel.Thread, fn string, args []kernel.Word) (
 	if !ok {
 		return ret, err
 	}
+	tr := s.sys.kern.Tracer()
+	vt0 := s.sys.kern.Now()
+	steps0 := s.sys.kern.InvocationCount()
 	newID, uerr := s.sys.kern.Upcall(t, rec.Creator, FnRecreate, kernel.Word(s.entry.comp), staleID)
 	if uerr != nil {
 		return 0, fmt.Errorf("core: %s: G0 upcall to creator %d for descriptor %d: %w",
 			spec.Service, rec.Creator, staleID, uerr)
+	}
+	if tr != nil {
+		// The full G0 span: EINVAL detection → creator lookup → recreate
+		// upcall, measured in virtual time and invocation steps.
+		now := s.sys.kern.Now()
+		tr.RecordRecovery(obs.MechG0, int32(s.entry.comp), int32(t.ID()), fn,
+			int64(now), 0, int64(now-vt0), s.sys.kern.InvocationCount()-steps0)
 	}
 	if newID <= 0 {
 		return ret, err

@@ -6,6 +6,7 @@ import (
 
 	"superglue/internal/cbuf"
 	"superglue/internal/kernel"
+	"superglue/internal/obs"
 	"superglue/internal/storage"
 )
 
@@ -210,6 +211,17 @@ func (s *System) StorageComp() kernel.ComponentID { return s.storeComp }
 // Mode returns the system's recovery mode.
 func (s *System) Mode() RecoveryMode { return s.mode }
 
+// SetTracer installs (or, with nil, removes) the recovery-observability
+// recorder on the underlying kernel. The kernel records invocation,
+// fault, reboot, reflection, and upcall events; the recovery runtime
+// adds per-mechanism spans (R0/T0/T1/D0/D1/G0/G1/U0) around descriptor
+// recovery, so a Snapshot of the recorder yields the per-mechanism
+// recovery-latency breakdown of the evaluation.
+func (s *System) SetTracer(r *obs.Recorder) { s.kern.SetTracer(r) }
+
+// Tracer returns the installed recovery-observability recorder, or nil.
+func (s *System) Tracer() *obs.Recorder { return s.kern.Tracer() }
+
 // Policy returns the system-wide recovery policy.
 func (s *System) Policy() RecoveryPolicy { return s.policy }
 
@@ -368,7 +380,8 @@ func (s *System) eagerRebootHook(t *kernel.Thread, comp kernel.ComponentID, epoc
 		for _, d := range stub.tracker.Live() {
 			// recoverDesc orders parents first (D1); errors here surface
 			// again on demand, when the failing descriptor is accessed.
-			_ = stub.recoverDesc(t, d)
+			// Spans recorded here classify as eager recovery (T0).
+			_ = stub.recoverDescTimed(t, d, obs.MechT0)
 		}
 	}
 }

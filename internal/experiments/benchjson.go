@@ -44,6 +44,10 @@ type BenchReport struct {
 	Timestamp string        `json:"timestamp"`
 	Short     bool          `json:"short"`
 	Results   []BenchResult `json:"results"`
+	// Recovery embeds the traced SWIFI campaigns' per-mechanism
+	// recovery-latency breakdowns (counts + virtual-time histograms per
+	// R0/T0/T1/D0/D1/G0/G1/U0).
+	Recovery []RecoveryBreakdown `json:"recovery_breakdown,omitempty"`
 }
 
 // KernelInvokeBench builds the minimal system of the bare-invocation
@@ -208,6 +212,19 @@ func RunBenchJSON(short bool) (*BenchReport, error) {
 	if failed != nil {
 		return nil, failed
 	}
+
+	// Traced SWIFI campaigns: the recovery-latency breakdown per mechanism.
+	// Short runs keep on-demand mode only; full runs add the eager-mode
+	// campaigns, which exercise the T0 trigger.
+	trials := 120
+	if short {
+		trials = 30
+	}
+	breakdown, err := RecoveryBreakdowns(trials, 2026, !short)
+	if err != nil {
+		return nil, err
+	}
+	rep.Recovery = breakdown
 	return rep, nil
 }
 

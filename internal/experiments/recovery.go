@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"superglue/internal/core"
+	"superglue/internal/obs"
+	"superglue/internal/swifi"
+)
+
+// This file is the recovery-observability slice of the experiment suite:
+// traced SWIFI campaigns whose per-mechanism recovery-latency breakdowns
+// feed BENCH_superglue.json (`make bench-json`) and the EXPERIMENTS.md
+// walkthrough.
+
+// RecoveryBreakdown is one traced SWIFI campaign's per-mechanism summary.
+type RecoveryBreakdown struct {
+	// Service is the campaign target.
+	Service string `json:"service"`
+	// Mode is the recovery timing ("on-demand" or "eager").
+	Mode string `json:"mode"`
+	// Trials and Recovered restate the campaign's Table II cells the
+	// breakdown belongs to.
+	Trials    int `json:"trials"`
+	Recovered int `json:"recovered"`
+	// BucketBounds are the histogram buckets' inclusive upper bounds in
+	// virtual-time units ("+Inf" last).
+	BucketBounds []string `json:"bucket_bounds"`
+	// Mechanisms carries one cell per paper mechanism (R0, T0, T1, D0, D1,
+	// G0, G1, U0) — count, virtual-time totals, and latency histogram —
+	// zero cells included so every column of the paper's taxonomy is
+	// visible in the JSON.
+	Mechanisms []obs.MechanismSnapshot `json:"mechanisms"`
+}
+
+// RecoveryBreakdowns runs a traced SWIFI campaign against every target and
+// returns the per-mechanism breakdowns. With eager set, each service is
+// additionally campaigned in eager-recovery mode, which exercises the T0
+// trigger alongside the on-demand T1.
+func RecoveryBreakdowns(trials int, seed int64, eager bool) ([]RecoveryBreakdown, error) {
+	type modeCase struct {
+		name string
+		mode core.RecoveryMode
+	}
+	modes := []modeCase{{"on-demand", core.OnDemand}}
+	if eager {
+		modes = append(modes, modeCase{"eager", core.Eager})
+	}
+	var out []RecoveryBreakdown
+	for _, m := range modes {
+		for _, svc := range swifi.Targets() {
+			res, err := swifi.Run(swifi.Config{
+				Service:  svc,
+				Workload: swifi.Workloads()[svc],
+				Iters:    5,
+				Trials:   trials,
+				Seed:     seed,
+				Profile:  swifi.Profiles()[svc],
+				Mode:     m.mode,
+				Trace:    true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("recovery breakdown %s (%s): %w", svc, m.name, err)
+			}
+			out = append(out, RecoveryBreakdown{
+				Service:      svc,
+				Mode:         m.name,
+				Trials:       res.Injected,
+				Recovered:    res.Recovered,
+				BucketBounds: res.Recovery.BucketBounds,
+				Mechanisms:   res.Recovery.Mechanisms,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderRecoveryBreakdown writes one campaign's per-mechanism table.
+func RenderRecoveryBreakdown(w io.Writer, res *swifi.Result) {
+	if res.Recovery == nil {
+		return
+	}
+	fmt.Fprintf(w, "%s: per-mechanism recovery breakdown (%d trials, %d recovered)\n",
+		res.Service, res.Injected, res.Recovered)
+	fmt.Fprintf(w, "  %-4s %8s %8s %10s %8s  %s\n", "mech", "count", "steps", "total-vt", "max-vt", "latency histogram (vt<=bound:count)")
+	for _, m := range res.Recovery.Mechanisms {
+		fmt.Fprintf(w, "  %-4s %8d %8d %10d %8d  %s\n",
+			m.Mechanism, m.Count, m.TotalSteps, m.TotalVT, m.MaxVT,
+			histString(res.Recovery.BucketBounds, m.Hist))
+	}
+}
+
+// histString renders the non-zero histogram cells compactly.
+func histString(bounds []string, hist [obs.NumBuckets]uint64) string {
+	s := ""
+	for i, n := range hist {
+		if n == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", bounds[i], n)
+	}
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -11,6 +11,7 @@ import (
 
 	"superglue/internal/core"
 	"superglue/internal/kernel"
+	"superglue/internal/obs"
 )
 
 // MaxRedo bounds generated fault-retry loops.
@@ -106,6 +107,80 @@ func (h *Host) Dispatch(t *kernel.Thread, fn string, args []kernel.Word) (kernel
 	default:
 		return 0, kernel.DispatchError(h.name, fn)
 	}
+}
+
+// Span measures one recovery mechanism's work against the kernel's trace
+// recorder. The zero Span (tracing disabled) turns End and EndIfWork into
+// no-ops, so a generated trace hook costs one predictable nil-check when
+// tracing is off.
+type Span struct {
+	tr     *obs.Recorder
+	k      *kernel.Kernel
+	vt0    kernel.Time
+	steps0 uint64
+}
+
+// BeginSpan opens a recovery-measurement span. Generated stubs call this at
+// the start of a recovery walk and End/EndIfWork it once the walk completes.
+func BeginSpan(k *kernel.Kernel) Span {
+	tr := k.Tracer()
+	if tr == nil {
+		return Span{}
+	}
+	return Span{tr: tr, k: k, vt0: k.Now(), steps0: k.InvocationCount()}
+}
+
+// End records the span as one firing of mech against server, measured in
+// virtual time and kernel-invocation steps.
+func (sp Span) End(mech Mechanism, server kernel.ComponentID, t *kernel.Thread, fn string, gen uint64) {
+	if sp.tr == nil {
+		return
+	}
+	now := sp.k.Now()
+	var tid int32
+	if t != nil {
+		tid = int32(t.ID())
+	}
+	sp.tr.RecordRecovery(mech, int32(server), tid, fn, int64(now), gen,
+		int64(now-sp.vt0), sp.k.InvocationCount()-sp.steps0)
+}
+
+// EndIfWork records the span only when it covered at least one kernel
+// invocation, so no-op recovery passes do not inflate mechanism counts.
+func (sp Span) EndIfWork(mech Mechanism, server kernel.ComponentID, t *kernel.Thread, fn string, gen uint64) {
+	if sp.tr == nil || sp.k.InvocationCount() == sp.steps0 {
+		return
+	}
+	sp.End(mech, server, t, fn, gen)
+}
+
+// Mechanism aliases obs.Mechanism so generated code needs only the genrt
+// import for its trace hooks.
+type Mechanism = obs.Mechanism
+
+// Re-exported mechanism labels used by generated trace hooks.
+const (
+	MechR0 = obs.MechR0
+	MechT1 = obs.MechT1
+	MechD0 = obs.MechD0
+	MechD1 = obs.MechD1
+	MechG0 = obs.MechG0
+	MechG1 = obs.MechG1
+)
+
+// TraceMech records a single zero-latency firing of mech — the count-style
+// events (G1 data-replay walk steps, G0 stale-ID translations) whose cost is
+// already folded into an enclosing span.
+func TraceMech(k *kernel.Kernel, mech Mechanism, server kernel.ComponentID, t *kernel.Thread, fn string) {
+	tr := k.Tracer()
+	if tr == nil {
+		return
+	}
+	var tid int32
+	if t != nil {
+		tid = int32(t.ID())
+	}
+	tr.RecordRecovery(mech, int32(server), tid, fn, int64(k.Now()), EpochOf(k, server), 0, 1)
 }
 
 // FaultUpdate is CSTUB_FAULT_UPDATE: µ-reboot the failed server exactly

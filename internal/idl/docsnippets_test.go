@@ -1,0 +1,86 @@
+package idl
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"superglue/internal/core"
+)
+
+// docSnippets extracts the fenced IDL blocks from docs/IDL.md. Blocks
+// fenced ```sg are complete specifications; blocks fenced ```sg-decl are
+// declaration fragments.
+func docSnippets(t *testing.T) (full, fragments []string) {
+	t.Helper()
+	raw, err := os.ReadFile("../../docs/IDL.md")
+	if err != nil {
+		t.Fatalf("docs/IDL.md: %v", err)
+	}
+	lines := strings.Split(string(raw), "\n")
+	var cur []string
+	mode := ""
+	for i, ln := range lines {
+		switch {
+		case mode == "" && strings.HasPrefix(ln, "```sg"):
+			mode = strings.TrimPrefix(ln, "```")
+			if mode != "sg" && mode != "sg-decl" {
+				t.Fatalf("docs/IDL.md:%d: unknown IDL fence %q", i+1, ln)
+			}
+			cur = nil
+		case mode != "" && ln == "```":
+			snippet := strings.Join(cur, "\n")
+			if mode == "sg" {
+				full = append(full, snippet)
+			} else {
+				fragments = append(fragments, snippet)
+			}
+			mode = ""
+		case mode != "":
+			cur = append(cur, ln)
+		}
+	}
+	if mode != "" {
+		t.Fatal("docs/IDL.md: unterminated IDL fence")
+	}
+	return full, fragments
+}
+
+// TestIDLDocSnippetsParse compile-checks every IDL snippet in docs/IDL.md:
+// fragments must parse (ParseWithMap, the lax tooling entry point); complete
+// specifications must additionally validate and compile to a descriptor
+// state machine. The reference document cannot drift into showing syntax
+// the implementation rejects.
+func TestIDLDocSnippetsParse(t *testing.T) {
+	full, fragments := docSnippets(t)
+	// The document must keep demonstrating the language: a floor on how
+	// many checked snippets it carries.
+	if len(full) < 2 {
+		t.Fatalf("docs/IDL.md: %d complete-spec snippets, want >= 2", len(full))
+	}
+	if len(fragments) < 4 {
+		t.Fatalf("docs/IDL.md: %d declaration fragments, want >= 4", len(fragments))
+	}
+	for i, src := range fragments {
+		name := fmt.Sprintf("fragment%d", i+1)
+		if _, _, err := ParseWithMap(name, src); err != nil {
+			t.Errorf("docs/IDL.md %s does not parse: %v\n%s", name, err, src)
+		}
+	}
+	for i, src := range full {
+		name := fmt.Sprintf("example%d", i+1)
+		spec, _, err := ParseWithMap(name, src)
+		if err != nil {
+			t.Errorf("docs/IDL.md %s does not parse: %v\n%s", name, err, src)
+			continue
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("docs/IDL.md %s does not validate: %v", name, err)
+			continue
+		}
+		if _, err := core.NewStateMachine(spec); err != nil {
+			t.Errorf("docs/IDL.md %s has no valid state machine: %v", name, err)
+		}
+	}
+}

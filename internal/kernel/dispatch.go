@@ -104,11 +104,11 @@ func (k *Kernel) pickReadyLocked() *Thread {
 			}
 			return nil
 		}
-		if earliest.wakeAt > k.clock {
-			k.clock = earliest.wakeAt
+		if earliest.wakeAt > Time(k.clock.Load()) {
+			k.clock.Store(int64(earliest.wakeAt))
 		}
 		for _, t := range k.threads {
-			if t.state == ThreadSleeping && t.wakeAt <= k.clock {
+			if t.state == ThreadSleeping && t.wakeAt <= Time(k.clock.Load()) {
 				t.state = ThreadRunnable
 				k.enqueueLocked(t)
 			}

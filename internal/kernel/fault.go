@@ -47,6 +47,14 @@ func (k *Kernel) FailComponent(id ComponentID) error {
 		return err
 	}
 	c.markFaulty()
+	if tr := k.tracer.Load(); tr != nil {
+		epoch, _ := c.snapshot()
+		var tid int32
+		if k.current != nil {
+			tid = int32(k.current.id)
+		}
+		tr.RecordFault(int32(id), tid, "", k.clock.Load(), epoch)
+	}
 	return nil
 }
 
@@ -96,6 +104,10 @@ func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch
 		k.mu.Unlock()
 		return oldEpoch, nil // someone already rebooted it
 	}
+	// Span start for the µ-reboot trace event: virtual time and
+	// completed-invocation count before the fresh instance is installed.
+	vt0 := k.clock.Load()
+	steps0 := k.invCount.Load()
 	newEpoch := oldEpoch + 1
 	svc := c.factory()
 	c.install(svc, newEpoch)
@@ -138,6 +150,14 @@ func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch
 	}
 	for _, h := range hooks {
 		h(t, id, newEpoch)
+	}
+	if tr := k.tracer.Load(); tr != nil {
+		var tid int32
+		if t != nil {
+			tid = int32(t.id)
+		}
+		now := k.clock.Load()
+		tr.RecordReboot(int32(id), tid, now, newEpoch, now-vt0, k.invCount.Load()-steps0)
 	}
 
 	// The eagerly woken threads may outrank the rebooting thread.

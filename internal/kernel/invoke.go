@@ -43,6 +43,9 @@ func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Wo
 	}
 	svc := c.service()
 	hook := k.invokeHook()
+	if tr := k.tracer.Load(); tr != nil {
+		tr.RecordInvoke(int32(dst), int32(t.id), fn, k.clock.Load(), epoch)
+	}
 	// Snapshot the ready-queue insert counter: if it is unchanged at the
 	// invocation boundary, no wakeup happened and the deferred-preemption
 	// check (the one remaining k.mu acquisition) can be skipped.
@@ -142,6 +145,17 @@ func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Wo
 // conflates the two directions.
 func (k *Kernel) Upcall(t *Thread, dst ComponentID, fn string, args ...Word) (Word, error) {
 	k.upcallCount.Add(1)
+	if tr := k.tracer.Load(); tr != nil {
+		var tid int32
+		if t != nil {
+			tid = int32(t.id)
+		}
+		var gen uint64
+		if c := k.comp(dst); c != nil {
+			gen = c.curEpoch()
+		}
+		tr.RecordUpcall(int32(dst), tid, fn, k.clock.Load(), gen)
+	}
 	return k.Invoke(t, dst, fn, args...)
 }
 

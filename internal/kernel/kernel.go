@@ -37,6 +37,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"superglue/internal/obs"
 )
 
 // Word is the machine word used for invocation arguments and return values.
@@ -196,8 +198,14 @@ type Kernel struct {
 	threads   []*Thread                    // index = ThreadID-1
 	ready     []*Thread                    // FIFO arrival order; selection scans for min prio
 	current   *Thread
-	clock     Time
 	seq       uint64 // arrival sequence counter for FIFO tie-breaking
+
+	// clock is simulated time in µs. Writers (dispatcher wakeups,
+	// AdvanceClock, watchdog budget charges) all hold k.mu, so stores
+	// never race; the atomic representation exists so readers — Now()
+	// and the trace recorder on the lock-free invocation fast path —
+	// can stamp events without taking the kernel lock.
+	clock atomic.Int64
 
 	started bool
 	halted  atomic.Bool // written under mu; read lock-free on the fast path
@@ -227,6 +235,11 @@ type Kernel struct {
 	// snapshots it at entry and only takes k.mu for the deferred-preemption
 	// check at the invocation boundary when a wakeup happened in between.
 	readySeq atomic.Uint64
+
+	// tracer is the optional recovery-observability recorder (see
+	// internal/obs). Disabled tracing is a nil pointer: the fast path
+	// pays one atomic load and a predictable branch.
+	tracer atomic.Pointer[obs.Recorder]
 }
 
 // Time is simulated time in microseconds.
@@ -277,6 +290,7 @@ func (k *Kernel) Register(factory func() Service) (ComponentID, error) {
 	copy(view, k.comps)
 	k.compsView.Store(&view)
 	k.mu.Unlock()
+	k.tracer.Load().SetComponentName(int32(id), c.name)
 
 	if err := svc.Init(&BootContext{Kernel: k, Self: id, Epoch: 0}); err != nil {
 		return 0, fmt.Errorf("kernel: init of component %q: %w", svc.Name(), err)
@@ -395,11 +409,32 @@ func (k *Kernel) Service(id ComponentID) (Service, error) {
 	return c.service(), nil
 }
 
-// Now returns the current simulated time.
+// Now returns the current simulated time. It is a single atomic load —
+// safe from any goroutine, no kernel lock.
 func (k *Kernel) Now() Time {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.clock
+	return Time(k.clock.Load())
+}
+
+// SetTracer installs (or, with nil, removes) the recovery-observability
+// recorder. The kernel stamps every event with the component, thread,
+// virtual time, and recovery generation involved; the C³ runtime and
+// generated stubs share the same recorder for mechanism-level spans.
+// Component names registered so far are published to the recorder.
+func (k *Kernel) SetTracer(r *obs.Recorder) {
+	k.tracer.Store(r)
+	if r == nil {
+		return
+	}
+	if view := k.compsView.Load(); view != nil {
+		for _, c := range *view {
+			r.SetComponentName(int32(c.id), c.name)
+		}
+	}
+}
+
+// Tracer returns the installed recovery-observability recorder, or nil.
+func (k *Kernel) Tracer() *obs.Recorder {
+	return k.tracer.Load()
 }
 
 // InvocationCount returns the number of completed component invocations
@@ -494,5 +529,6 @@ func (k *Kernel) ReflectThreads() []ThreadInfo {
 		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	k.tracer.Load().RecordReflect(k.clock.Load(), len(out))
 	return out
 }

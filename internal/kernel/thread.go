@@ -335,7 +335,7 @@ func (k *Kernel) Sleep(t *Thread, d Time) error {
 	}
 	t.state = ThreadSleeping
 	t.lastParkWasBlock = false
-	t.wakeAt = k.clock + d
+	t.wakeAt = Time(k.clock.Load()) + d
 	if n := len(t.invStack); n > 0 {
 		t.blockedIn = t.invStack[n-1]
 	} else {
@@ -468,6 +468,6 @@ func (k *Kernel) AdvanceClock(d Time) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if d > 0 {
-		k.clock += d
+		k.clock.Add(int64(d))
 	}
 }

@@ -153,12 +153,13 @@ func (k *Kernel) watchdogHangLocked(t *Thread) bool {
 		k.wdStats.Unattributable++
 		return false
 	}
-	k.clock += k.budgetForLocked(comp)
+	k.clock.Add(int64(k.budgetForLocked(comp)))
 	epoch, _ := c.snapshot()
 	c.markFaulty()
 	k.wdStats.HangsCaught++
 	k.wdStats.LastComp = comp
 	t.watchdogFault = &Fault{Comp: comp, Epoch: epoch}
+	k.tracer.Load().RecordFault(int32(comp), int32(t.id), "watchdog:hang", k.clock.Load(), epoch)
 	return true
 }
 
@@ -204,11 +205,12 @@ func (k *Kernel) watchdogDivertLocked() bool {
 		k.wdStats.Unattributable++
 		return false
 	}
-	k.clock += k.budgetForLocked(blamed)
+	k.clock.Add(int64(k.budgetForLocked(blamed)))
 	epoch, _ := c.snapshot()
 	c.markFaulty()
 	k.wdStats.DeadlocksAttributed++
 	k.wdStats.LastComp = blamed
+	k.tracer.Load().RecordFault(int32(blamed), 0, "watchdog:deadlock", k.clock.Load(), epoch)
 	for _, bt := range k.threads {
 		if bt.state == ThreadBlocked && bt.blockedIn == blamed {
 			bt.pendingFault = &Fault{Comp: blamed, Epoch: epoch}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.RecordInvoke(1, 1, "fn", 0, 0)
+	r.RecordUpcall(1, 1, "fn", 0, 0)
+	r.RecordFault(1, 1, "fn", 0, 0)
+	r.RecordReboot(1, 1, 0, 1, 10, 2)
+	r.RecordRecovery(MechR0, 1, 1, "fn", 0, 1, 10, 2)
+	r.RecordReflect(0, 3)
+	r.RecordDegraded(1, 1, "fn", 0, 1)
+	r.SetComponentName(1, "lock")
+	r.Reset()
+	if got := r.TotalEvents(); got != 0 {
+		t.Fatalf("nil recorder TotalEvents = %d, want 0", got)
+	}
+	snap := r.Snapshot()
+	if len(snap.Events) != 0 || len(snap.Components) != 0 {
+		t.Fatalf("nil recorder snapshot not empty: %+v", snap)
+	}
+	if len(snap.Mechanisms) != 8 {
+		t.Fatalf("snapshot must list all 8 mechanisms, got %d", len(snap.Mechanisms))
+	}
+}
+
+func TestCountersAndHistogram(t *testing.T) {
+	r := NewRecorder(64)
+	r.SetComponentName(2, "lock")
+	r.RecordInvoke(2, 1, "lock_take", 5, 0)
+	r.RecordInvoke(2, 1, "lock_take", 6, 0)
+	r.RecordFault(2, 1, "lock_take", 7, 0)
+	r.RecordReboot(2, 1, 8, 1, 3, 4)
+	r.RecordRecovery(MechR0, 2, 1, "lock_take", 9, 1, 0, 3)
+	r.RecordRecovery(MechR0, 2, 1, "lock_take", 9, 1, 5, 7)
+	r.RecordRecovery(MechT1, 2, 1, "lock_take", 9, 1, 100, 1)
+	r.RecordUpcall(2, 1, "sg.recover", 10, 1)
+	r.RecordDegraded(2, 1, "lock_take", 11, 1)
+
+	snap := r.Snapshot()
+	if len(snap.Components) != 1 {
+		t.Fatalf("components = %d, want 1", len(snap.Components))
+	}
+	c := snap.Components[0]
+	if c.ID != 2 || c.Name != "lock" {
+		t.Fatalf("component identity = %+v", c)
+	}
+	if c.Invokes != 2 || c.Faults != 1 || c.Reboots != 1 || c.Upcalls != 1 || c.Degraded != 1 {
+		t.Fatalf("counters wrong: %+v", c)
+	}
+	mech := map[string]MechanismSnapshot{}
+	for _, m := range c.Mechanisms {
+		mech[m.Mechanism] = m
+	}
+	r0 := mech["R0"]
+	if r0.Count != 2 || r0.TotalVT != 5 || r0.MaxVT != 5 || r0.TotalSteps != 10 {
+		t.Fatalf("R0 cell wrong: %+v", r0)
+	}
+	// vt=0 → bucket 0; vt=5 → bits.Len(5)=3 → bucket 3 (range [4,8)).
+	if r0.Hist[0] != 1 || r0.Hist[3] != 1 {
+		t.Fatalf("R0 histogram wrong: %v", r0.Hist)
+	}
+	// vt=100 → bits.Len(100)=7 → bucket 7 (range [64,128)).
+	if t1 := mech["T1"]; t1.Hist[7] != 1 {
+		t.Fatalf("T1 histogram wrong: %v", t1.Hist)
+	}
+	// RecordUpcall also files a U0 mechanism span.
+	if u0 := mech["U0"]; u0.Count != 1 {
+		t.Fatalf("U0 cell wrong: %+v", u0)
+	}
+	// The all-components aggregate includes every mechanism, zero or not.
+	if len(snap.Mechanisms) != 8 {
+		t.Fatalf("aggregate mechanisms = %d, want 8", len(snap.Mechanisms))
+	}
+	for _, m := range snap.Mechanisms {
+		if m.Mechanism == "R0" && m.Count != 2 {
+			t.Fatalf("aggregate R0 = %+v", m)
+		}
+	}
+}
+
+func TestRingWrapKeepsMostRecent(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.RecordInvoke(1, 1, "fn", int64(i), 0)
+	}
+	snap := r.Snapshot()
+	if snap.TotalEvents != 10 || snap.DroppedEvents != 6 {
+		t.Fatalf("total=%d dropped=%d, want 10/6", snap.TotalEvents, snap.DroppedEvents)
+	}
+	if len(snap.Events) != 4 {
+		t.Fatalf("ring copy = %d events, want 4", len(snap.Events))
+	}
+	for i, ev := range snap.Events {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (chronological, most recent kept)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestResetKeepsNames(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetComponentName(1, "sched")
+	r.RecordInvoke(1, 1, "fn", 0, 0)
+	r.Reset()
+	if r.TotalEvents() != 0 {
+		t.Fatalf("reset did not clear events")
+	}
+	snap := r.Snapshot()
+	if len(snap.Components) != 1 || snap.Components[0].Name != "sched" || snap.Components[0].Invokes != 0 {
+		t.Fatalf("reset snapshot wrong: %+v", snap.Components)
+	}
+}
+
+func TestBucketLabels(t *testing.T) {
+	cases := map[int]string{0: "0", 1: "1", 2: "3", 3: "7", NumBuckets - 2: "16383", NumBuckets - 1: "+Inf"}
+	for i, want := range cases {
+		if got := BucketLabel(i); got != want {
+			t.Fatalf("BucketLabel(%d) = %q, want %q", i, got, want)
+		}
+	}
+	// Boundary behavior of bucketOf: upper bound is inclusive.
+	if bucketOf(3) != 2 || bucketOf(4) != 3 || bucketOf(1<<40) != NumBuckets-1 {
+		t.Fatalf("bucketOf boundaries wrong: %d %d %d", bucketOf(3), bucketOf(4), bucketOf(1<<40))
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	r := NewRecorder(16)
+	r.SetComponentName(1, "ramfs")
+	r.RecordRecovery(MechG0, 1, 2, "twritep", 42, 3, 7, 2)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("exporter wrote invalid JSON: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{`"mechanism": "G0"`, `"kind": "RebuildWalk"`, `"ramfs"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("JSON export missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestPrometheusExport(t *testing.T) {
+	r := NewRecorder(16)
+	r.SetComponentName(1, "lock")
+	r.RecordInvoke(1, 1, "lock_take", 0, 0)
+	r.RecordRecovery(MechR0, 1, 1, "lock_take", 5, 1, 2, 3)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`superglue_invocations_total{component="lock"} 1`,
+		`superglue_recoveries_total{component="lock",mechanism="R0"} 1`,
+		`superglue_recovery_latency_vtime_us_bucket{component="lock",mechanism="R0",le="+Inf"} 1`,
+		`superglue_recovery_latency_vtime_us_sum{component="lock",mechanism="R0"} 2`,
+		"# TYPE superglue_recovery_latency_vtime_us histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSteadyStateRecordDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(256)
+	// Warm up: touch the component slot once so the growth path is done.
+	r.RecordInvoke(3, 1, "fn", 0, 0)
+	allocs := testing.AllocsPerRun(500, func() {
+		r.RecordInvoke(3, 1, "fn", 1, 0)
+		r.RecordRecovery(MechR0, 3, 1, "fn", 2, 1, 4, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Record allocates %.1f allocs/op, want 0", allocs)
+	}
+}

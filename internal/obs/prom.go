@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus writes the recorder's aggregates in the Prometheus
+// text exposition format (version 0.0.4): per-component counters, the
+// per-(component, mechanism) recovery counters, and cumulative
+// recovery-latency histograms over virtual-time buckets. Virtual time
+// is the simulator's deterministic clock, so the histograms measure
+// modeled recovery cost, not wall-clock time (see docs/OBSERVABILITY.md
+// for the methodology).
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP superglue_trace_events_total Trace events recorded, by kind.\n")
+	p("# TYPE superglue_trace_events_total counter\n")
+	for _, kind := range []EventKind{EvInvoke, EvFaultDetected, EvReboot, EvRebuildWalk, EvReflect, EvUpcall, EvDegraded} {
+		if n, ok := snap.Kinds[kind.String()]; ok {
+			p("superglue_trace_events_total{kind=%q} %d\n", kind.String(), n)
+		}
+	}
+
+	counters := []struct {
+		name, help string
+		get        func(ComponentSnapshot) uint64
+	}{
+		{"superglue_invocations_total", "Component invocations delivered.", func(c ComponentSnapshot) uint64 { return c.Invokes }},
+		{"superglue_upcalls_total", "Recovery upcalls delivered (U0 direction).", func(c ComponentSnapshot) uint64 { return c.Upcalls }},
+		{"superglue_faults_detected_total", "Component faults detected (fail-stop + watchdog).", func(c ComponentSnapshot) uint64 { return c.Faults }},
+		{"superglue_reboots_total", "Completed component micro-reboots.", func(c ComponentSnapshot) uint64 { return c.Reboots }},
+		{"superglue_degraded_total", "Escalation-ladder degradations.", func(c ComponentSnapshot) uint64 { return c.Degraded }},
+	}
+	for _, ctr := range counters {
+		p("# HELP %s %s\n# TYPE %s counter\n", ctr.name, ctr.help, ctr.name)
+		for _, c := range snap.Components {
+			if n := ctr.get(c); n > 0 {
+				p("%s{component=%q} %d\n", ctr.name, labelFor(c), n)
+			}
+		}
+	}
+
+	p("# HELP superglue_recoveries_total Recovery-mechanism spans, by component and mechanism (paper taxonomy R0..U0).\n")
+	p("# TYPE superglue_recoveries_total counter\n")
+	for _, c := range snap.Components {
+		for _, m := range c.Mechanisms {
+			p("superglue_recoveries_total{component=%q,mechanism=%q} %d\n", labelFor(c), m.Mechanism, m.Count)
+		}
+	}
+
+	p("# HELP superglue_recovery_latency_vtime_us Recovery-span latency in virtual-time microseconds, by component and mechanism.\n")
+	p("# TYPE superglue_recovery_latency_vtime_us histogram\n")
+	for _, c := range snap.Components {
+		for _, m := range c.Mechanisms {
+			cum := uint64(0)
+			for i, n := range m.Hist {
+				cum += n
+				p("superglue_recovery_latency_vtime_us_bucket{component=%q,mechanism=%q,le=%q} %d\n",
+					labelFor(c), m.Mechanism, BucketLabel(i), cum)
+			}
+			p("superglue_recovery_latency_vtime_us_sum{component=%q,mechanism=%q} %d\n", labelFor(c), m.Mechanism, m.TotalVT)
+			p("superglue_recovery_latency_vtime_us_count{component=%q,mechanism=%q} %d\n", labelFor(c), m.Mechanism, m.Count)
+		}
+	}
+	return err
+}
+
+// labelFor picks the component label: its name when known, else its ID.
+func labelFor(c ComponentSnapshot) string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("comp%d", c.ID)
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// MechanismSnapshot is one mechanism's aggregate in a Snapshot, with
+// the mechanism name resolved for serialization.
+type MechanismSnapshot struct {
+	// Mechanism is the paper name (R0…U0).
+	Mechanism string `json:"mechanism"`
+	// MechStat is the aggregate cell (count, vtime totals, histogram).
+	MechStat
+}
+
+// ComponentSnapshot is one component's aggregate in a Snapshot.
+type ComponentSnapshot struct {
+	// ID is the kernel component ID.
+	ID int32 `json:"id"`
+	// Name is the component name, if registered via SetComponentName.
+	Name string `json:"name,omitempty"`
+	// Invokes counts invocations delivered to the component.
+	Invokes uint64 `json:"invokes"`
+	// Upcalls counts recovery upcalls delivered to the component.
+	Upcalls uint64 `json:"upcalls,omitempty"`
+	// Faults counts fault-detection events for the component.
+	Faults uint64 `json:"faults,omitempty"`
+	// Reboots counts completed µ-reboots of the component.
+	Reboots uint64 `json:"reboots,omitempty"`
+	// Degraded counts escalation-ladder degradations of the component.
+	Degraded uint64 `json:"degraded,omitempty"`
+	// Mechanisms holds the per-mechanism cells that fired for the
+	// component, in the paper's R0…U0 order (empty cells omitted).
+	Mechanisms []MechanismSnapshot `json:"mechanisms,omitempty"`
+}
+
+// Snapshot is a consistent copy of everything the recorder knows:
+// recent events (the ring contents, oldest first), event-kind totals,
+// per-component aggregates, and the all-components per-mechanism
+// aggregate that feeds the BENCH_superglue.json recovery breakdown.
+type Snapshot struct {
+	// TotalEvents counts every event ever recorded (including events
+	// already overwritten in the ring).
+	TotalEvents uint64 `json:"total_events"`
+	// DroppedEvents counts events overwritten in the ring (TotalEvents
+	// minus len(Events)).
+	DroppedEvents uint64 `json:"dropped_events"`
+	// BucketBounds are the inclusive upper bounds of the histogram
+	// buckets, as Prometheus-style "le" labels ("0", "1", …, "+Inf").
+	BucketBounds []string `json:"bucket_bounds_vtime_us"`
+	// Kinds maps event-kind name to its total count.
+	Kinds map[string]uint64 `json:"kinds"`
+	// Mechanisms is the all-components per-mechanism aggregate, in the
+	// paper's R0…U0 order (every mechanism present, even if zero — the
+	// per-mechanism breakdown the acceptance experiments embed).
+	Mechanisms []MechanismSnapshot `json:"mechanisms"`
+	// Components holds per-component aggregates in component-ID order.
+	Components []ComponentSnapshot `json:"components"`
+	// Events is the ring contents, oldest first.
+	Events []Event `json:"events"`
+}
+
+// Snapshot returns a consistent copy of the recorder state. It is safe
+// on a nil receiver (returning an empty snapshot) and safe to call
+// while recording continues.
+func (r *Recorder) Snapshot() Snapshot {
+	snap := Snapshot{
+		BucketBounds: bucketBounds(),
+		Kinds:        map[string]uint64{},
+	}
+	var totals [NumMechanisms]MechStat
+	if r != nil {
+		r.mu.Lock()
+		snap.TotalEvents = r.seq
+		snap.Events = ringCopy(r.ring, r.seq)
+		snap.DroppedEvents = snap.TotalEvents - uint64(len(snap.Events))
+		for kind := EventKind(1); int(kind) < numKinds; kind++ {
+			if n := r.kinds[kind]; n > 0 {
+				snap.Kinds[kind.String()] = n
+			}
+		}
+		for id := range r.comps {
+			s := &r.comps[id]
+			if !s.seen {
+				continue
+			}
+			cs := ComponentSnapshot{
+				ID:       int32(id),
+				Name:     s.name,
+				Invokes:  s.invokes,
+				Upcalls:  s.upcalls,
+				Faults:   s.faults,
+				Reboots:  s.reboots,
+				Degraded: s.degraded,
+			}
+			for _, m := range Mechanisms() {
+				cell := s.mech[m]
+				totals[m].merge(cell)
+				if cell.Count > 0 {
+					cs.Mechanisms = append(cs.Mechanisms, MechanismSnapshot{Mechanism: m.String(), MechStat: cell})
+				}
+			}
+			snap.Components = append(snap.Components, cs)
+		}
+		r.mu.Unlock()
+	}
+	for _, m := range Mechanisms() {
+		snap.Mechanisms = append(snap.Mechanisms, MechanismSnapshot{Mechanism: m.String(), MechStat: totals[m]})
+	}
+	return snap
+}
+
+// ringCopy rebuilds the ring contents in chronological order: event
+// with sequence number s lives at index (s-1) % cap once the ring has
+// wrapped.
+func ringCopy(ring []Event, seq uint64) []Event {
+	if len(ring) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(ring))
+	if len(ring) < cap(ring) || seq <= uint64(len(ring)) {
+		return append(out, ring...)
+	}
+	c := uint64(cap(ring))
+	for s := seq - c + 1; s <= seq; s++ {
+		out = append(out, ring[(s-1)%c])
+	}
+	return out
+}
+
+// bucketBounds materializes the histogram "le" labels.
+func bucketBounds() []string {
+	out := make([]string, NumBuckets)
+	for i := range out {
+		out[i] = BucketLabel(i)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSON snapshots the recorder and writes it as indented JSON; it
+// is the one-call exporter used by cmd/swifi -trace-out.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}

@@ -7,6 +7,7 @@ import (
 
 	"superglue/internal/core"
 	"superglue/internal/kernel"
+	"superglue/internal/obs"
 	"superglue/internal/workload"
 )
 
@@ -77,6 +78,13 @@ type Config struct {
 	// WatchdogBudget overrides the per-invocation virtual-time budget
 	// (zero takes the kernel default).
 	WatchdogBudget kernel.Time
+	// Trace installs a structured trace recorder (internal/obs) into every
+	// trial's kernel and aggregates per-mechanism recovery statistics across
+	// the campaign into Result.Recovery. Tracing adds no virtual-time
+	// charges, so traced campaigns classify identically to untraced ones.
+	Trace bool
+	// TraceCapacity bounds the shared event ring (0 takes the obs default).
+	TraceCapacity int
 }
 
 // Result aggregates one campaign, mirroring one row of Table II.
@@ -91,6 +99,10 @@ type Result struct {
 	Undetected int
 	// Trials holds each trial's record for deeper analysis.
 	Trials []TrialResult
+	// Recovery is the campaign-wide trace snapshot (counters, per-mechanism
+	// recovery-latency histograms, most recent events). Nil unless the
+	// campaign ran with Config.Trace.
+	Recovery *obs.Snapshot
 }
 
 // TrialResult records one injection and its classified outcome.
@@ -142,10 +154,23 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("swifi: dry run: %w", err)
 	}
 
+	// One recorder spans the whole campaign: every trial's kernel publishes
+	// into it, so counters and latency histograms aggregate across trials
+	// (workloads register components in a deterministic order, so component
+	// IDs and names are stable from trial to trial).
+	var rec *obs.Recorder
+	if cfg.Trace {
+		cap := cfg.TraceCapacity
+		if cap <= 0 {
+			cap = obs.DefaultCapacity
+		}
+		rec = obs.NewRecorder(cap)
+	}
+
 	res := &Result{Service: cfg.Service}
 	for trial := 0; trial < cfg.Trials; trial++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*7919))
-		tr, err := runTrial(cfg, opportunities, rng)
+		tr, err := runTrial(cfg, opportunities, rng, rec)
 		if err != nil {
 			return nil, fmt.Errorf("swifi: trial %d: %w", trial, err)
 		}
@@ -165,6 +190,10 @@ func Run(cfg Config) (*Result, error) {
 		case OutcomeDegraded:
 			res.Degraded++
 		}
+	}
+	if rec != nil {
+		snap := rec.Snapshot()
+		res.Recovery = &snap
 	}
 	return res, nil
 }
@@ -200,7 +229,7 @@ func dryRun(cfg Config) (uint64, error) {
 }
 
 // runTrial executes one injection trial.
-func runTrial(cfg Config, opportunities uint64, rng *rand.Rand) (TrialResult, error) {
+func runTrial(cfg Config, opportunities uint64, rng *rand.Rand, rec *obs.Recorder) (TrialResult, error) {
 	sys, err := core.NewSystem(cfg.Mode)
 	if err != nil {
 		return TrialResult{}, err
@@ -209,6 +238,9 @@ func runTrial(cfg Config, opportunities uint64, rng *rand.Rand) (TrialResult, er
 	target, err := w.Build(sys)
 	if err != nil {
 		return TrialResult{}, err
+	}
+	if rec != nil {
+		sys.SetTracer(rec)
 	}
 	if err := sys.Kernel().SetRegProfile(target, cfg.Profile); err != nil {
 		return TrialResult{}, err
