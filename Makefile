@@ -6,7 +6,7 @@ GO ?= go
 # and compare two saved runs with `benchstat old.txt new.txt`.
 BENCHCOUNT ?= 1
 
-.PHONY: all build test race bench bench-json gen lint experiments watchdog-experiments fuzz clean
+.PHONY: all build test race race-smoke bench bench-json gen lint experiments watchdog-experiments fuzz clean
 
 all: build test lint
 
@@ -20,15 +20,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Parallel campaign engine under the race detector: every service, trials
+# sharded over 4 workers with per-trial trace recorders (the same run CI
+# performs). Campaign output is byte-identical to -workers 1.
+race-smoke:
+	$(GO) run -race ./cmd/swifi -trials 20 -seed 2026 -workers 4 -trace
+
 # benchstat-friendly output: benchmarks only (no tests), repeatable count.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -count=$(BENCHCOUNT) ./...
 
 # Benchmark trajectory: write machine-readable measurements of the headline
 # benchmarks (invocation primitive, Fig. 6a tracking, Fig. 7 web server) to
-# BENCH_superglue.json.
+# BENCH_superglue.json. The traced SWIFI campaigns behind the recovery
+# breakdown shard over all cores (-workers 0 = GOMAXPROCS); the wall-clock
+# benchmarks stay serial so their timings are uncontended.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_superglue.json
+	$(GO) run ./cmd/benchjson -workers 0 -o BENCH_superglue.json
 
 # Regenerate the committed sgc-generated stubs from the IDL specifications
 # (golden-tested by internal/gen.TestCommittedStubsMatchGenerator).
@@ -38,8 +46,8 @@ gen:
 # Static analysis beyond the compiler (see DESIGN.md §7):
 #   - go vet: the standard checks;
 #   - sgvet: the runtime-contract analyzers (determinism, atomicstate,
-#     stubdiscipline) plus missingdoc over the deterministic-replay
-#     packages and every generated stub package;
+#     stubdiscipline, shadowbuiltin) plus missingdoc over the
+#     deterministic-replay packages and every generated stub package;
 #   - sgvet -run missingdoc: godoc completeness over the remaining API
 #     surface (c3 stays out of the determinism list: the hand-written
 #     baseline is kept verbatim for the Fig. 6(c) LOC comparison);
@@ -57,7 +65,7 @@ lint:
 	$(GO) run ./cmd/sgvet -run missingdoc internal/c3 internal/obs \
 		internal/idl internal/docgen internal/experiments \
 		internal/webserver internal/storage internal/cbuf \
-		internal/workload internal/analysis/govet \
+		internal/workload internal/pool internal/analysis/govet \
 		internal/analysis/speclint internal/analysis/driftcheck
 	$(GO) run ./cmd/sgc vet -builtin -gen
 	$(GO) run ./cmd/sgc doc -check

@@ -4,9 +4,12 @@
 // measurements to a JSON file (default BENCH_superglue.json), so every
 // commit can leave a machine-readable perf trail:
 //
-//	go run ./cmd/benchjson [-o BENCH_superglue.json] [-short]
+//	go run ./cmd/benchjson [-o BENCH_superglue.json] [-short] [-workers N]
 //
-// or `make bench-json`.
+// or `make bench-json`. -workers parallelizes the traced SWIFI campaigns
+// that produce the recovery breakdown (the wall-clock benchmarks stay
+// serial so their timings are uncontended); campaign results are
+// byte-identical for any worker count.
 package main
 
 import (
@@ -20,9 +23,10 @@ import (
 func main() {
 	out := flag.String("o", "BENCH_superglue.json", "output file")
 	short := flag.Bool("short", false, "trim workloads for a CI smoke run")
+	workers := flag.Int("workers", 0, "SWIFI campaign parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	rep, err := experiments.WriteBenchJSON(*out, *short)
+	rep, err := experiments.WriteBenchJSON(*out, *short, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

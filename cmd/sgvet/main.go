@@ -1,5 +1,6 @@
 // Command sgvet runs the SuperGlue static analyzers (determinism,
-// atomicstate, stubdiscipline, missingdoc) over package directories:
+// atomicstate, stubdiscipline, shadowbuiltin, missingdoc) over package
+// directories:
 //
 //	sgvet [-run a,b,c] dir [dir...]
 //

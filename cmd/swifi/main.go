@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	swifi [-trials 500] [-seed 2026] [-service sched|mm|ramfs|lock|event|timer] [-watchdog] [-prime] [-trace] [-trace-out trace.json] [-v]
+//	swifi [-trials 500] [-seed 2026] [-workers N] [-service sched|mm|ramfs|lock|event|timer] [-watchdog] [-prime] [-trace] [-trace-out trace.json] [-v]
 //
 // -watchdog enables the kernel watchdog for every trial, converting
 // component-attributable hangs into recoverable component faults. -prime
@@ -16,6 +16,9 @@
 // (internal/obs) across every trial and prints a per-mechanism recovery
 // breakdown after each campaign; -trace-out additionally writes each
 // campaign's full trace snapshot to <service>.<trace-out> as JSON.
+// -workers shards each campaign's trials over a worker pool and runs the
+// per-service campaigns concurrently; for a fixed seed the output is
+// byte-identical for any worker count (default: GOMAXPROCS).
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 
 	"superglue/internal/core"
 	"superglue/internal/experiments"
+	"superglue/internal/pool"
 	"superglue/internal/swifi"
 )
 
@@ -34,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 2026, "campaign seed (reproducible)")
 	service := flag.String("service", "", "run a single service's campaign (default: all)")
 	mode := flag.String("mode", "on-demand", "recovery mode: on-demand or eager")
+	workers := flag.Int("workers", 0, "trial/campaign parallelism (0 = GOMAXPROCS); output is identical for any value")
 	watchdog := flag.Bool("watchdog", false, "enable the kernel watchdog in every trial")
 	prime := flag.Bool("prime", false, "run the paired Table II' watchdog-off/on comparison")
 	trace := flag.Bool("trace", false, "record structured traces and print the per-mechanism recovery breakdown")
@@ -43,9 +48,9 @@ func main() {
 
 	var err error
 	if *prime {
-		err = runPrime(*trials, *seed, *service)
+		err = runPrime(*trials, *seed, *workers, *service)
 	} else {
-		err = run(*trials, *seed, *service, *mode, *watchdog, *trace || *traceOut != "", *traceOut, *verbose)
+		err = run(*trials, *seed, *workers, *service, *mode, *watchdog, *trace || *traceOut != "", *traceOut, *verbose)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swifi:", err)
@@ -53,7 +58,7 @@ func main() {
 	}
 }
 
-func run(trials int, seed int64, service, mode string, watchdog, trace bool, traceOut string, verbose bool) error {
+func run(trials int, seed int64, workers int, service, mode string, watchdog, trace bool, traceOut string, verbose bool) error {
 	recMode := core.OnDemand
 	switch mode {
 	case "on-demand", "":
@@ -69,23 +74,31 @@ func run(trials int, seed int64, service, mode string, watchdog, trace bool, tra
 		}
 		targets = []string{service}
 	}
-	var results []*swifi.Result
-	for _, svc := range targets {
+	// The per-service campaigns run concurrently and each campaign shards
+	// its trials over the same worker bound; results land in fixed slots,
+	// so the rendered tables are in Table II order regardless of timing.
+	results := make([]*swifi.Result, len(targets))
+	err := pool.Run(len(targets), workers, func(i int) error {
 		res, err := swifi.Run(swifi.Config{
-			Service:  svc,
-			Workload: swifi.Workloads()[svc],
+			Service:  targets[i],
+			Workload: swifi.Workloads()[targets[i]],
 			Iters:    5,
 			Trials:   trials,
 			Seed:     seed,
-			Profile:  swifi.Profiles()[svc],
+			Profile:  swifi.Profiles()[targets[i]],
 			Mode:     recMode,
 			Watchdog: watchdog,
 			Trace:    trace,
+			Workers:  workers,
 		})
 		if err != nil {
 			return err
 		}
-		results = append(results, res)
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	experiments.RenderTable2(os.Stdout, results)
 	if trace {
@@ -123,12 +136,12 @@ func writeSnapshot(path string, res *swifi.Result) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func runPrime(trials int, seed int64, service string) error {
+func runPrime(trials int, seed int64, workers int, service string) error {
 	var services []string
 	if service != "" {
 		services = append(services, service)
 	}
-	rows, err := experiments.Table2Prime(trials, seed, services...)
+	rows, err := experiments.Table2Prime(trials, seed, workers, services...)
 	if err != nil {
 		return err
 	}

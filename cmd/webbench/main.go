@@ -6,8 +6,13 @@
 //
 // Usage:
 //
-//	webbench [-requests 50000] [-repeats 5] [-workers 2] [-fault-every 5000]
+//	webbench [-requests 50000] [-repeats 5] [-workers 2] [-parallel 1] [-fault-every 5000]
 //	webbench -listen 127.0.0.1:8080 [-fault-every 2000]   # live HTTP server
+//
+// -parallel runs each variant's repeats concurrently on the shared pool
+// (internal/pool, the same fan-out the SWIFI campaign engine uses).
+// Repeats are wall-clock throughput measurements, so keep the default 1
+// for reported numbers and raise it only for smoke runs.
 //
 // With -listen, webbench serves real HTTP through the simulated component
 // OS (SuperGlue variant) until interrupted — point a browser or `ab` at it;
@@ -28,6 +33,7 @@ func main() {
 	requests := flag.Int("requests", 50000, "requests per run (ab sends 50000)")
 	repeats := flag.Int("repeats", 5, "runs per variant (mean ± stdev reported)")
 	workers := flag.Int("workers", 2, "server worker threads")
+	parallel := flag.Int("parallel", 1, "concurrent repeats per variant (smoke runs only; contends with the measurement)")
 	faultEvery := flag.Int("fault-every", 0, "inject one component crash per N completions (default requests/10; 0 disables in -listen mode)")
 	timeline := flag.Bool("timeline", true, "print the with-faults completion timeline")
 	listen := flag.String("listen", "", "serve real HTTP on this address instead of benchmarking")
@@ -60,6 +66,7 @@ func main() {
 		Repeats:    *repeats,
 		Workers:    *workers,
 		FaultEvery: *faultEvery,
+		Parallel:   *parallel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "webbench:", err)

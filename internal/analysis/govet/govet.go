@@ -1,7 +1,7 @@
 // Package govet is a small, dependency-free static-analysis framework for
 // the SuperGlue tree, modeled on golang.org/x/tools/go/analysis but built
 // entirely on the standard library (go/parser + go/types with the source
-// importer). It hosts four analyzers that enforce contracts the compiler
+// importer). It hosts five analyzers that enforce contracts the compiler
 // cannot express:
 //
 //   - determinism: internal/kernel, internal/core, internal/swifi and
@@ -21,6 +21,11 @@
 //     hand-written stub files (cstub.go, sstub.go, client_stub.go,
 //     server_stub.go) must not call kernel topology mutators — stubs are
 //     data-plane code.
+//
+//   - shadowbuiltin: no declaration may shadow a predeclared identifier
+//     (`cap := …`, a parameter named len). Shadowing silently disables
+//     the builtin for the rest of the scope; the SWIFI campaign engine
+//     shipped exactly this bug.
 //
 //   - missingdoc: every exported identifier (and the package itself) must
 //     carry a doc comment, so the runtime/kernel/observability API stays
@@ -53,7 +58,7 @@ type Analyzer struct {
 
 // All returns every registered analyzer in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, AtomicState, StubDiscipline, MissingDoc}
+	return []*Analyzer{Determinism, AtomicState, StubDiscipline, ShadowBuiltin, MissingDoc}
 }
 
 // ByName resolves a comma-separated analyzer list; an empty spec means all.

@@ -168,9 +168,13 @@ func TestKernelAnnotationsPresent(t *testing.T) {
 	}
 }
 
+func TestShadowBuiltinFixture(t *testing.T) {
+	checkFixture(t, "shadowbuiltin", ShadowBuiltin)
+}
+
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 4 {
+	if err != nil || len(all) != 5 {
 		t.Fatalf("ByName(\"\") = %v, %v", all, err)
 	}
 	one, err := ByName("determinism")

@@ -1,0 +1,62 @@
+package govet
+
+import (
+	"go/types"
+)
+
+// ShadowBuiltin flags declarations that shadow a predeclared Go
+// identifier — `cap := cfg.TraceCapacity`, a parameter named len, a
+// range variable named min. Shadowing compiles fine but silently
+// disables the builtin for the rest of the scope; the SWIFI campaign
+// engine shipped exactly this bug (a local `cap` hiding the builtin in
+// the trace-capacity setup), and the class of bug is cheap to ban
+// outright in replay-critical packages.
+//
+// Variables, constants, parameters, named results, range and
+// type-switch bindings, plus type and function declarations are
+// checked. Struct fields and methods are exempt: selector syntax keeps
+// them unambiguous.
+var ShadowBuiltin = &Analyzer{
+	Name: "shadowbuiltin",
+	Doc:  "flag declarations that shadow predeclared identifiers (cap, len, min, …)",
+	Run:  runShadowBuiltin,
+}
+
+func runShadowBuiltin(p *Pass) error {
+	// Defs iteration order is irrelevant: Run sorts diagnostics by
+	// position before reporting.
+	for id, obj := range p.Info.Defs {
+		if obj == nil || id.Name == "_" || types.Universe.Lookup(id.Name) == nil {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Var:
+			if o.IsField() {
+				continue // fields are always selected, never bare
+			}
+		case *types.Const, *types.TypeName:
+		case *types.Func:
+			if sig, ok := o.Type().(*types.Signature); ok && sig.Recv() != nil {
+				continue // methods are selected, never bare
+			}
+		default:
+			continue
+		}
+		p.Reportf(id.Pos(), "%s %s shadows the predeclared identifier", declKind(obj), id.Name)
+	}
+	return nil
+}
+
+// declKind names the declaration class for the diagnostic message.
+func declKind(obj types.Object) string {
+	switch obj.(type) {
+	case *types.Const:
+		return "constant"
+	case *types.TypeName:
+		return "type"
+	case *types.Func:
+		return "function"
+	default:
+		return "variable"
+	}
+}

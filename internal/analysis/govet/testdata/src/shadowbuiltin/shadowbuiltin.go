@@ -1,0 +1,64 @@
+// Package shadowbuiltin is the fixture for the shadowbuiltin analyzer.
+package shadowbuiltin
+
+// Config mimics the swifi trace-capacity config the real bug hid in.
+type Config struct {
+	TraceCapacity int
+	// cap as a *field* is fine: always accessed via selector.
+	cap int
+}
+
+// Clamp reproduces the shipped bug shape: a local variable named cap.
+func Clamp(cfg Config) int {
+	cap := cfg.TraceCapacity // want `variable cap shadows the predeclared identifier`
+	if cap <= 0 {
+		cap = 4096
+	}
+	return cap
+}
+
+// Params and named results shadow too.
+func resize(len int) (min int) { // want `variable len shadows the predeclared identifier` `variable min shadows the predeclared identifier`
+	return len
+}
+
+// Range bindings shadow.
+func sum(xs []int) int {
+	total := 0
+	for _, max := range xs { // want `variable max shadows the predeclared identifier`
+		total += max
+	}
+	return total
+}
+
+// Constants and types shadow.
+const iota2, copy = 1, 2 // want `constant copy shadows the predeclared identifier`
+
+type error struct{} // want `type error shadows the predeclared identifier`
+
+// A package-level function named after a builtin.
+func close() {} // want `function close shadows the predeclared identifier`
+
+// Methods named after builtins are fine (selector syntax).
+func (Config) Len() int { return 0 }
+
+func (c Config) len() int { return c.cap }
+
+// Suppression works like every other analyzer.
+func suppressed(cfg Config) int {
+	cap := cfg.TraceCapacity //sgvet:ignore shadowbuiltin — fixture exercises suppression
+	return cap
+}
+
+// ordinary names never fire.
+func ordinary(capacity int) int {
+	n := capacity
+	return n
+}
+
+var _ = resize
+var _ = sum
+var _ = close
+var _ = suppressed
+var _ = ordinary
+var _ = iota2

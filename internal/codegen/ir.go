@@ -13,6 +13,8 @@ package codegen
 
 import (
 	"fmt"
+	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 
@@ -197,12 +199,20 @@ func Camel(s string) string {
 }
 
 // lowerCamel converts an IDL identifier to an unexported Go identifier.
+// IDL parameter names are C-flavored and may collide with Go's
+// predeclared identifiers or keywords (fs_read takes a `long len`);
+// those are renamed with an Arg suffix so generated stubs never shadow
+// a builtin (enforced by the shadowbuiltin analyzer in `make lint`).
 func lowerCamel(s string) string {
 	c := Camel(s)
 	if c == "" {
 		return c
 	}
-	return strings.ToLower(c[:1]) + c[1:]
+	n := strings.ToLower(c[:1]) + c[1:]
+	if token.IsKeyword(n) || types.Universe.Lookup(n) != nil {
+		return n + "Arg"
+	}
+	return n
 }
 
 // ParamList renders a method's Go parameter list (all word-typed, matching

@@ -125,8 +125,11 @@ func benchToResult(name string, r testing.BenchmarkResult) BenchResult {
 }
 
 // RunBenchJSON runs the benchmark trajectory and returns the report.
-// short trims the web-server request counts for CI smoke runs.
-func RunBenchJSON(short bool) (*BenchReport, error) {
+// short trims the web-server request counts for CI smoke runs. workers
+// bounds the parallelism of the traced SWIFI campaigns (the wall-clock
+// benchmarks themselves stay serial: they are timing measurements and
+// concurrent runs would contend for the cores being measured).
+func RunBenchJSON(short bool, workers int) (*BenchReport, error) {
 	rep := &BenchReport{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -220,7 +223,7 @@ func RunBenchJSON(short bool) (*BenchReport, error) {
 	if short {
 		trials = 30
 	}
-	breakdown, err := RecoveryBreakdowns(trials, 2026, !short)
+	breakdown, err := RecoveryBreakdowns(trials, 2026, !short, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -229,8 +232,8 @@ func RunBenchJSON(short bool) (*BenchReport, error) {
 }
 
 // WriteBenchJSON runs the trajectory and writes the report to path.
-func WriteBenchJSON(path string, short bool) (*BenchReport, error) {
-	rep, err := RunBenchJSON(short)
+func WriteBenchJSON(path string, short bool, workers int) (*BenchReport, error) {
+	rep, err := RunBenchJSON(short, workers)
 	if err != nil {
 		return nil, err
 	}

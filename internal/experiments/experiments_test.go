@@ -101,7 +101,7 @@ func TestFig6c(t *testing.T) {
 }
 
 func TestTable2Small(t *testing.T) {
-	results, err := Table2(20, 7)
+	results, err := Table2(20, 7, 2)
 	if err != nil {
 		t.Fatalf("Table2: %v", err)
 	}

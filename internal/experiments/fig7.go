@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"superglue/internal/pool"
 	"superglue/internal/webserver"
 )
 
@@ -18,6 +19,12 @@ type Fig7Config struct {
 	Workers int
 	// FaultEvery configures the with-faults SuperGlue run (0 disables it).
 	FaultEvery int
+	// Parallel runs a variant's repeats concurrently on the shared pool
+	// (internal/pool). Repeats are wall-clock throughput measurements, so
+	// concurrent repeats contend for the cores being measured — use > 1
+	// for smoke runs where total wall-clock matters more than measurement
+	// isolation, and leave it at the default 1 for reported numbers.
+	Parallel int
 }
 
 // Fig7Row is one bar of Fig. 7.
@@ -60,12 +67,20 @@ func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
 		{"composite+superglue", webserver.VariantSuperGlue, 0},
 		{"composite+superglue +faults", webserver.VariantSuperGlue, cfg.FaultEvery},
 	}
+	parallel := cfg.Parallel
+	if parallel <= 0 {
+		parallel = 1
+	}
 	var rows []Fig7Row
 	var compositeRPS float64
 	for _, p := range plans {
-		var rps []float64
-		var last *webserver.Stats
-		for r := 0; r < cfg.Repeats; r++ {
+		// The repeat loop runs on the shared pool: each repeat writes only
+		// its own slot, and "last" is always the highest-index repeat, so
+		// the reported rows are the same for any Parallel setting (the
+		// measured throughputs themselves are noisier when runs contend).
+		rps := make([]float64, cfg.Repeats)
+		stats := make([]*webserver.Stats, cfg.Repeats)
+		err := pool.Run(cfg.Repeats, parallel, func(r int) error {
 			st, err := webserver.Run(webserver.Config{
 				Variant:    p.variant,
 				Requests:   cfg.Requests,
@@ -73,14 +88,19 @@ func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
 				FaultEvery: p.faultEvery,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("fig7 %s: %w", p.label, err)
+				return fmt.Errorf("fig7 %s: %w", p.label, err)
 			}
 			if st.Errors > 0 {
-				return nil, fmt.Errorf("fig7 %s: %d request errors", p.label, st.Errors)
+				return fmt.Errorf("fig7 %s: %d request errors", p.label, st.Errors)
 			}
-			rps = append(rps, st.Throughput)
-			last = st
+			rps[r] = st.Throughput
+			stats[r] = st
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		last := stats[cfg.Repeats-1]
 		mean, stdev := meanStdev(rps)
 		row := Fig7Row{Label: p.label, Variant: p.variant, MeanRPS: mean, StdevRPS: stdev,
 			Faults: last.Faults, Timeline: last.Timeline}

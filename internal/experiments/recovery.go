@@ -6,6 +6,7 @@ import (
 
 	"superglue/internal/core"
 	"superglue/internal/obs"
+	"superglue/internal/pool"
 	"superglue/internal/swifi"
 )
 
@@ -37,8 +38,16 @@ type RecoveryBreakdown struct {
 // RecoveryBreakdowns runs a traced SWIFI campaign against every target and
 // returns the per-mechanism breakdowns. With eager set, each service is
 // additionally campaigned in eager-recovery mode, which exercises the T0
-// trigger alongside the on-demand T1.
-func RecoveryBreakdowns(trials int, seed int64, eager bool) ([]RecoveryBreakdown, error) {
+// trigger alongside the on-demand T1. The (mode, service) campaigns run
+// concurrently on the pool — workers bounds both the campaign fan-out and
+// each campaign's internal trial sharding — and the breakdowns come back
+// in the fixed (mode, Table II service) order.
+func RecoveryBreakdowns(trials int, seed int64, eager bool, workers int) ([]RecoveryBreakdown, error) {
+	type plan struct {
+		name string
+		mode core.RecoveryMode
+		svc  string
+	}
 	type modeCase struct {
 		name string
 		mode core.RecoveryMode
@@ -47,31 +56,41 @@ func RecoveryBreakdowns(trials int, seed int64, eager bool) ([]RecoveryBreakdown
 	if eager {
 		modes = append(modes, modeCase{"eager", core.Eager})
 	}
-	var out []RecoveryBreakdown
+	var plans []plan
 	for _, m := range modes {
 		for _, svc := range swifi.Targets() {
-			res, err := swifi.Run(swifi.Config{
-				Service:  svc,
-				Workload: swifi.Workloads()[svc],
-				Iters:    5,
-				Trials:   trials,
-				Seed:     seed,
-				Profile:  swifi.Profiles()[svc],
-				Mode:     m.mode,
-				Trace:    true,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("recovery breakdown %s (%s): %w", svc, m.name, err)
-			}
-			out = append(out, RecoveryBreakdown{
-				Service:      svc,
-				Mode:         m.name,
-				Trials:       res.Injected,
-				Recovered:    res.Recovered,
-				BucketBounds: res.Recovery.BucketBounds,
-				Mechanisms:   res.Recovery.Mechanisms,
-			})
+			plans = append(plans, plan{name: m.name, mode: m.mode, svc: svc})
 		}
+	}
+	out := make([]RecoveryBreakdown, len(plans))
+	err := pool.Run(len(plans), workers, func(i int) error {
+		p := plans[i]
+		res, err := swifi.Run(swifi.Config{
+			Service:  p.svc,
+			Workload: swifi.Workloads()[p.svc],
+			Iters:    5,
+			Trials:   trials,
+			Seed:     seed,
+			Profile:  swifi.Profiles()[p.svc],
+			Mode:     p.mode,
+			Trace:    true,
+			Workers:  workers,
+		})
+		if err != nil {
+			return fmt.Errorf("recovery breakdown %s (%s): %w", p.svc, p.name, err)
+		}
+		out[i] = RecoveryBreakdown{
+			Service:      p.svc,
+			Mode:         p.name,
+			Trials:       res.Injected,
+			Recovered:    res.Recovered,
+			BucketBounds: res.Recovery.BucketBounds,
+			Mechanisms:   res.Recovery.Mechanisms,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

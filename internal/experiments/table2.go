@@ -4,17 +4,23 @@ import (
 	"fmt"
 	"io"
 
+	"superglue/internal/pool"
 	"superglue/internal/swifi"
 )
 
 // Table2 runs the SWIFI fault-injection campaign of Table II: trials
-// injections per system service, with the §V-B workloads.
-func Table2(trials int, seed int64) ([]*swifi.Result, error) {
+// injections per system service, with the §V-B workloads. The six
+// per-service campaigns run concurrently and each campaign additionally
+// shards its trials over workers goroutines; results come back in the
+// Table II service order regardless of scheduling.
+func Table2(trials int, seed int64, workers int) ([]*swifi.Result, error) {
 	if trials <= 0 {
 		trials = 500
 	}
-	var results []*swifi.Result
-	for _, svc := range swifi.Targets() {
+	targets := swifi.Targets()
+	results := make([]*swifi.Result, len(targets))
+	err := pool.Run(len(targets), workers, func(i int) error {
+		svc := targets[i]
 		res, err := swifi.Run(swifi.Config{
 			Service:  svc,
 			Workload: swifi.Workloads()[svc],
@@ -22,11 +28,16 @@ func Table2(trials int, seed int64) ([]*swifi.Result, error) {
 			Trials:   trials,
 			Seed:     seed,
 			Profile:  swifi.Profiles()[svc],
+			Workers:  workers,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", svc, err)
+			return fmt.Errorf("table2 %s: %w", svc, err)
 		}
-		results = append(results, res)
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }
@@ -74,8 +85,11 @@ func (r *Table2PrimeRow) ReclassificationRate() float64 {
 
 // Table2Prime runs the Table II′ experiment: each service's campaign twice
 // from the same seed — watchdog off, then on — and pairs the hang trials.
-// With no services given, all targets run.
-func Table2Prime(trials int, seed int64, services ...string) ([]Table2PrimeRow, error) {
+// With no services given, all targets run. Services run concurrently on
+// the pool (trials within each campaign shard over workers too); the
+// off/on pair for one service stays sequential so the paired trials
+// share the seed derivation.
+func Table2Prime(trials int, seed int64, workers int, services ...string) ([]Table2PrimeRow, error) {
 	if trials <= 0 {
 		trials = 500
 	}
@@ -88,8 +102,9 @@ func Table2Prime(trials int, seed int64, services ...string) ([]Table2PrimeRow, 
 		}
 		targets = services
 	}
-	var rows []Table2PrimeRow
-	for _, svc := range targets {
+	rows := make([]Table2PrimeRow, len(targets))
+	err := pool.Run(len(targets), workers, func(i int) error {
+		svc := targets[i]
 		cfg := swifi.Config{
 			Service:  svc,
 			Workload: swifi.Workloads()[svc],
@@ -97,17 +112,22 @@ func Table2Prime(trials int, seed int64, services ...string) ([]Table2PrimeRow, 
 			Trials:   trials,
 			Seed:     seed,
 			Profile:  swifi.Profiles()[svc],
+			Workers:  workers,
 		}
 		off, err := swifi.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("table2' %s (watchdog off): %w", svc, err)
+			return fmt.Errorf("table2' %s (watchdog off): %w", svc, err)
 		}
 		cfg.Watchdog = true
 		on, err := swifi.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("table2' %s (watchdog on): %w", svc, err)
+			return fmt.Errorf("table2' %s (watchdog on): %w", svc, err)
 		}
-		rows = append(rows, pairHangTrials(svc, off, on))
+		rows[i] = pairHangTrials(svc, off, on)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,117 @@
+package obs
+
+import "sort"
+
+// This file implements campaign-level snapshot aggregation: the SWIFI
+// engine gives every trial its own private Recorder and folds the
+// per-trial snapshots into one campaign snapshot in trial-index order,
+// so a parallel campaign's aggregate is byte-identical to a sequential
+// one (see DESIGN.md §9).
+
+// Merge folds o into s: counters and event-kind totals are summed,
+// per-mechanism cells (campaign-wide and per-component) are added
+// bucket-wise, component tables are unioned by ID, and o's events are
+// appended after s's — callers merge snapshots in trial order, so the
+// combined stream is ordered by (trial, per-trial sequence). After the
+// append every event is renumbered with a contiguous global sequence
+// starting at 1, which makes Merge associative: merging two halves of a
+// campaign equals merging all of its trials directly.
+//
+// Merge never aliases o's storage; o remains valid and unchanged. The
+// zero Snapshot is a valid receiver (the empty merge base).
+func (s *Snapshot) Merge(o Snapshot) {
+	if s.BucketBounds == nil {
+		s.BucketBounds = bucketBounds()
+	}
+	s.TotalEvents += o.TotalEvents
+	if len(o.Kinds) > 0 && s.Kinds == nil {
+		s.Kinds = make(map[string]uint64, len(o.Kinds))
+	}
+	for k, n := range o.Kinds {
+		s.Kinds[k] += n
+	}
+	s.Mechanisms = mergeMechanisms(s.Mechanisms, o.Mechanisms, true)
+	s.Components = mergeComponents(s.Components, o.Components)
+	s.Events = append(s.Events, o.Events...)
+	for i := range s.Events {
+		s.Events[i].Seq = uint64(i) + 1
+	}
+	s.DroppedEvents = s.TotalEvents - uint64(len(s.Events))
+}
+
+// Trim bounds the merged event stream to the most recent capacity
+// events, mirroring the ring-buffer semantics of a single Recorder:
+// older events are dropped (counted in DroppedEvents) and the survivors
+// keep their global sequence numbers. capacity <= 0 trims nothing.
+func (s *Snapshot) Trim(capacity int) {
+	if capacity <= 0 || len(s.Events) <= capacity {
+		return
+	}
+	kept := make([]Event, capacity)
+	copy(kept, s.Events[len(s.Events)-capacity:])
+	s.Events = kept
+	s.DroppedEvents = s.TotalEvents - uint64(len(s.Events))
+}
+
+// mergeMechanisms adds b's cells into a's, matching by mechanism name.
+// With full set, every mechanism of the paper taxonomy is present in
+// the result (the Snapshot invariant); otherwise only non-zero cells
+// survive (the per-component representation).
+func mergeMechanisms(a, b []MechanismSnapshot, full bool) []MechanismSnapshot {
+	cells := make(map[string]MechStat, NumMechanisms)
+	for _, m := range a {
+		cells[m.Mechanism] = m.MechStat
+	}
+	for _, m := range b {
+		cell := cells[m.Mechanism]
+		cell.merge(m.MechStat)
+		cells[m.Mechanism] = cell
+	}
+	var out []MechanismSnapshot
+	for _, m := range Mechanisms() {
+		cell, ok := cells[m.String()]
+		if !full && (!ok || cell.Count == 0) {
+			continue
+		}
+		out = append(out, MechanismSnapshot{Mechanism: m.String(), MechStat: cell})
+	}
+	return out
+}
+
+// mergeComponents unions two per-component tables by component ID,
+// summing counters and adding mechanism cells; the result is sorted by
+// ID (the Snapshot invariant).
+func mergeComponents(a, b []ComponentSnapshot) []ComponentSnapshot {
+	if len(b) == 0 {
+		return a
+	}
+	byID := make(map[int32]ComponentSnapshot, len(a)+len(b))
+	for _, c := range a {
+		byID[c.ID] = c
+	}
+	for _, c := range b {
+		cur, ok := byID[c.ID]
+		if !ok {
+			// Copy the cell list so the merged snapshot never aliases b.
+			c.Mechanisms = append([]MechanismSnapshot(nil), c.Mechanisms...)
+			byID[c.ID] = c
+			continue
+		}
+		if cur.Name == "" {
+			cur.Name = c.Name
+		}
+		cur.Invokes += c.Invokes
+		cur.Upcalls += c.Upcalls
+		cur.Faults += c.Faults
+		cur.Reboots += c.Reboots
+		cur.Degraded += c.Degraded
+		cur.Mechanisms = mergeMechanisms(cur.Mechanisms, c.Mechanisms, false)
+		byID[c.ID] = cur
+	}
+	out := make([]ComponentSnapshot, 0, len(byID))
+	for _, c := range byID {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,80 @@
+// Package pool provides the indexed fan-out primitive shared by the
+// parallel SWIFI campaign engine (internal/swifi), the experiment
+// harness (internal/experiments) and the evaluation CLIs: run fn(i) for
+// every index in [0, n) across a bounded set of worker goroutines.
+//
+// Determinism contract: the pool itself never reorders results. Each
+// fn(i) must write only into its own index-i slot of caller-owned
+// storage; the caller folds the slots in index order after Run returns,
+// so the aggregate is byte-identical regardless of worker count or
+// scheduling. This is the REL-style separation the campaign engine is
+// built on — trial semantics stay sequential per index, only their
+// execution is spread over workers.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Clamp normalizes a worker count: non-positive selects
+// runtime.GOMAXPROCS(0), and the result never exceeds n (one worker per
+// index is the maximum useful parallelism).
+func Clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run invokes fn(i) for every i in [0, n) across Clamp(workers, n)
+// goroutines. Indices are handed out in order from a shared counter, so
+// workers == 1 degenerates to the plain sequential loop.
+//
+// If any fn returns an error the pool stops handing out new indices and
+// Run returns the error with the smallest index among the invocations
+// that ran (indices already in flight still complete). Which later
+// indices were skipped can vary run to run; the returned error for a
+// deterministic fn is stable because lower indices are always started
+// first.
+func Run(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Clamp(workers, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 100, min(procs, 100)},
+		{-3, 100, min(procs, 100)},
+		{4, 100, 4},
+		{8, 3, 3},
+		{1, 1, 1},
+		{5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.workers, c.n); got != c.want {
+			t.Errorf("Clamp(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 50
+		var hits [n]atomic.Int32
+		if err := Run(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunZeroAndNegativeN(t *testing.T) {
+	called := false
+	if err := Run(0, 4, func(i int) error { called = true; return nil }); err != nil || called {
+		t.Fatalf("Run(0): err=%v called=%v", err, called)
+	}
+	if err := Run(-5, 4, func(i int) error { called = true; return nil }); err != nil || called {
+		t.Fatalf("Run(-5): err=%v called=%v", err, called)
+	}
+}
+
+func TestRunReturnsSmallestIndexError(t *testing.T) {
+	// Deterministic fn: indices 10 and 30 fail. With any worker count the
+	// reported error must be index 10's — lower indices start first and
+	// the pool scans slots in order.
+	for _, workers := range []int{1, 4} {
+		err := Run(50, workers, func(i int) error {
+			if i == 10 || i == 30 {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 10" {
+			t.Fatalf("workers=%d: err = %v, want boom 10", workers, err)
+		}
+	}
+}
+
+func TestRunStopsHandingOutAfterFailure(t *testing.T) {
+	// Sequential pool: after index 3 fails, no later index may run.
+	var ran atomic.Int32
+	sentinel := errors.New("stop")
+	err := Run(1000, 1, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("ran %d indices after sequential failure, want 4", got)
+	}
+}

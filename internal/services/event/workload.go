@@ -23,6 +23,11 @@ type Workload struct {
 
 var _ workload.Workload = (*Workload)(nil)
 
+// readyYieldBudget bounds how long the trigger thread waits for the
+// waiter to publish the event ID; legitimate runs need only a handful of
+// scheduler passes, so hitting the budget means the waiter is stuck.
+const readyYieldBudget = 1000
+
 // NewWorkload builds an event workload running iters wait/trigger rounds.
 func NewWorkload(iters int) workload.Workload {
 	return &Workload{iters: iters}
@@ -84,9 +89,19 @@ func (w *Workload) Build(sys *core.System) (kernel.ComponentID, error) {
 		return 0, err
 	}
 	// The triggering thread lives in a different component and addresses
-	// the event only by its global ID.
+	// the event only by its global ID. The wait for the waiter to publish
+	// that ID is bounded: in a fault-free run the higher-priority waiter
+	// sets ready within a few scheduler passes, but an injected fault can
+	// hang the waiter inside its first Split — an unbounded yield loop
+	// here would then spin forever and, by staying runnable, mask the hang
+	// from the kernel's deadlock detection. Giving up converts that
+	// livelock into a detectable system hang.
 	if _, err := k.CreateThread(nil, "trigger", 10, func(t *kernel.Thread) {
-		for !ready {
+		for n := 0; !ready; n++ {
+			if n == readyYieldBudget {
+				w.fail(fmt.Errorf("event not published after %d yields (waiter stuck)", n))
+				return
+			}
 			if err := k.Yield(t); err != nil {
 				w.fail(err)
 				return

@@ -8,8 +8,17 @@ import (
 	"superglue/internal/core"
 	"superglue/internal/kernel"
 	"superglue/internal/obs"
+	"superglue/internal/pool"
 	"superglue/internal/workload"
 )
+
+// ErrNoOpportunities reports that the fault-free dry run never entered
+// the target component: there is no execution moment to inject into, so
+// running trials would only accumulate meaningless "undetected" rows.
+// It is a configuration error (wrong target, empty workload), surfaced
+// as a typed error instead of the silent one-opportunity clamp the
+// injector used to apply.
+var ErrNoOpportunities = errors.New("swifi: workload never invokes the target (no injection opportunities)")
 
 // Outcome classifies one campaign trial, matching Table II's columns.
 type Outcome int
@@ -83,8 +92,15 @@ type Config struct {
 	// the campaign into Result.Recovery. Tracing adds no virtual-time
 	// charges, so traced campaigns classify identically to untraced ones.
 	Trace bool
-	// TraceCapacity bounds the shared event ring (0 takes the obs default).
+	// TraceCapacity bounds each trial's private event ring and the merged
+	// campaign event stream (0 takes the obs default).
 	TraceCapacity int
+	// Workers bounds the number of trials executed concurrently. Each
+	// trial runs on a fresh system with a private trace recorder and its
+	// results are committed in trial-index order, so for a fixed Seed the
+	// campaign output is byte-identical for any worker count. Zero or
+	// negative selects runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 // Result aggregates one campaign, mirroring one row of Table II.
@@ -131,11 +147,33 @@ func (r *Result) SuccessRate() float64 {
 	return float64(r.Recovered) / float64(activated)
 }
 
+// TrialSeed derives the per-trial RNG seed from the campaign seed and
+// the trial index with a SplitMix64-style finalizer. The previous
+// linear derivation (Seed + trial*7919) made campaigns whose seeds
+// differ by a multiple of 7919 share identical trial RNG streams at a
+// trial-index offset; mixing both inputs through the avalanche function
+// makes every (Seed, trial) pair an independent stream.
+func TrialSeed(seed int64, trial int) int64 {
+	z := uint64(seed) + (uint64(trial)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
 // Run executes the campaign: for each trial it builds a fresh system, plans
 // one bit flip at a uniformly random execution moment inside the target,
 // runs the workload to completion (or to the machine's death), and
 // classifies the outcome. Trials are independent and reproducible from the
 // seed.
+//
+// Trials are sharded over Config.Workers goroutines; each runs on its
+// own system with its own RNG and (when tracing) its own obs.Recorder,
+// and the per-trial results are folded into the aggregate in trial-index
+// order — so the Result, the merged trace snapshot, and any JSON derived
+// from them are byte-identical across worker counts for a fixed seed.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("swifi: non-positive trial count %d", cfg.Trials)
@@ -146,6 +184,10 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Mode == 0 {
 		cfg.Mode = core.OnDemand
 	}
+	capacity := cfg.TraceCapacity
+	if capacity <= 0 {
+		capacity = obs.DefaultCapacity
+	}
 
 	// Dry run: count injection opportunities (invocation entries into the
 	// target) for the uniform draw of the injection moment.
@@ -154,26 +196,38 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("swifi: dry run: %w", err)
 	}
 
-	// One recorder spans the whole campaign: every trial's kernel publishes
-	// into it, so counters and latency histograms aggregate across trials
-	// (workloads register components in a deterministic order, so component
-	// IDs and names are stable from trial to trial).
-	var rec *obs.Recorder
-	if cfg.Trace {
-		cap := cfg.TraceCapacity
-		if cap <= 0 {
-			cap = obs.DefaultCapacity
-		}
-		rec = obs.NewRecorder(cap)
+	// Execute trials on the pool. Each worker writes only its own trial's
+	// slot; nothing is shared across trials (workloads register components
+	// in a deterministic order, so component IDs and names are stable from
+	// trial to trial and the snapshots merge cleanly).
+	type trialOut struct {
+		tr   TrialResult
+		snap obs.Snapshot
 	}
-
-	res := &Result{Service: cfg.Service}
-	for trial := 0; trial < cfg.Trials; trial++ {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*7919))
+	outs := make([]trialOut, cfg.Trials)
+	err = pool.Run(cfg.Trials, cfg.Workers, func(trial int) error {
+		rng := rand.New(rand.NewSource(TrialSeed(cfg.Seed, trial)))
+		var rec *obs.Recorder
+		if cfg.Trace {
+			rec = obs.NewRecorder(capacity)
+		}
 		tr, err := runTrial(cfg, opportunities, rng, rec)
 		if err != nil {
-			return nil, fmt.Errorf("swifi: trial %d: %w", trial, err)
+			return fmt.Errorf("swifi: trial %d: %w", trial, err)
 		}
+		outs[trial] = trialOut{tr: tr, snap: rec.Snapshot()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Commit in trial-index order: the aggregate counters, the Trials
+	// slice, and the merged trace snapshot are independent of scheduling.
+	res := &Result{Service: cfg.Service}
+	var merged obs.Snapshot
+	for trial := range outs {
+		tr := outs[trial].tr
 		res.Injected++
 		res.Trials = append(res.Trials, tr)
 		switch tr.Outcome {
@@ -190,10 +244,13 @@ func Run(cfg Config) (*Result, error) {
 		case OutcomeDegraded:
 			res.Degraded++
 		}
+		if cfg.Trace {
+			merged.Merge(outs[trial].snap)
+		}
 	}
-	if rec != nil {
-		snap := rec.Snapshot()
-		res.Recovery = &snap
+	if cfg.Trace {
+		merged.Trim(capacity)
+		res.Recovery = &merged
 	}
 	return res, nil
 }
@@ -223,7 +280,7 @@ func dryRun(cfg Config) (uint64, error) {
 		return 0, fmt.Errorf("fault-free run violates workload spec: %w", err)
 	}
 	if entries == 0 {
-		return 0, errors.New("workload never invokes the target")
+		return 0, ErrNoOpportunities
 	}
 	return entries, nil
 }

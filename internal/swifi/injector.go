@@ -101,10 +101,13 @@ type Injector struct {
 
 // NewInjector plans one injection: opportunities counts the target's
 // invocation entries observed in a fault-free dry run of the same workload,
-// which bounds the uniformly drawn injection moment.
+// which bounds the uniformly drawn injection moment. opportunities must be
+// positive: a zero-opportunity plan can never fire and would silently
+// pollute the campaign's outcome counts, so the campaign surfaces that
+// case as ErrNoOpportunities from the dry run instead of planning a trial.
 func NewInjector(k *kernel.Kernel, target kernel.ComponentID, opportunities uint64, rng *rand.Rand) *Injector {
 	if opportunities == 0 {
-		opportunities = 1
+		panic("swifi: NewInjector with zero opportunities (campaign must return ErrNoOpportunities)")
 	}
 	inj := &Injector{
 		k:       k,

@@ -40,9 +40,12 @@ func TestFullCampaignShape(t *testing.T) {
 		if res.Other > 25 {
 			t.Errorf("%s: %d latent/other faults; should be a small tail", svc, res.Other)
 		}
-		sum := res.Recovered + res.Segfault + res.Propagated + res.Other + res.Undetected
+		sum := res.Recovered + res.Segfault + res.Propagated + res.Other + res.Degraded + res.Undetected
 		if sum != res.Injected || res.Injected != 500 {
 			t.Errorf("%s: outcome sum %d ≠ injected %d", svc, sum, res.Injected)
+		}
+		if res.Degraded > 5 {
+			t.Errorf("%s: %d degraded trials without a watchdog; escalation ladder should rarely exhaust", svc, res.Degraded)
 		}
 	}
 	if results["sched"].Segfault <= results["ramfs"].Segfault {
