@@ -6,7 +6,7 @@ GO ?= go
 # and compare two saved runs with `benchstat old.txt new.txt`.
 BENCHCOUNT ?= 1
 
-.PHONY: all build test race race-smoke bench bench-json gen lint experiments watchdog-experiments fuzz clean
+.PHONY: all build test race race-smoke bench bench-json gen lint experiments watchdog-experiments fault-experiments fuzz clean
 
 all: build test lint
 
@@ -21,10 +21,13 @@ race:
 	$(GO) test -race ./...
 
 # Parallel campaign engine under the race detector: every service, trials
-# sharded over 4 workers with per-trial trace recorders (the same run CI
-# performs). Campaign output is byte-identical to -workers 1.
+# sharded over 4 workers with per-trial trace recorders (the same runs CI
+# performs). Campaign output is byte-identical to -workers 1. The second
+# run drives the shaped-campaign planner and the typed-fault injectors
+# (storm bursts across all eight fault kinds, supervision tree installed).
 race-smoke:
 	$(GO) run -race ./cmd/swifi -trials 20 -seed 2026 -workers 4 -trace
+	$(GO) run -race ./cmd/swifi -trials 20 -seed 2026 -workers 4 -shape storm -policy one-for-one
 
 # benchstat-friendly output: benchmarks only (no tests), repeatable count.
 bench:
@@ -63,7 +66,7 @@ lint:
 		internal/gen/genlock internal/gen/genmm internal/gen/genramfs \
 		internal/gen/gensched internal/gen/gentimer
 	$(GO) run ./cmd/sgvet -run missingdoc internal/c3 internal/obs \
-		internal/idl internal/docgen internal/experiments \
+		internal/fault internal/idl internal/docgen internal/experiments \
 		internal/webserver internal/storage internal/cbuf \
 		internal/workload internal/pool internal/analysis/govet \
 		internal/analysis/speclint internal/analysis/driftcheck
@@ -79,6 +82,14 @@ experiments:
 # Table II': paired hang-injection campaigns, kernel watchdog off vs on.
 watchdog-experiments:
 	$(GO) run ./cmd/swifi -prime -trials 500 -seed 2026
+
+# Shaped campaigns of the typed fault taxonomy (docs/FAULTS.md): per-kind
+# outcome columns for correlated double faults, fault storms, and
+# faults injected during recovery (EXPERIMENTS.md "Shaped campaigns").
+fault-experiments:
+	$(GO) run ./cmd/swifi -trials 500 -seed 2026 -shape correlated
+	$(GO) run ./cmd/swifi -trials 500 -seed 2026 -shape storm
+	$(GO) run ./cmd/swifi -trials 500 -seed 2026 -shape during-recovery
 
 # Short fuzzing passes over the parsers.
 fuzz:

@@ -19,6 +19,15 @@
 // -workers shards each campaign's trials over a worker pool and runs the
 // per-service campaigns concurrently; for a fixed seed the output is
 // byte-identical for any worker count (default: GOMAXPROCS).
+//
+// The shaped campaigns of the typed fault taxonomy are selected with
+// -shape correlated|storm|during-recovery (the default, legacy, is the
+// paper's single-bit-flip campaign). -kinds restricts the fault-kind pool
+// (comma-separated, e.g. "message-loss,storage-crash"), -storm-faults
+// sets the per-trial burst size of -shape storm, and -policy installs a
+// supervision strategy (one-for-one, rest-for-one, all-for-one) as a
+// root supervisor over every server in each trial's system. Shaped
+// campaigns render per-kind outcome columns after the Table II rows.
 package main
 
 import (
@@ -26,9 +35,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"superglue/internal/core"
 	"superglue/internal/experiments"
+	"superglue/internal/fault"
 	"superglue/internal/pool"
 	"superglue/internal/swifi"
 )
@@ -43,6 +54,10 @@ func main() {
 	prime := flag.Bool("prime", false, "run the paired Table II' watchdog-off/on comparison")
 	trace := flag.Bool("trace", false, "record structured traces and print the per-mechanism recovery breakdown")
 	traceOut := flag.String("trace-out", "", "write each campaign's trace snapshot to <service>.<file> (implies -trace)")
+	shape := flag.String("shape", "legacy", "campaign shape: legacy, correlated, storm, or during-recovery")
+	kinds := flag.String("kinds", "", "comma-separated fault-kind pool for shaped campaigns (default: all kinds)")
+	stormFaults := flag.Int("storm-faults", 0, "faults per storm trial (0 = default burst size)")
+	policy := flag.String("policy", "", "supervision policy per trial: legacy, one-for-one, rest-for-one, or all-for-one")
 	verbose := flag.Bool("v", false, "print each non-recovered trial")
 	flag.Parse()
 
@@ -50,7 +65,13 @@ func main() {
 	if *prime {
 		err = runPrime(*trials, *seed, *workers, *service)
 	} else {
-		err = run(*trials, *seed, *workers, *service, *mode, *watchdog, *trace || *traceOut != "", *traceOut, *verbose)
+		err = run(runConfig{
+			trials: *trials, seed: *seed, workers: *workers,
+			service: *service, mode: *mode, watchdog: *watchdog,
+			trace: *trace || *traceOut != "", traceOut: *traceOut,
+			shape: *shape, kinds: *kinds, stormFaults: *stormFaults,
+			policy: *policy, verbose: *verbose,
+		})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swifi:", err)
@@ -58,38 +79,87 @@ func main() {
 	}
 }
 
-func run(trials int, seed int64, workers int, service, mode string, watchdog, trace bool, traceOut string, verbose bool) error {
+type runConfig struct {
+	trials      int
+	seed        int64
+	workers     int
+	service     string
+	mode        string
+	watchdog    bool
+	trace       bool
+	traceOut    string
+	shape       string
+	kinds       string
+	stormFaults int
+	policy      string
+	verbose     bool
+}
+
+// parseKinds resolves a comma-separated kind list ("" means the default
+// pool).
+func parseKinds(s string) ([]fault.Kind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var kinds []fault.Kind
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		k, ok := fault.ParseKind(name)
+		if !ok || k == fault.KindUnknown {
+			return nil, fmt.Errorf("unknown fault kind %q", name)
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
+
+func run(rc runConfig) error {
 	recMode := core.OnDemand
-	switch mode {
+	switch rc.mode {
 	case "on-demand", "":
 	case "eager":
 		recMode = core.Eager
 	default:
-		return fmt.Errorf("unknown recovery mode %q", mode)
+		return fmt.Errorf("unknown recovery mode %q", rc.mode)
+	}
+	shape, ok := swifi.ParseShape(rc.shape)
+	if !ok {
+		return fmt.Errorf("unknown campaign shape %q", rc.shape)
+	}
+	kinds, err := parseKinds(rc.kinds)
+	if err != nil {
+		return err
 	}
 	targets := swifi.Targets()
-	if service != "" {
-		if _, ok := swifi.Workloads()[service]; !ok {
-			return fmt.Errorf("unknown service %q", service)
+	if rc.service != "" {
+		if _, ok := swifi.Workloads()[rc.service]; !ok {
+			return fmt.Errorf("unknown service %q", rc.service)
 		}
-		targets = []string{service}
+		targets = []string{rc.service}
 	}
 	// The per-service campaigns run concurrently and each campaign shards
 	// its trials over the same worker bound; results land in fixed slots,
 	// so the rendered tables are in Table II order regardless of timing.
 	results := make([]*swifi.Result, len(targets))
-	err := pool.Run(len(targets), workers, func(i int) error {
+	err = pool.Run(len(targets), rc.workers, func(i int) error {
 		res, err := swifi.Run(swifi.Config{
-			Service:  targets[i],
-			Workload: swifi.Workloads()[targets[i]],
-			Iters:    5,
-			Trials:   trials,
-			Seed:     seed,
-			Profile:  swifi.Profiles()[targets[i]],
-			Mode:     recMode,
-			Watchdog: watchdog,
-			Trace:    trace,
-			Workers:  workers,
+			Service:     targets[i],
+			Workload:    swifi.Workloads()[targets[i]],
+			Iters:       5,
+			Trials:      rc.trials,
+			Seed:        rc.seed,
+			Profile:     swifi.Profiles()[targets[i]],
+			Mode:        recMode,
+			Watchdog:    rc.watchdog,
+			Trace:       rc.trace,
+			Workers:     rc.workers,
+			Shape:       shape,
+			Kinds:       kinds,
+			StormFaults: rc.stormFaults,
+			Policy:      rc.policy,
 		})
 		if err != nil {
 			return err
@@ -101,6 +171,10 @@ func run(trials int, seed int64, workers int, service, mode string, watchdog, tr
 		return err
 	}
 	experiments.RenderTable2(os.Stdout, results)
+	if shape != swifi.ShapeLegacy {
+		experiments.RenderTable2Kinds(os.Stdout, results)
+	}
+	trace, traceOut, verbose := rc.trace, rc.traceOut, rc.verbose
 	if trace {
 		for _, res := range results {
 			experiments.RenderRecoveryBreakdown(os.Stdout, res)

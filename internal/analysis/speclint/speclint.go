@@ -28,6 +28,8 @@
 //	             function, resolved only by stateAfter precedence
 //	SG109 info   mechanism coverage report (R0/T0/T1/D0/D1/G0/G1/U0)
 //	SG110 warn   sm_hold whose release is itself declared sm_block
+//	SG111 warn   storage-dependent spec leaves a storage fault kind it can
+//	             receive unclassified (no sm_fault declaration)
 package speclint
 
 import (
@@ -36,6 +38,7 @@ import (
 	"strings"
 
 	"superglue/internal/core"
+	"superglue/internal/fault"
 	"superglue/internal/idl"
 )
 
@@ -137,6 +140,7 @@ func Lint(spec *core.Spec, sm *idl.SourceMap) []Diagnostic {
 	l.lintLeak()
 	l.lintHolds()
 	l.lintWakeup()
+	l.lintFaultCoverage()
 	l.reportMechanisms()
 
 	// Residual catch-all: anything Validate rejects that no finer lint
@@ -361,6 +365,37 @@ func (l *linter) lintWakeup() {
 	l.add("SG106", SevWarn, l.sm.SetLine("sm_wakeup", 0),
 		"sm_wakeup(%s) without any sm_block function: there is never a blocked thread to wake",
 		l.spec.Wakeup[0])
+}
+
+// lintFaultCoverage reports storage-dependent specs that leave a storage
+// fault kind they can receive unclassified (SG111). An interface whose
+// recovery depends on the storage component (G0 creator records, G1
+// resource data) can observe storage-crash faults mid-call; one that
+// restores resource contents (G1) can additionally observe
+// storage-corruption when a redundant extent fails its checksum. Without
+// an sm_fault declaration those faults fall back to the generic reboot
+// ladder — which, for a corrupted redundant copy, redoes the restore into
+// the same corrupt extent until the retry budget burns out.
+func (l *linter) lintFaultCoverage() {
+	spec := l.spec
+	if !spec.DescIsGlobal && !spec.RescHasData {
+		return
+	}
+	report := func(kind fault.Kind, why string) {
+		name := kind.String()
+		if _, ok := spec.FaultActions[name]; ok {
+			return
+		}
+		l.add("SG111", SevWarn, l.sm.GlobalLine(),
+			"storage-dependent interface declares no sm_fault(%s, ...): %s",
+			strings.ReplaceAll(name, "-", "_"), why)
+	}
+	report(fault.KindStorageCrash,
+		"a storage-component crash mid-call falls back to the generic reboot ladder")
+	if spec.RescHasData {
+		report(fault.KindStorageCorruption,
+			"a corrupted redundant extent would be retried into the same corrupt data; declare retry-free handling (typically degrade)")
+	}
 }
 
 // reportMechanisms emits the SG109 coverage report: which of the paper's

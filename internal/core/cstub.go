@@ -325,15 +325,57 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 		ret, err := s.sys.kern.Invoke(t, s.server, fn, sargs...)
 		if err != nil {
 			flt, isFault := kernel.AsFault(err)
-			if !isFault || flt.Comp != s.server {
+			if !isFault {
 				return ret, err
 			}
-			// The escalation ladder: plain redo, then cascading reboot of
-			// the server's declared dependencies, then degradation.
-			switch {
+			if flt.Comp != s.server {
+				// A fault in the storage component surfacing through the
+				// server mid-call (the server reads or writes its redundant
+				// store): µ-reboot storage — its data survives (G1) — and
+				// redo. Faults in any other component are not this stub's
+				// to recover.
+				if flt.Comp == s.sys.storeComp && !flt.Transient && attempt < pol.maxAttempts() {
+					if _, rerr := s.sys.kern.EnsureRebooted(t, s.sys.storeComp, flt.Epoch); rerr != nil {
+						return 0, fmt.Errorf("%w: µ-reboot of storage for %s: %v", ErrRecoveryFailed, spec.Service, rerr)
+					}
+					s.metrics.redos.Add(1)
+					continue
+				}
+				return ret, err
+			}
+			// The fault dispatcher routes the typed fault to its recovery
+			// action; the default (reboot) runs the escalation ladder:
+			// plain redo, then cascading reboot of the server's declared
+			// dependencies, then degradation.
+			switch act := s.sys.routeFault(spec, flt); {
+			case flt.Transient || act == ActionRetry:
+				// Retransmission: the server's state is intact (a dropped
+				// or duplicated message), or the interface declared
+				// reboot-free retries for this kind — redo without a
+				// µ-reboot, bounded by the total attempt budget.
+				if attempt >= pol.maxAttempts() {
+					eerr := pol.exhausted(spec.Service, fn, attempt, err)
+					s.traceDegraded(t, fn, eerr)
+					return 0, eerr
+				}
+			case act == ActionDegrade:
+				// The interface declared this kind unrecoverable: degrade
+				// immediately instead of burning the retry budget.
+				eerr := pol.exhausted(spec.Service, fn, attempt, err)
+				s.traceDegraded(t, fn, eerr)
+				return 0, eerr
 			case attempt < pol.MaxRetries:
-				// CSTUB_FAULT_UPDATE: first observer µ-reboots the server.
-				if _, rerr := s.sys.kern.EnsureRebooted(t, s.server, flt.Epoch); rerr != nil {
+				// CSTUB_FAULT_UPDATE: first observer restarts the server —
+				// the legacy µ-reboot, or the supervision tree's group
+				// restart when one is installed.
+				if _, rerr := s.sys.restartServer(t, s.server, flt); rerr != nil {
+					if errors.Is(rerr, ErrRestartIntensity) {
+						// The supervision tree refused the restart all the
+						// way to the root: typed degradation.
+						eerr := pol.exhausted(spec.Service, fn, attempt, rerr)
+						s.traceDegraded(t, fn, eerr)
+						return 0, eerr
+					}
 					return 0, fmt.Errorf("%w: µ-reboot of %s: %v", ErrRecoveryFailed, spec.Service, rerr)
 				}
 			case attempt < pol.maxAttempts():
@@ -392,7 +434,7 @@ func (s *ClientStub) track(t *kernel.Thread, info *fnInfo, d *Descriptor, parent
 			// component, through a real component invocation.
 			meta := dataMeta(info.f, args)
 			gargs := append([]kernel.Word{kernel.Word(s.entry.class), nd.ServerID, kernel.Word(s.client.comp)}, meta...)
-			if _, err := s.sys.kern.Invoke(t, s.sys.storeComp, storage.FnRecordCreator, gargs...); err != nil {
+			if _, err := s.sys.invokeStorage(t, storage.FnRecordCreator, gargs...); err != nil {
 				return ret, fmt.Errorf("core: recording creator of %v: %w", nd.Key, err)
 			}
 			s.metrics.storageOps.Add(1)
@@ -482,7 +524,7 @@ func (s *ClientStub) closeDesc(t *kernel.Thread, d *Descriptor) error {
 		d.Parent = nil
 	}
 	if spec.DescIsGlobal {
-		if _, err := s.sys.kern.Invoke(t, s.sys.storeComp, storage.FnRemoveCreator,
+		if _, err := s.sys.invokeStorage(t, storage.FnRemoveCreator,
 			kernel.Word(s.entry.class), d.ServerID); err != nil {
 			return fmt.Errorf("core: removing creator record of %v: %w", d.Key, err)
 		}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"superglue/internal/fault"
+	"superglue/internal/kernel"
+)
+
+func TestParseFaultAction(t *testing.T) {
+	for _, a := range []FaultAction{ActionReboot, ActionRetry, ActionDegrade} {
+		back, ok := ParseFaultAction(a.String())
+		if !ok || back != a {
+			t.Errorf("ParseFaultAction(%q) = %v, %v; want round-trip", a.String(), back, ok)
+		}
+	}
+	if _, ok := ParseFaultAction("default"); ok {
+		t.Error("ParseFaultAction accepted \"default\"; sm_fault must name a concrete action")
+	}
+	if _, ok := ParseFaultAction("panic"); ok {
+		t.Error("ParseFaultAction accepted an unknown action")
+	}
+}
+
+// failEveryAs is failEvery with a typed fault classification.
+func failEveryAs(k *kernel.Kernel, comp kernel.ComponentID, kind fault.Kind, n int) kernel.InvokeHook {
+	fired := 0
+	return func(t *kernel.Thread, c kernel.ComponentID, fn string, phase kernel.InvokePhase) {
+		if c != comp || phase != kernel.PhaseEntry || fired >= n {
+			return
+		}
+		fired++
+		_ = k.FailComponentAs(comp, kind, fault.SevUnknown)
+	}
+}
+
+// TestRouteFaultLayers pins the dispatcher's precedence: registered handler
+// first, then the interface's sm_fault declaration, then the kind's
+// built-in default.
+func TestRouteFaultLayers(t *testing.T) {
+	r := newRig(t, OnDemand)
+	flip := &kernel.Fault{Comp: r.lock, Kind: fault.KindRegisterFlip, Severity: fault.SevError}
+	loss := &kernel.Fault{Comp: r.lock, Kind: fault.KindMessageLoss, Severity: fault.SevWarning, Transient: true}
+	unknown := &kernel.Fault{Comp: r.lock}
+
+	// Built-in defaults: unclassified and permanent kinds reboot (the
+	// pre-taxonomy behavior), transient kinds retransmit.
+	if got := r.sys.routeFault(nil, unknown); got != ActionReboot {
+		t.Errorf("routeFault(unknown) = %v; want reboot", got)
+	}
+	if got := r.sys.routeFault(nil, flip); got != ActionReboot {
+		t.Errorf("routeFault(flip) = %v; want reboot", got)
+	}
+	if got := r.sys.routeFault(nil, loss); got != ActionRetry {
+		t.Errorf("routeFault(loss) = %v; want retry", got)
+	}
+
+	// Interface layer: an sm_fault declaration overrides the default.
+	spec := &Spec{FaultActions: map[string]string{"register-flip": "degrade"}}
+	if got := r.sys.routeFault(spec, flip); got != ActionDegrade {
+		t.Errorf("routeFault(spec, flip) = %v; want declared degrade", got)
+	}
+	// ...but never applies to unclassified faults.
+	if got := r.sys.routeFault(spec, unknown); got != ActionReboot {
+		t.Errorf("routeFault(spec, unknown) = %v; want reboot", got)
+	}
+
+	// Handler layer: a registered handler overrides the declaration, sees
+	// the typed event, and ActionDefault falls through.
+	var seen fault.Event
+	r.sys.HandleFault(fault.KindRegisterFlip, func(ev fault.Event) FaultAction {
+		seen = ev
+		return ActionReboot
+	})
+	if got := r.sys.routeFault(spec, flip); got != ActionReboot {
+		t.Errorf("handler override = %v; want reboot", got)
+	}
+	if seen.Kind != fault.KindRegisterFlip || seen.Component != int32(r.lock) {
+		t.Errorf("handler saw event %+v; want the routed fault", seen)
+	}
+	r.sys.HandleFault(fault.KindRegisterFlip, func(fault.Event) FaultAction { return ActionDefault })
+	if got := r.sys.routeFault(spec, flip); got != ActionDegrade {
+		t.Errorf("ActionDefault handler = %v; must fall through to the declaration", got)
+	}
+	r.sys.HandleFault(fault.KindRegisterFlip, nil)
+	if got := r.sys.routeFault(nil, flip); got != ActionReboot {
+		t.Errorf("after handler removal = %v; want built-in default", got)
+	}
+}
+
+// TestSmFaultDegradeEndToEnd: an interface declaring
+// sm_fault(register_flip, degrade) makes the stub degrade immediately —
+// no µ-reboot, no retry budget burned.
+func TestSmFaultDegradeEndToEnd(t *testing.T) {
+	r := newRig(t, OnDemand)
+	k := r.sys.Kernel()
+	k.SetInvokeHook(failEveryAs(k, r.lock, fault.KindRegisterFlip, 1))
+	r.run(t, func(th *kernel.Thread, st *ClientStub) {
+		st.Spec().FaultActions = map[string]string{"register-flip": "degrade"}
+		_, err := st.Call(th, "lock_alloc", 1)
+		if !errors.Is(err, ErrDegraded) {
+			t.Fatalf("err = %v; want immediate ErrDegraded", err)
+		}
+		var de *DegradedError
+		if !errors.As(err, &de) || de.Attempts != 0 {
+			t.Fatalf("err = %#v; want degradation on attempt 0", err)
+		}
+		if e, _ := k.Epoch(r.lock); e != 0 {
+			t.Errorf("lock epoch = %d; a declared-unrecoverable fault must not reboot", e)
+		}
+	})
+}
+
+// TestHandlerDegradeOverridesDefault: a runtime handler turns the default
+// reboot ladder into immediate degradation for one kind, end to end.
+func TestHandlerDegradeOverridesDefault(t *testing.T) {
+	r := newRig(t, OnDemand)
+	r.sys.HandleFault(fault.KindLivelock, func(fault.Event) FaultAction { return ActionDegrade })
+	k := r.sys.Kernel()
+	k.SetInvokeHook(failEveryAs(k, r.lock, fault.KindLivelock, 1))
+	r.run(t, func(th *kernel.Thread, st *ClientStub) {
+		if _, err := st.Call(th, "lock_alloc", 1); !errors.Is(err, ErrDegraded) {
+			t.Fatalf("err = %v; want ErrDegraded from the handler", err)
+		}
+		if e, _ := k.Epoch(r.lock); e != 0 {
+			t.Errorf("lock epoch = %d; handler-degraded fault must not reboot", e)
+		}
+	})
+}
+
+// TestTransientFaultRetriesWithoutReboot: message loss is recovered by
+// retransmission — the redo succeeds against the same epoch, and the
+// healthy server is never µ-rebooted.
+func TestTransientFaultRetriesWithoutReboot(t *testing.T) {
+	r := newRig(t, OnDemand)
+	k := r.sys.Kernel()
+	r.run(t, func(th *kernel.Thread, st *ClientStub) {
+		k.InjectTransientFault(th, r.lock, fault.KindMessageLoss)
+		id, err := st.Call(th, "lock_alloc", 1)
+		if err != nil {
+			t.Fatalf("alloc despite message loss: %v", err)
+		}
+		if id == 0 {
+			t.Fatal("alloc returned no descriptor")
+		}
+		if e, _ := k.Epoch(r.lock); e != 0 {
+			t.Errorf("lock epoch = %d; retransmission must not reboot", e)
+		}
+		if got := st.Metrics().Redos; got != 1 {
+			t.Errorf("redos = %d; want exactly 1 retransmission", got)
+		}
+		if k.Faulty(r.lock) {
+			t.Error("server marked faulty by a transient fault")
+		}
+	})
+}
+
+// TestTransientFaultBudgetExhaustion: endless message loss still terminates
+// through the policy's attempt budget.
+func TestTransientFaultBudgetExhaustion(t *testing.T) {
+	r := newRig(t, OnDemand)
+	r.sys.SetRecoveryPolicy(RecoveryPolicy{MaxRetries: 2, CascadeRetries: 1, Degrade: true})
+	k := r.sys.Kernel()
+	k.SetInvokeHook(func(t *kernel.Thread, c kernel.ComponentID, fn string, phase kernel.InvokePhase) {
+		if c == r.lock && phase == kernel.PhaseEntry {
+			k.InjectTransientFault(t, r.lock, fault.KindMessageLoss)
+		}
+	})
+	r.run(t, func(th *kernel.Thread, st *ClientStub) {
+		_, err := st.Call(th, "lock_alloc", 1)
+		if !errors.Is(err, ErrDegraded) {
+			t.Fatalf("err = %v; want ErrDegraded after the retry budget", err)
+		}
+		if e, _ := k.Epoch(r.lock); e != 0 {
+			t.Errorf("lock epoch = %d; transient exhaustion must never have rebooted", e)
+		}
+	})
+}
+
+// TestDuplicateDeliveryRedelivers: a duplicated message executes the server
+// function twice; the caller sees one (the second) result and no fault.
+func TestDuplicateDeliveryRedelivers(t *testing.T) {
+	r := newRig(t, OnDemand)
+	k := r.sys.Kernel()
+	r.run(t, func(th *kernel.Thread, st *ClientStub) {
+		k.DuplicateNext(th, r.lock)
+		id, err := st.Call(th, "lock_alloc", 1)
+		if err != nil {
+			t.Fatalf("alloc with duplication: %v", err)
+		}
+		// The fake lock hands out sequential IDs: a duplicate delivery
+		// allocates twice, so the visible result is the second ID.
+		if id != 2 {
+			t.Errorf("alloc = %d; want 2 (double execution)", id)
+		}
+		if e, _ := k.Epoch(r.lock); e != 0 {
+			t.Errorf("lock epoch = %d; duplication must not reboot", e)
+		}
+	})
+}

@@ -62,7 +62,27 @@ func DefaultRecoveryPolicy() RecoveryPolicy {
 	}
 }
 
-// normalized fills defaulted fields.
+// normalized fills defaulted fields. The zero value of each field means:
+//
+//   - MaxRetries == 0 (or negative): "use the default" (defaultMaxRetries).
+//     A plain-retry rung of zero is not expressible — the first rung always
+//     exists, because the first observer of a fault must µ-reboot the
+//     server at least once for the system to make progress.
+//   - CascadeRetries == 0: "disabled" — the ladder never escalates to a
+//     cascading reboot and goes straight from plain retries to the
+//     terminal rung. Only a negative value means "use the default"
+//     (defaultCascadeRetries). This asymmetry with MaxRetries is
+//     deliberate: disabling cascades is a meaningful configuration,
+//     disabling all retries is not.
+//   - Backoff == 0: "disabled" — every redo is immediate, keeping
+//     recovery latency deterministic for the virtual-time experiments.
+//     There is no default backoff.
+//   - MaxBackoff == 0: "no cap" — with Backoff > 0 the doubling is
+//     unbounded. It is not defaulted and has no effect while Backoff is
+//     disabled.
+//   - Degrade == false: "fail hard" — exhaustion returns
+//     ErrRecoveryFailed, the pre-policy behavior. It is a plain flag, not
+//     a defaulted field (DefaultRecoveryPolicy sets it true).
 func (p RecoveryPolicy) normalized() RecoveryPolicy {
 	if p.MaxRetries <= 0 {
 		p.MaxRetries = defaultMaxRetries

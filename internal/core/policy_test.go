@@ -263,6 +263,58 @@ func TestPolicyDefaults(t *testing.T) {
 	}
 }
 
+// TestPolicyZeroFieldSemantics pins the defaults-vs-disabled meaning of
+// each RecoveryPolicy field's zero value (see normalized's doc comment):
+// MaxRetries zero/negative defaults; CascadeRetries zero disables and only
+// negative defaults; Backoff zero disables (no default); MaxBackoff zero
+// means "no cap"; Degrade false fails hard.
+func TestPolicyZeroFieldSemantics(t *testing.T) {
+	// MaxRetries: both zero and negative take the default.
+	for _, v := range []int{0, -3} {
+		if got := (RecoveryPolicy{MaxRetries: v}).normalized().MaxRetries; got != defaultMaxRetries {
+			t.Errorf("MaxRetries=%d normalized to %d; want default %d", v, got, defaultMaxRetries)
+		}
+	}
+	// CascadeRetries: zero stays zero (disabled), negative defaults.
+	if got := (RecoveryPolicy{CascadeRetries: 0}).normalized().CascadeRetries; got != 0 {
+		t.Errorf("CascadeRetries=0 normalized to %d; zero must mean disabled", got)
+	}
+	if got := (RecoveryPolicy{CascadeRetries: -1}).normalized().CascadeRetries; got != defaultCascadeRetries {
+		t.Errorf("CascadeRetries=-1 normalized to %d; want default %d", got, defaultCascadeRetries)
+	}
+	// With cascading disabled the attempt budget is the retry rung alone.
+	if got := (RecoveryPolicy{MaxRetries: 5, CascadeRetries: 0}).maxAttempts(); got != 5 {
+		t.Errorf("maxAttempts with disabled cascade = %d; want 5", got)
+	}
+	// Backoff: zero disables — every attempt is immediate, no default kicks in.
+	p := (RecoveryPolicy{Backoff: 0, MaxBackoff: 500}).normalized()
+	if p.Backoff != 0 {
+		t.Errorf("Backoff=0 normalized to %d; zero must mean disabled", p.Backoff)
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		if got := p.backoffFor(attempt); got != 0 {
+			t.Errorf("disabled backoffFor(%d) = %d; want 0", attempt, got)
+		}
+	}
+	// MaxBackoff: zero means "no cap" — the doubling is unbounded.
+	uncapped := RecoveryPolicy{Backoff: 100, MaxBackoff: 0}
+	if got := uncapped.backoffFor(6); got != 100<<5 {
+		t.Errorf("uncapped backoffFor(6) = %d; want %d", got, 100<<5)
+	}
+	if got := uncapped.normalized().MaxBackoff; got != 0 {
+		t.Errorf("MaxBackoff=0 normalized to %d; zero must mean no cap", got)
+	}
+	// Degrade: the zero value fails hard (ErrRecoveryFailed, not ErrDegraded).
+	hard := (RecoveryPolicy{}).exhausted("svc", "fn", 3, errors.New("cause"))
+	if !errors.Is(hard, ErrRecoveryFailed) || errors.Is(hard, ErrDegraded) {
+		t.Errorf("Degrade=false exhausted() = %v; want ErrRecoveryFailed only", hard)
+	}
+	soft := (RecoveryPolicy{Degrade: true}).exhausted("svc", "fn", 3, errors.New("cause"))
+	if !errors.Is(soft, ErrDegraded) {
+		t.Errorf("Degrade=true exhausted() = %v; want ErrDegraded", soft)
+	}
+}
+
 // TestSpecRecoveryBudgetOverride: a per-interface RecoveryBudget overrides
 // the system policy's plain-retry rung for that server's stubs only.
 func TestSpecRecoveryBudgetOverride(t *testing.T) {

@@ -163,8 +163,11 @@ func (s *ClientStub) recoverDescTimed(t *kernel.Thread, d *Descriptor, trigger o
 
 	if spec.DescIsGlobal && d.ServerID != oldSID {
 		// G0: publish the ID translation so other clients' stale IDs (and
-		// the creator record) resolve to the recreated descriptor.
-		if _, err := s.sys.kern.Invoke(t, s.sys.storeComp, storage.FnRemap,
+		// the creator record) resolve to the recreated descriptor. The
+		// storage component may itself be down — a correlated fault — so
+		// the publish goes through the bounded µ-reboot-and-redo path
+		// rather than a bare invocation.
+		if _, err := s.sys.invokeStorage(t, storage.FnRemap,
 			kernel.Word(s.entry.class), oldSID, d.ServerID); err != nil {
 			return fmt.Errorf("core: remapping %v: %w", d.Key, err)
 		}

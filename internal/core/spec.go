@@ -14,6 +14,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+
+	"superglue/internal/fault"
 )
 
 // ParentKind is P_dr: whether descriptors depend on a parent descriptor, and
@@ -253,6 +256,14 @@ type Spec struct {
 	Restore []string
 	// Holds lists hold/release pairs tracked per thread (sm_hold).
 	Holds []HoldPair
+
+	// FaultActions maps a fault-taxonomy kind name (canonical hyphenated
+	// form, e.g. "storage-crash") to the recovery action the interface
+	// declares for it (sm_fault): "reboot" (the full escalation ladder,
+	// the default), "retry" (redo without a µ-reboot), or "degrade"
+	// (immediate typed degradation). Kinds absent from the map take the
+	// dispatcher's per-kind default.
+	FaultActions map[string]string
 }
 
 // Func looks up a function spec by name.
@@ -592,6 +603,21 @@ func (s *Spec) Validate() error {
 		f := s.Func(cfn)
 		if !f.RetDescID && f.DescIdx() < 0 {
 			return fail("%s: creation function neither returns nor takes a descriptor id", cfn)
+		}
+	}
+	faultKinds := make([]string, 0, len(s.FaultActions))
+	for kind := range s.FaultActions {
+		faultKinds = append(faultKinds, kind)
+	}
+	sort.Strings(faultKinds)
+	for _, kind := range faultKinds {
+		if k, ok := fault.ParseKind(kind); !ok || k == fault.KindUnknown {
+			return fail("sm_fault names unknown fault kind %q", kind)
+		}
+		switch action := s.FaultActions[kind]; action {
+		case "reboot", "retry", "degrade":
+		default:
+			return fail("sm_fault(%s, %s): action must be reboot, retry, or degrade", kind, action)
 		}
 	}
 	// The state machine itself validates reachability.

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"superglue/internal/fault"
+	"superglue/internal/kernel"
+)
+
+// This file generalizes the flat RecoveryPolicy into Erlang/OTP-style
+// supervision trees: server components are grouped under supervisors
+// with a restart strategy (one-for-one / rest-for-one / all-for-one), a
+// per-group restart-intensity budget over a virtual-time window, and
+// optional health checks driving proactive µ-reboots. A group whose
+// intensity is exceeded escalates to its parent supervisor; when the
+// root's budget is spent the fault degrades instead of restarting — the
+// supervision analogue of the escalation ladder's terminal rung.
+//
+// Without a supervisor installed (SetSupervisor(nil), the default) the
+// stub's restart path is exactly the legacy EnsureRebooted call, so the
+// pre-supervision campaigns stay byte-identical.
+
+// ErrRestartIntensity reports that a supervision group exceeded its
+// restart-intensity budget all the way up to the root: the fault is not
+// restartable under the installed policy and the call degrades.
+var ErrRestartIntensity = errors.New("core: supervisor restart intensity exceeded")
+
+// RestartStrategy selects which siblings restart with a failed child.
+type RestartStrategy int
+
+// Restart strategies (OTP semantics).
+const (
+	// OneForOne restarts only the failed child.
+	OneForOne RestartStrategy = iota + 1
+	// RestForOne restarts the failed child and every child declared
+	// after it, in declaration order.
+	RestForOne
+	// AllForOne restarts every child of the group.
+	AllForOne
+)
+
+// String implements fmt.Stringer.
+func (st RestartStrategy) String() string {
+	switch st {
+	case OneForOne:
+		return "one-for-one"
+	case RestForOne:
+		return "rest-for-one"
+	case AllForOne:
+		return "all-for-one"
+	default:
+		return fmt.Sprintf("RestartStrategy(%d)", int(st))
+	}
+}
+
+// ParseStrategy resolves a strategy from its canonical name (underscores
+// accepted in place of hyphens, matching fault.ParseKind).
+func ParseStrategy(s string) (RestartStrategy, bool) {
+	norm := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' {
+			c = '-'
+		}
+		norm[i] = c
+	}
+	switch string(norm) {
+	case "one-for-one":
+		return OneForOne, true
+	case "rest-for-one":
+		return RestForOne, true
+	case "all-for-one":
+		return AllForOne, true
+	default:
+		return 0, false
+	}
+}
+
+// Default restart-intensity budget: 8 restarts per 10 simulated
+// milliseconds of virtual time.
+const (
+	DefaultRestartIntensity = 8
+	DefaultRestartPeriod    = kernel.Time(10000)
+)
+
+// HealthCheck probes a supervised component; a non-nil error makes the
+// next RunHealthChecks pass proactively restart it (charging the group's
+// intensity budget like any other restart).
+type HealthCheck func(t *kernel.Thread, sys *System, comp kernel.ComponentID) error
+
+// ChildSpec is one entry of a supervision group: either a server
+// component or a nested supervisor (exactly one of the two).
+type ChildSpec struct {
+	// Component is the supervised server (zero when Sup is set).
+	Component kernel.ComponentID
+	// Sup nests a child supervision group.
+	Sup *SupervisorSpec
+	// Health optionally probes the component's liveness (leaf children
+	// only).
+	Health HealthCheck
+}
+
+// SupervisorSpec declares one supervision group. The zero Intensity and
+// Period take the defaults.
+type SupervisorSpec struct {
+	// Name labels the group in errors and reports.
+	Name string
+	// Strategy selects which siblings restart with a failed child.
+	Strategy RestartStrategy
+	// Intensity is the restart budget per Period (<= 0: default).
+	Intensity int
+	// Period is the virtual-time window the budget covers (<= 0: default).
+	Period kernel.Time
+	// Children are the group members in declaration (start) order —
+	// rest-for-one restarts later-declared children with the failed one.
+	Children []ChildSpec
+}
+
+// supNode is the compiled, stateful form of one SupervisorSpec.
+type supNode struct {
+	spec      *SupervisorSpec
+	parent    *supNode
+	parentIdx int // index of this node in parent.spec.Children
+	children  []*supNode
+	// window holds the virtual times of restarts charged to this group
+	// within the current period.
+	window []kernel.Time
+}
+
+func (n *supNode) name() string {
+	if n.spec.Name != "" {
+		return n.spec.Name
+	}
+	return "supervisor"
+}
+
+func (n *supNode) intensity() int {
+	if n.spec.Intensity > 0 {
+		return n.spec.Intensity
+	}
+	return DefaultRestartIntensity
+}
+
+func (n *supNode) period() kernel.Time {
+	if n.spec.Period > 0 {
+		return n.spec.Period
+	}
+	return DefaultRestartPeriod
+}
+
+// charge prunes restarts older than the period from the window and
+// admits one more if the intensity budget allows, reporting whether it
+// did. A false return means the group is restarting too fast and must
+// escalate.
+func (n *supNode) charge(now kernel.Time) bool {
+	keep := n.window[:0]
+	for _, ts := range n.window {
+		if now-ts < n.period() {
+			keep = append(keep, ts)
+		}
+	}
+	n.window = keep
+	if len(n.window) >= n.intensity() {
+		return false
+	}
+	n.window = append(n.window, now)
+	return true
+}
+
+// comps collects every component under the subtree rooted at child index
+// i, in declaration order.
+func (n *supNode) comps(i int) []kernel.ComponentID {
+	var out []kernel.ComponentID
+	child := n.spec.Children[i]
+	if child.Sup != nil {
+		sub := n.children[i]
+		for j := range sub.spec.Children {
+			out = append(out, sub.comps(j)...)
+		}
+		return out
+	}
+	return append(out, child.Component)
+}
+
+// resetWindows clears the restart windows of the subtree rooted at child
+// index i: a restarted child supervisor comes back with fresh budgets,
+// like a freshly started OTP supervisor process.
+func (n *supNode) resetWindows(i int) {
+	if sub := n.children[i]; sub != nil {
+		sub.window = sub.window[:0]
+		for j := range sub.children {
+			sub.resetWindows(j)
+		}
+	}
+}
+
+// supTree is a compiled supervision tree plus the component index the
+// stub restart path uses.
+type supTree struct {
+	spec   *SupervisorSpec
+	root   *supNode
+	byComp map[kernel.ComponentID]compRefInSup
+}
+
+// compRefInSup locates a supervised component: its owning group and its
+// declaration index there.
+type compRefInSup struct {
+	node *supNode
+	idx  int
+}
+
+// SetSupervisor installs a supervision tree over the system's servers
+// (nil restores the flat legacy policy). The spec is validated and
+// compiled; every named component must be a registered server (or the
+// storage component) and may appear at most once. Installation is safe
+// at runtime: in-flight recovery keeps its per-call attempt budget and
+// the next restart consults the new tree.
+func (s *System) SetSupervisor(spec *SupervisorSpec) error {
+	if spec == nil {
+		s.sup = nil
+		return nil
+	}
+	tree := &supTree{spec: spec, byComp: make(map[kernel.ComponentID]compRefInSup)}
+	var compile func(sp *SupervisorSpec, parent *supNode, parentIdx int) (*supNode, error)
+	compile = func(sp *SupervisorSpec, parent *supNode, parentIdx int) (*supNode, error) {
+		switch sp.Strategy {
+		case OneForOne, RestForOne, AllForOne:
+		default:
+			return nil, fmt.Errorf("core: supervisor %q: unknown restart strategy %d", sp.Name, int(sp.Strategy))
+		}
+		if len(sp.Children) == 0 {
+			return nil, fmt.Errorf("core: supervisor %q has no children", sp.Name)
+		}
+		n := &supNode{spec: sp, parent: parent, parentIdx: parentIdx, children: make([]*supNode, len(sp.Children))}
+		for i, c := range sp.Children {
+			switch {
+			case c.Sup != nil && c.Component != 0:
+				return nil, fmt.Errorf("core: supervisor %q: child %d declares both a component and a sub-group", sp.Name, i)
+			case c.Sup != nil:
+				if c.Health != nil {
+					return nil, fmt.Errorf("core: supervisor %q: child %d: health checks attach to leaf components only", sp.Name, i)
+				}
+				sub, err := compile(c.Sup, n, i)
+				if err != nil {
+					return nil, err
+				}
+				n.children[i] = sub
+			case c.Component != 0:
+				if _, ok := s.servers[c.Component]; !ok && c.Component != s.storeComp {
+					return nil, fmt.Errorf("core: supervisor %q: component %d is not a registered server", sp.Name, c.Component)
+				}
+				if _, dup := tree.byComp[c.Component]; dup {
+					return nil, fmt.Errorf("core: component %d appears twice in the supervision tree", c.Component)
+				}
+				tree.byComp[c.Component] = compRefInSup{node: n, idx: i}
+			default:
+				return nil, fmt.Errorf("core: supervisor %q: child %d is empty", sp.Name, i)
+			}
+		}
+		return n, nil
+	}
+	root, err := compile(spec, nil, -1)
+	if err != nil {
+		return err
+	}
+	tree.root = root
+	s.sup = tree
+	return nil
+}
+
+// Supervisor returns the installed supervision-tree spec, or nil when
+// the flat legacy policy is in effect.
+func (s *System) Supervisor() *SupervisorSpec {
+	if s.sup == nil {
+		return nil
+	}
+	return s.sup.spec
+}
+
+// Servers lists the registered server components in ID order, the
+// declaration order a default supervision group uses.
+func (s *System) Servers() []kernel.ComponentID {
+	out := make([]kernel.ComponentID, 0, len(s.servers))
+	for id := range s.servers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// restartServer is the stub's restart path: without a supervisor (or for
+// an unsupervised component) it is exactly the legacy idempotent
+// EnsureRebooted; under supervision the restart is charged against the
+// group's intensity budget, siblings restart per the group's strategy,
+// and an exhausted budget escalates to the parent group — returning
+// ErrRestartIntensity when the root, too, is spent.
+func (s *System) restartServer(t *kernel.Thread, comp kernel.ComponentID, flt *kernel.Fault) (uint64, error) {
+	sup := s.sup
+	if sup == nil {
+		return s.kern.EnsureRebooted(t, comp, flt.Epoch)
+	}
+	ref, ok := sup.byComp[comp]
+	if !ok {
+		return s.kern.EnsureRebooted(t, comp, flt.Epoch)
+	}
+	newEpoch, err := s.kern.EnsureRebooted(t, comp, flt.Epoch)
+	if err != nil {
+		return newEpoch, err
+	}
+	if newEpoch != flt.Epoch+1 {
+		// Another client observed the same fault first and its restart
+		// already charged the budget and ran the group action.
+		return newEpoch, nil
+	}
+	now := s.kern.Now()
+	scope, idx := ref.node, ref.idx
+	for !scope.charge(now) {
+		// Intensity exceeded: the group as a whole is failing. Escalate —
+		// the parent treats this subtree as one failed child (restarting
+		// it resets its budgets).
+		if scope.parent == nil {
+			scope.window = scope.window[:0]
+			return newEpoch, fmt.Errorf("%w: %q: %s", ErrRestartIntensity, scope.name(), flt.Kind)
+		}
+		idx = scope.parentIdx
+		scope = scope.parent
+	}
+	var restart []kernel.ComponentID
+	var lo, hi int
+	switch scope.spec.Strategy {
+	case RestForOne:
+		lo, hi = idx, len(scope.spec.Children)
+	case AllForOne:
+		lo, hi = 0, len(scope.spec.Children)
+	default: // OneForOne
+		lo, hi = idx, idx+1
+	}
+	for i := lo; i < hi; i++ {
+		restart = append(restart, scope.comps(i)...)
+		scope.resetWindows(i)
+	}
+	for _, c := range restart {
+		if c == comp {
+			continue // already rebooted above
+		}
+		if _, rerr := s.kern.Reboot(t, c); rerr != nil {
+			return newEpoch, fmt.Errorf("core: supervisor %q restarting sibling %d: %w", scope.name(), c, rerr)
+		}
+	}
+	return newEpoch, nil
+}
+
+// RunHealthChecks probes every supervised component that declares a
+// health check and proactively restarts the failing ones through the
+// supervision machinery (charging intensity budgets exactly like a
+// reactive restart). It returns the number of components restarted; an
+// ErrRestartIntensity from a failing component surfaces as the error.
+func (s *System) RunHealthChecks(t *kernel.Thread) (int, error) {
+	sup := s.sup
+	if sup == nil {
+		return 0, nil
+	}
+	restarted := 0
+	var walk func(n *supNode) error
+	walk = func(n *supNode) error {
+		for i, c := range n.spec.Children {
+			if c.Sup != nil {
+				if err := walk(n.children[i]); err != nil {
+					return err
+				}
+				continue
+			}
+			if c.Health == nil {
+				continue
+			}
+			if herr := c.Health(t, s, c.Component); herr == nil {
+				continue
+			}
+			ref, err := s.kern.Ref(c.Component)
+			if err != nil {
+				return err
+			}
+			epoch := ref.Epoch()
+			// Book the probe failure as a hang: the component is alive
+			// enough to answer invocations but no longer healthy.
+			if err := s.kern.FailComponentAs(c.Component, fault.KindHang, fault.SevCritical); err != nil {
+				return err
+			}
+			flt := &kernel.Fault{Comp: c.Component, Epoch: epoch,
+				Kind: fault.KindHang, Severity: fault.SevCritical}
+			if _, err := s.restartServer(t, c.Component, flt); err != nil {
+				return err
+			}
+			restarted++
+		}
+		return nil
+	}
+	if err := walk(sup.root); err != nil {
+		return restarted, err
+	}
+	return restarted, nil
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"superglue/internal/kernel"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want RestartStrategy
+		ok   bool
+	}{
+		{"one-for-one", OneForOne, true},
+		{"rest-for-one", RestForOne, true},
+		{"all-for-one", AllForOne, true},
+		{"one_for_one", OneForOne, true}, // underscores accepted
+		{"all_for_one", AllForOne, true},
+		{"two-for-one", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseStrategy(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	for _, st := range []RestartStrategy{OneForOne, RestForOne, AllForOne} {
+		back, ok := ParseStrategy(st.String())
+		if !ok || back != st {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want round-trip", st.String(), back, ok)
+		}
+	}
+}
+
+func TestSetSupervisorValidation(t *testing.T) {
+	r := newRig(t, OnDemand)
+	bad := []struct {
+		name string
+		spec *SupervisorSpec
+	}{
+		{"unknown strategy", &SupervisorSpec{Children: []ChildSpec{{Component: 0}}}},
+		{"no children", &SupervisorSpec{Strategy: OneForOne}},
+		{"empty child", &SupervisorSpec{Strategy: OneForOne, Children: []ChildSpec{{}}}},
+		{"component and sub-group", &SupervisorSpec{Strategy: OneForOne, Children: []ChildSpec{
+			{Component: r.lock, Sup: &SupervisorSpec{Strategy: OneForOne, Children: []ChildSpec{{Component: r.evt}}}},
+		}}},
+		{"health on sub-group", &SupervisorSpec{Strategy: OneForOne, Children: []ChildSpec{
+			{Sup: &SupervisorSpec{Strategy: OneForOne, Children: []ChildSpec{{Component: r.evt}}},
+				Health: func(*kernel.Thread, *System, kernel.ComponentID) error { return nil }},
+		}}},
+		{"unregistered component", &SupervisorSpec{Strategy: OneForOne, Children: []ChildSpec{
+			{Component: kernel.ComponentID(99)},
+		}}},
+		{"duplicate component", &SupervisorSpec{Strategy: OneForOne, Children: []ChildSpec{
+			{Component: r.lock}, {Component: r.lock},
+		}}},
+		{"duplicate across groups", &SupervisorSpec{Strategy: OneForOne, Children: []ChildSpec{
+			{Component: r.lock},
+			{Sup: &SupervisorSpec{Strategy: OneForOne, Children: []ChildSpec{{Component: r.lock}}}},
+		}}},
+	}
+	for _, c := range bad {
+		if err := r.sys.SetSupervisor(c.spec); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// A rejected spec must leave the previous (legacy) policy in place.
+	if r.sys.Supervisor() != nil {
+		t.Fatal("rejected spec installed")
+	}
+	good := &SupervisorSpec{Name: "root", Strategy: OneForOne, Children: []ChildSpec{
+		{Component: r.lock}, {Component: r.evt}, {Component: r.sys.StorageComp()},
+	}}
+	if err := r.sys.SetSupervisor(good); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if r.sys.Supervisor() != good {
+		t.Fatal("Supervisor() does not return the installed spec")
+	}
+	if err := r.sys.SetSupervisor(nil); err != nil {
+		t.Fatalf("SetSupervisor(nil): %v", err)
+	}
+	if r.sys.Supervisor() != nil {
+		t.Fatal("SetSupervisor(nil) did not restore the legacy policy")
+	}
+}
+
+func TestServersListedInIDOrder(t *testing.T) {
+	r := newRig(t, OnDemand)
+	got := r.sys.Servers()
+	if len(got) != 2 || got[0] != r.lock || got[1] != r.evt {
+		t.Fatalf("Servers() = %v; want [%d %d]", got, r.lock, r.evt)
+	}
+}
+
+// supervise installs a single-group tree over the rig's two servers in the
+// given declaration order.
+func supervise(t *testing.T, r *testRig, strategy RestartStrategy, order ...kernel.ComponentID) {
+	t.Helper()
+	children := make([]ChildSpec, len(order))
+	for i, c := range order {
+		children[i] = ChildSpec{Component: c}
+	}
+	if err := r.sys.SetSupervisor(&SupervisorSpec{Name: "group", Strategy: strategy, Children: children}); err != nil {
+		t.Fatalf("SetSupervisor: %v", err)
+	}
+}
+
+// TestSupervisorOneForOne: only the failed child restarts.
+func TestSupervisorOneForOne(t *testing.T) {
+	r := newRig(t, OnDemand)
+	supervise(t, r, OneForOne, r.lock, r.evt)
+	k := r.sys.Kernel()
+	k.SetInvokeHook(failEvery(k, r.lock, 1))
+	r.run(t, func(th *kernel.Thread, st *ClientStub) {
+		if _, err := st.Call(th, "lock_alloc", 1); err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		if e, _ := k.Epoch(r.lock); e != 1 {
+			t.Errorf("lock epoch = %d; want 1", e)
+		}
+		if e, _ := k.Epoch(r.evt); e != 0 {
+			t.Errorf("evt epoch = %d; one-for-one must not restart siblings", e)
+		}
+	})
+}
+
+// TestSupervisorAllForOne: every group member restarts with the failed child.
+func TestSupervisorAllForOne(t *testing.T) {
+	r := newRig(t, OnDemand)
+	supervise(t, r, AllForOne, r.lock, r.evt)
+	k := r.sys.Kernel()
+	k.SetInvokeHook(failEvery(k, r.lock, 1))
+	r.run(t, func(th *kernel.Thread, st *ClientStub) {
+		if _, err := st.Call(th, "lock_alloc", 1); err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		if e, _ := k.Epoch(r.lock); e != 1 {
+			t.Errorf("lock epoch = %d; want 1", e)
+		}
+		if e, _ := k.Epoch(r.evt); e != 1 {
+			t.Errorf("evt epoch = %d; all-for-one must restart siblings", e)
+		}
+	})
+}
+
+// TestSupervisorRestForOne: children declared after the failed one restart
+// with it; children declared before it do not.
+func TestSupervisorRestForOne(t *testing.T) {
+	// Failed child last: nothing else restarts.
+	r := newRig(t, OnDemand)
+	supervise(t, r, RestForOne, r.evt, r.lock)
+	k := r.sys.Kernel()
+	k.SetInvokeHook(failEvery(k, r.lock, 1))
+	r.run(t, func(th *kernel.Thread, st *ClientStub) {
+		if _, err := st.Call(th, "lock_alloc", 1); err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		if e, _ := k.Epoch(r.evt); e != 0 {
+			t.Errorf("evt epoch = %d; earlier-declared siblings must not restart", e)
+		}
+	})
+
+	// Failed child first: the rest restarts.
+	r2 := newRig(t, OnDemand)
+	supervise(t, r2, RestForOne, r2.lock, r2.evt)
+	k2 := r2.sys.Kernel()
+	k2.SetInvokeHook(failEvery(k2, r2.lock, 1))
+	r2.run(t, func(th *kernel.Thread, st *ClientStub) {
+		if _, err := st.Call(th, "lock_alloc", 1); err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		if e, _ := k2.Epoch(r2.evt); e != 1 {
+			t.Errorf("evt epoch = %d; later-declared siblings must restart", e)
+		}
+	})
+}
+
+// TestSupervisorEscalation is the acceptance test for the escalation chain:
+// a child group exceeding its restart-intensity budget escalates to the
+// parent (which restarts the subtree with fresh budgets), and when the
+// root's budget is spent too, the call degrades with a typed error chain
+// (DegradedError wrapping ErrRestartIntensity).
+func TestSupervisorEscalation(t *testing.T) {
+	r := newRig(t, OnDemand)
+	r.sys.SetRecoveryPolicy(RecoveryPolicy{MaxRetries: 100, CascadeRetries: 0, Degrade: true})
+	// Period far beyond any virtual time the test reaches, so the windows
+	// never self-prune and the counts below are exact.
+	const period = kernel.Time(1) << 40
+	err := r.sys.SetSupervisor(&SupervisorSpec{
+		Name: "root", Strategy: OneForOne, Intensity: 1, Period: period,
+		Children: []ChildSpec{
+			{Sup: &SupervisorSpec{Name: "workers", Strategy: OneForOne, Intensity: 2, Period: period,
+				Children: []ChildSpec{{Component: r.lock}}}},
+			{Component: r.evt},
+		},
+	})
+	if err != nil {
+		t.Fatalf("SetSupervisor: %v", err)
+	}
+	k := r.sys.Kernel()
+	k.SetInvokeHook(failEvery(k, r.lock, 1000)) // every redo faults again
+	r.run(t, func(th *kernel.Thread, st *ClientStub) {
+		_, cerr := st.Call(th, "lock_alloc", 1)
+		if !errors.Is(cerr, ErrDegraded) {
+			t.Fatalf("err = %v; want ErrDegraded", cerr)
+		}
+		if !errors.Is(cerr, ErrRestartIntensity) {
+			t.Fatalf("err = %v; degradation must carry ErrRestartIntensity", cerr)
+		}
+		// Restart ledger: 2 charged to workers, 1 escalated to root (fresh
+		// subtree budgets), 2 more to workers, then both budgets spent.
+		var de *DegradedError
+		if !errors.As(cerr, &de) || de.Attempts != 5 {
+			t.Fatalf("err = %#v; want *DegradedError after 5 attempts", cerr)
+		}
+		if e, _ := k.Epoch(r.lock); e != 6 {
+			t.Errorf("lock epoch = %d; want 6 (five supervised restarts plus the refused fault's EnsureRebooted)", e)
+		}
+		if e, _ := k.Epoch(r.evt); e != 0 {
+			t.Errorf("evt epoch = %d; the sibling subtree must be untouched", e)
+		}
+		if k.Halted() {
+			t.Fatal("machine halted; supervision exhaustion must degrade, not crash")
+		}
+	})
+}
+
+// TestRestartIntensityWindowPrunes: restarts older than the period fall out
+// of the window, refilling the budget with virtual time.
+func TestRestartIntensityWindowPrunes(t *testing.T) {
+	n := &supNode{spec: &SupervisorSpec{Strategy: OneForOne, Intensity: 2, Period: 10}}
+	if !n.charge(0) || !n.charge(5) {
+		t.Fatal("budget refused below intensity")
+	}
+	if n.charge(9) {
+		t.Fatal("budget admitted past intensity inside the window")
+	}
+	// At t=15 the restart at t=0 has aged out (15-0 >= 10), as has t=5
+	// (15-5 >= 10): the whole budget refills.
+	if !n.charge(15) || !n.charge(16) {
+		t.Fatal("budget not refilled after the window pruned")
+	}
+	if n.charge(17) {
+		t.Fatal("refilled budget admitted one too many")
+	}
+}
+
+// TestSupervisorLegacyEquivalence: a supervised component under a roomy
+// budget recovers exactly like the legacy flat policy — same epochs, same
+// attempts — so legacy campaigns stay byte-identical.
+func TestSupervisorLegacyEquivalence(t *testing.T) {
+	run := func(install bool) (epoch uint64, redos uint64) {
+		r := newRig(t, OnDemand)
+		if install {
+			supervise(t, r, OneForOne, r.lock, r.evt)
+		}
+		k := r.sys.Kernel()
+		k.SetInvokeHook(failEvery(k, r.lock, 3))
+		r.run(t, func(th *kernel.Thread, st *ClientStub) {
+			if _, err := st.Call(th, "lock_alloc", 1); err != nil {
+				t.Fatalf("alloc: %v", err)
+			}
+			epoch, _ = k.Epoch(r.lock)
+			redos = st.Metrics().Redos
+		})
+		return epoch, redos
+	}
+	le, lr := run(false)
+	se, sr := run(true)
+	if le != se || lr != sr {
+		t.Fatalf("supervised recovery (epoch %d, redos %d) diverged from legacy (epoch %d, redos %d)", se, sr, le, lr)
+	}
+}
+
+// TestRunHealthChecks: a failing probe drives a proactive restart through
+// the supervision machinery; a healthy tree restarts nothing.
+func TestRunHealthChecks(t *testing.T) {
+	r := newRig(t, OnDemand)
+	sick := true
+	probes := 0
+	err := r.sys.SetSupervisor(&SupervisorSpec{Name: "root", Strategy: OneForOne, Children: []ChildSpec{
+		{Component: r.lock, Health: func(*kernel.Thread, *System, kernel.ComponentID) error {
+			probes++
+			if sick {
+				return errors.New("probe timeout")
+			}
+			return nil
+		}},
+		{Component: r.evt},
+	}})
+	if err != nil {
+		t.Fatalf("SetSupervisor: %v", err)
+	}
+	k := r.sys.Kernel()
+	r.run(t, func(th *kernel.Thread, st *ClientStub) {
+		n, herr := r.sys.RunHealthChecks(th)
+		if herr != nil || n != 1 {
+			t.Fatalf("RunHealthChecks = %d, %v; want 1 restart", n, herr)
+		}
+		if e, _ := k.Epoch(r.lock); e != 1 {
+			t.Errorf("lock epoch = %d; want 1 after proactive restart", e)
+		}
+		sick = false
+		n, herr = r.sys.RunHealthChecks(th)
+		if herr != nil || n != 0 {
+			t.Fatalf("RunHealthChecks (healthy) = %d, %v; want 0", n, herr)
+		}
+		if probes != 2 {
+			t.Errorf("probes = %d; want 2 (evt has no health check)", probes)
+		}
+		// The restarted server is immediately usable.
+		if _, cerr := st.Call(th, "lock_alloc", 1); cerr != nil {
+			t.Errorf("alloc after health restart: %v", cerr)
+		}
+	})
+}
+
+// TestSetSupervisorAtRuntime: swapping the tree mid-run takes effect on the
+// next restart — the runtime-adaptive policy switch.
+func TestSetSupervisorAtRuntime(t *testing.T) {
+	r := newRig(t, OnDemand)
+	k := r.sys.Kernel()
+	k.SetInvokeHook(failEvery(k, r.lock, 1))
+	r.run(t, func(th *kernel.Thread, st *ClientStub) {
+		// First fault: legacy flat policy, sibling untouched.
+		id, err := st.Call(th, "lock_alloc", 1)
+		if err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		if e, _ := k.Epoch(r.evt); e != 0 {
+			t.Fatalf("evt epoch = %d before the switch", e)
+		}
+		supervise(t, r, AllForOne, r.lock, r.evt)
+		// Second fault: the freshly installed all-for-one group restarts
+		// the sibling too.
+		if ferr := k.FailComponent(r.lock); ferr != nil {
+			t.Fatalf("FailComponent: %v", ferr)
+		}
+		if _, err := st.Call(th, "lock_take", 1, id); err != nil {
+			t.Fatalf("lock_take after switch: %v", err)
+		}
+		if e, _ := k.Epoch(r.evt); e != 1 {
+			t.Errorf("evt epoch = %d; runtime-installed all-for-one must restart it", e)
+		}
+	})
+}

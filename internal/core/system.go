@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"superglue/internal/cbuf"
+	"superglue/internal/fault"
 	"superglue/internal/kernel"
 	"superglue/internal/obs"
 	"superglue/internal/storage"
@@ -148,8 +149,8 @@ type System struct {
 	cm        *cbuf.Manager
 	store     *storage.Store
 	storeComp kernel.ComponentID
-	mode   RecoveryMode
-	policy RecoveryPolicy
+	mode      RecoveryMode
+	policy    RecoveryPolicy
 	// polGen is bumped by SetRecoveryPolicy; stubs cache their effective
 	// policy and rebuild it when their generation falls behind.
 	polGen    uint64
@@ -163,6 +164,12 @@ type System struct {
 	// µ-rebooted too (leaves first), flushing corrupted state the server
 	// may be re-reading from them.
 	deps map[kernel.ComponentID][]kernel.ComponentID
+	// faultHandlers are the runtime-registered per-kind recovery handlers
+	// (see dispatcher.go); nil when none are registered.
+	faultHandlers map[fault.Kind]FaultHandler
+	// sup is the compiled supervision tree, or nil for the flat legacy
+	// restart policy (see supervisor.go).
+	sup *supTree
 }
 
 // NewSystem constructs a machine with the trusted substrate (kernel, cbuf
@@ -291,6 +298,31 @@ func (s *System) cascadeReboot(t *kernel.Thread, server kernel.ComponentID) erro
 		return fmt.Errorf("core: cascading reboot of server %d: %w", server, err)
 	}
 	return nil
+}
+
+// invokeStorage invokes the storage component with a bounded
+// reboot-and-redo loop: a crash of the storage instance (KindStorageCrash
+// or any fail-stop fault in it) is recovered by µ-rebooting it — its data
+// survives the reboot (mechanism G1) — and retrying the operation. The
+// retry budget is the system policy's total attempt budget; non-fault
+// errors and faults in other components pass through.
+func (s *System) invokeStorage(t *kernel.Thread, fn string, args ...kernel.Word) (kernel.Word, error) {
+	for attempt := 0; ; attempt++ {
+		ret, err := s.kern.Invoke(t, s.storeComp, fn, args...)
+		if err == nil {
+			return ret, nil
+		}
+		flt, isFault := kernel.AsFault(err)
+		if !isFault || flt.Comp != s.storeComp || attempt >= s.policy.maxAttempts() {
+			return ret, err
+		}
+		if flt.Transient {
+			continue // retransmission: the instance is fine
+		}
+		if _, rerr := s.kern.EnsureRebooted(t, s.storeComp, flt.Epoch); rerr != nil {
+			return ret, fmt.Errorf("core: µ-reboot of storage: %w", rerr)
+		}
+	}
 }
 
 // RegisterServer boots a recoverable server component: it validates the

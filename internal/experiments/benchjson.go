@@ -11,6 +11,7 @@ import (
 	"superglue/internal/core"
 	"superglue/internal/kernel"
 	"superglue/internal/services/event"
+	"superglue/internal/swifi"
 	"superglue/internal/webserver"
 )
 
@@ -215,6 +216,38 @@ func RunBenchJSON(short bool, workers int) (*BenchReport, error) {
 	if failed != nil {
 		return nil, failed
 	}
+
+	// Campaign throughput: the injection-path counterpart of the
+	// invocation-path benchmarks. One legacy register-flip campaign
+	// against the lock service, wall-clocked end to end (dry run,
+	// planning, trial execution, classification), reported as trials/sec
+	// so regressions in the campaign engine are caught like ns/op ones.
+	campTrials := 400
+	if short {
+		campTrials = 80
+	}
+	campStart := time.Now()
+	campRes, err := swifi.Run(swifi.Config{
+		Service:  "lock",
+		Workload: swifi.Workloads()["lock"],
+		Iters:    3,
+		Trials:   campTrials,
+		Seed:     2026,
+		Profile:  swifi.Profiles()["lock"],
+		Workers:  workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("SwifiCampaign/lock: %w", err)
+	}
+	if campRes.Injected != campTrials {
+		return nil, fmt.Errorf("SwifiCampaign/lock: %d of %d trials ran", campRes.Injected, campTrials)
+	}
+	elapsed := time.Since(campStart).Seconds()
+	rep.Results = append(rep.Results, BenchResult{
+		Name:       "SwifiCampaign/lock",
+		Iterations: campTrials,
+		Extra:      map[string]float64{"trials/s": float64(campTrials) / elapsed},
+	})
 
 	// Traced SWIFI campaigns: the recovery-latency breakdown per mechanism.
 	// Short runs keep on-demand mode only; full runs add the eager-mode

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"superglue/internal/pool"
 	"superglue/internal/swifi"
@@ -51,6 +52,30 @@ func RenderTable2(w io.Writer, results []*swifi.Result) {
 		fmt.Fprintf(w, "%-8s %9d %10d %10d %12d %8d %9d %11d %10.2f%% %8.2f%%\n",
 			r.Service, r.Injected, r.Recovered, r.Segfault, r.Propagated, r.Other, r.Degraded, r.Undetected,
 			100*r.ActivationRatio(), 100*r.SuccessRate())
+	}
+}
+
+// RenderTable2Kinds writes the fault-kind columns of a shaped campaign:
+// for each service, one row per injected kind with its outcome split.
+// Services without a per-kind breakdown (legacy campaigns) are skipped.
+func RenderTable2Kinds(w io.Writer, results []*swifi.Result) {
+	fmt.Fprintf(w, "\nTable II (fault-kind columns): outcomes by injected kind\n")
+	fmt.Fprintf(w, "%-8s %-19s %9s %10s %9s %14s %11s\n",
+		"service", "kind", "injected", "recovered", "degraded", "not recovered", "undetected")
+	for _, r := range results {
+		if len(r.Kinds) == 0 {
+			continue
+		}
+		kinds := make([]string, 0, len(r.Kinds))
+		for k := range r.Kinds {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			ks := r.Kinds[k]
+			fmt.Fprintf(w, "%-8s %-19s %9d %10d %9d %14d %11d\n",
+				r.Service, k, ks.Injected, ks.Recovered, ks.Degraded, ks.NotRecovered, ks.Undetected)
+		}
 	}
 }
 

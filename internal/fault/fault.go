@@ -1,0 +1,288 @@
+// Package fault defines the system-wide fault taxonomy of the SuperGlue
+// reproduction: typed fault kinds, severities, and domains, plus the
+// fault.Event record routed through the core dispatcher to per-kind
+// recovery handlers.
+//
+// The paper's evaluation injects exactly one fault class — a single-bit
+// register flip — and recovers every detected fault the same way (µ-reboot
+// plus interface-driven recovery). This package generalizes the fault
+// model in the style of typed embedded fault-management APIs: every fault
+// carries a Kind (what happened), a Severity (how bad), and a Domain
+// (which part of the machine), so the recovery runtime can route
+// register flips, hangs, livelocks, descriptor corruption, storage
+// crashes/corruption, and message loss/duplication to different
+// handlers instead of the implicit "any fault ⇒ reboot" path.
+//
+// fault is a leaf package: it imports nothing but the standard library
+// formatting package, so both the kernel (which imports obs) and obs
+// (which must not import the kernel) can depend on it.
+package fault
+
+import "fmt"
+
+// Kind identifies what class of fault occurred.
+type Kind uint8
+
+// The fault-kind taxonomy. KindUnknown (the zero value) marks a fault
+// detected without classification — the pre-taxonomy fail-stop — and is
+// handled exactly like a register flip (µ-reboot ladder).
+const (
+	// KindUnknown is an unclassified fail-stop fault (legacy detection
+	// sites that predate the taxonomy).
+	KindUnknown Kind = iota
+	// KindRegisterFlip is a single-bit flip in the register file (the
+	// paper's SWIFI fault class) detected by fail-stop consistency checks.
+	KindRegisterFlip
+	// KindHang is an unbounded loop or a lost wakeup: the component stops
+	// making progress and the watchdog attributes the stall to it.
+	KindHang
+	// KindLivelock is a component cycling without progress (retry storms,
+	// ping-pong wakeups); like a hang it is caught by execution budgets,
+	// but the component remains formally runnable.
+	KindLivelock
+	// KindDescCorruption is corruption of a descriptor's server-side
+	// state detected by the interface state machine (an invalid
+	// transition observed where the spec allows none).
+	KindDescCorruption
+	// KindStorageCrash is a fail-stop crash of the storage component
+	// instance; its redundantly stored data survives (mechanism G1), so
+	// recovery is a µ-reboot of the instance plus retried operations.
+	KindStorageCrash
+	// KindStorageCorruption is detected corruption of redundantly stored
+	// data (checksum mismatch on restore): the component instance is
+	// fine, but a resource's saved contents are lost.
+	KindStorageCorruption
+	// KindMessageLoss is a dropped invocation: the request never reached
+	// the server. The server's state is intact, so recovery is a plain
+	// retransmission (redo without reboot).
+	KindMessageLoss
+	// KindMessageDup is a duplicated invocation: the server executes the
+	// operation twice (at-least-once delivery).
+	KindMessageDup
+
+	// NumKinds sizes per-kind counter arrays (KindUnknown included).
+	NumKinds = int(KindMessageDup) + 1
+)
+
+// String returns the canonical hyphenated kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindUnknown:
+		return "unknown"
+	case KindRegisterFlip:
+		return "register-flip"
+	case KindHang:
+		return "hang"
+	case KindLivelock:
+		return "livelock"
+	case KindDescCorruption:
+		return "desc-corruption"
+	case KindStorageCrash:
+		return "storage-crash"
+	case KindStorageCorruption:
+		return "storage-corruption"
+	case KindMessageLoss:
+		return "message-loss"
+	case KindMessageDup:
+		return "message-dup"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// MarshalJSON encodes the kind as its canonical name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// ParseKind resolves a kind from its canonical name. Underscores are
+// accepted in place of hyphens, so IDL identifiers (storage_crash) and
+// command-line flags (storage-crash) both parse.
+func ParseKind(s string) (Kind, bool) {
+	norm := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' {
+			c = '-'
+		}
+		norm[i] = c
+	}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if k.String() == string(norm) {
+			return k, true
+		}
+	}
+	return KindUnknown, false
+}
+
+// Kinds lists the eight real fault kinds (KindUnknown excluded) in
+// taxonomy order, for exporters and campaign planners that want a stable
+// iteration order.
+func Kinds() []Kind {
+	return []Kind{
+		KindRegisterFlip, KindHang, KindLivelock, KindDescCorruption,
+		KindStorageCrash, KindStorageCorruption, KindMessageLoss, KindMessageDup,
+	}
+}
+
+// Transient reports whether the kind leaves the server's state intact, so
+// recovery is a plain redo (retransmission) with no µ-reboot.
+func (k Kind) Transient() bool {
+	return k == KindMessageLoss || k == KindMessageDup
+}
+
+// Severity grades how much service a fault costs if unhandled.
+type Severity uint8
+
+// Severities, ordered: comparisons with < and > are meaningful.
+const (
+	// SevUnknown is an ungraded fault (legacy detection sites).
+	SevUnknown Severity = iota
+	// SevWarning faults cost at most one operation (a lost message).
+	SevWarning
+	// SevError faults cost one component instance's state.
+	SevError
+	// SevCritical faults threaten data or multiple components.
+	SevCritical
+	// SevFatal faults take the machine down (machine-level segfault).
+	SevFatal
+
+	// NumSeverities sizes per-severity counter arrays.
+	NumSeverities = int(SevFatal) + 1
+)
+
+// String returns the canonical severity name.
+func (s Severity) String() string {
+	switch s {
+	case SevUnknown:
+		return "unknown"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	case SevCritical:
+		return "critical"
+	case SevFatal:
+		return "fatal"
+	default:
+		return fmt.Sprintf("Severity(%d)", uint8(s))
+	}
+}
+
+// MarshalJSON encodes the severity as its canonical name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Domain locates a fault in the machine model.
+type Domain uint8
+
+// Domains.
+const (
+	// DomainUnknown is an unlocated fault.
+	DomainUnknown Domain = iota
+	// DomainCPU covers the register file and execution state.
+	DomainCPU
+	// DomainControl covers control flow: hangs, livelocks, deadlocks.
+	DomainControl
+	// DomainMemory covers component state (descriptors, heaps).
+	DomainMemory
+	// DomainStorage covers the redundant storage component and its data.
+	DomainStorage
+	// DomainMessaging covers the invocation path between components.
+	DomainMessaging
+)
+
+// String returns the canonical domain name.
+func (d Domain) String() string {
+	switch d {
+	case DomainUnknown:
+		return "unknown"
+	case DomainCPU:
+		return "cpu"
+	case DomainControl:
+		return "control"
+	case DomainMemory:
+		return "memory"
+	case DomainStorage:
+		return "storage"
+	case DomainMessaging:
+		return "messaging"
+	default:
+		return fmt.Sprintf("Domain(%d)", uint8(d))
+	}
+}
+
+// MarshalJSON encodes the domain as its canonical name.
+func (d Domain) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + d.String() + `"`), nil
+}
+
+// DomainOf maps a fault kind to the machine domain it lives in.
+func DomainOf(k Kind) Domain {
+	switch k {
+	case KindRegisterFlip:
+		return DomainCPU
+	case KindHang, KindLivelock:
+		return DomainControl
+	case KindDescCorruption:
+		return DomainMemory
+	case KindStorageCrash, KindStorageCorruption:
+		return DomainStorage
+	case KindMessageLoss, KindMessageDup:
+		return DomainMessaging
+	default:
+		return DomainUnknown
+	}
+}
+
+// DefaultSeverity maps a fault kind to its default severity grade.
+func DefaultSeverity(k Kind) Severity {
+	switch k {
+	case KindRegisterFlip, KindDescCorruption:
+		return SevError
+	case KindHang, KindLivelock, KindStorageCrash, KindStorageCorruption:
+		return SevCritical
+	case KindMessageLoss, KindMessageDup:
+		return SevWarning
+	default:
+		return SevUnknown
+	}
+}
+
+// Event is one typed fault occurrence, the record routed through the
+// core dispatcher to per-kind recovery handlers.
+type Event struct {
+	// Kind is what happened.
+	Kind Kind `json:"kind"`
+	// Severity grades the fault (DefaultSeverity(Kind) when the
+	// detection site did not grade it).
+	Severity Severity `json:"severity"`
+	// Domain locates the fault (derived from Kind).
+	Domain Domain `json:"domain"`
+	// Component is the faulted component's ID (0 = system-wide).
+	Component int32 `json:"comp"`
+	// Context is free-form detail from the detection site.
+	Context string `json:"context,omitempty"`
+}
+
+// New builds an Event for kind against component comp, filling the
+// severity and domain from the kind's defaults.
+func New(kind Kind, comp int32, context string) Event {
+	return Event{
+		Kind:      kind,
+		Severity:  DefaultSeverity(kind),
+		Domain:    DomainOf(kind),
+		Component: comp,
+		Context:   context,
+	}
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s/%s fault in component %d", e.Kind, e.Severity, e.Component)
+	if e.Context != "" {
+		s += " (" + e.Context + ")"
+	}
+	return s
+}

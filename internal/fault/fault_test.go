@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v, true", k.String(), got, ok, k)
+		}
+	}
+	if _, ok := ParseKind("no-such-kind"); ok {
+		t.Error("ParseKind accepted an unknown name")
+	}
+}
+
+func TestParseKindUnderscores(t *testing.T) {
+	got, ok := ParseKind("storage_crash")
+	if !ok || got != KindStorageCrash {
+		t.Fatalf("ParseKind(storage_crash) = %v, %v; want KindStorageCrash", got, ok)
+	}
+}
+
+func TestEveryKindHasDomainAndSeverity(t *testing.T) {
+	for _, k := range Kinds() {
+		if DomainOf(k) == DomainUnknown {
+			t.Errorf("%v: no domain", k)
+		}
+		if DefaultSeverity(k) == SevUnknown {
+			t.Errorf("%v: no default severity", k)
+		}
+	}
+	if DomainOf(KindUnknown) != DomainUnknown || DefaultSeverity(KindUnknown) != SevUnknown {
+		t.Error("KindUnknown must map to the unknown domain/severity")
+	}
+}
+
+func TestTransientKinds(t *testing.T) {
+	want := map[Kind]bool{KindMessageLoss: true, KindMessageDup: true}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if k.Transient() != want[k] {
+			t.Errorf("%v.Transient() = %v; want %v", k, k.Transient(), want[k])
+		}
+	}
+}
+
+func TestEventJSON(t *testing.T) {
+	ev := New(KindStorageCorruption, 3, "checksum mismatch")
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["kind"] != "storage-corruption" || m["severity"] != "critical" || m["domain"] != "storage" {
+		t.Fatalf("unexpected JSON: %s", b)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := New(KindMessageLoss, 2, "dropped at entry")
+	want := "message-loss/warning fault in component 2 (dropped at entry)"
+	if got := ev.String(); got != want {
+		t.Fatalf("String() = %q; want %q", got, want)
+	}
+}

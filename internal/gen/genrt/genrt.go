@@ -184,8 +184,14 @@ func TraceMech(k *kernel.Kernel, mech Mechanism, server kernel.ComponentID, t *k
 }
 
 // FaultUpdate is CSTUB_FAULT_UPDATE: µ-reboot the failed server exactly
-// once per epoch.
+// once per epoch. Transient faults (message loss/duplication) left the
+// server's state intact — the component was never failed, so an
+// EnsureRebooted against a matching epoch would µ-reboot a healthy server;
+// the stub just retransmits instead.
 func FaultUpdate(t *kernel.Thread, k *kernel.Kernel, server kernel.ComponentID, f *kernel.Fault) error {
+	if f.Transient {
+		return nil
+	}
 	_, err := k.EnsureRebooted(t, server, f.Epoch)
 	return err
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"superglue/internal/core"
+	"superglue/internal/fault"
 )
 
 // Parse compiles SuperGlue IDL source into a validated core.Spec. The
@@ -319,6 +320,26 @@ func (p *parser) parseSMDecl() error {
 			return err
 		}
 		spec.Holds = append(spec.Holds, core.HoldPair{Hold: names[0], Release: names[1]})
+	case "sm_fault":
+		// sm_fault(kind, action): classify a fault kind the service can
+		// raise and declare its recovery action (reboot | retry | degrade).
+		if err := need(2); err != nil {
+			return err
+		}
+		kind, ok := fault.ParseKind(names[0])
+		if !ok || kind == fault.KindUnknown {
+			return p.errf(head, "sm_fault names unknown fault kind %q", names[0])
+		}
+		if _, valid := core.ParseFaultAction(names[1]); !valid {
+			return p.errf(head, "sm_fault(%s, %s): action must be reboot, retry, or degrade", names[0], names[1])
+		}
+		if spec.FaultActions == nil {
+			spec.FaultActions = make(map[string]string)
+		}
+		spec.FaultActions[kind.String()] = names[1]
+		if p.sm != nil {
+			p.sm.FaultDecls[kind.String()] = head.line
+		}
 	default:
 		return p.errf(head, "unknown state-machine declaration %q", head.text)
 	}

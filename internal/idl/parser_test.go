@@ -205,6 +205,55 @@ int lock_free(desc(long lockid));
 	}
 }
 
+func TestParseFault(t *testing.T) {
+	src := `
+service_global_info = { desc_has_parent = solo, resc_has_data = true };
+sm_creation(mk);
+sm_terminal(rm);
+sm_transition(mk, rm);
+sm_fault(storage_crash, reboot);
+sm_fault(storage_corruption, degrade);
+sm_fault(message_loss, retry);
+
+desc_data_retval(long, id)
+mk(int x);
+int rm(desc(long id));
+`
+	spec, sm, err := ParseWithMap("f", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// Kinds are stored under their canonical (hyphenated) names even though
+	// IDL identifiers spell them with underscores.
+	want := map[string]string{
+		"storage-crash":      "reboot",
+		"storage-corruption": "degrade",
+		"message-loss":       "retry",
+	}
+	if !reflect.DeepEqual(spec.FaultActions, want) {
+		t.Fatalf("FaultActions = %v; want %v", spec.FaultActions, want)
+	}
+	if got := sm.FaultLine("storage-corruption"); got != 7 {
+		t.Errorf("FaultLine(storage-corruption) = %d, want 7", got)
+	}
+
+	for _, tc := range []struct {
+		name, decl, want string
+	}{
+		{"unknown kind", "sm_fault(cosmic_ray, reboot);", "unknown fault kind"},
+		{"bad action", "sm_fault(storage_crash, panic);", "must be reboot, retry, or degrade"},
+		{"arity", "sm_fault(storage_crash);", "expects 2"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseLax("f", tc.decl); err == nil {
+				t.Fatalf("ParseLax accepted %q", tc.decl)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := []struct {
 		name string

@@ -2,6 +2,7 @@ package idl
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"superglue/internal/core"
@@ -45,6 +46,16 @@ func Format(spec *core.Spec) string {
 	writeSet("sm_restore", spec.Restore)
 	for _, h := range spec.Holds {
 		fmt.Fprintf(&b, "sm_hold(%s, %s);\n", h.Hold, h.Release)
+	}
+	// Fault classifications, in kind order (the spec holds them as a map).
+	// Kinds print with underscores: IDL identifiers cannot contain hyphens.
+	faultKinds := make([]string, 0, len(spec.FaultActions))
+	for k := range spec.FaultActions {
+		faultKinds = append(faultKinds, k)
+	}
+	sort.Strings(faultKinds)
+	for _, k := range faultKinds {
+		fmt.Fprintf(&b, "sm_fault(%s, %s);\n", strings.ReplaceAll(k, "-", "_"), spec.FaultActions[k])
 	}
 	b.WriteString("\n")
 

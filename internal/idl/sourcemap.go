@@ -19,12 +19,25 @@ type SourceMap struct {
 	Holds []int
 	// Per-set declaration lines, parallel to the spec's string slices.
 	Creation, Terminal, Blocking, Wakeup, Update, Reset, Restore []int
+	// FaultDecls maps a canonical fault-kind name to the line of its
+	// sm_fault declaration (spec.FaultActions is a map, so these are keyed
+	// rather than parallel).
+	FaultDecls map[string]int
 	// Global is the line of the service_global_info block, or 0.
 	Global int
 }
 
 func newSourceMap() *SourceMap {
-	return &SourceMap{Funcs: make(map[string]int)}
+	return &SourceMap{Funcs: make(map[string]int), FaultDecls: make(map[string]int)}
+}
+
+// FaultLine returns the declaration line of the sm_fault for a canonical
+// fault-kind name, or 0 if undeclared.
+func (m *SourceMap) FaultLine(kind string) int {
+	if m == nil {
+		return 0
+	}
+	return m.FaultDecls[kind]
 }
 
 // FuncLine returns the declaration line of a function, or 0 if unknown.

@@ -1,6 +1,10 @@
 package kernel
 
-import "errors"
+import (
+	"errors"
+
+	"superglue/internal/fault"
+)
 
 // ErrHang reports a scheduling deadlock: live threads exist, but none is
 // runnable or sleeping. The paper classifies the corresponding campaign
@@ -331,6 +335,16 @@ func (k *Kernel) HangCurrent(t *Thread) {
 	}
 	k.mu.Unlock()
 	panic(threadKilled{})
+}
+
+// HangCurrentAs is HangCurrent with an explicit fault classification: the
+// watchdog books the caught hang as the given kind (fault.KindLivelock for
+// a component cycling without progress, fault.KindHang for a plain
+// unbounded loop). Campaign injectors use it to exercise the control-flow
+// rows of the taxonomy distinctly.
+func (k *Kernel) HangCurrentAs(t *Thread, kind fault.Kind) {
+	t.hangKind = kind
+	k.HangCurrent(t)
 }
 
 // Hung reports whether HangCurrent was invoked (a latent-fault marker for

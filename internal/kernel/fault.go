@@ -3,13 +3,17 @@ package kernel
 import (
 	"errors"
 	"fmt"
+
+	"superglue/internal/fault"
 )
 
 // Fault is the inter-component exception delivered when an invocation
 // targets (or a blocked thread is diverted out of) a failed component. It is
 // the simulation analogue of the hardware exception that COMPOSITE vectors
-// to the booter. Client stubs catch it, ensure the component is µ-rebooted,
-// run interface-driven recovery, and retry the invocation.
+// to the booter. Client stubs catch it, route it by Kind through the
+// recovery dispatcher (see core), ensure the component is µ-rebooted when
+// the kind calls for it, run interface-driven recovery, and retry the
+// invocation.
 type Fault struct {
 	// Comp is the failed component.
 	Comp ComponentID
@@ -18,11 +22,32 @@ type Fault struct {
 	// component still needs a µ-reboot or has already been rebooted by
 	// another client.
 	Epoch uint64
+	// Kind classifies the fault (fault.KindUnknown for legacy detection
+	// sites, handled like a register flip).
+	Kind fault.Kind
+	// Severity grades the fault (fault.SevUnknown when ungraded).
+	Severity fault.Severity
+	// Transient marks faults that left the component's state intact (a
+	// dropped message): recovery is a plain redo, no µ-reboot, and the
+	// component is not in the failed state.
+	Transient bool
 }
 
 // Error implements error.
 func (f *Fault) Error() string {
-	return fmt.Sprintf("kernel: fault in component %d (epoch %d)", f.Comp, f.Epoch)
+	if f.Kind == fault.KindUnknown {
+		return fmt.Sprintf("kernel: fault in component %d (epoch %d)", f.Comp, f.Epoch)
+	}
+	return fmt.Sprintf("kernel: %s fault in component %d (epoch %d)", f.Kind, f.Comp, f.Epoch)
+}
+
+// Event converts the fault to the taxonomy's event record.
+func (f *Fault) Event() fault.Event {
+	ev := fault.New(f.Kind, int32(f.Comp), "")
+	if f.Severity != fault.SevUnknown {
+		ev.Severity = f.Severity
+	}
+	return ev
 }
 
 // AsFault extracts a *Fault from an error chain.
@@ -38,24 +63,56 @@ func AsFault(err error) (*Fault, bool) {
 // invocation of it returns a *Fault until it is µ-rebooted, and threads
 // blocked inside it are diverted when the reboot happens. FailComponent
 // models the instant at which an activated transient fault corrupts the
-// component and is detected.
+// component and is detected; the fault is left unclassified
+// (fault.KindUnknown) — detection sites that know what happened use
+// FailComponentAs.
 func (k *Kernel) FailComponent(id ComponentID) error {
+	return k.FailComponentAs(id, fault.KindUnknown, fault.SevUnknown)
+}
+
+// FailComponentAs marks a component as failed with a typed classification:
+// subsequent invocations deliver *Fault values carrying the kind and
+// severity, and the trace (obs) records the classified detection event.
+// A zero severity takes the kind's default grade.
+func (k *Kernel) FailComponentAs(id ComponentID, kind fault.Kind, sev fault.Severity) error {
+	if sev == fault.SevUnknown && kind != fault.KindUnknown {
+		sev = fault.DefaultSeverity(kind)
+	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	c, err := k.lookup(id)
 	if err != nil {
 		return err
 	}
-	c.markFaulty()
+	c.markFaultyAs(kind, sev)
 	if tr := k.tracer.Load(); tr != nil {
 		epoch, _ := c.snapshot()
 		var tid int32
 		if k.current != nil {
 			tid = int32(k.current.id)
 		}
-		tr.RecordFault(int32(id), tid, "", k.clock.Load(), epoch)
+		tr.RecordFault(int32(id), tid, "", k.clock.Load(), epoch, kind, sev)
 	}
 	return nil
+}
+
+// FaultNow fails component id with a typed classification and returns the
+// *Fault for the detection site to propagate: a server that detects its own
+// corruption (e.g. a checksum mismatch while restoring from storage) fails
+// itself and unwinds the current invocation with the fault, entering the
+// client stub's recovery path instead of leaking an unclassified error.
+func (k *Kernel) FaultNow(id ComponentID, kind fault.Kind, sev fault.Severity) error {
+	epoch := uint64(0)
+	if c := k.comp(id); c != nil {
+		epoch = c.curEpoch()
+	}
+	if err := k.FailComponentAs(id, kind, sev); err != nil {
+		return err
+	}
+	if sev == fault.SevUnknown && kind != fault.KindUnknown {
+		sev = fault.DefaultSeverity(kind)
+	}
+	return &Fault{Comp: id, Epoch: epoch, Kind: kind, Severity: sev}
 }
 
 // Faulty reports whether a component is currently in the failed state. It is
@@ -104,6 +161,9 @@ func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch
 		k.mu.Unlock()
 		return oldEpoch, nil // someone already rebooted it
 	}
+	// The classification of the fault that killed this instance, carried
+	// into the pending faults delivered to eagerly woken threads.
+	kind, sev := c.faultMeta()
 	// Span start for the µ-reboot trace event: virtual time and
 	// completed-invocation count before the fresh instance is installed.
 	vt0 := k.clock.Load()
@@ -121,7 +181,7 @@ func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch
 	for _, bt := range k.threads {
 		switch {
 		case (bt.state == ThreadBlocked || bt.state == ThreadSleeping) && bt.blockedIn == id:
-			bt.pendingFault = &Fault{Comp: id, Epoch: oldEpoch}
+			bt.pendingFault = &Fault{Comp: id, Epoch: oldEpoch, Kind: kind, Severity: sev}
 			bt.state = ThreadRunnable
 			k.enqueueLocked(bt)
 		case bt.state == ThreadRunnable && bt.topOfStackLocked() == id:
@@ -129,7 +189,7 @@ func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch
 			// failed instance is gone, so divert it — re-latching the
 			// consumed wakeup as a redo credit (Block case only) so the
 			// retried call does not lose it.
-			bt.pendingFault = &Fault{Comp: id, Epoch: oldEpoch}
+			bt.pendingFault = &Fault{Comp: id, Epoch: oldEpoch, Kind: kind, Severity: sev}
 			if bt.lastParkWasBlock {
 				bt.wakePending = true
 				bt.redoCredit = true
@@ -178,4 +238,54 @@ func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch
 // epoch.
 func (k *Kernel) EnsureRebooted(t *Thread, id ComponentID, faultEpoch uint64) (uint64, error) {
 	return k.reboot(t, id, faultEpoch, true)
+}
+
+// InjectTransientFault arms a one-shot transient fault on thread t: the
+// in-flight invocation of dst unwinds with a *Fault of the given kind
+// without failing the component — the invocation is simply lost (message
+// loss). Call from a PhaseEntry invocation hook; Invoke consumes the armed
+// fault when the hook returns.
+func (k *Kernel) InjectTransientFault(t *Thread, dst ComponentID, kind fault.Kind) {
+	epoch := uint64(0)
+	if c := k.comp(dst); c != nil {
+		epoch = c.curEpoch()
+	}
+	sev := fault.DefaultSeverity(kind)
+	t.injectedFault = &Fault{Comp: dst, Epoch: epoch, Kind: kind, Severity: sev, Transient: true}
+	if tr := k.tracer.Load(); tr != nil {
+		tr.RecordFault(int32(dst), int32(t.id), "inject:transient", k.clock.Load(), epoch, kind, sev)
+	}
+}
+
+// DuplicateNext arms one-shot duplicate delivery on thread t: the in-flight
+// invocation is dispatched twice (at-least-once delivery; the duplicate runs
+// first and its result is discarded). Call from a PhaseEntry invocation
+// hook. The duplication is recorded as a message-dup fault event.
+func (k *Kernel) DuplicateNext(t *Thread, dst ComponentID) {
+	t.injectDup = true
+	if tr := k.tracer.Load(); tr != nil {
+		epoch := uint64(0)
+		if c := k.comp(dst); c != nil {
+			epoch = c.curEpoch()
+		}
+		tr.RecordFault(int32(dst), int32(t.id), "inject:duplicate", k.clock.Load(), epoch,
+			fault.KindMessageDup, fault.DefaultSeverity(fault.KindMessageDup))
+	}
+}
+
+// takeInjectedFault consumes (and clears) the transient fault armed on the
+// thread by InjectTransientFault, if any. Lock-free: armed and consumed by
+// the thread itself (the hook runs on the invoking thread).
+func (t *Thread) takeInjectedFault() *Fault {
+	f := t.injectedFault
+	t.injectedFault = nil
+	return f
+}
+
+// takeInjectDup consumes (and clears) the duplicate-delivery flag armed by
+// DuplicateNext. Lock-free for the same reason as takeInjectedFault.
+func (t *Thread) takeInjectDup() bool {
+	d := t.injectDup
+	t.injectDup = false
+	return d
 }

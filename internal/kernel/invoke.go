@@ -39,7 +39,8 @@ func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Wo
 	}
 	epoch, faulty := c.snapshot()
 	if faulty {
-		return 0, &Fault{Comp: dst, Epoch: epoch}
+		kind, sev := c.faultMeta()
+		return 0, &Fault{Comp: dst, Epoch: epoch, Kind: kind, Severity: sev}
 	}
 	svc := c.service()
 	hook := k.invokeHook()
@@ -92,8 +93,30 @@ func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Wo
 		if f := t.takeWatchdogFault(); f != nil {
 			return 0, f
 		}
-		// Fail-stop: a fault activated at entry aborts the invocation
-		// before the operation starts.
+	}
+	// A transient fault armed on the thread (message loss, via hook or
+	// direct injection): the request never reaches the server — unwind
+	// without dispatching. The component is NOT failed; the stub
+	// retransmits.
+	if f := t.takeInjectedFault(); f != nil {
+		return 0, f
+	}
+	// Fail-stop: a fault activated at entry aborts the invocation before
+	// the operation starts.
+	if f, failed := k.faultIf(dst, epoch); failed {
+		return 0, f
+	}
+	// Duplicate delivery armed on the thread (message duplication): the
+	// server executes the operation twice — the duplicate runs first and
+	// its result is discarded; the "real" delivery below is the one whose
+	// result the client sees.
+	if t.takeInjectDup() {
+		if _, derr := svc.Dispatch(t, fn, args); derr != nil {
+			return 0, derr
+		}
+		if f := t.takeWatchdogFault(); f != nil {
+			return 0, f
+		}
 		if f, failed := k.faultIf(dst, epoch); failed {
 			return 0, f
 		}
@@ -169,7 +192,8 @@ func (k *Kernel) faultIf(comp ComponentID, epoch uint64) (*Fault, bool) {
 	}
 	cur, faulty := c.snapshot()
 	if faulty {
-		return &Fault{Comp: comp, Epoch: cur}, true
+		kind, sev := c.faultMeta()
+		return &Fault{Comp: comp, Epoch: cur, Kind: kind, Severity: sev}, true
 	}
 	if cur != epoch {
 		return &Fault{Comp: comp, Epoch: epoch}, true

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"superglue/internal/fault"
 	"superglue/internal/obs"
 )
 
@@ -133,12 +134,29 @@ type component struct {
 	budget Time
 
 	// state packs (epoch << 1) | faulty — see packState.
-	//sgvet:atomicstate accessors=snapshot,curEpoch,markFaulty,install
+	//sgvet:atomicstate accessors=snapshot,curEpoch,markFaulty,markFaultyAs,install
 	state atomic.Uint64
 	// svc is the live service instance (see the struct comment for the
 	// store/load ordering against state).
 	//sgvet:atomicstate accessors=service,install
 	svc atomic.Pointer[svcBox]
+	// meta packs the pending fault's (kind << 8) | severity classification
+	// (see packFaultMeta). It is written before the faulty bit is set and
+	// cleared by install, so a lock-free reader that observes faulty also
+	// observes the classification of the fault that set it.
+	meta atomic.Uint32
+}
+
+// packFaultMeta packs a fault classification into the component's meta word.
+func packFaultMeta(kind fault.Kind, sev fault.Severity) uint32 {
+	return uint32(kind)<<8 | uint32(sev)
+}
+
+// faultMeta returns the pending fault's classification (zero when the
+// component never faulted or was reinstalled since).
+func (c *component) faultMeta() (fault.Kind, fault.Severity) {
+	m := c.meta.Load()
+	return fault.Kind(m >> 8), fault.Severity(m & 0xff)
 }
 
 // snapshot returns a consistent (epoch, faulty) view from one atomic load.
@@ -156,6 +174,15 @@ func (c *component) service() Service { return c.svc.Load().svc }
 // markFaulty sets the faulty bit, preserving the epoch. Called with k.mu
 // held, so it cannot race other writers.
 func (c *component) markFaulty() {
+	c.markFaultyAs(fault.KindUnknown, fault.SevUnknown)
+}
+
+// markFaultyAs sets the faulty bit with a fault classification, preserving
+// the epoch. The meta word is stored before the state word, so a lock-free
+// reader that observes the faulty bit also observes the classification.
+// Called with k.mu held, so it cannot race other writers.
+func (c *component) markFaultyAs(kind fault.Kind, sev fault.Severity) {
+	c.meta.Store(packFaultMeta(kind, sev))
 	epoch, _ := c.snapshot()
 	c.state.Store(packState(epoch, true))
 }
@@ -168,6 +195,7 @@ func (c *component) markFaulty() {
 // µ-reboot).
 func (c *component) install(svc Service, epoch uint64) {
 	c.svc.Store(&svcBox{svc: svc})
+	c.meta.Store(0)
 	c.state.Store(packState(epoch, false))
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"superglue/internal/fault"
 )
 
 // ThreadState is the life-cycle state of a simulated thread.
@@ -100,6 +102,20 @@ type Thread struct {
 	// hook returns and unwinds with the fault instead of delivering a
 	// result, turning the latent fault into the fail-stop recovery path.
 	watchdogFault *Fault
+
+	// injectedFault is a one-shot transient fault (message loss) armed by
+	// InjectTransientFault from an entry hook; Invoke consumes it when the
+	// hook returns and unwinds without dispatching. injectDup is the
+	// analogous one-shot duplicate-delivery flag (message duplication):
+	// Invoke dispatches the operation twice. Both are owned by the thread
+	// (armed and consumed while it runs), so no locking is needed.
+	injectedFault *Fault
+	injectDup     bool
+
+	// hangKind classifies the next watchdog-caught hang on this thread
+	// (fault.KindHang vs fault.KindLivelock); set by HangCurrentAs before
+	// parking, consumed by watchdogHangLocked. Zero means KindHang.
+	hangKind fault.Kind
 
 	// invStack records the components the thread is executing in, outermost
 	// first. Entry 0 is absent for "home" (application) execution. fnStack

@@ -1,6 +1,10 @@
 package kernel
 
-import "sort"
+import (
+	"sort"
+
+	"superglue/internal/fault"
+)
 
 // The kernel watchdog closes the latent-fault gap of the paper's fail-stop
 // model. The paper detects faults as hardware exceptions; an unbounded loop
@@ -155,11 +159,20 @@ func (k *Kernel) watchdogHangLocked(t *Thread) bool {
 	}
 	k.clock.Add(int64(k.budgetForLocked(comp)))
 	epoch, _ := c.snapshot()
-	c.markFaulty()
+	// Classify the hang: HangCurrentAs stamps the thread with the kind it
+	// is simulating (livelock vs plain hang); legacy HangCurrent leaves it
+	// zero, which means KindHang.
+	kind := t.hangKind
+	if kind == fault.KindUnknown {
+		kind = fault.KindHang
+	}
+	t.hangKind = fault.KindUnknown
+	sev := fault.DefaultSeverity(kind)
+	c.markFaultyAs(kind, sev)
 	k.wdStats.HangsCaught++
 	k.wdStats.LastComp = comp
-	t.watchdogFault = &Fault{Comp: comp, Epoch: epoch}
-	k.tracer.Load().RecordFault(int32(comp), int32(t.id), "watchdog:hang", k.clock.Load(), epoch)
+	t.watchdogFault = &Fault{Comp: comp, Epoch: epoch, Kind: kind, Severity: sev}
+	k.tracer.Load().RecordFault(int32(comp), int32(t.id), "watchdog:hang", k.clock.Load(), epoch, kind, sev)
 	return true
 }
 
@@ -207,13 +220,15 @@ func (k *Kernel) watchdogDivertLocked() bool {
 	}
 	k.clock.Add(int64(k.budgetForLocked(blamed)))
 	epoch, _ := c.snapshot()
-	c.markFaulty()
+	c.markFaultyAs(fault.KindHang, fault.DefaultSeverity(fault.KindHang))
 	k.wdStats.DeadlocksAttributed++
 	k.wdStats.LastComp = blamed
-	k.tracer.Load().RecordFault(int32(blamed), 0, "watchdog:deadlock", k.clock.Load(), epoch)
+	k.tracer.Load().RecordFault(int32(blamed), 0, "watchdog:deadlock", k.clock.Load(), epoch,
+		fault.KindHang, fault.DefaultSeverity(fault.KindHang))
 	for _, bt := range k.threads {
 		if bt.state == ThreadBlocked && bt.blockedIn == blamed {
-			bt.pendingFault = &Fault{Comp: blamed, Epoch: epoch}
+			bt.pendingFault = &Fault{Comp: blamed, Epoch: epoch,
+				Kind: fault.KindHang, Severity: fault.DefaultSeverity(fault.KindHang)}
 			bt.state = ThreadRunnable
 			k.enqueueLocked(bt)
 		}

@@ -30,6 +30,8 @@ func (s *Snapshot) Merge(o Snapshot) {
 	for k, n := range o.Kinds {
 		s.Kinds[k] += n
 	}
+	s.FaultKinds = mergeCountMap(s.FaultKinds, o.FaultKinds)
+	s.FaultSeverities = mergeCountMap(s.FaultSeverities, o.FaultSeverities)
 	s.Mechanisms = mergeMechanisms(s.Mechanisms, o.Mechanisms, true)
 	s.Components = mergeComponents(s.Components, o.Components)
 	s.Events = append(s.Events, o.Events...)
@@ -51,6 +53,22 @@ func (s *Snapshot) Trim(capacity int) {
 	copy(kept, s.Events[len(s.Events)-capacity:])
 	s.Events = kept
 	s.DroppedEvents = s.TotalEvents - uint64(len(s.Events))
+}
+
+// mergeCountMap sums b's counters into a's, allocating a only when b has
+// entries (nil in, nil out for the all-empty case, preserving the
+// omitempty JSON shape).
+func mergeCountMap(a, b map[string]uint64) map[string]uint64 {
+	if len(b) == 0 {
+		return a
+	}
+	if a == nil {
+		a = make(map[string]uint64, len(b))
+	}
+	for k, n := range b {
+		a[k] += n
+	}
+	return a
 }
 
 // mergeMechanisms adds b's cells into a's, matching by mechanism name.
@@ -92,8 +110,10 @@ func mergeComponents(a, b []ComponentSnapshot) []ComponentSnapshot {
 	for _, c := range b {
 		cur, ok := byID[c.ID]
 		if !ok {
-			// Copy the cell list so the merged snapshot never aliases b.
+			// Copy the cell list and counter map so the merged snapshot
+			// never aliases b.
 			c.Mechanisms = append([]MechanismSnapshot(nil), c.Mechanisms...)
+			c.FaultKinds = mergeCountMap(nil, c.FaultKinds)
 			byID[c.ID] = c
 			continue
 		}
@@ -106,6 +126,7 @@ func mergeComponents(a, b []ComponentSnapshot) []ComponentSnapshot {
 		cur.Reboots += c.Reboots
 		cur.Degraded += c.Degraded
 		cur.Mechanisms = mergeMechanisms(cur.Mechanisms, c.Mechanisms, false)
+		cur.FaultKinds = mergeCountMap(cur.FaultKinds, c.FaultKinds)
 		byID[c.ID] = cur
 	}
 	out := make([]ComponentSnapshot, 0, len(byID))

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"superglue/internal/fault"
 )
 
 // trialSnapshots builds n deterministic per-trial snapshots with a mix
@@ -25,7 +27,15 @@ func trialSnapshots(t *testing.T, n int, seed int64) []Snapshot {
 			case 0:
 				r.RecordInvoke(comp, 1, "fn", now, 0)
 			case 1:
-				r.RecordFault(comp, 1, "fn", now, uint64(e))
+				// Vary the taxonomy classification (including the
+				// unclassified zero values) so the associativity property
+				// covers the per-kind/per-severity counters too.
+				kinds := fault.Kinds()
+				fk := fault.KindUnknown
+				if rng.Intn(4) > 0 {
+					fk = kinds[rng.Intn(len(kinds))]
+				}
+				r.RecordFault(comp, 1, "fn", now, uint64(e), fk, fault.DefaultSeverity(fk))
 			case 2:
 				r.RecordReboot(comp, 1, now, uint64(e), int64(rng.Intn(2000)), uint64(e))
 			default:

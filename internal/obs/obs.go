@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+
+	"superglue/internal/fault"
 )
 
 // EventKind identifies the type of a trace event.
@@ -204,6 +206,12 @@ type Event struct {
 	// Steps is the invocation-step cost (completed kernel invocations
 	// during the span) for EvReboot and EvRebuildWalk.
 	Steps uint64 `json:"steps,omitempty"`
+	// FaultKind classifies an EvFaultDetected event in the system fault
+	// taxonomy (fault.KindUnknown for unclassified detection sites).
+	FaultKind fault.Kind `json:"fault_kind,omitempty"`
+	// FaultSev grades an EvFaultDetected event (fault.SevUnknown when
+	// ungraded).
+	FaultSev fault.Severity `json:"fault_severity,omitempty"`
 }
 
 // NumBuckets is the number of virtual-time histogram buckets per
@@ -279,14 +287,15 @@ func (s *MechStat) merge(o MechStat) {
 
 // compStats is the per-component aggregate (slot index = component ID).
 type compStats struct {
-	seen     bool
-	name     string
-	invokes  uint64
-	upcalls  uint64
-	faults   uint64
-	reboots  uint64
-	degraded uint64
-	mech     [NumMechanisms]MechStat
+	seen       bool
+	name       string
+	invokes    uint64
+	upcalls    uint64
+	faults     uint64
+	reboots    uint64
+	degraded   uint64
+	mech       [NumMechanisms]MechStat
+	faultKinds [fault.NumKinds]uint64
 }
 
 // DefaultCapacity is the ring-buffer capacity used by NewRecorder.
@@ -307,6 +316,11 @@ type Recorder struct {
 	seq   uint64 // total events ever recorded
 	kinds [numKinds]uint64
 	comps []compStats // index = component ID (slot 0 = "system")
+
+	// Per-fault-taxonomy counters over EvFaultDetected events: how many
+	// faults of each fault.Kind and fault.Severity were detected.
+	faultKinds [fault.NumKinds]uint64
+	faultSevs  [fault.NumSeverities]uint64
 }
 
 // NewRecorder returns a Recorder with the given ring capacity
@@ -382,6 +396,13 @@ func (r *Recorder) Record(ev Event) {
 		s.upcalls++
 	case EvFaultDetected:
 		s.faults++
+		if int(ev.FaultKind) < fault.NumKinds {
+			s.faultKinds[ev.FaultKind]++
+			r.faultKinds[ev.FaultKind]++
+		}
+		if int(ev.FaultSev) < fault.NumSeverities {
+			r.faultSevs[ev.FaultSev]++
+		}
 	case EvReboot:
 		s.reboots++
 	case EvDegraded:
@@ -413,12 +434,15 @@ func (r *Recorder) RecordUpcall(comp, thread int32, fn string, now int64, gen ui
 	r.Record(Event{Kind: EvRebuildWalk, Mech: MechU0, Comp: comp, Thread: thread, Fn: fn, Time: now, Gen: gen})
 }
 
-// RecordFault records the detection instant of a component fault.
-func (r *Recorder) RecordFault(comp, thread int32, fn string, now int64, gen uint64) {
+// RecordFault records the detection instant of a component fault with its
+// taxonomy classification (fault.KindUnknown / fault.SevUnknown for
+// unclassified detection sites).
+func (r *Recorder) RecordFault(comp, thread int32, fn string, now int64, gen uint64, kind fault.Kind, sev fault.Severity) {
 	if r == nil {
 		return
 	}
-	r.Record(Event{Kind: EvFaultDetected, Comp: comp, Thread: thread, Fn: fn, Time: now, Gen: gen})
+	r.Record(Event{Kind: EvFaultDetected, Comp: comp, Thread: thread, Fn: fn, Time: now, Gen: gen,
+		FaultKind: kind, FaultSev: sev})
 }
 
 // RecordReboot records a completed µ-reboot with its virtual-time and
@@ -479,6 +503,8 @@ func (r *Recorder) Reset() {
 	r.ring = r.ring[:0]
 	r.seq = 0
 	r.kinds = [numKinds]uint64{}
+	r.faultKinds = [fault.NumKinds]uint64{}
+	r.faultSevs = [fault.NumSeverities]uint64{}
 	for i := range r.comps {
 		r.comps[i] = compStats{name: r.comps[i].name, seen: r.comps[i].seen}
 	}

@@ -5,13 +5,15 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"superglue/internal/fault"
 )
 
 func TestNilRecorderIsSafe(t *testing.T) {
 	var r *Recorder
 	r.RecordInvoke(1, 1, "fn", 0, 0)
 	r.RecordUpcall(1, 1, "fn", 0, 0)
-	r.RecordFault(1, 1, "fn", 0, 0)
+	r.RecordFault(1, 1, "fn", 0, 0, fault.KindUnknown, fault.SevUnknown)
 	r.RecordReboot(1, 1, 0, 1, 10, 2)
 	r.RecordRecovery(MechR0, 1, 1, "fn", 0, 1, 10, 2)
 	r.RecordReflect(0, 3)
@@ -35,7 +37,7 @@ func TestCountersAndHistogram(t *testing.T) {
 	r.SetComponentName(2, "lock")
 	r.RecordInvoke(2, 1, "lock_take", 5, 0)
 	r.RecordInvoke(2, 1, "lock_take", 6, 0)
-	r.RecordFault(2, 1, "lock_take", 7, 0)
+	r.RecordFault(2, 1, "lock_take", 7, 0, fault.KindRegisterFlip, fault.SevError)
 	r.RecordReboot(2, 1, 8, 1, 3, 4)
 	r.RecordRecovery(MechR0, 2, 1, "lock_take", 9, 1, 0, 3)
 	r.RecordRecovery(MechR0, 2, 1, "lock_take", 9, 1, 5, 7)
@@ -53,6 +55,12 @@ func TestCountersAndHistogram(t *testing.T) {
 	}
 	if c.Invokes != 2 || c.Faults != 1 || c.Reboots != 1 || c.Upcalls != 1 || c.Degraded != 1 {
 		t.Fatalf("counters wrong: %+v", c)
+	}
+	if c.FaultKinds["register-flip"] != 1 {
+		t.Fatalf("per-component fault kinds wrong: %+v", c.FaultKinds)
+	}
+	if snap.FaultKinds["register-flip"] != 1 || snap.FaultSeverities["error"] != 1 {
+		t.Fatalf("taxonomy counters wrong: kinds=%+v sevs=%+v", snap.FaultKinds, snap.FaultSeverities)
 	}
 	mech := map[string]MechanismSnapshot{}
 	for _, m := range c.Mechanisms {

@@ -3,6 +3,8 @@ package obs
 import (
 	"encoding/json"
 	"io"
+
+	"superglue/internal/fault"
 )
 
 // MechanismSnapshot is one mechanism's aggregate in a Snapshot, with
@@ -33,6 +35,10 @@ type ComponentSnapshot struct {
 	// Mechanisms holds the per-mechanism cells that fired for the
 	// component, in the paper's R0…U0 order (empty cells omitted).
 	Mechanisms []MechanismSnapshot `json:"mechanisms,omitempty"`
+	// FaultKinds maps fault-taxonomy kind name to the number of detected
+	// faults of that kind attributed to the component (zero cells
+	// omitted).
+	FaultKinds map[string]uint64 `json:"fault_kinds,omitempty"`
 }
 
 // Snapshot is a consistent copy of everything the recorder knows:
@@ -51,6 +57,14 @@ type Snapshot struct {
 	BucketBounds []string `json:"bucket_bounds_vtime_us"`
 	// Kinds maps event-kind name to its total count.
 	Kinds map[string]uint64 `json:"kinds"`
+	// FaultKinds maps fault-taxonomy kind name (register-flip, hang, …,
+	// plus "unknown" for unclassified detection sites) to the number of
+	// detected faults of that kind (zero cells omitted).
+	FaultKinds map[string]uint64 `json:"fault_kinds,omitempty"`
+	// FaultSeverities maps severity name (warning…fatal, plus "unknown")
+	// to the number of detected faults at that grade (zero cells
+	// omitted).
+	FaultSeverities map[string]uint64 `json:"fault_severities,omitempty"`
 	// Mechanisms is the all-components per-mechanism aggregate, in the
 	// paper's R0…U0 order (every mechanism present, even if zero — the
 	// per-mechanism breakdown the acceptance experiments embed).
@@ -80,6 +94,22 @@ func (r *Recorder) Snapshot() Snapshot {
 				snap.Kinds[kind.String()] = n
 			}
 		}
+		for fk := fault.Kind(0); int(fk) < fault.NumKinds; fk++ {
+			if n := r.faultKinds[fk]; n > 0 {
+				if snap.FaultKinds == nil {
+					snap.FaultKinds = map[string]uint64{}
+				}
+				snap.FaultKinds[fk.String()] = n
+			}
+		}
+		for fs := fault.Severity(0); int(fs) < fault.NumSeverities; fs++ {
+			if n := r.faultSevs[fs]; n > 0 {
+				if snap.FaultSeverities == nil {
+					snap.FaultSeverities = map[string]uint64{}
+				}
+				snap.FaultSeverities[fs.String()] = n
+			}
+		}
 		for id := range r.comps {
 			s := &r.comps[id]
 			if !s.seen {
@@ -93,6 +123,14 @@ func (r *Recorder) Snapshot() Snapshot {
 				Faults:   s.faults,
 				Reboots:  s.reboots,
 				Degraded: s.degraded,
+			}
+			for fk := fault.Kind(0); int(fk) < fault.NumKinds; fk++ {
+				if n := s.faultKinds[fk]; n > 0 {
+					if cs.FaultKinds == nil {
+						cs.FaultKinds = map[string]uint64{}
+					}
+					cs.FaultKinds[fk.String()] = n
+				}
 			}
 			for _, m := range Mechanisms() {
 				cell := s.mech[m]

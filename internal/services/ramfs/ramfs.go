@@ -12,11 +12,13 @@ package ramfs
 
 import (
 	_ "embed"
+	"errors"
 	"fmt"
 	"hash/fnv"
 
 	"superglue/internal/cbuf"
 	"superglue/internal/core"
+	"superglue/internal/fault"
 	"superglue/internal/idl"
 	"superglue/internal/kernel"
 	"superglue/internal/storage"
@@ -192,6 +194,16 @@ func (s *Server) open(pathBuf kernel.Word, pathLen int) (kernel.Word, error) {
 		if s.sys.Store().HasData(s.class, f.id) {
 			content, rerr := s.sys.Store().ReadAll(s.class, f.id)
 			if rerr != nil {
+				if errors.Is(rerr, storage.ErrCorrupted) {
+					// Fail stop: rebuilding the file from a corrupted
+					// redundant copy would serve silently wrong data. Fault
+					// ourselves with the storage-corruption classification;
+					// the interface declares it unrecoverable
+					// (sm_fault(storage_corruption, degrade)), so clients
+					// degrade instead of µ-reboot-looping into the same
+					// corrupted extent.
+					return 0, s.k.FaultNow(s.self, fault.KindStorageCorruption, fault.SevCritical)
+				}
 				return 0, fmt.Errorf("ramfs: restoring %q from storage: %w", path, rerr)
 			}
 			f.content = content

@@ -2,6 +2,7 @@ package ramfs
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"superglue/internal/core"
@@ -272,6 +273,65 @@ func TestUnlinkDropsStorageAndPreventsResurrection(t *testing.T) {
 		got, err := r.c.Read(th, fd2, 16)
 		if err != nil || len(got) != 0 {
 			t.Errorf("Read resurrected file = (%q, %v); want empty", got, err)
+		}
+	})
+}
+
+// TestCorruptedStorageDegradesInsteadOfRebootLooping: when the redundant
+// copy itself is corrupted, the G1 restore inside recovery raises a typed
+// storage-corruption fault, which ramfs.sg classifies sm_fault(degrade) —
+// the client gets ErrDegraded instead of an endless reboot loop, and the
+// rest of the machine keeps running.
+func TestCorruptedStorageDegradesInsteadOfRebootLooping(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(th *kernel.Thread) {
+		fd, err := r.c.Open(th, "/bits.bin")
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		if _, err := r.c.Write(th, fd, []byte("abcdef")); err != nil {
+			t.Errorf("Write: %v", err)
+			return
+		}
+		class, _ := r.sys.Class(r.comp)
+		if _, ok := r.sys.Store().CorruptOne(class, 0); !ok {
+			t.Error("CorruptOne found nothing to corrupt")
+			return
+		}
+		if err := r.sys.Kernel().FailComponent(r.comp); err != nil {
+			t.Errorf("FailComponent: %v", err)
+		}
+		// Recovery replays fs_open; the server's restore-from-storage path
+		// detects the checksum mismatch and the sm_fault classification
+		// turns it into immediate graceful degradation.
+		if _, err := r.c.Read(th, fd, 3); !errors.Is(err, core.ErrDegraded) {
+			t.Errorf("Read over corrupted storage = %v; want ErrDegraded", err)
+		}
+		if n := r.sys.Store().CorruptionsDetected(); n == 0 {
+			t.Error("corruption was not detected by a checksummed ReadAll")
+		}
+		// The corrupt backing data poisons every subsequent recovery walk
+		// (each replayed fs_open re-detects it), so further calls degrade
+		// too — typed, not a reboot loop, and the machine keeps running.
+		if _, err := r.c.Open(th, "/fresh.txt"); !errors.Is(err, core.ErrDegraded) {
+			t.Errorf("Open while corrupt data persists = %v; want ErrDegraded", err)
+		}
+		// Operator remediation: discard the corrupt redundant copy and
+		// reboot the (still-failed) server. The next recovery restores
+		// /bits.bin as empty and service resumes.
+		r.sys.Store().Drop(class, PathID("/bits.bin"))
+		if _, err := r.sys.Kernel().Reboot(th, r.comp); err != nil {
+			t.Errorf("Reboot after remediation: %v", err)
+			return
+		}
+		fd2, err := r.c.Open(th, "/fresh.txt")
+		if err != nil {
+			t.Errorf("Open after degradation: %v", err)
+			return
+		}
+		if _, err := r.c.Write(th, fd2, []byte("ok")); err != nil {
+			t.Errorf("Write after degradation: %v", err)
 		}
 	})
 }

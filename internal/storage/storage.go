@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"superglue/internal/cbuf"
 	"superglue/internal/kernel"
@@ -46,6 +47,27 @@ type Slice struct {
 	Length  int
 	Cbuf    cbuf.ID
 	CbufOff int
+	// Sum is the FNV-1a checksum of the extent's bytes, captured at save
+	// time. The cbuf producer-retention discipline makes the saved region
+	// immutable, so a mismatch at read time means the redundant copy (or
+	// its metadata) was corrupted after the save — mechanism G1's
+	// end-to-end integrity check.
+	Sum uint32
+}
+
+// sum32 is FNV-1a over data: cheap, deterministic, and good enough to catch
+// the single-bit flips the corruption campaigns inject.
+func sum32(data []byte) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, b := range data {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	return h
 }
 
 // Store is the storage component's state. The zero value is not usable;
@@ -57,6 +79,8 @@ type Store struct {
 	creators map[key]CreatorRecord
 	remap    map[key]kernel.Word // pre-fault ID → current ID
 	slices   map[key][]Slice
+	// corruptions counts checksum mismatches ReadAll detected.
+	corruptions atomic.Uint64
 }
 
 type key struct {
@@ -66,6 +90,13 @@ type key struct {
 
 // ErrNotFound reports a lookup of an unrecorded descriptor or resource.
 var ErrNotFound = errors.New("storage: not found")
+
+// ErrCorrupted reports that a saved extent failed its checksum: the
+// redundant copy no longer matches what was saved, so it must not be used
+// to rebuild state. Readers are expected to fail stop on it (fault
+// themselves with a storage-corruption classification) rather than serve
+// silently wrong data.
+var ErrCorrupted = errors.New("storage: saved data corrupted (checksum mismatch)")
 
 // New constructs a Store that resolves data references through cm. The
 // component ID is used for cbuf read mappings and is assigned by Attach.
@@ -173,10 +204,18 @@ func (s *Store) SaveSlice(class Class, id kernel.Word, offset int, b cbuf.ID, cb
 	if err := s.cm.Map(b, self); err != nil {
 		return fmt.Errorf("storage: mapping cbuf %d: %w", b, err)
 	}
+	var sum uint32
+	if length > 0 {
+		data, err := s.cm.Read(b, self, cbufOff, length)
+		if err != nil {
+			return fmt.Errorf("storage: checksumming extent at %d: %w", offset, err)
+		}
+		sum = sum32(data)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	k := key{class, id}
-	s.slices[k] = append(s.slices[k], Slice{Offset: offset, Length: length, Cbuf: b, CbufOff: cbufOff})
+	s.slices[k] = append(s.slices[k], Slice{Offset: offset, Length: length, Cbuf: b, CbufOff: cbufOff, Sum: sum})
 	return nil
 }
 
@@ -193,6 +232,13 @@ func (s *Store) Truncate(class Class, id kernel.Word, size int) {
 		}
 		if sl.Offset+sl.Length > size {
 			sl.Length = size - sl.Offset
+			// The checksum covers the extent's bytes: re-capture it over
+			// the surviving prefix so the trim is not misread as
+			// corruption. The region is already mapped, so the read cannot
+			// fail for a well-formed slice.
+			if data, err := s.cm.Read(sl.Cbuf, s.self, sl.CbufOff, sl.Length); err == nil {
+				sl.Sum = sum32(data)
+			}
 		}
 		kept = append(kept, sl)
 	}
@@ -236,9 +282,56 @@ func (s *Store) ReadAll(class Class, id kernel.Word) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("storage: reading extent at %d: %w", e.Offset, err)
 		}
+		if e.Length > 0 && sum32(data) != e.Sum {
+			s.corruptions.Add(1)
+			return nil, fmt.Errorf("%w: class %d id %d extent at %d", ErrCorrupted, class, id, e.Offset)
+		}
 		copy(out[e.Offset:], data)
 	}
 	return out, nil
+}
+
+// CorruptionsDetected reports how many checksum mismatches ReadAll has
+// caught since construction — the campaign-level "detected vs injected"
+// accounting for storage-corruption faults.
+func (s *Store) CorruptionsDetected() uint64 { return s.corruptions.Load() }
+
+// CorruptOne flips a bit in the stored checksum of one saved extent of the
+// class, simulating silent corruption of the redundant copy: the data and
+// its integrity record no longer agree, so the next ReadAll of that
+// resource fails with ErrCorrupted. The victim is chosen deterministically
+// from pick: resources are visited in ascending ID order and pick indexes
+// (modulo the population) into their extents, newest first. It returns the
+// corrupted resource's ID, or false if the class has no saved data.
+func (s *Store) CorruptOne(class Class, pick int) (kernel.Word, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ids []kernel.Word
+	total := 0
+	for k, sl := range s.slices {
+		if k.class == class && len(sl) > 0 {
+			ids = append(ids, k.id)
+			total += len(sl)
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if pick < 0 {
+		pick = -pick
+	}
+	n := pick % total
+	for _, id := range ids {
+		sl := s.slices[key{class, id}]
+		if n >= len(sl) {
+			n -= len(sl)
+			continue
+		}
+		sl[len(sl)-1-n].Sum ^= 1
+		return id, true
+	}
+	return 0, false // unreachable
 }
 
 // Creators lists the IDs of all recorded global descriptors of a class, in

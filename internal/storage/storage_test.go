@@ -196,6 +196,78 @@ func TestCreatorsEnumeration(t *testing.T) {
 	}
 }
 
+// TestChecksumSurvivesTruncate checks that Truncate re-checksums the
+// trimmed extent: a shortened prefix must still read back clean.
+func TestChecksumSurvivesTruncate(t *testing.T) {
+	s, cm := newStore()
+	b := writeCbuf(t, cm, 9, []byte("abcdef"))
+	if err := s.SaveSlice(testClass, 1, 0, b, 0, 6); err != nil {
+		t.Fatalf("SaveSlice: %v", err)
+	}
+	s.Truncate(testClass, 1, 4)
+	got, err := s.ReadAll(testClass, 1)
+	if err != nil {
+		t.Fatalf("ReadAll after Truncate: %v", err)
+	}
+	if string(got) != "abcd" {
+		t.Fatalf("ReadAll = %q; want abcd", got)
+	}
+	if n := s.CorruptionsDetected(); n != 0 {
+		t.Fatalf("CorruptionsDetected = %d after honest truncate; want 0", n)
+	}
+}
+
+func TestCorruptOneDetectedByReadAll(t *testing.T) {
+	s, cm := newStore()
+	b1 := writeCbuf(t, cm, 9, []byte("first"))
+	b2 := writeCbuf(t, cm, 9, []byte("second"))
+	if err := s.SaveSlice(testClass, 1, 0, b1, 0, 5); err != nil {
+		t.Fatalf("SaveSlice: %v", err)
+	}
+	if err := s.SaveSlice(testClass, 2, 0, b2, 0, 6); err != nil {
+		t.Fatalf("SaveSlice: %v", err)
+	}
+
+	victim, ok := s.CorruptOne(testClass, 0)
+	if !ok {
+		t.Fatal("CorruptOne found no extents")
+	}
+	if victim != 1 {
+		t.Fatalf("CorruptOne victim = %d; want resource 1 (lowest ID, pick 0)", victim)
+	}
+	if _, err := s.ReadAll(testClass, victim); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("ReadAll(corrupted) err = %v; want ErrCorrupted", err)
+	}
+	if n := s.CorruptionsDetected(); n != 1 {
+		t.Fatalf("CorruptionsDetected = %d; want 1", n)
+	}
+	// The other resource is untouched.
+	if _, err := s.ReadAll(testClass, 2); err != nil {
+		t.Fatalf("ReadAll(clean sibling): %v", err)
+	}
+
+	// pick wraps modulo the extent population and negative picks take the
+	// absolute value, so any seed-derived integer is a valid selector.
+	if v2, ok := s.CorruptOne(testClass, 3); !ok || v2 != 2 {
+		t.Fatalf("CorruptOne(pick=3) = %d,%v; want resource 2 (wraps to second extent)", v2, ok)
+	}
+	if v3, ok := s.CorruptOne(testClass, -3); !ok || v3 != 2 {
+		t.Fatalf("CorruptOne(pick=-3) = %d,%v; want resource 2 (abs value)", v3, ok)
+	}
+}
+
+func TestCorruptOneEmptyClass(t *testing.T) {
+	s, _ := newStore()
+	if _, ok := s.CorruptOne(testClass, 0); ok {
+		t.Fatal("CorruptOne reported success on a class with no data")
+	}
+	// Creator records without saved slices are not corruptible either.
+	s.RecordCreator(testClass, 1, 2, nil)
+	if _, ok := s.CorruptOne(testClass, 5); ok {
+		t.Fatal("CorruptOne reported success with creators but no extents")
+	}
+}
+
 func TestInvalidSliceRejected(t *testing.T) {
 	s, cm := newStore()
 	b := writeCbuf(t, cm, 9, []byte("x"))

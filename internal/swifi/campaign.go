@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"superglue/internal/core"
+	"superglue/internal/fault"
 	"superglue/internal/kernel"
 	"superglue/internal/obs"
 	"superglue/internal/pool"
@@ -101,6 +102,22 @@ type Config struct {
 	// campaign output is byte-identical for any worker count. Zero or
 	// negative selects runtime.GOMAXPROCS(0).
 	Workers int
+	// Shape selects the campaign's injection pattern. The zero value
+	// (ShapeLegacy) is the paper's single-bit-flip campaign, untouched;
+	// the other shapes plan typed multi-fault trials and always run with
+	// the watchdog enabled.
+	Shape Shape
+	// Kinds is the fault-kind pool shaped trials draw from; empty takes
+	// DefaultKinds(). Ignored by ShapeLegacy.
+	Kinds []fault.Kind
+	// StormFaults is the per-trial burst size for ShapeStorm (zero takes
+	// DefaultStormFaults).
+	StormFaults int
+	// Policy names the supervision policy installed into every trial's
+	// system: "" or "legacy" keeps the flat escalation ladder;
+	// "one-for-one", "rest-for-one", and "all-for-one" build a root
+	// supervisor of that strategy over all registered servers.
+	Policy string
 }
 
 // Result aggregates one campaign, mirroring one row of Table II.
@@ -119,6 +136,21 @@ type Result struct {
 	// recovery-latency histograms, most recent events). Nil unless the
 	// campaign ran with Config.Trace.
 	Recovery *obs.Snapshot
+	// Kinds breaks the outcomes down by injected fault kind — the Table
+	// II fault-kind columns. Nil for legacy campaigns (whose single
+	// injected class is the register flip), populated for shaped ones; a
+	// trial with several fired kinds counts once under each.
+	Kinds map[string]*KindStats `json:",omitempty"`
+}
+
+// KindStats aggregates the outcomes of trials in which at least one
+// fault of the kind fired.
+type KindStats struct {
+	Injected     int
+	Recovered    int
+	Degraded     int
+	NotRecovered int
+	Undetected   int
 }
 
 // TrialResult records one injection and its classified outcome.
@@ -126,6 +158,9 @@ type TrialResult struct {
 	Injection Injection
 	Outcome   Outcome
 	Detail    string
+	// Planned is the shaped trial's full injection plan with per-entry
+	// fired markers; nil for legacy trials.
+	Planned []PlannedFault `json:",omitempty"`
 }
 
 // ActivationRatio is |F_a| / |F_a ∪ F_u|: the fraction of injected faults
@@ -211,7 +246,11 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.Trace {
 			rec = obs.NewRecorder(capacity)
 		}
-		tr, err := runTrial(cfg, opportunities, rng, rec)
+		run := runTrial
+		if cfg.Shape != ShapeLegacy {
+			run = runShapedTrial
+		}
+		tr, err := run(cfg, opportunities, rng, rec)
 		if err != nil {
 			return fmt.Errorf("swifi: trial %d: %w", trial, err)
 		}
@@ -225,11 +264,15 @@ func Run(cfg Config) (*Result, error) {
 	// Commit in trial-index order: the aggregate counters, the Trials
 	// slice, and the merged trace snapshot are independent of scheduling.
 	res := &Result{Service: cfg.Service}
+	if cfg.Shape != ShapeLegacy {
+		res.Kinds = make(map[string]*KindStats)
+	}
 	var merged obs.Snapshot
 	for trial := range outs {
 		tr := outs[trial].tr
 		res.Injected++
 		res.Trials = append(res.Trials, tr)
+		res.countKinds(tr)
 		switch tr.Outcome {
 		case OutcomeUndetected:
 			res.Undetected++
@@ -253,6 +296,37 @@ func Run(cfg Config) (*Result, error) {
 		res.Recovery = &merged
 	}
 	return res, nil
+}
+
+// countKinds folds one shaped trial into the per-kind outcome columns:
+// each kind that fired at least once in the trial takes one count.
+func (r *Result) countKinds(tr TrialResult) {
+	if r.Kinds == nil || len(tr.Planned) == 0 {
+		return
+	}
+	counted := make(map[string]bool)
+	for _, p := range tr.Planned {
+		if !p.Fired || counted[p.Kind.String()] {
+			continue
+		}
+		counted[p.Kind.String()] = true
+		ks := r.Kinds[p.Kind.String()]
+		if ks == nil {
+			ks = &KindStats{}
+			r.Kinds[p.Kind.String()] = ks
+		}
+		ks.Injected++
+		switch tr.Outcome {
+		case OutcomeRecovered:
+			ks.Recovered++
+		case OutcomeDegraded:
+			ks.Degraded++
+		case OutcomeUndetected:
+			ks.Undetected++
+		default:
+			ks.NotRecovered++
+		}
+	}
 }
 
 // dryRun executes the workload fault-free and counts invocation entries
@@ -304,6 +378,9 @@ func runTrial(cfg Config, opportunities uint64, rng *rand.Rand, rec *obs.Recorde
 	}
 	if cfg.Watchdog {
 		sys.Kernel().EnableWatchdog(kernel.WatchdogConfig{Budget: cfg.WatchdogBudget})
+	}
+	if err := ApplyPolicy(sys, cfg.Policy); err != nil {
+		return TrialResult{}, err
 	}
 	inj := NewInjector(sys.Kernel(), target, opportunities, rng)
 	sys.Kernel().SetInvokeHook(inj.Hook)

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"superglue/internal/fault"
 	"superglue/internal/kernel"
 )
 
@@ -146,14 +147,7 @@ func (inj *Injector) Hook(t *kernel.Thread, comp kernel.ComponentID, fn string, 
 // uniformly random bit of one uniformly random register, and applies the
 // mechanistically derived effect.
 func (inj *Injector) fire(t *kernel.Thread, fn string, phase kernel.InvokePhase) {
-	regs := t.Regs()
-	regs.Materialize(inj.profile, phase, inj.rng)
-	reg := kernel.Reg(inj.rng.Intn(int(kernel.NumRegs)))
-	bit := inj.rng.Intn(32)
-	regs.Val[reg] ^= 1 << bit
-
-	rec := Injection{Reg: reg, Bit: bit, Class: regs.Class[reg], Fn: fn, Phase: phase}
-	rec.Effect = inj.classify(regs.Class[reg], bit)
+	rec := flipRegister(t, inj.profile, inj.rng, fn, phase)
 	inj.record = rec
 
 	switch rec.Effect {
@@ -161,19 +155,41 @@ func (inj *Injector) fire(t *kernel.Thread, fn string, phase kernel.InvokePhase)
 		// Nothing to do: either unobserved, or the corrupted value flows
 		// back to the client through the (kernel-staged) EAX register.
 	case EffectCrash:
-		// Fail-stop: detected immediately after corrupting state.
-		_ = inj.k.FailComponent(inj.target)
+		// Fail-stop: detected immediately after corrupting state,
+		// attributed as a typed register-flip fault.
+		_ = inj.k.FailComponentAs(inj.target, fault.KindRegisterFlip, fault.SevError)
 	case EffectSegfault:
 		inj.k.CrashSystem(t, inj.target,
-			fmt.Sprintf("wild %v dereference after bit %d flip", reg, bit))
+			fmt.Sprintf("wild %v dereference after bit %d flip", rec.Reg, rec.Bit))
 	case EffectHang:
 		inj.k.HangCurrent(t)
 	}
 }
 
+// flipRegister materializes the register file for an execution moment,
+// flips one uniformly random bit of one uniformly random register, and
+// returns the injection record with its mechanistically derived effect.
+// Both the legacy injector and the shaped planner draw through here, in
+// the same order, so the flip model is identical across campaign shapes.
+func flipRegister(t *kernel.Thread, profile kernel.RegProfile, rng *rand.Rand, fn string, phase kernel.InvokePhase) Injection {
+	regs := t.Regs()
+	regs.Materialize(profile, phase, rng)
+	reg := kernel.Reg(rng.Intn(int(kernel.NumRegs)))
+	bit := rng.Intn(32)
+	regs.Val[reg] ^= 1 << bit
+
+	rec := Injection{Reg: reg, Bit: bit, Class: regs.Class[reg], Fn: fn, Phase: phase}
+	rec.Effect = classifyFlip(rng, profile, regs.Class[reg], bit)
+	return rec
+}
+
 // classify derives the manifestation of a flip from the register's content
 // class, the flipped bit's position, and the component's profile.
 func (inj *Injector) classify(class kernel.RegClass, bit int) Effect {
+	return classifyFlip(inj.rng, inj.profile, class, bit)
+}
+
+func classifyFlip(rng *rand.Rand, profile kernel.RegProfile, class kernel.RegClass, bit int) Effect {
 	switch class {
 	case kernel.ClassDead:
 		return EffectNone
@@ -189,18 +205,18 @@ func (inj *Injector) classify(class kernel.RegClass, bit int) Effect {
 		}
 		return EffectCrash
 	case kernel.ClassStackPtr, kernel.ClassFramePtr:
-		if inj.rng.Float64() >= inj.profile.StackUseFrac {
+		if rng.Float64() >= profile.StackUseFrac {
 			// Reloaded before use: the corruption is never consumed.
 			return EffectNone
 		}
-		if bit >= inj.profile.MappedBits {
+		if bit >= profile.MappedBits {
 			// The wild pointer leaves the component's mapped footprint:
 			// the machine, not just the component, goes down.
 			return EffectSegfault
 		}
 		return EffectCrash
 	case kernel.ClassRetVal:
-		if inj.rng.Float64() < inj.profile.RetValFrac {
+		if rng.Float64() < profile.RetValFrac {
 			// Plausible value: escapes the stub's validation and
 			// propagates into the client.
 			return EffectRetvalSilent

@@ -26,6 +26,12 @@ type Config struct {
 	// "crash injected every 10 seconds" variant. Requires a recovery
 	// variant (C3 or SuperGlue).
 	FaultEvery int
+	// CorrelatedEvery, when positive, injects a correlated burst every
+	// CorrelatedEvery completed requests: a rotating backing service and
+	// the storage component fail together, so recovery of the service
+	// runs against a freshly crashed dependency (the common-cause case
+	// shaped SWIFI campaigns stress). Requires the SuperGlue variant.
+	CorrelatedEvery int
 	// HangEvery, when positive, hangs a thread inside one backing service
 	// (rotating over lock, event, fs, timer) every HangEvery completed
 	// requests: the latent-fault variant of the crasher. Requires Watchdog
@@ -47,13 +53,16 @@ type Stats struct {
 	Completed int
 	Errors    int
 	Faults    int
+	// CorrelatedBursts counts injected service+storage double faults
+	// (CorrelatedEvery).
+	CorrelatedBursts int
 	// Hangs counts injected latent faults (HangEvery).
 	Hangs int
 	// Degraded counts requests answered 503-style because a backing
 	// service exhausted its recovery budget (core.ErrDegraded); every
 	// degraded request is also counted in Errors.
-	Degraded int
-	Elapsed  time.Duration
+	Degraded   int
+	Elapsed    time.Duration
 	Throughput float64 // requests per wall-clock second
 	// Timeline records the elapsed wall time at each completion bucket,
 	// showing recovery dips.
@@ -103,6 +112,9 @@ func Run(cfg Config) (*Stats, error) {
 	}
 	if cfg.HangEvery > 0 && (!cfg.Watchdog || cfg.Variant != VariantSuperGlue) {
 		return nil, errors.New("webserver: hang injection requires the watchdog and the SuperGlue variant")
+	}
+	if cfg.CorrelatedEvery > 0 && cfg.Variant != VariantSuperGlue {
+		return nil, errors.New("webserver: correlated bursts require the SuperGlue variant")
 	}
 	if cfg.Variant == VariantBaseline {
 		return runBaseline(cfg)
@@ -316,7 +328,10 @@ func runComponentized(cfg Config) (*Stats, error) {
 		if _, err := k.CreateThread(nil, "crasher", 11, func(t *kernel.Thread) {
 			targets := []kernel.ComponentID{ids.lock, ids.evt, ids.fs, ids.timer, ids.sched}
 			nextFault := cfg.FaultEvery
-			for i := 0; !done; i++ {
+			// The spin also stops on a run error: with the serving threads
+			// dead, a yield loop would otherwise keep the machine runnable
+			// forever and turn the failure into a livelock.
+			for i := 0; !done && len(runErrs) == 0; i++ {
 				if stats.Completed >= nextFault {
 					target := targets[stats.Faults%len(targets)]
 					if err := k.FailComponent(target); err != nil {
@@ -325,6 +340,37 @@ func runComponentized(cfg Config) (*Stats, error) {
 					}
 					stats.Faults++
 					nextFault += cfg.FaultEvery
+				}
+				if err := k.Yield(t); err != nil {
+					return
+				}
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Burster: periodically fail a rotating backing service together with
+	// the storage component — a correlated double fault, so the service's
+	// recovery (which leans on storage for G0/G1 restores) immediately
+	// trips over its crashed dependency and must reboot it first.
+	if cfg.CorrelatedEvery > 0 {
+		if _, err := k.CreateThread(nil, "burster", 11, func(t *kernel.Thread) {
+			targets := []kernel.ComponentID{ids.lock, ids.evt, ids.fs, ids.timer}
+			nextBurst := cfg.CorrelatedEvery
+			for !done && len(runErrs) == 0 {
+				if stats.Completed >= nextBurst {
+					target := targets[stats.CorrelatedBursts%len(targets)]
+					if err := k.FailComponent(target); err != nil {
+						fail(fmt.Errorf("burster: %w", err))
+						return
+					}
+					if err := k.FailComponent(sys.StorageComp()); err != nil {
+						fail(fmt.Errorf("burster storage: %w", err))
+						return
+					}
+					stats.CorrelatedBursts++
+					nextBurst += cfg.CorrelatedEvery
 				}
 				if err := k.Yield(t); err != nil {
 					return
@@ -355,7 +401,7 @@ func runComponentized(cfg Config) (*Stats, error) {
 		})
 		if _, err := k.CreateThread(nil, "hangler", 11, func(t *kernel.Thread) {
 			nextHang := cfg.HangEvery
-			for !done {
+			for !done && len(runErrs) == 0 {
 				if hangAt == 0 && stats.Completed >= nextHang {
 					hangAt = hangTargets[stats.Hangs%len(hangTargets)]
 					nextHang += cfg.HangEvery

@@ -122,6 +122,33 @@ func TestSuperGlueServesAcrossInjectedFaults(t *testing.T) {
 	}
 }
 
+func TestCorrelatedBurstsRequireSuperGlue(t *testing.T) {
+	for _, v := range []Variant{VariantBaseline, VariantComposite, VariantC3} {
+		if _, err := Run(Config{Variant: v, Requests: 10, CorrelatedEvery: 5}); err == nil {
+			t.Errorf("%v: correlated bursts accepted without SuperGlue stubs", v)
+		}
+	}
+}
+
+// TestSuperGlueServesAcrossCorrelatedBursts: a backing service and the
+// storage component crash together, and the server still answers the full
+// request stream — the recovery ladder reboots the dependency first.
+func TestSuperGlueServesAcrossCorrelatedBursts(t *testing.T) {
+	st, err := Run(Config{Variant: VariantSuperGlue, Requests: 600, Workers: 2, CorrelatedEvery: 150})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.CorrelatedBursts < 3 {
+		t.Fatalf("bursts = %d; want ≥ 3 (one per 150 completions)", st.CorrelatedBursts)
+	}
+	if got := st.Completed + st.Errors; got != 600 {
+		t.Fatalf("completed %d + errors %d; want all 600 accounted for", st.Completed, st.Errors)
+	}
+	if st.Completed < 540 {
+		t.Fatalf("completed = %d; want ≥ 90%% of 600 despite correlated bursts", st.Completed)
+	}
+}
+
 func TestHangInjectionRequiresWatchdogAndSuperGlue(t *testing.T) {
 	if _, err := Run(Config{Variant: VariantSuperGlue, Requests: 10, HangEvery: 5}); err == nil {
 		t.Error("hang injection accepted without the watchdog")
