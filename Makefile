@@ -28,6 +28,7 @@ race:
 race-smoke:
 	$(GO) run -race ./cmd/swifi -trials 20 -seed 2026 -workers 4 -trace
 	$(GO) run -race ./cmd/swifi -trials 20 -seed 2026 -workers 4 -shape storm -policy one-for-one
+	$(GO) run -race ./cmd/swifi -trials 20 -seed 2026 -workers 4 -shape storm -cores 4
 
 # benchstat-friendly output: benchmarks only (no tests), repeatable count.
 bench:

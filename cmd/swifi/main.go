@@ -58,6 +58,8 @@ func main() {
 	kinds := flag.String("kinds", "", "comma-separated fault-kind pool for shaped campaigns (default: all kinds)")
 	stormFaults := flag.Int("storm-faults", 0, "faults per storm trial (0 = default burst size)")
 	policy := flag.String("policy", "", "supervision policy per trial: legacy, one-for-one, rest-for-one, or all-for-one")
+	cores := flag.Int("cores", 1, "simulated cores per trial machine (>1 places the target on core 1: cross-core invocations)")
+	multicoreKinds := flag.Bool("multicore-kinds", false, "add the migration and cross-core-invocation kinds to shaped campaigns' pool")
 	verbose := flag.Bool("v", false, "print each non-recovered trial")
 	flag.Parse()
 
@@ -70,7 +72,8 @@ func main() {
 			service: *service, mode: *mode, watchdog: *watchdog,
 			trace: *trace || *traceOut != "", traceOut: *traceOut,
 			shape: *shape, kinds: *kinds, stormFaults: *stormFaults,
-			policy: *policy, verbose: *verbose,
+			policy: *policy, cores: *cores, multicoreKinds: *multicoreKinds,
+			verbose: *verbose,
 		})
 	}
 	if err != nil {
@@ -80,19 +83,21 @@ func main() {
 }
 
 type runConfig struct {
-	trials      int
-	seed        int64
-	workers     int
-	service     string
-	mode        string
-	watchdog    bool
-	trace       bool
-	traceOut    string
-	shape       string
-	kinds       string
-	stormFaults int
-	policy      string
-	verbose     bool
+	trials         int
+	seed           int64
+	workers        int
+	service        string
+	mode           string
+	watchdog       bool
+	trace          bool
+	traceOut       string
+	shape          string
+	kinds          string
+	stormFaults    int
+	policy         string
+	cores          int
+	multicoreKinds bool
+	verbose        bool
 }
 
 // parseKinds resolves a comma-separated kind list ("" means the default
@@ -133,6 +138,9 @@ func run(rc runConfig) error {
 	if err != nil {
 		return err
 	}
+	if rc.multicoreKinds && kinds == nil {
+		kinds = swifi.MulticoreKinds()
+	}
 	targets := swifi.Targets()
 	if rc.service != "" {
 		if _, ok := swifi.Workloads()[rc.service]; !ok {
@@ -160,6 +168,7 @@ func run(rc runConfig) error {
 			Kinds:       kinds,
 			StormFaults: rc.stormFaults,
 			Policy:      rc.policy,
+			Cores:       rc.cores,
 		})
 		if err != nil {
 			return err

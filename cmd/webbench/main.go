@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	webbench [-requests 50000] [-repeats 5] [-workers 2] [-parallel 1] [-fault-every 5000]
+//	webbench [-requests 50000] [-repeats 5] [-workers 2] [-cores 2] [-parallel 1] [-fault-every 5000]
 //	webbench -listen 127.0.0.1:8080 [-fault-every 2000]   # live HTTP server
 //
 // -parallel runs each variant's repeats concurrently on the shared pool
@@ -33,6 +33,7 @@ func main() {
 	requests := flag.Int("requests", 50000, "requests per run (ab sends 50000)")
 	repeats := flag.Int("repeats", 5, "runs per variant (mean ± stdev reported)")
 	workers := flag.Int("workers", 2, "server worker threads")
+	cores := flag.Int("cores", 1, "simulated cores (servers spread over cores 1..N-1; execution stays serialized)")
 	parallel := flag.Int("parallel", 1, "concurrent repeats per variant (smoke runs only; contends with the measurement)")
 	faultEvery := flag.Int("fault-every", 0, "inject one component crash per N completions (default requests/10; 0 disables in -listen mode)")
 	timeline := flag.Bool("timeline", true, "print the with-faults completion timeline")
@@ -53,6 +54,7 @@ func main() {
 		if err := webserver.Serve(ln, webserver.Config{
 			Variant:    webserver.VariantSuperGlue,
 			Workers:    *workers,
+			Cores:      *cores,
 			FaultEvery: *faultEvery,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "webbench:", err)
@@ -65,6 +67,7 @@ func main() {
 		Requests:   *requests,
 		Repeats:    *repeats,
 		Workers:    *workers,
+		Cores:      *cores,
 		FaultEvery: *faultEvery,
 		Parallel:   *parallel,
 	})

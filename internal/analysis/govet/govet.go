@@ -1,7 +1,7 @@
 // Package govet is a small, dependency-free static-analysis framework for
 // the SuperGlue tree, modeled on golang.org/x/tools/go/analysis but built
 // entirely on the standard library (go/parser + go/types with the source
-// importer). It hosts five analyzers that enforce contracts the compiler
+// importer). It hosts six analyzers that enforce contracts the compiler
 // cannot express:
 //
 //   - determinism: internal/kernel, internal/core, internal/swifi and
@@ -26,6 +26,11 @@
 //     (`cap := …`, a parameter named len). Shadowing silently disables
 //     the builtin for the rest of the scope; the SWIFI campaign engine
 //     shipped exactly this bug.
+//
+//   - coreaffinity: core placement happens only through the sanctioned
+//     control-plane calls (core.System.PlaceServer, CreateThreadOn), never
+//     via raw SetComponentCore outside the kernel/core packages and never
+//     from stub (data-plane) files.
 //
 //   - missingdoc: every exported identifier (and the package itself) must
 //     carry a doc comment, so the runtime/kernel/observability API stays
@@ -58,7 +63,7 @@ type Analyzer struct {
 
 // All returns every registered analyzer in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, AtomicState, StubDiscipline, ShadowBuiltin, MissingDoc}
+	return []*Analyzer{Determinism, AtomicState, StubDiscipline, ShadowBuiltin, MissingDoc, CoreAffinity}
 }
 
 // ByName resolves a comma-separated analyzer list; an empty spec means all.

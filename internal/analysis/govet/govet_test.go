@@ -110,6 +110,10 @@ func TestAtomicStateFixture(t *testing.T) {
 	checkFixture(t, "atomicstate", AtomicState)
 }
 
+func TestCoreAffinityFixture(t *testing.T) {
+	checkFixture(t, "coreaffinity", CoreAffinity)
+}
+
 func TestStubDisciplineFixture(t *testing.T) {
 	checkFixture(t, "stubdiscipline", StubDiscipline)
 }
@@ -174,7 +178,7 @@ func TestShadowBuiltinFixture(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
+	if err != nil || len(all) != 6 {
 		t.Fatalf("ByName(\"\") = %v, %v", all, err)
 	}
 	one, err := ByName("determinism")

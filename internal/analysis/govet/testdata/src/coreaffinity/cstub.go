@@ -1,0 +1,9 @@
+package fixture
+
+// replayPath is data-plane stub code: no placement calls at all.
+func replayPath(k *Kernel, s *System) {
+	k.Invoke("lock_take")            // ok: invocation is what stubs do
+	_ = k.SetComponentCore(2, 1)     // want "stub code must not change core placement"
+	_ = s.PlaceServer(2, 1)          // want "stub code must not change core placement"
+	_ = k.CreateThreadOn("aux", 1)   // want "stub code must not change core placement"
+}

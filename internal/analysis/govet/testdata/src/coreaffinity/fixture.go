@@ -1,0 +1,21 @@
+package fixture
+
+// Kernel mimics the kernel's placement surface.
+type Kernel struct{}
+
+func (k *Kernel) SetComponentCore(id, core int) error        { return nil }
+func (k *Kernel) CreateThreadOn(name string, core int) error { return nil }
+func (k *Kernel) Invoke(fn string)                           {}
+
+// System mimics core.System's sanctioned wrapper.
+type System struct{ k *Kernel }
+
+func (s *System) PlaceServer(id, core int) error { return nil }
+
+// setup is control-plane code: the wrapper and thread placement are fine,
+// raw component placement is not.
+func setup(k *Kernel, s *System) {
+	_ = s.PlaceServer(1, 1)          // ok: the sanctioned wrapper
+	_ = k.CreateThreadOn("w", 0)     // ok: thread placement is control-plane API
+	_ = k.SetComponentCore(1, 1)     // want "SetComponentCore called outside the kernel/core packages"
+}

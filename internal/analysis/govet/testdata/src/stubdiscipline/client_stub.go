@@ -2,7 +2,7 @@ package fixture
 
 // fastPath is what stubs do: invoke without the kernel mutex.
 func fastPath(k *Kernel) {
-	k.Invoke("f") // ok: data-plane invocation
+	k.Invoke("f")     // ok: data-plane invocation
 	k.WatchdogStats() // ok: read-only, not a mutator
 }
 

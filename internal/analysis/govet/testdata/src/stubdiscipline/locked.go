@@ -7,11 +7,11 @@ import "sync"
 
 type Kernel struct{ mu sync.Mutex }
 
-func (k *Kernel) Invoke(fn string)  {}
-func (k *Kernel) Upcall(fn string)  {}
-func (k *Kernel) Register()         {}
-func (k *Kernel) CreateThread()     {}
-func (k *Kernel) WatchdogStats()    {}
+func (k *Kernel) Invoke(fn string) {}
+func (k *Kernel) Upcall(fn string) {}
+func (k *Kernel) Register()        {}
+func (k *Kernel) CreateThread()    {}
+func (k *Kernel) WatchdogStats()   {}
 
 func (k *Kernel) dispatchLocked() {
 	k.Invoke("f") // want "Invoke called while the kernel mutex is held"

@@ -76,9 +76,15 @@ type ClientStub struct {
 	pol       RecoveryPolicy
 	polGen    uint64
 	polBudget int
-	// sargs is the reusable translated-argument buffer; valid because the
-	// simulator is single-core and stubs never retain it across calls.
+	// sargs is the reusable translated-argument buffer; valid on a
+	// single-core machine because the dispatcher never switches threads
+	// between the argument copy and the server's dispatch.
 	sargs []kernel.Word
+	// xcAlloc is set on multi-core machines: a cross-core invocation parks
+	// the caller mid-Invoke (after the argument copy, before the dispatch),
+	// so another thread sharing this stub could overwrite sargs while the
+	// caller's call is in flight. Multi-core calls pay a per-call buffer.
+	xcAlloc bool
 }
 
 // Server returns the server component this stub fronts.
@@ -255,10 +261,15 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 		}
 	}
 
-	if cap(s.sargs) < len(args) {
-		s.sargs = make([]kernel.Word, len(args))
+	var sargs []kernel.Word
+	if s.xcAlloc {
+		sargs = make([]kernel.Word, len(args))
+	} else {
+		if cap(s.sargs) < len(args) {
+			s.sargs = make([]kernel.Word, len(args))
+		}
+		sargs = s.sargs[:len(args)]
 	}
-	sargs := s.sargs[:len(args)]
 
 	pol := s.policy()
 	for attempt := 0; ; attempt++ {
@@ -322,7 +333,17 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 		}
 
 		s.metrics.invocations.Add(1)
-		ret, err := s.sys.kern.Invoke(t, s.server, fn, sargs...)
+		// Descriptor tracking runs as the invocation's post hook: on the
+		// server's core, before the return migration, so a completed
+		// operation is never parked untracked where a concurrent recovery
+		// replay would miss it (see kernel.InvokePost).
+		var tret kernel.Word
+		var terr error
+		tracked := false
+		ret, err := s.sys.kern.InvokePost(t, s.server, fn, func(r kernel.Word) {
+			tret, terr = s.track(t, info, d, parent, args, r)
+			tracked = true
+		}, sargs...)
 		if err != nil {
 			flt, isFault := kernel.AsFault(err)
 			if !isFault {
@@ -395,7 +416,11 @@ func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (ker
 			s.metrics.redos.Add(1)
 			continue
 		}
-		return s.track(t, info, d, parent, args, ret)
+		if !tracked {
+			// Defensive: a nil-error return always runs the post hook.
+			return s.track(t, info, d, parent, args, ret)
+		}
+		return tret, terr
 	}
 }
 
@@ -446,7 +471,9 @@ func (s *ClientStub) track(t *kernel.Thread, info *fnInfo, d *Descriptor, parent
 		return ret, nil // untracked global pass-through
 	}
 
-	d.recordArgs(fn, args)
+	if info.needsArgs {
+		d.recordArgs(fn, args)
+	}
 	for _, i := range info.dataIdxs {
 		d.Data[info.f.Params[i].Name] = args[i]
 	}

@@ -79,6 +79,31 @@ func (s *ClientStub) recoverDescTimed(t *kernel.Thread, d *Descriptor, trigger o
 	spec := s.entry.spec
 	s.metrics.recoveries.Add(1)
 
+	// One walker per descriptor: the walk can still park even inside the
+	// non-preemptible section below (at a µ-reboot boot gate, or blocking
+	// inside a hold replay), and a thread that passed the epoch check
+	// before such a park would replay the walk a second time when it
+	// resumes, clobbering the server identity the first walker published
+	// — the client would then wait on a descriptor nobody ever triggers.
+	// Later arrivals park until the walker finishes and re-check; wakeups
+	// here can be spurious (a divert aimed at the parked thread), so the
+	// loop re-examines both conditions rather than trusting the wake.
+	for d.recovering {
+		d.recoverWaiters = append(d.recoverWaiters, t.ID())
+		_ = s.sys.kern.Block(t)
+		if d.Epoch == s.epoch() {
+			return nil
+		}
+	}
+	d.recovering = true
+	defer func() {
+		d.recovering = false
+		for _, w := range d.recoverWaiters {
+			_ = s.sys.kern.Wakeup(t, w)
+		}
+		d.recoverWaiters = nil
+	}()
+
 	// The walk is a non-preemptible critical section: another thread must
 	// never observe (and re-recover) a half-recovered descriptor.
 	s.sys.kern.PushNoPreempt(t)

@@ -47,12 +47,12 @@ func (s *serverStub) Inner() kernel.Service { return s.inner }
 // Dispatch implements kernel.Service.
 func (s *serverStub) Dispatch(t *kernel.Thread, fn string, args []kernel.Word) (kernel.Word, error) {
 	spec := s.entry.spec
-	f := spec.Func(fn)
-	if f == nil {
+	info := s.entry.fns[fn]
+	if info == nil {
 		// Internal / non-IDL function: pass through untouched.
 		return s.inner.Dispatch(t, fn, args)
 	}
-	di := f.DescIdx()
+	di := info.descIdx
 	if spec.DescIsGlobal && di >= 0 && di < len(args) {
 		// Incoming IDs may predate a µ-reboot; resolve them first.
 		args[di] = s.sys.store.Resolve(s.entry.class, args[di])

@@ -92,7 +92,15 @@ type fnInfo struct {
 	isPure      bool
 	isHold      bool
 	isRelease   bool
-	retAccum    string
+	// needsArgs marks functions whose latest argument list must be
+	// retained for recovery: only creation, pure-transition, and
+	// sm_restore functions can appear in a recovery walk (see
+	// NewStateMachine's BFS and RecoveryWalk), and buildWalkArgs is the
+	// sole consumer of Descriptor.LastArgs — per-thread hold replay uses
+	// its own tt.Args. Skipping the copy for everything else keeps the
+	// steady-state wakeup/block path allocation- and map-write-free.
+	needsArgs bool
+	retAccum  string
 }
 
 // serverEntry is the per-server bookkeeping the runtime keeps.
@@ -131,6 +139,7 @@ func compileFns(spec *Spec) map[string]*fnInfo {
 		}
 		_, info.isHold = spec.HoldFn(f.Name)
 		_, info.isRelease = spec.ReleaseFn(f.Name)
+		info.needsArgs = info.isCreate || info.isPure || spec.IsRestore(f.Name)
 		for i, p := range f.Params {
 			if p.Role == RoleDescData {
 				info.dataIdxs = append(info.dataIdxs, i)
@@ -174,12 +183,22 @@ type System struct {
 
 // NewSystem constructs a machine with the trusted substrate (kernel, cbuf
 // manager, storage component) booted and the recovery runtime in the given
-// mode.
+// mode. The machine has one simulated core; NewSystemWithCores boots a
+// multi-core machine.
 func NewSystem(mode RecoveryMode) (*System, error) {
+	return NewSystemWithCores(mode, 1)
+}
+
+// NewSystemWithCores constructs a machine with cores simulated cores (see
+// DESIGN.md §11): per-core run queues and virtual clocks with a
+// deterministic merge, so a fixed seed yields the same schedule for any
+// real GOMAXPROCS. Components execute on their caller's core until placed
+// on a home core with PlaceServer.
+func NewSystemWithCores(mode RecoveryMode, cores int) (*System, error) {
 	if mode != OnDemand && mode != Eager {
 		return nil, fmt.Errorf("core: unknown recovery mode %d", int(mode))
 	}
-	k := kernel.New()
+	k := kernel.NewWithCores(cores)
 	cm := cbuf.NewManager(0)
 	st := storage.New(cm)
 	storeComp, err := k.Register(func() kernel.Service { return storage.NewComponent(st) })
@@ -205,6 +224,28 @@ func NewSystem(mode RecoveryMode) (*System, error) {
 
 // Kernel returns the simulated machine.
 func (s *System) Kernel() *kernel.Kernel { return s.kern }
+
+// Cores returns the number of simulated cores.
+func (s *System) Cores() int { return s.kern.NumCores() }
+
+// PlaceServer pins a registered server component (or the storage
+// component) to a home core: every invocation from a thread on another
+// core becomes a cross-core synchronous invocation (the caller migrates
+// over and back), and µ-reboots re-initialize the component on its home
+// core. A negative core clears the placement, restoring execute-on-
+// caller's-core behavior.
+func (s *System) PlaceServer(comp kernel.ComponentID, core int) error {
+	if _, ok := s.servers[comp]; !ok && comp != s.storeComp {
+		return fmt.Errorf("core: PlaceServer: %d is not a registered server", comp)
+	}
+	return s.kern.SetComponentCore(comp, core)
+}
+
+// ServerCore returns a server component's home core (kernel.NoAffinity,
+// -1, when the component executes on its caller's core).
+func (s *System) ServerCore(comp kernel.ComponentID) (int, error) {
+	return s.kern.ComponentCore(comp)
+}
 
 // Cbufs returns the zero-copy buffer manager.
 func (s *System) Cbufs() *cbuf.Manager { return s.cm }
@@ -491,6 +532,7 @@ func (c *Client) Stub(server kernel.ComponentID) (*ClientStub, error) {
 		entry:   entry,
 		tracker: newTracker(entry.spec),
 		ref:     ref,
+		xcAlloc: c.sys.kern.NumCores() > 1,
 	}
 	st.rebuildPolicy()
 	c.stubs[server] = st

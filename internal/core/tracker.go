@@ -72,6 +72,16 @@ type Descriptor struct {
 	// Closed marks descriptors whose terminal function ran but whose
 	// tracking data is retained for their children (¬Y_dr ∧ ¬C_dr).
 	Closed bool
+
+	// recovering marks a recovery walk in progress. On a multi-core
+	// machine the walking thread can park mid-walk (at a µ-reboot boot
+	// gate, or blocking inside a hold replay), so without an owner flag a
+	// second thread could pass the epoch check, replay the walk again,
+	// and clobber the recovered server identity the first walker already
+	// published. Later arrivals park on recoverWaiters until the walker
+	// finishes, then re-check the epoch.
+	recovering     bool
+	recoverWaiters []kernel.ThreadID
 }
 
 // newDescriptor builds a fresh tracking structure. dataHint and fnHint
@@ -119,6 +129,13 @@ func (d *Descriptor) removeChild(c *Descriptor) {
 type Tracker struct {
 	spec  *Spec
 	descs map[DescKey]*Descriptor
+	// One-entry lookup cache: stub calls overwhelmingly target the
+	// descriptor they targeted last (the steady-state wakeup/block pair
+	// hits one descriptor repeatedly), and DescKey's 16-byte map hash is
+	// measurable on that path. last is non-nil only while it aliases the
+	// live table entry for lastKey; Insert and Remove keep it coherent.
+	lastKey DescKey
+	last    *Descriptor
 }
 
 // newTracker builds an empty tracker for an interface.
@@ -128,7 +145,13 @@ func newTracker(spec *Spec) *Tracker {
 
 // Lookup finds a descriptor by key.
 func (t *Tracker) Lookup(key DescKey) (*Descriptor, bool) {
+	if t.last != nil && t.lastKey == key {
+		return t.last, true
+	}
 	d, ok := t.descs[key]
+	if ok {
+		t.lastKey, t.last = key, d
+	}
 	return d, ok
 }
 
@@ -162,11 +185,15 @@ func (t *Tracker) Insert(d *Descriptor) error {
 		return fmt.Errorf("core: descriptor %v already tracked", d.Key)
 	}
 	t.descs[d.Key] = d
+	t.lastKey, t.last = d.Key, d
 	return nil
 }
 
 // Remove deletes a descriptor's tracking data.
 func (t *Tracker) Remove(key DescKey) {
+	if t.last != nil && t.lastKey == key {
+		t.last = nil
+	}
 	delete(t.descs, key)
 }
 

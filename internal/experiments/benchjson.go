@@ -93,6 +93,51 @@ func KernelInvokeBench(n int, start func()) error {
 	return runErr
 }
 
+// KernelInvokeCrossCoreBench is KernelInvokeBench on a two-core machine
+// with the event component homed on core 1 while the benchmark thread
+// lives on core 0: every invocation round-trips through the cross-core
+// migration path (park, dispatch on the server's core, park, dispatch
+// back), so the measurement is the full synchronous cross-core invocation
+// cost rather than the same-core fast path.
+func KernelInvokeCrossCoreBench(n int, start func()) error {
+	sys, err := core.NewSystemWithCores(core.OnDemand, 2)
+	if err != nil {
+		return err
+	}
+	comp, err := event.Register(sys)
+	if err != nil {
+		return err
+	}
+	if err := sys.PlaceServer(comp, 1); err != nil {
+		return err
+	}
+	k := sys.Kernel()
+	var runErr error
+	if _, err := k.CreateThread(nil, "bench", 10, func(t *kernel.Thread) {
+		id, err := k.Invoke(t, comp, event.FnSplit, 1, 0, 0)
+		if err != nil {
+			runErr = err
+			return
+		}
+		args := []kernel.Word{1, id}
+		if start != nil {
+			start()
+		}
+		for i := 0; i < n; i++ {
+			if _, err := k.Invoke(t, comp, event.FnTrigger, args...); err != nil {
+				runErr = err
+				return
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	if err := k.Run(); err != nil {
+		return err
+	}
+	return runErr
+}
+
 // trackingServices are the six Fig. 6(a) services, with the display names
 // the testing benchmarks use (BenchmarkTracking<Display>).
 var trackingServices = []struct {
@@ -157,6 +202,13 @@ func RunBenchJSON(short bool, workers int) (*BenchReport, error) {
 		}
 	})
 
+	bench("KernelInvokeCrossCore", func(b *testing.B) {
+		if err := KernelInvokeCrossCoreBench(b.N, b.ResetTimer); err != nil {
+			failed = fmt.Errorf("KernelInvokeCrossCore: %w", err)
+			b.SkipNow()
+		}
+	})
+
 	kinds := []struct {
 		name string
 		kind StubKind
@@ -211,6 +263,42 @@ func RunBenchJSON(short bool, workers int) (*BenchReport, error) {
 			Name:       "WebServer/" + wv.name,
 			Iterations: requests,
 			Extra:      map[string]float64{"req/s": st.Throughput},
+		})
+	}
+	if failed != nil {
+		return nil, failed
+	}
+
+	// Cores scaling: the SuperGlue web server at 1, 2, and 4 simulated
+	// cores. Execution stays globally serialized (one simulated thread runs
+	// at a time), so these rows measure the *cost* of core-affine placement
+	// — cross-core migration parks on every server invocation — not
+	// wall-clock parallelism; see EXPERIMENTS.md for the honest framing.
+	for _, nc := range []int{1, 2, 4} {
+		if failed != nil {
+			break
+		}
+		st, err := webserver.Run(webserver.Config{
+			Variant:  webserver.VariantSuperGlue,
+			Requests: requests,
+			Workers:  2,
+			Cores:    nc,
+		})
+		if err != nil {
+			failed = fmt.Errorf("WebServerThroughput/cores=%d: %w", nc, err)
+			break
+		}
+		if st.Errors > 0 {
+			failed = fmt.Errorf("WebServerThroughput/cores=%d: %d request errors", nc, st.Errors)
+			break
+		}
+		rep.Results = append(rep.Results, BenchResult{
+			Name:       fmt.Sprintf("WebServerThroughput/cores=%d", nc),
+			Iterations: requests,
+			Extra: map[string]float64{
+				"req/s":      st.Throughput,
+				"migrations": float64(st.Migrations),
+			},
 		})
 	}
 	if failed != nil {

@@ -17,6 +17,10 @@ type Fig7Config struct {
 	Repeats int
 	// Workers per server.
 	Workers int
+	// Cores is the number of simulated cores per run (0 or 1 = single-core).
+	// Execution stays globally serialized, so multi-core runs model
+	// migration cost, not wall-clock parallelism.
+	Cores int
 	// FaultEvery configures the with-faults SuperGlue run (0 disables it).
 	FaultEvery int
 	// Parallel runs a variant's repeats concurrently on the shared pool
@@ -35,6 +39,8 @@ type Fig7Row struct {
 	StdevRPS       float64
 	SlowdownVsBase float64 // fraction vs the component-substrate baseline
 	Faults         int
+	Cores          int
+	Migrations     uint64
 	Timeline       []webserver.BucketPoint
 }
 
@@ -85,6 +91,7 @@ func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
 				Variant:    p.variant,
 				Requests:   cfg.Requests,
 				Workers:    cfg.Workers,
+				Cores:      cfg.Cores,
 				FaultEvery: p.faultEvery,
 			})
 			if err != nil {
@@ -103,7 +110,8 @@ func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
 		last := stats[cfg.Repeats-1]
 		mean, stdev := meanStdev(rps)
 		row := Fig7Row{Label: p.label, Variant: p.variant, MeanRPS: mean, StdevRPS: stdev,
-			Faults: last.Faults, Timeline: last.Timeline}
+			Faults: last.Faults, Cores: last.Cores, Migrations: last.Migrations,
+			Timeline: last.Timeline}
 		if p.variant == webserver.VariantComposite {
 			compositeRPS = mean
 		}
@@ -124,6 +132,12 @@ func RenderFig7(w io.Writer, rows []Fig7Row) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-30s %14.0f %12.0f %15.2f%% %7d\n",
 			r.Label, r.MeanRPS, r.StdevRPS, 100*r.SlowdownVsBase, r.Faults)
+	}
+	for _, r := range rows {
+		if r.Cores > 1 {
+			fmt.Fprintf(w, "%-30s %d cores, %d cross-core migrations (execution serialized; migration cost only)\n",
+				r.Label, r.Cores, r.Migrations)
+		}
 	}
 }
 

@@ -49,8 +49,14 @@ func RenderTable2(w io.Writer, results []*swifi.Result) {
 	fmt.Fprintf(w, "%-8s %9s %10s %10s %12s %8s %9s %11s %11s %9s\n",
 		"service", "injected", "recovered", "seg fault", "propagated", "other", "degraded", "undetected", "activation", "success")
 	for _, r := range results {
+		// Multi-core campaigns annotate the service cell with the core
+		// count; single-core rows keep the paper's exact layout.
+		svc := r.Service
+		if r.Cores > 1 {
+			svc = fmt.Sprintf("%s/%dc", r.Service, r.Cores)
+		}
 		fmt.Fprintf(w, "%-8s %9d %10d %10d %12d %8d %9d %11d %10.2f%% %8.2f%%\n",
-			r.Service, r.Injected, r.Recovered, r.Segfault, r.Propagated, r.Other, r.Degraded, r.Undetected,
+			svc, r.Injected, r.Recovered, r.Segfault, r.Propagated, r.Other, r.Degraded, r.Undetected,
 			100*r.ActivationRatio(), 100*r.SuccessRate())
 	}
 }

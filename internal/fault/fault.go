@@ -59,9 +59,19 @@ const (
 	// KindMessageDup is a duplicated invocation: the server executes the
 	// operation twice (at-least-once delivery).
 	KindMessageDup
+	// KindMigration is a failed thread migration between simulated cores:
+	// the thread arrives but its in-flight execution context is lost, so
+	// the interrupted operation must be redone. The destination core and
+	// both components are intact — recovery is a plain redo, no µ-reboot.
+	KindMigration
+	// KindCrossCoreInv is corruption detected during a cross-core
+	// synchronous invocation: the request reached the server's home core
+	// but the server's state is corrupted by the time it executes (a race
+	// with the migration window). The server fails stop and is µ-rebooted.
+	KindCrossCoreInv
 
 	// NumKinds sizes per-kind counter arrays (KindUnknown included).
-	NumKinds = int(KindMessageDup) + 1
+	NumKinds = int(KindCrossCoreInv) + 1
 )
 
 // String returns the canonical hyphenated kind name.
@@ -85,6 +95,10 @@ func (k Kind) String() string {
 		return "message-loss"
 	case KindMessageDup:
 		return "message-dup"
+	case KindMigration:
+		return "migration"
+	case KindCrossCoreInv:
+		return "cross-core-invocation"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -115,20 +129,21 @@ func ParseKind(s string) (Kind, bool) {
 	return KindUnknown, false
 }
 
-// Kinds lists the eight real fault kinds (KindUnknown excluded) in
+// Kinds lists the ten real fault kinds (KindUnknown excluded) in
 // taxonomy order, for exporters and campaign planners that want a stable
 // iteration order.
 func Kinds() []Kind {
 	return []Kind{
 		KindRegisterFlip, KindHang, KindLivelock, KindDescCorruption,
 		KindStorageCrash, KindStorageCorruption, KindMessageLoss, KindMessageDup,
+		KindMigration, KindCrossCoreInv,
 	}
 }
 
 // Transient reports whether the kind leaves the server's state intact, so
 // recovery is a plain redo (retransmission) with no µ-reboot.
 func (k Kind) Transient() bool {
-	return k == KindMessageLoss || k == KindMessageDup
+	return k == KindMessageLoss || k == KindMessageDup || k == KindMigration
 }
 
 // Severity grades how much service a fault costs if unhandled.
@@ -229,7 +244,7 @@ func DomainOf(k Kind) Domain {
 		return DomainMemory
 	case KindStorageCrash, KindStorageCorruption:
 		return DomainStorage
-	case KindMessageLoss, KindMessageDup:
+	case KindMessageLoss, KindMessageDup, KindMigration, KindCrossCoreInv:
 		return DomainMessaging
 	default:
 		return DomainUnknown
@@ -243,8 +258,10 @@ func DefaultSeverity(k Kind) Severity {
 		return SevError
 	case KindHang, KindLivelock, KindStorageCrash, KindStorageCorruption:
 		return SevCritical
-	case KindMessageLoss, KindMessageDup:
+	case KindMessageLoss, KindMessageDup, KindMigration:
 		return SevWarning
+	case KindCrossCoreInv:
+		return SevError
 	default:
 		return SevUnknown
 	}

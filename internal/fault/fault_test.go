@@ -39,7 +39,7 @@ func TestEveryKindHasDomainAndSeverity(t *testing.T) {
 }
 
 func TestTransientKinds(t *testing.T) {
-	want := map[Kind]bool{KindMessageLoss: true, KindMessageDup: true}
+	want := map[Kind]bool{KindMessageLoss: true, KindMessageDup: true, KindMigration: true}
 	for k := Kind(0); int(k) < NumKinds; k++ {
 		if k.Transient() != want[k] {
 			t.Errorf("%v.Transient() = %v; want %v", k, k.Transient(), want[k])

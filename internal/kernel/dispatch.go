@@ -50,14 +50,16 @@ func (k *Kernel) Run() error {
 	return err
 }
 
-// enqueueLocked appends t to the ready queue, stamping its FIFO sequence.
-// The readySeq bump publishes the insert to the invocation fast path, which
-// skips its boundary preemption check (and the lock) when no insert
-// happened during the invocation.
+// enqueueLocked appends t to its core's ready queue, stamping its FIFO
+// sequence (the sequence counter is global, so arrival order is totally
+// ordered across cores). The readySeq bump publishes the insert to the
+// invocation fast path, which skips its boundary preemption check (and the
+// lock) when no insert happened during the invocation.
 func (k *Kernel) enqueueLocked(t *Thread) {
 	k.seq++
 	t.seq = k.seq
-	k.ready = append(k.ready, t)
+	c := &k.cores[t.core]
+	c.ready = append(c.ready, t)
 	k.readySeq.Add(1)
 }
 
@@ -76,24 +78,54 @@ func (k *Kernel) SetIdleHandler(h IdleHandler) {
 	k.idle = h
 }
 
-// pickReadyLocked removes and returns the highest-priority ready thread
-// (FIFO among equal priorities). If the ready queue is empty but threads are
-// sleeping, it advances the simulated clock to the earliest wake time and
-// retries; if nothing is sleeping either, the idle handler (when installed)
-// may produce new work. It returns nil when nothing can become runnable.
+// pickReadyLocked removes and returns the next thread under the virtual-time
+// merge (see takeBestLocked). If no core has a runnable thread but threads
+// are sleeping, it advances the owning core's clock to the earliest wake
+// time — earliest by (fire time, core, thread ID), where the fire time is
+// max(core clock, wake time) — wakes that core's due sleepers, and retries;
+// if nothing is sleeping either, the idle handler (when installed) may
+// produce new work. It returns nil when nothing can become runnable.
+//
+// On success it also refreshes the global clock mirror to the winning
+// core's clock and settles any pending migration-latency measurement on the
+// chosen thread, so every dispatch path shares that bookkeeping.
 func (k *Kernel) pickReadyLocked() *Thread {
 	for {
 		if best := k.takeBestLocked(); best != nil {
+			c := &k.cores[best.core]
+			c.dispatches++
+			// Multi-core machines charge one virtual tick per dispatch
+			// quantum: a core that keeps dispatching advances past its
+			// siblings, so the merge cannot starve runnable work on a
+			// higher-clock core (e.g. a thread parked there by a cross-core
+			// migration). Single-core machines keep the legacy clock, which
+			// advances only on sleeps — the pre-multicore behavior.
+			if k.multicore {
+				c.clock++
+			}
+			if best.migPending {
+				best.migPending = false
+				if tr := k.tracer.Load(); tr != nil {
+					tr.RecordMigration(int32(best.migFrom), int32(best.core), int32(best.id),
+						int64(c.clock), int64(c.clock-best.migStart), best.migInvoke)
+				}
+			}
+			k.clock.Store(int64(c.clock))
 			return best
 		}
-		// Nothing ready: advance time to the earliest sleeper, if any.
+		// Nothing ready on any core: advance time to the earliest sleeper.
 		var earliest *Thread
+		var fireAt Time
 		for _, t := range k.threads {
 			if t.state != ThreadSleeping {
 				continue
 			}
-			if earliest == nil || t.wakeAt < earliest.wakeAt {
-				earliest = t
+			fire := t.wakeAt
+			if c := k.cores[t.core].clock; c > fire {
+				fire = c
+			}
+			if earliest == nil || fire < fireAt || (fire == fireAt && t.core < earliest.core) {
+				earliest, fireAt = t, fire
 			}
 		}
 		if earliest == nil {
@@ -108,11 +140,12 @@ func (k *Kernel) pickReadyLocked() *Thread {
 			}
 			return nil
 		}
-		if earliest.wakeAt > Time(k.clock.Load()) {
-			k.clock.Store(int64(earliest.wakeAt))
+		c := &k.cores[earliest.core]
+		if fireAt > c.clock {
+			c.clock = fireAt
 		}
 		for _, t := range k.threads {
-			if t.state == ThreadSleeping && t.wakeAt <= Time(k.clock.Load()) {
+			if t.state == ThreadSleeping && t.core == earliest.core && t.wakeAt <= c.clock {
 				t.state = ThreadRunnable
 				k.enqueueLocked(t)
 			}
@@ -142,11 +175,38 @@ func (k *Kernel) runIdleLocked() bool {
 	return again && !k.halted.Load()
 }
 
-// takeBestLocked removes and returns the highest-priority thread from the
-// ready queue (lowest prio value; earliest arrival breaks ties), or nil.
+// takeBestLocked removes and returns the next thread under the merge rule:
+// among cores whose ready queue holds at least one runnable thread, the core
+// with the smallest (virtual clock, core number) wins; within that core,
+// selection is the highest-priority thread (lowest prio value; earliest
+// global arrival sequence breaks ties). Returns nil when no core has
+// runnable work. With one core this is exactly the original single-core
+// selection.
 func (k *Kernel) takeBestLocked() *Thread {
+	coreIdx := -1
+	for ci := range k.cores {
+		c := &k.cores[ci]
+		runnable := false
+		for _, t := range c.ready {
+			if t.state == ThreadRunnable {
+				runnable = true
+				break
+			}
+		}
+		if !runnable {
+			c.ready = c.ready[:0] // every entry stale; drop them
+			continue
+		}
+		if coreIdx == -1 || c.clock < k.cores[coreIdx].clock {
+			coreIdx = ci
+		}
+	}
+	if coreIdx == -1 {
+		return nil
+	}
+	rq := k.cores[coreIdx].ready
 	bestIdx := -1
-	for i, t := range k.ready {
+	for i, t := range rq {
 		if t.state != ThreadRunnable {
 			continue // stale entry (e.g. woken then re-queued); skip
 		}
@@ -154,17 +214,13 @@ func (k *Kernel) takeBestLocked() *Thread {
 			bestIdx = i
 			continue
 		}
-		b := k.ready[bestIdx]
+		b := rq[bestIdx]
 		if t.prio < b.prio || (t.prio == b.prio && t.seq < b.seq) {
 			bestIdx = i
 		}
 	}
-	if bestIdx == -1 {
-		k.ready = k.ready[:0]
-		return nil
-	}
-	best := k.ready[bestIdx]
-	k.ready = append(k.ready[:bestIdx], k.ready[bestIdx+1:]...)
+	best := rq[bestIdx]
+	k.cores[coreIdx].ready = append(rq[:bestIdx], rq[bestIdx+1:]...)
 	return best
 }
 
@@ -216,19 +272,21 @@ func (k *Kernel) parkLocked(cur *Thread) {
 	}
 }
 
-// preemptLocked yields the core if a higher-priority thread became ready.
-// cur must be the running thread. Preemption is deferred while cur executes
-// inside a component invocation: COMPOSITE's invocation paths are short and
-// non-preemptible, and deferring to the invocation boundary keeps a thread
-// from being descheduled with a half-finished server operation that a
-// µ-reboot would otherwise tear out from under it. The deferred check runs
-// when the outermost invocation returns (see Invoke).
+// preemptLocked yields the core if a higher-priority thread became ready on
+// cur's own core (other cores' queues never preempt: they get the machine
+// when the virtual-time merge reaches them). cur must be the running thread.
+// Preemption is deferred while cur executes inside a component invocation:
+// COMPOSITE's invocation paths are short and non-preemptible, and deferring
+// to the invocation boundary keeps a thread from being descheduled with a
+// half-finished server operation that a µ-reboot would otherwise tear out
+// from under it. The deferred check runs when the outermost invocation
+// returns (see Invoke).
 func (k *Kernel) preemptLocked(cur *Thread) {
 	if len(cur.invStack) > 0 || cur.noPreempt > 0 {
 		return
 	}
 	higher := false
-	for _, t := range k.ready {
+	for _, t := range k.cores[cur.core].ready {
 		if t.state == ThreadRunnable && t.prio < cur.prio {
 			higher = true
 			break

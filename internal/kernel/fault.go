@@ -156,6 +156,17 @@ func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch
 		k.mu.Unlock()
 		return 0, err
 	}
+	// Another thread's µ-reboot of this component is mid-boot (instance
+	// installed, Init not yet complete): wait for its gate to clear before
+	// reading the epoch, so the mustMatch check below observes the advanced
+	// epoch instead of concluding a second reboot is needed.
+	for c.booting && c.bootThread != t && t == k.current && !k.halted.Load() {
+		k.waitBootLocked(t, c)
+	}
+	if k.halted.Load() {
+		k.mu.Unlock()
+		return 0, ErrHalted
+	}
 	oldEpoch, _ := c.snapshot()
 	if mustMatch && oldEpoch != expectEpoch {
 		k.mu.Unlock()
@@ -184,11 +195,18 @@ func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch
 			bt.pendingFault = &Fault{Comp: id, Epoch: oldEpoch, Kind: kind, Severity: sev}
 			bt.state = ThreadRunnable
 			k.enqueueLocked(bt)
-		case bt.state == ThreadRunnable && bt.topOfStackLocked() == id:
+		case bt.state == ThreadRunnable && !bt.migPending && bt.topOfStackLocked() == id:
 			// Woken but not yet scheduled: its execution state inside the
 			// failed instance is gone, so divert it — re-latching the
 			// consumed wakeup as a redo credit (Block case only) so the
-			// retried call does not lose it.
+			// retried call does not lose it. Threads parked for a migration
+			// are runnable with the component on their stack too, but they
+			// need no divert: an inbound cross-core invocation re-checks the
+			// component's (epoch, faulty) word after the migration and
+			// unwinds on its own, and a return migration carries an
+			// operation the old instance already completed. A pending fault
+			// armed here would never be consumed by the migration park and
+			// would surface later from an unrelated component.
 			bt.pendingFault = &Fault{Comp: id, Epoch: oldEpoch, Kind: kind, Severity: sev}
 			if bt.lastParkWasBlock {
 				bt.wakePending = true
@@ -199,17 +217,39 @@ func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch
 			}
 		}
 	}
+	// Close the boot gate: until Init and the reboot hooks complete, no
+	// thread but the rebooting one may dispatch into the fresh instance
+	// (see the component struct). Opened again after the hooks run.
+	c.booting = true
+	c.bootThread = t
 	hooks := make([]RebootHook, len(k.rebootHooks))
 	copy(hooks, k.rebootHooks)
 	k.mu.Unlock()
 
+	// A component with a home core re-initializes there: the rebooting
+	// thread migrates over for the Init upcall and the eager-recovery hooks
+	// (which replay held invocations into the fresh instance) and returns
+	// to its own core afterwards.
+	backTo := int32(-1)
+	if k.multicore && t != nil {
+		if home := c.core.Load(); home >= 0 && home != t.core {
+			backTo = t.core
+			k.migrate(t, home, false)
+		}
+	}
+
 	// Re-initialization upcall into the fresh instance (step 4 of the
 	// paper's recovery sequence).
 	if err := svc.Init(&BootContext{Kernel: k, Self: id, Epoch: newEpoch, Thread: t}); err != nil {
+		k.openBootGate(c)
 		return 0, fmt.Errorf("kernel: re-init of component %d after µ-reboot: %w", id, err)
 	}
 	for _, h := range hooks {
 		h(t, id, newEpoch)
+	}
+	k.openBootGate(c)
+	if backTo >= 0 {
+		k.migrate(t, backTo, false)
 	}
 	if tr := k.tracer.Load(); tr != nil {
 		var tid int32
@@ -229,6 +269,35 @@ func (k *Kernel) reboot(t *Thread, id ComponentID, expectEpoch uint64, mustMatch
 		k.mu.Unlock()
 	}
 	return newEpoch, nil
+}
+
+// openBootGate clears a component's µ-reboot gate and releases every thread
+// that parked on it while the fresh instance initialized.
+func (k *Kernel) openBootGate(c *component) {
+	k.mu.Lock()
+	c.booting = false
+	c.bootThread = nil
+	if !k.halted.Load() {
+		for _, w := range c.bootWaiters {
+			w.state = ThreadRunnable
+			k.enqueueLocked(w)
+		}
+	}
+	c.bootWaiters = nil
+	k.mu.Unlock()
+}
+
+// waitBootLocked parks t until component c's µ-reboot gate clears (its fresh
+// instance finished its Init upcall and the reboot hooks ran). Called with
+// k.mu held; the lock is released while parked and re-held on return. The
+// park is not a service block: blockedIn stays zero, so neither the T0
+// divert scan nor the watchdog mistakes the waiter for a thread blocked
+// inside a component.
+func (k *Kernel) waitBootLocked(t *Thread, c *component) {
+	c.bootWaiters = append(c.bootWaiters, t)
+	t.state = ThreadBlocked
+	t.lastParkWasBlock = false
+	k.switchFromLocked(t)
 }
 
 // EnsureRebooted µ-reboots component id only if its epoch still equals the

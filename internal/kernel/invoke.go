@@ -24,6 +24,19 @@ import "fmt"
 // wakeup was enqueued during the invocation (deferred preemption), and on
 // the fault/redo slow paths. See DESIGN.md "Invocation fast path".
 func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Word, error) {
+	return k.InvokePost(t, dst, fn, nil, args...)
+}
+
+// InvokePost is Invoke with a post-completion callback: after a successful
+// dispatch (and the PhaseExit hook), post runs with the final return value
+// while the thread is still on the server's core — before the return
+// migration of a cross-core invocation. Client stubs pass their descriptor
+// tracking here so that "operation completed" and "operation tracked" are
+// atomic under the scheduler: on a single-core machine no park separates
+// them, and without this a thread parked on the return migration leaves a
+// completed-but-untracked operation that concurrent recovery replay cannot
+// see. post is not called when the invocation unwinds with an error.
+func (k *Kernel) InvokePost(t *Thread, dst ComponentID, fn string, post func(Word), args ...Word) (Word, error) {
 	if k.halted.Load() {
 		return 0, ErrHalted
 	}
@@ -37,10 +50,33 @@ func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Wo
 	if c == nil {
 		return 0, fmt.Errorf("%w: %d", ErrNoSuchComponent, dst)
 	}
+	// The epoch snapshot is taken BEFORE any park this call can perform
+	// (boot gate, cross-core migration): the caller's stub translated its
+	// arguments against this epoch, and every later fault check compares
+	// against it, so a µ-reboot that slips into one of the park windows is
+	// detected as a *Fault and the stub redoes with fresh translations.
 	epoch, faulty := c.snapshot()
 	if faulty {
 		kind, sev := c.faultMeta()
 		return 0, &Fault{Comp: dst, Epoch: epoch, Kind: kind, Severity: sev}
+	}
+	// Multi-core machines gate on a µ-reboot in progress: between a fresh
+	// instance's install and the completion of its Init upcall, the
+	// component must not be dispatched (its state is not constructed yet),
+	// so invokers park until the boot gate opens. The rebooting thread
+	// itself passes through — the reboot hooks replay held invocations into
+	// the fresh instance. Single-core machines never open the window (the
+	// booter cannot park mid-boot), so the fast path stays lock-free.
+	if k.multicore {
+		k.mu.Lock()
+		for c.booting && c.bootThread != t && !k.halted.Load() {
+			k.waitBootLocked(t, c)
+		}
+		halted := k.halted.Load()
+		k.mu.Unlock()
+		if halted {
+			return 0, ErrHalted
+		}
 	}
 	svc := c.service()
 	hook := k.invokeHook()
@@ -52,12 +88,32 @@ func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Wo
 	// check (the one remaining k.mu acquisition) can be skipped.
 	readySeq := k.readySeq.Load()
 
-	// Owner-only push: in this cooperative single-core kernel only the
-	// running thread mutates its own invocation stack. The atomic curComp
-	// mirror is what cross-thread readers (ReflectThreads, Executing) see.
+	// Owner-only push: only the running thread mutates its own invocation
+	// stack (execution is serialized by the dispatcher even on multi-core
+	// machines). The atomic curComp mirror is what cross-thread readers
+	// (ReflectThreads, Executing) see.
 	t.invStack = append(t.invStack, dst)
 	t.fnStack = append(t.fnStack, fn)
 	t.curComp.Store(int32(dst))
+
+	// Cross-core invocation: when the server component is homed on another
+	// core, the thread migrates there before the hook and the dispatch, and
+	// back to the caller's core when the invocation unwinds (fault paths
+	// included — the stub's redo then re-migrates). Single-core machines
+	// skip even the affinity load. A thread inside a non-preemptible
+	// section never migrates (as with preemption disabled on a real
+	// kernel): a migration parks the thread and hands the core to other
+	// work, which would let another thread observe the critical section's
+	// intermediate state — recovery walks depend on this to stay atomic.
+	prevCore := int32(-1)
+	savedXC := t.crossCoreInv
+	if k.multicore && t.noPreempt == 0 {
+		if home := c.core.Load(); home >= 0 && home != t.core {
+			prevCore = t.core
+			k.migrate(t, home, true)
+		}
+	}
+	t.crossCoreInv = prevCore >= 0
 
 	popped := false
 	pop := func() {
@@ -70,6 +126,12 @@ func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Wo
 			t.fnStack = t.fnStack[:n-1]
 		}
 		t.publishTop()
+		t.crossCoreInv = savedXC
+		if prevCore >= 0 {
+			// Return migration to the caller's core (skipped when the
+			// machine halted: migrate would just unwind the goroutine).
+			k.migrate(t, prevCore, false)
+		}
 		k.invCount.Add(1)
 		// Deferred preemption: wakeups performed during the invocation take
 		// effect at the invocation boundary. If no ready-queue insert
@@ -143,6 +205,9 @@ func (k *Kernel) Invoke(t *Thread, dst ComponentID, fn string, args ...Word) (Wo
 			return 0, f
 		}
 		ret = Word(int32(t.regs.Val[RegEAX]))
+	}
+	if post != nil {
+		post(ret)
 	}
 	// The retried invocation completed: drop any unconsumed redo credit so
 	// it cannot surface later as a spurious wakeup. redoCredit is latched

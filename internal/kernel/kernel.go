@@ -1,4 +1,4 @@
-// Package kernel implements a deterministic, single-core simulation of the
+// Package kernel implements a deterministic, multi-core simulation of the
 // COMPOSITE component-based µ-kernel that the SuperGlue paper (DSN 2016)
 // builds on.
 //
@@ -18,11 +18,21 @@
 //   - µ-reboot: the booter can reinstate a failed component from its clean
 //     image (factory), bump its epoch, and run eager-recovery hooks.
 //
-// Scheduling is cooperative and strictly single-core: exactly one simulated
-// thread runs at a time, selected by fixed priority (lower value = higher
-// priority) with FIFO ordering among equals, and wakeups of higher-priority
-// threads preempt the running thread. All scheduling decisions are
-// deterministic, which makes fault-injection campaigns reproducible.
+// Scheduling is cooperative over M simulated cores: each core has its own
+// run queue and its own virtual clock, and the dispatcher executes exactly
+// one simulated thread at a time, drawn from the core whose clock is
+// smallest — a discrete-event merge over per-core timelines. Within a core,
+// selection is fixed priority (lower value = higher priority) with FIFO
+// ordering among equals, and wakeups of higher-priority threads on the same
+// core preempt the running thread. The merge rule — smallest
+// (vtime, coreID), then (prio, seq) within the winning core — is a total
+// order, so for a fixed seed the schedule is byte-identical for any
+// GOMAXPROCS and any core count; with M=1 it degenerates exactly to the
+// original single-core scheduler. Components may declare a home core
+// (SetComponentCore); invoking such a component from another core migrates
+// the thread there synchronously and back on return, charging a migration
+// cost to the destination clock and propagating virtual time Lamport-style
+// (dst.clock = max(dst.clock, src.clock) + cost).
 //
 // The fault-free invocation path is near-lock-free: each component's
 // (epoch, faulty) pair is packed into one atomic word, the live service
@@ -145,7 +155,31 @@ type component struct {
 	// cleared by install, so a lock-free reader that observes faulty also
 	// observes the classification of the fault that set it.
 	meta atomic.Uint32
+
+	// core is the component's home core, or NoAffinity when the component
+	// executes on whatever core invokes it (the single-core-era behavior,
+	// still the default). Written under k.mu (SetComponentCore); read
+	// lock-free on the invocation fast path to decide cross-core migration.
+	core atomic.Int32
+
+	// booting marks the µ-reboot window between the fresh instance's
+	// install and the completion of its Init upcall and reboot hooks. On a
+	// multi-core machine the rebooting thread parks inside that window
+	// (migrating to the component's home core, and again when recovery
+	// hooks replay held invocations cross-core), so other threads could
+	// otherwise dispatch into an instance whose state is not constructed
+	// yet. They wait on bootWaiters instead; bootThread (the rebooting
+	// thread) is exempt so hook replays pass through. All three are
+	// guarded by k.mu. Single-core machines never open the window — the
+	// booter cannot park mid-boot — so the flag toggles unobserved there.
+	booting     bool
+	bootThread  *Thread
+	bootWaiters []*Thread
 }
+
+// NoAffinity is the home-core value of a component with no core placement:
+// it executes on the invoking thread's core, wherever that is.
+const NoAffinity int32 = -1
 
 // packFaultMeta packs a fault classification into the component's meta word.
 func packFaultMeta(kind fault.Kind, sev fault.Severity) uint32 {
@@ -224,15 +258,26 @@ type Kernel struct {
 	comps     []*component                 // append under mu; index = ComponentID-1
 	compsView atomic.Pointer[[]*component] // published copy for lock-free lookup
 	threads   []*Thread                    // index = ThreadID-1
-	ready     []*Thread                    // FIFO arrival order; selection scans for min prio
+	cores     []coreState                  // per-core run queues + clocks; index = core number
 	current   *Thread
-	seq       uint64 // arrival sequence counter for FIFO tie-breaking
+	seq       uint64 // global arrival sequence counter for FIFO tie-breaking
 
-	// clock is simulated time in µs. Writers (dispatcher wakeups,
-	// AdvanceClock, watchdog budget charges) all hold k.mu, so stores
-	// never race; the atomic representation exists so readers — Now()
-	// and the trace recorder on the lock-free invocation fast path —
-	// can stamp events without taking the kernel lock.
+	// multicore is len(cores) > 1, immutable after New: the invocation fast
+	// path consults it with a plain read so single-core machines pay no
+	// affinity check.
+	multicore bool
+	// migCost is the virtual-time cost (µs) charged to the destination core
+	// per thread migration. Immutable after construction except through
+	// SetMigrationCost (which must run before Run).
+	migCost Time
+
+	// clock is simulated time in µs, mirroring the virtual clock of the core
+	// whose thread is currently running (per-core clocks are authoritative
+	// and live in cores[i].clock under mu). Writers (the dispatcher at every
+	// thread selection, AdvanceClock, watchdog budget charges) all hold
+	// k.mu, so stores never race; the atomic representation exists so
+	// readers — Now() and the trace recorder on the lock-free invocation
+	// fast path — can stamp events without taking the kernel lock.
 	clock atomic.Int64
 
 	started bool
@@ -291,9 +336,123 @@ func (c *SystemCrash) Error() string {
 	return fmt.Sprintf("kernel: system crash in component %d on thread %d: %s", c.Comp, c.Thread, c.Reason)
 }
 
-// New constructs an empty simulated machine.
+// coreState is one simulated core: its private run queue and its virtual
+// clock. All fields are guarded by k.mu; the dispatcher's merge picks the
+// core with the smallest (clock, index) among cores with runnable work.
+type coreState struct {
+	ready []*Thread // FIFO arrival order; selection scans for min (prio, seq)
+	clock Time      // this core's virtual time in µs
+
+	// Per-core observability counters (CoreStats).
+	dispatches uint64 // threads dispatched onto this core
+	migrations uint64 // threads migrated onto this core
+	crossInv   uint64 // migrations that were cross-core invocation entries
+}
+
+// CoreStats is an observability snapshot of one simulated core.
+type CoreStats struct {
+	// Core is the core number.
+	Core int
+	// Clock is the core's virtual time in µs.
+	Clock Time
+	// Dispatches counts threads dispatched onto the core.
+	Dispatches uint64
+	// Migrations counts threads migrated onto the core (explicit migration,
+	// cross-core invocation entry, and cross-core invocation return).
+	Migrations uint64
+	// CrossCoreInvocations counts the subset of migrations that entered the
+	// core to execute a cross-core invocation of a component homed here.
+	CrossCoreInvocations uint64
+}
+
+// New constructs an empty simulated machine with one core.
 func New() *Kernel {
-	return &Kernel{done: make(chan struct{})}
+	return NewWithCores(1)
+}
+
+// NewWithCores constructs an empty simulated machine with m cores (m < 1 is
+// treated as 1). With m == 1 the kernel behaves byte-identically to the
+// original single-core scheduler; with m > 1 the dispatcher merges per-core
+// virtual timelines deterministically (see the package comment).
+func NewWithCores(m int) *Kernel {
+	if m < 1 {
+		m = 1
+	}
+	return &Kernel{
+		done:      make(chan struct{}),
+		cores:     make([]coreState, m),
+		multicore: m > 1,
+		migCost:   DefaultMigrationCost,
+	}
+}
+
+// DefaultMigrationCost is the virtual-time cost (µs) charged to the
+// destination core's clock per thread migration.
+const DefaultMigrationCost Time = 1
+
+// NumCores returns the number of simulated cores.
+func (k *Kernel) NumCores() int { return len(k.cores) }
+
+// SetMigrationCost overrides the per-migration virtual-time charge (µs).
+// Call before Run; d < 0 is clamped to 0.
+func (k *Kernel) SetMigrationCost(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	k.mu.Lock()
+	k.migCost = d
+	k.mu.Unlock()
+}
+
+// CoreStats returns an observability snapshot of every simulated core.
+func (k *Kernel) CoreStats() []CoreStats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]CoreStats, len(k.cores))
+	for i := range k.cores {
+		c := &k.cores[i]
+		out[i] = CoreStats{
+			Core:                 i,
+			Clock:                c.clock,
+			Dispatches:           c.dispatches,
+			Migrations:           c.migrations,
+			CrossCoreInvocations: c.crossInv,
+		}
+	}
+	return out
+}
+
+// SetComponentCore pins a component to a home core: threads on other cores
+// that invoke it migrate there for the invocation and back on return, and
+// µ-reboots re-initialize it on that core. Pass NoAffinity (or any negative
+// core) to clear the placement. Placement on a core the machine does not
+// have is an error.
+func (k *Kernel) SetComponentCore(id ComponentID, core int) error {
+	c, err := k.lookup(id)
+	if err != nil {
+		return err
+	}
+	if core >= len(k.cores) {
+		return fmt.Errorf("kernel: component %d placed on core %d of a %d-core machine", id, core, len(k.cores))
+	}
+	k.mu.Lock()
+	if core < 0 {
+		c.core.Store(NoAffinity)
+	} else {
+		c.core.Store(int32(core))
+	}
+	k.mu.Unlock()
+	return nil
+}
+
+// ComponentCore returns a component's home core, or NoAffinity (-1) when it
+// has no placement.
+func (k *Kernel) ComponentCore(id ComponentID) (int, error) {
+	c, err := k.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	return int(c.core.Load()), nil
 }
 
 // Register installs a component built by factory and boots it by calling
@@ -312,6 +471,7 @@ func (k *Kernel) Register(factory func() Service) (ComponentID, error) {
 	k.mu.Lock()
 	id := ComponentID(len(k.comps) + 1)
 	c := &component{id: id, name: svc.Name(), factory: factory, profile: DefaultRegProfile()}
+	c.core.Store(NoAffinity)
 	c.install(svc, 0)
 	k.comps = append(k.comps, c)
 	view := make([]*component, len(k.comps))
@@ -530,6 +690,7 @@ type ThreadInfo struct {
 	Name      string
 	Prio      int
 	State     ThreadState
+	Core      int         // core the thread is (or will next be) scheduled on
 	BlockedIn ComponentID // component the thread is blocked inside, if Blocked
 	Executing ComponentID // innermost component on the invocation stack
 }
@@ -546,7 +707,7 @@ func (k *Kernel) ReflectThreads() []ThreadInfo {
 		if t.state == ThreadExited {
 			continue
 		}
-		info := ThreadInfo{ID: t.id, Name: t.name, Prio: t.prio, State: t.state}
+		info := ThreadInfo{ID: t.id, Name: t.name, Prio: t.prio, State: t.state, Core: int(t.core)}
 		if t.state == ThreadBlocked || t.state == ThreadSleeping {
 			info.BlockedIn = t.blockedIn
 		}

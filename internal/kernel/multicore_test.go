@@ -1,0 +1,53 @@
+package kernel
+
+import "testing"
+
+// TestCrossCoreDeadlockAttribution: the multi-core analogue of
+// TestWatchdogDeadlockAttribution. A thread homed on core 0 migrates into
+// a component homed on core 1 and blocks there; a thread homed on core 1
+// migrates into a component homed on core 0 and blocks there. Neither is
+// ever woken, so the machine deadlocks across cores — no core has runnable
+// work, but every core's blocked thread waits on a component homed
+// elsewhere. The watchdog must attribute each blocked thread to the
+// component it is blocked in (not to the component homed on the thread's
+// own core), fail both, and divert both threads with *Fault so the run
+// completes.
+func TestCrossCoreDeadlockAttribution(t *testing.T) {
+	k := NewWithCores(2)
+	k.EnableWatchdog(WatchdogConfig{})
+	a := k.MustRegister(newEchoFactory(nil))
+	b := k.MustRegister(newEchoFactory(nil))
+	if err := k.SetComponentCore(a, 0); err != nil {
+		t.Fatalf("SetComponentCore(a, 0): %v", err)
+	}
+	if err := k.SetComponentCore(b, 1); err != nil {
+		t.Fatalf("SetComponentCore(b, 1): %v", err)
+	}
+
+	var errA, errB error
+	if _, err := k.CreateThreadOn(nil, "ta", 10, 0, func(th *Thread) {
+		_, errA = k.Invoke(th, b, "block") // migrates 0 -> 1, parks in b
+	}); err != nil {
+		t.Fatalf("CreateThreadOn(ta): %v", err)
+	}
+	if _, err := k.CreateThreadOn(nil, "tb", 10, 1, func(th *Thread) {
+		_, errB = k.Invoke(th, a, "block") // migrates 1 -> 0, parks in a
+	}); err != nil {
+		t.Fatalf("CreateThreadOn(tb): %v", err)
+	}
+
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run = %v; want nil (watchdog resolves the cross-core deadlock)", err)
+	}
+	fltA, ok := AsFault(errA)
+	if !ok || fltA.Comp != b {
+		t.Fatalf("ta's invocation err = %v; want *Fault in comp %d (the server it blocked in)", errA, b)
+	}
+	fltB, ok := AsFault(errB)
+	if !ok || fltB.Comp != a {
+		t.Fatalf("tb's invocation err = %v; want *Fault in comp %d (the server it blocked in)", errB, a)
+	}
+	if st := k.WatchdogStats(); st.DeadlocksAttributed != 2 {
+		t.Fatalf("stats = %+v; want 2 deadlocks attributed (one per blocked thread)", st)
+	}
+}

@@ -65,6 +65,30 @@ type Thread struct {
 	blockedIn ComponentID // valid while state == ThreadBlocked
 	wakeAt    Time        // valid while state == ThreadSleeping
 
+	// core is the simulated core the thread is scheduled on. It is owned
+	// like invStack: mutated only by the running thread itself (migration,
+	// cross-core invocation) or at creation, and read by the kernel under
+	// k.mu while the thread is parked.
+	core int32
+
+	// migPending marks a migration whose latency is still being measured:
+	// migStart is the source core's clock at departure and migFrom the
+	// source core; the dispatcher settles the measurement (destination
+	// clock − migStart, the migration charge plus any queueing delay on the
+	// destination) when the thread is next dispatched. migInvoke
+	// distinguishes a cross-core invocation entry from an explicit or
+	// return migration. All four are guarded by k.mu.
+	migPending bool
+	migFrom    int32
+	migStart   Time
+	migInvoke  bool
+
+	// crossCoreInv reports, while an invocation hook runs, whether the
+	// current invocation migrated the thread to the server's home core
+	// (set before PhaseEntry, restored after the invocation returns). Owned
+	// by the thread. The SWIFI injector keys migration-fault arming on it.
+	crossCoreInv bool
+
 	// wakePending latches a Wakeup delivered while the thread was not
 	// blocked, so the next Block returns immediately instead of losing the
 	// wakeup — the dependency-counting semantics of COMPOSITE's
@@ -173,6 +197,16 @@ func (t *Thread) Name() string { return t.name }
 // Prio returns the thread's fixed priority (lower value = higher priority).
 func (t *Thread) Prio() int { return t.prio }
 
+// Core returns the simulated core the thread is scheduled on. Call from the
+// thread itself (or while it is quiescent): the field is owner-mutated on
+// migration.
+func (t *Thread) Core() int { return int(t.core) }
+
+// CrossCoreInvocation reports whether the invocation the thread currently
+// executes migrated it to the server's home core. It is meaningful on the
+// thread itself — invocation hooks use it to recognize cross-core entries.
+func (t *Thread) CrossCoreInvocation() bool { return t.crossCoreInv }
+
 // Kernel returns the kernel the thread belongs to.
 func (t *Thread) Kernel() *Kernel { return t.k }
 
@@ -198,14 +232,28 @@ func (t *Thread) Regs() *RegFile { return &t.regs }
 // the running thread — a bug in the calling code.
 var ErrNotCurrent = errors.New("kernel: calling thread is not the running thread")
 
-// CreateThread creates a simulated thread that will execute entry. It may be
-// called before Run (to seed the system) or by a running thread; in the
-// latter case creator is the running thread and a higher-priority new thread
+// CreateThread creates a simulated thread that will execute entry on the
+// creator's core (core 0 when creator is nil). It may be called before Run
+// (to seed the system) or by a running thread; in the latter case creator is
+// the running thread and a higher-priority new thread on the same core
 // preempts it immediately. Pass creator == nil when calling from outside the
 // simulation.
 func (k *Kernel) CreateThread(creator *Thread, name string, prio int, entry func(*Thread)) (ThreadID, error) {
+	core := 0
+	if creator != nil {
+		core = int(creator.core)
+	}
+	return k.CreateThreadOn(creator, name, prio, core, entry)
+}
+
+// CreateThreadOn is CreateThread with an explicit core placement for the new
+// thread.
+func (k *Kernel) CreateThreadOn(creator *Thread, name string, prio int, core int, entry func(*Thread)) (ThreadID, error) {
 	if entry == nil {
 		return 0, errors.New("kernel: nil thread entry")
+	}
+	if core < 0 || core >= len(k.cores) {
+		return 0, fmt.Errorf("kernel: thread placed on core %d of a %d-core machine", core, len(k.cores))
 	}
 	k.mu.Lock()
 	if k.halted.Load() {
@@ -220,6 +268,7 @@ func (k *Kernel) CreateThread(creator *Thread, name string, prio int, entry func
 		id:     ThreadID(len(k.threads) + 1),
 		name:   name,
 		prio:   prio,
+		core:   int32(core),
 		k:      k,
 		entry:  entry,
 		state:  ThreadRunnable,
@@ -234,6 +283,61 @@ func (k *Kernel) CreateThread(creator *Thread, name string, prio int, entry func
 	}
 	k.mu.Unlock()
 	return t.id, nil
+}
+
+// MigrateThread moves the calling thread to another core: the destination
+// clock is advanced Lamport-style to at least the source clock plus the
+// migration cost, and the thread yields so the virtual-time merge decides
+// when the destination core runs it. Migrating to the current core is a
+// no-op.
+func (k *Kernel) MigrateThread(t *Thread, core int) error {
+	if core < 0 || core >= len(k.cores) {
+		return fmt.Errorf("kernel: migration to core %d of a %d-core machine", core, len(k.cores))
+	}
+	if k.halted.Load() {
+		return ErrHalted
+	}
+	if t != k.current {
+		return ErrNotCurrent
+	}
+	if int32(core) == t.core {
+		return nil
+	}
+	k.migrate(t, int32(core), false)
+	return nil
+}
+
+// migrate moves the running thread t to core dst: it synchronizes the
+// destination clock (dst.clock = max(dst.clock, src.clock) + migration
+// cost), re-homes the thread, and yields so the merge can schedule
+// lower-clock cores first; it returns once t is dispatched on dst. forInvoke
+// marks a cross-core invocation entry (counted separately). No deferred
+// unlock: the park path unlocks itself when the machine halts mid-park.
+func (k *Kernel) migrate(t *Thread, dst int32, forInvoke bool) {
+	k.mu.Lock()
+	if k.halted.Load() || t != k.current || dst == t.core {
+		k.mu.Unlock()
+		return
+	}
+	src := &k.cores[t.core]
+	d := &k.cores[dst]
+	if d.clock < src.clock {
+		d.clock = src.clock
+	}
+	d.clock += k.migCost
+	d.migrations++
+	if forInvoke {
+		d.crossInv++
+	}
+	t.migPending = true
+	t.migFrom = t.core
+	t.migStart = src.clock
+	t.migInvoke = forInvoke
+	t.core = dst
+	t.state = ThreadRunnable
+	k.enqueueLocked(t)
+	k.switchFromLocked(t)
+	k.mu.Unlock()
 }
 
 // Thread looks up a thread by ID.
@@ -351,7 +455,7 @@ func (k *Kernel) Sleep(t *Thread, d Time) error {
 	}
 	t.state = ThreadSleeping
 	t.lastParkWasBlock = false
-	t.wakeAt = Time(k.clock.Load()) + d
+	t.wakeAt = k.cores[t.core].clock + d
 	if n := len(t.invStack); n > 0 {
 		t.blockedIn = t.invStack[n-1]
 	} else {
@@ -479,11 +583,19 @@ func (k *Kernel) PopNoPreempt(t *Thread) {
 }
 
 // AdvanceClock moves simulated time forward by d without blocking the
-// caller. It exists for workloads that account time explicitly.
+// caller. It exists for workloads that account time explicitly. The charge
+// lands on the running thread's core (core 0 before Run), so concurrent
+// per-core workloads overlap in virtual time — the source of multi-core
+// virtual-time throughput scaling.
 func (k *Kernel) AdvanceClock(d Time) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if d > 0 {
+		ci := 0
+		if k.current != nil {
+			ci = int(k.current.core)
+		}
+		k.cores[ci].clock += d
 		k.clock.Add(int64(d))
 	}
 }

@@ -157,7 +157,12 @@ func (k *Kernel) watchdogHangLocked(t *Thread) bool {
 		k.wdStats.Unattributable++
 		return false
 	}
-	k.clock.Add(int64(k.budgetForLocked(comp)))
+	// The spinning thread burns the budget on its own core; the global
+	// mirror tracks it (t is the running thread, so the mirror shows its
+	// core's clock).
+	budget := k.budgetForLocked(comp)
+	k.cores[t.core].clock += budget
+	k.clock.Add(int64(budget))
 	epoch, _ := c.snapshot()
 	// Classify the hang: HangCurrentAs stamps the thread with the kind it
 	// is simulating (livelock vs plain hang); legacy HangCurrent leaves it
@@ -190,12 +195,22 @@ func (k *Kernel) watchdogDivertLocked() bool {
 	if k.wdStats.DeadlocksAttributed >= k.wdMax {
 		return false
 	}
-	// Attribute to the component with the most blocked threads
-	// (deterministic tie-break: lowest component ID).
+	// Attribute to the component with the most blocked threads. The
+	// candidate walk is per-core: each core contributes the threads homed
+	// on it, so a deadlock cycle that spans cores (A on core 0 waiting in a
+	// component whose threads wait on core 1 and vice versa) aggregates
+	// candidates from every core rather than assuming one global run queue.
+	// Counts are summed across cores; the argmax tie-break stays
+	// deterministic (lowest component ID).
 	counts := make(map[ComponentID]int)
-	for _, t := range k.threads {
-		if t.state == ThreadBlocked && t.blockedIn != 0 {
-			counts[t.blockedIn]++
+	for ci := range k.cores {
+		for _, t := range k.threads {
+			if int(t.core) != ci {
+				continue
+			}
+			if t.state == ThreadBlocked && t.blockedIn != 0 {
+				counts[t.blockedIn]++
+			}
 		}
 	}
 	suspects := make([]ComponentID, 0, len(counts))
@@ -218,7 +233,13 @@ func (k *Kernel) watchdogDivertLocked() bool {
 		k.wdStats.Unattributable++
 		return false
 	}
-	k.clock.Add(int64(k.budgetForLocked(blamed)))
+	// The watchdog timer is machine-level: every core's clock advances by
+	// the budget (with one core this is the legacy global-clock charge).
+	budget := k.budgetForLocked(blamed)
+	for ci := range k.cores {
+		k.cores[ci].clock += budget
+	}
+	k.clock.Add(int64(budget))
 	epoch, _ := c.snapshot()
 	c.markFaultyAs(fault.KindHang, fault.DefaultSeverity(fault.KindHang))
 	k.wdStats.DeadlocksAttributed++

@@ -33,6 +33,15 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.FaultKinds = mergeCountMap(s.FaultKinds, o.FaultKinds)
 	s.FaultSeverities = mergeCountMap(s.FaultSeverities, o.FaultSeverities)
 	s.Mechanisms = mergeMechanisms(s.Mechanisms, o.Mechanisms, true)
+	s.Cores = mergeCores(s.Cores, o.Cores)
+	if o.CrossCoreLatency != nil {
+		if s.CrossCoreLatency == nil {
+			lat := *o.CrossCoreLatency
+			s.CrossCoreLatency = &lat
+		} else {
+			s.CrossCoreLatency.merge(*o.CrossCoreLatency)
+		}
+	}
 	s.Components = mergeComponents(s.Components, o.Components)
 	s.Events = append(s.Events, o.Events...)
 	for i := range s.Events {
@@ -93,6 +102,33 @@ func mergeMechanisms(a, b []MechanismSnapshot, full bool) []MechanismSnapshot {
 		}
 		out = append(out, MechanismSnapshot{Mechanism: m.String(), MechStat: cell})
 	}
+	return out
+}
+
+// mergeCores unions two per-core tables by core number, summing the
+// migration counters; the result is sorted by core (the Snapshot
+// invariant). Nil in, nil out when both sides are empty.
+func mergeCores(a, b []CoreSnapshot) []CoreSnapshot {
+	if len(b) == 0 {
+		return a
+	}
+	byCore := make(map[int]CoreSnapshot, len(a)+len(b))
+	for _, c := range a {
+		byCore[c.Core] = c
+	}
+	for _, c := range b {
+		cur := byCore[c.Core]
+		cur.Core = c.Core
+		cur.MigrationsIn += c.MigrationsIn
+		cur.MigrationsOut += c.MigrationsOut
+		cur.CrossCoreInvocations += c.CrossCoreInvocations
+		byCore[c.Core] = cur
+	}
+	out := make([]CoreSnapshot, 0, len(byCore))
+	for _, c := range byCore {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Core < out[j].Core })
 	return out
 }
 

@@ -67,8 +67,14 @@ const (
 	// EvDegraded marks the recovery escalation ladder giving up on a
 	// component and returning a typed DegradedError to the application.
 	EvDegraded
+	// EvMigrate is one thread migration between simulated cores: a
+	// cross-core invocation entry (Fn "xcall"), its return, or an explicit
+	// migration (Fn "migrate"). FromCore/ToCore carry the edge and Detail
+	// the virtual-time migration latency (clock synchronization + migration
+	// charge + destination queueing delay).
+	EvMigrate
 
-	numKinds = int(EvDegraded) + 1
+	numKinds = int(EvMigrate) + 1
 )
 
 // String returns the canonical event-kind name used by the exporters.
@@ -88,6 +94,8 @@ func (k EventKind) String() string {
 		return "Upcall"
 	case EvDegraded:
 		return "Degraded"
+	case EvMigrate:
+		return "Migrate"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -212,7 +220,19 @@ type Event struct {
 	// FaultSev grades an EvFaultDetected event (fault.SevUnknown when
 	// ungraded).
 	FaultSev fault.Severity `json:"fault_severity,omitempty"`
+	// FromCore and ToCore are the cores of an EvMigrate edge.
+	FromCore int32 `json:"from_core,omitempty"`
+	ToCore   int32 `json:"to_core,omitempty"`
 }
+
+// XCallFn is the Fn marker of an EvMigrate event that entered a core to
+// execute a cross-core invocation; MigrateFn marks every other migration
+// (invocation returns and explicit migrations). Static strings so the
+// recording path stays allocation-free.
+const (
+	XCallFn   = "xcall"
+	MigrateFn = "migrate"
+)
 
 // NumBuckets is the number of virtual-time histogram buckets per
 // mechanism. Bucket 0 counts zero-latency spans; bucket i (0 < i <
@@ -321,6 +341,31 @@ type Recorder struct {
 	// faults of each fault.Kind and fault.Severity were detected.
 	faultKinds [fault.NumKinds]uint64
 	faultSevs  [fault.NumSeverities]uint64
+
+	// Per-core migration counters (slot index = core number) and the
+	// cross-core invocation latency histogram over EvMigrate events.
+	cores    []coreObs
+	crossLat MechStat
+}
+
+// coreObs is the per-core aggregate of EvMigrate events.
+type coreObs struct {
+	in    uint64 // migrations onto the core
+	out   uint64 // migrations off the core
+	xcall uint64 // migrations in that were cross-core invocation entries
+}
+
+// coreSlot returns the per-core aggregate, growing the table on first
+// sight of a core. Caller holds r.mu.
+func (r *Recorder) coreSlot(core int32) *coreObs {
+	i := int(core)
+	if i < 0 {
+		i = 0
+	}
+	for i >= len(r.cores) {
+		r.cores = append(r.cores, coreObs{})
+	}
+	return &r.cores[i]
 }
 
 // NewRecorder returns a Recorder with the given ring capacity
@@ -411,8 +456,33 @@ func (r *Recorder) Record(ev Event) {
 		if ev.Mech != MechNone && int(ev.Mech) < NumMechanisms {
 			s.mech[ev.Mech].add(ev.Detail, ev.Steps)
 		}
+	case EvMigrate:
+		r.coreSlot(ev.FromCore).out++
+		to := r.coreSlot(ev.ToCore)
+		to.in++
+		if ev.Fn == XCallFn {
+			to.xcall++
+			r.crossLat.add(ev.Detail, 0)
+		}
 	}
 	r.mu.Unlock()
+}
+
+// RecordMigration records one thread migration between cores: a cross-core
+// invocation entry when xcall is set (folded into the cross-core latency
+// histogram), an invocation return or explicit migration otherwise. vt is
+// the destination core's clock at dispatch and latency the virtual time
+// between leaving the source core and being dispatched on the destination.
+func (r *Recorder) RecordMigration(from, to, thread int32, vt, latency int64, xcall bool) {
+	if r == nil {
+		return
+	}
+	fn := MigrateFn
+	if xcall {
+		fn = XCallFn
+	}
+	r.Record(Event{Kind: EvMigrate, Thread: thread, Fn: fn, Time: vt, Detail: latency,
+		FromCore: from, ToCore: to})
 }
 
 // RecordInvoke records one component invocation.
@@ -505,6 +575,10 @@ func (r *Recorder) Reset() {
 	r.kinds = [numKinds]uint64{}
 	r.faultKinds = [fault.NumKinds]uint64{}
 	r.faultSevs = [fault.NumSeverities]uint64{}
+	for i := range r.cores {
+		r.cores[i] = coreObs{}
+	}
+	r.crossLat = MechStat{}
 	for i := range r.comps {
 		r.comps[i] = compStats{name: r.comps[i].name, seen: r.comps[i].seen}
 	}

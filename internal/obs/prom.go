@@ -23,7 +23,7 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 
 	p("# HELP superglue_trace_events_total Trace events recorded, by kind.\n")
 	p("# TYPE superglue_trace_events_total counter\n")
-	for _, kind := range []EventKind{EvInvoke, EvFaultDetected, EvReboot, EvRebuildWalk, EvReflect, EvUpcall, EvDegraded} {
+	for _, kind := range []EventKind{EvInvoke, EvFaultDetected, EvReboot, EvRebuildWalk, EvReflect, EvUpcall, EvDegraded, EvMigrate} {
 		if n, ok := snap.Kinds[kind.String()]; ok {
 			p("superglue_trace_events_total{kind=%q} %d\n", kind.String(), n)
 		}
@@ -46,6 +46,36 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 				p("%s{component=%q} %d\n", ctr.name, labelFor(c), n)
 			}
 		}
+	}
+
+	if len(snap.Cores) > 0 {
+		coreCounters := []struct {
+			name, help string
+			get        func(CoreSnapshot) uint64
+		}{
+			{"superglue_core_migrations_in_total", "Thread migrations onto the core.", func(c CoreSnapshot) uint64 { return c.MigrationsIn }},
+			{"superglue_core_migrations_out_total", "Thread migrations off the core.", func(c CoreSnapshot) uint64 { return c.MigrationsOut }},
+			{"superglue_core_cross_invocations_total", "Cross-core synchronous invocation entries on the core.", func(c CoreSnapshot) uint64 { return c.CrossCoreInvocations }},
+		}
+		for _, ctr := range coreCounters {
+			p("# HELP %s %s\n# TYPE %s counter\n", ctr.name, ctr.help, ctr.name)
+			for _, c := range snap.Cores {
+				if n := ctr.get(c); n > 0 {
+					p("%s{core=\"%d\"} %d\n", ctr.name, c.Core, n)
+				}
+			}
+		}
+	}
+	if lat := snap.CrossCoreLatency; lat != nil {
+		p("# HELP superglue_cross_core_invocation_latency_vtime_us Cross-core invocation dispatch latency in virtual-time microseconds.\n")
+		p("# TYPE superglue_cross_core_invocation_latency_vtime_us histogram\n")
+		cum := uint64(0)
+		for i, n := range lat.Hist {
+			cum += n
+			p("superglue_cross_core_invocation_latency_vtime_us_bucket{le=%q} %d\n", BucketLabel(i), cum)
+		}
+		p("superglue_cross_core_invocation_latency_vtime_us_sum %d\n", lat.TotalVT)
+		p("superglue_cross_core_invocation_latency_vtime_us_count %d\n", lat.Count)
 	}
 
 	p("# HELP superglue_recoveries_total Recovery-mechanism spans, by component and mechanism (paper taxonomy R0..U0).\n")

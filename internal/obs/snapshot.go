@@ -41,6 +41,20 @@ type ComponentSnapshot struct {
 	FaultKinds map[string]uint64 `json:"fault_kinds,omitempty"`
 }
 
+// CoreSnapshot is one simulated core's migration aggregate in a
+// Snapshot (populated only on multi-core machines that migrated).
+type CoreSnapshot struct {
+	// Core is the simulated core number.
+	Core int `json:"core"`
+	// MigrationsIn counts thread migrations onto the core.
+	MigrationsIn uint64 `json:"migrations_in"`
+	// MigrationsOut counts thread migrations off the core.
+	MigrationsOut uint64 `json:"migrations_out"`
+	// CrossCoreInvocations counts migrations in that were cross-core
+	// synchronous invocation entries (the xcall subset of MigrationsIn).
+	CrossCoreInvocations uint64 `json:"cross_core_invocations"`
+}
+
 // Snapshot is a consistent copy of everything the recorder knows:
 // recent events (the ring contents, oldest first), event-kind totals,
 // per-component aggregates, and the all-components per-mechanism
@@ -69,6 +83,14 @@ type Snapshot struct {
 	// paper's R0…U0 order (every mechanism present, even if zero — the
 	// per-mechanism breakdown the acceptance experiments embed).
 	Mechanisms []MechanismSnapshot `json:"mechanisms"`
+	// Cores holds per-core migration aggregates in core order (present
+	// only when the run migrated threads between simulated cores).
+	Cores []CoreSnapshot `json:"cores,omitempty"`
+	// CrossCoreLatency is the cross-core invocation latency histogram:
+	// virtual time between a thread leaving its caller's core and being
+	// dispatched on the server's home core (nil when no cross-core
+	// invocations happened).
+	CrossCoreLatency *MechStat `json:"cross_core_latency_vtime_us,omitempty"`
 	// Components holds per-component aggregates in component-ID order.
 	Components []ComponentSnapshot `json:"components"`
 	// Events is the ring contents, oldest first.
@@ -109,6 +131,21 @@ func (r *Recorder) Snapshot() Snapshot {
 				}
 				snap.FaultSeverities[fs.String()] = n
 			}
+		}
+		for core, cs := range r.cores {
+			if cs.in == 0 && cs.out == 0 && cs.xcall == 0 {
+				continue
+			}
+			snap.Cores = append(snap.Cores, CoreSnapshot{
+				Core:                 core,
+				MigrationsIn:         cs.in,
+				MigrationsOut:        cs.out,
+				CrossCoreInvocations: cs.xcall,
+			})
+		}
+		if r.crossLat.Count > 0 {
+			lat := r.crossLat
+			snap.CrossCoreLatency = &lat
 		}
 		for id := range r.comps {
 			s := &r.comps[id]

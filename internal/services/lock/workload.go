@@ -79,8 +79,18 @@ func (w *Workload) Build(sys *core.System) (kernel.ComponentID, error) {
 	}); err != nil {
 		return 0, err
 	}
+	// On a multi-core machine the owner's Alloc parks twice (cross-core
+	// migration there and back), so the contender's single courtesy yield
+	// is not guaranteed to outlast it; it retries a bounded number of
+	// times instead. The bound keeps the workload terminating when an
+	// injected fault kills the owner before it publishes the lock ID, and
+	// single-core machines keep the legacy single yield exactly.
+	readyYields := 1
+	if k.NumCores() > 1 {
+		readyYields = 64
+	}
 	if _, err := k.CreateThread(nil, "contender", 10, func(t *kernel.Thread) {
-		if !ready {
+		for i := 0; !ready && i < readyYields; i++ {
 			if err := k.Yield(t); err != nil {
 				w.fail(err)
 				return

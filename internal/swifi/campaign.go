@@ -118,11 +118,21 @@ type Config struct {
 	// "one-for-one", "rest-for-one", and "all-for-one" build a root
 	// supervisor of that strategy over all registered servers.
 	Policy string
+	// Cores is the number of simulated cores per trial machine (0 and 1
+	// are the legacy single-core machine). With more than one core the
+	// campaign places the target service on core 1 — every workload
+	// thread lives on core 0, so each invocation of the target becomes a
+	// cross-core synchronous invocation — and the deterministic virtual-
+	// time merge keeps the campaign reproducible for any worker count.
+	Cores int
 }
 
 // Result aggregates one campaign, mirroring one row of Table II.
 type Result struct {
-	Service    string
+	Service string
+	// Cores is the simulated core count the campaign ran with (0/1 =
+	// single core; multi-core rows are annotated in the rendered table).
+	Cores      int `json:",omitempty"`
 	Injected   int
 	Recovered  int
 	Segfault   int
@@ -264,6 +274,9 @@ func Run(cfg Config) (*Result, error) {
 	// Commit in trial-index order: the aggregate counters, the Trials
 	// slice, and the merged trace snapshot are independent of scheduling.
 	res := &Result{Service: cfg.Service}
+	if cfg.Cores > 1 {
+		res.Cores = cfg.Cores
+	}
 	if cfg.Shape != ShapeLegacy {
 		res.Kinds = make(map[string]*KindStats)
 	}
@@ -329,15 +342,38 @@ func (r *Result) countKinds(tr TrialResult) {
 	}
 }
 
-// dryRun executes the workload fault-free and counts invocation entries
-// into the target component.
-func dryRun(cfg Config) (uint64, error) {
-	sys, err := core.NewSystem(cfg.Mode)
+// buildTrialSystem boots one trial's machine (dry run included): a fresh
+// system with cfg.Cores simulated cores, the workload built on it, and —
+// on multi-core machines — the target service placed on core 1. Workload
+// threads are created on core 0, so placement turns every target
+// invocation into a cross-core synchronous invocation; the storage
+// component keeps its default execute-on-caller placement.
+func buildTrialSystem(cfg Config) (*core.System, workload.Workload, kernel.ComponentID, error) {
+	cores := cfg.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	sys, err := core.NewSystemWithCores(cfg.Mode, cores)
 	if err != nil {
-		return 0, err
+		return nil, nil, 0, err
 	}
 	w := cfg.Workload(cfg.Iters)
 	target, err := w.Build(sys)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if cores > 1 {
+		if err := sys.PlaceServer(target, 1); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	return sys, w, target, nil
+}
+
+// dryRun executes the workload fault-free and counts invocation entries
+// into the target component.
+func dryRun(cfg Config) (uint64, error) {
+	sys, w, target, err := buildTrialSystem(cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -361,12 +397,7 @@ func dryRun(cfg Config) (uint64, error) {
 
 // runTrial executes one injection trial.
 func runTrial(cfg Config, opportunities uint64, rng *rand.Rand, rec *obs.Recorder) (TrialResult, error) {
-	sys, err := core.NewSystem(cfg.Mode)
-	if err != nil {
-		return TrialResult{}, err
-	}
-	w := cfg.Workload(cfg.Iters)
-	target, err := w.Build(sys)
+	sys, w, target, err := buildTrialSystem(cfg)
 	if err != nil {
 		return TrialResult{}, err
 	}

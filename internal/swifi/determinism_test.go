@@ -1,0 +1,80 @@
+package swifi
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// legacyGolden pins the cores=1 campaign outcome for every service at the
+// reference seed: the multi-core refactor must leave the single-core
+// schedule — and therefore every classification — byte-for-byte where the
+// single-core scheduler left it. The counts are
+// Injected/Recovered/Segfault/Propagated/Other/Degraded/Undetected.
+var legacyGolden = map[string][7]int{
+	"sched": {25, 19, 2, 0, 0, 0, 4},
+	"mm":    {25, 20, 0, 0, 0, 0, 5},
+	"ramfs": {25, 20, 0, 0, 0, 0, 5},
+	"lock":  {25, 19, 0, 0, 1, 0, 5},
+	"event": {25, 19, 0, 0, 1, 0, 5},
+	"timer": {25, 21, 0, 0, 0, 0, 4},
+}
+
+// TestScheduleDeterminism is the multi-core scheduler's core contract,
+// asserted as a matrix: for every service and every core count in
+// {1, 2, 4}, a fixed-seed campaign produces a Result that is deeply equal
+// — and JSON byte-identical — whether the campaign engine shards trials
+// over 1 or 4 workers. The deterministic virtual-time merge (smallest
+// (clock, coreID) core, then (prio, seq) within it) is what makes this
+// hold: the simulated schedule never depends on goroutine timing. The
+// cores=1 rows are additionally pinned to the legacy single-core golden
+// counts, so the refactor cannot drift the single-core machine.
+func TestScheduleDeterminism(t *testing.T) {
+	for _, svc := range Targets() {
+		for _, cores := range []int{1, 2, 4} {
+			svc, cores := svc, cores
+			t.Run(fmt.Sprintf("%s/cores=%d", svc, cores), func(t *testing.T) {
+				run := func(workers int) *Result {
+					res, err := Run(Config{
+						Service:  svc,
+						Workload: Workloads()[svc],
+						Iters:    3,
+						Trials:   25,
+						Seed:     2026,
+						Profile:  Profiles()[svc],
+						Workers:  workers,
+						Cores:    cores,
+					})
+					if err != nil {
+						t.Fatalf("Run(%s, cores=%d, workers=%d): %v", svc, cores, workers, err)
+					}
+					return res
+				}
+				one, four := run(1), run(4)
+				if !reflect.DeepEqual(one, four) {
+					t.Fatalf("%s cores=%d: workers=4 result differs from workers=1", svc, cores)
+				}
+				a, err := json.Marshal(one)
+				if err != nil {
+					t.Fatalf("marshal workers=1 result: %v", err)
+				}
+				b, err := json.Marshal(four)
+				if err != nil {
+					t.Fatalf("marshal workers=4 result: %v", err)
+				}
+				if string(a) != string(b) {
+					t.Fatalf("%s cores=%d: JSON differs between worker counts", svc, cores)
+				}
+				if cores == 1 {
+					want := legacyGolden[svc]
+					got := [7]int{one.Injected, one.Recovered, one.Segfault,
+						one.Propagated, one.Other, one.Degraded, one.Undetected}
+					if got != want {
+						t.Fatalf("%s cores=1: counts %v differ from legacy golden %v", svc, got, want)
+					}
+				}
+			})
+		}
+	}
+}

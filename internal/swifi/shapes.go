@@ -77,13 +77,26 @@ func underscored(s string) string {
 
 // DefaultKinds is the kind pool shaped campaigns draw from when
 // Config.Kinds is empty: every kind of the taxonomy that the injector
-// can synthesize against an arbitrary target.
+// can synthesize against an arbitrary target. The multi-core kinds are
+// deliberately excluded so that existing shaped campaigns stay
+// byte-identical for a fixed seed; opt in with MulticoreKinds (or an
+// explicit Config.Kinds pool).
 func DefaultKinds() []fault.Kind {
 	return []fault.Kind{
 		fault.KindRegisterFlip, fault.KindHang, fault.KindLivelock,
 		fault.KindDescCorruption, fault.KindStorageCrash,
 		fault.KindStorageCorruption, fault.KindMessageLoss, fault.KindMessageDup,
 	}
+}
+
+// MulticoreKinds is DefaultKinds plus the multi-core fault kinds: failed
+// thread migrations (transient, redo-recovered) and corruption detected
+// during cross-core synchronous invocations (fail-stop). Meaningful on
+// machines built with Config.Cores > 1, where target invocations really
+// do migrate; on a single core the kinds degrade to their message-loss /
+// fail-stop analogues.
+func MulticoreKinds() []fault.Kind {
+	return append(DefaultKinds(), fault.KindMigration, fault.KindCrossCoreInv)
 }
 
 // PlannedFault is one entry of a shaped trial's injection plan: fire a
@@ -270,6 +283,20 @@ func (inj *shapedInjector) fireKind(t *kernel.Thread, p *PlannedFault, fn string
 		inj.k.InjectTransientFault(t, victim, fault.KindMessageLoss)
 	case fault.KindMessageDup:
 		inj.k.DuplicateNext(t, victim)
+	case fault.KindMigration:
+		// A failed migration between cores: the thread arrives but its
+		// in-flight execution context is lost, so the invocation unwinds
+		// transiently and the stub redoes it (the cross-core analogue of
+		// message loss). The hook runs after the entry migration, so
+		// t.CrossCoreInvocation() reports whether the frame really did
+		// migrate; on a single-core machine the kind degrades to a plain
+		// retransmission.
+		inj.k.InjectTransientFault(t, victim, fault.KindMigration)
+	case fault.KindCrossCoreInv:
+		// Corruption detected while a cross-core invocation executes on
+		// the server's home core: fail-stop, µ-reboot on the home core,
+		// and the caller's stub replays the (re-migrated) invocation.
+		_ = inj.k.FailComponentAs(victim, fault.KindCrossCoreInv, fault.DefaultSeverity(fault.KindCrossCoreInv))
 	default:
 		_ = inj.k.FailComponentAs(victim, p.Kind, fault.DefaultSeverity(p.Kind))
 	}
@@ -304,12 +331,7 @@ func (inj *shapedInjector) applyFlip(t *kernel.Thread, victim kernel.ComponentID
 // kind pool, and without attribution they would kill the machine rather
 // than exercise the escalation ladder.
 func runShapedTrial(cfg Config, opportunities uint64, rng *rand.Rand, rec *obs.Recorder) (TrialResult, error) {
-	sys, err := core.NewSystem(cfg.Mode)
-	if err != nil {
-		return TrialResult{}, err
-	}
-	w := cfg.Workload(cfg.Iters)
-	target, err := w.Build(sys)
+	sys, w, target, err := buildTrialSystem(cfg)
 	if err != nil {
 		return TrialResult{}, err
 	}

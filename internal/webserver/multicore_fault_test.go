@@ -1,0 +1,25 @@
+package webserver
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestHangProbe(t *testing.T) {
+	for _, w := range []int{1, 2, 4} {
+		for _, c := range []int{1, 2, 4} {
+			for _, r := range []int{600, 2000} {
+				name := fmt.Sprintf("w%dc%dr%d", w, c, r)
+				t.Run(name, func(t *testing.T) {
+					res, err := Run(Config{Variant: VariantSuperGlue, Requests: r, Workers: w, Cores: c, FaultEvery: r / 10})
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if res.Completed != r {
+						t.Fatalf("%s: completed %d of %d (errors %d)", name, res.Completed, r, res.Errors)
+					}
+				})
+			}
+		}
+	}
+}

@@ -45,6 +45,14 @@ type Config struct {
 	Mode core.RecoveryMode
 	// BucketSize is the completions-per-timeline-bucket granularity.
 	BucketSize int
+	// Cores is the simulated core count (0 or 1 = the legacy single-core
+	// machine). With more cores the backing services are placed round-robin
+	// on cores 1..Cores-1 and the worker threads are spread over every
+	// core, so requests exercise cross-core synchronous invocations.
+	// Execution stays globally serialized (the simulator models one running
+	// thread), so extra cores add migration modeling, not wall-clock
+	// parallelism.
+	Cores int
 }
 
 // Stats reports one run's outcome.
@@ -64,6 +72,15 @@ type Stats struct {
 	Degraded   int
 	Elapsed    time.Duration
 	Throughput float64 // requests per wall-clock second
+	// Cores is the simulated core count the run used.
+	Cores int
+	// VirtualTicks is the final virtual clock of the run's machine: the
+	// dispatch quanta, sleeps, and migration charges the request stream
+	// consumed (0 for the baseline variant, which has no machine).
+	VirtualTicks kernel.Time
+	// Migrations counts cross-core thread migrations over every core
+	// (0 on a single-core machine).
+	Migrations uint64
 	// Timeline records the elapsed wall time at each completion bucket,
 	// showing recovery dips.
 	Timeline []BucketPoint
@@ -135,13 +152,27 @@ func paths(files map[string][]byte) []string {
 // runComponentized serves the request stream through the component
 // substrate.
 func runComponentized(cfg Config) (*Stats, error) {
-	sys, err := core.NewSystem(cfg.Mode)
+	cores := cfg.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	sys, err := core.NewSystemWithCores(cfg.Mode, cores)
 	if err != nil {
 		return nil, err
 	}
 	svc, ids, err := buildSubstrate(sys, cfg.Variant)
 	if err != nil {
 		return nil, err
+	}
+	if cores > 1 {
+		// Spread the backing services over cores 1..cores-1, keeping core 0
+		// for the application threads: every request now crosses cores.
+		comps := []kernel.ComponentID{ids.lock, ids.evt, ids.fs, ids.timer, ids.sched}
+		for i, comp := range comps {
+			if err := sys.PlaceServer(comp, 1+i%(cores-1)); err != nil {
+				return nil, err
+			}
+		}
 	}
 	k := sys.Kernel()
 	if cfg.Watchdog {
@@ -162,49 +193,10 @@ func runComponentized(cfg Config) (*Stats, error) {
 		cacheLock  kernel.Word
 		fdCache    = make(map[string]kernel.Word)
 		workerEvts = make([]kernel.Word, cfg.Workers)
-		workerTIDs = make([]kernel.ThreadID, cfg.Workers)
 		runErrs    []error
 		done       = false
 	)
 	fail := func(err error) { runErrs = append(runErrs, err) }
-
-	// Loader: preload the site into the RAM filesystem, create the cache
-	// lock and the per-worker request events; runs to completion first
-	// (highest priority).
-	if _, err := k.CreateThread(nil, "loader", 1, func(t *kernel.Thread) {
-		for _, p := range site {
-			fd, err := svc.fs.Open(t, p)
-			if err != nil {
-				fail(fmt.Errorf("loader open %s: %w", p, err))
-				return
-			}
-			if _, err := svc.fs.Write(t, fd, cfg.Files[p]); err != nil {
-				fail(fmt.Errorf("loader write %s: %w", p, err))
-				return
-			}
-			if err := svc.fs.Close(t, fd); err != nil {
-				fail(fmt.Errorf("loader close %s: %w", p, err))
-				return
-			}
-		}
-		id, err := svc.lock.Alloc(t)
-		if err != nil {
-			fail(fmt.Errorf("loader lock: %w", err))
-			return
-		}
-		cacheLock = id
-		for i := range workerEvts {
-			evt, err := svc.evt.Split(t, 0, kernel.Word(i))
-			if err != nil {
-				fail(fmt.Errorf("loader evt %d: %w", i, err))
-				return
-			}
-			workerEvts[i] = evt
-		}
-		start = time.Now()
-	}); err != nil {
-		return nil, err
-	}
 
 	// serve handles one request through the full component path.
 	serve := func(t *kernel.Thread, raw []byte) {
@@ -243,154 +235,230 @@ func runComponentized(cfg Config) (*Stats, error) {
 		}
 	}
 
-	// Workers: wait on their event, pull the next request, serve.
+	// Workers: wait on their event, pull the next request, serve. They are
+	// created by the loader once the events exist — on a multi-core machine
+	// a worker created at build time could be dispatched on its own core
+	// before the loader finished the setup.
 	workersDone := 0
-	for w := 0; w < cfg.Workers; w++ {
-		w := w
-		tid, err := k.CreateThread(nil, fmt.Sprintf("worker%d", w), 10, func(t *kernel.Thread) {
-			defer func() { workersDone++ }()
-			if _, err := svc.sched.Setup(t, t.Prio()); err != nil {
-				fail(fmt.Errorf("worker%d setup: %w", w, err))
+	createWorkers := func(creator *kernel.Thread) {
+		for w := 0; w < cfg.Workers; w++ {
+			w := w
+			if _, err := k.CreateThreadOn(creator, fmt.Sprintf("worker%d", w), 10, w%cores, func(t *kernel.Thread) {
+				defer func() { workersDone++ }()
+				if _, err := svc.sched.Setup(t, t.Prio()); err != nil {
+					fail(fmt.Errorf("worker%d setup: %w", w, err))
+					return
+				}
+				for {
+					if _, err := svc.evt.Wait(t, workerEvts[w]); err != nil {
+						fail(fmt.Errorf("worker%d wait: %w", w, err))
+						return
+					}
+					if next >= len(reqs) {
+						return
+					}
+					raw := reqs[next]
+					next++
+					serve(t, raw)
+				}
+			}); err != nil {
+				fail(fmt.Errorf("worker%d create: %w", w, err))
 				return
 			}
-			for {
-				if _, err := svc.evt.Wait(t, workerEvts[w]); err != nil {
-					fail(fmt.Errorf("worker%d wait: %w", w, err))
-					return
-				}
-				if next >= len(reqs) {
-					return
-				}
-				raw := reqs[next]
-				next++
-				serve(t, raw)
-			}
-		})
-		if err != nil {
-			return nil, err
 		}
-		workerTIDs[w] = tid
 	}
 
-	// Netif: trigger one worker event per request arrival, round-robin;
-	// then keep nudging the worker events until every worker has observed
-	// the end of the stream (a µ-reboot can wipe an undelivered pending
-	// trigger, so the shutdown must re-trigger rather than fire-and-forget).
-	if _, err := k.CreateThread(nil, "netif", 11, func(t *kernel.Thread) {
-		for i := 0; i < cfg.Requests; i++ {
-			if _, err := svc.evt.Trigger(t, workerEvts[i%cfg.Workers]); err != nil {
-				fail(fmt.Errorf("netif trigger: %w", err))
-				return
+	// hangAt is the armed hang target (zero = disarmed); the invoke hook
+	// installed below (HangEvery) fires it.
+	var hangAt kernel.ComponentID
+
+	// launchAux creates the netif, housekeeper, and fault-injection threads.
+	// Like the workers, they start only after the loader finished the setup:
+	// on a multi-core machine a build-time thread could be dispatched while
+	// the loader is parked on a cross-core invocation, and would then trip
+	// over half-initialized events.
+	launchAux := func(creator *kernel.Thread) {
+		// Netif: trigger one worker event per request arrival, round-robin;
+		// then keep nudging the worker events until every worker has observed
+		// the end of the stream (a µ-reboot can wipe an undelivered pending
+		// trigger, so the shutdown must re-trigger rather than fire-and-forget).
+		if _, err := k.CreateThread(creator, "netif", 11, func(t *kernel.Thread) {
+			for i := 0; i < cfg.Requests; i++ {
+				if _, err := svc.evt.Trigger(t, workerEvts[i%cfg.Workers]); err != nil {
+					fail(fmt.Errorf("netif trigger: %w", err))
+					return
+				}
+				if i%64 == 63 {
+					if err := k.Yield(t); err != nil {
+						return
+					}
+				}
 			}
-			if i%64 == 63 {
+			for workersDone < cfg.Workers {
+				for w := 0; w < cfg.Workers; w++ {
+					if _, err := svc.evt.Trigger(t, workerEvts[w]); err != nil {
+						fail(fmt.Errorf("netif final trigger: %w", err))
+						return
+					}
+				}
 				if err := k.Yield(t); err != nil {
 					return
 				}
 			}
-		}
-		for workersDone < cfg.Workers {
-			for w := 0; w < cfg.Workers; w++ {
-				if _, err := svc.evt.Trigger(t, workerEvts[w]); err != nil {
-					fail(fmt.Errorf("netif final trigger: %w", err))
-					return
-				}
-			}
-			if err := k.Yield(t); err != nil {
-				return
-			}
-		}
-		done = true
-	}); err != nil {
-		return nil, err
-	}
-
-	// Housekeeper: a periodic timer tick (connection-timeout scanning in a
-	// real server); fires at quiescent points.
-	if _, err := k.CreateThread(nil, "housekeeper", 12, func(t *kernel.Thread) {
-		id, err := svc.timer.Alloc(t, 50_000)
-		if err != nil {
-			fail(fmt.Errorf("housekeeper: %w", err))
+			done = true
+		}); err != nil {
+			fail(fmt.Errorf("netif create: %w", err))
 			return
 		}
-		for !done {
-			if _, err := svc.timer.Wait(t, id); err != nil {
-				fail(fmt.Errorf("housekeeper wait: %w", err))
+
+		// Housekeeper: a periodic timer tick (connection-timeout scanning in
+		// a real server); fires at quiescent points.
+		if _, err := k.CreateThread(creator, "housekeeper", 12, func(t *kernel.Thread) {
+			id, err := svc.timer.Alloc(t, 50_000)
+			if err != nil {
+				fail(fmt.Errorf("housekeeper: %w", err))
+				return
+			}
+			for !done {
+				if _, err := svc.timer.Wait(t, id); err != nil {
+					fail(fmt.Errorf("housekeeper wait: %w", err))
+					return
+				}
+			}
+		}); err != nil {
+			fail(fmt.Errorf("housekeeper create: %w", err))
+			return
+		}
+
+		// Crasher: periodically fail a rotating system component (the Fig. 7
+		// fault-injection variant).
+		if cfg.FaultEvery > 0 {
+			if _, err := k.CreateThread(creator, "crasher", 11, func(t *kernel.Thread) {
+				targets := []kernel.ComponentID{ids.lock, ids.evt, ids.fs, ids.timer, ids.sched}
+				nextFault := cfg.FaultEvery
+				// The spin also stops on a run error: with the serving threads
+				// dead, a yield loop would otherwise keep the machine runnable
+				// forever and turn the failure into a livelock.
+				for i := 0; !done && len(runErrs) == 0; i++ {
+					if stats.Completed >= nextFault {
+						target := targets[stats.Faults%len(targets)]
+						if err := k.FailComponent(target); err != nil {
+							fail(fmt.Errorf("crasher: %w", err))
+							return
+						}
+						stats.Faults++
+						nextFault += cfg.FaultEvery
+					}
+					if err := k.Yield(t); err != nil {
+						return
+					}
+				}
+			}); err != nil {
+				fail(fmt.Errorf("crasher create: %w", err))
 				return
 			}
 		}
+
+		// Burster: periodically fail a rotating backing service together with
+		// the storage component — a correlated double fault, so the service's
+		// recovery (which leans on storage for G0/G1 restores) immediately
+		// trips over its crashed dependency and must reboot it first.
+		if cfg.CorrelatedEvery > 0 {
+			if _, err := k.CreateThread(creator, "burster", 11, func(t *kernel.Thread) {
+				targets := []kernel.ComponentID{ids.lock, ids.evt, ids.fs, ids.timer}
+				nextBurst := cfg.CorrelatedEvery
+				for !done && len(runErrs) == 0 {
+					if stats.Completed >= nextBurst {
+						target := targets[stats.CorrelatedBursts%len(targets)]
+						if err := k.FailComponent(target); err != nil {
+							fail(fmt.Errorf("burster: %w", err))
+							return
+						}
+						if err := k.FailComponent(sys.StorageComp()); err != nil {
+							fail(fmt.Errorf("burster storage: %w", err))
+							return
+						}
+						stats.CorrelatedBursts++
+						nextBurst += cfg.CorrelatedEvery
+					}
+					if err := k.Yield(t); err != nil {
+						return
+					}
+				}
+			}); err != nil {
+				fail(fmt.Errorf("burster create: %w", err))
+				return
+			}
+		}
+
+		// Hangler: periodically wedge a thread inside a rotating backing
+		// service (the latent-fault variant of the crasher). The hook fires
+		// the hang at the next invocation entry into the armed target, on
+		// whichever thread performs it; the watchdog then attributes it,
+		// fails the component, and the stub recovers mid-request. Only
+		// services on the per-request path are targeted — sched is invoked
+		// at setup only, so a hang armed on it would never fire.
+		if cfg.HangEvery > 0 {
+			hangTargets := []kernel.ComponentID{ids.lock, ids.evt, ids.fs, ids.timer}
+			if _, err := k.CreateThread(creator, "hangler", 11, func(t *kernel.Thread) {
+				nextHang := cfg.HangEvery
+				for !done && len(runErrs) == 0 {
+					if hangAt == 0 && stats.Completed >= nextHang {
+						hangAt = hangTargets[stats.Hangs%len(hangTargets)]
+						nextHang += cfg.HangEvery
+					}
+					if err := k.Yield(t); err != nil {
+						return
+					}
+				}
+			}); err != nil {
+				fail(fmt.Errorf("hangler create: %w", err))
+				return
+			}
+		}
+	}
+
+	// Loader: preload the site into the RAM filesystem, create the cache
+	// lock, the per-worker request events, and then the workers themselves;
+	// runs to completion first (highest priority).
+	if _, err := k.CreateThread(nil, "loader", 1, func(t *kernel.Thread) {
+		for _, p := range site {
+			fd, err := svc.fs.Open(t, p)
+			if err != nil {
+				fail(fmt.Errorf("loader open %s: %w", p, err))
+				return
+			}
+			if _, err := svc.fs.Write(t, fd, cfg.Files[p]); err != nil {
+				fail(fmt.Errorf("loader write %s: %w", p, err))
+				return
+			}
+			if err := svc.fs.Close(t, fd); err != nil {
+				fail(fmt.Errorf("loader close %s: %w", p, err))
+				return
+			}
+		}
+		id, err := svc.lock.Alloc(t)
+		if err != nil {
+			fail(fmt.Errorf("loader lock: %w", err))
+			return
+		}
+		cacheLock = id
+		for i := range workerEvts {
+			evt, err := svc.evt.Split(t, 0, kernel.Word(i))
+			if err != nil {
+				fail(fmt.Errorf("loader evt %d: %w", i, err))
+				return
+			}
+			workerEvts[i] = evt
+		}
+		createWorkers(t)
+		launchAux(t)
+		start = time.Now()
 	}); err != nil {
 		return nil, err
 	}
 
-	// Crasher: periodically fail a rotating system component (the Fig. 7
-	// fault-injection variant).
-	if cfg.FaultEvery > 0 {
-		if _, err := k.CreateThread(nil, "crasher", 11, func(t *kernel.Thread) {
-			targets := []kernel.ComponentID{ids.lock, ids.evt, ids.fs, ids.timer, ids.sched}
-			nextFault := cfg.FaultEvery
-			// The spin also stops on a run error: with the serving threads
-			// dead, a yield loop would otherwise keep the machine runnable
-			// forever and turn the failure into a livelock.
-			for i := 0; !done && len(runErrs) == 0; i++ {
-				if stats.Completed >= nextFault {
-					target := targets[stats.Faults%len(targets)]
-					if err := k.FailComponent(target); err != nil {
-						fail(fmt.Errorf("crasher: %w", err))
-						return
-					}
-					stats.Faults++
-					nextFault += cfg.FaultEvery
-				}
-				if err := k.Yield(t); err != nil {
-					return
-				}
-			}
-		}); err != nil {
-			return nil, err
-		}
-	}
-
-	// Burster: periodically fail a rotating backing service together with
-	// the storage component — a correlated double fault, so the service's
-	// recovery (which leans on storage for G0/G1 restores) immediately
-	// trips over its crashed dependency and must reboot it first.
-	if cfg.CorrelatedEvery > 0 {
-		if _, err := k.CreateThread(nil, "burster", 11, func(t *kernel.Thread) {
-			targets := []kernel.ComponentID{ids.lock, ids.evt, ids.fs, ids.timer}
-			nextBurst := cfg.CorrelatedEvery
-			for !done && len(runErrs) == 0 {
-				if stats.Completed >= nextBurst {
-					target := targets[stats.CorrelatedBursts%len(targets)]
-					if err := k.FailComponent(target); err != nil {
-						fail(fmt.Errorf("burster: %w", err))
-						return
-					}
-					if err := k.FailComponent(sys.StorageComp()); err != nil {
-						fail(fmt.Errorf("burster storage: %w", err))
-						return
-					}
-					stats.CorrelatedBursts++
-					nextBurst += cfg.CorrelatedEvery
-				}
-				if err := k.Yield(t); err != nil {
-					return
-				}
-			}
-		}); err != nil {
-			return nil, err
-		}
-	}
-
-	// Hangler: periodically wedge a thread inside a rotating backing
-	// service (the latent-fault variant of the crasher). The hook fires the
-	// hang at the next invocation entry into the armed target, on whichever
-	// thread performs it; the watchdog then attributes it, fails the
-	// component, and the stub recovers mid-request. Only services on the
-	// per-request path are targeted — sched is invoked at setup only, so a
-	// hang armed on it would never fire.
 	if cfg.HangEvery > 0 {
-		hangTargets := []kernel.ComponentID{ids.lock, ids.evt, ids.fs, ids.timer}
-		var hangAt kernel.ComponentID // zero = disarmed
 		k.SetInvokeHook(func(t *kernel.Thread, comp kernel.ComponentID, fn string, phase kernel.InvokePhase) {
 			if phase != kernel.PhaseEntry || comp != hangAt || hangAt == 0 {
 				return
@@ -399,20 +467,6 @@ func runComponentized(cfg Config) (*Stats, error) {
 			stats.Hangs++
 			k.HangCurrent(t)
 		})
-		if _, err := k.CreateThread(nil, "hangler", 11, func(t *kernel.Thread) {
-			nextHang := cfg.HangEvery
-			for !done && len(runErrs) == 0 {
-				if hangAt == 0 && stats.Completed >= nextHang {
-					hangAt = hangTargets[stats.Hangs%len(hangTargets)]
-					nextHang += cfg.HangEvery
-				}
-				if err := k.Yield(t); err != nil {
-					return
-				}
-			}
-		}); err != nil {
-			return nil, err
-		}
 	}
 
 	if err := k.Run(); err != nil {
@@ -424,6 +478,11 @@ func runComponentized(cfg Config) (*Stats, error) {
 	stats.Elapsed = time.Since(start)
 	if stats.Elapsed > 0 {
 		stats.Throughput = float64(stats.Completed) / stats.Elapsed.Seconds()
+	}
+	stats.Cores = cores
+	stats.VirtualTicks = k.Now()
+	for _, cs := range k.CoreStats() {
+		stats.Migrations += cs.Migrations
 	}
 	return stats, nil
 }

@@ -296,6 +296,53 @@ func TestEagerModeServes(t *testing.T) {
 	}
 }
 
+// TestMultiCoreServes runs the request stream on 2- and 4-core machines:
+// backing services live on cores ≥ 1 and workers are spread over every
+// core, so each request crosses cores, with migrations charged in virtual
+// time.
+func TestMultiCoreServes(t *testing.T) {
+	for _, cores := range []int{2, 4} {
+		for _, v := range []Variant{VariantComposite, VariantC3, VariantSuperGlue} {
+			v := v
+			cores := cores
+			t.Run(fmt.Sprintf("%v/cores=%d", v, cores), func(t *testing.T) {
+				st, err := Run(Config{Variant: v, Requests: 300, Workers: 2, Cores: cores})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if st.Completed != 300 || st.Errors != 0 {
+					t.Fatalf("stats = %+v; want 300 clean completions", st)
+				}
+				if st.Cores != cores {
+					t.Fatalf("cores = %d; want %d", st.Cores, cores)
+				}
+				if st.Migrations == 0 {
+					t.Fatal("no cross-core migrations recorded; placement did not take")
+				}
+				if st.VirtualTicks == 0 {
+					t.Fatal("virtual clock did not advance")
+				}
+			})
+		}
+	}
+}
+
+// TestMultiCoreServesAcrossFaults injects rotating component crashes into a
+// 4-core run: recovery (µ-reboot + redo) must work when the rebooted
+// server is homed on another core.
+func TestMultiCoreServesAcrossFaults(t *testing.T) {
+	st, err := Run(Config{Variant: VariantSuperGlue, Requests: 600, Workers: 4, Cores: 4, FaultEvery: 150})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Completed != 600 || st.Errors != 0 {
+		t.Fatalf("stats = %+v; want 600 clean completions across faults", st)
+	}
+	if st.Faults < 3 {
+		t.Fatalf("faults = %d; want ≥ 3", st.Faults)
+	}
+}
+
 func TestDefaultFilesHaveIndex(t *testing.T) {
 	files := DefaultFiles()
 	if _, ok := files["/index.html"]; !ok {
