@@ -1,0 +1,54 @@
+package model
+
+import (
+	"fmt"
+
+	"superglue/internal/core"
+	"superglue/internal/fault"
+	"superglue/internal/swifi"
+)
+
+// CampaignConfig lowers the repro plan to a runnable SWIFI campaign over
+// the service's builtin workload: the dynamic trial that replays the
+// static counterexample. It fails when the plan's service has no builtin
+// workload (fixture-only services) or a field does not parse.
+func (r *Repro) CampaignConfig() (swifi.Config, error) {
+	w, ok := swifi.Workloads()[r.Service]
+	if !ok {
+		return swifi.Config{}, fmt.Errorf("model: no builtin workload for service %q", r.Service)
+	}
+	shape, ok := swifi.ParseShape(r.Shape)
+	if !ok {
+		return swifi.Config{}, fmt.Errorf("model: unknown campaign shape %q", r.Shape)
+	}
+	var kinds []fault.Kind
+	for _, name := range r.Kinds {
+		k, known := fault.ParseKind(name)
+		if !known {
+			return swifi.Config{}, fmt.Errorf("model: unknown fault kind %q", name)
+		}
+		kinds = append(kinds, k)
+	}
+	cfg := swifi.Config{
+		Service:      r.Service,
+		Workload:     w,
+		Iters:        5,
+		Trials:       r.Trials,
+		Seed:         r.Seed,
+		Profile:      swifi.Profiles()[r.Service],
+		Watchdog:     true,
+		Shape:        shape,
+		Kinds:        kinds,
+		StormFaults:  r.StormFaults,
+		Policy:       r.Policy,
+		FaultActions: r.FaultActions,
+	}
+	if r.MaxRetries > 0 || r.CascadeRetries > 0 || r.FailHard {
+		cfg.Recovery = &core.RecoveryPolicy{
+			MaxRetries:     r.MaxRetries,
+			CascadeRetries: r.CascadeRetries,
+			Degrade:        !r.FailHard,
+		}
+	}
+	return cfg, nil
+}

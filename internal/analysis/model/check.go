@@ -1,0 +1,239 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"superglue/internal/analysis/speclint"
+	"superglue/internal/fault"
+)
+
+// check runs the full analysis: operational BFS, then per-configuration
+// fault injection (single and during-recovery), under the configured
+// policy and — for the restart-intensity property — under a supervision
+// tree (the configured strategy, or one-for-one when none is set).
+func (m *machine) check() (*Report, error) {
+	started := time.Now()
+	var deadline time.Time
+	if m.cfg.Deadline > 0 {
+		deadline = started.Add(m.cfg.Deadline)
+	}
+	rep := &Report{Service: m.spec.Service, Descs: m.cfg.Descs, Threads: m.cfg.Threads}
+
+	visited, trajectory, err := m.explore(deadline)
+	if err != nil {
+		rep.Trajectory = trajectory
+		return rep, err
+	}
+	rep.States = len(visited)
+	rep.Trajectory = trajectory
+
+	// Deterministic configuration order for episode passes.
+	confs := make([]conf, 0, len(visited))
+	for c := range visited {
+		confs = append(confs, c)
+	}
+	sort.Slice(confs, func(i, j int) bool { return confLess(confs[i], confs[j]) })
+
+	type finding struct {
+		diag Diagnostic
+		ord  int // tie-break: earlier configurations win
+	}
+	found := make(map[string]finding) // key: code + kind (+ mode)
+	report := func(key string, ord int, d Diagnostic) {
+		if prev, ok := found[key]; ok && prev.ord <= ord {
+			return
+		}
+		found[key] = finding{diag: d, ord: ord}
+	}
+
+	supervised := m.cfg.Supervision != ""
+	strategy := m.cfg.Supervision
+	if strategy == "" {
+		strategy = "one-for-one"
+	}
+	// maxReboots tracks the heaviest single-fault restart load per kind
+	// (supervised pass) for the storm-burst analysis.
+	maxReboots := make(map[fault.Kind]int)
+	maxRebootConf := make(map[fault.Kind]conf)
+
+	maxLen := 0
+	budgetErr := func() error {
+		if rep.EpisodeStates > m.cfg.MaxStates {
+			return fmt.Errorf("model: %s: state budget %d exceeded (episodes)", m.spec.Service, m.cfg.MaxStates)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return fmt.Errorf("model: %s: deadline exceeded during episode pass", m.spec.Service)
+		}
+		return nil
+	}
+
+	for ord, c := range confs {
+		for _, k := range m.cfg.Kinds {
+			// Single-fault episode under the configured (flat or
+			// supervised) escalation regime: P1, P2.
+			r := m.runEpisode(c, k, k, 0, supervised)
+			rep.Episodes++
+			rep.EpisodeStates += r.steps
+			if r.steps > maxLen {
+				maxLen = r.steps
+			}
+			m.judge(report, "single", ord, visited, c, k, r, supervised)
+
+			// Supervised single-fault episode: P3 (restart-intensity
+			// unreachable from one fault). Skipped when the main pass is
+			// already supervised.
+			if !supervised {
+				rs := m.runEpisode(c, k, k, 0, true)
+				rep.Episodes++
+				rep.EpisodeStates += rs.steps
+				if rs.outcome == OutIntensity {
+					key := "SG203|" + k.String()
+					report(key, ord, m.intensityDiag(visited, c, k, rs, strategy))
+				}
+				if rs.reboots > maxReboots[k] {
+					maxReboots[k] = rs.reboots
+					maxRebootConf[k] = c
+				}
+			} else {
+				if r.reboots > maxReboots[k] {
+					maxReboots[k] = r.reboots
+					maxRebootConf[k] = c
+				}
+			}
+
+			// During-recovery episode: the secondary fault fires while
+			// the recovery walk replays — P4 (and P1/P2 under the shape).
+			if m.cfg.Secondaries > 0 {
+				rd := m.runEpisode(c, k, k, m.cfg.Secondaries, supervised)
+				rep.Episodes++
+				rep.EpisodeStates += rd.steps
+				if rd.steps > maxLen {
+					maxLen = rd.steps
+				}
+				m.judge(report, "during-recovery", ord, visited, c, k, rd, supervised)
+			}
+		}
+		if err := budgetErr(); err != nil {
+			return rep, err
+		}
+	}
+
+	// Storm analysis: the minimal burst of the restart-heaviest kind
+	// that exhausts the supervision window, flagged with a witness (the
+	// dynamic analog is the storm shape's restart-intensity stress).
+	worst, worstN := fault.KindUnknown, 0
+	for _, k := range m.cfg.Kinds {
+		if maxReboots[k] > worstN || (maxReboots[k] == worstN && worst != fault.KindUnknown && k.String() < worst.String()) {
+			worst, worstN = k, maxReboots[k]
+		}
+	}
+	if worstN > 0 {
+		if _, bad := found["SG203|"+worst.String()]; !bad {
+			burst := m.cfg.RestartIntensity/worstN + 1
+			c := maxRebootConf[worst]
+			d := Diagnostic{
+				Code: "SG203", Severity: speclint.SevInfo, Service: m.spec.Service,
+				Message: fmt.Sprintf("storm shape: %d %s faults within one supervision window exhaust the root %s restart budget (%d reboots per fault, intensity %d)",
+					burst, worst, strategy, worstN, m.cfg.RestartIntensity),
+				Witness: append(path(visited, c),
+					fmt.Sprintf("each %s fault forces %d server restart(s); %d faults within %d virtual-time units charge past the budget", worst, worstN, burst, 10000)),
+			}
+			d.Repro = m.lowerStorm(worst, burst, strategy)
+			report("SG203|storm", len(confs), d)
+		}
+	}
+
+	// Assemble deterministically: code, then kind key.
+	keys := make([]string, 0, len(found))
+	for k := range found {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rep.Diagnostics = append(rep.Diagnostics, found[k].diag)
+	}
+	if !rep.HasErrors() {
+		rep.Verified = []string{
+			fmt.Sprintf("P1 recovery coverage: every kind in every configuration reaches recovered/degraded (%d episodes)", rep.Episodes),
+			fmt.Sprintf("P2 walk termination: no hold-replay or wakeup-replay cycle (longest episode %d steps)", maxLen),
+			fmt.Sprintf("P3 restart intensity: unreachable from any single fault under %s supervision (budget %d)", strategy, m.cfg.RestartIntensity),
+			fmt.Sprintf("P4 held descriptors: no mid-recovery fault strands a hold (%d during-recovery secondaries)", m.cfg.Secondaries),
+		}
+	}
+	rep.Elapsed = time.Since(started)
+	return rep, nil
+}
+
+// judge classifies one episode result against properties P1, P2, P4.
+func (m *machine) judge(report func(string, int, Diagnostic), mode string, ord int, visited map[conf]edge, c conf, k fault.Kind, r epResult, supervised bool) {
+	witness := func() []string {
+		w := path(visited, c)
+		if len(w) == 0 {
+			w = []string{"start from the empty configuration"}
+		}
+		return append(w, r.trace...)
+	}
+	switch r.outcome {
+	case OutCycle:
+		report("SG202|"+k.String(), ord, Diagnostic{
+			Code: "SG202", Severity: speclint.SevError, Service: m.spec.Service,
+			Message: fmt.Sprintf("recovery of a %s fault does not terminate: replay cycle in %s", k, m.confString(c)),
+			Witness: witness(),
+			Repro:   m.lowerSingle(k, OutCycle, "spec-shape cycle: the dynamic analog is a hang of the recovering thread"),
+		})
+	case OutFailed:
+		report("SG201|"+k.String(), ord, Diagnostic{
+			Code: "SG201", Severity: speclint.SevError, Service: m.spec.Service,
+			Message: fmt.Sprintf("a %s fault injected in %s reaches neither a recovered nor a degraded terminal (%s)", k, m.confString(c), mode),
+			Witness: witness(),
+			Repro:   m.lowerForMode(mode, k, OutFailed),
+		})
+	case OutIntensity:
+		if supervised {
+			report("SG203|"+k.String(), ord, m.intensityDiag(visited, c, k, r, m.cfg.Supervision))
+		}
+	}
+	if mode == "during-recovery" && r.strandedHold {
+		report("SG204|"+k.String(), ord, Diagnostic{
+			Code: "SG204", Severity: speclint.SevError, Service: m.spec.Service,
+			Message: fmt.Sprintf("a mid-recovery %s fault strands a held descriptor: the episode ends %s with the hold dropped and never replayed", k, r.outcome),
+			Witness: witness(),
+			Repro:   m.lowerForMode(mode, k, r.outcome),
+		})
+	}
+}
+
+// intensityDiag builds the single-fault restart-intensity diagnostic.
+func (m *machine) intensityDiag(visited map[conf]edge, c conf, k fault.Kind, r epResult, strategy string) Diagnostic {
+	if strategy == "" {
+		strategy = "one-for-one"
+	}
+	w := path(visited, c)
+	if len(w) == 0 {
+		w = []string{"start from the empty configuration"}
+	}
+	return Diagnostic{
+		Code: "SG203", Severity: speclint.SevError, Service: m.spec.Service,
+		Message: fmt.Sprintf("a single %s fault exhausts the %s supervisor's restart-intensity budget (%d): ErrRestartIntensity is reachable without a storm", k, strategy, m.cfg.RestartIntensity),
+		Witness: append(w, r.trace...),
+		Repro:   m.lowerIntensity(k, strategy),
+	}
+}
+
+// confLess orders configurations deterministically (fewest live
+// descriptors and threads first, then lexicographic).
+func confLess(a, b conf) bool {
+	for i := range a.d {
+		if a.d[i] != b.d[i] {
+			return a.d[i] < b.d[i]
+		}
+	}
+	for i := range a.t {
+		if a.t[i] != b.t[i] {
+			return a.t[i] < b.t[i]
+		}
+	}
+	return false
+}

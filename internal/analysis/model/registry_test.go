@@ -1,0 +1,187 @@
+package model
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"superglue/internal/analysis/speclint"
+)
+
+// The SG diagnostic registry: speclint owns SG1xx (syntactic/structural
+// spec lints), model owns SG2xx (behavioral recovery verdicts). The tests
+// below pin the registry invariants: every code is documented in exactly
+// one package header, the two namespaces are disjoint, and every
+// documented code has at least one triggering fixture — so no code can
+// rot into an undocumented or untestable state.
+
+var sgCode = regexp.MustCompile(`SG\d{3}`)
+
+// catalogueEntry matches one catalogue line of a package doc comment —
+// an indented `SGxxx severity description` row — as opposed to a prose
+// cross-reference to another package's code.
+var catalogueEntry = regexp.MustCompile(`(?m)^//\t(SG\d{3}) +(error|warn|info) `)
+
+// docCodes extracts the set of SG codes catalogued in a file's package
+// doc comment (everything before the package clause).
+func docCodes(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	src := string(raw)
+	if i := strings.Index(src, "\npackage "); i >= 0 {
+		src = src[:i]
+	}
+	out := make(map[string]bool)
+	for _, m := range catalogueEntry.FindAllStringSubmatch(src, -1) {
+		out[m[1]] = true
+	}
+	return out
+}
+
+// sortedKeys flattens a code set for error messages.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// speclintFixtureCodes lints every speclint testdata fixture and returns
+// the union of emitted codes.
+func speclintFixtureCodes(t *testing.T) map[string]bool {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "speclint", "testdata", "*.sg"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no speclint fixtures: %v", err)
+	}
+	out := make(map[string]bool)
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		service := strings.TrimSuffix(filepath.Base(p), ".sg")
+		diags, err := speclint.LintSource(service, string(raw))
+		if err != nil {
+			t.Fatalf("lint %s: %v", p, err)
+		}
+		for _, d := range diags {
+			out[d.Code] = true
+		}
+	}
+	return out
+}
+
+// modelFixtureCodes checks every model testdata fixture under the config
+// that arms its seeded violation and returns the union of emitted codes
+// (any severity).
+func modelFixtureCodes(t *testing.T) map[string]bool {
+	t.Helper()
+	fixtures := []struct {
+		file, service string
+		cfg           Config
+	}{
+		{"ramfs_retry.sg", "ramfs", Config{FailHard: true}},
+		{"event_noreset.sg", "event", Config{}},
+		{"ramfs_noclass.sg", "ramfs", Config{}},
+		{"lock_budget1.sg", "lock", Config{}},
+	}
+	out := make(map[string]bool)
+	for _, f := range fixtures {
+		spec := parseFixture(t, f.file, f.service)
+		rep, err := Check(spec, f.cfg)
+		if err != nil {
+			t.Fatalf("check %s: %v", f.file, err)
+		}
+		for _, d := range rep.Diagnostics {
+			out[d.Code] = true
+		}
+	}
+	return out
+}
+
+// TestDiagnosticRegistry pins the registry invariants across both
+// diagnostic-emitting analysis packages.
+func TestDiagnosticRegistry(t *testing.T) {
+	lintDocs := docCodes(t, filepath.Join("..", "speclint", "speclint.go"))
+	modelDocs := docCodes(t, "model.go")
+	if len(lintDocs) == 0 || len(modelDocs) == 0 {
+		t.Fatalf("empty catalogue: speclint=%v model=%v", sortedKeys(lintDocs), sortedKeys(modelDocs))
+	}
+
+	// Namespace discipline: speclint documents only SG1xx, model only
+	// SG2xx, so the two headers cannot both claim a code.
+	for c := range lintDocs {
+		if !strings.HasPrefix(c, "SG1") {
+			t.Errorf("speclint header documents %s outside the SG1xx namespace", c)
+		}
+	}
+	for c := range modelDocs {
+		if !strings.HasPrefix(c, "SG2") {
+			t.Errorf("model header documents %s outside the SG2xx namespace", c)
+		}
+	}
+	for c := range lintDocs {
+		if modelDocs[c] {
+			t.Errorf("code %s documented by both packages", c)
+		}
+	}
+
+	// Every documented code fires on at least one committed fixture, and
+	// every fired code is documented.
+	lintFired := speclintFixtureCodes(t)
+	for c := range lintDocs {
+		if !lintFired[c] {
+			t.Errorf("speclint documents %s but no testdata fixture triggers it", c)
+		}
+	}
+	for c := range lintFired {
+		if !lintDocs[c] {
+			t.Errorf("speclint emits %s but its package header does not document it", c)
+		}
+	}
+
+	modelFired := modelFixtureCodes(t)
+	for c := range modelDocs {
+		if !modelFired[c] {
+			t.Errorf("model documents %s but no testdata fixture triggers it", c)
+		}
+	}
+	for c := range modelFired {
+		if !modelDocs[c] {
+			t.Errorf("model emits %s but its package header does not document it", c)
+		}
+	}
+}
+
+// TestDiagnosticCodesHaveSeverityAndMessage: every emitted diagnostic
+// carries a code in the registry format, a valid severity, and a
+// non-empty message — the contract the SARIF writer depends on.
+func TestDiagnosticCodesHaveSeverityAndMessage(t *testing.T) {
+	spec := parseFixture(t, "lock_budget1.sg", "lock")
+	rep, err := Check(spec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Diagnostics {
+		if !sgCode.MatchString(d.Code) {
+			t.Errorf("malformed code %q", d.Code)
+		}
+		switch d.Severity {
+		case speclint.SevInfo, speclint.SevWarn, speclint.SevError:
+		default:
+			t.Errorf("%s: invalid severity %v", d.Code, d.Severity)
+		}
+		if d.Message == "" {
+			t.Errorf("%s: empty message", d.Code)
+		}
+	}
+}

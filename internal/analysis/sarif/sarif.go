@@ -1,0 +1,169 @@
+// Package sarif emits Static Analysis Results Interchange Format (SARIF)
+// 2.1.0 logs for the repo's analysis tools — speclint's SG1xx spec lints,
+// the model checker's SG2xx recovery verdicts, and the sgvet runtime-
+// contract analyzers — so CI can upload one machine-readable report per
+// run to code-scanning backends.
+//
+// Only the subset of the schema those consumers require is modeled: one
+// run per log, a tool driver with a rule table, and per-result message,
+// level, and physical location. Witness traces and repro plans ride in
+// each result's properties bag.
+package sarif
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SchemaURI and Version identify SARIF 2.1.0.
+const (
+	SchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	Version   = "2.1.0"
+)
+
+// Log is the top-level SARIF document.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []Run  `json:"runs"`
+}
+
+// Run is one tool invocation.
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+// Tool wraps the driver description.
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+// Driver names the analysis tool and catalogues its rules.
+type Driver struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules,omitempty"`
+}
+
+// Rule describes one diagnostic code.
+type Rule struct {
+	ID               string   `json:"id"`
+	ShortDescription *Message `json:"shortDescription,omitempty"`
+}
+
+// Message is SARIF's text wrapper.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Result is one finding.
+type Result struct {
+	RuleID     string         `json:"ruleId"`
+	Level      string         `json:"level"`
+	Message    Message        `json:"message"`
+	Locations  []Location     `json:"locations,omitempty"`
+	Properties map[string]any `json:"properties,omitempty"`
+}
+
+// Location is a physical file/region reference.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation pairs an artifact with a region.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           *Region          `json:"region,omitempty"`
+}
+
+// ArtifactLocation is a (repo-relative) file URI.
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// Region is a start line (1-based).
+type Region struct {
+	StartLine int `json:"startLine"`
+}
+
+// Builder accumulates one run's findings.
+type Builder struct {
+	driver  Driver
+	rules   map[string]string // id → description
+	results []Result
+}
+
+// NewBuilder starts a log for the named tool.
+func NewBuilder(toolName, informationURI string) *Builder {
+	return &Builder{
+		driver: Driver{Name: toolName, InformationURI: informationURI},
+		rules:  make(map[string]string),
+	}
+}
+
+// Rule registers (or updates) a rule description for a diagnostic code.
+// Codes referenced by Add without a registered rule still appear in the
+// rule table, with an empty description.
+func (b *Builder) Rule(id, description string) {
+	b.rules[id] = description
+}
+
+// Add records one finding. file may be empty (tool-level finding); line
+// zero omits the region. props ride in the result's properties bag (nil
+// for none).
+func (b *Builder) Add(ruleID, level, message, file string, line int, props map[string]any) {
+	if _, ok := b.rules[ruleID]; !ok {
+		b.rules[ruleID] = ""
+	}
+	r := Result{
+		RuleID:     ruleID,
+		Level:      level,
+		Message:    Message{Text: message},
+		Properties: props,
+	}
+	if file != "" {
+		pl := PhysicalLocation{ArtifactLocation: ArtifactLocation{URI: file}}
+		if line > 0 {
+			pl.Region = &Region{StartLine: line}
+		}
+		r.Locations = []Location{{PhysicalLocation: pl}}
+	}
+	b.results = append(b.results, r)
+}
+
+// Log assembles the document: rules sorted by ID, results in insertion
+// order, results never null (code-scanning consumers reject null).
+func (b *Builder) Log() *Log {
+	ids := make([]string, 0, len(b.rules))
+	for id := range b.rules {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	drv := b.driver
+	for _, id := range ids {
+		rule := Rule{ID: id}
+		if desc := b.rules[id]; desc != "" {
+			rule.ShortDescription = &Message{Text: desc}
+		}
+		drv.Rules = append(drv.Rules, rule)
+	}
+	results := b.results
+	if results == nil {
+		results = []Result{}
+	}
+	return &Log{
+		Schema:  SchemaURI,
+		Version: Version,
+		Runs:    []Run{{Tool: Tool{Driver: drv}, Results: results}},
+	}
+}
+
+// Write marshals the log as indented JSON.
+func (b *Builder) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(b.Log())
+}

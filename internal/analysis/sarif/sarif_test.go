@@ -1,0 +1,67 @@
+package sarif
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestEmptyRunHasNonNullResults: code-scanning consumers reject a null
+// results array, so an empty builder must still emit [].
+func TestEmptyRunHasNonNullResults(t *testing.T) {
+	b := NewBuilder("tool", "")
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("empty run does not serialize results as []:\n%s", buf.String())
+	}
+	var log Log
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != Version || log.Schema != SchemaURI {
+		t.Errorf("version/schema = %q/%q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+}
+
+// TestRulesSortedAndAutoRegistered: rule table is sorted by ID and
+// includes codes referenced only through Add.
+func TestRulesSortedAndAutoRegistered(t *testing.T) {
+	b := NewBuilder("tool", "docs/X.md")
+	b.Rule("SG203", "restart intensity")
+	b.Add("SG110", "warning", "m1", "a.sg", 3, nil)
+	b.Add("SG203", "error", "m2", "b.sg", 0, map[string]any{"witness": []string{"w"}})
+	log := b.Log()
+	drv := log.Runs[0].Tool.Driver
+	if drv.Name != "tool" || drv.InformationURI != "docs/X.md" {
+		t.Errorf("driver = %+v", drv)
+	}
+	if len(drv.Rules) != 2 || drv.Rules[0].ID != "SG110" || drv.Rules[1].ID != "SG203" {
+		t.Fatalf("rules not sorted/complete: %+v", drv.Rules)
+	}
+	if drv.Rules[0].ShortDescription != nil {
+		t.Errorf("auto-registered rule has a description: %+v", drv.Rules[0])
+	}
+	if drv.Rules[1].ShortDescription == nil || drv.Rules[1].ShortDescription.Text != "restart intensity" {
+		t.Errorf("registered rule lost its description: %+v", drv.Rules[1])
+	}
+	rs := log.Runs[0].Results
+	if len(rs) != 2 {
+		t.Fatalf("results = %d, want 2", len(rs))
+	}
+	if rs[0].Locations[0].PhysicalLocation.Region.StartLine != 3 {
+		t.Errorf("line 3 lost: %+v", rs[0].Locations)
+	}
+	if rs[1].Locations[0].PhysicalLocation.Region != nil {
+		t.Errorf("line 0 should omit the region: %+v", rs[1].Locations)
+	}
+	if rs[1].Properties["witness"] == nil {
+		t.Errorf("properties bag lost: %+v", rs[1])
+	}
+}

@@ -134,7 +134,10 @@ func lex(src string) ([]token, error) {
 }
 
 func isIdentStart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r)
+	// Digits start integer literals (e.g. recovery_budget = 3), which the
+	// lexer carries as plain identifier tokens: nothing else in the grammar
+	// is numeric, so the parser disambiguates by position.
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
 }
 
 func isIdentPart(r rune) bool {

@@ -2,6 +2,7 @@ package idl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"superglue/internal/core"
@@ -236,6 +237,12 @@ func (p *parser) applyGlobal(key, val token) error {
 			return err
 		}
 		p.spec.RescHasData = v
+	case "recovery_budget":
+		n, err := strconv.Atoi(val.text)
+		if err != nil || n <= 0 {
+			return p.errf(val, "recovery_budget expects a positive integer, got %q", val.text)
+		}
+		p.spec.RecoveryBudget = n
 	default:
 		return p.errf(key, "unknown service_global_info key %q", key.text)
 	}

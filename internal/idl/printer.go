@@ -27,6 +27,9 @@ func Format(spec *core.Spec) string {
 	writeBool("desc_block", spec.DescBlock)
 	writeBool("desc_has_data", spec.DescHasData)
 	writeBool("resc_has_data", spec.RescHasData)
+	if spec.RecoveryBudget > 0 {
+		fmt.Fprintf(&b, ",\n        recovery_budget = %d", spec.RecoveryBudget)
+	}
 	b.WriteString("\n};\n\n")
 
 	for _, tr := range spec.Transitions {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"superglue/internal/core"
 	"superglue/internal/fault"
@@ -118,6 +119,16 @@ type Config struct {
 	// "one-for-one", "rest-for-one", and "all-for-one" build a root
 	// supervisor of that strategy over all registered servers.
 	Policy string
+	// FaultActions installs runtime per-kind recovery-action overrides
+	// (kind name → reboot|retry|degrade) into every trial's system
+	// through core.System.HandleFault — the handler layer that precedes
+	// sm_fault declarations. Model-checker repro plans use it to replay
+	// a fixture spec's routing on the builtin workload.
+	FaultActions map[string]string
+	// Recovery, when non-nil, overrides every trial system's recovery
+	// policy (escalation-ladder rungs, walk-retry bound, and the
+	// degrade/fail-hard terminal).
+	Recovery *core.RecoveryPolicy
 	// Cores is the number of simulated cores per trial machine (0 and 1
 	// are the legacy single-core machine). With more than one core the
 	// campaign places the target service on core 1 — every workload
@@ -206,6 +217,32 @@ func TrialSeed(seed int64, trial int) int64 {
 	z *= 0x94D049BB133111EB
 	z ^= z >> 31
 	return int64(z)
+}
+
+// Opportunities runs the campaign's workload fault-free and returns the
+// number of injection opportunities: invocation entries into the target.
+// This is the same dry run Run performs before its first trial, exported
+// so callers can reproduce a trial's injection plan without running it.
+func Opportunities(cfg Config) (uint64, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 5
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = core.OnDemand
+	}
+	return dryRun(cfg)
+}
+
+// PlanAt returns the shaped injection plan the given trial would draw —
+// a pure function of (cfg, opportunities, trial), consuming the same RNG
+// stream the live trial consumes. ShapeLegacy trials have no shaped
+// plan; the result is nil for them.
+func PlanAt(cfg Config, opportunities uint64, trial int) []PlannedFault {
+	if cfg.Shape == ShapeLegacy {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(TrialSeed(cfg.Seed, trial)))
+	return planShaped(cfg, opportunities, rng)
 }
 
 // Run executes the campaign: for each trial it builds a fresh system, plans
@@ -367,7 +404,37 @@ func buildTrialSystem(cfg Config) (*core.System, workload.Workload, kernel.Compo
 			return nil, nil, 0, err
 		}
 	}
+	if err := applyOverrides(sys, cfg); err != nil {
+		return nil, nil, 0, err
+	}
 	return sys, w, target, nil
+}
+
+// applyOverrides installs the campaign's runtime routing and policy
+// overrides into one trial's system. The fault-free dry run gets them
+// too: the overrides must not change fault-free behavior, and applying
+// them uniformly keeps every trial system identically configured.
+func applyOverrides(sys *core.System, cfg Config) error {
+	names := make([]string, 0, len(cfg.FaultActions))
+	for name := range cfg.FaultActions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		k, ok := fault.ParseKind(name)
+		if !ok {
+			return fmt.Errorf("swifi: unknown fault kind %q in FaultActions", name)
+		}
+		act, ok := core.ParseFaultAction(cfg.FaultActions[name])
+		if !ok {
+			return fmt.Errorf("swifi: unknown fault action %q for kind %s", cfg.FaultActions[name], name)
+		}
+		sys.HandleFault(k, func(fault.Event) core.FaultAction { return act })
+	}
+	if cfg.Recovery != nil {
+		sys.SetRecoveryPolicy(*cfg.Recovery)
+	}
+	return nil
 }
 
 // dryRun executes the workload fault-free and counts invocation entries

@@ -148,9 +148,18 @@ func planShaped(cfg Config, opportunities uint64, rng *rand.Rand) []PlannedFault
 			plan = append(plan, PlannedFault{Kind: kind(), Moment: moment()})
 		}
 	case ShapeDuringRecovery:
-		plan = []PlannedFault{
-			{Kind: kind(), Moment: moment()},
-			{Kind: kind(), Deferred: true},
+		// StormFaults is the deferred-secondary count here (default one,
+		// which draws exactly the kinds the single-secondary shape always
+		// drew — existing campaigns stay byte-identical). Each secondary
+		// fires in its own recovery epoch, probing nested reentrancy of
+		// the walk-retry budget.
+		n := cfg.StormFaults
+		if n <= 0 {
+			n = 1
+		}
+		plan = []PlannedFault{{Kind: kind(), Moment: moment()}}
+		for i := 0; i < n; i++ {
+			plan = append(plan, PlannedFault{Kind: kind(), Deferred: true})
 		}
 	}
 	// Moment order, deferred entries last: the Hook consumes the plan
@@ -235,6 +244,10 @@ func (inj *shapedInjector) Hook(t *kernel.Thread, comp kernel.ComponentID, fn st
 			for i := range inj.plan {
 				if inj.plan[i].Deferred && !inj.plan[i].Fired {
 					inj.fireKind(t, &inj.plan[i], fn, phase)
+					// Re-arm for the next deferred secondary: it fires
+					// at the first target entry of a yet-later epoch.
+					inj.primaryEpoch = epoch
+					inj.armed = inj.hasUnfiredDeferred()
 					break
 				}
 			}
@@ -305,6 +318,15 @@ func (inj *shapedInjector) fireKind(t *kernel.Thread, p *PlannedFault, fn string
 func (inj *shapedInjector) hasDeferred() bool {
 	for _, p := range inj.plan {
 		if p.Deferred {
+			return true
+		}
+	}
+	return false
+}
+
+func (inj *shapedInjector) hasUnfiredDeferred() bool {
+	for _, p := range inj.plan {
+		if p.Deferred && !p.Fired {
 			return true
 		}
 	}
