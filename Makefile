@@ -6,7 +6,7 @@ GO ?= go
 # and compare two saved runs with `benchstat old.txt new.txt`.
 BENCHCOUNT ?= 1
 
-.PHONY: all build test race race-smoke bench bench-json gen lint check experiments watchdog-experiments fault-experiments fuzz clean
+.PHONY: all build test race race-smoke bench bench-json gen lint check experiments watchdog-experiments fault-experiments storage-experiments fuzz clean
 
 all: build test lint check
 
@@ -29,6 +29,8 @@ race-smoke:
 	$(GO) run -race ./cmd/swifi -trials 20 -seed 2026 -workers 4 -trace
 	$(GO) run -race ./cmd/swifi -trials 20 -seed 2026 -workers 4 -shape storm -policy one-for-one
 	$(GO) run -race ./cmd/swifi -trials 20 -seed 2026 -workers 4 -shape storm -cores 4
+	$(GO) run -race ./cmd/swifi -trials 20 -seed 2026 -workers 4 -shape storm \
+		-kinds storage-crash,storage-corruption -replicas 3
 
 # benchstat-friendly output: benchmarks only (no tests), repeatable count.
 bench:
@@ -109,6 +111,17 @@ fault-experiments:
 	$(GO) run ./cmd/swifi -trials 500 -seed 2026 -shape correlated
 	$(GO) run ./cmd/swifi -trials 500 -seed 2026 -shape storm
 	$(GO) run ./cmd/swifi -trials 500 -seed 2026 -shape during-recovery
+
+# Storage-fault columns of Table II (docs/STORAGE.md): storms of
+# storage-crash/storage-corruption against the 3-replica store (quorum
+# absorbs every fault inside the store) and against the single trusted
+# copy (the paper's original storage model, where corruption is data
+# loss the service must degrade around).
+storage-experiments:
+	$(GO) run ./cmd/swifi -trials 500 -seed 2026 -shape storm \
+		-kinds storage-crash,storage-corruption -replicas 3
+	$(GO) run ./cmd/swifi -trials 500 -seed 2026 -shape storm \
+		-kinds storage-crash,storage-corruption -replicas 1
 
 # Short fuzzing passes over the parsers.
 fuzz:

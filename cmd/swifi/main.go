@@ -59,6 +59,7 @@ func main() {
 	stormFaults := flag.Int("storm-faults", 0, "faults per storm trial (0 = default burst size)")
 	policy := flag.String("policy", "", "supervision policy per trial: legacy, one-for-one, rest-for-one, or all-for-one")
 	cores := flag.Int("cores", 1, "simulated cores per trial machine (>1 places the target on core 1: cross-core invocations)")
+	replicas := flag.Int("replicas", 1, "storage replicas per trial machine (>1 makes storage kinds land inside the replicated store)")
 	multicoreKinds := flag.Bool("multicore-kinds", false, "add the migration and cross-core-invocation kinds to shaped campaigns' pool")
 	verbose := flag.Bool("v", false, "print each non-recovered trial")
 	flag.Parse()
@@ -72,7 +73,7 @@ func main() {
 			service: *service, mode: *mode, watchdog: *watchdog,
 			trace: *trace || *traceOut != "", traceOut: *traceOut,
 			shape: *shape, kinds: *kinds, stormFaults: *stormFaults,
-			policy: *policy, cores: *cores, multicoreKinds: *multicoreKinds,
+			policy: *policy, cores: *cores, replicas: *replicas, multicoreKinds: *multicoreKinds,
 			verbose: *verbose,
 		})
 	}
@@ -96,6 +97,7 @@ type runConfig struct {
 	stormFaults    int
 	policy         string
 	cores          int
+	replicas       int
 	multicoreKinds bool
 	verbose        bool
 }
@@ -169,6 +171,7 @@ func run(rc runConfig) error {
 			StormFaults: rc.stormFaults,
 			Policy:      rc.policy,
 			Cores:       rc.cores,
+			Replicas:    rc.replicas,
 		})
 		if err != nil {
 			return err

@@ -34,6 +34,7 @@ func main() {
 	repeats := flag.Int("repeats", 5, "runs per variant (mean ± stdev reported)")
 	workers := flag.Int("workers", 2, "server worker threads")
 	cores := flag.Int("cores", 1, "simulated cores (servers spread over cores 1..N-1; execution stays serialized)")
+	replicas := flag.Int("replicas", 1, "storage replicas (>1 runs the replicated quorum store)")
 	parallel := flag.Int("parallel", 1, "concurrent repeats per variant (smoke runs only; contends with the measurement)")
 	faultEvery := flag.Int("fault-every", 0, "inject one component crash per N completions (default requests/10; 0 disables in -listen mode)")
 	timeline := flag.Bool("timeline", true, "print the with-faults completion timeline")
@@ -55,6 +56,7 @@ func main() {
 			Variant:    webserver.VariantSuperGlue,
 			Workers:    *workers,
 			Cores:      *cores,
+			Replicas:   *replicas,
 			FaultEvery: *faultEvery,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "webbench:", err)
@@ -68,6 +70,7 @@ func main() {
 		Repeats:    *repeats,
 		Workers:    *workers,
 		Cores:      *cores,
+		Replicas:   *replicas,
 		FaultEvery: *faultEvery,
 		Parallel:   *parallel,
 	})

@@ -28,8 +28,11 @@
 //	             function, resolved only by stateAfter precedence
 //	SG109 info   mechanism coverage report (R0/T0/T1/D0/D1/G0/G1/U0)
 //	SG110 warn   sm_hold whose release is itself declared sm_block
-//	SG111 warn   storage-dependent spec leaves a storage fault kind it can
-//	             receive unclassified (no sm_fault declaration)
+//	SG111 warn   storage-dependent spec declares no sm_fault policy for
+//	             storage_crash (the crash falls back to the reboot ladder)
+//	SG112 warn   spec saves G1 resource data but declares no sm_fault
+//	             policy for storage_corruption (a corrupt redundant extent
+//	             would be retried into the same corrupt data)
 package speclint
 
 import (
@@ -368,32 +371,32 @@ func (l *linter) lintWakeup() {
 }
 
 // lintFaultCoverage reports storage-dependent specs that leave a storage
-// fault kind they can receive unclassified (SG111). An interface whose
-// recovery depends on the storage component (G0 creator records, G1
-// resource data) can observe storage-crash faults mid-call; one that
+// fault kind they can receive unclassified. An interface whose recovery
+// depends on the storage component (G0 creator records, G1 resource
+// data) can observe storage-crash faults mid-call (SG111); one that
 // restores resource contents (G1) can additionally observe
-// storage-corruption when a redundant extent fails its checksum. Without
-// an sm_fault declaration those faults fall back to the generic reboot
-// ladder — which, for a corrupted redundant copy, redoes the restore into
-// the same corrupt extent until the retry budget burns out.
+// storage-corruption when a redundant extent fails its checksum (SG112).
+// Without an sm_fault declaration those faults fall back to the generic
+// reboot ladder — which, for a corrupted redundant copy, redoes the
+// restore into the same corrupt extent until the retry budget burns out.
 func (l *linter) lintFaultCoverage() {
 	spec := l.spec
 	if !spec.DescIsGlobal && !spec.RescHasData {
 		return
 	}
-	report := func(kind fault.Kind, why string) {
+	report := func(code string, kind fault.Kind, why string) {
 		name := kind.String()
 		if _, ok := spec.FaultActions[name]; ok {
 			return
 		}
-		l.add("SG111", SevWarn, l.sm.GlobalLine(),
+		l.add(code, SevWarn, l.sm.GlobalLine(),
 			"storage-dependent interface declares no sm_fault(%s, ...): %s",
 			strings.ReplaceAll(name, "-", "_"), why)
 	}
-	report(fault.KindStorageCrash,
+	report("SG111", fault.KindStorageCrash,
 		"a storage-component crash mid-call falls back to the generic reboot ladder")
 	if spec.RescHasData {
-		report(fault.KindStorageCorruption,
+		report("SG112", fault.KindStorageCorruption,
 			"a corrupted redundant extent would be retried into the same corrupt data; declare retry-free handling (typically degrade)")
 	}
 }

@@ -64,7 +64,8 @@ func TestFixtures(t *testing.T) {
 		{"sg107_shadow.sg", []string{"SG107"}},
 		{"sg108_ambiguous.sg", []string{"SG108"}},
 		{"sg110_blockrelease.sg", []string{"SG110"}},
-		{"sg111_nofault.sg", []string{"SG111", "SG111"}},
+		{"sg111_nofault.sg", []string{"SG111", "SG112"}},
+		{"sg112_nocorruption.sg", []string{"SG112"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.file, func(t *testing.T) {
@@ -102,12 +103,14 @@ func TestSeverities(t *testing.T) {
 		"SG103": SevWarn, "SG104": SevWarn, "SG105": SevWarn,
 		"SG106": SevWarn, "SG107": SevError, "SG108": SevWarn,
 		"SG109": SevInfo, "SG110": SevWarn, "SG111": SevWarn,
+		"SG112": SevWarn,
 	}
 	files := []string{
 		"clean.sg", "sg100_invalid.sg", "sg101_unreachable.sg",
 		"sg102_no_walk.sg", "sg103_leak.sg", "sg104_deadend.sg",
 		"sg105_block.sg", "sg106_wakeup.sg", "sg107_shadow.sg",
 		"sg108_ambiguous.sg", "sg110_blockrelease.sg", "sg111_nofault.sg",
+		"sg112_nocorruption.sg",
 	}
 	for _, f := range files {
 		for _, d := range lintFixture(t, f) {

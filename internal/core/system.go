@@ -189,18 +189,30 @@ func NewSystem(mode RecoveryMode) (*System, error) {
 	return NewSystemWithCores(mode, 1)
 }
 
+// NewSystemWithStorage constructs a machine with cores simulated cores and
+// a storage component replicated over replicas backends (quorum reads,
+// per-replica WAL + checkpoints; see docs/STORAGE.md). replicas < 1 is
+// clamped to 1, the paper's trusted single copy.
+func NewSystemWithStorage(mode RecoveryMode, cores, replicas int) (*System, error) {
+	return newSystem(mode, cores, replicas)
+}
+
 // NewSystemWithCores constructs a machine with cores simulated cores (see
 // DESIGN.md §11): per-core run queues and virtual clocks with a
 // deterministic merge, so a fixed seed yields the same schedule for any
 // real GOMAXPROCS. Components execute on their caller's core until placed
 // on a home core with PlaceServer.
 func NewSystemWithCores(mode RecoveryMode, cores int) (*System, error) {
+	return newSystem(mode, cores, 1)
+}
+
+func newSystem(mode RecoveryMode, cores, replicas int) (*System, error) {
 	if mode != OnDemand && mode != Eager {
 		return nil, fmt.Errorf("core: unknown recovery mode %d", int(mode))
 	}
 	k := kernel.NewWithCores(cores)
 	cm := cbuf.NewManager(0)
-	st := storage.New(cm)
+	st := storage.NewReplicated(cm, replicas)
 	storeComp, err := k.Register(func() kernel.Service { return storage.NewComponent(st) })
 	if err != nil {
 		return nil, fmt.Errorf("core: booting storage component: %w", err)
@@ -265,7 +277,17 @@ func (s *System) Mode() RecoveryMode { return s.mode }
 // adds per-mechanism spans (R0/T0/T1/D0/D1/G0/G1/U0) around descriptor
 // recovery, so a Snapshot of the recorder yields the per-mechanism
 // recovery-latency breakdown of the evaluation.
-func (s *System) SetTracer(r *obs.Recorder) { s.kern.SetTracer(r) }
+// The storage replication layer shares the recorder: per-replica
+// write/checkpoint counters and quorum/rebuild events land in the same
+// snapshot.
+func (s *System) SetTracer(r *obs.Recorder) {
+	s.kern.SetTracer(r)
+	if r == nil {
+		s.store.SetObserver(nil)
+		return
+	}
+	s.store.SetObserver(r)
+}
 
 // Tracer returns the installed recovery-observability recorder, or nil.
 func (s *System) Tracer() *obs.Recorder { return s.kern.Tracer() }

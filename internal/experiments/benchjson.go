@@ -209,6 +209,13 @@ func RunBenchJSON(short bool, workers int) (*BenchReport, error) {
 		}
 	})
 
+	bench("StorageQuorumWrite", func(b *testing.B) {
+		if err := StorageQuorumWriteBench(b.N, b.ResetTimer); err != nil {
+			failed = fmt.Errorf("StorageQuorumWrite: %w", err)
+			b.SkipNow()
+		}
+	})
+
 	kinds := []struct {
 		name string
 		kind StubKind

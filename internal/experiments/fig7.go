@@ -15,6 +15,9 @@ type Fig7Config struct {
 	// Repeats per variant; mean and stdev are reported (the paper repeats
 	// 20 times).
 	Repeats int
+	// Replicas is the storage replication factor per run (0/1 = the
+	// legacy single-copy store).
+	Replicas int
 	// Workers per server.
 	Workers int
 	// Cores is the number of simulated cores per run (0 or 1 = single-core).
@@ -92,6 +95,7 @@ func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
 				Requests:   cfg.Requests,
 				Workers:    cfg.Workers,
 				Cores:      cfg.Cores,
+				Replicas:   cfg.Replicas,
 				FaultEvery: p.faultEvery,
 			})
 			if err != nil {

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"superglue/internal/cbuf"
+	"superglue/internal/kernel"
+	"superglue/internal/storage"
+)
+
+// StorageQuorumWriteBench measures one replicated storage write: a
+// SaveSlice appended to the write-ahead log of all three replicas of a
+// quorum store (checksum seal, per-replica apply, periodic checkpoint
+// amortized in). It is the storage-side cost the -replicas 3 campaigns
+// add over the paper's trusted single copy (docs/STORAGE.md).
+func StorageQuorumWriteBench(n int, start func()) error {
+	cm := cbuf.NewManager(0)
+	s := storage.NewReplicated(cm, 3)
+	s.Attach(kernel.ComponentID(42))
+	data := []byte("quorum-write-payload")
+	const owner = 9
+	b, err := cm.Alloc(owner, len(data))
+	if err != nil {
+		return err
+	}
+	if err := cm.Write(b, owner, 0, data); err != nil {
+		return err
+	}
+	if start != nil {
+		start()
+	}
+	for i := 0; i < n; i++ {
+		// 64 rotating resource ids keep descriptor state bounded while the
+		// WAL/checkpoint cycle runs at its default cadence.
+		if err := s.SaveSlice(1, kernel.Word(i%64), 0, b, 0, len(data)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

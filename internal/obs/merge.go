@@ -42,6 +42,7 @@ func (s *Snapshot) Merge(o Snapshot) {
 			s.CrossCoreLatency.merge(*o.CrossCoreLatency)
 		}
 	}
+	s.Storage = mergeStorage(s.Storage, o.Storage)
 	s.Components = mergeComponents(s.Components, o.Components)
 	s.Events = append(s.Events, o.Events...)
 	for i := range s.Events {
@@ -130,6 +131,48 @@ func mergeCores(a, b []CoreSnapshot) []CoreSnapshot {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Core < out[j].Core })
 	return out
+}
+
+// mergeStorage folds b's storage-replication aggregates into a's:
+// per-replica counters are unioned by replica number and summed, the
+// quorum counters added, and the rebuild histograms merged bucket-wise.
+// Nil in, nil out when both sides are empty; the result never aliases b.
+func mergeStorage(a, b *StorageSnapshot) *StorageSnapshot {
+	if b == nil {
+		return a
+	}
+	if a == nil {
+		a = &StorageSnapshot{}
+	}
+	byRep := make(map[int]StorageReplicaSnapshot, len(a.Replicas)+len(b.Replicas))
+	for _, rs := range a.Replicas {
+		byRep[rs.Replica] = rs
+	}
+	for _, rs := range b.Replicas {
+		cur := byRep[rs.Replica]
+		cur.Replica = rs.Replica
+		cur.Writes += rs.Writes
+		cur.Checkpoints += rs.Checkpoints
+		cur.Rebuilds += rs.Rebuilds
+		cur.Repairs += rs.Repairs
+		byRep[rs.Replica] = cur
+	}
+	a.Replicas = a.Replicas[:0]
+	for _, rs := range byRep {
+		a.Replicas = append(a.Replicas, rs)
+	}
+	sort.Slice(a.Replicas, func(i, j int) bool { return a.Replicas[i].Replica < a.Replicas[j].Replica })
+	a.QuorumRepairs += b.QuorumRepairs
+	a.QuorumLost += b.QuorumLost
+	if b.RebuildLatency != nil {
+		if a.RebuildLatency == nil {
+			lat := *b.RebuildLatency
+			a.RebuildLatency = &lat
+		} else {
+			a.RebuildLatency.merge(*b.RebuildLatency)
+		}
+	}
+	return a
 }
 
 // mergeComponents unions two per-component tables by component ID,

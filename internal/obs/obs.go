@@ -73,8 +73,15 @@ const (
 	// the virtual-time migration latency (clock synchronization + migration
 	// charge + destination queueing delay).
 	EvMigrate
+	// EvStorage is a storage-replication event: a replica µ-reboot
+	// (checkpoint + WAL replay, Fn "storage:rebuild" or
+	// "storage:anti-entropy"), a divergent replica caught and repaired by a
+	// quorum read (Fn "storage:repair"), or quorum loss (Fn
+	// "storage:quorum-lost"). Replica carries the replica index and Detail
+	// the number of WAL records replayed (rebuilds only).
+	EvStorage
 
-	numKinds = int(EvMigrate) + 1
+	numKinds = int(EvStorage) + 1
 )
 
 // String returns the canonical event-kind name used by the exporters.
@@ -96,6 +103,8 @@ func (k EventKind) String() string {
 		return "Degraded"
 	case EvMigrate:
 		return "Migrate"
+	case EvStorage:
+		return "Storage"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -223,6 +232,8 @@ type Event struct {
 	// FromCore and ToCore are the cores of an EvMigrate edge.
 	FromCore int32 `json:"from_core,omitempty"`
 	ToCore   int32 `json:"to_core,omitempty"`
+	// Replica is the storage replica index of an EvStorage event.
+	Replica int32 `json:"replica,omitempty"`
 }
 
 // XCallFn is the Fn marker of an EvMigrate event that entered a core to
@@ -232,6 +243,17 @@ type Event struct {
 const (
 	XCallFn   = "xcall"
 	MigrateFn = "migrate"
+)
+
+// Fn markers of EvStorage events: a replica rebuilt from its own
+// checkpoint + WAL, a replica repaired by anti-entropy copy from a peer,
+// a divergent replica caught and repaired by a quorum read, and quorum
+// loss. Static strings so the recording path stays allocation-free.
+const (
+	StorageRebuildFn     = "storage:rebuild"
+	StorageAntiEntropyFn = "storage:anti-entropy"
+	StorageRepairFn      = "storage:repair"
+	StorageQuorumLostFn  = "storage:quorum-lost"
 )
 
 // NumBuckets is the number of virtual-time histogram buckets per
@@ -346,6 +368,36 @@ type Recorder struct {
 	// cross-core invocation latency histogram over EvMigrate events.
 	cores    []coreObs
 	crossLat MechStat
+
+	// Per-storage-replica counters (slot index = replica number), the
+	// replica-rebuild latency histogram (latency dimension = WAL records
+	// replayed), and the store-wide quorum counters.
+	storageReps       []storageRepObs
+	storRebuildLat    MechStat
+	storQuorumRepairs uint64
+	storQuorumLost    uint64
+}
+
+// storageRepObs is the per-storage-replica aggregate of write/checkpoint
+// counters and EvStorage events.
+type storageRepObs struct {
+	writes      uint64 // WAL records appended on the replica
+	checkpoints uint64 // checkpoints captured on the replica
+	rebuilds    uint64 // replica µ-reboots (local replay or anti-entropy)
+	repairs     uint64 // divergence repairs applied by quorum reads
+}
+
+// storageSlot returns the per-replica aggregate, growing the table on
+// first sight of a replica. Caller holds r.mu.
+func (r *Recorder) storageSlot(rep int32) *storageRepObs {
+	i := int(rep)
+	if i < 0 {
+		i = 0
+	}
+	for i >= len(r.storageReps) {
+		r.storageReps = append(r.storageReps, storageRepObs{})
+	}
+	return &r.storageReps[i]
 }
 
 // coreObs is the per-core aggregate of EvMigrate events.
@@ -464,8 +516,79 @@ func (r *Recorder) Record(ev Event) {
 			to.xcall++
 			r.crossLat.add(ev.Detail, 0)
 		}
+	case EvStorage:
+		rs := r.storageSlot(ev.Replica)
+		switch ev.Fn {
+		case StorageRebuildFn, StorageAntiEntropyFn:
+			rs.rebuilds++
+			r.storRebuildLat.add(ev.Detail, 0)
+		case StorageRepairFn:
+			rs.repairs++
+			r.storQuorumRepairs++
+		case StorageQuorumLostFn:
+			r.storQuorumLost++
+		}
 	}
 	r.mu.Unlock()
+}
+
+// RecordStorageWrite counts one WAL record appended on a storage replica.
+// Writes are high-frequency, so they only bump a counter — no ring event.
+func (r *Recorder) RecordStorageWrite(replica int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.storageSlot(int32(replica)).writes++
+	r.mu.Unlock()
+}
+
+// RecordStorageCheckpoint counts one checkpoint captured on a storage
+// replica (counter only, like writes).
+func (r *Recorder) RecordStorageCheckpoint(replica int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.storageSlot(int32(replica)).checkpoints++
+	r.mu.Unlock()
+}
+
+// RecordStorageRebuild records a storage-replica µ-reboot: replayed is the
+// number of WAL records re-applied (the latency dimension of the rebuild
+// histogram); antiEntropy marks a repair by full copy from a quorum peer
+// instead of local checkpoint+log replay.
+func (r *Recorder) RecordStorageRebuild(replica, replayed int, antiEntropy bool) {
+	if r == nil {
+		return
+	}
+	fn := StorageRebuildFn
+	if antiEntropy {
+		fn = StorageAntiEntropyFn
+	}
+	r.Record(Event{Kind: EvStorage, Fn: fn, Replica: int32(replica), Detail: int64(replayed)})
+}
+
+// RecordStorageRepair records a divergent storage replica caught and
+// repaired by a quorum read. The context string describes the read; it is
+// kept out of the event to stay allocation-free (the store's typed fault
+// log carries it).
+func (r *Recorder) RecordStorageRepair(replica int, context string) {
+	if r == nil {
+		return
+	}
+	_ = context
+	r.Record(Event{Kind: EvStorage, Fn: StorageRepairFn, Replica: int32(replica)})
+}
+
+// RecordStorageQuorumLost records a storage read or rebuild that found no
+// majority of agreeing, uncorrupted replicas.
+func (r *Recorder) RecordStorageQuorumLost(context string) {
+	if r == nil {
+		return
+	}
+	_ = context
+	r.Record(Event{Kind: EvStorage, Fn: StorageQuorumLostFn})
 }
 
 // RecordMigration records one thread migration between cores: a cross-core
@@ -579,6 +702,12 @@ func (r *Recorder) Reset() {
 		r.cores[i] = coreObs{}
 	}
 	r.crossLat = MechStat{}
+	for i := range r.storageReps {
+		r.storageReps[i] = storageRepObs{}
+	}
+	r.storRebuildLat = MechStat{}
+	r.storQuorumRepairs = 0
+	r.storQuorumLost = 0
 	for i := range r.comps {
 		r.comps[i] = compStats{name: r.comps[i].name, seen: r.comps[i].seen}
 	}

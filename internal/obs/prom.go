@@ -23,7 +23,7 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 
 	p("# HELP superglue_trace_events_total Trace events recorded, by kind.\n")
 	p("# TYPE superglue_trace_events_total counter\n")
-	for _, kind := range []EventKind{EvInvoke, EvFaultDetected, EvReboot, EvRebuildWalk, EvReflect, EvUpcall, EvDegraded, EvMigrate} {
+	for _, kind := range []EventKind{EvInvoke, EvFaultDetected, EvReboot, EvRebuildWalk, EvReflect, EvUpcall, EvDegraded, EvMigrate, EvStorage} {
 		if n, ok := snap.Kinds[kind.String()]; ok {
 			p("superglue_trace_events_total{kind=%q} %d\n", kind.String(), n)
 		}
@@ -76,6 +76,47 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 		}
 		p("superglue_cross_core_invocation_latency_vtime_us_sum %d\n", lat.TotalVT)
 		p("superglue_cross_core_invocation_latency_vtime_us_count %d\n", lat.Count)
+	}
+
+	if st := snap.Storage; st != nil {
+		storCounters := []struct {
+			name, help string
+			get        func(StorageReplicaSnapshot) uint64
+		}{
+			{"superglue_storage_writes_total", "WAL records appended on the storage replica.", func(rs StorageReplicaSnapshot) uint64 { return rs.Writes }},
+			{"superglue_storage_checkpoints_total", "Descriptor-state checkpoints captured on the storage replica.", func(rs StorageReplicaSnapshot) uint64 { return rs.Checkpoints }},
+			{"superglue_storage_rebuilds_total", "Storage-replica micro-reboots (checkpoint+log replay or anti-entropy).", func(rs StorageReplicaSnapshot) uint64 { return rs.Rebuilds }},
+			{"superglue_storage_repairs_total", "Divergence repairs applied to the storage replica by quorum reads.", func(rs StorageReplicaSnapshot) uint64 { return rs.Repairs }},
+		}
+		for _, ctr := range storCounters {
+			p("# HELP %s %s\n# TYPE %s counter\n", ctr.name, ctr.help, ctr.name)
+			for _, rs := range st.Replicas {
+				if n := ctr.get(rs); n > 0 {
+					p("%s{replica=\"%d\"} %d\n", ctr.name, rs.Replica, n)
+				}
+			}
+		}
+		if st.QuorumRepairs > 0 {
+			p("# HELP superglue_storage_quorum_repairs_total Divergent storage replicas caught and repaired by quorum reads.\n")
+			p("# TYPE superglue_storage_quorum_repairs_total counter\n")
+			p("superglue_storage_quorum_repairs_total %d\n", st.QuorumRepairs)
+		}
+		if st.QuorumLost > 0 {
+			p("# HELP superglue_storage_quorum_lost_total Storage reads/rebuilds without a majority of agreeing uncorrupted replicas.\n")
+			p("# TYPE superglue_storage_quorum_lost_total counter\n")
+			p("superglue_storage_quorum_lost_total %d\n", st.QuorumLost)
+		}
+		if lat := st.RebuildLatency; lat != nil {
+			p("# HELP superglue_storage_rebuild_wal_records Storage-replica rebuild cost in WAL records replayed.\n")
+			p("# TYPE superglue_storage_rebuild_wal_records histogram\n")
+			cum := uint64(0)
+			for i, n := range lat.Hist {
+				cum += n
+				p("superglue_storage_rebuild_wal_records_bucket{le=%q} %d\n", BucketLabel(i), cum)
+			}
+			p("superglue_storage_rebuild_wal_records_sum %d\n", lat.TotalVT)
+			p("superglue_storage_rebuild_wal_records_count %d\n", lat.Count)
+		}
 	}
 
 	p("# HELP superglue_recoveries_total Recovery-mechanism spans, by component and mechanism (paper taxonomy R0..U0).\n")

@@ -55,6 +55,40 @@ type CoreSnapshot struct {
 	CrossCoreInvocations uint64 `json:"cross_core_invocations"`
 }
 
+// StorageReplicaSnapshot is one storage replica's aggregate in a
+// Snapshot (populated only on runs that touched replicated storage).
+type StorageReplicaSnapshot struct {
+	// Replica is the replica index.
+	Replica int `json:"replica"`
+	// Writes counts WAL records appended on the replica.
+	Writes uint64 `json:"writes"`
+	// Checkpoints counts descriptor-state checkpoints captured on the
+	// replica (each truncates its WAL).
+	Checkpoints uint64 `json:"checkpoints,omitempty"`
+	// Rebuilds counts replica µ-reboots (local checkpoint+log replay or
+	// anti-entropy copy from a peer).
+	Rebuilds uint64 `json:"rebuilds,omitempty"`
+	// Repairs counts divergence repairs applied to the replica by quorum
+	// reads.
+	Repairs uint64 `json:"repairs,omitempty"`
+}
+
+// StorageSnapshot is the storage-replication aggregate of a Snapshot.
+type StorageSnapshot struct {
+	// Replicas holds per-replica aggregates in replica order.
+	Replicas []StorageReplicaSnapshot `json:"replicas"`
+	// QuorumRepairs counts divergent replicas caught and repaired by
+	// quorum reads.
+	QuorumRepairs uint64 `json:"quorum_repairs,omitempty"`
+	// QuorumLost counts reads and rebuilds that found no majority of
+	// agreeing, uncorrupted replicas.
+	QuorumLost uint64 `json:"quorum_lost,omitempty"`
+	// RebuildLatency is the replica-rebuild histogram; its latency
+	// dimension is the number of WAL records replayed per rebuild (nil
+	// when no replica was rebuilt).
+	RebuildLatency *MechStat `json:"rebuild_latency_wal_records,omitempty"`
+}
+
 // Snapshot is a consistent copy of everything the recorder knows:
 // recent events (the ring contents, oldest first), event-kind totals,
 // per-component aggregates, and the all-components per-mechanism
@@ -91,6 +125,9 @@ type Snapshot struct {
 	// dispatched on the server's home core (nil when no cross-core
 	// invocations happened).
 	CrossCoreLatency *MechStat `json:"cross_core_latency_vtime_us,omitempty"`
+	// Storage holds the storage-replication aggregates (present only when
+	// the run touched replicated storage).
+	Storage *StorageSnapshot `json:"storage,omitempty"`
 	// Components holds per-component aggregates in component-ID order.
 	Components []ComponentSnapshot `json:"components"`
 	// Events is the ring contents, oldest first.
@@ -146,6 +183,32 @@ func (r *Recorder) Snapshot() Snapshot {
 		if r.crossLat.Count > 0 {
 			lat := r.crossLat
 			snap.CrossCoreLatency = &lat
+		}
+		for rep, rs := range r.storageReps {
+			if rs.writes == 0 && rs.checkpoints == 0 && rs.rebuilds == 0 && rs.repairs == 0 {
+				continue
+			}
+			if snap.Storage == nil {
+				snap.Storage = &StorageSnapshot{}
+			}
+			snap.Storage.Replicas = append(snap.Storage.Replicas, StorageReplicaSnapshot{
+				Replica:     rep,
+				Writes:      rs.writes,
+				Checkpoints: rs.checkpoints,
+				Rebuilds:    rs.rebuilds,
+				Repairs:     rs.repairs,
+			})
+		}
+		if r.storQuorumRepairs > 0 || r.storQuorumLost > 0 || r.storRebuildLat.Count > 0 {
+			if snap.Storage == nil {
+				snap.Storage = &StorageSnapshot{}
+			}
+			snap.Storage.QuorumRepairs = r.storQuorumRepairs
+			snap.Storage.QuorumLost = r.storQuorumLost
+			if r.storRebuildLat.Count > 0 {
+				lat := r.storRebuildLat
+				snap.Storage.RebuildLatency = &lat
+			}
 		}
 		for id := range r.comps {
 			s := &r.comps[id]

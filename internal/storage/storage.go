@@ -15,8 +15,18 @@
 //     storage holds a read-only mapping, so a faulty producer cannot
 //     corrupt saved slices retroactively beyond what it already wrote.
 //
-// Like the kernel and the cbuf manager, the storage component is part of
-// the trusted base (§II-E of the paper): it is not a fault-injection target.
+// The paper places the single redundant storage component in the trusted
+// base (§II-E). This implementation goes further: the store is N-way
+// replicated and IS a fault-injection target. Each replica keeps its own
+// descriptor/slice state, journals every write to a checksummed write-ahead
+// log, and periodically checkpoints its descriptor state (truncating the
+// log). Reads are served by majority vote across replicas; a crashed
+// replica is rebuilt from its own checkpoint + log replay (µ-reboot for
+// storage itself), and a divergent or corrupt replica is detected, booked
+// as a typed fault.Event, and repaired by anti-entropy from the quorum.
+// With -replicas 1 the store degrades to the paper's trusted single copy:
+// byte-identical behavior to the pre-replication implementation, including
+// the expected data loss when that one copy is crashed or corrupted.
 package storage
 
 import (
@@ -27,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"superglue/internal/cbuf"
+	"superglue/internal/fault"
 	"superglue/internal/kernel"
 )
 
@@ -70,16 +81,41 @@ func sum32(data []byte) uint32 {
 	return h
 }
 
-// Store is the storage component's state. The zero value is not usable;
-// construct with New.
+// Tracer receives storage-level trace events; *obs.Recorder implements it.
+// All methods must tolerate high call rates (writes) — implementations
+// should only bump counters on the hot path.
+type Tracer interface {
+	// RecordStorageWrite counts one WAL record appended on a replica.
+	RecordStorageWrite(replica int)
+	// RecordStorageCheckpoint counts one checkpoint captured on a replica.
+	RecordStorageCheckpoint(replica int)
+	// RecordStorageRebuild reports a replica µ-reboot: replayed is the
+	// number of WAL records re-applied (the rebuild's latency dimension);
+	// antiEntropy is true when the replica was repaired by a full copy
+	// from a quorum peer instead of local checkpoint+log replay.
+	RecordStorageRebuild(replica, replayed int, antiEntropy bool)
+	// RecordStorageRepair reports a divergent replica caught and repaired
+	// by a quorum read.
+	RecordStorageRepair(replica int, context string)
+	// RecordStorageQuorumLost reports a read or rebuild that could not
+	// assemble a majority of agreeing, uncorrupted replicas.
+	RecordStorageQuorumLost(context string)
+}
+
+// Store is the storage component's state: N replicas behind one API. The
+// zero value is not usable; construct with New or NewReplicated.
 type Store struct {
-	mu       sync.Mutex
-	cm       *cbuf.Manager
-	self     cbuf.ComponentID
-	creators map[key]CreatorRecord
-	remap    map[key]kernel.Word // pre-fault ID → current ID
-	slices   map[key][]Slice
-	// corruptions counts checksum mismatches ReadAll detected.
+	mu   sync.Mutex
+	cm   *cbuf.Manager
+	self cbuf.ComponentID
+	reps []*replica
+	obs  Tracer
+	// faults is the log of typed events the store booked when it detected
+	// crashed or divergent replicas.
+	faults        []fault.Event
+	quorumRepairs uint64
+	quorumLost    uint64
+	// corruptions counts checksum mismatches detected at read or rebuild.
 	corruptions atomic.Uint64
 }
 
@@ -98,22 +134,208 @@ var ErrNotFound = errors.New("storage: not found")
 // silently wrong data.
 var ErrCorrupted = errors.New("storage: saved data corrupted (checksum mismatch)")
 
-// New constructs a Store that resolves data references through cm. The
-// component ID is used for cbuf read mappings and is assigned by Attach.
+// New constructs a single-replica Store that resolves data references
+// through cm — the paper's trusted single redundant copy. The component ID
+// is used for cbuf read mappings and is assigned by Attach.
 func New(cm *cbuf.Manager) *Store {
-	return &Store{
-		cm:       cm,
-		creators: make(map[key]CreatorRecord),
-		remap:    make(map[key]kernel.Word),
-		slices:   make(map[key][]Slice),
+	return NewReplicated(cm, 1)
+}
+
+// NewReplicated constructs a Store with n replicas (n < 1 is clamped to 1).
+// Every write is applied to all replicas and journaled per replica; reads
+// require majority agreement when n > 1.
+func NewReplicated(cm *cbuf.Manager, n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{cm: cm, reps: make([]*replica, n)}
+	for i := range s.reps {
+		s.reps[i] = newReplica(i, DefaultCheckpointEvery)
+	}
+	return s
+}
+
+// Replicas reports the store's replication factor.
+func (s *Store) Replicas() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.reps)
+}
+
+// SetObserver wires a tracer for per-replica counters and quorum/rebuild
+// events. Pass nil to detach.
+func (s *Store) SetObserver(t Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = t
+}
+
+// SetCheckpointEvery overrides the WAL length at which each replica
+// checkpoints (tests use small values to exercise the checkpoint path).
+func (s *Store) SetCheckpointEvery(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.reps {
+		if n > 0 {
+			r.checkpointEvery = n
+		}
 	}
 }
 
-// Attach tells the store its own component identity (for cbuf mappings).
+// Attach tells the store its own component identity (for cbuf mappings and
+// fault-event attribution).
 func (s *Store) Attach(self kernel.ComponentID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.self = cbuf.ComponentID(self)
+}
+
+// Faults returns the typed fault events the store booked for detected
+// replica crashes, divergence, and quorum loss, in detection order.
+func (s *Store) Faults() []fault.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]fault.Event(nil), s.faults...)
+}
+
+// QuorumRepairs reports how many divergent replicas quorum reads have
+// caught and repaired.
+func (s *Store) QuorumRepairs() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quorumRepairs
+}
+
+// QuorumLost reports how many reads or rebuilds found no majority of
+// agreeing, uncorrupted replicas.
+func (s *Store) QuorumLost() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quorumLost
+}
+
+func (s *Store) bookLocked(e fault.Event) {
+	s.faults = append(s.faults, e)
+}
+
+// ensureLiveLocked µ-reboots any crashed replica before an operation
+// proceeds: restore the last checkpoint, replay the WAL, verify every
+// checksum on the way. A replica whose durable images fail verification is
+// repaired by anti-entropy from the lowest-index clean live peer; with no
+// clean peer it keeps the valid prefix it could replay (divergence a later
+// quorum read detects and repairs).
+func (s *Store) ensureLiveLocked() {
+	for i, r := range s.reps {
+		if r.live {
+			continue
+		}
+		res, replayed := r.restore(s.cm, s.self)
+		if res == restoreClean {
+			r.suspect = false
+			r.rebuilds++
+			s.bookLocked(fault.New(fault.KindStorageCrash, int32(s.self),
+				fmt.Sprintf("storage replica %d fail-stop detected; rebuilt from checkpoint+log (%d records replayed)", i, replayed)))
+			if s.obs != nil {
+				s.obs.RecordStorageRebuild(i, replayed, false)
+			}
+			continue
+		}
+		r.corrupt++
+		s.corruptions.Add(1)
+		if donor := s.cleanPeerLocked(i); donor != nil {
+			r.adopt(donor)
+			r.rebuilds++
+			s.bookLocked(fault.New(fault.KindStorageCorruption, int32(s.self),
+				fmt.Sprintf("storage replica %d durable state corrupt; rebuilt by anti-entropy from replica %d", i, donor.idx)))
+			if s.obs != nil {
+				s.obs.RecordStorageRebuild(i, replayed, true)
+			}
+			continue
+		}
+		r.suspect = true
+		r.rebuilds++
+		s.quorumLost++
+		s.bookLocked(fault.New(fault.KindStorageCorruption, int32(s.self),
+			fmt.Sprintf("storage replica %d durable state corrupt and no clean peer; kept valid prefix (%d records)", i, replayed)))
+		if s.obs != nil {
+			s.obs.RecordStorageRebuild(i, replayed, false)
+			s.obs.RecordStorageQuorumLost(fmt.Sprintf("rebuild of replica %d", i))
+		}
+	}
+}
+
+// cleanPeerLocked picks the anti-entropy donor for a rebuild of replica
+// skip: the lowest-index live replica not itself under suspicion.
+func (s *Store) cleanPeerLocked(skip int) *replica {
+	for j, r := range s.reps {
+		if j == skip || !r.live || r.suspect {
+			continue
+		}
+		return r
+	}
+	return nil
+}
+
+// voteLocked takes one canonical answer key per replica, finds the
+// majority answer, repairs every divergent replica from a majority donor,
+// and returns the donor's index. Ties break to the lowest replica index,
+// keeping the result deterministic; a winner short of a strict majority is
+// additionally booked as quorum loss (the caller still gets the
+// deterministic best answer, modeling data loss beyond the failure model).
+func (s *Store) voteLocked(keys []string, context string) int {
+	counts := make(map[string]int, len(keys))
+	for _, k := range keys {
+		counts[k]++
+	}
+	if len(counts) == 1 {
+		return 0
+	}
+	best := 0
+	for i := 1; i < len(keys); i++ {
+		if counts[keys[i]] > counts[keys[best]] {
+			best = i
+		}
+	}
+	if counts[keys[best]]*2 <= len(keys) {
+		s.quorumLost++
+		s.bookLocked(fault.New(fault.KindStorageCorruption, int32(s.self),
+			fmt.Sprintf("storage quorum lost on %s: no majority across %d replicas", context, len(keys))))
+		if s.obs != nil {
+			s.obs.RecordStorageQuorumLost(context)
+		}
+	}
+	donor := s.reps[best]
+	for i, k := range keys {
+		if k == keys[best] {
+			continue
+		}
+		s.reps[i].corrupt++
+		s.corruptions.Add(1)
+		s.reps[i].adopt(donor)
+		s.reps[i].rebuilds++
+		s.quorumRepairs++
+		s.bookLocked(fault.New(fault.KindStorageCorruption, int32(s.self),
+			fmt.Sprintf("storage replica %d divergent on %s; repaired from replica %d", i, context, best)))
+		if s.obs != nil {
+			s.obs.RecordStorageRepair(i, context)
+		}
+	}
+	return best
+}
+
+// appendLocked journals one write on every replica (rebuilding crashed
+// ones first, so no replica misses a write).
+func (s *Store) appendLocked(rec walRecord) {
+	s.ensureLiveLocked()
+	for _, r := range s.reps {
+		checkpointed := r.append(rec, s.cm, s.self)
+		if s.obs != nil {
+			s.obs.RecordStorageWrite(r.idx)
+			if checkpointed {
+				s.obs.RecordStorageCheckpoint(r.idx)
+			}
+		}
+	}
 }
 
 // RecordCreator registers creator as the component that created global
@@ -124,14 +346,26 @@ func (s *Store) RecordCreator(class Class, id kernel.Word, creator kernel.Compon
 	defer s.mu.Unlock()
 	m := make([]kernel.Word, len(meta))
 	copy(m, meta)
-	s.creators[key{class, id}] = CreatorRecord{Creator: creator, Meta: m}
+	s.appendLocked(walRecord{op: opRecordCreator, class: class, id: id, creator: creator, meta: m})
 }
 
-// LookupCreator returns the creator record for a global descriptor.
+// LookupCreator returns the creator record for a global descriptor. With
+// multiple replicas the answer is the quorum's.
 func (s *Store) LookupCreator(class Class, id kernel.Word) (CreatorRecord, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec, ok := s.creators[key{class, id}]
+	s.ensureLiveLocked()
+	if len(s.reps) == 1 {
+		rec, ok := s.reps[0].state.creators[key{class, id}]
+		return rec, ok
+	}
+	keys := make([]string, len(s.reps))
+	for i, r := range s.reps {
+		rec, ok := r.state.creators[key{class, id}]
+		keys[i] = fmt.Sprintf("%t|%v", ok, rec)
+	}
+	best := s.voteLocked(keys, fmt.Sprintf("lookup-creator class %d id %d", class, id))
+	rec, ok := s.reps[best].state.creators[key{class, id}]
 	return rec, ok
 }
 
@@ -140,8 +374,7 @@ func (s *Store) LookupCreator(class Class, id kernel.Word) (CreatorRecord, bool)
 func (s *Store) RemoveCreator(class Class, id kernel.Word) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.creators, key{class, id})
-	delete(s.remap, key{class, id})
+	s.appendLocked(walRecord{op: opRemoveCreator, class: class, id: id})
 }
 
 // Remap records that pre-fault descriptor old is now served under id now
@@ -154,27 +387,15 @@ func (s *Store) Remap(class Class, old, now kernel.Word) {
 	if old == now {
 		return
 	}
-	s.remap[key{class, old}] = now
-	if rec, ok := s.creators[key{class, old}]; ok {
-		delete(s.creators, key{class, old})
-		s.creators[key{class, now}] = rec
-	}
-	if sl, ok := s.slices[key{class, old}]; ok {
-		delete(s.slices, key{class, old})
-		s.slices[key{class, now}] = sl
-	}
+	s.appendLocked(walRecord{op: opRemap, class: class, id: old, now: now})
 }
 
-// Resolve maps a possibly stale descriptor ID to its current one, following
-// chains produced by repeated faults. Unmapped IDs resolve to themselves.
-// Chains are path-compressed on the way out, so a descriptor recreated
-// across many faults stays O(1) to resolve instead of O(faults).
-func (s *Store) Resolve(class Class, id kernel.Word) kernel.Word {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// resolveIn maps id through st's remap chains, path-compressing on the way
+// out (the shared algorithm each replica runs).
+func resolveIn(st repState, class Class, id kernel.Word) kernel.Word {
 	root := id
-	for i := 0; i < len(s.remap)+1; i++ {
-		now, ok := s.remap[key{class, root}]
+	for i := 0; i < len(st.remap)+1; i++ {
+		now, ok := st.remap[key{class, root}]
 		if !ok {
 			break
 		}
@@ -182,11 +403,35 @@ func (s *Store) Resolve(class Class, id kernel.Word) kernel.Word {
 	}
 	// Compress: point every link on the chain directly at the root.
 	for id != root {
-		next := s.remap[key{class, id}]
-		s.remap[key{class, id}] = root
+		next := st.remap[key{class, id}]
+		st.remap[key{class, id}] = root
 		id = next
 	}
 	return root
+}
+
+// Resolve maps a possibly stale descriptor ID to its current one, following
+// chains produced by repeated faults. Unmapped IDs resolve to themselves.
+// Chains are path-compressed on the way out, so a descriptor recreated
+// across many faults stays O(1) to resolve instead of O(faults). With
+// multiple replicas the answer is the quorum's. Compression is a local
+// optimization, not a journaled write: replay rebuilds the uncompressed
+// chains, which resolve identically.
+func (s *Store) Resolve(class Class, id kernel.Word) kernel.Word {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureLiveLocked()
+	if len(s.reps) == 1 {
+		return resolveIn(s.reps[0].state, class, id)
+	}
+	answers := make([]kernel.Word, len(s.reps))
+	keys := make([]string, len(s.reps))
+	for i, r := range s.reps {
+		answers[i] = resolveIn(r.state, class, id)
+		keys[i] = fmt.Sprintf("%d", answers[i])
+	}
+	best := s.voteLocked(keys, fmt.Sprintf("resolve class %d id %d", class, id))
+	return answers[best]
 }
 
 // SaveSlice records one extent of a resource's data (mechanism G1). The
@@ -214,8 +459,8 @@ func (s *Store) SaveSlice(class Class, id kernel.Word, offset int, b cbuf.ID, cb
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	k := key{class, id}
-	s.slices[k] = append(s.slices[k], Slice{Offset: offset, Length: length, Cbuf: b, CbufOff: cbufOff, Sum: sum})
+	s.appendLocked(walRecord{op: opSaveSlice, class: class, id: id,
+		slice: Slice{Offset: offset, Length: length, Cbuf: b, CbufOff: cbufOff, Sum: sum}})
 	return nil
 }
 
@@ -224,51 +469,38 @@ func (s *Store) SaveSlice(class Class, id kernel.Word, offset int, b cbuf.ID, cb
 func (s *Store) Truncate(class Class, id kernel.Word, size int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	k := key{class, id}
-	var kept []Slice
-	for _, sl := range s.slices[k] {
-		if sl.Offset >= size {
-			continue
-		}
-		if sl.Offset+sl.Length > size {
-			sl.Length = size - sl.Offset
-			// The checksum covers the extent's bytes: re-capture it over
-			// the surviving prefix so the trim is not misread as
-			// corruption. The region is already mapped, so the read cannot
-			// fail for a well-formed slice.
-			if data, err := s.cm.Read(sl.Cbuf, s.self, sl.CbufOff, sl.Length); err == nil {
-				sl.Sum = sum32(data)
-			}
-		}
-		kept = append(kept, sl)
-	}
-	s.slices[k] = kept
+	s.appendLocked(walRecord{op: opTruncate, class: class, id: id, size: size})
 }
 
 // Drop forgets all data saved for a resource (legitimate deletion).
 func (s *Store) Drop(class Class, id kernel.Word) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.slices, key{class, id})
+	s.appendLocked(walRecord{op: opDrop, class: class, id: id})
 }
 
 // HasData reports whether any data is saved for the resource.
 func (s *Store) HasData(class Class, id kernel.Word) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.slices[key{class, id}]) > 0
+	s.ensureLiveLocked()
+	if len(s.reps) == 1 {
+		return len(s.reps[0].state.slices[key{class, id}]) > 0
+	}
+	keys := make([]string, len(s.reps))
+	for i, r := range s.reps {
+		keys[i] = fmt.Sprintf("%t", len(r.state.slices[key{class, id}]) > 0)
+	}
+	best := s.voteLocked(keys, fmt.Sprintf("has-data class %d id %d", class, id))
+	return len(s.reps[best].state.slices[key{class, id}]) > 0
 }
 
-// ReadAll reassembles the full contents of a resource from its saved
-// extents, applying them in save order (newest wins on overlap). It returns
-// ErrNotFound if nothing was saved.
-func (s *Store) ReadAll(class Class, id kernel.Word) ([]byte, error) {
-	s.mu.Lock()
-	extents := append([]Slice(nil), s.slices[key{class, id}]...)
-	self := s.self
-	s.mu.Unlock()
+// readAllFrom reassembles a resource from one replica's saved extents
+// without touching shared counters. corrupt reports a checksum mismatch.
+func (s *Store) readAllFrom(st repState, class Class, id kernel.Word) (data []byte, corrupt bool, err error) {
+	extents := st.slices[key{class, id}]
 	if len(extents) == 0 {
-		return nil, fmt.Errorf("%w: class %d id %d", ErrNotFound, class, id)
+		return nil, false, fmt.Errorf("%w: class %d id %d", ErrNotFound, class, id)
 	}
 	size := 0
 	for _, e := range extents {
@@ -278,37 +510,102 @@ func (s *Store) ReadAll(class Class, id kernel.Word) ([]byte, error) {
 	}
 	out := make([]byte, size)
 	for _, e := range extents {
-		data, err := s.cm.Read(e.Cbuf, self, e.CbufOff, e.Length)
+		data, err := s.cm.Read(e.Cbuf, s.self, e.CbufOff, e.Length)
 		if err != nil {
-			return nil, fmt.Errorf("storage: reading extent at %d: %w", e.Offset, err)
+			return nil, false, fmt.Errorf("storage: reading extent at %d: %w", e.Offset, err)
 		}
 		if e.Length > 0 && sum32(data) != e.Sum {
-			s.corruptions.Add(1)
-			return nil, fmt.Errorf("%w: class %d id %d extent at %d", ErrCorrupted, class, id, e.Offset)
+			return nil, true, fmt.Errorf("%w: class %d id %d extent at %d", ErrCorrupted, class, id, e.Offset)
 		}
 		copy(out[e.Offset:], data)
 	}
-	return out, nil
+	return out, false, nil
 }
 
-// CorruptionsDetected reports how many checksum mismatches ReadAll has
-// caught since construction — the campaign-level "detected vs injected"
-// accounting for storage-corruption faults.
+// ReadAll reassembles the full contents of a resource from its saved
+// extents, applying them in save order (newest wins on overlap). It returns
+// ErrNotFound if nothing was saved. With multiple replicas the result is
+// the majority's: a replica whose copy fails its checksums (or disagrees
+// with the majority) is booked as corrupt and repaired from a majority
+// peer, and the read still succeeds as long as a majority agrees.
+func (s *Store) ReadAll(class Class, id kernel.Word) ([]byte, error) {
+	s.mu.Lock()
+	if len(s.reps) == 1 {
+		s.ensureLiveLocked()
+		extents := append([]Slice(nil), s.reps[0].state.slices[key{class, id}]...)
+		self := s.self
+		s.mu.Unlock()
+		if len(extents) == 0 {
+			return nil, fmt.Errorf("%w: class %d id %d", ErrNotFound, class, id)
+		}
+		size := 0
+		for _, e := range extents {
+			if end := e.Offset + e.Length; end > size {
+				size = end
+			}
+		}
+		out := make([]byte, size)
+		for _, e := range extents {
+			data, err := s.cm.Read(e.Cbuf, self, e.CbufOff, e.Length)
+			if err != nil {
+				return nil, fmt.Errorf("storage: reading extent at %d: %w", e.Offset, err)
+			}
+			if e.Length > 0 && sum32(data) != e.Sum {
+				s.corruptions.Add(1)
+				return nil, fmt.Errorf("%w: class %d id %d extent at %d", ErrCorrupted, class, id, e.Offset)
+			}
+			copy(out[e.Offset:], data)
+		}
+		return out, nil
+	}
+	defer s.mu.Unlock()
+	s.ensureLiveLocked()
+	type result struct {
+		data    []byte
+		corrupt bool
+		err     error
+	}
+	results := make([]result, len(s.reps))
+	keys := make([]string, len(s.reps))
+	for i, r := range s.reps {
+		data, corrupt, err := s.readAllFrom(r.state, class, id)
+		results[i] = result{data: data, corrupt: corrupt, err: err}
+		switch {
+		case corrupt:
+			// A self-evidently corrupt copy gets a unique key so it can
+			// never form part of a majority.
+			keys[i] = fmt.Sprintf("corrupt#%d", i)
+		case err != nil:
+			keys[i] = "err|" + err.Error()
+		default:
+			keys[i] = "ok|" + string(data)
+		}
+	}
+	best := s.voteLocked(keys, fmt.Sprintf("read class %d id %d", class, id))
+	return results[best].data, results[best].err
+}
+
+// CorruptionsDetected reports how many checksum mismatches the store has
+// caught (at reads, quorum votes, and replica rebuilds) since construction
+// — the campaign-level "detected vs injected" accounting for
+// storage-corruption faults.
 func (s *Store) CorruptionsDetected() uint64 { return s.corruptions.Load() }
 
 // CorruptOne flips a bit in the stored checksum of one saved extent of the
-// class, simulating silent corruption of the redundant copy: the data and
-// its integrity record no longer agree, so the next ReadAll of that
-// resource fails with ErrCorrupted. The victim is chosen deterministically
+// class on replica 0, simulating silent corruption of the redundant copy:
+// the data and its integrity record no longer agree, so the next ReadAll of
+// that resource fails with ErrCorrupted (single replica) or is repaired by
+// the quorum (multiple replicas). The victim is chosen deterministically
 // from pick: resources are visited in ascending ID order and pick indexes
 // (modulo the population) into their extents, newest first. It returns the
 // corrupted resource's ID, or false if the class has no saved data.
 func (s *Store) CorruptOne(class Class, pick int) (kernel.Word, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	slices := s.reps[0].state.slices
 	var ids []kernel.Word
 	total := 0
-	for k, sl := range s.slices {
+	for k, sl := range slices {
 		if k.class == class && len(sl) > 0 {
 			ids = append(ids, k.id)
 			total += len(sl)
@@ -323,7 +620,7 @@ func (s *Store) CorruptOne(class Class, pick int) (kernel.Word, bool) {
 	}
 	n := pick % total
 	for _, id := range ids {
-		sl := s.slices[key{class, id}]
+		sl := slices[key{class, id}]
 		if n >= len(sl) {
 			n -= len(sl)
 			continue
@@ -334,14 +631,103 @@ func (s *Store) CorruptOne(class Class, pick int) (kernel.Word, bool) {
 	return 0, false // unreachable
 }
 
+// CrashReplica fail-stops replica i: its in-memory state is lost; its
+// durable WAL and checkpoint images survive and seed the rebuild the next
+// operation triggers. It reports whether a live replica was crashed.
+func (s *Store) CrashReplica(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.reps) || !s.reps[i].live {
+		return false
+	}
+	s.reps[i].crash()
+	return true
+}
+
+// CorruptReplica flips one bit somewhere in replica i's state: a saved
+// extent's checksum in the live slice state, a WAL record's checksum, or
+// the checkpoint's checksum — chosen deterministically by pick modulo the
+// population (live extents in ascending key order newest-first, then WAL
+// records in append order, then the checkpoint). It returns a description
+// of the victim, or false if the replica holds nothing corruptible.
+func (s *Store) CorruptReplica(i, pick int) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.reps) {
+		return "", false
+	}
+	r := s.reps[i]
+	var eligible []key
+	ext := 0
+	for _, k := range sortedSliceKeys(r.state.slices) {
+		if n := len(r.state.slices[k]); n > 0 {
+			eligible = append(eligible, k)
+			ext += n
+		}
+	}
+	cpn := 0
+	if r.cp != nil {
+		cpn = 1
+	}
+	total := ext + len(r.wal) + cpn
+	if total == 0 {
+		return "", false
+	}
+	if pick < 0 {
+		pick = -pick
+	}
+	n := pick % total
+	if n < ext {
+		for _, k := range eligible {
+			sl := r.state.slices[k]
+			if n >= len(sl) {
+				n -= len(sl)
+				continue
+			}
+			sl[len(sl)-1-n].Sum ^= 1
+			return fmt.Sprintf("replica %d slice class %d id %d", i, k.class, k.id), true
+		}
+	}
+	n -= ext
+	if n < len(r.wal) {
+		r.wal[n].sum ^= 1
+		return fmt.Sprintf("replica %d wal record %d (%s)", i, n, r.wal[n].op), true
+	}
+	r.cp.sum ^= 1
+	return fmt.Sprintf("replica %d checkpoint", i), true
+}
+
+// ReplicaLive reports whether replica i is live (not crashed-and-pending-
+// rebuild).
+func (s *Store) ReplicaLive(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return i >= 0 && i < len(s.reps) && s.reps[i].live
+}
+
 // Creators lists the IDs of all recorded global descriptors of a class, in
 // ascending order. Eager recovery uses this to enumerate what must be
-// rebuilt.
+// rebuilt. With multiple replicas the list is the quorum's.
 func (s *Store) Creators(class Class) []kernel.Word {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.ensureLiveLocked()
+	if len(s.reps) == 1 {
+		return creatorsIn(s.reps[0].state, class)
+	}
+	answers := make([][]kernel.Word, len(s.reps))
+	keys := make([]string, len(s.reps))
+	for i, r := range s.reps {
+		answers[i] = creatorsIn(r.state, class)
+		keys[i] = fmt.Sprintf("%v", answers[i])
+	}
+	best := s.voteLocked(keys, fmt.Sprintf("creators class %d", class))
+	return answers[best]
+}
+
+func creatorsIn(st repState, class Class) []kernel.Word {
 	var ids []kernel.Word
-	for k := range s.creators {
+	for k := range st.creators {
 		if k.class == class {
 			ids = append(ids, k.id)
 		}
@@ -372,8 +758,9 @@ type Component struct {
 var _ kernel.Service = (*Component)(nil)
 
 // NewComponent wraps store for kernel registration. The same Store instance
-// survives across the (never-exercised) reboot path: the storage component
-// is trusted and is not a fault-injection target.
+// survives across the service-level reboot path: replica crashes and
+// corruption are injected and recovered *inside* the store (CrashReplica /
+// CorruptReplica), not by reconstructing it.
 func NewComponent(store *Store) *Component {
 	return &Component{store: store}
 }

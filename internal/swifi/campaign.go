@@ -136,6 +136,13 @@ type Config struct {
 	// cross-core synchronous invocation — and the deterministic virtual-
 	// time merge keeps the campaign reproducible for any worker count.
 	Cores int
+	// Replicas is the storage replication factor per trial machine (0 and
+	// 1 are the legacy single-copy store, byte-identical to the
+	// pre-replication behavior). With more than one replica the storage
+	// fault kinds land inside the store — a fail-stop of one replica or a
+	// bit flip in one replica's log/checkpoint/slice state — and recovery
+	// proceeds under quorum (see docs/STORAGE.md).
+	Replicas int
 }
 
 // Result aggregates one campaign, mirroring one row of Table II.
@@ -390,7 +397,7 @@ func buildTrialSystem(cfg Config) (*core.System, workload.Workload, kernel.Compo
 	if cores < 1 {
 		cores = 1
 	}
-	sys, err := core.NewSystemWithCores(cfg.Mode, cores)
+	sys, err := core.NewSystemWithStorage(cfg.Mode, cores, cfg.Replicas)
 	if err != nil {
 		return nil, nil, 0, err
 	}

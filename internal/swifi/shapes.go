@@ -282,16 +282,38 @@ func (inj *shapedInjector) fireKind(t *kernel.Thread, p *PlannedFault, fn string
 	case fault.KindDescCorruption:
 		_ = inj.k.FailComponentAs(victim, fault.KindDescCorruption, fault.DefaultSeverity(fault.KindDescCorruption))
 	case fault.KindStorageCrash:
-		_ = inj.k.FailComponentAs(inj.sys.StorageComp(), fault.KindStorageCrash, fault.DefaultSeverity(fault.KindStorageCrash))
-	case fault.KindStorageCorruption:
-		// Disagree the redundant copy with its checksum, then fail the
-		// victim so the G1 restore path re-reads (and detects) it. When
-		// the victim has no saved data the corruption cannot land and the
-		// crash alone is the injected fault.
-		if class, ok := inj.sys.Class(victim); ok {
-			inj.sys.Store().CorruptOne(class, inj.rng.Intn(1<<30))
+		if st := inj.sys.Store(); st.Replicas() > 1 {
+			// Replicated store: fail-stop one replica (chosen by the trial
+			// RNG), then fail the victim service so its recovery runs while
+			// the store is a replica down — the store µ-reboots the replica
+			// from checkpoint + WAL on its next operation and books the
+			// detection as a typed event. The service fault is left
+			// unclassified: the quorum absorbs the storage fault, so the
+			// service-level sm_fault(storage_crash) policy must not fire.
+			st.CrashReplica(inj.rng.Intn(st.Replicas()))
+			_ = inj.k.FailComponent(victim)
+		} else {
+			_ = inj.k.FailComponentAs(inj.sys.StorageComp(), fault.KindStorageCrash, fault.DefaultSeverity(fault.KindStorageCrash))
 		}
-		_ = inj.k.FailComponentAs(victim, fault.KindStorageCorruption, fault.DefaultSeverity(fault.KindStorageCorruption))
+	case fault.KindStorageCorruption:
+		if st := inj.sys.Store(); st.Replicas() > 1 {
+			// Replicated store: flip a bit in one replica's log, checkpoint,
+			// or slice state, then fail the victim so its G1 restore re-reads
+			// storage mid-divergence. A quorum read detects the divergent
+			// replica, repairs it by anti-entropy, and still serves correct
+			// data, so the service never observes the corruption.
+			st.CorruptReplica(inj.rng.Intn(st.Replicas()), inj.rng.Intn(1<<30))
+			_ = inj.k.FailComponent(victim)
+		} else {
+			// Single copy: disagree the redundant copy with its checksum,
+			// then fail the victim so the G1 restore path re-reads (and
+			// detects) it. When the victim has no saved data the corruption
+			// cannot land and the crash alone is the injected fault.
+			if class, ok := inj.sys.Class(victim); ok {
+				st.CorruptOne(class, inj.rng.Intn(1<<30))
+			}
+			_ = inj.k.FailComponentAs(victim, fault.KindStorageCorruption, fault.DefaultSeverity(fault.KindStorageCorruption))
+		}
 	case fault.KindMessageLoss:
 		inj.k.InjectTransientFault(t, victim, fault.KindMessageLoss)
 	case fault.KindMessageDup:

@@ -1,0 +1,129 @@
+package swifi
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"superglue/internal/fault"
+)
+
+// TestSingleReplicaMatchesLegacy pins the tentpole's compatibility
+// contract: the replicated store at -replicas 1 (and the zero value,
+// which is what every pre-existing caller passes) is byte-identical to
+// the legacy single-copy store. Every service's fixed-seed campaign must
+// reproduce the legacy golden counts and marshal to identical JSON
+// whether Replicas is 0 or 1.
+func TestSingleReplicaMatchesLegacy(t *testing.T) {
+	for _, svc := range Targets() {
+		svc := svc
+		t.Run(svc, func(t *testing.T) {
+			run := func(replicas int) *Result {
+				res, err := Run(Config{
+					Service:  svc,
+					Workload: Workloads()[svc],
+					Iters:    3,
+					Trials:   25,
+					Seed:     2026,
+					Profile:  Profiles()[svc],
+					Workers:  1,
+					Replicas: replicas,
+				})
+				if err != nil {
+					t.Fatalf("Run(%s, replicas=%d): %v", svc, replicas, err)
+				}
+				return res
+			}
+			zero, one := run(0), run(1)
+			if !reflect.DeepEqual(zero, one) {
+				t.Fatalf("%s: replicas=1 result differs from replicas=0", svc)
+			}
+			a, _ := json.Marshal(zero)
+			b, _ := json.Marshal(one)
+			if string(a) != string(b) {
+				t.Fatalf("%s: JSON differs between replicas=0 and replicas=1", svc)
+			}
+			want := legacyGolden[svc]
+			got := [7]int{one.Injected, one.Recovered, one.Segfault,
+				one.Propagated, one.Other, one.Degraded, one.Undetected}
+			if got != want {
+				t.Fatalf("%s replicas=1: counts %v differ from legacy golden %v", svc, got, want)
+			}
+		})
+	}
+}
+
+// TestReplicatedStormSurvivesStorageFaults is the acceptance campaign in
+// miniature: a storm of storage-crash and storage-corruption faults
+// against a 3-replica store must end every trial recovered — the quorum
+// absorbs the storage fault inside the store, so no trial may segfault,
+// propagate, or land in the unrecovered bucket.
+func TestReplicatedStormSurvivesStorageFaults(t *testing.T) {
+	kinds := []fault.Kind{fault.KindStorageCrash, fault.KindStorageCorruption}
+	for _, svc := range Targets() {
+		svc := svc
+		t.Run(svc, func(t *testing.T) {
+			res, err := Run(Config{
+				Service:  svc,
+				Workload: Workloads()[svc],
+				Iters:    3,
+				Trials:   24,
+				Seed:     2026,
+				Profile:  Profiles()[svc],
+				Workers:  1,
+				Shape:    ShapeStorm,
+				Kinds:    kinds,
+				Replicas: 3,
+			})
+			if err != nil {
+				t.Fatalf("Run(%s): %v", svc, err)
+			}
+			if res.Injected == 0 {
+				t.Fatalf("%s: storm injected nothing", svc)
+			}
+			if n := res.Segfault + res.Propagated + res.Other; n != 0 {
+				t.Fatalf("%s: %d unrecovered trials at replicas=3 (segfault=%d propagated=%d other=%d); want 0",
+					svc, n, res.Segfault, res.Propagated, res.Other)
+			}
+		})
+	}
+}
+
+// TestReplicatedStormDeterminism extends the worker-count determinism
+// contract to replicated-storage campaigns: the full Result of a storage
+// fault storm at replicas=3 is identical across 1 and 4 workers.
+func TestReplicatedStormDeterminism(t *testing.T) {
+	kinds := []fault.Kind{fault.KindStorageCrash, fault.KindStorageCorruption}
+	run := func(workers int) *Result {
+		res, err := Run(Config{
+			Service:  "ramfs",
+			Workload: Workloads()["ramfs"],
+			Iters:    3,
+			Trials:   24,
+			Seed:     2026,
+			Profile:  Profiles()["ramfs"],
+			Trace:    true,
+			Workers:  workers,
+			Shape:    ShapeStorm,
+			Kinds:    kinds,
+			Replicas: 3,
+		})
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		return res
+	}
+	one, four := run(1), run(4)
+	if !reflect.DeepEqual(one, four) {
+		t.Fatal("replicas=3 storm: workers=4 result differs from workers=1")
+	}
+	a, _ := json.Marshal(one)
+	b, _ := json.Marshal(four)
+	if string(a) != string(b) {
+		t.Fatal("replicas=3 storm: JSON differs between worker counts")
+	}
+	for name, ks := range one.Kinds {
+		_ = fmt.Sprintf("%s=%v", name, ks) // per-kind columns exist and merged deterministically
+	}
+}

@@ -122,7 +122,7 @@ func Serve(ln net.Listener, cfg Config) error {
 		return errors.New("webserver: fault injection requires a recovery variant")
 	}
 
-	sys, err := core.NewSystem(cfg.Mode)
+	sys, err := core.NewSystemWithStorage(cfg.Mode, 1, cfg.Replicas)
 	if err != nil {
 		return err
 	}

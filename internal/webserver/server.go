@@ -53,6 +53,11 @@ type Config struct {
 	// thread), so extra cores add migration modeling, not wall-clock
 	// parallelism.
 	Cores int
+	// Replicas is the storage replication factor (0 or 1 = the legacy
+	// single-copy store). With more replicas the correlated bursts fail a
+	// storage replica inside the store instead of the storage component,
+	// so recovery runs under quorum (see docs/STORAGE.md).
+	Replicas int
 }
 
 // Stats reports one run's outcome.
@@ -156,7 +161,7 @@ func runComponentized(cfg Config) (*Stats, error) {
 	if cores < 1 {
 		cores = 1
 	}
-	sys, err := core.NewSystemWithCores(cfg.Mode, cores)
+	sys, err := core.NewSystemWithStorage(cfg.Mode, cores, cfg.Replicas)
 	if err != nil {
 		return nil, err
 	}
@@ -374,7 +379,13 @@ func runComponentized(cfg Config) (*Stats, error) {
 							fail(fmt.Errorf("burster: %w", err))
 							return
 						}
-						if err := k.FailComponent(sys.StorageComp()); err != nil {
+						if st := sys.Store(); st.Replicas() > 1 {
+							// Replicated store: the storage half of the burst
+							// fail-stops one replica (rotating), so the service
+							// recovery proceeds under a degraded quorum and the
+							// store µ-reboots the replica on its next operation.
+							st.CrashReplica(stats.CorrelatedBursts % st.Replicas())
+						} else if err := k.FailComponent(sys.StorageComp()); err != nil {
 							fail(fmt.Errorf("burster storage: %w", err))
 							return
 						}
