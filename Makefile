@@ -6,7 +6,7 @@ GO ?= go
 # and compare two saved runs with `benchstat old.txt new.txt`.
 BENCHCOUNT ?= 1
 
-.PHONY: all build test race race-smoke bench bench-json gen lint check experiments watchdog-experiments fault-experiments storage-experiments fuzz clean
+.PHONY: all build test race race-smoke fleet-smoke bench bench-json gen lint check experiments watchdog-experiments fault-experiments storage-experiments fuzz clean
 
 all: build test lint check
 
@@ -31,6 +31,39 @@ race-smoke:
 	$(GO) run -race ./cmd/swifi -trials 20 -seed 2026 -workers 4 -shape storm -cores 4
 	$(GO) run -race ./cmd/swifi -trials 20 -seed 2026 -workers 4 -shape storm \
 		-kinds storage-crash,storage-corruption -replicas 3
+
+# Fleet-scale campaign smoke (DESIGN.md §14), under the race detector:
+#   1. checkpoint/resume — a campaign killed midway (-halt-after, exit 3)
+#      and then -resume'd must render stdout and a trace snapshot
+#      byte-identical to an uninterrupted reference run;
+#   2. shard/merge — two -shard halves folded by -merge (shard files fed
+#      in reversed order) must be byte-identical to the single-process
+#      run of the same storm campaign.
+fleet-smoke:
+	set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -race -o $$tmp/swifi ./cmd/swifi; \
+	mkdir $$tmp/ref $$tmp/res $$tmp/sref $$tmp/shard; \
+	(cd $$tmp/ref && $$tmp/swifi -service lock -trials 30 -seed 2026 -workers 4 \
+		-trace -trace-out snap.json -checkpoint ckpt.bin -checkpoint-every 7 >stdout.txt); \
+	code=0; (cd $$tmp/res && $$tmp/swifi -service lock -trials 30 -seed 2026 -workers 4 \
+		-trace -trace-out snap.json -checkpoint ckpt.bin -checkpoint-every 7 \
+		-halt-after 13 >/dev/null 2>halt.log) || code=$$?; \
+	test $$code -eq 3 || { echo "fleet-smoke: want exit 3 from -halt-after, got $$code"; cat $$tmp/res/halt.log; exit 1; }; \
+	(cd $$tmp/res && $$tmp/swifi -service lock -trials 30 -seed 2026 -workers 4 \
+		-trace -trace-out snap.json -checkpoint ckpt.bin -checkpoint-every 7 -resume >stdout.txt); \
+	cmp $$tmp/ref/stdout.txt $$tmp/res/stdout.txt; \
+	cmp $$tmp/ref/lock.snap.json $$tmp/res/lock.snap.json; \
+	(cd $$tmp/sref && $$tmp/swifi -service lock -trials 30 -seed 2026 -workers 4 \
+		-shape storm -trace -trace-out snap.json >stdout.txt); \
+	(cd $$tmp/shard && $$tmp/swifi -service lock -trials 30 -seed 2026 -workers 4 \
+		-shape storm -trace -shard 0/2 -shard-out sh.bin >/dev/null); \
+	(cd $$tmp/shard && $$tmp/swifi -service lock -trials 30 -seed 2026 -workers 4 \
+		-shape storm -trace -shard 1/2 -shard-out sh.bin >/dev/null); \
+	(cd $$tmp/shard && $$tmp/swifi -merge -trace-out snap.json \
+		lock.shard1of2.sh.bin lock.shard0of2.sh.bin >stdout.txt); \
+	cmp $$tmp/sref/stdout.txt $$tmp/shard/stdout.txt; \
+	cmp $$tmp/sref/lock.snap.json $$tmp/shard/lock.snap.json; \
+	echo "fleet-smoke: checkpoint/resume and shard/merge byte-identical"
 
 # benchstat-friendly output: benchmarks only (no tests), repeatable count.
 bench:

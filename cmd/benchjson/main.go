@@ -31,6 +31,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	fmt.Printf("host: %d cpus, GOMAXPROCS %d, campaign workers %d\n",
+		rep.NumCPU, rep.GOMAXPROCS, rep.Workers)
 	for _, r := range rep.Results {
 		switch {
 		case r.NsPerOp > 0:

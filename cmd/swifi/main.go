@@ -28,13 +28,35 @@
 // supervision strategy (one-for-one, rest-for-one, all-for-one) as a
 // root supervisor over every server in each trial's system. Shaped
 // campaigns render per-kind outcome columns after the Table II rows.
+//
+// Fleet-scale campaigns (streaming, resumable, shardable):
+//
+//	swifi -checkpoint ckpt.bin [-checkpoint-every K] [-resume] [-halt-after N]
+//	swifi -shard i/n -shard-out shard.bin
+//	swifi -merge <service>.shard0of2.shard.bin <service>.shard1of2.shard.bin ...
+//
+// -checkpoint persists each campaign's rolling state to
+// <service>.<file> every K committed trials (and at completion);
+// -resume continues from the persisted cursor — an interrupted-then-
+// resumed campaign's output is byte-identical to an uninterrupted run.
+// -halt-after deliberately stops each campaign after N newly committed
+// trials (checkpoint written, exit status 3): the deterministic "kill
+// it midway" used by the fleet-smoke CI check. -shard i/n runs only the
+// i-th of n contiguous trial ranges and -shard-out persists the shard's
+// state to <service>.shard<i>of<n>.<file>; -merge folds shard files
+// (grouped by service) back into the canonical campaign and renders the
+// same tables the single-process run would — byte-identically. Campaign
+// memory is O(workers): per-trial records are discarded unless -v needs
+// them, and the merged trace stream is trimmed as it rolls.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"superglue/internal/core"
@@ -61,21 +83,38 @@ func main() {
 	cores := flag.Int("cores", 1, "simulated cores per trial machine (>1 places the target on core 1: cross-core invocations)")
 	replicas := flag.Int("replicas", 1, "storage replicas per trial machine (>1 makes storage kinds land inside the replicated store)")
 	multicoreKinds := flag.Bool("multicore-kinds", false, "add the migration and cross-core-invocation kinds to shaped campaigns' pool")
+	checkpoint := flag.String("checkpoint", "", "persist each campaign's rolling state to <service>.<file> (enables -resume and -halt-after)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "committed trials between checkpoint writes (0 = default)")
+	resume := flag.Bool("resume", false, "continue each campaign from its -checkpoint cursor")
+	haltAfter := flag.Int("halt-after", 0, "stop each campaign after N newly committed trials (checkpoint written, exit 3)")
+	shard := flag.String("shard", "", "run one contiguous trial shard, as i/n (e.g. 0/4)")
+	shardOut := flag.String("shard-out", "", "persist the shard's state to <service>.shard<i>of<n>.<file>")
+	merge := flag.Bool("merge", false, "fold the shard files given as arguments into the canonical campaign output")
 	verbose := flag.Bool("v", false, "print each non-recovered trial")
 	flag.Parse()
 
 	var err error
-	if *prime {
+	switch {
+	case *merge:
+		err = runMerge(flag.Args(), *traceOut)
+	case *prime:
 		err = runPrime(*trials, *seed, *workers, *service)
-	} else {
+	default:
 		err = run(runConfig{
 			trials: *trials, seed: *seed, workers: *workers,
 			service: *service, mode: *mode, watchdog: *watchdog,
 			trace: *trace || *traceOut != "", traceOut: *traceOut,
 			shape: *shape, kinds: *kinds, stormFaults: *stormFaults,
 			policy: *policy, cores: *cores, replicas: *replicas, multicoreKinds: *multicoreKinds,
+			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
+			resume: *resume, haltAfter: *haltAfter,
+			shard: *shard, shardOut: *shardOut,
 			verbose: *verbose,
 		})
+	}
+	if errors.Is(err, swifi.ErrHalted) {
+		fmt.Fprintln(os.Stderr, "swifi:", err)
+		os.Exit(3)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swifi:", err)
@@ -84,22 +123,42 @@ func main() {
 }
 
 type runConfig struct {
-	trials         int
-	seed           int64
-	workers        int
-	service        string
-	mode           string
-	watchdog       bool
-	trace          bool
-	traceOut       string
-	shape          string
-	kinds          string
-	stormFaults    int
-	policy         string
-	cores          int
-	replicas       int
-	multicoreKinds bool
-	verbose        bool
+	trials          int
+	seed            int64
+	workers         int
+	service         string
+	mode            string
+	watchdog        bool
+	trace           bool
+	traceOut        string
+	shape           string
+	kinds           string
+	stormFaults     int
+	policy          string
+	cores           int
+	replicas        int
+	multicoreKinds  bool
+	checkpoint      string
+	checkpointEvery int
+	resume          bool
+	haltAfter       int
+	shard           string
+	shardOut        string
+	verbose         bool
+}
+
+// parseShardSpec resolves "-shard i/n" ("" means unsharded).
+func parseShardSpec(s string) (index, count int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &index, &count); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/4)", s)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("bad -shard %q: index must be in [0,%d)", s, count)
+	}
+	return index, count, nil
 }
 
 // parseKinds resolves a comma-separated kind list ("" means the default
@@ -143,6 +202,10 @@ func run(rc runConfig) error {
 	if rc.multicoreKinds && kinds == nil {
 		kinds = swifi.MulticoreKinds()
 	}
+	shardIdx, shardCount, err := parseShardSpec(rc.shard)
+	if err != nil {
+		return err
+	}
 	targets := swifi.Targets()
 	if rc.service != "" {
 		if _, ok := swifi.Workloads()[rc.service]; !ok {
@@ -154,8 +217,9 @@ func run(rc runConfig) error {
 	// its trials over the same worker bound; results land in fixed slots,
 	// so the rendered tables are in Table II order regardless of timing.
 	results := make([]*swifi.Result, len(targets))
+	shardPaths := make([]string, len(targets))
 	err = pool.Run(len(targets), rc.workers, func(i int) error {
-		res, err := swifi.Run(swifi.Config{
+		cfg := swifi.Config{
 			Service:     targets[i],
 			Workload:    swifi.Workloads()[targets[i]],
 			Iters:       5,
@@ -172,7 +236,26 @@ func run(rc runConfig) error {
 			Policy:      rc.policy,
 			Cores:       rc.cores,
 			Replicas:    rc.replicas,
-		})
+			// Fleet-scale orchestration: per-service durable files, and
+			// O(workers) memory unless -v needs the per-trial records.
+			CheckpointEvery: rc.checkpointEvery,
+			Resume:          rc.resume,
+			HaltAfter:       rc.haltAfter,
+			Shard:           shardIdx,
+			ShardCount:      shardCount,
+			DiscardTrials:   !rc.verbose,
+		}
+		if rc.checkpoint != "" {
+			cfg.Checkpoint = targets[i] + "." + rc.checkpoint
+		}
+		if rc.shardOut != "" {
+			if shardCount < 2 {
+				return fmt.Errorf("-shard-out without -shard i/n")
+			}
+			cfg.ShardOut = fmt.Sprintf("%s.shard%dof%d.%s", targets[i], shardIdx, shardCount, rc.shardOut)
+			shardPaths[i] = cfg.ShardOut
+		}
+		res, err := swifi.Run(cfg)
 		if err != nil {
 			return err
 		}
@@ -182,11 +265,38 @@ func run(rc runConfig) error {
 	if err != nil {
 		return err
 	}
+	if err := render(results, shape != swifi.ShapeLegacy, rc.trace, rc.traceOut); err != nil {
+		return err
+	}
+	for _, path := range shardPaths {
+		if path != "" {
+			fmt.Println("wrote", path)
+		}
+	}
+	if rc.verbose {
+		for _, res := range results {
+			for i, tr := range res.Trials {
+				if tr.Outcome == swifi.OutcomeRecovered || tr.Outcome == swifi.OutcomeUndetected {
+					continue
+				}
+				fmt.Printf("%s trial %d: %s reg=%v bit=%d fn=%s: %s\n",
+					res.Service, i, tr.Outcome, tr.Injection.Reg, tr.Injection.Bit, tr.Injection.Fn, tr.Detail)
+			}
+		}
+	}
+	return nil
+}
+
+// render writes the standard campaign output — the Table II rows, the
+// per-kind columns for shaped campaigns, and the per-mechanism recovery
+// breakdowns with optional snapshot files for traced ones. Single-
+// process runs and -merge go through this one function, which is what
+// makes their stdout byte-comparable.
+func render(results []*swifi.Result, shaped, trace bool, traceOut string) error {
 	experiments.RenderTable2(os.Stdout, results)
-	if shape != swifi.ShapeLegacy {
+	if shaped {
 		experiments.RenderTable2Kinds(os.Stdout, results)
 	}
-	trace, traceOut, verbose := rc.trace, rc.traceOut, rc.verbose
 	if trace {
 		for _, res := range results {
 			experiments.RenderRecoveryBreakdown(os.Stdout, res)
@@ -199,18 +309,59 @@ func run(rc runConfig) error {
 			}
 		}
 	}
-	if verbose {
-		for _, res := range results {
-			for i, tr := range res.Trials {
-				if tr.Outcome == swifi.OutcomeRecovered || tr.Outcome == swifi.OutcomeUndetected {
-					continue
-				}
-				fmt.Printf("%s trial %d: %s reg=%v bit=%d fn=%s: %s\n",
-					res.Service, i, tr.Outcome, tr.Injection.Reg, tr.Injection.Bit, tr.Injection.Fn, tr.Detail)
-			}
+	return nil
+}
+
+// runMerge folds shard files back into canonical campaigns: the files
+// are loaded and grouped by service, each group is validated and merged
+// (swifi.MergeStates), and the merged campaigns are rendered through
+// the exact code path a single-process run uses — so the output is
+// byte-identical to running unsharded.
+func runMerge(files []string, traceOut string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("-merge needs shard files as arguments")
+	}
+	byService := make(map[string][]*swifi.CampaignState)
+	for _, path := range files {
+		st, err := swifi.LoadCampaignState(path)
+		if err != nil {
+			return err
+		}
+		byService[st.Service] = append(byService[st.Service], st)
+	}
+	// Render in Table II order (the order a single-process all-services
+	// run would use), then any unknown services by name.
+	var services []string
+	for _, svc := range swifi.Targets() {
+		if _, ok := byService[svc]; ok {
+			services = append(services, svc)
 		}
 	}
-	return nil
+	var extra []string
+	for svc := range byService {
+		if _, ok := swifi.Workloads()[svc]; !ok {
+			extra = append(extra, svc)
+		}
+	}
+	sort.Strings(extra)
+	services = append(services, extra...)
+
+	results := make([]*swifi.Result, 0, len(services))
+	shaped, traced := false, false
+	for _, svc := range services {
+		merged, err := swifi.MergeStates(byService[svc])
+		if err != nil {
+			return err
+		}
+		if merged.Shape != swifi.ShapeLegacy.String() {
+			shaped = true
+		}
+		if merged.Traced {
+			traced = true
+		}
+		results = append(results, merged.Result())
+	}
+	return render(results, shaped, traced, traceOut)
 }
 
 // writeSnapshot serializes one campaign's trace snapshot to path.

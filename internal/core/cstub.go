@@ -205,6 +205,32 @@ func parentKeyInfo(info *fnInfo, args []kernel.Word) (DescKey, bool) {
 	return key, true
 }
 
+// BoundCall is a client-stub call with its per-function dispatch record
+// resolved once, at bind time: what generated stub code would compile to.
+// The typed service clients bind each interface function at construction,
+// so the per-invocation hot path skips the function-name map lookup (and
+// its string hash) that ClientStub.Call pays.
+type BoundCall struct {
+	stub *ClientStub
+	info *fnInfo
+}
+
+// Bind resolves interface function fn's dispatch record and returns a
+// handle whose Call is equivalent to ClientStub.Call(t, fn, ...) minus
+// the per-call name lookup.
+func (s *ClientStub) Bind(fn string) (*BoundCall, error) {
+	info := s.entry.fns[fn]
+	if info == nil {
+		return nil, fmt.Errorf("%w: %s.%s", ErrUnknownFunction, s.entry.spec.Service, fn)
+	}
+	return &BoundCall{stub: s, info: info}, nil
+}
+
+// Call invokes the bound interface function on the server with args.
+func (b *BoundCall) Call(t *kernel.Thread, args ...kernel.Word) (kernel.Word, error) {
+	return b.stub.call(t, b.info, args...)
+}
+
 // Call invokes interface function fn on the server with args, implementing
 // the client-stub template of Fig. 4:
 //
@@ -218,11 +244,18 @@ func parentKeyInfo(info *fnInfo, args []kernel.Word) (DescKey, bool) {
 // Arguments are the client-visible descriptor IDs; the stub translates them
 // to the server's current IDs transparently.
 func (s *ClientStub) Call(t *kernel.Thread, fn string, args ...kernel.Word) (kernel.Word, error) {
-	spec := s.entry.spec
 	info := s.entry.fns[fn]
 	if info == nil {
-		return 0, fmt.Errorf("%w: %s.%s", ErrUnknownFunction, spec.Service, fn)
+		return 0, fmt.Errorf("%w: %s.%s", ErrUnknownFunction, s.entry.spec.Service, fn)
 	}
+	return s.call(t, info, args...)
+}
+
+// call is the shared body of Call and BoundCall.Call, keyed by the
+// precompiled dispatch record.
+func (s *ClientStub) call(t *kernel.Thread, info *fnInfo, args ...kernel.Word) (kernel.Word, error) {
+	spec := s.entry.spec
+	fn := info.f.Name
 	if len(args) != len(info.f.Params) {
 		return 0, fmt.Errorf("core: %s.%s takes %d args, got %d", spec.Service, fn, len(info.f.Params), len(args))
 	}
@@ -498,13 +531,19 @@ func (s *ClientStub) track(t *kernel.Thread, info *fnInfo, d *Descriptor, parent
 		tt.Args = append(tt.Args[:0], args...)
 		tt.Epoch = cur
 	case info.isRelease:
-		if tt := d.PerThread[t.ID()]; tt != nil {
-			tt.HoldFn = ""
+		if s.entry.hasHold {
+			if tt := d.PerThread[t.ID()]; tt != nil {
+				tt.HoldFn = ""
+			}
 		}
 	case info.isBlocking || info.isWakeup:
 		// Blocked-and-woken is a per-thread reset; nothing outstanding.
-		if tt := d.PerThread[t.ID()]; tt != nil {
-			tt.HoldFn = ""
+		// Interfaces without hold functions can have no per-thread entry,
+		// so the map probe is skipped outright for them.
+		if s.entry.hasHold {
+			if tt := d.PerThread[t.ID()]; tt != nil {
+				tt.HoldFn = ""
+			}
 		}
 		if info.isReset {
 			d.State = StateInitial

@@ -111,6 +111,11 @@ type serverEntry struct {
 	comp  kernel.ComponentID
 	stubs []*ClientStub
 	fns   map[string]*fnInfo
+	// hasHold records whether any interface function is a hold: when none
+	// is, no per-thread tracking entry can exist, and the stub's tracking
+	// fast path skips the PerThread map probe on blocking/wakeup/release
+	// calls entirely.
+	hasHold bool
 	// dataHint / fnHint pre-size new descriptors' Data and LastArgs maps:
 	// the number of distinct desc_data parameter names and of interface
 	// functions in the spec.
@@ -406,6 +411,12 @@ func (s *System) RegisterServer(spec *Spec, factory func() kernel.Service) (kern
 	}
 	s.nextClass++
 	entry := &serverEntry{spec: spec, sm: sm, class: s.nextClass, fns: compileFns(spec)}
+	for _, f := range spec.Funcs {
+		if entry.fns[f.Name].isHold {
+			entry.hasHold = true
+			break
+		}
+	}
 	entry.fnHint = len(spec.Funcs)
 	dataNames := make(map[string]struct{})
 	for _, f := range spec.Funcs {

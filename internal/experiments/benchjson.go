@@ -39,12 +39,23 @@ type BenchResult struct {
 
 // BenchReport is the top-level schema of BENCH_superglue.json.
 type BenchReport struct {
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	Timestamp string        `json:"timestamp"`
-	Short     bool          `json:"short"`
-	Results   []BenchResult `json:"results"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU and GOMAXPROCS record the host parallelism the run had
+	// available — without them a "no parallel speedup" result on a 1-CPU
+	// host is indistinguishable from a scheduling regression.
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Timestamp  string `json:"timestamp"`
+	Short      bool   `json:"short"`
+	// Workers is the resolved SWIFI campaign parallelism (the -workers
+	// flag, with 0 resolved to GOMAXPROCS like the campaign engine does).
+	Workers int `json:"workers"`
+	// CoresSweep lists the simulated core counts of the
+	// WebServerThroughput/cores=N rows.
+	CoresSweep []int         `json:"cores_sweep"`
+	Results    []BenchResult `json:"results"`
 	// Recovery embeds the traced SWIFI campaigns' per-mechanism
 	// recovery-latency breakdowns (counts + virtual-time histograms per
 	// R0/T0/T1/D0/D1/G0/G1/U0).
@@ -176,12 +187,19 @@ func benchToResult(name string, r testing.BenchmarkResult) BenchResult {
 // benchmarks themselves stay serial: they are timing measurements and
 // concurrent runs would contend for the cores being measured).
 func RunBenchJSON(short bool, workers int) (*BenchReport, error) {
+	resolvedWorkers := workers
+	if resolvedWorkers <= 0 {
+		resolvedWorkers = runtime.GOMAXPROCS(0)
+	}
 	rep := &BenchReport{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		Short:     short,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Short:      short,
+		Workers:    resolvedWorkers,
 	}
 	var failed error
 	bench := func(name string, fn func(b *testing.B)) {
@@ -281,7 +299,8 @@ func RunBenchJSON(short bool, workers int) (*BenchReport, error) {
 	// at a time), so these rows measure the *cost* of core-affine placement
 	// — cross-core migration parks on every server invocation — not
 	// wall-clock parallelism; see EXPERIMENTS.md for the honest framing.
-	for _, nc := range []int{1, 2, 4} {
+	rep.CoresSweep = []int{1, 2, 4}
+	for _, nc := range rep.CoresSweep {
 		if failed != nil {
 			break
 		}

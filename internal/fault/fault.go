@@ -206,6 +206,9 @@ const (
 	DomainStorage
 	// DomainMessaging covers the invocation path between components.
 	DomainMessaging
+
+	// NumDomains sizes per-domain counter arrays.
+	NumDomains = int(DomainMessaging) + 1
 )
 
 // String returns the canonical domain name.

@@ -1,0 +1,55 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// This file adds the decode direction of the enum JSON encodings, so
+// structures that embed typed fault classifications (obs.Event in
+// campaign checkpoints and shard files) survive a JSON round trip
+// bit-exactly.
+
+// UnmarshalJSON decodes a kind from its canonical name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("fault: kind %s: %w", data, err)
+	}
+	c, ok := ParseKind(s)
+	if !ok {
+		return fmt.Errorf("fault: unknown kind %q", s)
+	}
+	*k = c
+	return nil
+}
+
+// UnmarshalJSON decodes a severity from its canonical name.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	name, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("fault: severity %s: %w", data, err)
+	}
+	for c := Severity(0); int(c) < NumSeverities; c++ {
+		if c.String() == name {
+			*s = c
+			return nil
+		}
+	}
+	return fmt.Errorf("fault: unknown severity %q", name)
+}
+
+// UnmarshalJSON decodes a domain from its canonical name.
+func (d *Domain) UnmarshalJSON(data []byte) error {
+	name, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("fault: domain %s: %w", data, err)
+	}
+	for c := Domain(0); int(c) < NumDomains; c++ {
+		if c.String() == name {
+			*d = c
+			return nil
+		}
+	}
+	return fmt.Errorf("fault: unknown domain %q", name)
+}

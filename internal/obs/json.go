@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// This file adds the decode direction of the enum JSON encodings. The
+// fleet-scale SWIFI engine round-trips obs.Snapshot through JSON in its
+// campaign checkpoint and shard files (internal/swifi), so the typed
+// Event fields must unmarshal back to exactly the values they marshaled
+// from — a resumed campaign's final snapshot has to be byte-identical
+// to an uninterrupted one.
+
+// UnmarshalJSON decodes an event kind from its canonical name.
+func (k *EventKind) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("obs: event kind %s: %w", data, err)
+	}
+	for c := EventKind(0); int(c) < numKinds; c++ {
+		if c.String() == s {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// UnmarshalJSON decodes a mechanism from its paper name.
+func (m *Mechanism) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("obs: mechanism %s: %w", data, err)
+	}
+	for c := MechNone; int(c) < NumMechanisms; c++ {
+		if c.String() == s {
+			*m = c
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown mechanism %q", s)
+}

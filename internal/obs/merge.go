@@ -12,14 +12,65 @@ import "sort"
 // per-mechanism cells (campaign-wide and per-component) are added
 // bucket-wise, component tables are unioned by ID, and o's events are
 // appended after s's — callers merge snapshots in trial order, so the
-// combined stream is ordered by (trial, per-trial sequence). After the
-// append every event is renumbered with a contiguous global sequence
-// starting at 1, which makes Merge associative: merging two halves of a
-// campaign equals merging all of its trials directly.
+// combined stream is ordered by (trial, per-trial sequence). The
+// appended events are renumbered with a contiguous global sequence
+// continuing from the receiver's last sequence number (an empty
+// receiver starts at 1), which makes Merge associative: merging two
+// halves of a campaign equals merging all of its trials directly.
+//
+// Renumbering only the appended suffix (instead of the whole stream)
+// keeps each merge O(|o|) and — because survivors of a Trim keep their
+// global sequence numbers — makes it legal to Trim the receiver between
+// merges: a rolling merge that trims after every fold produces the same
+// events, with the same sequence numbers, as one batch merge followed
+// by a single final Trim. The streaming SWIFI campaign engine depends
+// on exactly this equivalence (DESIGN.md §14).
 //
 // Merge never aliases o's storage; o remains valid and unchanged. The
 // zero Snapshot is a valid receiver (the empty merge base).
 func (s *Snapshot) Merge(o Snapshot) {
+	s.mergeAggregates(o)
+	next := uint64(0)
+	if n := len(s.Events); n > 0 {
+		next = s.Events[n-1].Seq
+	}
+	base := len(s.Events)
+	s.Events = append(s.Events, o.Events...)
+	for i := base; i < len(s.Events); i++ {
+		next++
+		s.Events[i].Seq = next
+	}
+	s.DroppedEvents = s.TotalEvents - uint64(len(s.Events))
+}
+
+// Splice folds o into s when o is itself a rolling-merged stream — a
+// campaign shard's final snapshot rather than one trial's. Aggregates
+// merge exactly as in Merge, but o's events keep their own (contiguous,
+// possibly trimmed-at-the-front) numbering, shifted after s's last
+// sequence number. That is what makes the shard fold byte-identical to
+// the single-process rolling merge: a shard that trimmed k of its own
+// events leaves the same sequence gap the uninterrupted run would have
+// left at that point, where Merge's contiguous renumbering would have
+// closed it. s's last kept sequence equals the number of events ever
+// appended to its stream (Trim preserves the tail), so the shift lands
+// o's events at exactly their uninterrupted global positions.
+func (s *Snapshot) Splice(o Snapshot) {
+	s.mergeAggregates(o)
+	shift := uint64(0)
+	if n := len(s.Events); n > 0 {
+		shift = s.Events[n-1].Seq
+	}
+	base := len(s.Events)
+	s.Events = append(s.Events, o.Events...)
+	for i := base; i < len(s.Events); i++ {
+		s.Events[i].Seq += shift
+	}
+	s.DroppedEvents = s.TotalEvents - uint64(len(s.Events))
+}
+
+// mergeAggregates folds every non-event field of o into s: the shared
+// half of Merge and Splice.
+func (s *Snapshot) mergeAggregates(o Snapshot) {
 	if s.BucketBounds == nil {
 		s.BucketBounds = bucketBounds()
 	}
@@ -44,11 +95,6 @@ func (s *Snapshot) Merge(o Snapshot) {
 	}
 	s.Storage = mergeStorage(s.Storage, o.Storage)
 	s.Components = mergeComponents(s.Components, o.Components)
-	s.Events = append(s.Events, o.Events...)
-	for i := range s.Events {
-		s.Events[i].Seq = uint64(i) + 1
-	}
-	s.DroppedEvents = s.TotalEvents - uint64(len(s.Events))
 }
 
 // Trim bounds the merged event stream to the most recent capacity

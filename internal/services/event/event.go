@@ -204,10 +204,14 @@ func (e *evtState) removeWaiter(id kernel.ThreadID) {
 	}
 }
 
-// Client is the typed client API for the event component.
+// Client is the typed client API for the event component. Each
+// interface function is bound once at construction (core.BoundCall), so
+// the per-call path pays no function-name lookup.
 type Client struct {
 	stub *core.ClientStub
 	self kernel.Word
+
+	split, wait, trigger, free *core.BoundCall
 }
 
 // NewClient binds a client component to the event server.
@@ -216,7 +220,16 @@ func NewClient(cl *core.Client, server kernel.ComponentID) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{stub: stub, self: kernel.Word(cl.ID())}, nil
+	c := &Client{stub: stub, self: kernel.Word(cl.ID())}
+	for _, b := range []struct {
+		fn  string
+		dst **core.BoundCall
+	}{{FnSplit, &c.split}, {FnWait, &c.wait}, {FnTrigger, &c.trigger}, {FnFree, &c.free}} {
+		if *b.dst, err = stub.Bind(b.fn); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // Stub exposes the underlying stub.
@@ -224,21 +237,21 @@ func (c *Client) Stub() *core.ClientStub { return c.stub }
 
 // Split creates a new event descriptor; parent ≤ 0 creates a root event.
 func (c *Client) Split(t *kernel.Thread, parent, grp kernel.Word) (kernel.Word, error) {
-	return c.stub.Call(t, FnSplit, c.self, parent, grp)
+	return c.split.Call(t, c.self, parent, grp)
 }
 
 // Wait blocks until the event is triggered (or consumes a pending trigger).
 func (c *Client) Wait(t *kernel.Thread, id kernel.Word) (kernel.Word, error) {
-	return c.stub.Call(t, FnWait, c.self, id)
+	return c.wait.Call(t, c.self, id)
 }
 
 // Trigger fires the event, waking all waiters; returns the number woken.
 func (c *Client) Trigger(t *kernel.Thread, id kernel.Word) (kernel.Word, error) {
-	return c.stub.Call(t, FnTrigger, c.self, id)
+	return c.trigger.Call(t, c.self, id)
 }
 
 // Free destroys the event descriptor.
 func (c *Client) Free(t *kernel.Thread, id kernel.Word) error {
-	_, err := c.stub.Call(t, FnFree, c.self, id)
+	_, err := c.free.Call(t, c.self, id)
 	return err
 }

@@ -179,10 +179,14 @@ func (l *lockState) removeWaiter(id kernel.ThreadID) {
 }
 
 // Client is the typed client API over the SuperGlue client stub: what
-// application code links against.
+// application code links against. Each interface function is bound once
+// at construction (core.BoundCall), so the per-call path pays no
+// function-name lookup.
 type Client struct {
 	stub *core.ClientStub
 	self kernel.Word
+
+	alloc, take, release, free *core.BoundCall
 }
 
 // NewClient binds a client component to the lock server.
@@ -191,7 +195,16 @@ func NewClient(cl *core.Client, server kernel.ComponentID) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{stub: stub, self: kernel.Word(cl.ID())}, nil
+	c := &Client{stub: stub, self: kernel.Word(cl.ID())}
+	for _, b := range []struct {
+		fn  string
+		dst **core.BoundCall
+	}{{FnAlloc, &c.alloc}, {FnTake, &c.take}, {FnRelease, &c.release}, {FnFree, &c.free}} {
+		if *b.dst, err = stub.Bind(b.fn); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // Stub exposes the underlying stub (metrics, tests).
@@ -199,23 +212,23 @@ func (c *Client) Stub() *core.ClientStub { return c.stub }
 
 // Alloc creates a lock and returns its descriptor.
 func (c *Client) Alloc(t *kernel.Thread) (kernel.Word, error) {
-	return c.stub.Call(t, FnAlloc, c.self)
+	return c.alloc.Call(t, c.self)
 }
 
 // Take acquires the lock, blocking while it is contended.
 func (c *Client) Take(t *kernel.Thread, id kernel.Word) error {
-	_, err := c.stub.Call(t, FnTake, c.self, id, kernel.Word(t.ID()))
+	_, err := c.take.Call(t, c.self, id, kernel.Word(t.ID()))
 	return err
 }
 
 // Release releases the lock and wakes one or more contenders.
 func (c *Client) Release(t *kernel.Thread, id kernel.Word) error {
-	_, err := c.stub.Call(t, FnRelease, c.self, id, kernel.Word(t.ID()))
+	_, err := c.release.Call(t, c.self, id, kernel.Word(t.ID()))
 	return err
 }
 
 // Free destroys the lock.
 func (c *Client) Free(t *kernel.Thread, id kernel.Word) error {
-	_, err := c.stub.Call(t, FnFree, id)
+	_, err := c.free.Call(t, id)
 	return err
 }

@@ -299,6 +299,10 @@ type Client struct {
 	// demand), matching the cbuf discipline of reusing transfer buffers.
 	readBuf     cbuf.ID
 	readBufSize int
+
+	// Per-function bound calls (core.BoundCall): the dispatch record is
+	// resolved once here, so the per-call path pays no name lookup.
+	open, write, read, lseek, close, unlink *core.BoundCall
 }
 
 // NewClient binds a client component to the RamFS.
@@ -307,13 +311,23 @@ func NewClient(cl *core.Client, server kernel.ComponentID) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
+	c := &Client{
 		stub:     stub,
 		cm:       cl.System().Cbufs(),
 		self:     kernel.Word(cl.ID()),
 		comp:     server,
 		pathBufs: make(map[string]cbuf.ID),
-	}, nil
+	}
+	for _, b := range []struct {
+		fn  string
+		dst **core.BoundCall
+	}{{FnOpen, &c.open}, {FnWrite, &c.write}, {FnRead, &c.read},
+		{FnLseek, &c.lseek}, {FnClose, &c.close}, {FnUnlink, &c.unlink}} {
+		if *b.dst, err = stub.Bind(b.fn); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // Stub exposes the underlying stub.
@@ -336,7 +350,7 @@ func (c *Client) Open(t *kernel.Thread, path string) (kernel.Word, error) {
 		}
 		c.pathBufs[path] = buf
 	}
-	return c.stub.Call(t, FnOpen, c.self, kernel.Word(buf), kernel.Word(len(path)))
+	return c.open.Call(t, c.self, kernel.Word(buf), kernel.Word(len(path)))
 }
 
 // Write writes data at the descriptor's offset. Each write uses a fresh
@@ -357,7 +371,7 @@ func (c *Client) Write(t *kernel.Thread, fd kernel.Word, data []byte) (int, erro
 	if err := c.cm.Map(buf, cbuf.ComponentID(c.comp)); err != nil {
 		return 0, fmt.Errorf("ramfs client: mapping data buffer to server: %w", err)
 	}
-	n, err := c.stub.Call(t, FnWrite, c.self, fd, kernel.Word(buf), kernel.Word(len(data)))
+	n, err := c.write.Call(t, c.self, fd, kernel.Word(buf), kernel.Word(len(data)))
 	return int(n), err
 }
 
@@ -382,7 +396,7 @@ func (c *Client) Read(t *kernel.Thread, fd kernel.Word, n int) ([]byte, error) {
 		}
 		c.readBuf, c.readBufSize = buf, n
 	}
-	got, err := c.stub.Call(t, FnRead, c.self, fd, kernel.Word(c.readBuf), kernel.Word(n))
+	got, err := c.read.Call(t, c.self, fd, kernel.Word(c.readBuf), kernel.Word(n))
 	if err != nil {
 		return nil, err
 	}
@@ -391,19 +405,19 @@ func (c *Client) Read(t *kernel.Thread, fd kernel.Word, n int) ([]byte, error) {
 
 // Lseek sets the descriptor's absolute offset.
 func (c *Client) Lseek(t *kernel.Thread, fd kernel.Word, offset int) (int, error) {
-	v, err := c.stub.Call(t, FnLseek, fd, kernel.Word(offset))
+	v, err := c.lseek.Call(t, fd, kernel.Word(offset))
 	return int(v), err
 }
 
 // Close closes the descriptor.
 func (c *Client) Close(t *kernel.Thread, fd kernel.Word) error {
-	_, err := c.stub.Call(t, FnClose, c.self, fd)
+	_, err := c.close.Call(t, c.self, fd)
 	return err
 }
 
 // Unlink removes the file behind fd (closing the descriptor) and drops its
 // redundant storage, so a later µ-reboot cannot resurrect it.
 func (c *Client) Unlink(t *kernel.Thread, fd kernel.Word) error {
-	_, err := c.stub.Call(t, FnUnlink, c.self, fd)
+	_, err := c.unlink.Call(t, c.self, fd)
 	return err
 }

@@ -162,10 +162,15 @@ func (s *Server) Dispatch(t *kernel.Thread, fn string, args []kernel.Word) (kern
 	}
 }
 
-// Client is the typed client API for the scheduler component.
+// Client is the typed client API for the scheduler component. Each
+// interface function is bound once at construction (core.BoundCall), as
+// generated stub code would be, so the per-call path pays no
+// function-name lookup.
 type Client struct {
 	stub *core.ClientStub
 	self kernel.Word
+
+	setup, blk, wakeup, remove *core.BoundCall
 }
 
 // NewClient binds a client component to the scheduler.
@@ -174,7 +179,16 @@ func NewClient(cl *core.Client, server kernel.ComponentID) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{stub: stub, self: kernel.Word(cl.ID())}, nil
+	c := &Client{stub: stub, self: kernel.Word(cl.ID())}
+	for _, b := range []struct {
+		fn  string
+		dst **core.BoundCall
+	}{{FnSetup, &c.setup}, {FnBlk, &c.blk}, {FnWakeup, &c.wakeup}, {FnRemove, &c.remove}} {
+		if *b.dst, err = stub.Bind(b.fn); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // Stub exposes the underlying stub.
@@ -182,23 +196,23 @@ func (c *Client) Stub() *core.ClientStub { return c.stub }
 
 // Setup registers thread t with the scheduler at the given priority.
 func (c *Client) Setup(t *kernel.Thread, prio int) (kernel.Word, error) {
-	return c.stub.Call(t, FnSetup, c.self, kernel.Word(t.ID()), kernel.Word(prio))
+	return c.setup.Call(t, c.self, kernel.Word(t.ID()), kernel.Word(prio))
 }
 
 // Blk blocks the calling thread until another thread wakes it.
 func (c *Client) Blk(t *kernel.Thread) error {
-	_, err := c.stub.Call(t, FnBlk, c.self, kernel.Word(t.ID()))
+	_, err := c.blk.Call(t, c.self, kernel.Word(t.ID()))
 	return err
 }
 
 // Wakeup unblocks thread tid.
 func (c *Client) Wakeup(t *kernel.Thread, tid kernel.ThreadID) error {
-	_, err := c.stub.Call(t, FnWakeup, c.self, kernel.Word(tid))
+	_, err := c.wakeup.Call(t, c.self, kernel.Word(tid))
 	return err
 }
 
 // Remove deregisters thread tid.
 func (c *Client) Remove(t *kernel.Thread, tid kernel.ThreadID) error {
-	_, err := c.stub.Call(t, FnRemove, c.self, kernel.Word(tid))
+	_, err := c.remove.Call(t, c.self, kernel.Word(tid))
 	return err
 }

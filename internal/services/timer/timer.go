@@ -142,10 +142,14 @@ func (s *Server) Dispatch(t *kernel.Thread, fn string, args []kernel.Word) (kern
 	}
 }
 
-// Client is the typed client API for the timer component.
+// Client is the typed client API for the timer component. Each
+// interface function is bound once at construction (core.BoundCall), so
+// the per-call path pays no function-name lookup.
 type Client struct {
 	stub *core.ClientStub
 	self kernel.Word
+
+	alloc, wait, free *core.BoundCall
 }
 
 // NewClient binds a client component to the timer server.
@@ -154,7 +158,16 @@ func NewClient(cl *core.Client, server kernel.ComponentID) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{stub: stub, self: kernel.Word(cl.ID())}, nil
+	c := &Client{stub: stub, self: kernel.Word(cl.ID())}
+	for _, b := range []struct {
+		fn  string
+		dst **core.BoundCall
+	}{{FnAlloc, &c.alloc}, {FnWait, &c.wait}, {FnFree, &c.free}} {
+		if *b.dst, err = stub.Bind(b.fn); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // Stub exposes the underlying stub.
@@ -162,17 +175,17 @@ func (c *Client) Stub() *core.ClientStub { return c.stub }
 
 // Alloc creates a periodic timer with the given period (µs).
 func (c *Client) Alloc(t *kernel.Thread, period kernel.Time) (kernel.Word, error) {
-	return c.stub.Call(t, FnAlloc, c.self, kernel.Word(period))
+	return c.alloc.Call(t, c.self, kernel.Word(period))
 }
 
 // Wait blocks until the timer's next period boundary; returns the wake time.
 func (c *Client) Wait(t *kernel.Thread, id kernel.Word) (kernel.Time, error) {
-	v, err := c.stub.Call(t, FnWait, c.self, id)
+	v, err := c.wait.Call(t, c.self, id)
 	return kernel.Time(v), err
 }
 
 // Free destroys the timer.
 func (c *Client) Free(t *kernel.Thread, id kernel.Word) error {
-	_, err := c.stub.Call(t, FnFree, c.self, id)
+	_, err := c.free.Call(t, c.self, id)
 	return err
 }

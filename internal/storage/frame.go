@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file exports the store's checksum-sealing discipline as a
+// standalone frame format, so other durable artifacts — the SWIFI
+// campaign checkpoints and shard files of the fleet-scale engine — can
+// reuse the exact record-sealing scheme the replicated WAL uses (magic +
+// length + payload + FNV-1a sum) instead of inventing a second one.
+
+// frameMagic identifies a sealed frame ("SGF1": SuperGlue frame v1).
+const frameMagic = "SGF1"
+
+// frameOverhead is the byte cost of sealing: magic, the little-endian
+// payload length, and the trailing FNV-1a checksum.
+const frameOverhead = len(frameMagic) + 8 + 4
+
+// SealFrame wraps payload in a checksummed frame: the frame magic, the
+// payload length, the payload bytes, and the FNV-1a sum over everything
+// before the sum — the same hash the WAL records and checkpoint images
+// are sealed with. The payload is copied; the caller may reuse it.
+func SealFrame(payload []byte) []byte {
+	out := make([]byte, 0, frameOverhead+len(payload))
+	out = append(out, frameMagic...)
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(len(payload)))
+	out = append(out, w[:]...)
+	out = append(out, payload...)
+	var s [4]byte
+	binary.LittleEndian.PutUint32(s[:], sum32(out))
+	return append(out, s[:]...)
+}
+
+// OpenFrame verifies a sealed frame and returns its payload. A wrong
+// magic, a truncated frame, a length mismatch, or a checksum mismatch is
+// an error — a corrupt or torn frame is never silently accepted. The
+// returned payload aliases data.
+func OpenFrame(data []byte) ([]byte, error) {
+	if len(data) < frameOverhead {
+		return nil, fmt.Errorf("storage: frame truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(frameMagic)]) != frameMagic {
+		return nil, fmt.Errorf("storage: bad frame magic %q", data[:len(frameMagic)])
+	}
+	n := binary.LittleEndian.Uint64(data[len(frameMagic) : len(frameMagic)+8])
+	if uint64(len(data)) != uint64(frameOverhead)+n {
+		return nil, fmt.Errorf("storage: frame length mismatch: header says %d payload bytes, frame holds %d",
+			n, len(data)-frameOverhead)
+	}
+	body := data[:len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if sum32(body) != want {
+		return nil, fmt.Errorf("storage: frame checksum mismatch (corrupt or torn write)")
+	}
+	return data[len(frameMagic)+8 : len(data)-4], nil
+}

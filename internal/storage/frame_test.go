@@ -1,0 +1,42 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("checkpoint"), 1000)} {
+		f := SealFrame(payload)
+		got, err := OpenFrame(f)
+		if err != nil {
+			t.Fatalf("OpenFrame(SealFrame(%d bytes)): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload round trip mismatch: %d bytes in, %d out", len(payload), len(got))
+		}
+	}
+}
+
+func TestFrameDetectsCorruption(t *testing.T) {
+	f := SealFrame([]byte("the campaign checkpoint payload"))
+	// Every single-bit flip anywhere in the frame must be rejected.
+	for i := range f {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), f...)
+			mut[i] ^= 1 << bit
+			if _, err := OpenFrame(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted", i, bit)
+			}
+		}
+	}
+	// Truncations (torn writes) must be rejected too.
+	for n := 0; n < len(f); n++ {
+		if _, err := OpenFrame(f[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	if _, err := OpenFrame(append(append([]byte(nil), f...), 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}

@@ -96,8 +96,24 @@ func (r *walRecord) encode(buf []byte) []byte {
 // seal captures the record checksum after every payload field is set.
 func (r *walRecord) seal() { r.sum = sum32(r.encode(nil)) }
 
+// sealInto is seal with a caller-owned scratch buffer: the record is
+// encoded into scratch[:0] and the grown buffer is returned for reuse,
+// so the quorum write path seals without a per-write allocation.
+func (r *walRecord) sealInto(scratch []byte) []byte {
+	buf := r.encode(scratch[:0])
+	r.sum = sum32(buf)
+	return buf
+}
+
 // verify reports whether the record still matches its checksum.
 func (r *walRecord) verify() bool { return sum32(r.encode(nil)) == r.sum }
+
+// verifyInto is verify with a caller-owned scratch buffer (same contract
+// as sealInto), for the replay loop of a rebuild.
+func (r *walRecord) verifyInto(scratch []byte) ([]byte, bool) {
+	buf := r.encode(scratch[:0])
+	return buf, sum32(buf) == r.sum
+}
 
 // repState is one replica's live descriptor/slice state: the maps the
 // single-copy store used to hold directly.
@@ -183,8 +199,12 @@ func sortKeys(ks []key) {
 // remap maps; the checkpoint checksum only guards one replica's image
 // against bit rot, never cross-replica agreement — quorum compares
 // query answers, not raw state bytes.
-func (st repState) encode() []byte {
-	var buf []byte
+func (st repState) encode() []byte { return st.encodeInto(nil) }
+
+// encodeInto appends the state's deterministic encoding to buf; the
+// checkpoint capture and rebuild paths pass a per-replica scratch buffer
+// so the (large) state image is not re-allocated on every checkpoint.
+func (st repState) encodeInto(buf []byte) []byte {
 	var w [8]byte
 	u64 := func(v uint64) {
 		binary.LittleEndian.PutUint64(w[:], v)
@@ -248,6 +268,9 @@ type replica struct {
 	cp  *checkpoint
 	// checkpointEvery is the WAL length that triggers a checkpoint.
 	checkpointEvery int
+	// enc is the reusable encode scratch buffer for checkpoint capture
+	// and rebuild verification (never aliased by durable images).
+	enc []byte
 	// Counters surfaced through the obs snapshot.
 	writes     uint64 // WAL records appended
 	crashes    uint64 // fail-stop crashes injected
@@ -263,12 +286,11 @@ func newReplica(idx, checkpointEvery int) *replica {
 	return &replica{idx: idx, live: true, state: newRepState(), checkpointEvery: checkpointEvery}
 }
 
-// append journals one sealed record and applies it to the live state,
-// checkpointing when the log reaches the trigger length (reported by the
-// return value). cm/self are the cbuf access needed to re-checksum trimmed
-// extents.
+// append journals one record — already sealed by the store, once for
+// all replicas — and applies it to the live state, checkpointing when
+// the log reaches the trigger length (reported by the return value).
+// cm/self are the cbuf access needed to re-checksum trimmed extents.
 func (r *replica) append(rec walRecord, cm *cbuf.Manager, self cbuf.ComponentID) bool {
-	rec.seal()
 	r.wal = append(r.wal, rec)
 	r.writes++
 	if len(r.wal) > r.walHighest {
@@ -277,7 +299,8 @@ func (r *replica) append(rec walRecord, cm *cbuf.Manager, self cbuf.ComponentID)
 	r.apply(&rec, cm, self)
 	if len(r.wal) >= r.checkpointEvery {
 		r.cp = &checkpoint{state: r.state.clone()}
-		r.cp.sum = sum32(r.cp.state.encode())
+		r.enc = r.cp.state.encodeInto(r.enc[:0])
+		r.cp.sum = sum32(r.enc)
 		r.wal = r.wal[:0]
 		return true
 	}
@@ -364,14 +387,16 @@ const (
 func (r *replica) restore(cm *cbuf.Manager, self cbuf.ComponentID) (restoreResult, int) {
 	r.state = newRepState()
 	if r.cp != nil {
-		if sum32(r.cp.state.encode()) != r.cp.sum {
+		r.enc = r.cp.state.encodeInto(r.enc[:0])
+		if sum32(r.enc) != r.cp.sum {
 			r.live = true
 			return restoreCorrupt, 0
 		}
 		r.state = r.cp.state.clone()
 	}
 	for i := range r.wal {
-		if !r.wal[i].verify() {
+		var ok bool
+		if r.enc, ok = r.wal[i].verifyInto(r.enc); !ok {
 			r.live = true
 			return restoreCorrupt, i
 		}

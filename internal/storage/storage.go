@@ -117,6 +117,9 @@ type Store struct {
 	quorumLost    uint64
 	// corruptions counts checksum mismatches detected at read or rebuild.
 	corruptions atomic.Uint64
+	// enc is the reusable record-encode scratch buffer for sealing: one
+	// seal per write, shared by all replicas (guarded by mu).
+	enc []byte
 }
 
 type key struct {
@@ -327,6 +330,10 @@ func (s *Store) voteLocked(keys []string, context string) int {
 // ones first, so no replica misses a write).
 func (s *Store) appendLocked(rec walRecord) {
 	s.ensureLiveLocked()
+	// The record's byte encoding is identical on every replica, so it is
+	// sealed once — into the store's reusable scratch buffer — instead of
+	// once per replica per write.
+	s.enc = rec.sealInto(s.enc)
 	for _, r := range s.reps {
 		checkpointed := r.append(rec, s.cm, s.self)
 		if s.obs != nil {

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
+	"sync"
 
 	"superglue/internal/core"
 	"superglue/internal/fault"
@@ -143,6 +145,41 @@ type Config struct {
 	// bit flip in one replica's log/checkpoint/slice state — and recovery
 	// proceeds under quorum (see docs/STORAGE.md).
 	Replicas int
+
+	// Checkpoint, when non-empty, is the path the campaign persists its
+	// rolling state to every CheckpointEvery committed trials (and at
+	// completion): the durable unit of fleet-scale campaigns. None of the
+	// fields below this line affects campaign output — an interrupted-
+	// then-resumed or sharded-then-merged campaign is byte-identical to
+	// an uninterrupted single-process one (see Config.Hash).
+	Checkpoint string
+	// CheckpointEvery is the number of committed trials between
+	// checkpoint writes (zero takes DefaultCheckpointEvery).
+	CheckpointEvery int
+	// Resume continues a campaign from Checkpoint's committed cursor
+	// instead of trial zero. A missing checkpoint file starts fresh; an
+	// existing one must match this Config (hash, trial range, capacity)
+	// or Run refuses it.
+	Resume bool
+	// HaltAfter, when positive, deliberately stops the campaign after
+	// that many newly committed trials: the checkpoint is persisted and
+	// Run returns ErrHalted. It exists to make "kill the campaign midway
+	// and resume it" a deterministic, scriptable event (fleet-smoke CI).
+	HaltAfter int
+	// Shard and ShardCount select a contiguous slice of the trial space:
+	// shard i of n runs only the trials shardRange assigns it. ShardCount
+	// of zero or one is the whole campaign. Per-trial seeds depend only
+	// on (Seed, trial index), so shards are independent processes whose
+	// persisted states MergeStates folds back into the canonical result.
+	Shard      int
+	ShardCount int
+	// ShardOut, when non-empty, is the path the shard's final state is
+	// persisted to (checksummed, mergeable with MergeStates).
+	ShardOut string
+	// DiscardTrials drops per-trial records instead of accumulating
+	// Result.Trials, making campaign memory independent of trial count
+	// (the fleet-scale default; rendering Table II needs only counters).
+	DiscardTrials bool
 }
 
 // Result aggregates one campaign, mirroring one row of Table II.
@@ -252,17 +289,90 @@ func PlanAt(cfg Config, opportunities uint64, trial int) []PlannedFault {
 	return planShaped(cfg, opportunities, rng)
 }
 
+// errDrain is the sentinel a worker returns when the stream gate was
+// stopped under it (halt, or a merger-side persistence error): the pool
+// uses it to stop handing out trials, and Run never surfaces it as the
+// campaign error — the smallest-index failure is always the real one,
+// because a worker that reached the gate-blocked region has a strictly
+// larger trial index than every worker that entered and could fail.
+var errDrain = errors.New("swifi: campaign stream drained")
+
+// streamGate bounds how far ahead of the commit cursor workers may run.
+// Workers enter with their trial index and block while it is at least
+// window trials beyond the lowest uncommitted trial; the merger advances
+// the cursor as it commits, waking them. Bounding the lead bounds the
+// number of uncommitted snapshots alive at once, which is what makes
+// campaign memory independent of trial count. Deadlock-free: a blocked
+// trial's index strictly exceeds every entered trial's index (the pool
+// hands indices out in order), so the trial the merger is waiting on is
+// never the one blocked at the gate.
+type streamGate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	next    int // lowest uncommitted trial index
+	window  int
+	stopped bool
+}
+
+func newStreamGate(next, window int) *streamGate {
+	g := &streamGate{next: next, window: window}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// enter blocks until trial is within the commit window; it reports false
+// if the gate was stopped (the worker should abandon the trial).
+func (g *streamGate) enter(trial int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for !g.stopped && trial >= g.next+g.window {
+		g.cond.Wait()
+	}
+	return !g.stopped
+}
+
+// advance moves the commit cursor one trial forward and wakes waiters.
+func (g *streamGate) advance() {
+	g.mu.Lock()
+	g.next++
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// stop releases every waiter with a false verdict.
+func (g *streamGate) stop() {
+	g.mu.Lock()
+	g.stopped = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
 // Run executes the campaign: for each trial it builds a fresh system, plans
 // one bit flip at a uniformly random execution moment inside the target,
 // runs the workload to completion (or to the machine's death), and
 // classifies the outcome. Trials are independent and reproducible from the
 // seed.
 //
-// Trials are sharded over Config.Workers goroutines; each runs on its
-// own system with its own RNG and (when tracing) its own obs.Recorder,
-// and the per-trial results are folded into the aggregate in trial-index
-// order — so the Result, the merged trace snapshot, and any JSON derived
-// from them are byte-identical across worker counts for a fixed seed.
+// The engine is a streaming rolling merge. Workers (Config.Workers
+// goroutines) each run one trial at a time on a private system with a
+// private RNG and — when tracing — a private obs.Recorder, and publish
+// the trial's result and snapshot into a bounded channel. A single
+// merger folds them into the rolling CampaignState in strict trial-index
+// order, holding out-of-order arrivals in a small pending set; a stream
+// gate keeps workers within a bounded window of the commit cursor. The
+// consequences:
+//
+//   - The Result, the merged trace snapshot, and any JSON derived from
+//     them are byte-identical across worker counts for a fixed seed.
+//   - Memory is O(workers), not O(trials): at most a window of
+//     uncommitted snapshots exists at once, and the rolling snapshot is
+//     trimmed to the trace capacity after every fold (provably equal to
+//     the batch merge with one final trim — see obs.Merge).
+//   - The rolling state is durable: with Config.Checkpoint set it is
+//     persisted every CheckpointEvery commits, Resume continues from the
+//     cursor, HaltAfter stops deterministically with ErrHalted, and
+//     Shard/ShardCount split the trial space across processes whose
+//     persisted states MergeStates folds back together.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("swifi: non-positive trial count %d", cfg.Trials)
@@ -277,6 +387,25 @@ func Run(cfg Config) (*Result, error) {
 	if capacity <= 0 {
 		capacity = obs.DefaultCapacity
 	}
+	start, end := 0, cfg.Trials
+	if cfg.ShardCount > 1 {
+		if cfg.Shard < 0 || cfg.Shard >= cfg.ShardCount {
+			return nil, fmt.Errorf("swifi: shard index %d outside [0,%d)", cfg.Shard, cfg.ShardCount)
+		}
+		start, end = shardRange(cfg.Trials, cfg.Shard, cfg.ShardCount)
+	} else if cfg.Shard != 0 {
+		return nil, fmt.Errorf("swifi: shard index %d without a shard count", cfg.Shard)
+	}
+	if cfg.HaltAfter > 0 && cfg.Checkpoint == "" {
+		return nil, fmt.Errorf("swifi: HaltAfter without a Checkpoint path would lose the committed trials")
+	}
+	if cfg.Resume && cfg.Checkpoint == "" {
+		return nil, fmt.Errorf("swifi: Resume without a Checkpoint path")
+	}
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
 
 	// Dry run: count injection opportunities (invocation entries into the
 	// target) for the uniform draw of the injection moment.
@@ -285,80 +414,142 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("swifi: dry run: %w", err)
 	}
 
-	// Execute trials on the pool. Each worker writes only its own trial's
-	// slot; nothing is shared across trials (workloads register components
-	// in a deterministic order, so component IDs and names are stable from
-	// trial to trial and the snapshots merge cleanly).
-	type trialOut struct {
-		tr   TrialResult
-		snap obs.Snapshot
-	}
-	outs := make([]trialOut, cfg.Trials)
-	err = pool.Run(cfg.Trials, cfg.Workers, func(trial int) error {
-		rng := rand.New(rand.NewSource(TrialSeed(cfg.Seed, trial)))
-		var rec *obs.Recorder
-		if cfg.Trace {
-			rec = obs.NewRecorder(capacity)
+	// The rolling state: fresh, or the persisted cursor of an earlier run.
+	st := newCampaignState(cfg, capacity, start, end)
+	if cfg.Resume {
+		loaded, err := LoadCampaignState(cfg.Checkpoint)
+		switch {
+		case err == nil:
+			if merr := loaded.matches(cfg, capacity, start, end); merr != nil {
+				return nil, merr
+			}
+			st = loaded
+		case errors.Is(err, os.ErrNotExist):
+			// Nothing to resume: a fresh campaign.
+		default:
+			return nil, err
 		}
-		run := runTrial
-		if cfg.Shape != ShapeLegacy {
-			run = runShapedTrial
-		}
-		tr, err := run(cfg, opportunities, rng, rec)
-		if err != nil {
-			return fmt.Errorf("swifi: trial %d: %w", trial, err)
-		}
-		outs[trial] = trialOut{tr: tr, snap: rec.Snapshot()}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 
-	// Commit in trial-index order: the aggregate counters, the Trials
-	// slice, and the merged trace snapshot are independent of scheduling.
-	res := &Result{Service: cfg.Service}
-	if cfg.Cores > 1 {
-		res.Cores = cfg.Cores
-	}
-	if cfg.Shape != ShapeLegacy {
-		res.Kinds = make(map[string]*KindStats)
-	}
-	var merged obs.Snapshot
-	for trial := range outs {
-		tr := outs[trial].tr
-		res.Injected++
-		res.Trials = append(res.Trials, tr)
-		res.countKinds(tr)
-		switch tr.Outcome {
-		case OutcomeUndetected:
-			res.Undetected++
-		case OutcomeRecovered:
-			res.Recovered++
-		case OutcomeSegfault:
-			res.Segfault++
-		case OutcomePropagated:
-			res.Propagated++
-		case OutcomeOther:
-			res.Other++
-		case OutcomeDegraded:
-			res.Degraded++
+	var trials []TrialResult
+	if n := end - st.Next; n > 0 {
+		base := st.Next
+		workers := pool.Clamp(cfg.Workers, n)
+		window := 4 * workers
+		if window < 16 {
+			window = 16
 		}
-		if cfg.Trace {
-			merged.Merge(outs[trial].snap)
+		type trialOut struct {
+			trial int
+			tr    TrialResult
+			snap  obs.Snapshot
+		}
+		gate := newStreamGate(base, window)
+		outs := make(chan trialOut, window)
+		done := make(chan error, 1)
+		go func() {
+			done <- pool.Run(n, cfg.Workers, func(i int) error {
+				trial := base + i
+				if !gate.enter(trial) {
+					return errDrain
+				}
+				rng := rand.New(rand.NewSource(TrialSeed(cfg.Seed, trial)))
+				var rec *obs.Recorder
+				if cfg.Trace {
+					rec = obs.NewRecorder(capacity)
+				}
+				run := runTrial
+				if cfg.Shape != ShapeLegacy {
+					run = runShapedTrial
+				}
+				tr, err := run(cfg, opportunities, rng, rec)
+				if err != nil {
+					gate.stop()
+					return fmt.Errorf("swifi: trial %d: %w", trial, err)
+				}
+				outs <- trialOut{trial: trial, tr: tr, snap: rec.Snapshot()}
+				return nil
+			})
+			close(outs)
+		}()
+
+		// The merger: fold publications into the rolling state in strict
+		// trial-index order, persisting every `every` commits. On halt or
+		// a persistence error it stops the gate and keeps draining the
+		// channel so no worker blocks on send.
+		pending := make(map[int]trialOut, window)
+		committed := 0
+		halted := false
+		var mergeErr error
+		for out := range outs {
+			if halted || mergeErr != nil {
+				continue
+			}
+			pending[out.trial] = out
+			for {
+				nxt, ok := pending[st.Next]
+				if !ok {
+					break
+				}
+				delete(pending, st.Next)
+				st.commit(nxt.tr, nxt.snap)
+				if !cfg.DiscardTrials {
+					trials = append(trials, nxt.tr)
+				}
+				committed++
+				gate.advance()
+				if cfg.Checkpoint != "" && committed%every == 0 {
+					if err := st.Persist(cfg.Checkpoint); err != nil {
+						mergeErr = err
+						gate.stop()
+						break
+					}
+				}
+				if cfg.HaltAfter > 0 && committed >= cfg.HaltAfter && st.Next < end {
+					if err := st.Persist(cfg.Checkpoint); err != nil {
+						mergeErr = err
+					} else {
+						halted = true
+					}
+					gate.stop()
+					break
+				}
+			}
+		}
+		perr := <-done
+		if mergeErr != nil {
+			return nil, mergeErr
+		}
+		if halted {
+			return nil, ErrHalted
+		}
+		if perr != nil {
+			return nil, perr
 		}
 	}
-	if cfg.Trace {
-		merged.Trim(capacity)
-		res.Recovery = &merged
+
+	// Completion: persist the final state so a later -resume is a no-op
+	// and a shard file exists for MergeStates.
+	if cfg.Checkpoint != "" {
+		if err := st.Persist(cfg.Checkpoint); err != nil {
+			return nil, err
+		}
 	}
+	if cfg.ShardOut != "" {
+		if err := st.Persist(cfg.ShardOut); err != nil {
+			return nil, err
+		}
+	}
+	res := st.Result()
+	res.Trials = trials
 	return res, nil
 }
 
-// countKinds folds one shaped trial into the per-kind outcome columns:
-// each kind that fired at least once in the trial takes one count.
-func (r *Result) countKinds(tr TrialResult) {
-	if r.Kinds == nil || len(tr.Planned) == 0 {
+// foldKinds folds one shaped trial into the per-kind outcome columns:
+// each kind that fired at least once in the trial takes one count. A nil
+// map (legacy campaigns) folds nothing.
+func foldKinds(kinds map[string]*KindStats, tr TrialResult) {
+	if kinds == nil || len(tr.Planned) == 0 {
 		return
 	}
 	counted := make(map[string]bool)
@@ -367,10 +558,10 @@ func (r *Result) countKinds(tr TrialResult) {
 			continue
 		}
 		counted[p.Kind.String()] = true
-		ks := r.Kinds[p.Kind.String()]
+		ks := kinds[p.Kind.String()]
 		if ks == nil {
 			ks = &KindStats{}
-			r.Kinds[p.Kind.String()] = ks
+			kinds[p.Kind.String()] = ks
 		}
 		ks.Injected++
 		switch tr.Outcome {
